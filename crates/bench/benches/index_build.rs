@@ -1,0 +1,69 @@
+//! Micro-benchmarks of index construction: serial vs parallel in-memory
+//! build (the paper's OpenMP ablation) and the external hash-aggregation
+//! path, on a small fixed corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use ndss::prelude::*;
+
+fn corpus() -> InMemoryCorpus {
+    SyntheticCorpusBuilder::new(99)
+        .num_texts(400)
+        .text_len(200, 500)
+        .vocab_size(32_000)
+        .build()
+        .0
+}
+
+fn bench_memory_build(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("index_build");
+    group.throughput(Throughput::Elements(corpus.total_tokens()));
+    group.bench_function("memory_serial_k4_t25", |b| {
+        b.iter(|| {
+            black_box(
+                MemoryIndex::build(black_box(&corpus), IndexConfig::new(4, 25, 1)).unwrap(),
+            )
+        });
+    });
+    group.bench_function("memory_parallel_k4_t25", |b| {
+        b.iter(|| {
+            black_box(
+                MemoryIndex::build_parallel(black_box(&corpus), IndexConfig::new(4, 25, 1))
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_external_build(c: &mut Criterion) {
+    let corpus = corpus();
+    let dir = std::env::temp_dir().join("ndss_bench_extbuild");
+    let mut group = c.benchmark_group("index_build_external");
+    group.throughput(Throughput::Elements(corpus.total_tokens()));
+    group.bench_function("external_k4_t25", |b| {
+        b.iter(|| {
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            black_box(
+                ExternalIndexBuilder::new(IndexConfig::new(4, 25, 1))
+                    .build(black_box(&corpus), &dir)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_memory_build, bench_external_build
+}
+criterion_main!(benches);

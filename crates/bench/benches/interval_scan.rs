@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the query-side counting core: `IntervalScan`
+//! (Algorithm 5) and `CollisionCount` (Algorithm 4) over window groups of
+//! the sizes queries actually produce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ndss::hash::SplitMix64;
+use ndss::query::{collision_count, interval_scan, Interval};
+use ndss::windows::CompactWindow;
+
+fn random_windows(m: usize, span: u32, seed: u64) -> Vec<CompactWindow> {
+    let mut rng = SplitMix64::new(seed);
+    (0..m)
+        .map(|_| {
+            let l = (rng.next_u64() % span as u64) as u32;
+            let c = l + (rng.next_u64() % 40) as u32;
+            let r = c + (rng.next_u64() % 60) as u32;
+            CompactWindow::new(l, c, r)
+        })
+        .collect()
+}
+
+fn bench_interval_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_scan");
+    for m in [8usize, 32, 128] {
+        let mut rng = SplitMix64::new(7);
+        let intervals: Vec<Interval> = (0..m)
+            .map(|i| {
+                let lo = (rng.next_u64() % 500) as u32;
+                Interval::new(i as u32, lo, lo + (rng.next_u64() % 64) as u32)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("alpha2", m), &m, |b, _| {
+            b.iter(|| black_box(interval_scan(black_box(&intervals), 2)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_collision_count(c: &mut Criterion) {
+    // Window groups arriving at CollisionCount are per-text and usually
+    // small (the paper: "the size of each compact window group is usually
+    // small"), but a hot text under a low threshold can accumulate k × a
+    // few windows.
+    let mut group = c.benchmark_group("collision_count");
+    for m in [8usize, 32, 128] {
+        let windows = random_windows(m, 400, 13);
+        for alpha in [2usize, 8] {
+            if alpha > m {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("alpha{alpha}"), m),
+                &m,
+                |b, _| {
+                    b.iter(|| black_box(collision_count(black_box(&windows), alpha)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_interval_scan, bench_collision_count
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the hashing layer: per-token hashing across the two
+//! universal families, k-mins sketching of query sequences, and sketch
+//! comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ndss::hash::universal::HashFamily;
+use ndss::hash::{MinHasher, MultiplyShiftHash, SplitMix64, TabulationHash, TokenHasher};
+
+fn bench_token_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("token_hash");
+    let tokens: Vec<u32> = (0..10_000).collect();
+    group.throughput(Throughput::Elements(tokens.len() as u64));
+    let ms = MultiplyShiftHash::new(1);
+    group.bench_function("multiply_shift", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &t in black_box(&tokens) {
+                acc ^= ms.hash(t);
+            }
+            black_box(acc)
+        });
+    });
+    let tab = TabulationHash::new(2);
+    group.bench_function("tabulation", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &t in black_box(&tokens) {
+                acc ^= tab.hash(t);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    // Sketching a query is the first step of every search: k minima over
+    // the query tokens. The paper's queries are 32–128 tokens with k = 32.
+    let mut group = c.benchmark_group("query_sketch");
+    let mut rng = SplitMix64::new(5);
+    let query: Vec<u32> = (0..64).map(|_| (rng.next_u64() % 50_000) as u32).collect();
+    for k in [16usize, 32, 64] {
+        for family in [HashFamily::MultiplyShift, HashFamily::Tabulation] {
+            let hasher = MinHasher::with_family(k, 9, family);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{family:?}"), k),
+                &k,
+                |b, _| {
+                    b.iter(|| black_box(hasher.sketch(black_box(&query))));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sketch_compare(c: &mut Criterion) {
+    let hasher = MinHasher::new(64, 11);
+    let a = hasher.sketch(&(0..64).collect::<Vec<u32>>());
+    let b = hasher.sketch(&(8..72).collect::<Vec<u32>>());
+    c.bench_function("sketch_collisions_k64", |bch| {
+        bch.iter(|| black_box(a.collisions(black_box(&b))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_token_hash, bench_sketch, bench_sketch_compare
+}
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! End-to-end query latency benchmarks: in-memory vs disk indexes, θ sweep,
+//! prefix filtering on/off, and the brute-force baseline that shows the
+//! factor the index buys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ndss::prelude::*;
+use ndss::query::bruteforce::definition2_scan;
+
+struct Setup {
+    corpus: InMemoryCorpus,
+    queries: Vec<Vec<TokenId>>,
+    mem_index: MemoryIndex,
+    disk_index: DiskIndex,
+}
+
+fn setup() -> Setup {
+    let (corpus, planted) = SyntheticCorpusBuilder::new(55)
+        .num_texts(1_000)
+        .text_len(200, 500)
+        .vocab_size(32_000)
+        .duplicates_per_text(0.5)
+        .dup_len(60, 120)
+        .mutation_rate(0.05)
+        .build();
+    let config = IndexConfig::new(32, 25, 7);
+    let mem_index = MemoryIndex::build_parallel(&corpus, config.clone()).unwrap();
+    let dir = std::env::temp_dir().join("ndss_bench_query");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let disk_index = ndss::index::write_memory_index(&mem_index, &dir).unwrap();
+    let queries: Vec<Vec<TokenId>> = planted
+        .iter()
+        .take(8)
+        .map(|p| {
+            let toks = corpus.sequence_to_vec(p.dst).unwrap();
+            toks[..toks.len().min(64)].to_vec()
+        })
+        .collect();
+    Setup {
+        corpus,
+        queries,
+        mem_index,
+        disk_index,
+    }
+}
+
+fn bench_theta_sweep(c: &mut Criterion) {
+    let s = setup();
+    let searcher = NearDupSearcher::new(&s.mem_index).unwrap();
+    let mut group = c.benchmark_group("query_latency_memory");
+    for theta in [0.7f64, 0.8, 0.9, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("theta", format!("{theta}")),
+            &theta,
+            |b, &theta| {
+                b.iter(|| {
+                    for q in &s.queries {
+                        black_box(searcher.search(black_box(q), theta).unwrap());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_disk_and_filtering(c: &mut Criterion) {
+    let s = setup();
+    let plain = NearDupSearcher::new(&s.disk_index).unwrap();
+    let filtered = NearDupSearcher::with_prefix_filter(
+        &s.disk_index,
+        PrefixFilter::FrequentFraction(0.05),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("query_latency_disk");
+    group.bench_function("unfiltered_theta08", |b| {
+        b.iter(|| {
+            for q in &s.queries {
+                black_box(plain.search(black_box(q), 0.8).unwrap());
+            }
+        });
+    });
+    group.bench_function("prefix_filtered_theta08", |b| {
+        b.iter(|| {
+            for q in &s.queries {
+                black_box(filtered.search(black_box(q), 0.8).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_bruteforce_baseline(c: &mut Criterion) {
+    // The no-index baseline the paper's design makes obsolete: a full
+    // Definition-2 scan of (a slice of) the corpus for ONE query. Run on a
+    // 20-text slice to keep the benchmark finite — the per-text cost is
+    // what matters, and it already dwarfs the indexed search.
+    let s = setup();
+    let slice = InMemoryCorpus::from_texts(
+        (0..20u32).map(|i| s.corpus.text(i).to_vec()).collect(),
+    );
+    let hasher = s.mem_index.config().hasher();
+    let searcher = NearDupSearcher::new(&s.mem_index).unwrap();
+    let q = &s.queries[0];
+    let mut group = c.benchmark_group("indexed_vs_bruteforce");
+    group.bench_function("bruteforce_def2_20texts", |b| {
+        b.iter(|| black_box(definition2_scan(&slice, &hasher, black_box(q), 0.8, 25).unwrap()));
+    });
+    group.bench_function("indexed_1000texts", |b| {
+        b.iter(|| black_box(searcher.search(black_box(q), 0.8).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_theta_sweep, bench_disk_and_filtering, bench_bruteforce_baseline
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! RMQ-structure ablation: the paper replaces ALIGN's segment tree with an
+//! "advanced RMQ" to reach O(n) window generation. This bench compares the
+//! three structures this workspace provides — construction cost and query
+//! cost — plus the Cartesian-tree walk that bypasses point queries
+//! entirely.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ndss::hash::SplitMix64;
+use ndss::rmq::{BlockRmq, CartesianTree, RangeArgmin, SparseTable};
+
+fn values(n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(42);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rmq_construction");
+    for n in [10_000usize, 100_000] {
+        let vals = values(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sparse_table", n), &n, |b, _| {
+            b.iter(|| black_box(SparseTable::new(black_box(&vals))));
+        });
+        group.bench_with_input(BenchmarkId::new("block_rmq", n), &n, |b, _| {
+            b.iter(|| black_box(BlockRmq::new(black_box(&vals))));
+        });
+        group.bench_with_input(BenchmarkId::new("cartesian_tree", n), &n, |b, _| {
+            b.iter(|| black_box(CartesianTree::new(black_box(&vals))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 100_000usize;
+    let vals = values(n);
+    let sparse = SparseTable::new(&vals);
+    let block = BlockRmq::new(&vals);
+    // A fixed mixed workload of ranges (short, medium, long).
+    let mut rng = SplitMix64::new(7);
+    let ranges: Vec<(usize, usize)> = (0..1000)
+        .map(|i| {
+            let width = match i % 3 {
+                0 => 10,
+                1 => 1000,
+                _ => 50_000,
+            };
+            let l = rng.next_bounded((n - width) as u64) as usize;
+            (l, l + width - 1)
+        })
+        .collect();
+    let mut group = c.benchmark_group("rmq_query_1000ranges");
+    group.bench_function("sparse_table", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &(l, r) in &ranges {
+                acc ^= sparse.argmin(l, r);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("block_rmq", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &(l, r) in &ranges {
+                acc ^= block.argmin(l, r);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_construction, bench_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Micro-benchmarks of compact-window generation (paper Algorithm 2),
+//! including the recursive-vs-Cartesian ablation and the length-threshold
+//! sweep that drives Figure 2's index-time panels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ndss::hash::{MinHasher, SplitMix64};
+use ndss::windows::{generate_cartesian, generate_recursive, WindowGenerator};
+
+fn token_hashes(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_u64()).collect()
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_generation");
+    let hashes = token_hashes(100_000, 1);
+    group.throughput(Throughput::Elements(hashes.len() as u64));
+    for t in [25usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("cartesian", t), &t, |b, &t| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                generate_cartesian(black_box(&hashes), t, &mut out);
+                black_box(out.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("recursive_rmq", t), &t, |b, &t| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                generate_recursive(black_box(&hashes), t, &mut out);
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end_text(c: &mut Criterion) {
+    // Hash + generate for one realistic text under one function, the unit
+    // of work the indexer performs n_texts × k times.
+    let mut group = c.benchmark_group("window_generation_per_text");
+    let hasher = MinHasher::new(1, 3);
+    let mut rng = SplitMix64::new(4);
+    let tokens: Vec<u32> = (0..2_000).map(|_| (rng.next_u64() % 50_000) as u32).collect();
+    group.throughput(Throughput::Elements(tokens.len() as u64));
+    group.bench_function("hash_and_generate_t25", |b| {
+        let mut generator = WindowGenerator::new();
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            generator.generate(&hasher, 0, black_box(&tokens), 25, &mut out);
+            black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_generators, bench_end_to_end_text
+}
+criterion_main!(benches);

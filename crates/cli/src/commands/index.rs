@@ -1,0 +1,59 @@
+//! `ndss index`: build the k inverted indexes for a corpus file.
+
+use std::path::Path;
+use std::time::Instant;
+
+use ndss::prelude::*;
+
+use crate::args::Args;
+
+pub fn run(args: &Args) -> Result<(), String> {
+    let corpus_path = args.required("corpus")?;
+    let out = args.required("out")?;
+    let k: usize = args.get_or("k", 32)?;
+    let t: usize = args.get_or("t", 25)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let external = args.flag("external");
+    let compress = args.flag("compress");
+    let memory_budget: usize = args.get_or("memory-budget", 256 << 20)?;
+    if k == 0 || t == 0 {
+        return Err("--k and --t must be positive".into());
+    }
+
+    let corpus = DiskCorpus::open(Path::new(corpus_path)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "indexing {} texts / {} tokens (k = {k}, t = {t}, {})…",
+        corpus.num_texts(),
+        corpus.total_tokens(),
+        if external {
+            "external hash aggregation"
+        } else {
+            "in-memory parallel"
+        }
+    );
+    let params = SearchParams::new(k, t, seed).index_config(|c| c.compressed(compress));
+    let start = Instant::now();
+    let index = if external {
+        CorpusIndex::build_external(&corpus, params, Path::new(out), memory_budget)
+    } else {
+        CorpusIndex::build_on_disk(&corpus, params, Path::new(out))
+    }
+    .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    let bytes = index.index().size_bytes().map_err(|e| e.to_string())?;
+    println!(
+        "built {k} inverted indexes in {elapsed:.2?}: {} postings, {:.1} MiB on disk ({})",
+        (0..k)
+            .map(|f| index.index().postings_for_function(f).unwrap_or(0))
+            .sum::<u64>(),
+        bytes as f64 / (1 << 20) as f64,
+        out
+    );
+    println!(
+        "index/corpus size ratio: {:.3} total ({:.4} per hash function; paper bound 8/t = {:.3})",
+        bytes as f64 / (corpus.total_tokens() as f64 * 4.0),
+        bytes as f64 / (corpus.total_tokens() as f64 * 4.0) / k as f64,
+        8.0 / t as f64
+    );
+    Ok(())
+}

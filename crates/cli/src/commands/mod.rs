@@ -1,0 +1,9 @@
+//! The CLI subcommands.
+
+pub mod index;
+pub mod memorize;
+pub mod merge;
+pub mod search;
+pub mod stats;
+pub mod synth;
+pub mod tokenize;

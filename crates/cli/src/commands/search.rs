@@ -1,0 +1,115 @@
+//! `ndss search`: query an index for near-duplicate sequences.
+
+use std::path::Path;
+
+use ndss::prelude::*;
+
+use crate::args::Args;
+
+pub fn run(args: &Args) -> Result<(), String> {
+    let index_dir = args.required("index")?;
+    let theta: f64 = args.get_or("theta", 0.8)?;
+    let top: usize = args.get_or("top", 10)?;
+
+    // Query source: explicit token ids, a span of the corpus itself, or raw
+    // text through a tokenizer.
+    let query: Vec<u32> = if let Some(tokens) = args.get("query-tokens") {
+        tokens
+            .split(',')
+            .map(|p| p.trim().parse().map_err(|e| format!("bad token id: {e}")))
+            .collect::<Result<_, _>>()?
+    } else if let Some(span) = args.get("query-span") {
+        // text:start:end — e.g. --query-span 6:70:265 --corpus c.ndsc
+        let parts: Vec<u32> = span
+            .split(':')
+            .map(|p| p.parse().map_err(|e| format!("bad --query-span: {e}")))
+            .collect::<Result<_, _>>()?;
+        let [text, start, end] = parts[..] else {
+            return Err("--query-span must be text:start:end".into());
+        };
+        if start > end {
+            return Err("--query-span start exceeds end".into());
+        }
+        let corpus_path = args
+            .required("corpus")
+            .map_err(|_| "--query-span needs --corpus FILE".to_string())?;
+        let corpus = DiskCorpus::open(Path::new(corpus_path)).map_err(|e| e.to_string())?;
+        corpus
+            .sequence_to_vec(SeqRef::new(text, start, end))
+            .map_err(|e| e.to_string())?
+    } else if let Some(text) = args.get("query") {
+        let tok_path = args.required("tokenizer").map_err(|_| {
+            "raw-text queries need --tokenizer FILE (from 'ndss tokenize')".to_string()
+        })?;
+        let tokenizer = BpeTokenizer::load(Path::new(tok_path)).map_err(|e| e.to_string())?;
+        tokenizer.encode(text)
+    } else {
+        return Err("provide --query-tokens a,b,c or --query TEXT --tokenizer FILE".into());
+    };
+    if query.is_empty() {
+        return Err("query is empty after tokenization".into());
+    }
+
+    let index =
+        CorpusIndex::open(Path::new(index_dir), PrefixFilter::Adaptive).map_err(|e| e.to_string())?;
+    let t = index.config().t;
+    if query.len() < t {
+        eprintln!(
+            "note: query has {} tokens but the index only contains sequences of ≥ {t} tokens",
+            query.len()
+        );
+    }
+    let searcher = index.searcher().map_err(|e| e.to_string())?;
+    let ranked = searcher
+        .search_ranked(&query, theta, top)
+        .map_err(|e| e.to_string())?;
+
+    if ranked.is_empty() {
+        println!("no near-duplicate sequences at θ = {theta}");
+        return Ok(());
+    }
+    println!(
+        "{} matched text(s) at θ = {theta} (k = {}, β = {}):",
+        ranked.len(),
+        index.config().k,
+        ndss::hash::minhash::collision_threshold(index.config().k, theta),
+    );
+
+    // Optional decode support.
+    let corpus = match args.get("corpus") {
+        Some(path) => Some(DiskCorpus::open(Path::new(path)).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let tokenizer = match args.get("tokenizer") {
+        Some(path) => Some(BpeTokenizer::load(Path::new(path)).map_err(|e| e.to_string())?),
+        None => None,
+    };
+
+    for m in &ranked {
+        println!(
+            "  text {:>8}  est. similarity {:.3} ({} of {} collisions)  spans {:?}",
+            m.text,
+            m.estimated_similarity,
+            m.collisions,
+            index.config().k,
+            m.spans.iter().map(|s| (s.start, s.end)).collect::<Vec<_>>()
+        );
+        if let (Some(corpus), Some(span)) = (&corpus, m.spans.first()) {
+            let tokens = corpus
+                .sequence_to_vec(SeqRef {
+                    text: m.text,
+                    span: *span,
+                })
+                .map_err(|e| e.to_string())?;
+            let rendered = match &tokenizer {
+                Some(tok) => tok
+                    .try_decode(&tokens)
+                    .unwrap_or_else(|_| PseudoWords::render(&tokens)),
+                None => PseudoWords::render(&tokens),
+            };
+            let preview: String = rendered.chars().take(160).collect();
+            println!("            “{preview}…”");
+        }
+    }
+    Ok(())
+}

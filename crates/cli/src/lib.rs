@@ -1,0 +1,95 @@
+//! `ndss` — the command-line interface to the near-duplicate sequence
+//! search library.
+//!
+//! ```text
+//! ndss synth     --out corpus.ndsc --texts 10000 [--vocab 32000 --seed 7 …]
+//! ndss tokenize  --input docs.txt --out corpus.ndsc --tokenizer tok.json
+//! ndss index     --corpus corpus.ndsc --out index_dir --k 32 --t 25
+//! ndss search    --index index_dir --query-tokens 5,17,99,… --theta 0.8
+//! ndss stats     --corpus corpus.ndsc [--index index_dir]
+//! ndss memorize  --corpus corpus.ndsc --index index_dir --order 4
+//! ```
+//!
+//! Run `ndss help` (or any subcommand with `--help`) for the full flag
+//! reference.
+
+pub mod args;
+pub mod commands;
+
+use std::process::ExitCode;
+
+/// Dispatches a full CLI invocation (argv without the program name).
+/// Returns the process exit code; errors print to stderr.
+pub fn run_cli(mut raw: Vec<String>) -> ExitCode {
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" || raw[0] == "-h" {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    let command = raw.remove(0);
+    let args = match args::Args::parse(&raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.flag("help") {
+        print_usage();
+        return ExitCode::SUCCESS;
+    }
+    match dispatch(&command, &args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs one subcommand; the entry point integration tests call.
+pub fn dispatch(command: &str, args: &args::Args) -> Result<(), String> {
+    match command {
+        "synth" => commands::synth::run(args),
+        "tokenize" => commands::tokenize::run(args),
+        "index" => commands::index::run(args),
+        "search" => commands::search::run(args),
+        "stats" => commands::stats::run(args),
+        "memorize" => commands::memorize::run(args),
+        "merge" => commands::merge::run(args),
+        other => Err(format!("unknown command '{other}'; try 'ndss help'")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "ndss — near-duplicate sequence search at scale
+
+USAGE:
+  ndss <command> [--flag value]...
+
+COMMANDS:
+  synth      generate a synthetic Zipfian corpus with planted near-duplicates
+               --out FILE [--texts N=10000] [--vocab N=32000] [--seed N=7]
+               [--min-len N=200] [--max-len N=600] [--dup-rate F=0.4]
+               [--mutation F=0.05] [--provenance FILE]
+  tokenize   train a BPE tokenizer and tokenize raw text (one doc per line)
+               --input FILE --out FILE [--tokenizer FILE] [--vocab-size N=32000]
+  index      build the inverted indexes for a corpus
+               --corpus FILE --out DIR [--k N=32] [--t N=25] [--seed N=7]
+               [--external] [--memory-budget BYTES=268435456] [--compress]
+  merge      merge shard indexes (built with identical parameters)
+               --out DIR --inputs DIR,DIR,...
+  search     query an index for near-duplicate sequences
+               --index DIR --theta F [--query-tokens a,b,c |
+               --query-span text:start:end --corpus FILE |
+               --query TEXT --tokenizer FILE] [--top N=10]
+               [--corpus FILE (decodes matches)]
+  stats      corpus and index statistics
+               --corpus FILE [--index DIR] [--top N=10]
+  memorize   train an n-gram LM on the corpus and measure memorization
+               --corpus FILE --index DIR [--order N=4] [--texts N=20]
+               [--len N=256] [--window N=32] [--thetas F,F=1.0,0.9,0.8]
+               [--seed N=1]
+  help       print this message"
+    );
+}

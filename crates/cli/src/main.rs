@@ -1,0 +1,8 @@
+//! Thin binary entry point; all logic lives in the `ndss_cli` library so
+//! integration tests can drive the commands directly.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    ndss_cli::run_cli(std::env::args().skip(1).collect())
+}

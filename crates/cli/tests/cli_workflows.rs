@@ -1,0 +1,211 @@
+//! Integration tests driving the CLI commands end to end through the
+//! library entry points (no subprocess spawning, so failures carry real
+//! error messages).
+
+use ndss_cli::args::Args;
+use ndss_cli::dispatch;
+
+fn args(tokens: &[&str]) -> Args {
+    Args::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+}
+
+fn workdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ndss_cli_it").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn synth_index_search_workflow() {
+    let dir = workdir("basic");
+    let corpus = dir.join("c.ndsc").display().to_string();
+    let index = dir.join("idx").display().to_string();
+    let prov = dir.join("prov.jsonl").display().to_string();
+
+    dispatch(
+        "synth",
+        &args(&[
+            "--out", &corpus, "--texts", "200", "--vocab", "3000", "--seed", "3",
+            "--provenance", &prov, "--mutation", "0.0", "--dup-rate", "1.0",
+        ]),
+    )
+    .unwrap();
+    assert!(std::path::Path::new(&corpus).exists());
+    let prov_line = std::fs::read_to_string(&prov).unwrap();
+    assert!(prov_line.lines().count() > 20, "expected many planted pairs");
+
+    dispatch(
+        "index",
+        &args(&["--corpus", &corpus, "--out", &index, "--k", "16", "--t", "25"]),
+    )
+    .unwrap();
+    assert!(std::path::Path::new(&index).join("meta.json").exists());
+
+    // Query with a planted copy span taken from the provenance file:
+    // {"src":[t,s,e],"dst":[t,s,e],...}
+    let first = prov_line.lines().next().unwrap();
+    let dst = first.split("\"dst\":[").nth(1).unwrap();
+    let nums: Vec<u32> = dst
+        .split(']')
+        .next()
+        .unwrap()
+        .split(',')
+        .map(|n| n.parse().unwrap())
+        .collect();
+    let span = format!("{}:{}:{}", nums[0], nums[1], nums[2]);
+    dispatch(
+        "search",
+        &args(&[
+            "--index", &index, "--corpus", &corpus, "--query-span", &span,
+            "--theta", "0.9", "--top", "5",
+        ]),
+    )
+    .unwrap();
+
+    dispatch("stats", &args(&["--corpus", &corpus, "--index", &index])).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn compressed_and_external_index_workflow() {
+    let dir = workdir("compressed");
+    let corpus = dir.join("c.ndsc").display().to_string();
+    let plain = dir.join("idx_plain").display().to_string();
+    let packed = dir.join("idx_packed").display().to_string();
+
+    dispatch(
+        "synth",
+        &args(&["--out", &corpus, "--texts", "120", "--vocab", "2000", "--seed", "9"]),
+    )
+    .unwrap();
+    dispatch(
+        "index",
+        &args(&["--corpus", &corpus, "--out", &plain, "--k", "4", "--t", "20"]),
+    )
+    .unwrap();
+    dispatch(
+        "index",
+        &args(&[
+            "--corpus", &corpus, "--out", &packed, "--k", "4", "--t", "20",
+            "--compress", "--external", "--memory-budget", "65536",
+        ]),
+    )
+    .unwrap();
+    // Compressed external index is smaller than the plain one.
+    let size = |d: &str| -> u64 {
+        std::fs::read_dir(d)
+            .unwrap()
+            .map(|e| e.unwrap().metadata().unwrap().len())
+            .sum()
+    };
+    assert!(size(&packed) < size(&plain));
+
+    // Both answer a search without error.
+    for idx in [&plain, &packed] {
+        dispatch(
+            "search",
+            &args(&[
+                "--index", idx, "--corpus", &corpus, "--query-span", "5:10:80",
+                "--theta", "0.8",
+            ]),
+        )
+        .unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_workflow() {
+    let dir = workdir("merge");
+    let c1 = dir.join("c1.ndsc").display().to_string();
+    let c2 = dir.join("c2.ndsc").display().to_string();
+    let i1 = dir.join("i1").display().to_string();
+    let i2 = dir.join("i2").display().to_string();
+    let out = dir.join("merged").display().to_string();
+    dispatch("synth", &args(&["--out", &c1, "--texts", "50", "--seed", "1"])).unwrap();
+    dispatch("synth", &args(&["--out", &c2, "--texts", "60", "--seed", "2"])).unwrap();
+    for (c, i) in [(&c1, &i1), (&c2, &i2)] {
+        dispatch(
+            "index",
+            &args(&["--corpus", c, "--out", i, "--k", "4", "--t", "25", "--seed", "5"]),
+        )
+        .unwrap();
+    }
+    let inputs = format!("{i1},{i2}");
+    dispatch("merge", &args(&["--out", &out, "--inputs", &inputs])).unwrap();
+    assert!(std::path::Path::new(&out).join("meta.json").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tokenize_and_memorize_workflow() {
+    let dir = workdir("tok_mem");
+    let input = dir.join("docs.txt");
+    // A small document collection with repeated lines (duplication to
+    // memorize).
+    let mut docs = String::new();
+    for i in 0..40 {
+        docs.push_str(&format!(
+            "the quick brown fox number {} jumps over the lazy dog again and again and again\n",
+            i % 5
+        ));
+    }
+    std::fs::write(&input, docs).unwrap();
+    let corpus = dir.join("c.ndsc").display().to_string();
+    let tok = dir.join("tok.json").display().to_string();
+    let index = dir.join("idx").display().to_string();
+    dispatch(
+        "tokenize",
+        &args(&[
+            "--input", &input.display().to_string(), "--out", &corpus,
+            "--tokenizer", &tok, "--vocab-size", "400",
+        ]),
+    )
+    .unwrap();
+    dispatch(
+        "index",
+        &args(&["--corpus", &corpus, "--out", &index, "--k", "8", "--t", "5"]),
+    )
+    .unwrap();
+    dispatch(
+        "memorize",
+        &args(&[
+            "--corpus", &corpus, "--index", &index, "--order", "3",
+            "--texts", "3", "--len", "32", "--window", "8", "--thetas", "0.8",
+        ]),
+    )
+    .unwrap();
+    // Raw-text query through the trained tokenizer.
+    dispatch(
+        "search",
+        &args(&[
+            "--index", &index, "--corpus", &corpus, "--tokenizer", &tok,
+            "--query", "the quick brown fox number 1 jumps over the lazy dog",
+            "--theta", "0.7",
+        ]),
+    )
+    .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    // Unknown command.
+    assert!(dispatch("frobnicate", &args(&[])).is_err());
+    // Missing required flags.
+    assert!(dispatch("synth", &args(&[])).is_err());
+    assert!(dispatch("index", &args(&["--corpus", "/nonexistent.ndsc"])).is_err());
+    assert!(dispatch(
+        "search",
+        &args(&["--index", "/nonexistent", "--theta", "0.8", "--query-tokens", "1,2"])
+    )
+    .is_err());
+    // Invalid values.
+    assert!(dispatch(
+        "synth",
+        &args(&["--out", "/tmp/x.ndsc", "--min-len", "10", "--max-len", "5"])
+    )
+    .is_err());
+    assert!(dispatch("merge", &args(&["--out", "/tmp/m", "--inputs", "one_dir"])).is_err());
+}

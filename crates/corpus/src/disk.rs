@@ -1,0 +1,340 @@
+//! On-disk tokenized corpus format (`.ndsc`).
+//!
+//! Large corpora (the paper's Pile setting, 649 GB after tokenization)
+//! cannot be held in memory. The `.ndsc` format stores a corpus as one flat
+//! file:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────┐
+//! │ magic "NDSC" │ version u32 │ num_texts u64 │ tokens u64  │  header
+//! ├──────────────────────────────────────────────────────────┤
+//! │ offsets: (num_texts + 1) × u64  (token index of text i)  │
+//! ├──────────────────────────────────────────────────────────┤
+//! │ data: tokens × u32 little-endian                          │
+//! └──────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The offsets table (8 bytes/text) is kept in memory by the reader; token
+//! data is read on demand, so a [`DiskCorpus`] supports both random access
+//! (query verification, decoding matches) and sequential batched scans
+//! (index construction) with bounded memory.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use ndss_hash::TokenId;
+
+use crate::types::{CorpusError, CorpusSource, TextId};
+
+const MAGIC: &[u8; 4] = b"NDSC";
+const VERSION: u32 = 1;
+
+/// Streaming writer for `.ndsc` corpus files.
+///
+/// Texts are appended one at a time; the offsets table is buffered in memory
+/// (8 bytes per text) and written on [`Self::finish`], which rewrites the
+/// header with final counts. Dropping without `finish` leaves an unusable
+/// file by design.
+pub struct DiskCorpusWriter {
+    path: PathBuf,
+    data: BufWriter<File>,
+    offsets: Vec<u64>,
+    tokens_written: u64,
+}
+
+impl DiskCorpusWriter {
+    /// Creates (truncates) the corpus file at `path`.
+    pub fn create(path: &Path) -> Result<Self, CorpusError> {
+        let file = File::create(path)?;
+        let mut data = BufWriter::new(file);
+        // Reserve header space; real values land in `finish`.
+        data.write_all(MAGIC)?;
+        data.write_all(&VERSION.to_le_bytes())?;
+        data.write_all(&0u64.to_le_bytes())?;
+        data.write_all(&0u64.to_le_bytes())?;
+        Ok(Self {
+            path: path.to_owned(),
+            data,
+            offsets: vec![0],
+            tokens_written: 0,
+        })
+    }
+
+    /// Appends one text; returns its id.
+    pub fn push_text(&mut self, tokens: &[TokenId]) -> Result<TextId, CorpusError> {
+        let id = (self.offsets.len() - 1) as TextId;
+        for &t in tokens {
+            self.data.write_all(&t.to_le_bytes())?;
+        }
+        self.tokens_written += tokens.len() as u64;
+        self.offsets.push(self.tokens_written);
+        Ok(id)
+    }
+
+    /// Finalizes the file: appends the offsets table after the token data,
+    /// then rewrites the header. Returns the opened corpus.
+    ///
+    /// Layout note: the offsets table physically *follows* the data section
+    /// (it is complete only at the end of writing); the header records both
+    /// section sizes so readers can locate it.
+    ///
+    pub fn finish(mut self) -> Result<DiskCorpus, CorpusError> {
+        for &off in &self.offsets {
+            self.data.write_all(&off.to_le_bytes())?;
+        }
+        self.data.flush()?;
+        let mut file = self.data.into_inner().map_err(|e| e.into_error())?;
+        file.seek(SeekFrom::Start(8))?;
+        file.write_all(&((self.offsets.len() - 1) as u64).to_le_bytes())?;
+        file.write_all(&self.tokens_written.to_le_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        DiskCorpus::open(&self.path)
+    }
+}
+
+/// Read-only handle to a `.ndsc` corpus file.
+///
+/// Clone-free sharing across threads: the file handle is mutex-guarded
+/// (seek + read must be atomic), while the offsets table is plain shared
+/// data. For parallel index builds each worker may instead
+/// [`Self::reopen`] its own handle to avoid serializing reads.
+pub struct DiskCorpus {
+    path: PathBuf,
+    file: Mutex<File>,
+    offsets: Vec<u64>,
+    /// Byte position where token data starts.
+    data_start: u64,
+}
+
+impl std::fmt::Debug for DiskCorpus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskCorpus")
+            .field("path", &self.path)
+            .field("num_texts", &(self.offsets.len() - 1))
+            .finish()
+    }
+}
+
+impl DiskCorpus {
+    /// Opens a corpus file, validating the header and offsets table.
+    pub fn open(path: &Path) -> Result<Self, CorpusError> {
+        let file = File::open(path)?;
+        let mut reader = BufReader::new(file);
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(CorpusError::Malformed(format!(
+                "bad magic {magic:?} in {}",
+                path.display()
+            )));
+        }
+        let version = read_u32(&mut reader)?;
+        if version != VERSION {
+            return Err(CorpusError::Malformed(format!(
+                "unsupported corpus version {version}"
+            )));
+        }
+        let num_texts = read_u64(&mut reader)? as usize;
+        let total_tokens = read_u64(&mut reader)?;
+        let data_start = 4 + 4 + 8 + 8;
+        // Offsets table sits after the data section.
+        let offsets_start = data_start + total_tokens * 4;
+        let mut file = reader.into_inner();
+        file.seek(SeekFrom::Start(offsets_start))?;
+        let mut reader = BufReader::new(&mut file);
+        let mut offsets = Vec::with_capacity(num_texts + 1);
+        for _ in 0..=num_texts {
+            offsets.push(read_u64(&mut reader)?);
+        }
+        drop(reader);
+        if offsets.first() != Some(&0)
+            || offsets.last() != Some(&total_tokens)
+            || offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(CorpusError::Malformed(
+                "offsets table is not monotone or inconsistent with token count".into(),
+            ));
+        }
+        Ok(Self {
+            path: path.to_owned(),
+            file: Mutex::new(file),
+            offsets,
+            data_start,
+        })
+    }
+
+    /// Opens an independent handle to the same file (for parallel readers).
+    pub fn reopen(&self) -> Result<Self, CorpusError> {
+        Self::open(&self.path)
+    }
+
+    /// The file path this corpus was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, CorpusError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, CorpusError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+impl CorpusSource for DiskCorpus {
+    fn num_texts(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn total_tokens(&self) -> u64 {
+        *self.offsets.last().expect("offsets never empty")
+    }
+
+    fn read_text(&self, id: TextId, buf: &mut Vec<TokenId>) -> Result<(), CorpusError> {
+        let i = id as usize;
+        if i + 1 >= self.offsets.len() {
+            return Err(CorpusError::TextOutOfRange(id, self.num_texts()));
+        }
+        let (start, end) = (self.offsets[i], self.offsets[i + 1]);
+        let len = (end - start) as usize;
+        buf.clear();
+        buf.reserve(len);
+        let mut bytes = vec![0u8; len * 4];
+        {
+            let mut file = self.file.lock().expect("corpus file lock poisoned");
+            file.seek(SeekFrom::Start(self.data_start + start * 4))?;
+            file.read_exact(&mut bytes)?;
+        }
+        buf.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        Ok(())
+    }
+}
+
+/// Copies any corpus to a `.ndsc` file (used to spill synthetic corpora to
+/// disk for the out-of-core experiments).
+pub fn write_corpus<C: CorpusSource + ?Sized>(
+    corpus: &C,
+    path: &Path,
+) -> Result<DiskCorpus, CorpusError> {
+    let mut writer = DiskCorpusWriter::create(path)?;
+    let mut buf = Vec::new();
+    for id in 0..corpus.num_texts() as TextId {
+        corpus.read_text(id, &mut buf)?;
+        writer.push_text(&buf)?;
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryCorpus;
+    use crate::types::BatchIter;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ndss_corpus_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = temp_path("roundtrip.ndsc");
+        let mut w = DiskCorpusWriter::create(&path).unwrap();
+        w.push_text(&[1, 2, 3]).unwrap();
+        w.push_text(&[]).unwrap();
+        w.push_text(&[u32::MAX, 0, 7]).unwrap();
+        let c = w.finish().unwrap();
+        assert_eq!(c.num_texts(), 3);
+        assert_eq!(c.total_tokens(), 6);
+        assert_eq!(c.text_to_vec(0).unwrap(), vec![1, 2, 3]);
+        assert_eq!(c.text_to_vec(1).unwrap(), Vec::<u32>::new());
+        assert_eq!(c.text_to_vec(2).unwrap(), vec![u32::MAX, 0, 7]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_after_close() {
+        let path = temp_path("reopen.ndsc");
+        {
+            let mut w = DiskCorpusWriter::create(&path).unwrap();
+            w.push_text(&[42; 100]).unwrap();
+            w.finish().unwrap();
+        }
+        let c = DiskCorpus::open(&path).unwrap();
+        assert_eq!(c.text_to_vec(0).unwrap(), vec![42; 100]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = temp_path("bad_magic.ndsc");
+        std::fs::write(&path, b"NOPE0000000000000000000000000000").unwrap();
+        assert!(matches!(
+            DiskCorpus::open(&path),
+            Err(CorpusError::Malformed(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn matches_in_memory_copy() {
+        let mem = InMemoryCorpus::from_texts(vec![
+            vec![1, 2, 3, 4, 5],
+            vec![6, 7],
+            vec![8],
+            vec![],
+            vec![9, 10, 11],
+        ]);
+        let path = temp_path("copy.ndsc");
+        let disk = write_corpus(&mem, &path).unwrap();
+        assert_eq!(disk.num_texts(), mem.num_texts());
+        assert_eq!(disk.total_tokens(), mem.total_tokens());
+        for id in 0..mem.num_texts() as u32 {
+            assert_eq!(disk.text_to_vec(id).unwrap(), mem.text(id));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batched_scan_covers_all_tokens() {
+        let mem = InMemoryCorpus::from_texts(
+            (0..20).map(|i| vec![i as u32; (i % 5 + 1) as usize]).collect(),
+        );
+        let path = temp_path("batches.ndsc");
+        let disk = write_corpus(&mem, &path).unwrap();
+        let mut total = 0u64;
+        for batch in BatchIter::new(&disk, 7) {
+            let batch = batch.unwrap();
+            total += batch.texts.iter().map(|t| t.len() as u64).sum::<u64>();
+        }
+        assert_eq!(total, mem.total_tokens());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_range_read_fails() {
+        let path = temp_path("oob.ndsc");
+        let mut w = DiskCorpusWriter::create(&path).unwrap();
+        w.push_text(&[1]).unwrap();
+        let c = w.finish().unwrap();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            c.read_text(5, &mut buf),
+            Err(CorpusError::TextOutOfRange(5, 1))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

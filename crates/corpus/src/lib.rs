@@ -1,0 +1,42 @@
+//! Corpus storage, streaming access, statistics, and synthetic generation.
+//!
+//! The search system treats a corpus as a collection of *texts*, each a
+//! sequence of `u32` token ids (the paper's post-BPE representation: "we used
+//! a 4-byte integer to represent a token", §4). This crate provides:
+//!
+//! * [`types`] — the core vocabulary of the workspace: [`TextId`],
+//!   [`SeqSpan`] (an inclusive token range inside a text), [`SeqRef`]
+//!   (a span within an identified text), and the [`CorpusSource`] trait that
+//!   both in-memory and on-disk corpora implement.
+//! * [`memory::InMemoryCorpus`] — the medium-scale path (the paper's
+//!   OpenWebText setting: load everything, then index).
+//! * [`disk`] — a binary on-disk tokenized corpus format with random access
+//!   and batched streaming reads, for corpora that do not fit in memory
+//!   (the paper's Pile setting).
+//! * [`stats`] — corpus statistics: token totals, frequency histograms, and
+//!   Zipf-skew summaries that drive prefix-filtering cutoffs.
+//! * [`synth`] — deterministic synthetic corpus generation: Zipfian token
+//!   distributions, planted exact and near duplicates with provenance, and
+//!   readable pseudo-word rendering. This is the workspace's substitute for
+//!   OpenWebText / The Pile (see `DESIGN.md` §3).
+//!
+//! # Index convention
+//!
+//! All spans are **0-based and inclusive** on both ends, mirroring the
+//! paper's `T[i, j]` (which is 1-based inclusive). A span's length is
+//! `end - start + 1`; the empty span is unrepresentable, which is fine
+//! because zero-length sequences never participate in the problem.
+
+pub mod disk;
+pub mod memory;
+pub mod stats;
+pub mod synth;
+pub mod types;
+
+pub use disk::{DiskCorpus, DiskCorpusWriter};
+pub use memory::InMemoryCorpus;
+pub use stats::CorpusStats;
+pub use synth::{PlantedDuplicate, PseudoWords, SyntheticCorpusBuilder};
+pub use types::{CorpusError, CorpusSource, SeqRef, SeqSpan, TextId};
+
+pub use ndss_hash::TokenId;

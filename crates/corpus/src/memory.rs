@@ -1,0 +1,134 @@
+//! Fully in-memory corpus: the paper's medium-scale setting.
+//!
+//! "We first load the entire corpus in memory" (§3.4, Algorithm 1 line 1).
+//! Token arrays are stored contiguously with an offsets table rather than as
+//! a `Vec<Vec<_>>` so that a 31 GB-scale corpus costs one allocation plus
+//! `4(n+1)` offset bytes, and `text()` hands out zero-copy slices.
+
+use ndss_hash::TokenId;
+
+use crate::types::{CorpusError, CorpusSource, TextId};
+
+/// An in-memory tokenized corpus with contiguous storage.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InMemoryCorpus {
+    /// All tokens of all texts, concatenated in text-id order.
+    tokens: Vec<TokenId>,
+    /// `offsets[i]..offsets[i+1]` delimits text `i`; length is `num_texts+1`.
+    offsets: Vec<u64>,
+}
+
+impl InMemoryCorpus {
+    /// An empty corpus, ready for [`Self::push_text`].
+    pub fn new() -> Self {
+        Self {
+            tokens: Vec::new(),
+            offsets: vec![0],
+        }
+    }
+
+    /// Builds a corpus from per-text token vectors.
+    pub fn from_texts(texts: Vec<Vec<TokenId>>) -> Self {
+        let total: usize = texts.iter().map(Vec::len).sum();
+        let mut corpus = Self {
+            tokens: Vec::with_capacity(total),
+            offsets: Vec::with_capacity(texts.len() + 1),
+        };
+        corpus.offsets.push(0);
+        for t in texts {
+            corpus.tokens.extend_from_slice(&t);
+            corpus.offsets.push(corpus.tokens.len() as u64);
+        }
+        corpus
+    }
+
+    /// Appends a text; returns its id.
+    pub fn push_text(&mut self, tokens: &[TokenId]) -> TextId {
+        let id = (self.offsets.len() - 1) as TextId;
+        self.tokens.extend_from_slice(tokens);
+        self.offsets.push(self.tokens.len() as u64);
+        id
+    }
+
+    /// Zero-copy access to text `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range (use [`CorpusSource::read_text`] for a
+    /// fallible variant).
+    pub fn text(&self, id: TextId) -> &[TokenId] {
+        let i = id as usize;
+        assert!(i + 1 < self.offsets.len(), "text id {id} out of range");
+        &self.tokens[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterates `(id, tokens)` over all texts.
+    pub fn iter(&self) -> impl Iterator<Item = (TextId, &[TokenId])> {
+        (0..self.num_texts() as TextId).map(move |id| (id, self.text(id)))
+    }
+}
+
+impl CorpusSource for InMemoryCorpus {
+    fn num_texts(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn total_tokens(&self) -> u64 {
+        self.tokens.len() as u64
+    }
+
+    fn read_text(&self, id: TextId, buf: &mut Vec<TokenId>) -> Result<(), CorpusError> {
+        let i = id as usize;
+        if i + 1 >= self.offsets.len() {
+            return Err(CorpusError::TextOutOfRange(id, self.num_texts()));
+        }
+        buf.clear();
+        buf.extend_from_slice(&self.tokens[self.offsets[i] as usize..self.offsets[i + 1] as usize]);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut c = InMemoryCorpus::new();
+        assert_eq!(c.push_text(&[1, 2, 3]), 0);
+        assert_eq!(c.push_text(&[]), 1);
+        assert_eq!(c.push_text(&[9]), 2);
+        assert_eq!(c.num_texts(), 3);
+        assert_eq!(c.total_tokens(), 4);
+        assert_eq!(c.text(0), &[1, 2, 3]);
+        assert_eq!(c.text(1), &[] as &[u32]);
+        assert_eq!(c.text(2), &[9]);
+    }
+
+    #[test]
+    fn from_texts_matches_pushes() {
+        let a = InMemoryCorpus::from_texts(vec![vec![1, 2], vec![3]]);
+        let mut b = InMemoryCorpus::new();
+        b.push_text(&[1, 2]);
+        b.push_text(&[3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn read_text_is_fallible() {
+        let c = InMemoryCorpus::from_texts(vec![vec![1]]);
+        let mut buf = Vec::new();
+        assert!(c.read_text(0, &mut buf).is_ok());
+        assert!(matches!(
+            c.read_text(1, &mut buf),
+            Err(CorpusError::TextOutOfRange(1, 1))
+        ));
+    }
+
+    #[test]
+    fn iter_visits_in_order() {
+        let c = InMemoryCorpus::from_texts(vec![vec![5], vec![6, 7]]);
+        let collected: Vec<(u32, Vec<u32>)> =
+            c.iter().map(|(id, t)| (id, t.to_vec())).collect();
+        assert_eq!(collected, vec![(0, vec![5]), (1, vec![6, 7])]);
+    }
+}

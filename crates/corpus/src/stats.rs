@@ -1,0 +1,211 @@
+//! Corpus statistics: token totals, frequency histograms, Zipf diagnostics.
+//!
+//! Two consumers rely on these numbers:
+//!
+//! * **Prefix filtering** (paper §3.5) classifies inverted lists as "long"
+//!   when their min-hash token is among the top *x*% most frequent tokens —
+//!   the paper sweeps 5%…20% in Figure 3(d). [`CorpusStats::frequency_cutoff`]
+//!   computes the frequency threshold for such a percentile.
+//! * **Synthetic-data validation**: the generators claim Zipfian output; the
+//!   [`CorpusStats::zipf_slope`] diagnostic lets tests assert the skew is
+//!   actually there (the paper leans on the Zipf law to motivate prefix
+//!   filtering).
+
+use std::collections::HashMap;
+
+use ndss_hash::TokenId;
+
+use crate::types::{CorpusError, CorpusSource, TextId};
+
+/// Aggregate statistics over one corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusStats {
+    num_texts: usize,
+    total_tokens: u64,
+    /// token id → occurrence count.
+    frequencies: HashMap<TokenId, u64>,
+    /// Distinct token count (cached `frequencies.len()`).
+    distinct: usize,
+    min_text_len: usize,
+    max_text_len: usize,
+}
+
+impl CorpusStats {
+    /// Scans the whole corpus once and aggregates.
+    pub fn compute<C: CorpusSource + ?Sized>(corpus: &C) -> Result<Self, CorpusError> {
+        let mut frequencies: HashMap<TokenId, u64> = HashMap::new();
+        let mut buf = Vec::new();
+        let mut min_len = usize::MAX;
+        let mut max_len = 0usize;
+        for id in 0..corpus.num_texts() as TextId {
+            corpus.read_text(id, &mut buf)?;
+            min_len = min_len.min(buf.len());
+            max_len = max_len.max(buf.len());
+            for &t in &buf {
+                *frequencies.entry(t).or_insert(0) += 1;
+            }
+        }
+        if corpus.num_texts() == 0 {
+            min_len = 0;
+        }
+        Ok(Self {
+            num_texts: corpus.num_texts(),
+            total_tokens: corpus.total_tokens(),
+            distinct: frequencies.len(),
+            frequencies,
+            min_text_len: min_len,
+            max_text_len: max_len,
+        })
+    }
+
+    /// Number of texts scanned.
+    pub fn num_texts(&self) -> usize {
+        self.num_texts
+    }
+
+    /// Total token occurrences.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Number of distinct tokens observed.
+    pub fn distinct_tokens(&self) -> usize {
+        self.distinct
+    }
+
+    /// Shortest / longest text length in tokens.
+    pub fn text_len_range(&self) -> (usize, usize) {
+        (self.min_text_len, self.max_text_len)
+    }
+
+    /// Mean text length in tokens.
+    pub fn mean_text_len(&self) -> f64 {
+        if self.num_texts == 0 {
+            0.0
+        } else {
+            self.total_tokens as f64 / self.num_texts as f64
+        }
+    }
+
+    /// Occurrence count of a token (0 if unseen).
+    pub fn frequency(&self, token: TokenId) -> u64 {
+        self.frequencies.get(&token).copied().unwrap_or(0)
+    }
+
+    /// Token frequencies sorted descending (rank order).
+    pub fn sorted_frequencies(&self) -> Vec<u64> {
+        let mut freqs: Vec<u64> = self.frequencies.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        freqs
+    }
+
+    /// The minimum occurrence count a token needs to be within the top
+    /// `percentile` (e.g. `0.05` = 5%) most frequent **distinct** tokens.
+    /// Tokens with frequency `>= cutoff` are "frequent"; at `percentile = 0`
+    /// nothing qualifies (returns `u64::MAX`).
+    pub fn frequency_cutoff(&self, percentile: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&percentile), "percentile out of range");
+        let take = (self.distinct as f64 * percentile).floor() as usize;
+        if take == 0 {
+            return u64::MAX;
+        }
+        let sorted = self.sorted_frequencies();
+        sorted[take.min(sorted.len()) - 1]
+    }
+
+    /// Least-squares slope of `log(frequency)` against `log(rank)` over the
+    /// most frequent `top` tokens. A Zipf-distributed corpus yields a slope
+    /// near `-s` (the Zipf exponent); uniform data yields a slope near 0.
+    pub fn zipf_slope(&self, top: usize) -> f64 {
+        let freqs = self.sorted_frequencies();
+        let n = freqs.len().min(top);
+        if n < 2 {
+            return 0.0;
+        }
+        let points: Vec<(f64, f64)> = freqs[..n]
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (((i + 1) as f64).ln(), (f.max(1)) as f64))
+            .map(|(x, f)| (x, f.ln()))
+            .collect();
+        let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n as f64;
+        let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n as f64;
+        let cov: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+        let var: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+        if var == 0.0 {
+            0.0
+        } else {
+            cov / var
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryCorpus;
+
+    fn toy() -> InMemoryCorpus {
+        InMemoryCorpus::from_texts(vec![
+            vec![0, 0, 0, 0, 1, 1, 2],
+            vec![0, 1, 3],
+        ])
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let stats = CorpusStats::compute(&toy()).unwrap();
+        assert_eq!(stats.num_texts(), 2);
+        assert_eq!(stats.total_tokens(), 10);
+        assert_eq!(stats.distinct_tokens(), 4);
+        assert_eq!(stats.frequency(0), 5);
+        assert_eq!(stats.frequency(1), 3);
+        assert_eq!(stats.frequency(2), 1);
+        assert_eq!(stats.frequency(99), 0);
+        assert_eq!(stats.text_len_range(), (3, 7));
+        assert!((stats.mean_text_len() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_cutoff_selects_top_percentile() {
+        let stats = CorpusStats::compute(&toy()).unwrap();
+        // 4 distinct tokens; top 25% = 1 token (freq 5), top 50% = 2 (freq 3).
+        assert_eq!(stats.frequency_cutoff(0.25), 5);
+        assert_eq!(stats.frequency_cutoff(0.5), 3);
+        assert_eq!(stats.frequency_cutoff(0.0), u64::MAX);
+        assert_eq!(stats.frequency_cutoff(1.0), 1);
+    }
+
+    #[test]
+    fn zipf_slope_flat_for_uniform() {
+        let uniform = InMemoryCorpus::from_texts(vec![(0..1000u32).collect()]);
+        let stats = CorpusStats::compute(&uniform).unwrap();
+        assert!(stats.zipf_slope(1000).abs() < 0.01);
+    }
+
+    #[test]
+    fn zipf_slope_negative_for_skewed() {
+        // frequency(token r) = 1000 / (r+1): an explicit Zipf profile.
+        let mut tokens = Vec::new();
+        for r in 0..50u32 {
+            for _ in 0..(1000 / (r + 1)) {
+                tokens.push(r);
+            }
+        }
+        let stats = CorpusStats::compute(&InMemoryCorpus::from_texts(vec![tokens])).unwrap();
+        let slope = stats.zipf_slope(50);
+        assert!(
+            (slope + 1.0).abs() < 0.1,
+            "expected slope ≈ -1 for 1/r profile, got {slope}"
+        );
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let stats = CorpusStats::compute(&InMemoryCorpus::new()).unwrap();
+        assert_eq!(stats.num_texts(), 0);
+        assert_eq!(stats.total_tokens(), 0);
+        assert_eq!(stats.text_len_range(), (0, 0));
+        assert_eq!(stats.mean_text_len(), 0.0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Deterministic synthetic corpora with planted (near-)duplicates.
+//!
+//! The paper evaluates on OpenWebText and The Pile, which we cannot ship.
+//! The algorithms, however, are sensitive to exactly two distributional
+//! properties of those corpora (see `DESIGN.md` §3):
+//!
+//! 1. **Zipfian token frequencies** — these produce the skewed inverted-list
+//!    lengths that motivate prefix filtering and zone maps (§3.5: "the
+//!    word/token frequency in natural languages follows the Zipf law").
+//! 2. **Repeated and nearly-repeated long sequences** — web corpora are
+//!    30–45% near-duplicate content (§1); these are the needles queries find.
+//!
+//! [`SyntheticCorpusBuilder`] generates corpora with both properties under
+//! explicit control and, unlike a real corpus, returns *provenance*: every
+//! planted copy is recorded as a [`PlantedDuplicate`], giving tests and
+//! benchmarks exact ground truth for recall accounting.
+//!
+//! [`PseudoWords`] renders token ids as deterministic pronounceable words so
+//! that Table-1-style examples are human-readable without a trained BPE
+//! model.
+
+use ndss_hash::{TokenId, Xoshiro256StarStar};
+use serde::{Deserialize, Serialize};
+
+use crate::memory::InMemoryCorpus;
+use crate::types::SeqRef;
+
+/// Samples token ids from a (truncated) Zipf distribution via inverse-CDF
+/// binary search. Token `r` (0-based rank) has probability `∝ 1/(r+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `vocab_size` tokens with exponent `s`
+    /// (`s = 0` is uniform; natural language is near `s ≈ 1`).
+    pub fn new(vocab_size: usize, s: f64) -> Self {
+        assert!(vocab_size > 0, "vocab must be non-empty");
+        let mut cdf = Vec::with_capacity(vocab_size);
+        let mut acc = 0.0f64;
+        for r in 0..vocab_size {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// The vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one token id.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> TokenId {
+        let u = rng.next_f64();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index with cdf >= u.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) as TokenId
+    }
+}
+
+/// Provenance of one planted copy: `dst` was created by copying `src` and
+/// mutating `mutated_tokens` of its positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlantedDuplicate {
+    /// The original sequence that was copied.
+    pub src: SeqRef,
+    /// Where the (possibly mutated) copy was placed.
+    pub dst: SeqRef,
+    /// How many token positions were overwritten with fresh samples.
+    pub mutated_tokens: u32,
+}
+
+/// Configuration + builder for synthetic corpora.
+///
+/// All fields have sensible defaults; the `with_*` methods override them.
+/// Building is fully determined by the seed.
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpusBuilder {
+    seed: u64,
+    num_texts: usize,
+    text_len: (usize, usize),
+    vocab_size: usize,
+    zipf_exponent: f64,
+    /// Expected number of planted copies per text (Poisson-ish via Bernoulli
+    /// per opportunity; values > 1 plant several).
+    duplicates_per_text: f64,
+    /// Planted copy length range (tokens).
+    dup_len: (usize, usize),
+    /// Probability that each copied token is replaced by a fresh sample
+    /// (0 = exact duplicates).
+    mutation_rate: f64,
+}
+
+impl SyntheticCorpusBuilder {
+    /// A builder with web-corpus-flavoured defaults.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            num_texts: 1000,
+            text_len: (100, 800),
+            vocab_size: 32_000,
+            zipf_exponent: 1.05,
+            duplicates_per_text: 0.3,
+            dup_len: (40, 200),
+            mutation_rate: 0.05,
+        }
+    }
+
+    /// Sets the number of texts.
+    pub fn num_texts(mut self, n: usize) -> Self {
+        self.num_texts = n;
+        self
+    }
+
+    /// Sets the text length range `[min, max]` in tokens.
+    pub fn text_len(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1 && min <= max, "invalid text length range");
+        self.text_len = (min, max);
+        self
+    }
+
+    /// Sets the vocabulary size.
+    pub fn vocab_size(mut self, v: usize) -> Self {
+        self.vocab_size = v;
+        self
+    }
+
+    /// Sets the Zipf exponent (0 = uniform).
+    pub fn zipf_exponent(mut self, s: f64) -> Self {
+        self.zipf_exponent = s;
+        self
+    }
+
+    /// Sets the expected number of planted copies per text.
+    pub fn duplicates_per_text(mut self, rate: f64) -> Self {
+        self.duplicates_per_text = rate.max(0.0);
+        self
+    }
+
+    /// Sets the planted copy length range `[min, max]`.
+    pub fn dup_len(mut self, min: usize, max: usize) -> Self {
+        assert!(min >= 1 && min <= max, "invalid duplicate length range");
+        self.dup_len = (min, max);
+        self
+    }
+
+    /// Sets the per-token mutation probability of planted copies.
+    pub fn mutation_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "mutation rate out of range");
+        self.mutation_rate = rate;
+        self
+    }
+
+    /// Generates the corpus and the provenance of every planted copy.
+    pub fn build(&self) -> (InMemoryCorpus, Vec<PlantedDuplicate>) {
+        let mut rng = Xoshiro256StarStar::new(self.seed);
+        let sampler = ZipfSampler::new(self.vocab_size, self.zipf_exponent);
+        let mut corpus = InMemoryCorpus::new();
+        let mut planted = Vec::new();
+        let (min_len, max_len) = self.text_len;
+        let mut text: Vec<TokenId> = Vec::with_capacity(max_len);
+
+        for id in 0..self.num_texts {
+            let len = min_len + rng.next_bounded((max_len - min_len + 1) as u64) as usize;
+            text.clear();
+            text.extend((0..len).map(|_| sampler.sample(&mut rng)));
+
+            // Plant copies from earlier texts. We draw the number of copies
+            // as ⌊rate⌋ plus one Bernoulli(rate fraction) trial.
+            if id > 0 {
+                let mut copies = self.duplicates_per_text.floor() as usize;
+                if rng.next_f64() < self.duplicates_per_text.fract() {
+                    copies += 1;
+                }
+                for _ in 0..copies {
+                    if let Some(p) =
+                        self.plant_copy(&mut rng, &sampler, &corpus, id as u32, &mut text)
+                    {
+                        planted.push(p);
+                    }
+                }
+            }
+            corpus.push_text(&text);
+        }
+        (corpus, planted)
+    }
+
+    /// Copies a random span from a random earlier text over a random
+    /// position of `text`, mutating tokens at `mutation_rate`. Returns the
+    /// provenance, or `None` when no earlier text is long enough.
+    fn plant_copy(
+        &self,
+        rng: &mut Xoshiro256StarStar,
+        sampler: &ZipfSampler,
+        corpus: &InMemoryCorpus,
+        dst_text: u32,
+        text: &mut [TokenId],
+    ) -> Option<PlantedDuplicate> {
+        let (dmin, dmax) = self.dup_len;
+        let want = dmin + rng.next_bounded((dmax - dmin + 1) as u64) as usize;
+        let len = want.min(text.len());
+        if len < dmin.min(text.len()) || len == 0 {
+            return None;
+        }
+        // Find a source text that can host a span of `len` tokens; a few
+        // random probes suffice because most texts are long enough.
+        for _ in 0..8 {
+            let src_id = rng.next_bounded(dst_text as u64) as u32;
+            let src = corpus.text(src_id);
+            if src.len() < len {
+                continue;
+            }
+            let src_start = rng.next_bounded((src.len() - len + 1) as u64) as usize;
+            let dst_start = rng.next_bounded((text.len() - len + 1) as u64) as usize;
+            let mut mutated = 0u32;
+            // Copy then mutate in place.
+            let span_src: Vec<TokenId> = src[src_start..src_start + len].to_vec();
+            for (offset, &tok) in span_src.iter().enumerate() {
+                let replace = rng.next_f64() < self.mutation_rate;
+                text[dst_start + offset] = if replace {
+                    mutated += 1;
+                    sampler.sample(rng)
+                } else {
+                    tok
+                };
+            }
+            return Some(PlantedDuplicate {
+                src: SeqRef::new(src_id, src_start as u32, (src_start + len - 1) as u32),
+                dst: SeqRef::new(dst_text, dst_start as u32, (dst_start + len - 1) as u32),
+                mutated_tokens: mutated,
+            });
+        }
+        None
+    }
+}
+
+/// Renders token ids as deterministic pronounceable pseudo-words, the
+/// workspace's stand-in for BPE decoding when the corpus is synthetic
+/// (Table 1 needs readable text).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PseudoWords;
+
+const ONSETS: [&str; 16] = [
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st",
+];
+const NUCLEI: [&str; 8] = ["a", "e", "i", "o", "u", "ai", "ou", "ea"];
+const CODAS: [&str; 8] = ["", "n", "r", "s", "t", "l", "m", "k"];
+
+impl PseudoWords {
+    /// The pseudo-word for one token id. Distinct ids below
+    /// `16 * 8 * 8 * 16 * 8 * 8 = 2^20` map to distinct words.
+    pub fn word(token: TokenId) -> String {
+        let mut x = token as usize;
+        let mut word = String::new();
+        // Two syllables: onset + nucleus + coda each.
+        for syllable in 0..2 {
+            let o = x % ONSETS.len();
+            x /= ONSETS.len();
+            let n = x % NUCLEI.len();
+            x /= NUCLEI.len();
+            let c = x % CODAS.len();
+            x /= CODAS.len();
+            word.push_str(ONSETS[o]);
+            word.push_str(NUCLEI[n]);
+            word.push_str(CODAS[c]);
+            if syllable == 0 && x == 0 {
+                break; // small ids stay short
+            }
+        }
+        word
+    }
+
+    /// Renders a token sequence as a space-separated pseudo-word sentence.
+    pub fn render(tokens: &[TokenId]) -> String {
+        tokens
+            .iter()
+            .map(|&t| Self::word(t))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CorpusStats;
+    use crate::types::CorpusSource;
+    use ndss_hash::jaccard::distinct_jaccard;
+
+    #[test]
+    fn zipf_sampler_is_skewed_and_in_range() {
+        let sampler = ZipfSampler::new(1000, 1.0);
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        // Rank 0 should dominate rank 9 by roughly 10x under s = 1.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!(
+            (5.0..20.0).contains(&ratio),
+            "rank-0/rank-9 ratio {ratio} not Zipf-like"
+        );
+    }
+
+    #[test]
+    fn uniform_exponent_is_flat() {
+        let sampler = ZipfSampler::new(100, 0.0);
+        let mut rng = Xoshiro256StarStar::new(2);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!((*max as f64) / (*min as f64) < 1.5);
+    }
+
+    #[test]
+    fn builder_is_deterministic() {
+        let (a, pa) = SyntheticCorpusBuilder::new(7).num_texts(50).build();
+        let (b, pb) = SyntheticCorpusBuilder::new(7).num_texts(50).build();
+        assert_eq!(a, b);
+        assert_eq!(pa, pb);
+        let (c, _) = SyntheticCorpusBuilder::new(8).num_texts(50).build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn corpus_dimensions_match_config() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(3)
+            .num_texts(40)
+            .text_len(50, 60)
+            .vocab_size(500)
+            .build();
+        assert_eq!(corpus.num_texts(), 40);
+        for (_, t) in corpus.iter() {
+            assert!((50..=60).contains(&t.len()));
+            assert!(t.iter().all(|&tok| (tok as usize) < 500));
+        }
+    }
+
+    #[test]
+    fn planted_spans_are_valid_and_similar() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(11)
+            .num_texts(100)
+            .text_len(200, 400)
+            .duplicates_per_text(1.0)
+            .dup_len(50, 100)
+            .mutation_rate(0.05)
+            .build();
+        assert!(!planted.is_empty(), "should plant some duplicates");
+        for p in &planted {
+            let src = corpus.sequence_to_vec(p.src).unwrap();
+            let dst = corpus.sequence_to_vec(p.dst).unwrap();
+            assert_eq!(src.len(), dst.len());
+            assert_eq!(p.src.span.len(), p.dst.span.len());
+            // A 5% mutation rate keeps Jaccard high; a planted pair must be a
+            // genuine near-duplicate (not necessarily > 0.9 because mutated
+            // tokens both remove and add set elements).
+            let j = distinct_jaccard(&src, &dst);
+            assert!(
+                j > 0.6,
+                "planted pair similarity {j} too low ({} mutated of {})",
+                p.mutated_tokens,
+                src.len()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_mutation_plants_exact_copies() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(13)
+            .num_texts(60)
+            .duplicates_per_text(1.0)
+            .mutation_rate(0.0)
+            .build();
+        assert!(!planted.is_empty());
+        for p in &planted {
+            assert_eq!(p.mutated_tokens, 0);
+            assert_eq!(
+                corpus.sequence_to_vec(p.src).unwrap(),
+                corpus.sequence_to_vec(p.dst).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_corpus_is_zipfian() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(5)
+            .num_texts(200)
+            .vocab_size(5_000)
+            .zipf_exponent(1.0)
+            .build();
+        let stats = CorpusStats::compute(&corpus).unwrap();
+        let slope = stats.zipf_slope(200);
+        assert!(
+            slope < -0.7,
+            "expected a steep Zipf slope, got {slope}"
+        );
+    }
+
+    #[test]
+    fn pseudo_words_are_deterministic_and_distinct() {
+        assert_eq!(PseudoWords::word(42), PseudoWords::word(42));
+        let mut words: Vec<String> = (0..2000).map(PseudoWords::word).collect();
+        words.sort();
+        words.dedup();
+        assert_eq!(words.len(), 2000, "pseudo-words must be distinct per id");
+    }
+
+    #[test]
+    fn render_joins_with_spaces() {
+        let s = PseudoWords::render(&[0, 1, 2]);
+        assert_eq!(s.split(' ').count(), 3);
+    }
+}

@@ -1,0 +1,247 @@
+//! Core corpus types shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+
+use ndss_hash::TokenId;
+
+/// Identifies a text within a corpus. The paper assumes "the number of texts
+/// fits in a 4-byte integer" (§3.4); we adopt the same bound.
+pub type TextId = u32;
+
+/// Errors raised by corpus storage.
+#[derive(Debug, thiserror::Error)]
+pub enum CorpusError {
+    /// A text id beyond the corpus size was requested.
+    #[error("text id {0} out of range (corpus has {1} texts)")]
+    TextOutOfRange(TextId, usize),
+    /// A stored corpus file is structurally invalid.
+    #[error("malformed corpus file: {0}")]
+    Malformed(String),
+    /// Underlying IO failure.
+    #[error(transparent)]
+    Io(#[from] std::io::Error),
+}
+
+/// An inclusive token range `[start, end]` within some text (0-based), the
+/// in-code counterpart of the paper's `T[i, j]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SeqSpan {
+    /// Index of the first token (inclusive).
+    pub start: u32,
+    /// Index of the last token (inclusive).
+    pub end: u32,
+}
+
+impl SeqSpan {
+    /// Creates a span. `start <= end` is required.
+    #[inline]
+    pub fn new(start: u32, end: u32) -> Self {
+        debug_assert!(start <= end, "span start {start} > end {end}");
+        Self { start, end }
+    }
+
+    /// Number of tokens covered.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.end - self.start + 1
+    }
+
+    /// Spans cannot be empty; provided for clippy-idiomatic pairing with
+    /// [`Self::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether this span overlaps (shares at least one token with) `other`.
+    #[inline]
+    pub fn overlaps(&self, other: &SeqSpan) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Whether this span is immediately adjacent to or overlapping `other`
+    /// (used when merging result spans into disjoint regions).
+    #[inline]
+    pub fn touches(&self, other: &SeqSpan) -> bool {
+        // Overlap, or abut: [a, b] touches [b+1, c].
+        self.start <= other.end.saturating_add(1) && other.start <= self.end.saturating_add(1)
+    }
+
+    /// The tokens this span selects from `text`.
+    #[inline]
+    pub fn slice<'a>(&self, text: &'a [TokenId]) -> &'a [TokenId] {
+        &text[self.start as usize..=self.end as usize]
+    }
+}
+
+/// A span within an identified text: a fully qualified sequence reference,
+/// the unit in which search results are reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SeqRef {
+    /// The containing text.
+    pub text: TextId,
+    /// The token range within it.
+    pub span: SeqSpan,
+}
+
+impl SeqRef {
+    /// Creates a sequence reference.
+    pub fn new(text: TextId, start: u32, end: u32) -> Self {
+        Self {
+            text,
+            span: SeqSpan::new(start, end),
+        }
+    }
+}
+
+/// Read access to a corpus of tokenized texts.
+///
+/// Implementations may be fully in memory ([`crate::InMemoryCorpus`]) or
+/// disk-resident ([`crate::DiskCorpus`]); the trait is the narrow waist the
+/// indexer, query verifier, and language-model trainer share. Methods take
+/// `&self` so corpora can be shared across indexing threads.
+pub trait CorpusSource: Send + Sync {
+    /// Number of texts in the corpus.
+    fn num_texts(&self) -> usize;
+
+    /// Total number of tokens across all texts.
+    fn total_tokens(&self) -> u64;
+
+    /// Reads text `id` into `buf` (cleared first).
+    fn read_text(&self, id: TextId, buf: &mut Vec<TokenId>) -> Result<(), CorpusError>;
+
+    /// Reads text `id` into a fresh vector.
+    fn text_to_vec(&self, id: TextId) -> Result<Vec<TokenId>, CorpusError> {
+        let mut buf = Vec::new();
+        self.read_text(id, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Reads just the tokens of `seq` into a fresh vector.
+    fn sequence_to_vec(&self, seq: SeqRef) -> Result<Vec<TokenId>, CorpusError> {
+        let text = self.text_to_vec(seq.text)?;
+        if seq.span.end as usize >= text.len() {
+            return Err(CorpusError::Malformed(format!(
+                "span {:?} exceeds text {} of length {}",
+                seq.span,
+                seq.text,
+                text.len()
+            )));
+        }
+        Ok(seq.span.slice(&text).to_vec())
+    }
+}
+
+/// Iterates the corpus in batches of whole texts, each batch holding at most
+/// `max_tokens` tokens (but always at least one text). This is the paper's
+/// "load a batch of texts at a time" loop for out-of-core index construction
+/// (§3.4).
+pub struct BatchIter<'a, C: CorpusSource + ?Sized> {
+    corpus: &'a C,
+    next: TextId,
+    max_tokens: usize,
+}
+
+impl<'a, C: CorpusSource + ?Sized> BatchIter<'a, C> {
+    /// Creates a batch iterator with the given per-batch token budget.
+    pub fn new(corpus: &'a C, max_tokens: usize) -> Self {
+        Self {
+            corpus,
+            next: 0,
+            max_tokens: max_tokens.max(1),
+        }
+    }
+}
+
+/// One batch of consecutive texts: ids `first..first + texts.len()`.
+#[derive(Debug, Clone)]
+pub struct TextBatch {
+    /// Id of the first text in the batch.
+    pub first: TextId,
+    /// The texts' token arrays, in id order.
+    pub texts: Vec<Vec<TokenId>>,
+}
+
+impl<C: CorpusSource + ?Sized> Iterator for BatchIter<'_, C> {
+    type Item = Result<TextBatch, CorpusError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if (self.next as usize) >= self.corpus.num_texts() {
+            return None;
+        }
+        let first = self.next;
+        let mut texts = Vec::new();
+        let mut tokens = 0usize;
+        while (self.next as usize) < self.corpus.num_texts() {
+            let mut buf = Vec::new();
+            if let Err(e) = self.corpus.read_text(self.next, &mut buf) {
+                return Some(Err(e));
+            }
+            // Respect the budget, but always take at least one text so a
+            // single oversized text cannot stall the iterator.
+            if !texts.is_empty() && tokens + buf.len() > self.max_tokens {
+                break;
+            }
+            tokens += buf.len();
+            texts.push(buf);
+            self.next += 1;
+            if tokens >= self.max_tokens {
+                break;
+            }
+        }
+        Some(Ok(TextBatch { first, texts }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InMemoryCorpus;
+
+    #[test]
+    fn span_len_and_overlap() {
+        let a = SeqSpan::new(2, 5);
+        assert_eq!(a.len(), 4);
+        assert!(a.overlaps(&SeqSpan::new(5, 9)));
+        assert!(a.overlaps(&SeqSpan::new(0, 2)));
+        assert!(!a.overlaps(&SeqSpan::new(6, 9)));
+        assert!(a.touches(&SeqSpan::new(6, 9)));
+        assert!(!a.touches(&SeqSpan::new(7, 9)));
+    }
+
+    #[test]
+    fn span_slice() {
+        let text = [10u32, 11, 12, 13, 14];
+        assert_eq!(SeqSpan::new(1, 3).slice(&text), &[11, 12, 13]);
+    }
+
+    #[test]
+    fn batch_iter_respects_budget_and_covers_all() {
+        let corpus = InMemoryCorpus::from_texts(vec![
+            vec![1; 10],
+            vec![2; 10],
+            vec![3; 25], // oversized relative to the budget below
+            vec![4; 5],
+        ]);
+        let batches: Vec<TextBatch> = BatchIter::new(&corpus, 20)
+            .map(|b| b.unwrap())
+            .collect();
+        // All texts exactly once, in order.
+        let mut seen = Vec::new();
+        for b in &batches {
+            for (i, t) in b.texts.iter().enumerate() {
+                seen.push((b.first + i as u32, t.len()));
+            }
+        }
+        assert_eq!(seen, vec![(0, 10), (1, 10), (2, 25), (3, 5)]);
+        // The oversized text occupies its own batch.
+        assert!(batches.iter().any(|b| b.texts.len() == 1 && b.texts[0].len() == 25));
+    }
+
+    #[test]
+    fn sequence_to_vec_checks_bounds() {
+        let corpus = InMemoryCorpus::from_texts(vec![vec![1, 2, 3]]);
+        assert!(corpus.sequence_to_vec(SeqRef::new(0, 1, 2)).is_ok());
+        assert!(corpus.sequence_to_vec(SeqRef::new(0, 1, 3)).is_err());
+    }
+}

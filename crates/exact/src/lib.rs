@@ -1,0 +1,353 @@
+//! Exact-substring search over tokenized corpora.
+//!
+//! Existing LLM memorization studies measure **exact** memorization: a
+//! generated window counts as memorized only if it appears *verbatim* in
+//! the training corpus (Lee et al.'s 50-token-match methodology, which the
+//! paper cites as "over 1% of tokens generated unprompted by an LLM are
+//! part of sequences in the training data"). The paper's thesis is that
+//! near-duplicate matches are far more pervasive; to measure the gap we
+//! need the exact baseline, implemented here as a Rabin–Karp rolling-hash
+//! index:
+//!
+//! * [`RollingHasher`] — polynomial hashing over the Mersenne prime
+//!   `2^61 − 1`, with O(1) sliding-window updates;
+//! * [`ExactSubstringIndex`] — an index of every `width`-token-gram's hash
+//!   → occurrence positions. Queries of length ≥ `width` look up their
+//!   first gram's candidates and verify the full match against the corpus
+//!   (so hash collisions can never produce false positives).
+//!
+//! At paper scale one would use a suffix array; the hash-gram index has the
+//! same guarantees with simpler code and is linear in corpus size, which is
+//! all the evaluation needs (`DESIGN.md` §3).
+//!
+//! # Example
+//!
+//! ```
+//! use ndss_corpus::InMemoryCorpus;
+//! use ndss_exact::ExactSubstringIndex;
+//!
+//! let corpus = InMemoryCorpus::from_texts(vec![
+//!     (0..100u32).collect(),          // text 0 contains 40..60
+//!     (500..600u32).collect(),
+//! ]);
+//! let index = ExactSubstringIndex::build(&corpus, 10).unwrap();
+//! let query: Vec<u32> = (40..60).collect();
+//! let hits = index.find_occurrences(&corpus, &query).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!((hits[0].text, hits[0].span.start), (0, 40));
+//! // One substituted token breaks the exact match:
+//! let mut near = query.clone();
+//! near[5] = 9999;
+//! assert!(!index.contains(&corpus, &near).unwrap());
+//! ```
+
+use std::collections::HashMap;
+
+use ndss_corpus::{CorpusError, CorpusSource, SeqRef, TextId};
+use ndss_hash::TokenId;
+
+/// Errors raised by exact-substring search.
+#[derive(Debug, thiserror::Error)]
+pub enum ExactError {
+    /// The query is shorter than the index's gram width.
+    #[error("query of {0} tokens is shorter than the index width {1}")]
+    QueryTooShort(usize, usize),
+    /// Corpus access failed.
+    #[error(transparent)]
+    Corpus(#[from] CorpusError),
+}
+
+/// Polynomial rolling hash modulo the Mersenne prime `2^61 − 1`.
+///
+/// `H(t_0 … t_{w−1}) = Σ t_i · B^{w−1−i} mod p` with a fixed odd base `B`.
+/// Sliding one position is two multiplications and an addition. Collisions
+/// are possible (and harmless — lookups verify), but rare: p ≈ 2.3 × 10^18.
+#[derive(Debug, Clone, Copy)]
+pub struct RollingHasher {
+    width: usize,
+    /// `B^{width−1} mod p`, for removing the outgoing token.
+    top_power: u64,
+}
+
+const P: u128 = (1u128 << 61) - 1;
+const B: u128 = 0x9E37_79B9;
+
+#[inline]
+fn mod_p(x: u128) -> u64 {
+    // Fast reduction for Mersenne primes: x mod (2^61 − 1).
+    let lo = (x & P) as u64;
+    let hi = (x >> 61) as u64;
+    let mut s = lo.wrapping_add(hi);
+    if s >= P as u64 {
+        s -= P as u64;
+    }
+    s
+}
+
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    mod_p(a as u128 * b as u128)
+}
+
+impl RollingHasher {
+    /// A hasher for grams of `width ≥ 1` tokens.
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 1, "gram width must be at least 1");
+        let mut top_power = 1u64;
+        for _ in 0..width - 1 {
+            top_power = mul_mod(top_power, B as u64);
+        }
+        Self { width, top_power }
+    }
+
+    /// The gram width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Hash of the first `width` tokens of `tokens`.
+    ///
+    /// # Panics
+    /// Panics if `tokens` is shorter than the width.
+    pub fn hash_first(&self, tokens: &[TokenId]) -> u64 {
+        assert!(tokens.len() >= self.width);
+        let mut h = 0u64;
+        for &t in &tokens[..self.width] {
+            h = mod_p(h as u128 * B + t as u128 + 1);
+        }
+        h
+    }
+
+    /// Slides the window one token right: removes `outgoing`, adds
+    /// `incoming`.
+    #[inline]
+    pub fn slide(&self, hash: u64, outgoing: TokenId, incoming: TokenId) -> u64 {
+        let removed = mul_mod(outgoing as u64 + 1, self.top_power);
+        // hash − removed (mod p)
+        let without = if hash >= removed {
+            hash - removed
+        } else {
+            hash + (P as u64) - removed
+        };
+        mod_p(without as u128 * B + incoming as u128 + 1)
+    }
+
+    /// All gram hashes of `tokens` (empty if shorter than the width).
+    pub fn hash_all(&self, tokens: &[TokenId]) -> Vec<u64> {
+        if tokens.len() < self.width {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(tokens.len() - self.width + 1);
+        let mut h = self.hash_first(tokens);
+        out.push(h);
+        for i in self.width..tokens.len() {
+            h = self.slide(h, tokens[i - self.width], tokens[i]);
+            out.push(h);
+        }
+        out
+    }
+}
+
+/// An index of every `width`-gram in a corpus, supporting verified exact
+/// substring queries.
+pub struct ExactSubstringIndex {
+    hasher: RollingHasher,
+    /// gram hash → (text, start) occurrences.
+    grams: HashMap<u64, Vec<(TextId, u32)>>,
+    num_grams: u64,
+}
+
+impl std::fmt::Debug for ExactSubstringIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExactSubstringIndex")
+            .field("width", &self.hasher.width())
+            .field("distinct_grams", &self.grams.len())
+            .field("total_grams", &self.num_grams)
+            .finish()
+    }
+}
+
+impl ExactSubstringIndex {
+    /// Indexes every `width`-gram of `corpus`.
+    pub fn build<C: CorpusSource + ?Sized>(
+        corpus: &C,
+        width: usize,
+    ) -> Result<Self, ExactError> {
+        let hasher = RollingHasher::new(width);
+        let mut grams: HashMap<u64, Vec<(TextId, u32)>> = HashMap::new();
+        let mut num_grams = 0u64;
+        let mut text = Vec::new();
+        for id in 0..corpus.num_texts() as TextId {
+            corpus.read_text(id, &mut text)?;
+            for (start, h) in hasher.hash_all(&text).into_iter().enumerate() {
+                grams.entry(h).or_default().push((id, start as u32));
+                num_grams += 1;
+            }
+        }
+        Ok(Self {
+            hasher,
+            grams,
+            num_grams,
+        })
+    }
+
+    /// The gram width this index was built with.
+    pub fn width(&self) -> usize {
+        self.hasher.width()
+    }
+
+    /// Total grams indexed.
+    pub fn num_grams(&self) -> u64 {
+        self.num_grams
+    }
+
+    /// Finds every verbatim occurrence of `query` (length ≥ width) in the
+    /// corpus. Candidates come from the first gram's hash bucket and are
+    /// verified token-by-token against the corpus, so the result is exact.
+    pub fn find_occurrences<C: CorpusSource + ?Sized>(
+        &self,
+        corpus: &C,
+        query: &[TokenId],
+    ) -> Result<Vec<SeqRef>, ExactError> {
+        let width = self.hasher.width();
+        if query.len() < width {
+            return Err(ExactError::QueryTooShort(query.len(), width));
+        }
+        let h = self.hasher.hash_first(query);
+        let Some(candidates) = self.grams.get(&h) else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        let mut text_buf = Vec::new();
+        let mut last_text: Option<TextId> = None;
+        for &(text, start) in candidates {
+            if last_text != Some(text) {
+                corpus.read_text(text, &mut text_buf)?;
+                last_text = Some(text);
+            }
+            let start = start as usize;
+            let end = start + query.len();
+            if end <= text_buf.len() && &text_buf[start..end] == query {
+                out.push(SeqRef::new(text, start as u32, (end - 1) as u32));
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Whether `query` appears verbatim anywhere in the corpus.
+    pub fn contains<C: CorpusSource + ?Sized>(
+        &self,
+        corpus: &C,
+        query: &[TokenId],
+    ) -> Result<bool, ExactError> {
+        Ok(!self.find_occurrences(corpus, query)?.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndss_corpus::{InMemoryCorpus, SyntheticCorpusBuilder};
+
+    #[test]
+    fn rolling_hash_matches_direct_recompute() {
+        let hasher = RollingHasher::new(5);
+        let tokens: Vec<u32> = (0..50).map(|i| i * 31 % 17).collect();
+        let rolled = hasher.hash_all(&tokens);
+        for (start, &h) in rolled.iter().enumerate() {
+            let direct = hasher.hash_first(&tokens[start..]);
+            assert_eq!(h, direct, "window at {start}");
+        }
+    }
+
+    #[test]
+    fn finds_planted_verbatim_copies() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(171)
+            .num_texts(50)
+            .duplicates_per_text(1.0)
+            .dup_len(40, 80)
+            .mutation_rate(0.0)
+            .build();
+        let index = ExactSubstringIndex::build(&corpus, 25).unwrap();
+        for p in planted.iter().take(10) {
+            let query = corpus.sequence_to_vec(p.dst).unwrap();
+            let hits = index.find_occurrences(&corpus, &query).unwrap();
+            assert!(
+                hits.iter().any(|s| s.text == p.src.text),
+                "verbatim copy of {:?} not found",
+                p.src
+            );
+            // The copy itself is found too.
+            assert!(hits.contains(&p.dst));
+        }
+    }
+
+    #[test]
+    fn mutated_copies_are_not_exact_matches() {
+        // The contrast that motivates the whole paper: one mutated token
+        // breaks exact search.
+        let (corpus, planted) = SyntheticCorpusBuilder::new(172)
+            .num_texts(50)
+            .duplicates_per_text(1.0)
+            .dup_len(40, 60)
+            .mutation_rate(0.08)
+            .build();
+        let index = ExactSubstringIndex::build(&corpus, 25).unwrap();
+        let mutated: Vec<_> = planted.iter().filter(|p| p.mutated_tokens > 0).collect();
+        assert!(!mutated.is_empty());
+        for p in mutated.iter().take(10) {
+            let query = corpus.sequence_to_vec(p.dst).unwrap();
+            let hits = index.find_occurrences(&corpus, &query).unwrap();
+            // The mutated copy can only exactly match itself.
+            assert!(hits.iter().all(|s| *s == p.dst), "unexpected hits {hits:?}");
+        }
+    }
+
+    #[test]
+    fn random_query_is_absent() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(173)
+            .num_texts(30)
+            .vocab_size(5_000)
+            .build();
+        let index = ExactSubstringIndex::build(&corpus, 25).unwrap();
+        let query: Vec<u32> = (1_000_000..1_000_030).collect();
+        assert!(!index.contains(&corpus, &query).unwrap());
+    }
+
+    #[test]
+    fn repeated_substring_reports_every_occurrence() {
+        let needle: Vec<u32> = (100..130).collect();
+        let mut texts = Vec::new();
+        for pad in [0usize, 7, 20] {
+            let mut t: Vec<u32> = (0..pad as u32).collect();
+            t.extend(&needle);
+            t.extend(5000..5030u32);
+            texts.push(t);
+        }
+        let corpus = InMemoryCorpus::from_texts(texts);
+        let index = ExactSubstringIndex::build(&corpus, 10).unwrap();
+        let hits = index.find_occurrences(&corpus, &needle).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0], SeqRef::new(0, 0, 29));
+        assert_eq!(hits[1], SeqRef::new(1, 7, 36));
+        assert_eq!(hits[2], SeqRef::new(2, 20, 49));
+    }
+
+    #[test]
+    fn query_shorter_than_width_errors() {
+        let corpus = InMemoryCorpus::from_texts(vec![(0..100u32).collect()]);
+        let index = ExactSubstringIndex::build(&corpus, 25).unwrap();
+        assert!(matches!(
+            index.find_occurrences(&corpus, &[1, 2, 3]),
+            Err(ExactError::QueryTooShort(3, 25))
+        ));
+    }
+
+    #[test]
+    fn gram_count_is_linear() {
+        let corpus = InMemoryCorpus::from_texts(vec![vec![1; 100], vec![2; 60], vec![3; 10]]);
+        let index = ExactSubstringIndex::build(&corpus, 25).unwrap();
+        assert_eq!(index.num_grams(), (100 - 24) + (60 - 24));
+    }
+}

@@ -1,0 +1,167 @@
+//! Exact Jaccard similarity in its two flavours (paper §3.1).
+//!
+//! * **Distinct Jaccard** deduplicates both sequences first:
+//!   `J(A, B) = |set(A) ∩ set(B)| / |set(A) ∪ set(B)|`. This is the paper's
+//!   default and what the min-hash sketch estimates.
+//! * **Multi-set Jaccard** keeps multiplicities: each occurrence counts, so
+//!   the intersection takes the per-token minimum count and the union the
+//!   per-token sum-of-counts minus the intersection (equivalently the
+//!   maximum count summed... see below).
+//!
+//! The paper's worked example: `A = (A,A,A,B,B)`, `B = (A,B,B,C)` has
+//! distinct Jaccard `2/3` and multi-set Jaccard `3/7`.
+
+use std::collections::HashMap;
+
+use crate::TokenId;
+
+/// Exact distinct Jaccard similarity of two token sequences.
+///
+/// Both sequences are treated as *sets* of tokens. Two empty sequences are
+/// defined to have similarity 1 (they are identical); an empty and a
+/// non-empty sequence have similarity 0.
+pub fn distinct_jaccard(a: &[TokenId], b: &[TokenId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut sa: Vec<TokenId> = a.to_vec();
+    let mut sb: Vec<TokenId> = b.to_vec();
+    sa.sort_unstable();
+    sa.dedup();
+    sb.sort_unstable();
+    sb.dedup();
+
+    // Merge-count the intersection of two sorted deduplicated lists.
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < sa.len() && j < sb.len() {
+        match sa[i].cmp(&sb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Exact multi-set Jaccard similarity of two token sequences.
+///
+/// Each occurrence of a token is a distinct element (the paper's
+/// `(A₁, A₂, …)` construction): the intersection size is the sum over tokens
+/// of `min(count_a, count_b)` and the union size is the sum of
+/// `max(count_a, count_b)`.
+pub fn multiset_jaccard(a: &[TokenId], b: &[TokenId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut counts: HashMap<TokenId, (u32, u32)> = HashMap::new();
+    for &t in a {
+        counts.entry(t).or_default().0 += 1;
+    }
+    for &t in b {
+        counts.entry(t).or_default().1 += 1;
+    }
+    let mut inter = 0u64;
+    let mut union = 0u64;
+    for &(ca, cb) in counts.values() {
+        inter += ca.min(cb) as u64;
+        union += ca.max(cb) as u64;
+    }
+    inter as f64 / union as f64
+}
+
+/// Convenience: `true` when the distinct Jaccard similarity of the two
+/// sequences is at least `theta` (with a small epsilon to absorb floating
+/// point error at exact thresholds such as 1.0).
+pub fn is_near_duplicate(a: &[TokenId], b: &[TokenId], theta: f64) -> bool {
+    distinct_jaccard(a, b) + 1e-12 >= theta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example() {
+        // Paper §3.1 example with A=0, B=1, C=2. The paper's prose writes the
+        // second sequence as (A,B,B,C) but its positional expansion
+        // (A₁,B₁,B₂,B₃,C₁) — and the stated 3/7 — corresponds to (A,B,B,B,C);
+        // we test the self-consistent version.
+        let a = [0u32, 0, 0, 1, 1];
+        let b = [0u32, 1, 1, 1, 2];
+        assert!((distinct_jaccard(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((multiset_jaccard(&a, &b) - 3.0 / 7.0).abs() < 1e-12);
+        // And the literal 4-token (A,B,B,C): intersection {A₁,B₁,B₂} = 3,
+        // union {A₁,A₂,A₃,B₁,B₂,C₁} = 6.
+        let b_literal = [0u32, 1, 1, 2];
+        assert!((multiset_jaccard(&a, &b_literal) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sequences_are_fully_similar() {
+        let a = [1u32, 2, 3];
+        assert_eq!(distinct_jaccard(&a, &a), 1.0);
+        assert_eq!(multiset_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sequences_have_zero_similarity() {
+        let a = [1u32, 2];
+        let b = [3u32, 4];
+        assert_eq!(distinct_jaccard(&a, &b), 0.0);
+        assert_eq!(multiset_jaccard(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(distinct_jaccard(&[], &[]), 1.0);
+        assert_eq!(distinct_jaccard(&[], &[1]), 0.0);
+        assert_eq!(multiset_jaccard(&[], &[]), 1.0);
+        assert_eq!(multiset_jaccard(&[1], &[]), 0.0);
+    }
+
+    #[test]
+    fn distinct_ignores_order_and_multiplicity() {
+        let a = [1u32, 1, 2, 3, 3, 3];
+        let b = [3u32, 2, 1];
+        assert_eq!(distinct_jaccard(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn multiset_respects_multiplicity() {
+        let a = [1u32, 1];
+        let b = [1u32];
+        assert!((multiset_jaccard(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [1u32, 2, 3, 4];
+        let b = [3u32, 4, 5];
+        assert_eq!(distinct_jaccard(&a, &b), distinct_jaccard(&b, &a));
+        assert_eq!(multiset_jaccard(&a, &b), multiset_jaccard(&b, &a));
+    }
+
+    #[test]
+    fn near_duplicate_threshold_boundary() {
+        // J = 0.75 exactly: {1,2,3} vs {1,2,3,4}.
+        let a = [1u32, 2, 3];
+        let b = [1u32, 2, 3, 4];
+        assert!(is_near_duplicate(&a, &b, 0.75));
+        assert!(!is_near_duplicate(&a, &b, 0.76));
+    }
+
+    #[test]
+    fn multiset_never_exceeds_distinct_when_one_has_heavy_duplication() {
+        // Sanity relation on this particular shape (not universal, but a
+        // useful regression on the worked-example structure).
+        let a = [0u32, 0, 0, 1, 1];
+        let b = [0u32, 1, 1, 2];
+        assert!(multiset_jaccard(&a, &b) < distinct_jaccard(&a, &b));
+    }
+}

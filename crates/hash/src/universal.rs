@@ -1,0 +1,193 @@
+//! Universal hash families over token ids.
+//!
+//! The min-hash construction needs `k` *independent random universal hash
+//! functions* `f_1 … f_k : TokenId → u64` (paper §3.2, Definition 2). Two
+//! families are provided:
+//!
+//! * [`MultiplyShiftHash`] — Dietzfelbinger's multiply–shift scheme extended
+//!   to 128-bit arithmetic. Constant space, two multiplications per hash;
+//!   this is the family used by the indexer by default.
+//! * [`TabulationHash`] — simple tabulation over the four bytes of the token
+//!   id. 3-independent and extremely fast with warm tables; useful as an
+//!   alternative when stronger independence guarantees are wanted in
+//!   experiments.
+//!
+//! Both families are seeded deterministically so that an index built twice
+//! from the same master seed is byte-identical.
+
+use crate::prng::SplitMix64;
+use crate::{HashValue, TokenId};
+
+/// A hash function from token ids to 64-bit values.
+///
+/// Implementations must be *pure* (same token → same value for the lifetime
+/// of the object) because the correctness of compact-window indexing relies
+/// on the query and the indexer observing identical token hashes.
+pub trait TokenHasher: Send + Sync {
+    /// Hashes one token id.
+    fn hash(&self, token: TokenId) -> HashValue;
+
+    /// Returns the minimum hash over a token slice, or `None` if it is empty.
+    ///
+    /// Because duplicate tokens hash identically, this equals the min-hash of
+    /// the *distinct* token set, which is what the distinct Jaccard estimator
+    /// requires.
+    fn min_hash(&self, tokens: &[TokenId]) -> Option<HashValue> {
+        tokens.iter().map(|&t| self.hash(t)).min()
+    }
+}
+
+/// Multiply–shift universal hashing on 64→64 bits.
+///
+/// `h(x) = ((a * x + b) >> 64) mod 2^64` computed in 128-bit arithmetic with
+/// a random odd multiplier `a` and random addend `b`. The token id is first
+/// spread to 64 bits by a fixed odd constant so that small consecutive ids do
+/// not map to nearby values before the universal step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplyShiftHash {
+    multiplier: u128,
+    addend: u128,
+}
+
+impl MultiplyShiftHash {
+    /// Derives a hash function from a seed. Different seeds give (with
+    /// overwhelming probability) different functions.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        // The multiplier must be odd for the family to be universal.
+        let multiplier = ((rng.next_u64() as u128) << 64) | (rng.next_u64() | 1) as u128;
+        let addend = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        Self { multiplier, addend }
+    }
+}
+
+impl TokenHasher for MultiplyShiftHash {
+    #[inline]
+    fn hash(&self, token: TokenId) -> HashValue {
+        // Spread the 32-bit id across 64 bits, then multiply-shift.
+        let x = (token as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((token as u64) << 32);
+        let product = self
+            .multiplier
+            .wrapping_mul(x as u128)
+            .wrapping_add(self.addend);
+        (product >> 64) as u64
+    }
+}
+
+/// Simple tabulation hashing over the 4 bytes of a token id.
+///
+/// Four tables of 256 random 64-bit entries are XOR-combined. Simple
+/// tabulation is 3-independent and behaves like full randomness for many
+/// algorithms (Pǎtraşcu & Thorup), including min-wise hashing.
+#[derive(Debug, Clone)]
+pub struct TabulationHash {
+    tables: Box<[[HashValue; 256]; 4]>,
+}
+
+impl TabulationHash {
+    /// Derives a tabulation hash function from a seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0x7AB1_E5EE_D000_0001);
+        let mut tables = Box::new([[0u64; 256]; 4]);
+        for table in tables.iter_mut() {
+            for entry in table.iter_mut() {
+                *entry = rng.next_u64();
+            }
+        }
+        Self { tables }
+    }
+}
+
+impl TokenHasher for TabulationHash {
+    #[inline]
+    fn hash(&self, token: TokenId) -> HashValue {
+        let b = token.to_le_bytes();
+        self.tables[0][b[0] as usize]
+            ^ self.tables[1][b[1] as usize]
+            ^ self.tables[2][b[2] as usize]
+            ^ self.tables[3][b[3] as usize]
+    }
+}
+
+/// Which universal hash family the min-hasher should draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum HashFamily {
+    /// Multiply–shift (default; constant memory per function).
+    #[default]
+    MultiplyShift,
+    /// Simple tabulation (8 KiB of tables per function, 3-independent).
+    Tabulation,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiply_shift_is_pure() {
+        let h = MultiplyShiftHash::new(17);
+        for t in 0..1000u32 {
+            assert_eq!(h.hash(t), h.hash(t));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_functions() {
+        let a = MultiplyShiftHash::new(1);
+        let b = MultiplyShiftHash::new(2);
+        let agree = (0..1000u32).filter(|&t| a.hash(t) == b.hash(t)).count();
+        assert_eq!(agree, 0, "independent functions should (almost) never agree");
+    }
+
+    #[test]
+    fn hash_values_look_uniform_in_top_bit() {
+        let h = MultiplyShiftHash::new(3);
+        let ones = (0..100_000u32).filter(|&t| h.hash(t) >> 63 == 1).count();
+        let frac = ones as f64 / 100_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "top-bit fraction {frac}");
+    }
+
+    #[test]
+    fn min_hash_of_empty_is_none() {
+        let h = MultiplyShiftHash::new(4);
+        assert_eq!(h.min_hash(&[]), None);
+    }
+
+    #[test]
+    fn min_hash_ignores_duplicates() {
+        let h = MultiplyShiftHash::new(5);
+        let with_dups = [7u32, 7, 7, 3, 3, 9];
+        let distinct = [7u32, 3, 9];
+        assert_eq!(h.min_hash(&with_dups), h.min_hash(&distinct));
+    }
+
+    #[test]
+    fn min_hash_is_elementwise_min() {
+        let h = MultiplyShiftHash::new(6);
+        let tokens = [1u32, 2, 3, 4, 5];
+        let expected = tokens.iter().map(|&t| h.hash(t)).min();
+        assert_eq!(h.min_hash(&tokens), expected);
+    }
+
+    #[test]
+    fn tabulation_is_pure_and_differs_by_seed() {
+        let a = TabulationHash::new(1);
+        let b = TabulationHash::new(2);
+        for t in 0..100u32 {
+            assert_eq!(a.hash(t), a.hash(t));
+        }
+        let agree = (0..1000u32).filter(|&t| a.hash(t) == b.hash(t)).count();
+        assert_eq!(agree, 0);
+    }
+
+    #[test]
+    fn tabulation_byte_sensitivity() {
+        // Flipping any single byte of the input must change the hash.
+        let h = TabulationHash::new(9);
+        let base = 0x0102_0304u32;
+        for byte in 0..4 {
+            let flipped = base ^ (0xFF << (8 * byte));
+            assert_ne!(h.hash(base), h.hash(flipped));
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! Index builders: the in-memory path and the out-of-core hash-aggregation
+//! path (paper §3.4).
+//!
+//! * [`write_memory_index`] — serializes a built [`MemoryIndex`] to an index
+//!   directory ("builds an inverted index in memory and then writes it back
+//!   to disk", Algorithm 1 lines 2–8).
+//! * [`ExternalIndexBuilder`] — for corpora larger than memory: texts are
+//!   streamed in batches, their compact windows *spilled* to partition files
+//!   keyed by (hash function, top bits of the min-hash value), and each
+//!   partition is then loaded, grouped, and appended to the final index
+//!   files in hash order. A partition that exceeds the memory budget is
+//!   **recursively re-partitioned** on the next bits of the hash (the
+//!   paper's "recursive partitioning [52]"); a partition that consists of a
+//!   single hash value can no longer be split and is loaded whole — the same
+//!   implicit assumption the paper makes.
+//!
+//! Both paths produce **byte-identical** index directories for the same
+//! corpus and configuration (lists sorted by hash, postings by
+//! `(text, l, c, r)`), which `tests/builder_equivalence.rs` asserts; this is
+//! the property that lets every query-layer test run against either.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use rayon::prelude::*;
+
+use ndss_corpus::types::BatchIter;
+use ndss_corpus::CorpusSource;
+use ndss_hash::HashValue;
+use ndss_windows::{HashedWindow, WindowGenerator};
+
+use crate::codec::CompressedFileWriter;
+use crate::disk::{inv_file_path, DiskIndex};
+use crate::format::IndexFileWriter;
+use crate::memory::MemoryIndex;
+use crate::{IndexAccess, IndexConfig, IndexError, Posting};
+
+/// Version-dispatching list writer: v1 fixed-width postings + zone maps, or
+/// v2 delta-compressed blocks, per [`IndexConfig::compress`].
+pub(crate) enum ListWriter {
+    V1(IndexFileWriter),
+    V2(CompressedFileWriter),
+}
+
+impl ListWriter {
+    pub(crate) fn create(
+        path: &std::path::Path,
+        func: u32,
+        config: &IndexConfig,
+    ) -> Result<Self, IndexError> {
+        if config.compress {
+            Ok(Self::V2(CompressedFileWriter::create(
+                path,
+                func,
+                config.zone_step,
+            )?))
+        } else {
+            Ok(Self::V1(IndexFileWriter::create(
+                path,
+                func,
+                config.zone_step,
+                config.zone_min_len,
+            )?))
+        }
+    }
+
+    pub(crate) fn write_list(
+        &mut self,
+        hash: ndss_hash::HashValue,
+        postings: &[Posting],
+    ) -> Result<(), IndexError> {
+        match self {
+            Self::V1(w) => w.write_list(hash, postings),
+            Self::V2(w) => w.write_list(hash, postings),
+        }
+    }
+
+    pub(crate) fn finish(self) -> Result<u64, IndexError> {
+        match self {
+            Self::V1(w) => w.finish(),
+            Self::V2(w) => w.finish(),
+        }
+    }
+}
+
+/// Writes a built [`MemoryIndex`] to `dir` (created if needed) and returns
+/// the opened [`DiskIndex`].
+pub fn write_memory_index(index: &MemoryIndex, dir: &Path) -> Result<DiskIndex, IndexError> {
+    std::fs::create_dir_all(dir)?;
+    let config = index.config();
+    for func in 0..config.k {
+        let mut writer = ListWriter::create(&inv_file_path(dir, func), func as u32, config)?;
+        for (hash, postings) in index.sorted_lists(func) {
+            writer.write_list(hash, postings)?;
+        }
+        writer.finish()?;
+    }
+    DiskIndex::write_meta(dir, config)?;
+    DiskIndex::open(dir)
+}
+
+/// Convenience: build in memory (optionally in parallel) and write to disk.
+/// The paper's medium-scale path end to end.
+pub fn build_and_write<C: CorpusSource + ?Sized>(
+    corpus: &C,
+    config: IndexConfig,
+    dir: &Path,
+    parallel: bool,
+) -> Result<DiskIndex, IndexError> {
+    let mem = if parallel {
+        MemoryIndex::build_parallel(corpus, config)?
+    } else {
+        MemoryIndex::build(corpus, config)?
+    };
+    write_memory_index(&mem, dir)
+}
+
+/// One spilled record: `(hash, posting)`, 24 bytes on disk.
+const SPILL_RECORD_LEN: usize = 8 + Posting::ENCODED_LEN;
+
+fn encode_spill(hash: HashValue, posting: &Posting, out: &mut [u8]) {
+    out[0..8].copy_from_slice(&hash.to_le_bytes());
+    posting.encode(&mut out[8..SPILL_RECORD_LEN]);
+}
+
+fn decode_spill(bytes: &[u8]) -> (HashValue, Posting) {
+    let hash = u64::from_le_bytes(bytes[0..8].try_into().expect("8 bytes"));
+    (hash, Posting::decode(&bytes[8..SPILL_RECORD_LEN]))
+}
+
+/// Out-of-core index builder via hash aggregation.
+#[derive(Debug, Clone)]
+pub struct ExternalIndexBuilder {
+    config: IndexConfig,
+    /// Per-batch token budget for the text scan.
+    batch_tokens: usize,
+    /// Bytes a partition may occupy before it is recursively re-partitioned.
+    memory_budget: usize,
+    /// log2 of the fan-out at each partitioning level.
+    partition_bits: u32,
+    /// Parallelize window generation across hash functions.
+    parallel: bool,
+}
+
+impl ExternalIndexBuilder {
+    /// A builder with defaults sized for tests and CI-scale corpora
+    /// (64 Mi-token batches, 256 MiB partition budget, fan-out 16).
+    pub fn new(config: IndexConfig) -> Self {
+        Self {
+            config,
+            batch_tokens: 64 << 20,
+            memory_budget: 256 << 20,
+            partition_bits: 4,
+            parallel: false,
+        }
+    }
+
+    /// Sets the per-batch token budget.
+    pub fn batch_tokens(mut self, tokens: usize) -> Self {
+        self.batch_tokens = tokens.max(1);
+        self
+    }
+
+    /// Sets the partition memory budget in bytes.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes.max(SPILL_RECORD_LEN);
+        self
+    }
+
+    /// Sets the partition fan-out to `2^bits` (1 ≤ bits ≤ 8).
+    pub fn partition_bits(mut self, bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "partition bits out of range");
+        self.partition_bits = bits;
+        self
+    }
+
+    /// Enables rayon parallelism across hash functions during the scan.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Builds the index for `corpus` into `dir`.
+    pub fn build<C: CorpusSource + ?Sized>(
+        &self,
+        corpus: &C,
+        dir: &Path,
+    ) -> Result<DiskIndex, IndexError> {
+        std::fs::create_dir_all(dir)?;
+        let spill_dir = dir.join("tmp_spill");
+        std::fs::create_dir_all(&spill_dir)?;
+        let mut config = self.config.clone();
+        config.num_texts = corpus.num_texts();
+        config.total_tokens = corpus.total_tokens();
+
+        let result = self.build_inner(corpus, dir, &spill_dir, &config);
+        // Spill files are scratch space either way.
+        std::fs::remove_dir_all(&spill_dir).ok();
+        result?;
+        DiskIndex::write_meta(dir, &config)?;
+        DiskIndex::open(dir)
+    }
+
+    fn build_inner<C: CorpusSource + ?Sized>(
+        &self,
+        corpus: &C,
+        dir: &Path,
+        spill_dir: &Path,
+        config: &IndexConfig,
+    ) -> Result<(), IndexError> {
+        let hasher = config.hasher();
+        let k = config.k;
+        let fanout = 1usize << self.partition_bits;
+        let shift = 64 - self.partition_bits;
+
+        // Phase 1: scan batches, spill (hash, posting) records partitioned
+        // by (function, top hash bits).
+        let mut spills: Vec<Vec<BufWriter<File>>> = (0..k)
+            .map(|func| {
+                (0..fanout)
+                    .map(|p| {
+                        let path = spill_path(spill_dir, func, 0, p);
+                        File::create(path).map(BufWriter::new)
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        for batch in BatchIter::new(corpus, self.batch_tokens) {
+            let batch = batch?;
+            let spill_batch = |(func, writers): (usize, &mut Vec<BufWriter<File>>)| {
+                let mut generator = WindowGenerator::new();
+                let mut windows: Vec<HashedWindow> = Vec::new();
+                let mut record = [0u8; SPILL_RECORD_LEN];
+                for (offset, tokens) in batch.texts.iter().enumerate() {
+                    let text = batch.first + offset as u32;
+                    windows.clear();
+                    generator.generate(&hasher, func, tokens, config.t, &mut windows);
+                    for hw in &windows {
+                        let posting = Posting {
+                            text,
+                            window: hw.window,
+                        };
+                        encode_spill(hw.hash, &posting, &mut record);
+                        let partition = (hw.hash >> shift) as usize;
+                        writers[partition].write_all(&record)?;
+                    }
+                }
+                Ok::<(), IndexError>(())
+            };
+            if self.parallel {
+                spills
+                    .par_iter_mut()
+                    .enumerate()
+                    .map(spill_batch)
+                    .collect::<Result<(), _>>()?;
+            } else {
+                for item in spills.iter_mut().enumerate() {
+                    spill_batch(item)?;
+                }
+            }
+        }
+        for writers in &mut spills {
+            for w in writers {
+                w.flush()?;
+            }
+        }
+        drop(spills);
+
+        // Phase 2: per function, aggregate partitions in ascending hash
+        // order into the final index file.
+        for func in 0..k {
+            let mut writer = ListWriter::create(&inv_file_path(dir, func), func as u32, config)?;
+            for p in 0..fanout {
+                let path = spill_path(spill_dir, func, 0, p);
+                self.process_partition(&path, self.partition_bits, func, spill_dir, &mut writer)?;
+            }
+            writer.finish()?;
+        }
+        Ok(())
+    }
+
+    /// Aggregates one partition file: loads it if it fits the budget (or can
+    /// no longer be split), otherwise re-partitions on the next hash bits
+    /// and recurses in ascending sub-partition order.
+    fn process_partition(
+        &self,
+        path: &Path,
+        consumed_bits: u32,
+        func: usize,
+        spill_dir: &Path,
+        writer: &mut ListWriter,
+    ) -> Result<(), IndexError> {
+        let size = std::fs::metadata(path)?.len();
+        if size == 0 {
+            std::fs::remove_file(path).ok();
+            return Ok(());
+        }
+        let can_split = consumed_bits + self.partition_bits <= 64;
+        if size as usize <= self.memory_budget || !can_split {
+            // Terminal: load, sort, group, emit.
+            let mut bytes = Vec::with_capacity(size as usize);
+            File::open(path)?.read_to_end(&mut bytes)?;
+            std::fs::remove_file(path).ok();
+            if bytes.len() % SPILL_RECORD_LEN != 0 {
+                return Err(IndexError::Malformed(format!(
+                    "spill file {} is not a whole number of records",
+                    path.display()
+                )));
+            }
+            let mut records: Vec<(HashValue, Posting)> = bytes
+                .chunks_exact(SPILL_RECORD_LEN)
+                .map(decode_spill)
+                .collect();
+            records.sort_unstable_by_key(|&(h, p)| (h, p));
+            let mut i = 0;
+            let mut list: Vec<Posting> = Vec::new();
+            while i < records.len() {
+                let hash = records[i].0;
+                list.clear();
+                while i < records.len() && records[i].0 == hash {
+                    list.push(records[i].1);
+                    i += 1;
+                }
+                writer.write_list(hash, &list)?;
+            }
+            return Ok(());
+        }
+
+        // Recursive re-partition on the next `partition_bits` bits.
+        let fanout = 1usize << self.partition_bits;
+        let next_consumed = consumed_bits + self.partition_bits;
+        let sub_shift = 64 - next_consumed;
+        let mask = (fanout - 1) as u64;
+        let mut subs: Vec<BufWriter<File>> = (0..fanout)
+            .map(|p| {
+                let sub_path = sub_partition_path(spill_dir, func, path, p);
+                File::create(sub_path).map(BufWriter::new)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        {
+            let mut reader = std::io::BufReader::new(File::open(path)?);
+            let mut record = [0u8; SPILL_RECORD_LEN];
+            loop {
+                match reader.read_exact(&mut record) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break,
+                    Err(e) => return Err(e.into()),
+                }
+                let hash = u64::from_le_bytes(record[0..8].try_into().expect("8 bytes"));
+                let sub = ((hash >> sub_shift) & mask) as usize;
+                subs[sub].write_all(&record)?;
+            }
+        }
+        for w in &mut subs {
+            w.flush()?;
+        }
+        drop(subs);
+        std::fs::remove_file(path).ok();
+        for p in 0..fanout {
+            let sub_path = sub_partition_path(spill_dir, func, path, p);
+            self.process_partition(&sub_path, next_consumed, func, spill_dir, writer)?;
+        }
+        Ok(())
+    }
+}
+
+fn spill_path(spill_dir: &Path, func: usize, level: u32, partition: usize) -> PathBuf {
+    spill_dir.join(format!("f{func}_l{level}_p{partition}.spill"))
+}
+
+fn sub_partition_path(spill_dir: &Path, func: usize, parent: &Path, partition: usize) -> PathBuf {
+    let parent_stem = parent
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("root");
+    spill_dir.join(format!("f{func}_{parent_stem}_s{partition}.spill"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexAccess;
+    use ndss_corpus::SyntheticCorpusBuilder;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ndss_build_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn file_bytes(path: &Path) -> Vec<u8> {
+        std::fs::read(path).unwrap()
+    }
+
+    #[test]
+    fn external_build_is_byte_identical_to_memory_build() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(31)
+            .num_texts(60)
+            .text_len(80, 200)
+            .vocab_size(400)
+            .build();
+        let config = IndexConfig::new(3, 10, 5).zone_map(8, 16);
+
+        let mem_dir = temp_dir("mem");
+        let mem = MemoryIndex::build(&corpus, config.clone()).unwrap();
+        write_memory_index(&mem, &mem_dir).unwrap();
+
+        let ext_dir = temp_dir("ext");
+        ExternalIndexBuilder::new(config)
+            .batch_tokens(500) // force many batches
+            .build(&corpus, &ext_dir)
+            .unwrap();
+
+        for func in 0..3 {
+            assert_eq!(
+                file_bytes(&inv_file_path(&mem_dir, func)),
+                file_bytes(&inv_file_path(&ext_dir, func)),
+                "inv_{func}.ndsi differs between builders"
+            );
+        }
+        std::fs::remove_dir_all(&mem_dir).ok();
+        std::fs::remove_dir_all(&ext_dir).ok();
+    }
+
+    #[test]
+    fn recursive_partitioning_engages_and_stays_correct() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(32)
+            .num_texts(50)
+            .text_len(100, 150)
+            .vocab_size(200)
+            .build();
+        let config = IndexConfig::new(2, 8, 9);
+
+        let mem = MemoryIndex::build(&corpus, config.clone()).unwrap();
+        let mem_dir = temp_dir("rp_mem");
+        write_memory_index(&mem, &mem_dir).unwrap();
+
+        // A comically small budget forces recursion several levels deep.
+        let ext_dir = temp_dir("rp_ext");
+        ExternalIndexBuilder::new(config)
+            .batch_tokens(700)
+            .memory_budget(1 << 10)
+            .partition_bits(2)
+            .build(&corpus, &ext_dir)
+            .unwrap();
+
+        for func in 0..2 {
+            assert_eq!(
+                file_bytes(&inv_file_path(&mem_dir, func)),
+                file_bytes(&inv_file_path(&ext_dir, func)),
+            );
+        }
+        std::fs::remove_dir_all(&mem_dir).ok();
+        std::fs::remove_dir_all(&ext_dir).ok();
+    }
+
+    #[test]
+    fn parallel_external_build_matches_serial() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(33)
+            .num_texts(40)
+            .text_len(80, 160)
+            .vocab_size(500)
+            .build();
+        let config = IndexConfig::new(4, 10, 2);
+        let a_dir = temp_dir("par_a");
+        let b_dir = temp_dir("par_b");
+        ExternalIndexBuilder::new(config.clone())
+            .parallel(false)
+            .build(&corpus, &a_dir)
+            .unwrap();
+        ExternalIndexBuilder::new(config)
+            .parallel(true)
+            .build(&corpus, &b_dir)
+            .unwrap();
+        for func in 0..4 {
+            assert_eq!(
+                file_bytes(&inv_file_path(&a_dir, func)),
+                file_bytes(&inv_file_path(&b_dir, func)),
+            );
+        }
+        std::fs::remove_dir_all(&a_dir).ok();
+        std::fs::remove_dir_all(&b_dir).ok();
+    }
+
+    #[test]
+    fn spill_scratch_space_is_removed() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(34).num_texts(10).build();
+        let dir = temp_dir("cleanup");
+        ExternalIndexBuilder::new(IndexConfig::new(1, 25, 3))
+            .build(&corpus, &dir)
+            .unwrap();
+        assert!(!dir.join("tmp_spill").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn built_index_reopens_with_same_config() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(35).num_texts(15).build();
+        let dir = temp_dir("reopen");
+        let config = IndexConfig::new(2, 25, 4);
+        let built = build_and_write(&corpus, config, &dir, true).unwrap();
+        let reopened = DiskIndex::open(&dir).unwrap();
+        assert_eq!(built.config(), reopened.config());
+        assert_eq!(reopened.config().num_texts, 15);
+        assert_eq!(reopened.config().total_tokens, corpus.total_tokens());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

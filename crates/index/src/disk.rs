@@ -1,0 +1,465 @@
+//! The on-disk index: a directory of `k` inverted-index files plus metadata.
+//!
+//! ```text
+//! index_dir/
+//!   meta.json      — IndexConfig (k, t, seed, family, corpus dims, zone cfg)
+//!   inv_0.ndsi     — inverted index of hash function 0
+//!   …
+//!   inv_{k-1}.ndsi
+//! ```
+//!
+//! [`DiskIndex`] implements [`IndexAccess`] with real IO: every posting or
+//! zone read seeks into the file and is tallied in [`IoStats`]. Zone maps
+//! make [`IndexAccess::read_postings_for_text`] read `O(list / zone_count)`
+//! bytes instead of the entire list, which is exactly the §3.5 mechanism
+//! that keeps prefix-filtered probes of long lists cheap.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ndss_corpus::TextId;
+use ndss_hash::HashValue;
+
+use crate::codec::CompressedFileReader;
+use crate::format::{IndexFileReader, ZoneEntry};
+use crate::{IndexAccess, IndexConfig, IndexError, IoSnapshot, IoStats, Posting};
+
+/// Version-dispatching handle to one inverted-index file: v1 stores
+/// fixed-width postings with optional zone maps, v2 stores delta-compressed
+/// blocks (see [`crate::codec`]). The version is sniffed from the header so
+/// mixed deployments can open either transparently.
+pub(crate) enum AnyFileReader {
+    V1(IndexFileReader),
+    V2(CompressedFileReader),
+}
+
+impl AnyFileReader {
+    pub(crate) fn open(path: &Path) -> Result<Self, IndexError> {
+        let mut header = [0u8; 8];
+        {
+            use std::io::Read;
+            let mut f = std::fs::File::open(path)?;
+            f.read_exact(&mut header)?;
+        }
+        match u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) {
+            crate::format::VERSION => Ok(Self::V1(IndexFileReader::open(path)?)),
+            crate::codec::VERSION_V2 => Ok(Self::V2(CompressedFileReader::open(path)?)),
+            v => Err(IndexError::Malformed(format!(
+                "unsupported index file version {v} in {}",
+                path.display()
+            ))),
+        }
+    }
+
+    fn func_idx(&self) -> u32 {
+        match self {
+            Self::V1(r) => r.func_idx(),
+            Self::V2(r) => r.func_idx(),
+        }
+    }
+
+    fn num_postings(&self) -> u64 {
+        match self {
+            Self::V1(r) => r.num_postings(),
+            Self::V2(r) => r.num_postings(),
+        }
+    }
+
+    fn list_len(&self, hash: HashValue) -> u64 {
+        match self {
+            Self::V1(r) => r.find(hash).map_or(0, |e| e.count),
+            Self::V2(r) => r.list_len(hash),
+        }
+    }
+
+    /// The `i`-th smallest hash key (directories are hash-sorted).
+    pub(crate) fn hash_at(&self, i: usize) -> Option<HashValue> {
+        match self {
+            Self::V1(r) => r.dir().get(i).map(|d| d.hash),
+            Self::V2(r) => r.hash_at(i),
+        }
+    }
+
+    pub(crate) fn read_list_by_hash(
+        &self,
+        hash: HashValue,
+        stats: &IoStats,
+    ) -> Result<Vec<Posting>, IndexError> {
+        match self {
+            Self::V1(r) => match r.find(hash) {
+                Some(entry) => r.read_postings(entry, stats),
+                None => Ok(Vec::new()),
+            },
+            Self::V2(r) => r.read_list(hash, stats),
+        }
+    }
+
+    fn length_histogram(&self) -> Vec<(u64, u64)> {
+        match self {
+            Self::V1(r) => {
+                let mut hist = std::collections::HashMap::new();
+                for entry in r.dir() {
+                    *hist.entry(entry.count).or_insert(0u64) += 1;
+                }
+                let mut out: Vec<(u64, u64)> = hist.into_iter().collect();
+                out.sort_unstable();
+                out
+            }
+            Self::V2(r) => r.length_histogram(),
+        }
+    }
+}
+
+/// File name of the metadata JSON inside an index directory.
+pub const META_FILE: &str = "meta.json";
+
+/// Returns the inverted-index file path for hash function `func`.
+pub fn inv_file_path(dir: &Path, func: usize) -> PathBuf {
+    dir.join(format!("inv_{func}.ndsi"))
+}
+
+/// Cache of zone maps keyed by `(function, min-hash value)`.
+type ZoneCache = HashMap<(usize, HashValue), Arc<Vec<ZoneEntry>>>;
+
+/// Read-only handle to an index directory.
+pub struct DiskIndex {
+    config: IndexConfig,
+    readers: Vec<AnyFileReader>,
+    stats: IoStats,
+    dir: PathBuf,
+    /// Zone maps read once per (function, hash) and reused across candidate
+    /// probes — they are `O(list / zone_step)` small, and a single query can
+    /// probe the same long list for many candidate texts.
+    zone_cache: Mutex<ZoneCache>,
+}
+
+impl std::fmt::Debug for DiskIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskIndex")
+            .field("dir", &self.dir)
+            .field("k", &self.config.k)
+            .field("t", &self.config.t)
+            .finish()
+    }
+}
+
+impl DiskIndex {
+    /// Opens an index directory written by one of the builders.
+    pub fn open(dir: &Path) -> Result<Self, IndexError> {
+        let meta_path = dir.join(META_FILE);
+        let meta = std::fs::read_to_string(&meta_path).map_err(|e| {
+            IndexError::Malformed(format!("cannot read {}: {e}", meta_path.display()))
+        })?;
+        let config: IndexConfig = serde_json::from_str(&meta)
+            .map_err(|e| IndexError::Malformed(format!("bad meta.json: {e}")))?;
+        let mut readers = Vec::with_capacity(config.k);
+        for func in 0..config.k {
+            let reader = AnyFileReader::open(&inv_file_path(dir, func))?;
+            if reader.func_idx() as usize != func {
+                return Err(IndexError::Malformed(format!(
+                    "inv_{func}.ndsi claims function {}",
+                    reader.func_idx()
+                )));
+            }
+            readers.push(reader);
+        }
+        Ok(Self {
+            config,
+            readers,
+            stats: IoStats::default(),
+            dir: dir.to_owned(),
+            zone_cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Writes `config` as the directory's `meta.json`.
+    pub fn write_meta(dir: &Path, config: &IndexConfig) -> Result<(), IndexError> {
+        let json = serde_json::to_string_pretty(config)
+            .map_err(|e| IndexError::Malformed(e.to_string()))?;
+        std::fs::write(dir.join(META_FILE), json)?;
+        Ok(())
+    }
+
+    /// The directory this index was opened from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total on-disk size of the inverted-index files, in bytes.
+    pub fn size_bytes(&self) -> Result<u64, IndexError> {
+        let mut total = 0;
+        for func in 0..self.config.k {
+            total += std::fs::metadata(inv_file_path(&self.dir, func))?.len();
+        }
+        Ok(total)
+    }
+
+    /// Postings stored under one hash function.
+    pub fn postings_for_function(&self, func: usize) -> Result<u64, IndexError> {
+        self.check_func(func)?;
+        Ok(self.readers[func].num_postings())
+    }
+
+    fn check_func(&self, func: usize) -> Result<(), IndexError> {
+        if func >= self.config.k {
+            Err(IndexError::FunctionOutOfRange(func, self.config.k))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl IndexAccess for DiskIndex {
+    fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    fn list_len(&self, func: usize, hash: HashValue) -> Result<u64, IndexError> {
+        self.check_func(func)?;
+        Ok(self.readers[func].list_len(hash))
+    }
+
+    fn read_list(&self, func: usize, hash: HashValue) -> Result<Vec<Posting>, IndexError> {
+        self.check_func(func)?;
+        match &self.readers[func] {
+            AnyFileReader::V2(r) => r.read_list(hash, &self.stats),
+            AnyFileReader::V1(r) => match r.find(hash) {
+                Some(entry) => r.read_postings(entry, &self.stats),
+                None => Ok(Vec::new()),
+            },
+        }
+    }
+
+    fn read_postings_for_text(
+        &self,
+        func: usize,
+        hash: HashValue,
+        text: TextId,
+    ) -> Result<Vec<Posting>, IndexError> {
+        self.check_func(func)?;
+        let reader = match &self.readers[func] {
+            AnyFileReader::V2(r) => return r.read_postings_for_text(hash, text, &self.stats),
+            AnyFileReader::V1(r) => r,
+        };
+        let Some(entry) = reader.find(hash) else {
+            return Ok(Vec::new());
+        };
+        let (rel_lo, rel_hi) = if entry.has_zone_map() {
+            // Zone probe: bracket the text id between two samples. The zone
+            // map is cached after its first read — repeat probes of the same
+            // list (other candidate texts, later queries) cost no IO.
+            let zone = {
+                let cached = self.zone_cache.lock().get(&(func, hash)).cloned();
+                match cached {
+                    Some(z) => z,
+                    None => {
+                        let z = Arc::new(reader.read_zone(entry, &self.stats)?);
+                        self.zone_cache.lock().insert((func, hash), z.clone());
+                        z
+                    }
+                }
+            };
+            // First sample at or past `text`: postings for `text` cannot
+            // start before the *previous* sample.
+            let first_ge = zone.partition_point(|z| z.text < text);
+            let rel_lo = if first_ge == 0 {
+                0
+            } else {
+                zone[first_ge - 1].rel_idx as u64
+            };
+            // First sample strictly past `text`: postings for `text` end
+            // before it.
+            let first_gt = zone.partition_point(|z| z.text <= text);
+            let rel_hi = if first_gt == zone.len() {
+                entry.count
+            } else {
+                zone[first_gt].rel_idx as u64
+            };
+            (rel_lo, rel_hi)
+        } else {
+            (0, entry.count)
+        };
+        let chunk = reader.read_postings_range(entry, rel_lo, rel_hi, &self.stats)?;
+        Ok(chunk.into_iter().filter(|p| p.text == text).collect())
+    }
+
+    fn io_snapshot(&self) -> IoSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn list_length_histogram(&self, func: usize) -> Result<Vec<(u64, u64)>, IndexError> {
+        self.check_func(func)?;
+        Ok(self.readers[func].length_histogram())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::write_memory_index;
+    use crate::memory::MemoryIndex;
+    use ndss_corpus::SyntheticCorpusBuilder;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ndss_disk_index").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Build a small corpus/index pair and compare every list between the
+    /// memory index and its on-disk copy.
+    #[test]
+    fn disk_matches_memory_everywhere() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(21)
+            .num_texts(40)
+            .text_len(80, 200)
+            .vocab_size(300) // small vocab → plenty of shared hash values
+            .build();
+        // Tiny zone thresholds so zone maps actually engage in the test.
+        let config = IndexConfig::new(4, 10, 77).zone_map(4, 8);
+        let mem = MemoryIndex::build(&corpus, config).unwrap();
+        let dir = temp_dir("match");
+        write_memory_index(&mem, &dir).unwrap();
+        let disk = DiskIndex::open(&dir).unwrap();
+
+        assert_eq!(disk.config(), mem.config());
+        for func in 0..4 {
+            assert_eq!(
+                disk.postings_for_function(func).unwrap(),
+                mem.postings_for_function(func)
+            );
+            for (hash, postings) in mem.sorted_lists(func) {
+                assert_eq!(disk.list_len(func, hash).unwrap(), postings.len() as u64);
+                assert_eq!(disk.read_list(func, hash).unwrap(), postings);
+                // Per-text probes agree with filtering the full list.
+                let some_text = postings[postings.len() / 2].text;
+                let expect: Vec<Posting> = postings
+                    .iter()
+                    .filter(|p| p.text == some_text)
+                    .copied()
+                    .collect();
+                assert_eq!(
+                    disk.read_postings_for_text(func, hash, some_text).unwrap(),
+                    expect
+                );
+            }
+            assert_eq!(
+                disk.list_length_histogram(func).unwrap(),
+                mem.list_length_histogram(func).unwrap()
+            );
+        }
+        assert!(disk.io_snapshot().bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zone_probe_reads_less_than_full_list() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(22)
+            .num_texts(120)
+            .text_len(100, 200)
+            .vocab_size(50) // extremely small vocab → very long lists
+            .build();
+        let config = IndexConfig::new(1, 10, 5).zone_map(8, 32);
+        let mem = MemoryIndex::build(&corpus, config).unwrap();
+        let dir = temp_dir("zone");
+        write_memory_index(&mem, &dir).unwrap();
+        let disk = DiskIndex::open(&dir).unwrap();
+
+        // Find a long list.
+        let lists = mem.sorted_lists(0);
+        let (hash, long) = lists
+            .iter()
+            .max_by_key(|(_, v)| v.len())
+            .map(|&(h, v)| (h, v))
+            .unwrap();
+        assert!(long.len() >= 64, "test corpus should have a long list");
+        let before = disk.io_snapshot();
+        let text = long[long.len() / 2].text;
+        let got = disk.read_postings_for_text(0, hash, text).unwrap();
+        let after = disk.io_snapshot();
+        let read_bytes = after.since(&before).bytes;
+        let full_bytes = long.len() as u64 * Posting::ENCODED_LEN as u64;
+        assert!(
+            read_bytes < full_bytes,
+            "zone probe read {read_bytes} B, full list is {full_bytes} B"
+        );
+        let expect: Vec<Posting> = long.iter().filter(|p| p.text == text).copied().collect();
+        assert_eq!(got, expect);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_hash_reads_empty() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(23).num_texts(5).build();
+        let mem = MemoryIndex::build(&corpus, IndexConfig::new(2, 25, 1)).unwrap();
+        let dir = temp_dir("missing");
+        write_memory_index(&mem, &dir).unwrap();
+        let disk = DiskIndex::open(&dir).unwrap();
+        // Hash value 1 is (almost surely) not a key.
+        assert_eq!(disk.list_len(0, 1).unwrap(), 0);
+        assert!(disk.read_list(0, 1).unwrap().is_empty());
+        assert!(disk.read_postings_for_text(0, 1, 0).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compressed_index_answers_identically_and_is_smaller() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(24)
+            .num_texts(150)
+            .text_len(150, 300)
+            .vocab_size(400) // Zipf-skewed lists: where compression shines
+            .build();
+        let v1_dir = temp_dir("v1");
+        let v2_dir = temp_dir("v2");
+        let base = IndexConfig::new(3, 15, 77).zone_map(32, 64);
+        let v1 = write_memory_index(
+            &MemoryIndex::build(&corpus, base.clone()).unwrap(),
+            &v1_dir,
+        )
+        .unwrap();
+        let v2 = write_memory_index(
+            &MemoryIndex::build(&corpus, base.compressed(true)).unwrap(),
+            &v2_dir,
+        )
+        .unwrap();
+
+        // Identical logical content under both formats.
+        let mem = MemoryIndex::build(&corpus, IndexConfig::new(3, 15, 77)).unwrap();
+        for func in 0..3 {
+            for (hash, postings) in mem.sorted_lists(func) {
+                assert_eq!(v1.read_list(func, hash).unwrap(), postings);
+                assert_eq!(v2.read_list(func, hash).unwrap(), postings, "hash {hash:#x}");
+                assert_eq!(v2.list_len(func, hash).unwrap(), postings.len() as u64);
+                let text = postings[postings.len() / 2].text;
+                assert_eq!(
+                    v1.read_postings_for_text(func, hash, text).unwrap(),
+                    v2.read_postings_for_text(func, hash, text).unwrap()
+                );
+            }
+            assert_eq!(
+                v1.list_length_histogram(func).unwrap(),
+                v2.list_length_histogram(func).unwrap()
+            );
+        }
+        // And materially smaller on disk.
+        let s1 = v1.size_bytes().unwrap();
+        let s2 = v2.size_bytes().unwrap();
+        assert!(
+            (s2 as f64) < s1 as f64 * 0.6,
+            "v2 ({s2} B) should be well under v1 ({s1} B)"
+        );
+        std::fs::remove_dir_all(&v1_dir).ok();
+        std::fs::remove_dir_all(&v2_dir).ok();
+    }
+
+    #[test]
+    fn open_fails_without_meta() {
+        let dir = temp_dir("nometa");
+        std::fs::remove_file(dir.join(META_FILE)).ok();
+        assert!(DiskIndex::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

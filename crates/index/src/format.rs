@@ -1,0 +1,456 @@
+//! Binary format of one inverted-index file (`inv_<i>.ndsi`).
+//!
+//! The file is written streaming, one list at a time in ascending hash
+//! order: postings go out immediately, zone entries accumulate per long
+//! list, and the key directory is buffered in memory (40 bytes per distinct
+//! min-hash value) and appended at the end, with the header rewritten to
+//! record section sizes. Readers load the directory (and only the
+//! directory) into memory; posting and zone reads seek into the file and
+//! are instrumented through [`crate::IoStats`].
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use ndss_hash::HashValue;
+
+use crate::{IndexError, IoStats, Posting};
+
+pub(crate) const MAGIC: &[u8; 4] = b"NDSI";
+pub(crate) const VERSION: u32 = 1;
+/// magic + version + func_idx + reserved + num_keys + num_postings + zone_entries
+/// + zone_step + zone_min_len = 4+4+4+4+8+8+8+4+4.
+pub(crate) const HEADER_LEN: u64 = 48;
+pub(crate) const DIR_ENTRY_LEN: usize = 40;
+pub(crate) const ZONE_ENTRY_LEN: usize = 8;
+
+/// Directory entry for one inverted list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntry {
+    /// The min-hash value keying the list.
+    pub hash: HashValue,
+    /// Index of the list's first posting in the postings section.
+    pub start: u64,
+    /// Number of postings in the list.
+    pub count: u64,
+    /// Index of the list's first zone entry, or `u64::MAX` when the list has
+    /// no zone map (shorter than `zone_min_len`).
+    pub zone_start: u64,
+    /// Number of zone entries.
+    pub zone_count: u64,
+}
+
+impl DirEntry {
+    /// Whether this list carries a zone map.
+    pub fn has_zone_map(&self) -> bool {
+        self.zone_start != u64::MAX
+    }
+}
+
+/// One zone-map entry: the text id found at posting index
+/// `list_start + rel_idx`. Entries sample every `zone_step`-th posting, so a
+/// binary search over them brackets any text id's postings within one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneEntry {
+    /// Text id at the sampled posting.
+    pub text: u32,
+    /// Posting index relative to the list start.
+    pub rel_idx: u32,
+}
+
+/// Streaming writer for one inverted-index file.
+pub struct IndexFileWriter {
+    path: PathBuf,
+    out: BufWriter<File>,
+    func_idx: u32,
+    zone_step: u32,
+    zone_min_len: u32,
+    dir: Vec<DirEntry>,
+    zones: Vec<ZoneEntry>,
+    postings_written: u64,
+    last_hash: Option<HashValue>,
+    posting_buf: [u8; Posting::ENCODED_LEN],
+}
+
+impl IndexFileWriter {
+    /// Creates (truncates) the file and reserves header space.
+    pub fn create(
+        path: &Path,
+        func_idx: u32,
+        zone_step: u32,
+        zone_min_len: u32,
+    ) -> Result<Self, IndexError> {
+        assert!(zone_step >= 1, "zone step must be at least 1");
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(&[0u8; HEADER_LEN as usize])?;
+        Ok(Self {
+            path: path.to_owned(),
+            out,
+            func_idx,
+            zone_step,
+            zone_min_len: zone_min_len.max(1),
+            dir: Vec::new(),
+            zones: Vec::new(),
+            postings_written: 0,
+            last_hash: None,
+            posting_buf: [0u8; Posting::ENCODED_LEN],
+        })
+    }
+
+    /// Writes one complete list. Lists must arrive in strictly ascending
+    /// hash order and each list's postings sorted by `(text, l, c, r)`.
+    pub fn write_list(&mut self, hash: HashValue, postings: &[Posting]) -> Result<(), IndexError> {
+        if postings.is_empty() {
+            return Ok(());
+        }
+        if let Some(last) = self.last_hash {
+            if hash <= last {
+                return Err(IndexError::Malformed(format!(
+                    "lists must be written in ascending hash order ({hash:#x} after {last:#x})"
+                )));
+            }
+        }
+        debug_assert!(
+            postings.windows(2).all(|w| w[0] <= w[1]),
+            "list postings must be sorted"
+        );
+        self.last_hash = Some(hash);
+
+        let start = self.postings_written;
+        let long = postings.len() as u64 >= self.zone_min_len as u64;
+        let (zone_start, mut zone_count) = if long {
+            (self.zones.len() as u64, 0u64)
+        } else {
+            (u64::MAX, 0)
+        };
+        for (rel, p) in postings.iter().enumerate() {
+            p.encode(&mut self.posting_buf);
+            self.out.write_all(&self.posting_buf)?;
+            if long && rel % self.zone_step as usize == 0 {
+                self.zones.push(ZoneEntry {
+                    text: p.text,
+                    rel_idx: rel as u32,
+                });
+                zone_count += 1;
+            }
+        }
+        self.postings_written += postings.len() as u64;
+        self.dir.push(DirEntry {
+            hash,
+            start,
+            count: postings.len() as u64,
+            zone_start,
+            zone_count,
+        });
+        Ok(())
+    }
+
+    /// Appends the zone and directory sections, rewrites the header, and
+    /// syncs. Returns the final file size in bytes.
+    pub fn finish(mut self) -> Result<u64, IndexError> {
+        // Zone section.
+        for z in &self.zones {
+            self.out.write_all(&z.text.to_le_bytes())?;
+            self.out.write_all(&z.rel_idx.to_le_bytes())?;
+        }
+        // Directory section.
+        for d in &self.dir {
+            self.out.write_all(&d.hash.to_le_bytes())?;
+            self.out.write_all(&d.start.to_le_bytes())?;
+            self.out.write_all(&d.count.to_le_bytes())?;
+            self.out.write_all(&d.zone_start.to_le_bytes())?;
+            self.out.write_all(&d.zone_count.to_le_bytes())?;
+        }
+        self.out.flush()?;
+        let mut file = self.out.into_inner().map_err(|e| e.into_error())?;
+        let size = file.stream_position()?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(MAGIC)?;
+        file.write_all(&VERSION.to_le_bytes())?;
+        file.write_all(&self.func_idx.to_le_bytes())?;
+        file.write_all(&0u32.to_le_bytes())?; // reserved
+        file.write_all(&(self.dir.len() as u64).to_le_bytes())?;
+        file.write_all(&self.postings_written.to_le_bytes())?;
+        file.write_all(&(self.zones.len() as u64).to_le_bytes())?;
+        file.write_all(&self.zone_step.to_le_bytes())?;
+        file.write_all(&self.zone_min_len.to_le_bytes())?;
+        file.sync_all()?;
+        let _ = self.path;
+        Ok(size)
+    }
+}
+
+/// Read-only handle to one inverted-index file. The directory lives in
+/// memory; postings and zone entries are read on demand with IO accounting.
+pub struct IndexFileReader {
+    file: Mutex<File>,
+    dir: Vec<DirEntry>,
+    func_idx: u32,
+    zone_step: u32,
+    num_postings: u64,
+    /// Byte offset of the zone section.
+    zone_section: u64,
+}
+
+impl std::fmt::Debug for IndexFileReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexFileReader")
+            .field("func_idx", &self.func_idx)
+            .field("keys", &self.dir.len())
+            .field("postings", &self.num_postings)
+            .finish()
+    }
+}
+
+impl IndexFileReader {
+    /// Opens the file and loads its directory.
+    pub fn open(path: &Path) -> Result<Self, IndexError> {
+        let mut file = File::open(path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        if &header[0..4] != MAGIC {
+            return Err(IndexError::Malformed(format!(
+                "bad magic in {}",
+                path.display()
+            )));
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(header[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().expect("8 bytes"));
+        let version = u32_at(4);
+        if version != VERSION {
+            return Err(IndexError::Malformed(format!(
+                "unsupported index version {version}"
+            )));
+        }
+        let func_idx = u32_at(8);
+        let num_keys = u64_at(16);
+        let num_postings = u64_at(24);
+        let zone_entries = u64_at(32);
+        let zone_step = u32_at(40);
+
+        let zone_section = HEADER_LEN + num_postings * Posting::ENCODED_LEN as u64;
+        let dir_section = zone_section + zone_entries * ZONE_ENTRY_LEN as u64;
+        file.seek(SeekFrom::Start(dir_section))?;
+        let mut dir_bytes = vec![0u8; num_keys as usize * DIR_ENTRY_LEN];
+        file.read_exact(&mut dir_bytes)?;
+        let mut dir = Vec::with_capacity(num_keys as usize);
+        for chunk in dir_bytes.chunks_exact(DIR_ENTRY_LEN) {
+            let g = |o: usize| u64::from_le_bytes(chunk[o..o + 8].try_into().expect("8 bytes"));
+            dir.push(DirEntry {
+                hash: g(0),
+                start: g(8),
+                count: g(16),
+                zone_start: g(24),
+                zone_count: g(32),
+            });
+        }
+        if dir.windows(2).any(|w| w[0].hash >= w[1].hash) {
+            return Err(IndexError::Malformed(
+                "directory keys are not strictly ascending".into(),
+            ));
+        }
+        Ok(Self {
+            file: Mutex::new(file),
+            dir,
+            func_idx,
+            zone_step,
+            num_postings,
+            zone_section,
+        })
+    }
+
+    /// The hash-function number recorded in the header.
+    pub fn func_idx(&self) -> u32 {
+        self.func_idx
+    }
+
+    /// Total postings in this file.
+    pub fn num_postings(&self) -> u64 {
+        self.num_postings
+    }
+
+    /// Number of distinct min-hash keys.
+    pub fn num_keys(&self) -> usize {
+        self.dir.len()
+    }
+
+    /// The directory entry for `hash`, if present.
+    pub fn find(&self, hash: HashValue) -> Option<&DirEntry> {
+        self.dir
+            .binary_search_by_key(&hash, |d| d.hash)
+            .ok()
+            .map(|i| &self.dir[i])
+    }
+
+    /// Iterates all directory entries (ascending hash).
+    pub fn dir(&self) -> &[DirEntry] {
+        &self.dir
+    }
+
+    /// The zone-map sampling step this file was written with.
+    pub fn zone_step(&self) -> u32 {
+        self.zone_step
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8], stats: &IoStats) -> Result<(), IndexError> {
+        let start = Instant::now();
+        {
+            let mut file = self.file.lock().expect("index file lock poisoned");
+            file.seek(SeekFrom::Start(offset))?;
+            file.read_exact(buf)?;
+        }
+        stats.record(buf.len() as u64, start.elapsed().as_nanos() as u64);
+        Ok(())
+    }
+
+    /// Reads postings `[rel_lo, rel_hi)` of the list described by `entry`.
+    pub fn read_postings_range(
+        &self,
+        entry: &DirEntry,
+        rel_lo: u64,
+        rel_hi: u64,
+        stats: &IoStats,
+    ) -> Result<Vec<Posting>, IndexError> {
+        assert!(rel_lo <= rel_hi && rel_hi <= entry.count, "bad posting range");
+        let count = (rel_hi - rel_lo) as usize;
+        let mut bytes = vec![0u8; count * Posting::ENCODED_LEN];
+        let offset = HEADER_LEN + (entry.start + rel_lo) * Posting::ENCODED_LEN as u64;
+        self.read_at(offset, &mut bytes, stats)?;
+        Ok(bytes
+            .chunks_exact(Posting::ENCODED_LEN)
+            .map(Posting::decode)
+            .collect())
+    }
+
+    /// Reads an entire list.
+    pub fn read_postings(
+        &self,
+        entry: &DirEntry,
+        stats: &IoStats,
+    ) -> Result<Vec<Posting>, IndexError> {
+        self.read_postings_range(entry, 0, entry.count, stats)
+    }
+
+    /// Reads the zone entries of a long list.
+    pub fn read_zone(
+        &self,
+        entry: &DirEntry,
+        stats: &IoStats,
+    ) -> Result<Vec<ZoneEntry>, IndexError> {
+        if !entry.has_zone_map() {
+            return Ok(Vec::new());
+        }
+        let mut bytes = vec![0u8; entry.zone_count as usize * ZONE_ENTRY_LEN];
+        let offset = self.zone_section + entry.zone_start * ZONE_ENTRY_LEN as u64;
+        self.read_at(offset, &mut bytes, stats)?;
+        Ok(bytes
+            .chunks_exact(ZONE_ENTRY_LEN)
+            .map(|c| ZoneEntry {
+                text: u32::from_le_bytes(c[0..4].try_into().expect("4 bytes")),
+                rel_idx: u32::from_le_bytes(c[4..8].try_into().expect("4 bytes")),
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndss_windows::CompactWindow;
+
+    fn posting(text: u32, l: u32) -> Posting {
+        Posting {
+            text,
+            window: CompactWindow::new(l, l + 1, l + 10),
+        }
+    }
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ndss_index_format");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = temp("roundtrip.ndsi");
+        let mut w = IndexFileWriter::create(&path, 3, 4, 8).unwrap();
+        let short: Vec<Posting> = (0..5).map(|i| posting(i, 0)).collect();
+        let long: Vec<Posting> = (0..100).map(|i| posting(i / 3, i % 3)).collect();
+        w.write_list(10, &short).unwrap();
+        w.write_list(20, &long).unwrap();
+        w.finish().unwrap();
+
+        let r = IndexFileReader::open(&path).unwrap();
+        assert_eq!(r.func_idx(), 3);
+        assert_eq!(r.num_keys(), 2);
+        assert_eq!(r.num_postings(), 105);
+        let stats = IoStats::default();
+
+        let e10 = r.find(10).unwrap();
+        assert!(!e10.has_zone_map(), "short list must not get a zone map");
+        assert_eq!(r.read_postings(e10, &stats).unwrap(), short);
+
+        let e20 = r.find(20).unwrap();
+        assert!(e20.has_zone_map());
+        assert_eq!(r.read_postings(e20, &stats).unwrap(), long);
+        let zone = r.read_zone(e20, &stats).unwrap();
+        assert_eq!(zone.len(), 25); // every 4th of 100 postings
+        assert_eq!(zone[0].rel_idx, 0);
+        assert_eq!(zone[1].rel_idx, 4);
+        assert_eq!(zone[0].text, long[0].text);
+
+        assert!(r.find(15).is_none());
+        assert!(stats.snapshot().bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_out_of_order_lists() {
+        let path = temp("order.ndsi");
+        let mut w = IndexFileWriter::create(&path, 0, 4, 8).unwrap();
+        w.write_list(20, &[posting(0, 0)]).unwrap();
+        assert!(w.write_list(10, &[posting(0, 0)]).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_lists_are_skipped() {
+        let path = temp("empty.ndsi");
+        let mut w = IndexFileWriter::create(&path, 0, 4, 8).unwrap();
+        w.write_list(10, &[]).unwrap();
+        w.write_list(20, &[posting(1, 2)]).unwrap();
+        w.finish().unwrap();
+        let r = IndexFileReader::open(&path).unwrap();
+        assert_eq!(r.num_keys(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn range_read_returns_exact_slice() {
+        let path = temp("range.ndsi");
+        let mut w = IndexFileWriter::create(&path, 0, 16, 4).unwrap();
+        let list: Vec<Posting> = (0..50).map(|i| posting(i, i)).collect();
+        w.write_list(7, &list).unwrap();
+        w.finish().unwrap();
+        let r = IndexFileReader::open(&path).unwrap();
+        let stats = IoStats::default();
+        let e = r.find(7).unwrap();
+        assert_eq!(
+            r.read_postings_range(e, 10, 20, &stats).unwrap(),
+            list[10..20]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = temp("garbage.ndsi");
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        assert!(IndexFileReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,328 @@
+//! Inverted indexes over compact windows (paper §3.4, Algorithm 1).
+//!
+//! The index is the offline artifact of the system: for each of the `k`
+//! hash functions, an inverted index maps a min-hash value `h` to the list
+//! of compact windows `(T, l, c, r)` whose pivot hashes to `h`, ordered by
+//! text id. At query time the processor fetches the `k` lists named by the
+//! query's k-mins sketch and counts collisions (implemented in `ndss-query`).
+//!
+//! Three representations share the [`IndexAccess`] trait:
+//!
+//! * [`MemoryIndex`] — hash maps of posting vectors, built directly from a
+//!   corpus. The paper's medium-scale path ("first builds an inverted index
+//!   in memory and then writes it back to disk").
+//! * [`DiskIndex`] — the on-disk format: one file per hash function with a
+//!   sorted key directory, fixed-width posting lists, and **zone maps** for
+//!   long lists so a single text's postings can be located without reading
+//!   the whole list (§3.5). All reads are instrumented with [`IoStats`], the
+//!   source of the IO/CPU split in the paper's latency figures.
+//! * the builders in [`build`] — [`build::write_memory_index`] (Algorithm 1)
+//!   and [`build::ExternalIndexBuilder`] (hash aggregation with recursive
+//!   partitioning for corpora larger than memory). Both emit byte-identical
+//!   files for the same corpus and configuration, which integration tests
+//!   assert.
+//!
+//! # Layout of one inverted-index file (`inv_<i>.ndsi`)
+//!
+//! ```text
+//! ┌───────────────────────────────────────────────────────────────────┐
+//! │ header: magic "NDSI", version, func_idx, num_keys, num_postings,  │
+//! │         zone_entries, zone_step, zone_min_len                     │
+//! ├───────────────────────────────────────────────────────────────────┤
+//! │ postings: num_postings × { text u32, l u32, c u32, r u32 }        │
+//! │           (each list sorted by (text, l, c, r))                   │
+//! ├───────────────────────────────────────────────────────────────────┤
+//! │ zones: zone_entries × { text u32, rel_idx u32 }                   │
+//! ├───────────────────────────────────────────────────────────────────┤
+//! │ directory: num_keys × { hash u64, start u64, count u64,           │
+//! │            zone_start u64, zone_count u64 }   (sorted by hash;    │
+//! │            written last so construction streams in one pass)      │
+//! └───────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! A posting is 16 bytes, matching the paper's "4 integers per compact
+//! window" accounting that yields the `8/t` index-to-corpus size ratio.
+
+pub mod build;
+pub mod codec;
+pub mod disk;
+pub mod format;
+pub mod memory;
+pub mod merge;
+
+pub use build::{build_and_write, write_memory_index, ExternalIndexBuilder};
+pub use disk::{inv_file_path, DiskIndex};
+pub use memory::MemoryIndex;
+pub use merge::merge_indexes;
+
+use serde::{Deserialize, Serialize};
+
+use ndss_corpus::TextId;
+use ndss_hash::universal::HashFamily;
+use ndss_hash::{HashValue, MinHasher};
+use ndss_windows::CompactWindow;
+
+/// Errors raised by index construction and access.
+#[derive(Debug, thiserror::Error)]
+pub enum IndexError {
+    /// A stored index file or directory is structurally invalid.
+    #[error("malformed index: {0}")]
+    Malformed(String),
+    /// The queried hash-function number exceeds `k`.
+    #[error("hash function {0} out of range (index has k = {1})")]
+    FunctionOutOfRange(usize, usize),
+    /// Error from the corpus layer during construction.
+    #[error(transparent)]
+    Corpus(#[from] ndss_corpus::CorpusError),
+    /// Underlying IO failure.
+    #[error(transparent)]
+    Io(#[from] std::io::Error),
+}
+
+/// One inverted-list entry: a compact window in an identified text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Posting {
+    /// The text containing the window.
+    pub text: TextId,
+    /// The window within it.
+    pub window: CompactWindow,
+}
+
+impl Posting {
+    /// Size of the binary encoding: 4 × u32.
+    pub const ENCODED_LEN: usize = 16;
+
+    /// Encodes into 16 little-endian bytes.
+    #[inline]
+    pub fn encode(&self, out: &mut [u8]) {
+        out[0..4].copy_from_slice(&self.text.to_le_bytes());
+        out[4..8].copy_from_slice(&self.window.l.to_le_bytes());
+        out[8..12].copy_from_slice(&self.window.c.to_le_bytes());
+        out[12..16].copy_from_slice(&self.window.r.to_le_bytes());
+    }
+
+    /// Decodes from 16 little-endian bytes.
+    #[inline]
+    pub fn decode(bytes: &[u8]) -> Self {
+        let u = |o: usize| u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+        Posting {
+            text: u(0),
+            window: CompactWindow::new(u(4), u(8), u(12)),
+        }
+    }
+}
+
+/// Everything needed to rebuild the query-side hashing and to sanity-check
+/// compatibility between an index and a query configuration. Persisted as
+/// `meta.json` in the index directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexConfig {
+    /// Number of hash functions `k`.
+    pub k: usize,
+    /// Length threshold `t` (minimum near-duplicate sequence length).
+    pub t: usize,
+    /// Master seed the hash bank derives from.
+    pub seed: u64,
+    /// Universal hash family.
+    pub family: HashFamily,
+    /// Number of texts in the indexed corpus.
+    pub num_texts: usize,
+    /// Total tokens in the indexed corpus.
+    pub total_tokens: u64,
+    /// Zone-map sampling step `s`: one zone entry per `s` postings. In the
+    /// compressed (v2) format this is the block length.
+    pub zone_step: u32,
+    /// Minimum list length (postings) for a list to receive a zone map
+    /// (v1 format only; v2 blocks every list).
+    pub zone_min_len: u32,
+    /// Store posting lists delta-compressed (file format v2). Trades decode
+    /// CPU for ~3–4× smaller lists — usually a win in the IO-dominated
+    /// query regime. Defaults to off (v1, fixed-width postings).
+    #[serde(default)]
+    pub compress: bool,
+}
+
+impl IndexConfig {
+    /// A configuration with the paper's defaults (`k = 32`, `t = 25`,
+    /// multiply–shift hashing, zone maps on lists ≥ 1024 postings with step
+    /// 256). Corpus dimensions are filled in by the builders.
+    pub fn new(k: usize, t: usize, seed: u64) -> Self {
+        assert!(k >= 1, "need at least one hash function");
+        assert!(t >= 1, "length threshold must be at least 1");
+        Self {
+            k,
+            t,
+            seed,
+            family: HashFamily::MultiplyShift,
+            num_texts: 0,
+            total_tokens: 0,
+            zone_step: 256,
+            zone_min_len: 1024,
+            compress: false,
+        }
+    }
+
+    /// Overrides the hash family.
+    pub fn family(mut self, family: HashFamily) -> Self {
+        self.family = family;
+        self
+    }
+
+    /// Overrides the zone-map parameters.
+    pub fn zone_map(mut self, step: u32, min_len: u32) -> Self {
+        assert!(step >= 1, "zone step must be at least 1");
+        self.zone_step = step;
+        self.zone_min_len = min_len.max(1);
+        self
+    }
+
+    /// Enables or disables compressed (v2) posting storage.
+    pub fn compressed(mut self, compress: bool) -> Self {
+        self.compress = compress;
+        self
+    }
+
+    /// The hash bank this configuration describes.
+    pub fn hasher(&self) -> MinHasher {
+        MinHasher::with_family(self.k, self.seed, self.family)
+    }
+}
+
+/// Cumulative IO accounting (bytes and wall time spent in reads). The disk
+/// index updates these on every list or zone access; the query processor
+/// snapshots them to report the paper's stacked IO-vs-CPU latency bars.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: std::sync::atomic::AtomicU64,
+    bytes: std::sync::atomic::AtomicU64,
+    nanos: std::sync::atomic::AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoSnapshot {
+    /// Number of read operations.
+    pub reads: u64,
+    /// Bytes read.
+    pub bytes: u64,
+    /// Wall time spent in reads, in nanoseconds.
+    pub nanos: u64,
+}
+
+impl IoSnapshot {
+    /// Difference `self − earlier` (for per-query accounting).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads - earlier.reads,
+            bytes: self.bytes - earlier.bytes,
+            nanos: self.nanos - earlier.nanos,
+        }
+    }
+
+    /// IO wall time as a `Duration`.
+    pub fn time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.nanos)
+    }
+}
+
+impl IoStats {
+    /// Records one read of `bytes` bytes taking `nanos` wall nanoseconds.
+    pub fn record(&self, bytes: u64, nanos: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.reads.fetch_add(1, Relaxed);
+        self.bytes.fetch_add(bytes, Relaxed);
+        self.nanos.fetch_add(nanos, Relaxed);
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> IoSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        IoSnapshot {
+            reads: self.reads.load(Relaxed),
+            bytes: self.bytes.load(Relaxed),
+            nanos: self.nanos.load(Relaxed),
+        }
+    }
+}
+
+/// Uniform read access to an inverted index, memory- or disk-resident.
+///
+/// The query processor (`ndss-query`) is written against this trait, so the
+/// same Algorithm 3 implementation serves both the paper's in-memory and
+/// out-of-core settings.
+pub trait IndexAccess: Send + Sync {
+    /// The index's configuration (k, t, seed, …).
+    fn config(&self) -> &IndexConfig;
+
+    /// Length (in postings) of list `hash` under function `func`; 0 when the
+    /// hash value is absent. Must be cheap: the query planner calls it `k`
+    /// times per query to split short from long lists.
+    fn list_len(&self, func: usize, hash: HashValue) -> Result<u64, IndexError>;
+
+    /// Reads the entire list `hash` under function `func` (possibly empty),
+    /// ordered by `(text, l, c, r)`.
+    fn read_list(&self, func: usize, hash: HashValue) -> Result<Vec<Posting>, IndexError>;
+
+    /// Reads only the postings of `text` within list `hash` under `func`,
+    /// using a zone map when available so long lists are not fully scanned.
+    fn read_postings_for_text(
+        &self,
+        func: usize,
+        hash: HashValue,
+        text: TextId,
+    ) -> Result<Vec<Posting>, IndexError>;
+
+    /// Cumulative IO counters (zero for memory indexes).
+    fn io_snapshot(&self) -> IoSnapshot;
+
+    /// Distribution of list lengths under `func` as `(length, how many
+    /// lists)` pairs — used to pick prefix-filtering cutoffs.
+    fn list_length_histogram(&self, func: usize) -> Result<Vec<(u64, u64)>, IndexError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn posting_encode_decode_roundtrip() {
+        let p = Posting {
+            text: 123456,
+            window: CompactWindow::new(7, 99, 4_000_000_000),
+        };
+        let mut buf = [0u8; Posting::ENCODED_LEN];
+        p.encode(&mut buf);
+        assert_eq!(Posting::decode(&buf), p);
+    }
+
+    #[test]
+    fn io_stats_accumulate_and_diff() {
+        let stats = IoStats::default();
+        stats.record(100, 5);
+        let a = stats.snapshot();
+        stats.record(50, 3);
+        let b = stats.snapshot();
+        assert_eq!(b.reads, 2);
+        assert_eq!(b.bytes, 150);
+        let d = b.since(&a);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.bytes, 50);
+        assert_eq!(d.nanos, 3);
+    }
+
+    #[test]
+    fn config_builder_and_hasher() {
+        let cfg = IndexConfig::new(8, 25, 42).zone_map(64, 128);
+        assert_eq!(cfg.zone_step, 64);
+        assert_eq!(cfg.zone_min_len, 128);
+        let h = cfg.hasher();
+        assert_eq!(h.k(), 8);
+        assert_eq!(h.seed(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "length threshold")]
+    fn config_rejects_zero_t() {
+        IndexConfig::new(8, 0, 1);
+    }
+}

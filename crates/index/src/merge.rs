@@ -1,0 +1,273 @@
+//! Merging index directories.
+//!
+//! Large-corpus deployments shard the corpus, build per-shard indexes
+//! (possibly on different machines — the natural extension of the paper's
+//! parallel build), and merge them into one searchable index. Because each
+//! shard numbers its texts from zero, merging re-bases text ids by the
+//! cumulative text counts of the preceding shards — exactly the id layout
+//! that indexing the concatenated corpus would produce, which is what the
+//! equivalence tests assert (merge ≡ build-of-concatenation, byte for
+//! byte).
+//!
+//! The merge itself is a k-way merge over the (hash-sorted) directories of
+//! the input files: lists with distinct hashes stream through unchanged;
+//! lists sharing a hash concatenate in shard order, which keeps postings
+//! sorted because re-based text ids of shard `s` all precede those of shard
+//! `s + 1`.
+
+use std::path::Path;
+
+use crate::build::ListWriter;
+use crate::disk::{inv_file_path, AnyFileReader, DiskIndex};
+use crate::{IndexConfig, IndexError, IoStats};
+
+/// Merges the index directories `inputs` (in shard order) into `out_dir`.
+///
+/// All inputs must share the same `k`, `t`, seed, hash family, and zone-map
+/// parameters; text ids are re-based by cumulative shard sizes. Returns the
+/// opened merged index.
+pub fn merge_indexes(inputs: &[&Path], out_dir: &Path) -> Result<DiskIndex, IndexError> {
+    if inputs.is_empty() {
+        return Err(IndexError::Malformed("no input indexes to merge".into()));
+    }
+    // Load and validate configurations.
+    let mut configs = Vec::with_capacity(inputs.len());
+    for dir in inputs {
+        let meta = std::fs::read_to_string(dir.join(crate::disk::META_FILE))
+            .map_err(|e| IndexError::Malformed(format!("{}: {e}", dir.display())))?;
+        let config: IndexConfig = serde_json::from_str(&meta)
+            .map_err(|e| IndexError::Malformed(format!("bad meta.json in {}: {e}", dir.display())))?;
+        configs.push(config);
+    }
+    let base = &configs[0];
+    for (i, c) in configs.iter().enumerate().skip(1) {
+        let compatible = c.k == base.k
+            && c.t == base.t
+            && c.seed == base.seed
+            && c.family == base.family
+            && c.zone_step == base.zone_step
+            && c.zone_min_len == base.zone_min_len
+            && c.compress == base.compress;
+        if !compatible {
+            return Err(IndexError::Malformed(format!(
+                "index {} has incompatible configuration (k/t/seed/family/zone must match shard 0)",
+                inputs[i].display()
+            )));
+        }
+    }
+    // Text-id offsets: shard s's ids shift by the texts of shards 0..s.
+    let mut offsets = Vec::with_capacity(inputs.len());
+    let mut total_texts = 0u64;
+    let mut total_tokens = 0u64;
+    for c in &configs {
+        offsets.push(total_texts as u32);
+        total_texts += c.num_texts as u64;
+        total_tokens += c.total_tokens;
+    }
+    if total_texts > u32::MAX as u64 {
+        return Err(IndexError::Malformed(format!(
+            "merged corpus would have {total_texts} texts; text ids are 32-bit"
+        )));
+    }
+
+    std::fs::create_dir_all(out_dir)?;
+    let stats = IoStats::default();
+    for func in 0..base.k {
+        let readers: Vec<AnyFileReader> = inputs
+            .iter()
+            .map(|dir| AnyFileReader::open(&inv_file_path(dir, func)))
+            .collect::<Result<_, _>>()?;
+        let mut writer = ListWriter::create(&inv_file_path(out_dir, func), func as u32, base)?;
+        // K-way merge over the sorted directories by (hash, shard order).
+        let mut cursors = vec![0usize; readers.len()];
+        let mut merged: Vec<crate::Posting> = Vec::new();
+        loop {
+            // The smallest hash any reader still has.
+            let mut next_hash = None;
+            for (r, reader) in readers.iter().enumerate() {
+                if let Some(h) = reader.hash_at(cursors[r]) {
+                    next_hash = Some(match next_hash {
+                        None => h,
+                        Some(best) if h < best => h,
+                        Some(best) => best,
+                    });
+                }
+            }
+            let Some(hash) = next_hash else { break };
+            merged.clear();
+            for (r, reader) in readers.iter().enumerate() {
+                if reader.hash_at(cursors[r]) != Some(hash) {
+                    continue;
+                }
+                let postings = reader.read_list_by_hash(hash, &stats)?;
+                let offset = offsets[r];
+                merged.extend(postings.into_iter().map(|mut p| {
+                    p.text += offset;
+                    p
+                }));
+                cursors[r] += 1;
+            }
+            writer.write_list(hash, &merged)?;
+        }
+        writer.finish()?;
+    }
+    let mut merged_config = base.clone();
+    merged_config.num_texts = total_texts as usize;
+    merged_config.total_tokens = total_tokens;
+    DiskIndex::write_meta(out_dir, &merged_config)?;
+    DiskIndex::open(out_dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_and_write, write_memory_index};
+    use crate::memory::MemoryIndex;
+    use crate::IndexAccess;
+    use ndss_corpus::{CorpusSource, InMemoryCorpus, SyntheticCorpusBuilder};
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ndss_merge_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn split_corpus(corpus: &InMemoryCorpus, cut: usize) -> (InMemoryCorpus, InMemoryCorpus) {
+        let all: Vec<Vec<u32>> = corpus.iter().map(|(_, t)| t.to_vec()).collect();
+        (
+            InMemoryCorpus::from_texts(all[..cut].to_vec()),
+            InMemoryCorpus::from_texts(all[cut..].to_vec()),
+        )
+    }
+
+    #[test]
+    fn merge_equals_build_of_concatenation() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(61)
+            .num_texts(50)
+            .text_len(80, 200)
+            .vocab_size(500)
+            .build();
+        let (a, b) = split_corpus(&corpus, 20);
+        let config = IndexConfig::new(3, 12, 5).zone_map(8, 16);
+
+        let dir_a = temp_dir("shard_a");
+        let dir_b = temp_dir("shard_b");
+        build_and_write(&a, config.clone(), &dir_a, false).unwrap();
+        build_and_write(&b, config.clone(), &dir_b, false).unwrap();
+
+        let dir_merged = temp_dir("merged");
+        let merged = merge_indexes(&[&dir_a, &dir_b], &dir_merged).unwrap();
+
+        let dir_full = temp_dir("full");
+        let full = MemoryIndex::build(&corpus, config).unwrap();
+        write_memory_index(&full, &dir_full).unwrap();
+
+        for func in 0..3 {
+            assert_eq!(
+                std::fs::read(inv_file_path(&dir_merged, func)).unwrap(),
+                std::fs::read(inv_file_path(&dir_full, func)).unwrap(),
+                "merged inv_{func}.ndsi differs from direct build"
+            );
+        }
+        assert_eq!(merged.config().num_texts, corpus.num_texts());
+        assert_eq!(merged.config().total_tokens, corpus.total_tokens());
+        for d in [dir_a, dir_b, dir_merged, dir_full] {
+            std::fs::remove_dir_all(&d).ok();
+        }
+    }
+
+    #[test]
+    fn three_way_merge_works() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(62)
+            .num_texts(45)
+            .vocab_size(400)
+            .build();
+        let all: Vec<Vec<u32>> = corpus.iter().map(|(_, t)| t.to_vec()).collect();
+        let shards = [
+            InMemoryCorpus::from_texts(all[..10].to_vec()),
+            InMemoryCorpus::from_texts(all[10..30].to_vec()),
+            InMemoryCorpus::from_texts(all[30..].to_vec()),
+        ];
+        let config = IndexConfig::new(2, 25, 9);
+        let dirs: Vec<PathBuf> = (0..3).map(|i| temp_dir(&format!("w3_{i}"))).collect();
+        for (shard, dir) in shards.iter().zip(&dirs) {
+            build_and_write(shard, config.clone(), dir, false).unwrap();
+        }
+        let out = temp_dir("w3_merged");
+        let refs: Vec<&Path> = dirs.iter().map(PathBuf::as_path).collect();
+        merge_indexes(&refs, &out).unwrap();
+
+        let dir_full = temp_dir("w3_full");
+        build_and_write(&corpus, config, &dir_full, false).unwrap();
+        for func in 0..2 {
+            assert_eq!(
+                std::fs::read(inv_file_path(&out, func)).unwrap(),
+                std::fs::read(inv_file_path(&dir_full, func)).unwrap(),
+            );
+        }
+        for d in dirs.into_iter().chain([out, dir_full]) {
+            std::fs::remove_dir_all(&d).ok();
+        }
+    }
+
+    #[test]
+    fn incompatible_configs_are_rejected() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(63).num_texts(10).build();
+        let dir_a = temp_dir("bad_a");
+        let dir_b = temp_dir("bad_b");
+        build_and_write(&corpus, IndexConfig::new(2, 25, 1), &dir_a, false).unwrap();
+        build_and_write(&corpus, IndexConfig::new(2, 25, 2), &dir_b, false).unwrap(); // seed differs
+        let out = temp_dir("bad_out");
+        assert!(matches!(
+            merge_indexes(&[&dir_a, &dir_b], &out),
+            Err(IndexError::Malformed(_))
+        ));
+        for d in [dir_a, dir_b, out] {
+            std::fs::remove_dir_all(&d).ok();
+        }
+    }
+
+    #[test]
+    fn empty_input_list_is_rejected() {
+        let out = temp_dir("empty_out");
+        assert!(merge_indexes(&[], &out).is_err());
+        std::fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn merged_index_is_searchable() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(64)
+            .num_texts(40)
+            .duplicates_per_text(1.0)
+            .mutation_rate(0.0)
+            .build();
+        let (a, b) = split_corpus(&corpus, 25);
+        let config = IndexConfig::new(8, 25, 3);
+        let dir_a = temp_dir("s_a");
+        let dir_b = temp_dir("s_b");
+        build_and_write(&a, config.clone(), &dir_a, false).unwrap();
+        build_and_write(&b, config, &dir_b, false).unwrap();
+        let out = temp_dir("s_merged");
+        let merged = merge_indexes(&[&dir_a, &dir_b], &out).unwrap();
+        // A planted pair whose src and dst may be in different shards is
+        // findable through the merged index with global text ids.
+        let hasher = merged.config().hasher();
+        let p = planted.first().unwrap();
+        let query = corpus.sequence_to_vec(p.dst).unwrap();
+        let sketch = hasher.sketch(&query);
+        let mut hit_src = false;
+        for func in 0..8 {
+            for posting in merged.read_list(func, sketch.value(func)).unwrap() {
+                if posting.text == p.src.text {
+                    hit_src = true;
+                }
+            }
+        }
+        assert!(hit_src, "planted source not reachable through merged index");
+        for d in [dir_a, dir_b, out] {
+            std::fs::remove_dir_all(&d).ok();
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Text generation strategies (paper §2, "Generation Strategies").
+//!
+//! The paper enumerates the standard decoding schemes — greedy search, beam
+//! search, random sampling, top-k sampling, and top-p (nucleus) sampling —
+//! and uses **top-50 sampling without a prompt** for its memorization
+//! experiments (§5). All five are implemented against the n-gram model.
+
+use ndss_hash::{TokenId, Xoshiro256StarStar};
+
+use crate::ngram::NGramModel;
+
+/// A decoding strategy for picking the next token.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GenerationStrategy {
+    /// Always the most probable next token.
+    Greedy,
+    /// Sample from the full next-token distribution.
+    Random,
+    /// Sample from the `k` most probable next tokens (the paper's
+    /// experiments use `TopK(50)`).
+    TopK(usize),
+    /// Sample from the smallest prefix of tokens whose cumulative
+    /// probability reaches `p`.
+    TopP(f64),
+    /// Beam search with the given width; returns the highest-scoring beam.
+    Beam(usize),
+}
+
+impl GenerationStrategy {
+    /// The paper's §5 default: top-50 sampling.
+    pub fn paper_default() -> Self {
+        GenerationStrategy::TopK(50)
+    }
+}
+
+/// Generates `len` tokens from `model`, continuing `prompt` (empty = the
+/// paper's "without prompt" setting). Deterministic in `rng`.
+pub fn generate(
+    model: &NGramModel,
+    strategy: GenerationStrategy,
+    prompt: &[TokenId],
+    len: usize,
+    rng: &mut Xoshiro256StarStar,
+) -> Vec<TokenId> {
+    match strategy {
+        GenerationStrategy::Beam(width) => beam_search(model, prompt, len, width.max(1), rng),
+        _ => {
+            let mut history: Vec<TokenId> = prompt.to_vec();
+            for _ in 0..len {
+                let next = sample_next(model, strategy, &history, rng);
+                history.push(next);
+            }
+            history.split_off(prompt.len())
+        }
+    }
+}
+
+/// Samples one next token according to `strategy`.
+fn sample_next(
+    model: &NGramModel,
+    strategy: GenerationStrategy,
+    history: &[TokenId],
+    rng: &mut Xoshiro256StarStar,
+) -> TokenId {
+    let (dist, _) = model.next_distribution(history);
+    match strategy {
+        GenerationStrategy::Greedy => dist.argmax(),
+        GenerationStrategy::Random => weighted_pick(&dist.items, dist.total, rng),
+        GenerationStrategy::TopK(k) => {
+            let take = k.max(1).min(dist.items.len());
+            let slice = &dist.items[..take];
+            let total: u64 = slice.iter().map(|&(_, c)| c as u64).sum();
+            weighted_pick(slice, total, rng)
+        }
+        GenerationStrategy::TopP(p) => {
+            let p = p.clamp(0.0, 1.0);
+            let target = (dist.total as f64 * p).ceil() as u64;
+            let mut acc = 0u64;
+            let mut take = 0usize;
+            for &(_, c) in &dist.items {
+                acc += c as u64;
+                take += 1;
+                if acc >= target {
+                    break;
+                }
+            }
+            let slice = &dist.items[..take.max(1)];
+            let total: u64 = slice.iter().map(|&(_, c)| c as u64).sum();
+            weighted_pick(slice, total, rng)
+        }
+        GenerationStrategy::Beam(_) => unreachable!("beam handled in generate()"),
+    }
+}
+
+fn weighted_pick(
+    items: &[(TokenId, u32)],
+    total: u64,
+    rng: &mut Xoshiro256StarStar,
+) -> TokenId {
+    debug_assert!(total > 0 && !items.is_empty());
+    let mut target = rng.next_bounded(total);
+    for &(tok, c) in items {
+        if (c as u64) > target {
+            return tok;
+        }
+        target -= c as u64;
+    }
+    items.last().expect("non-empty items").0
+}
+
+/// Beam search: expand the `width` most probable continuations at each step
+/// (considering each beam's top `width` next tokens), keep the best `width`
+/// by cumulative log-probability, and return the top beam's generated
+/// suffix. `rng` only breaks exact score ties, keeping determinism.
+fn beam_search(
+    model: &NGramModel,
+    prompt: &[TokenId],
+    len: usize,
+    width: usize,
+    _rng: &mut Xoshiro256StarStar,
+) -> Vec<TokenId> {
+    let mut beams: Vec<(Vec<TokenId>, f64)> = vec![(prompt.to_vec(), 0.0)];
+    for _ in 0..len {
+        let mut candidates: Vec<(Vec<TokenId>, f64)> = Vec::new();
+        for (hist, score) in &beams {
+            let (dist, _) = model.next_distribution(hist);
+            for &(tok, _) in dist.items.iter().take(width) {
+                let mut next = hist.clone();
+                let s = score + model.log_prob(hist, tok);
+                next.push(tok);
+                candidates.push((next, s));
+            }
+        }
+        candidates.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        candidates.truncate(width);
+        beams = candidates;
+    }
+    let best = beams.into_iter().next().expect("at least one beam");
+    best.0[prompt.len()..].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndss_corpus::InMemoryCorpus;
+
+    fn chain_model(order: usize) -> NGramModel {
+        let corpus = InMemoryCorpus::from_texts(vec![
+            vec![1, 2, 3, 4, 5, 1, 2, 3, 4, 5, 1, 2, 3, 4, 5],
+        ]);
+        NGramModel::train(&corpus, order).unwrap()
+    }
+
+    #[test]
+    fn greedy_reproduces_the_chain() {
+        let model = chain_model(2);
+        let mut rng = Xoshiro256StarStar::new(1);
+        let out = generate(&model, GenerationStrategy::Greedy, &[1], 8, &mut rng);
+        assert_eq!(out, vec![2, 3, 4, 5, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn generation_has_requested_length() {
+        let model = chain_model(3);
+        let mut rng = Xoshiro256StarStar::new(2);
+        for strategy in [
+            GenerationStrategy::Greedy,
+            GenerationStrategy::Random,
+            GenerationStrategy::TopK(3),
+            GenerationStrategy::TopP(0.9),
+            GenerationStrategy::Beam(3),
+        ] {
+            let out = generate(&model, strategy, &[], 20, &mut rng);
+            assert_eq!(out.len(), 20, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn random_sampling_is_deterministic_in_seed() {
+        let model = chain_model(2);
+        let a = generate(
+            &model,
+            GenerationStrategy::Random,
+            &[],
+            30,
+            &mut Xoshiro256StarStar::new(7),
+        );
+        let b = generate(
+            &model,
+            GenerationStrategy::Random,
+            &[],
+            30,
+            &mut Xoshiro256StarStar::new(7),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn top_k_one_equals_greedy() {
+        let model = chain_model(2);
+        let mut r1 = Xoshiro256StarStar::new(3);
+        let mut r2 = Xoshiro256StarStar::new(3);
+        let greedy = generate(&model, GenerationStrategy::Greedy, &[2], 10, &mut r1);
+        let topk1 = generate(&model, GenerationStrategy::TopK(1), &[2], 10, &mut r2);
+        assert_eq!(greedy, topk1);
+    }
+
+    #[test]
+    fn beam_beats_or_ties_greedy_log_prob() {
+        let model = chain_model(3);
+        let mut rng = Xoshiro256StarStar::new(4);
+        let prompt = [1u32];
+        let score = |seq: &[u32]| {
+            let mut hist: Vec<u32> = prompt.to_vec();
+            let mut total = 0.0;
+            for &tok in seq {
+                total += model.log_prob(&hist, tok);
+                hist.push(tok);
+            }
+            total
+        };
+        let greedy = generate(&model, GenerationStrategy::Greedy, &prompt, 6, &mut rng);
+        let beam = generate(&model, GenerationStrategy::Beam(4), &prompt, 6, &mut rng);
+        assert!(score(&beam) >= score(&greedy) - 1e-9);
+    }
+
+    #[test]
+    fn generated_tokens_come_from_training_vocab() {
+        let model = chain_model(2);
+        let mut rng = Xoshiro256StarStar::new(5);
+        let out = generate(&model, GenerationStrategy::Random, &[], 100, &mut rng);
+        assert!(out.iter().all(|t| (1..=5).contains(t)));
+    }
+}

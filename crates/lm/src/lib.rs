@@ -1,0 +1,48 @@
+//! Language-model substrate and memorization evaluation (paper §2 and §5).
+//!
+//! The paper measures how often texts *generated* by GPT-2/GPT-Neo models
+//! contain near-duplicates of their training data. We cannot ship those
+//! models, so this crate provides the substitution described in `DESIGN.md`
+//! §3: an **n-gram language model with stupid backoff** trained on the very
+//! corpus that was indexed. N-gram models are real language models (they
+//! learn `P(next | previous)` and support every generation strategy the
+//! paper lists — greedy, random, top-k, top-p, beam) and they *genuinely
+//! memorize*: with increasing order, generations reproduce ever longer
+//! training spans verbatim or nearly so. "Model size" maps onto model order:
+//! a higher-order model has strictly more parameters (context tables) and —
+//! as in the paper's Figure 4 — memorizes more.
+//!
+//! [`memorization`] implements the paper's evaluation protocol: generate
+//! texts without a prompt (top-50 sampling by default, as in §5), slide
+//! fixed-width windows over them, query each window against the index, and
+//! report the fraction of windows with at least one near-duplicate in the
+//! training corpus.
+
+pub mod generate;
+pub mod memorization;
+pub mod ngram;
+pub mod serialize;
+
+pub use generate::GenerationStrategy;
+pub use memorization::{
+    evaluate_memorization, prompted_memorization, MemorizationConfig, MemorizationReport,
+    PromptedReport,
+};
+pub use ngram::NGramModel;
+
+/// Errors raised by the language-model layer.
+#[derive(Debug, thiserror::Error)]
+pub enum LmError {
+    /// The model was trained on an empty corpus.
+    #[error("cannot train a language model on an empty corpus")]
+    EmptyCorpus,
+    /// Invalid configuration value.
+    #[error("invalid configuration: {0}")]
+    BadConfig(String),
+    /// Error from the corpus layer during training.
+    #[error(transparent)]
+    Corpus(#[from] ndss_corpus::CorpusError),
+    /// Error from the query layer during evaluation.
+    #[error(transparent)]
+    Query(#[from] ndss_query::QueryError),
+}

@@ -1,0 +1,334 @@
+//! N-gram language models with stupid backoff.
+//!
+//! Training counts every `(context, next-token)` pair for context lengths
+//! `0 .. order` over the corpus. Prediction looks up the *longest* suffix of
+//! the generation history that has been seen and returns its empirical
+//! next-token distribution; unseen contexts back off to shorter ones, down
+//! to the unigram distribution. (This is "stupid backoff" with the
+//! distribution taken from the longest matching level — the standard cheap
+//! scheme for large-corpus n-gram models.)
+//!
+//! Capacity: the number of parameters is the total number of table entries,
+//! which grows steeply with order — the knob that plays the role of the
+//! paper's 117M/345M/1.3B/2.7B model sizes in the memorization evaluation.
+
+use std::collections::HashMap;
+
+use ndss_corpus::{CorpusSource, TextId};
+use ndss_hash::TokenId;
+
+use crate::LmError;
+
+/// An empirical next-token distribution, sorted by descending count (ties:
+/// ascending token id) so greedy / top-k / top-p can slice prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dist {
+    /// `(token, count)` pairs, descending by count.
+    pub items: Vec<(TokenId, u32)>,
+    /// Sum of all counts.
+    pub total: u64,
+}
+
+impl Dist {
+    fn from_counts(counts: HashMap<TokenId, u32>) -> Self {
+        let mut items: Vec<(TokenId, u32)> = counts.into_iter().collect();
+        items.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let total = items.iter().map(|&(_, c)| c as u64).sum();
+        Self { items, total }
+    }
+
+    /// The most probable token.
+    pub fn argmax(&self) -> TokenId {
+        self.items.first().expect("distributions are non-empty").0
+    }
+
+    /// Probability of `token` under this distribution.
+    pub fn prob(&self, token: TokenId) -> f64 {
+        self.items
+            .iter()
+            .find(|&&(t, _)| t == token)
+            .map_or(0.0, |&(_, c)| c as f64 / self.total as f64)
+    }
+}
+
+/// A trained n-gram model.
+pub struct NGramModel {
+    order: usize,
+    /// `tables[m]` maps contexts of length `m` to next-token distributions.
+    tables: Vec<HashMap<Box<[TokenId]>, Dist>>,
+}
+
+impl std::fmt::Debug for NGramModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NGramModel")
+            .field("order", &self.order)
+            .field("parameters", &self.num_parameters())
+            .finish()
+    }
+}
+
+impl NGramModel {
+    /// Trains a model of the given order (`order ≥ 1`; order 1 is a unigram
+    /// model) on all texts of `corpus`.
+    pub fn train<C: CorpusSource + ?Sized>(corpus: &C, order: usize) -> Result<Self, LmError> {
+        if order == 0 {
+            return Err(LmError::BadConfig("order must be at least 1".into()));
+        }
+        if corpus.num_texts() == 0 || corpus.total_tokens() == 0 {
+            return Err(LmError::EmptyCorpus);
+        }
+        type CountTable = HashMap<Box<[TokenId]>, HashMap<TokenId, u32>>;
+        let mut raw: Vec<CountTable> = (0..order).map(|_| HashMap::new()).collect();
+        let mut text = Vec::new();
+        for id in 0..corpus.num_texts() as TextId {
+            corpus.read_text(id, &mut text)?;
+            for (ctx_len, table) in raw.iter_mut().enumerate() {
+                if text.len() <= ctx_len {
+                    continue;
+                }
+                for end in ctx_len..text.len() {
+                    let ctx: Box<[TokenId]> = text[end - ctx_len..end].into();
+                    *table.entry(ctx).or_default().entry(text[end]).or_insert(0) += 1;
+                }
+            }
+        }
+        let tables = raw
+            .into_iter()
+            .map(|table| {
+                table
+                    .into_iter()
+                    .map(|(ctx, counts)| (ctx, Dist::from_counts(counts)))
+                    .collect()
+            })
+            .collect();
+        Ok(Self { order, tables })
+    }
+
+    /// The model order (maximum context length + 1).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Read access to the context table of one context length (used by
+    /// serialization).
+    pub(crate) fn table(&self, ctx_len: usize) -> &HashMap<Box<[TokenId]>, Dist> {
+        &self.tables[ctx_len]
+    }
+
+    /// Reassembles a model from raw tables (deserialization). Validates
+    /// that the unigram table is present and non-empty (generation relies
+    /// on it as the backoff floor).
+    pub(crate) fn from_tables(
+        order: usize,
+        tables: Vec<HashMap<Box<[TokenId]>, Dist>>,
+    ) -> Result<Self, LmError> {
+        if tables.len() != order {
+            return Err(LmError::BadConfig(format!(
+                "model file has {} tables for order {order}",
+                tables.len()
+            )));
+        }
+        if tables[0].get(&[][..]).is_none_or(|d| d.items.is_empty()) {
+            return Err(LmError::BadConfig(
+                "model file lacks a unigram distribution".into(),
+            ));
+        }
+        Ok(Self { order, tables })
+    }
+
+    /// Total number of `(context, token)` parameters — the "model size".
+    pub fn num_parameters(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| t.values().map(|d| d.items.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// The next-token distribution after `history`, from the longest seen
+    /// suffix (stupid backoff). Returns the distribution and the context
+    /// length that matched (0 = unigram fallback).
+    pub fn next_distribution(&self, history: &[TokenId]) -> (&Dist, usize) {
+        let max_ctx = (self.order - 1).min(history.len());
+        for ctx_len in (1..=max_ctx).rev() {
+            let ctx = &history[history.len() - ctx_len..];
+            if let Some(dist) = self.tables[ctx_len].get(ctx) {
+                return (dist, ctx_len);
+            }
+        }
+        let unigram = self.tables[0]
+            .get(&[][..])
+            .expect("unigram table exists for a non-empty corpus");
+        (unigram, 0)
+    }
+
+    /// Log-probability of `token` after `history` under stupid backoff with
+    /// discount `0.4` per backoff level (used by beam search scoring).
+    pub fn log_prob(&self, history: &[TokenId], token: TokenId) -> f64 {
+        let (dist, matched) = self.next_distribution(history);
+        let p = dist.prob(token).max(1e-12);
+        let max_ctx = (self.order - 1).min(history.len());
+        let backoffs = max_ctx.saturating_sub(matched);
+        p.ln() + backoffs as f64 * 0.4f64.ln()
+    }
+
+    /// Cross-entropy (nats per token) of a token sequence under the model.
+    /// Returns 0 for sequences shorter than 2 tokens.
+    pub fn cross_entropy(&self, tokens: &[TokenId]) -> f64 {
+        if tokens.len() < 2 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for i in 1..tokens.len() {
+            let ctx_start = i.saturating_sub(self.order - 1);
+            total += self.log_prob(&tokens[ctx_start..i], tokens[i]);
+        }
+        -total / (tokens.len() - 1) as f64
+    }
+
+    /// Perplexity of a whole corpus under the model: `exp` of the
+    /// token-weighted mean cross-entropy. The standard LM quality metric
+    /// (paper §2 trains to minimize exactly this loss).
+    pub fn perplexity<C: CorpusSource + ?Sized>(&self, corpus: &C) -> Result<f64, LmError> {
+        let mut total = 0.0f64;
+        let mut tokens_scored = 0u64;
+        let mut text = Vec::new();
+        for id in 0..corpus.num_texts() as TextId {
+            corpus.read_text(id, &mut text)?;
+            if text.len() < 2 {
+                continue;
+            }
+            total += self.cross_entropy(&text) * (text.len() - 1) as f64;
+            tokens_scored += (text.len() - 1) as u64;
+        }
+        if tokens_scored == 0 {
+            return Err(LmError::EmptyCorpus);
+        }
+        Ok((total / tokens_scored as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndss_corpus::InMemoryCorpus;
+
+    fn tiny_corpus() -> InMemoryCorpus {
+        // "1 2 3 4" repeated makes order-2+ prediction deterministic.
+        InMemoryCorpus::from_texts(vec![
+            vec![1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4],
+            vec![1, 2, 3, 4, 1, 2, 3, 4],
+        ])
+    }
+
+    #[test]
+    fn bigram_predicts_the_chain() {
+        let model = NGramModel::train(&tiny_corpus(), 2).unwrap();
+        let (d, ctx) = model.next_distribution(&[1]);
+        assert_eq!(ctx, 1);
+        assert_eq!(d.argmax(), 2);
+        assert_eq!(model.next_distribution(&[2]).0.argmax(), 3);
+        assert_eq!(model.next_distribution(&[3]).0.argmax(), 4);
+        assert_eq!(model.next_distribution(&[4]).0.argmax(), 1);
+    }
+
+    #[test]
+    fn unseen_context_backs_off_to_unigram() {
+        let model = NGramModel::train(&tiny_corpus(), 3).unwrap();
+        let (_, ctx) = model.next_distribution(&[99, 98]);
+        assert_eq!(ctx, 0, "unseen bigram context must back off to unigram");
+    }
+
+    #[test]
+    fn longest_context_wins() {
+        let model = NGramModel::train(&tiny_corpus(), 3).unwrap();
+        let (_, ctx) = model.next_distribution(&[1, 2]);
+        assert_eq!(ctx, 2);
+    }
+
+    #[test]
+    fn order_one_is_unigram_only() {
+        let model = NGramModel::train(&tiny_corpus(), 1).unwrap();
+        let (d, ctx) = model.next_distribution(&[3]);
+        assert_eq!(ctx, 0);
+        // Token frequencies: all four appear equally often → argmax is the
+        // smallest id by the tie rule.
+        assert_eq!(d.argmax(), 1);
+    }
+
+    #[test]
+    fn parameters_grow_with_order() {
+        let corpus = tiny_corpus();
+        let p1 = NGramModel::train(&corpus, 1).unwrap().num_parameters();
+        let p2 = NGramModel::train(&corpus, 2).unwrap().num_parameters();
+        let p3 = NGramModel::train(&corpus, 3).unwrap().num_parameters();
+        assert!(p1 < p2 && p2 < p3, "{p1} < {p2} < {p3} expected");
+    }
+
+    #[test]
+    fn empty_corpus_is_rejected() {
+        let corpus = InMemoryCorpus::new();
+        assert!(matches!(
+            NGramModel::train(&corpus, 2),
+            Err(LmError::EmptyCorpus)
+        ));
+    }
+
+    #[test]
+    fn zero_order_is_rejected() {
+        assert!(matches!(
+            NGramModel::train(&tiny_corpus(), 0),
+            Err(LmError::BadConfig(_))
+        ));
+    }
+
+    #[test]
+    fn log_prob_prefers_observed_continuations() {
+        let model = NGramModel::train(&tiny_corpus(), 2).unwrap();
+        assert!(model.log_prob(&[1], 2) > model.log_prob(&[1], 4));
+    }
+
+    #[test]
+    fn higher_order_fits_training_data_better() {
+        // On its own training data, a higher-order model must have lower
+        // (or equal) perplexity — it can only refine the contexts.
+        let corpus = tiny_corpus();
+        let p1 = NGramModel::train(&corpus, 1).unwrap().perplexity(&corpus).unwrap();
+        let p2 = NGramModel::train(&corpus, 2).unwrap().perplexity(&corpus).unwrap();
+        let p3 = NGramModel::train(&corpus, 3).unwrap().perplexity(&corpus).unwrap();
+        assert!(p2 <= p1 + 1e-9, "order2 {p2} > order1 {p1}");
+        assert!(p3 <= p2 + 1e-9, "order3 {p3} > order2 {p2}");
+        // The deterministic chain is perfectly predictable at order ≥ 2
+        // except at text starts: perplexity should approach 1.
+        assert!(p3 < 1.5, "order-3 perplexity {p3} on deterministic chain");
+    }
+
+    #[test]
+    fn perplexity_higher_on_unseen_data() {
+        let corpus = tiny_corpus();
+        let model = NGramModel::train(&corpus, 2).unwrap();
+        let train_ppl = model.perplexity(&corpus).unwrap();
+        let shuffled = InMemoryCorpus::from_texts(vec![vec![4, 2, 1, 3, 3, 1, 4, 2, 2, 4]]);
+        let test_ppl = model.perplexity(&shuffled).unwrap();
+        assert!(
+            test_ppl > train_ppl,
+            "unseen data should surprise the model: {test_ppl} <= {train_ppl}"
+        );
+    }
+
+    #[test]
+    fn cross_entropy_edge_cases() {
+        let corpus = tiny_corpus();
+        let model = NGramModel::train(&corpus, 2).unwrap();
+        assert_eq!(model.cross_entropy(&[]), 0.0);
+        assert_eq!(model.cross_entropy(&[1]), 0.0);
+        assert!(model.cross_entropy(&[1, 2]) >= 0.0);
+    }
+
+    #[test]
+    fn dist_prob_sums_to_one() {
+        let model = NGramModel::train(&tiny_corpus(), 2).unwrap();
+        let (d, _) = model.next_distribution(&[1]);
+        let sum: f64 = d.items.iter().map(|&(t, _)| d.prob(t)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,200 @@
+//! Binary (de)serialization of trained n-gram models.
+//!
+//! Training over a large corpus is the expensive step of the memorization
+//! pipeline; persisting the model lets repeated evaluations (θ sweeps,
+//! window sweeps, prompted probes) reuse it. The format is a simple
+//! length-prefixed binary layout:
+//!
+//! ```text
+//! magic "NDLM" │ version u32 │ order u32
+//! per context length 0..order:
+//!   num_contexts u64
+//!   per context: ctx tokens (ctx_len × u32) │ num_items u32 │
+//!                items (token u32, count u32)…
+//! ```
+//!
+//! Distributions are stored in their canonical (count-descending) order, so
+//! a round-tripped model is behaviourally identical — same argmax, same
+//! sampling stream, same memorization numbers (tested).
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use ndss_hash::TokenId;
+
+use crate::ngram::{Dist, NGramModel};
+use crate::LmError;
+
+const MAGIC: &[u8; 4] = b"NDLM";
+const VERSION: u32 = 1;
+
+impl NGramModel {
+    /// Saves the model to a binary file.
+    pub fn save(&self, path: &Path) -> Result<(), LmError> {
+        let file = std::fs::File::create(path).map_err(io_err)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(MAGIC).map_err(io_err)?;
+        out.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+        out.write_all(&(self.order() as u32).to_le_bytes())
+            .map_err(io_err)?;
+        for ctx_len in 0..self.order() {
+            let table = self.table(ctx_len);
+            out.write_all(&(table.len() as u64).to_le_bytes())
+                .map_err(io_err)?;
+            // Deterministic output: sort contexts.
+            let mut contexts: Vec<&Box<[TokenId]>> = table.keys().collect();
+            contexts.sort();
+            for ctx in contexts {
+                debug_assert_eq!(ctx.len(), ctx_len);
+                for &t in ctx.iter() {
+                    out.write_all(&t.to_le_bytes()).map_err(io_err)?;
+                }
+                let dist = &table[ctx];
+                out.write_all(&(dist.items.len() as u32).to_le_bytes())
+                    .map_err(io_err)?;
+                for &(tok, count) in &dist.items {
+                    out.write_all(&tok.to_le_bytes()).map_err(io_err)?;
+                    out.write_all(&count.to_le_bytes()).map_err(io_err)?;
+                }
+            }
+        }
+        out.flush().map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Loads a model saved by [`Self::save`].
+    pub fn load(path: &Path) -> Result<Self, LmError> {
+        let file = std::fs::File::open(path).map_err(io_err)?;
+        let mut r = BufReader::new(file);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic).map_err(io_err)?;
+        if &magic != MAGIC {
+            return Err(LmError::BadConfig(format!(
+                "not an ndss language-model file: {}",
+                path.display()
+            )));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(LmError::BadConfig(format!(
+                "unsupported model version {version}"
+            )));
+        }
+        let order = read_u32(&mut r)? as usize;
+        if order == 0 {
+            return Err(LmError::BadConfig("model order 0 in file".into()));
+        }
+        let mut tables = Vec::with_capacity(order);
+        for ctx_len in 0..order {
+            let num_contexts = read_u64(&mut r)? as usize;
+            let mut table = std::collections::HashMap::with_capacity(num_contexts);
+            for _ in 0..num_contexts {
+                let mut ctx = Vec::with_capacity(ctx_len);
+                for _ in 0..ctx_len {
+                    ctx.push(read_u32(&mut r)?);
+                }
+                let num_items = read_u32(&mut r)? as usize;
+                let mut items = Vec::with_capacity(num_items);
+                let mut total = 0u64;
+                for _ in 0..num_items {
+                    let tok = read_u32(&mut r)?;
+                    let count = read_u32(&mut r)?;
+                    total += count as u64;
+                    items.push((tok, count));
+                }
+                if items.is_empty() {
+                    return Err(LmError::BadConfig(
+                        "empty distribution in model file".into(),
+                    ));
+                }
+                table.insert(ctx.into_boxed_slice(), Dist { items, total });
+            }
+            tables.push(table);
+        }
+        NGramModel::from_tables(order, tables)
+    }
+}
+
+fn io_err(e: std::io::Error) -> LmError {
+    LmError::BadConfig(format!("model file IO: {e}"))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, LmError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, LmError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, GenerationStrategy};
+    use ndss_corpus::SyntheticCorpusBuilder;
+    use ndss_hash::Xoshiro256StarStar;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("ndss_lm_serialize");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_behaviour() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(191)
+            .num_texts(30)
+            .text_len(80, 150)
+            .vocab_size(300)
+            .build();
+        let model = NGramModel::train(&corpus, 3).unwrap();
+        let path = temp("roundtrip.ndlm");
+        model.save(&path).unwrap();
+        let loaded = NGramModel::load(&path).unwrap();
+        assert_eq!(loaded.order(), model.order());
+        assert_eq!(loaded.num_parameters(), model.num_parameters());
+        // Identical generation streams.
+        for strategy in [
+            GenerationStrategy::Greedy,
+            GenerationStrategy::Random,
+            GenerationStrategy::TopK(10),
+        ] {
+            let a = generate(&model, strategy, &[], 50, &mut Xoshiro256StarStar::new(1));
+            let b = generate(&loaded, strategy, &[], 50, &mut Xoshiro256StarStar::new(1));
+            assert_eq!(a, b, "{strategy:?}");
+        }
+        // Identical perplexity.
+        assert!(
+            (model.perplexity(&corpus).unwrap() - loaded.perplexity(&corpus).unwrap()).abs()
+                < 1e-9
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = temp("garbage.ndlm");
+        std::fs::write(&path, b"definitely not a model").unwrap();
+        assert!(matches!(
+            NGramModel::load(&path),
+            Err(LmError::BadConfig(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(192).num_texts(10).build();
+        let model = NGramModel::train(&corpus, 2).unwrap();
+        let path = temp("truncated.ndlm");
+        model.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(NGramModel::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,263 @@
+//! `CollisionCount` (paper Algorithm 4).
+//!
+//! Input: the compact windows of **one text** gathered from the query's
+//! retrieved inverted lists, plus a collision threshold `α`. Because each
+//! window `(l, c, r)` attests one min-hash collision for every sequence
+//! `T[i..=j]` with `i ∈ [l, c]`, `j ∈ [c, r]`, a sequence's collision count
+//! is the number of windows covering it. Splitting windows into left
+//! (`[l, c]`) and right (`[c, r]`) intervals reduces "covered by ≥ α
+//! windows" to two nested interval sweeps:
+//!
+//! 1. sweep the left intervals: each hit gives an elementary start-range
+//!    `[x, x']` and the subset `C'` of windows whose left interval covers it;
+//! 2. sweep the right intervals of `C'`: each hit gives an end-range
+//!    `[y, y']` where `|C''| ≥ α` of those windows remain active.
+//!
+//! Every sequence `(i, j)` with `i ∈ [x, x']` and `j ∈ [y, y']` then collides
+//! exactly `|C''|` times. The produced [`Rectangle`]s are pairwise disjoint
+//! (elementary ranges partition the `i` axis; for fixed `i`, the nested
+//! sweep partitions the `j` axis), so downstream counting never
+//! double-counts.
+
+use ndss_windows::CompactWindow;
+
+use crate::interval::{interval_scan, Interval};
+
+/// A maximal axis-aligned block of sequences sharing one collision count:
+/// all `T[i..=j]` with `i ∈ [x_lo, x_hi]`, `j ∈ [y_lo, y_hi]` collide with
+/// the query exactly `collisions` times. Invariant: `x_hi ≤ y_lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rectangle {
+    /// Inclusive range of sequence start positions.
+    pub x_lo: u32,
+    /// Inclusive upper bound of start positions.
+    pub x_hi: u32,
+    /// Inclusive range of sequence end positions.
+    pub y_lo: u32,
+    /// Inclusive upper bound of end positions.
+    pub y_hi: u32,
+    /// The common collision count (≥ the α used to produce it).
+    pub collisions: u32,
+}
+
+impl Rectangle {
+    /// Whether the sequence `(i, j)` lies in this rectangle.
+    pub fn contains(&self, i: u32, j: u32) -> bool {
+        self.x_lo <= i && i <= self.x_hi && self.y_lo <= j && j <= self.y_hi
+    }
+
+    /// Number of sequences `(i, j)` in the rectangle with `j − i + 1 ≥ t`.
+    pub fn sequences_at_least(&self, t: u32) -> u64 {
+        let mut total = 0u64;
+        for i in self.x_lo..=self.x_hi {
+            // j must be ≥ max(y_lo, i + t − 1) and ≤ y_hi.
+            let j_min = self.y_lo.max(i.saturating_add(t - 1));
+            if j_min <= self.y_hi {
+                total += (self.y_hi - j_min + 1) as u64;
+            }
+        }
+        total
+    }
+
+    /// The union of token positions covered by the rectangle's sequences of
+    /// length ≥ t, as a single span `[x_lo, y_hi]` — or `None` when no
+    /// sequence in the rectangle is long enough. (If any qualifying `(i, j)`
+    /// exists, the shortest-start one begins at `x_lo` and the longest ends
+    /// at `y_hi`, and coverage in between is contiguous.)
+    pub fn covered_span(&self, t: u32) -> Option<(u32, u32)> {
+        if self.sequences_at_least(t) == 0 {
+            None
+        } else {
+            Some((self.x_lo, self.y_hi))
+        }
+    }
+}
+
+/// Runs Algorithm 4 on the windows of one text. Returns the rectangles of
+/// all sequences covered by at least `alpha` of the given windows.
+///
+/// Windows may repeat pivots or overlap arbitrarily (they come from up to
+/// `k` different hash functions, and one function can contribute several
+/// windows of the same text).
+pub fn collision_count(windows: &[CompactWindow], alpha: usize) -> Vec<Rectangle> {
+    assert!(alpha >= 1, "collision threshold must be at least 1");
+    if windows.len() < alpha {
+        return Vec::new();
+    }
+    // Left intervals [l, c], tagged with the window index.
+    let left: Vec<Interval> = windows
+        .iter()
+        .enumerate()
+        .map(|(idx, w)| Interval::new(idx as u32, w.l, w.c))
+        .collect();
+    let mut rects = Vec::new();
+    for left_hit in interval_scan(&left, alpha) {
+        // Right intervals [c, r] of exactly the windows active on [x, x'].
+        let right: Vec<Interval> = left_hit
+            .active
+            .iter()
+            .map(|&idx| {
+                let w = &windows[idx as usize];
+                Interval::new(idx, w.c, w.r)
+            })
+            .collect();
+        for right_hit in interval_scan(&right, alpha) {
+            rects.push(Rectangle {
+                x_lo: left_hit.range_lo,
+                x_hi: left_hit.range_hi,
+                y_lo: right_hit.range_lo,
+                y_hi: right_hit.range_hi,
+                collisions: right_hit.active.len() as u32,
+            });
+        }
+    }
+    rects
+}
+
+/// Brute-force oracle for tests: collision count of every sequence `(i, j)`
+/// is the number of windows covering it; returns those with count ≥ alpha
+/// as `((i, j), count)`.
+pub fn bruteforce_collisions(
+    windows: &[CompactWindow],
+    alpha: usize,
+    max_pos: u32,
+) -> Vec<((u32, u32), u32)> {
+    let mut out = Vec::new();
+    for i in 0..=max_pos {
+        for j in i..=max_pos {
+            let count = windows.iter().filter(|w| w.covers(i, j)).count() as u32;
+            if count as usize >= alpha {
+                out.push(((i, j), count));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expand(rects: &[Rectangle]) -> Vec<((u32, u32), u32)> {
+        let mut out = Vec::new();
+        for r in rects {
+            for i in r.x_lo..=r.x_hi {
+                for j in r.y_lo..=r.y_hi {
+                    assert!(i <= j, "rectangle yields inverted sequence ({i},{j})");
+                    out.push(((i, j), r.collisions));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn check(windows: &[CompactWindow], alpha: usize, max_pos: u32) {
+        let rects = collision_count(windows, alpha);
+        assert_eq!(
+            expand(&rects),
+            bruteforce_collisions(windows, alpha, max_pos),
+            "mismatch for {windows:?} alpha={alpha}"
+        );
+    }
+
+    #[test]
+    fn single_window() {
+        let w = [CompactWindow::new(2, 4, 8)];
+        check(&w, 1, 10);
+    }
+
+    #[test]
+    fn two_overlapping_windows() {
+        let w = [CompactWindow::new(0, 3, 9), CompactWindow::new(1, 5, 7)];
+        for alpha in 1..=2 {
+            check(&w, alpha, 10);
+        }
+    }
+
+    #[test]
+    fn stacked_identical_windows() {
+        let w = [
+            CompactWindow::new(1, 4, 9),
+            CompactWindow::new(1, 4, 9),
+            CompactWindow::new(1, 4, 9),
+        ];
+        for alpha in 1..=3 {
+            check(&w, alpha, 11);
+        }
+    }
+
+    #[test]
+    fn disjoint_windows_never_stack() {
+        let w = [CompactWindow::new(0, 1, 3), CompactWindow::new(5, 6, 9)];
+        check(&w, 1, 10);
+        assert!(collision_count(&w, 2).is_empty());
+    }
+
+    #[test]
+    fn rectangles_are_disjoint() {
+        let w = [
+            CompactWindow::new(0, 5, 12),
+            CompactWindow::new(2, 6, 10),
+            CompactWindow::new(3, 5, 15),
+            CompactWindow::new(0, 8, 12),
+        ];
+        let rects = collision_count(&w, 2);
+        let seqs = expand(&rects);
+        let mut keys: Vec<(u32, u32)> = seqs.iter().map(|&(ij, _)| ij).collect();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "a sequence appeared in two rectangles");
+        check(&w, 2, 16);
+    }
+
+    #[test]
+    fn pseudorandom_cross_check() {
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u32
+        };
+        for _ in 0..40 {
+            let n = 1 + (next() % 8) as usize;
+            let windows: Vec<CompactWindow> = (0..n)
+                .map(|_| {
+                    let l = next() % 12;
+                    let c = l + next() % 6;
+                    let r = c + next() % 8;
+                    CompactWindow::new(l, c, r)
+                })
+                .collect();
+            for alpha in 1..=n {
+                check(&windows, alpha, 30);
+            }
+        }
+    }
+
+    #[test]
+    fn sequences_at_least_counts_triangle() {
+        // Rectangle i ∈ [0, 2], j ∈ [1, 4], t = 3:
+        //  i=0: j ≥ 2 → j ∈ {2,3,4} → 3
+        //  i=1: j ≥ 3 → {3,4}      → 2
+        //  i=2: j ≥ 4 → {4}        → 1
+        let r = Rectangle {
+            x_lo: 0,
+            x_hi: 2,
+            y_lo: 1,
+            y_hi: 4,
+            collisions: 5,
+        };
+        assert_eq!(r.sequences_at_least(3), 6);
+        // t = 1: i=0 → j∈{1..4}, i=1 → {1..4} (j ≥ i), i=2 → {2..4}.
+        assert_eq!(r.sequences_at_least(1), 4 + 4 + 3);
+        assert_eq!(r.sequences_at_least(6), 0);
+        assert_eq!(r.covered_span(3), Some((0, 4)));
+        assert_eq!(r.covered_span(6), None);
+    }
+
+    #[test]
+    fn threshold_larger_than_group_is_empty() {
+        let w = [CompactWindow::new(0, 1, 5)];
+        assert!(collision_count(&w, 2).is_empty());
+    }
+}

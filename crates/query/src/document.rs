@@ -1,0 +1,243 @@
+//! Document-level near-duplicate search.
+//!
+//! The paper's applications never issue one isolated query: the
+//! memorization evaluation slides fixed-width windows over each generated
+//! text (§5), and the plagiarism/dedup use cases slide windows over a
+//! suspicious document. This module packages that loop: slide a window of
+//! `width` tokens with a `stride` over the document, search every window,
+//! and aggregate the hits **per corpus text** — merged matched regions, how
+//! many document windows hit the text, and the best collision count.
+//!
+//! Results order by evidence: texts hit by more windows first, ties by best
+//! collision count, then text id (deterministic).
+
+use std::collections::BTreeMap;
+
+use ndss_corpus::{SeqSpan, TextId};
+use ndss_hash::TokenId;
+use ndss_index::IndexAccess;
+
+use crate::search::NearDupSearcher;
+use crate::QueryError;
+
+/// Aggregated evidence that `text` shares near-duplicate content with the
+/// queried document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocumentMatch {
+    /// The corpus text.
+    pub text: TextId,
+    /// Merged, disjoint matched regions within that text.
+    pub regions: Vec<SeqSpan>,
+    /// Number of document windows with at least one hit in this text.
+    pub query_windows: usize,
+    /// Spans of the document (token ranges) whose windows hit this text,
+    /// merged and disjoint — "which parts of my document are copied".
+    pub document_regions: Vec<SeqSpan>,
+    /// The best per-window collision count observed (out of k).
+    pub best_collisions: u32,
+}
+
+/// Configuration of the sliding-window scan.
+#[derive(Debug, Clone, Copy)]
+pub struct DocumentScan {
+    /// Window width in tokens (the paper's `x`).
+    pub width: usize,
+    /// Step between window starts; `width` = non-overlapping (the paper's
+    /// §5 protocol), smaller = denser coverage.
+    pub stride: usize,
+}
+
+impl DocumentScan {
+    /// Non-overlapping windows of `width` tokens (paper §5).
+    pub fn non_overlapping(width: usize) -> Self {
+        Self {
+            width,
+            stride: width,
+        }
+    }
+
+    /// Overlapping windows with an explicit stride.
+    pub fn with_stride(width: usize, stride: usize) -> Self {
+        assert!(stride >= 1, "stride must be at least 1");
+        Self { width, stride }
+    }
+}
+
+impl<I: IndexAccess + ?Sized> NearDupSearcher<'_, I> {
+    /// Scans `document` with sliding windows and aggregates near-duplicate
+    /// evidence per corpus text. Windows shorter than `scan.width` (at the
+    /// document tail) are skipped, as in the paper.
+    pub fn search_document(
+        &self,
+        document: &[TokenId],
+        scan: DocumentScan,
+        theta: f64,
+    ) -> Result<Vec<DocumentMatch>, QueryError> {
+        if scan.width == 0 {
+            return Err(QueryError::EmptyQuery);
+        }
+        struct Agg {
+            regions: Vec<SeqSpan>,
+            document_regions: Vec<SeqSpan>,
+            query_windows: usize,
+            best_collisions: u32,
+        }
+        let mut per_text: BTreeMap<TextId, Agg> = BTreeMap::new();
+        let mut start = 0usize;
+        while start + scan.width <= document.len() {
+            let window = &document[start..start + scan.width];
+            let outcome = self.search(window, theta)?;
+            for m in &outcome.matches {
+                let spans = m.merged_spans(outcome.t);
+                if spans.is_empty() {
+                    continue;
+                }
+                let agg = per_text.entry(m.text).or_insert_with(|| Agg {
+                    regions: Vec::new(),
+                    document_regions: Vec::new(),
+                    query_windows: 0,
+                    best_collisions: 0,
+                });
+                agg.regions.extend(spans);
+                agg.document_regions.push(SeqSpan::new(
+                    start as u32,
+                    (start + scan.width - 1) as u32,
+                ));
+                agg.query_windows += 1;
+                agg.best_collisions = agg.best_collisions.max(m.best_collisions());
+            }
+            start += scan.stride;
+        }
+        let mut out: Vec<DocumentMatch> = per_text
+            .into_iter()
+            .map(|(text, agg)| DocumentMatch {
+                text,
+                regions: merge_spans(agg.regions),
+                document_regions: merge_spans(agg.document_regions),
+                query_windows: agg.query_windows,
+                best_collisions: agg.best_collisions,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.query_windows
+                .cmp(&a.query_windows)
+                .then_with(|| b.best_collisions.cmp(&a.best_collisions))
+                .then_with(|| a.text.cmp(&b.text))
+        });
+        Ok(out)
+    }
+}
+
+/// Merges possibly-overlapping spans into maximal disjoint spans.
+fn merge_spans(mut spans: Vec<SeqSpan>) -> Vec<SeqSpan> {
+    spans.sort_unstable();
+    let mut merged: Vec<SeqSpan> = Vec::new();
+    for s in spans {
+        match merged.last_mut() {
+            Some(last) if last.touches(&s) => last.end = last.end.max(s.end),
+            _ => merged.push(s),
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndss_corpus::{CorpusSource, SyntheticCorpusBuilder};
+    use ndss_index::{IndexConfig, MemoryIndex};
+
+    #[test]
+    fn document_containing_copied_span_flags_the_source() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(151)
+            .num_texts(60)
+            .text_len(200, 400)
+            .duplicates_per_text(1.0)
+            .dup_len(80, 120)
+            .mutation_rate(0.0)
+            .build();
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(16, 25, 7)).unwrap();
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        // Fabricate a "document": 100 fresh tokens + a planted span + more
+        // fresh tokens.
+        let p = planted.iter().find(|p| p.dst.span.len() >= 100).unwrap();
+        let copied = corpus.sequence_to_vec(p.dst).unwrap();
+        let mut document: Vec<u32> = (2_000_000..2_000_100).collect();
+        document.extend_from_slice(&copied);
+        document.extend(2_000_100..2_000_200u32);
+
+        let matches = searcher
+            .search_document(&document, DocumentScan::non_overlapping(32), 0.9)
+            .unwrap();
+        assert!(!matches.is_empty());
+        let hit = matches
+            .iter()
+            .find(|m| m.text == p.src.text)
+            .expect("source text flagged");
+        assert!(hit.query_windows >= 2, "long copy spans several windows");
+        // Document regions point inside the copied section.
+        for span in &hit.document_regions {
+            assert!(span.end >= 100 && (span.start as usize) < 100 + copied.len() + 32);
+        }
+        // Regions are merged-disjoint.
+        for w in hit.regions.windows(2) {
+            assert!(w[0].end + 1 < w[1].start);
+        }
+    }
+
+    #[test]
+    fn clean_document_matches_nothing() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(152)
+            .num_texts(30)
+            .vocab_size(5_000)
+            .build();
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(16, 25, 7)).unwrap();
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let document: Vec<u32> = (3_000_000..3_000_300).collect();
+        let matches = searcher
+            .search_document(&document, DocumentScan::non_overlapping(32), 0.8)
+            .unwrap();
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn overlapping_stride_finds_at_least_as_much() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(153)
+            .num_texts(50)
+            .duplicates_per_text(1.0)
+            .mutation_rate(0.02)
+            .build();
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(16, 25, 7)).unwrap();
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let p = planted.first().unwrap();
+        let document = corpus.text_to_vec(p.dst.text).unwrap();
+        let coarse = searcher
+            .search_document(&document, DocumentScan::non_overlapping(64), 0.8)
+            .unwrap();
+        let dense = searcher
+            .search_document(&document, DocumentScan::with_stride(64, 16), 0.8)
+            .unwrap();
+        assert!(dense.len() >= coarse.len());
+    }
+
+    #[test]
+    fn short_document_yields_no_windows() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(154).num_texts(10).build();
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(4, 25, 7)).unwrap();
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let matches = searcher
+            .search_document(&[1, 2, 3], DocumentScan::non_overlapping(32), 0.8)
+            .unwrap();
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn zero_width_is_an_error() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(155).num_texts(5).build();
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(4, 25, 7)).unwrap();
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        assert!(searcher
+            .search_document(&[1, 2, 3], DocumentScan { width: 0, stride: 1 }, 0.8)
+            .is_err());
+    }
+}

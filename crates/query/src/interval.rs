@@ -1,0 +1,246 @@
+//! `IntervalScan` (paper Algorithm 5).
+//!
+//! Given a collection of inclusive integer intervals and a threshold `α`,
+//! report every *elementary range* over which at least `α` intervals are
+//! simultaneously active, together with the set of active intervals. The
+//! classic sweep: each interval `[x, y]` contributes a start endpoint at `x`
+//! and an end endpoint at `y + 1`; between two consecutive distinct endpoint
+//! values the active set is constant.
+//!
+//! Elementary ranges partition the covered positions, so every position
+//! with ≥ α active intervals appears in exactly one hit — the "once and only
+//! once" of the paper's Lemma 1 (each *maximal* active subset is reported
+//! once per elementary range; subsets of the active set are implicit).
+
+/// An inclusive interval `[lo, hi]` tagged with the caller's identifier
+/// (`collision_count` uses window indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Caller-chosen tag identifying the interval.
+    pub id: u32,
+    /// Inclusive lower end.
+    pub lo: u32,
+    /// Inclusive upper end.
+    pub hi: u32,
+}
+
+impl Interval {
+    /// Creates an interval; `lo <= hi` required.
+    pub fn new(id: u32, lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi, "interval lo {lo} > hi {hi}");
+        Self { id, lo, hi }
+    }
+}
+
+/// One sweep hit: over every position in `[range_lo, range_hi]`, exactly the
+/// intervals tagged by `active` are active (and `active.len() ≥ α`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanHit {
+    /// Inclusive elementary range start.
+    pub range_lo: u32,
+    /// Inclusive elementary range end.
+    pub range_hi: u32,
+    /// Tags of the active intervals, in insertion order.
+    pub active: Vec<u32>,
+}
+
+/// Runs the sweep. Returns hits ordered by `range_lo`; an empty input or an
+/// unreachable threshold yields no hits. `alpha ≥ 1` is required (a zero
+/// threshold would make "all positions in ℕ" a hit).
+pub fn interval_scan(intervals: &[Interval], alpha: usize) -> Vec<ScanHit> {
+    assert!(alpha >= 1, "threshold must be at least 1");
+    if intervals.len() < alpha {
+        return Vec::new();
+    }
+    // Endpoints: (position, is_end, interval index). `u64` positions so
+    // `hi + 1` cannot overflow at u32::MAX.
+    let mut endpoints: Vec<(u64, bool, u32)> = Vec::with_capacity(intervals.len() * 2);
+    for (idx, iv) in intervals.iter().enumerate() {
+        endpoints.push((iv.lo as u64, false, idx as u32));
+        endpoints.push((iv.hi as u64 + 1, true, idx as u32));
+    }
+    endpoints.sort_unstable_by_key(|&(pos, is_end, _)| (pos, is_end));
+
+    let mut hits = Vec::new();
+    // Active interval indices; removal is O(active) which is fine for the
+    // small groups collision counting feeds us (the paper accepts
+    // O(m² log m) here).
+    let mut active: Vec<u32> = Vec::new();
+    let mut i = 0;
+    while i < endpoints.len() {
+        let pos = endpoints[i].0;
+        // Apply every endpoint at this position.
+        while i < endpoints.len() && endpoints[i].0 == pos {
+            let (_, is_end, idx) = endpoints[i];
+            if is_end {
+                let at = active
+                    .iter()
+                    .position(|&a| a == idx)
+                    .expect("ending an interval that is active");
+                active.remove(at);
+            } else {
+                active.push(idx);
+            }
+            i += 1;
+        }
+        if active.len() >= alpha {
+            // The active set persists until the next distinct endpoint.
+            let next = endpoints[i].0; // ends exist for all active intervals
+            hits.push(ScanHit {
+                range_lo: pos as u32,
+                range_hi: (next - 1) as u32,
+                active: active.iter().map(|&idx| intervals[idx as usize].id).collect(),
+            });
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force oracle: for every position, which intervals contain it?
+    fn oracle(intervals: &[Interval], alpha: usize) -> Vec<(u32, Vec<u32>)> {
+        let max = intervals.iter().map(|iv| iv.hi).max().unwrap_or(0);
+        let mut out = Vec::new();
+        for pos in 0..=max {
+            let mut ids: Vec<u32> = intervals
+                .iter()
+                .filter(|iv| iv.lo <= pos && pos <= iv.hi)
+                .map(|iv| iv.id)
+                .collect();
+            if ids.len() >= alpha {
+                ids.sort_unstable();
+                out.push((pos, ids));
+            }
+        }
+        out
+    }
+
+    /// Expands hits to per-position active sets for oracle comparison.
+    fn expand(hits: &[ScanHit]) -> Vec<(u32, Vec<u32>)> {
+        let mut out = Vec::new();
+        for h in hits {
+            for pos in h.range_lo..=h.range_hi {
+                let mut ids = h.active.clone();
+                ids.sort_unstable();
+                out.push((pos, ids));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn check(intervals: &[Interval], alpha: usize) {
+        assert_eq!(
+            expand(&interval_scan(intervals, alpha)),
+            oracle(intervals, alpha),
+            "mismatch for {intervals:?} alpha={alpha}"
+        );
+    }
+
+    #[test]
+    fn simple_overlap() {
+        let ivs = [
+            Interval::new(0, 1, 5),
+            Interval::new(1, 3, 8),
+            Interval::new(2, 4, 4),
+        ];
+        for alpha in 1..=3 {
+            check(&ivs, alpha);
+        }
+    }
+
+    #[test]
+    fn disjoint_intervals() {
+        let ivs = [Interval::new(0, 0, 2), Interval::new(1, 5, 9)];
+        check(&ivs, 1);
+        assert!(interval_scan(&ivs, 2).is_empty());
+    }
+
+    #[test]
+    fn identical_intervals() {
+        let ivs = [
+            Interval::new(0, 3, 7),
+            Interval::new(1, 3, 7),
+            Interval::new(2, 3, 7),
+        ];
+        let hits = interval_scan(&ivs, 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!((hits[0].range_lo, hits[0].range_hi), (3, 7));
+        assert_eq!(hits[0].active.len(), 3);
+        check(&ivs, 2);
+    }
+
+    #[test]
+    fn point_intervals_and_touching_ends() {
+        let ivs = [
+            Interval::new(0, 5, 5),
+            Interval::new(1, 5, 5),
+            Interval::new(2, 6, 6),
+            Interval::new(3, 4, 5),
+        ];
+        for alpha in 1..=4 {
+            check(&ivs, alpha);
+        }
+    }
+
+    #[test]
+    fn elementary_ranges_partition_coverage() {
+        let ivs = [
+            Interval::new(0, 0, 10),
+            Interval::new(1, 2, 6),
+            Interval::new(2, 4, 12),
+        ];
+        let hits = interval_scan(&ivs, 1);
+        // No two hits may overlap.
+        for (a, b) in hits.iter().zip(hits.iter().skip(1)) {
+            assert!(a.range_hi < b.range_lo);
+        }
+        check(&ivs, 1);
+    }
+
+    #[test]
+    fn pseudorandom_cross_check() {
+        // Dense random intervals with many ties stress every branch.
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for trial in 0..50 {
+            let n = 1 + (next() % 12) as usize;
+            let intervals: Vec<Interval> = (0..n)
+                .map(|id| {
+                    let lo = next() % 20;
+                    let hi = lo + next() % 10;
+                    Interval::new(id as u32, lo, hi)
+                })
+                .collect();
+            for alpha in 1..=n {
+                check(&intervals, alpha);
+            }
+            let _ = trial;
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(interval_scan(&[], 1).is_empty());
+    }
+
+    #[test]
+    fn u32_max_boundary() {
+        let ivs = [Interval::new(0, u32::MAX - 2, u32::MAX)];
+        let hits = interval_scan(&ivs, 1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].range_hi, u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_alpha_rejected() {
+        interval_scan(&[Interval::new(0, 0, 1)], 0);
+    }
+}

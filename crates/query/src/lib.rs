@@ -1,0 +1,90 @@
+//! Query processing for near-duplicate sequence search (paper §3.5).
+//!
+//! Given a query sequence `Q` and similarity threshold `θ`, the processor
+//! finds every sequence `T[i..=j]` (length ≥ t) in the indexed corpus whose
+//! min-hash sketch collides with `Q`'s on at least `β = ⌈kθ⌉` of the `k`
+//! hash functions — the paper's Definition 2, solved *exactly* (sound and
+//! complete, Theorem 2). The pipeline:
+//!
+//! 1. sketch `Q` and look up the `k` inverted lists (`ndss-index`);
+//! 2. **prefix filtering** (Algorithm 3): read only the short lists, find
+//!    texts that could still reach `β` collisions, then probe the long lists
+//!    through zone maps for those candidate texts only;
+//! 3. **collision counting** (Algorithm 4 / [`collision::collision_count`]):
+//!    per candidate text, split each compact window into its left interval
+//!    `[l, c]` and right interval `[c, r]` and intersect them with two
+//!    nested [`interval::interval_scan`] sweeps (Algorithm 5), yielding
+//!    disjoint *rectangles* `([x, x'], [y, y'])` of sequences that all share
+//!    the same collision count;
+//! 4. post-process: impose the length threshold on materialized sequences,
+//!    count them arithmetically, merge overlapping sequences into disjoint
+//!    spans (the paper's Remark), and optionally verify true Jaccard
+//!    similarity against the corpus.
+//!
+//! [`bruteforce`] holds the quadratic reference implementations of both the
+//! exact (Definition 1) and approximate (Definition 2) problems; property
+//! and integration tests assert the indexed search equals the Definition 2
+//! oracle exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use ndss_corpus::InMemoryCorpus;
+//! use ndss_index::{IndexConfig, MemoryIndex};
+//! use ndss_query::NearDupSearcher;
+//!
+//! // Text 1 repeats a 30-token span of text 0.
+//! let shared: Vec<u32> = (1000..1030).collect();
+//! let mut t0: Vec<u32> = (0..50).collect();
+//! t0.extend(&shared);
+//! let mut t1: Vec<u32> = (500..540).collect();
+//! t1.extend(&shared);
+//! let corpus = InMemoryCorpus::from_texts(vec![t0, t1]);
+//!
+//! let index = MemoryIndex::build(&corpus, IndexConfig::new(16, 20, 7)).unwrap();
+//! let searcher = NearDupSearcher::new(&index).unwrap();
+//! let outcome = searcher.search(&shared, 0.9).unwrap();
+//! let texts: Vec<u32> = outcome.matches.iter().map(|m| m.text).collect();
+//! assert_eq!(texts, vec![0, 1]);
+//! ```
+
+pub mod bruteforce;
+pub mod collision;
+pub mod document;
+pub mod interval;
+pub mod planner;
+pub mod search;
+
+pub use collision::{collision_count, Rectangle};
+pub use document::{DocumentMatch, DocumentScan};
+pub use interval::{interval_scan, Interval, ScanHit};
+pub use planner::{plan_query, QueryPlan};
+pub use search::{
+    NearDupSearcher, PrefixFilter, QueryStats, RankedMatch, SearchOutcome, TextMatch,
+};
+
+/// Errors raised during query processing.
+#[derive(Debug, thiserror::Error)]
+pub enum QueryError {
+    /// The query sequence is empty.
+    #[error("query sequence is empty")]
+    EmptyQuery,
+    /// The similarity threshold must lie in (0, 1].
+    #[error("similarity threshold {0} outside (0, 1]")]
+    BadThreshold(f64),
+    /// Verified search would enumerate more candidate sequences than the
+    /// caller's cap.
+    #[error("verification would enumerate {found} sequences (cap {cap}); raise the cap or the threshold")]
+    TooManyCandidates {
+        /// Sequences the approximate search produced.
+        found: u64,
+        /// The caller-provided cap.
+        cap: usize,
+    },
+    /// Error from the index layer.
+    #[error(transparent)]
+    Index(#[from] ndss_index::IndexError),
+    /// Error from the corpus layer (verification mode).
+    #[error(transparent)]
+    Corpus(#[from] ndss_corpus::CorpusError),
+}

@@ -1,0 +1,707 @@
+//! `NearDuplicateSearch` (paper Algorithm 3): the end-to-end query pipeline
+//! with prefix filtering, zone-map probes, and result post-processing.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use ndss_corpus::{CorpusSource, SeqRef, SeqSpan, TextId};
+use ndss_hash::jaccard::distinct_jaccard;
+use ndss_hash::minhash::collision_threshold;
+use ndss_hash::{MinHasher, TokenId};
+use ndss_index::IndexAccess;
+use ndss_windows::CompactWindow;
+
+use crate::collision::{collision_count, Rectangle};
+use crate::QueryError;
+
+/// How the searcher decides which inverted lists are "long" (skipped during
+/// candidate generation and probed per candidate text instead, §3.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrefixFilter {
+    /// Always read all k lists (no filtering).
+    Disabled,
+    /// Lists with at least this many postings are long.
+    MaxListLen(u64),
+    /// The top `fraction` of each function's lists by length are long —
+    /// the paper's "x% most frequent tokens" knob (Figure 3(d) sweeps
+    /// 5%–20%). Computed from the index's list-length histogram.
+    FrequentFraction(f64),
+    /// Decide per query with the cost model in [`crate::planner`]: defer
+    /// whichever lists minimize the estimated postings read, given the
+    /// query's actual list lengths (the paper's §3.5 cost-model reference).
+    Adaptive,
+}
+
+/// Per-query cost and outcome accounting. `io_*` comes from the index's
+/// instrumentation ([`IndexAccess::io_snapshot`]); `cpu` is wall time minus
+/// IO time, reproducing the paper's stacked latency bars.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// End-to-end wall time.
+    pub total: Duration,
+    /// Wall time spent inside index reads.
+    pub io_time: Duration,
+    /// Bytes read from the index.
+    pub io_bytes: u64,
+    /// `total − io_time`.
+    pub cpu_time: Duration,
+    /// Short lists read in full.
+    pub lists_loaded: usize,
+    /// Long lists skipped during candidate generation.
+    pub lists_long: usize,
+    /// Zone-map probes into long lists (one per candidate text × long list).
+    pub long_probes: usize,
+    /// Postings materialized (short lists + probes).
+    pub postings_read: u64,
+    /// Texts whose short-list window groups reached the reduced threshold.
+    pub candidate_texts: usize,
+    /// Texts with at least one final near-duplicate sequence.
+    pub matched_texts: usize,
+}
+
+/// All near-duplicate rectangles found in one text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextMatch {
+    /// The matched text.
+    pub text: TextId,
+    /// Disjoint rectangles of qualifying sequences (each already meets the
+    /// collision threshold β; the length threshold `t` is applied by the
+    /// accessors below).
+    pub rects: Vec<Rectangle>,
+}
+
+impl TextMatch {
+    /// Number of qualifying sequences of length ≥ t.
+    pub fn num_sequences(&self, t: u32) -> u64 {
+        self.rects.iter().map(|r| r.sequences_at_least(t)).sum()
+    }
+
+    /// All qualifying sequences of length ≥ t, enumerated. Quadratic in
+    /// rectangle side lengths — intended for tests, verification, and
+    /// display of small result sets.
+    pub fn enumerate(&self, t: u32) -> Vec<SeqSpan> {
+        let mut out = Vec::new();
+        for r in &self.rects {
+            for i in r.x_lo..=r.x_hi {
+                let j_min = r.y_lo.max(i.saturating_add(t - 1));
+                for j in j_min..=r.y_hi {
+                    out.push(SeqSpan::new(i, j));
+                }
+                if j_min > r.y_hi {
+                    continue;
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Merges all qualifying sequences into maximal disjoint token spans —
+    /// the paper's Remark ("we merge the overlapping near-duplicate
+    /// sequences such that all the sequences we report are disjoint").
+    pub fn merged_spans(&self, t: u32) -> Vec<SeqSpan> {
+        let mut spans: Vec<SeqSpan> = self
+            .rects
+            .iter()
+            .filter_map(|r| r.covered_span(t))
+            .map(|(lo, hi)| SeqSpan::new(lo, hi))
+            .collect();
+        spans.sort_unstable();
+        let mut merged: Vec<SeqSpan> = Vec::new();
+        for s in spans {
+            match merged.last_mut() {
+                Some(last) if last.touches(&s) => last.end = last.end.max(s.end),
+                _ => merged.push(s),
+            }
+        }
+        merged
+    }
+
+    /// The highest collision count among this text's rectangles.
+    pub fn best_collisions(&self) -> u32 {
+        self.rects.iter().map(|r| r.collisions).max().unwrap_or(0)
+    }
+}
+
+/// One entry of a ranked search: a matched text with its best collision
+/// count and merged matched regions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedMatch {
+    /// The matched text.
+    pub text: TextId,
+    /// Best collision count among its sequences (out of k).
+    pub collisions: u32,
+    /// `collisions / k` — the min-hash similarity estimate of the best
+    /// matching sequence.
+    pub estimated_similarity: f64,
+    /// Merged disjoint near-duplicate regions in the text.
+    pub spans: Vec<SeqSpan>,
+}
+
+/// The result of one near-duplicate search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Matches grouped per text, ordered by text id.
+    pub matches: Vec<TextMatch>,
+    /// Cost accounting.
+    pub stats: QueryStats,
+    /// The collision threshold β = ⌈kθ⌉ that was enforced.
+    pub beta: usize,
+    /// The index's length threshold t.
+    pub t: u32,
+}
+
+impl SearchOutcome {
+    /// Total qualifying sequences across all texts.
+    pub fn total_sequences(&self) -> u64 {
+        self.matches.iter().map(|m| m.num_sequences(self.t)).sum()
+    }
+
+    /// Number of texts with at least one qualifying sequence.
+    pub fn num_texts(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// Enumerates every qualifying sequence as a [`SeqRef`] (tests/small
+    /// results only).
+    pub fn enumerate_all(&self) -> Vec<SeqRef> {
+        let mut out = Vec::new();
+        for m in &self.matches {
+            for span in m.enumerate(self.t) {
+                out.push(SeqRef {
+                    text: m.text,
+                    span,
+                });
+            }
+        }
+        out
+    }
+
+    /// Merged disjoint spans per text.
+    pub fn merged(&self) -> Vec<(TextId, Vec<SeqSpan>)> {
+        self.matches
+            .iter()
+            .map(|m| (m.text, m.merged_spans(self.t)))
+            .filter(|(_, spans)| !spans.is_empty())
+            .collect()
+    }
+}
+
+/// The query processor. Holds the hash bank matching the index's
+/// configuration plus the per-function long-list cutoffs implied by the
+/// chosen [`PrefixFilter`].
+pub struct NearDupSearcher<'a, I: IndexAccess + ?Sized> {
+    index: &'a I,
+    hasher: MinHasher,
+    /// `cutoffs[func]`: list length at or above which the list is long
+    /// (`u64::MAX` = never). Ignored in adaptive mode.
+    cutoffs: Vec<u64>,
+    /// Whether to re-plan the long/short split per query with the cost
+    /// model instead of the static cutoffs.
+    adaptive: bool,
+}
+
+impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
+    /// A searcher with prefix filtering disabled.
+    pub fn new(index: &'a I) -> Result<Self, QueryError> {
+        Self::with_prefix_filter(index, PrefixFilter::Disabled)
+    }
+
+    /// A searcher with the given prefix-filtering policy. Percentile
+    /// cutoffs are computed once from the index's list-length histograms.
+    pub fn with_prefix_filter(index: &'a I, filter: PrefixFilter) -> Result<Self, QueryError> {
+        let config = index.config();
+        let k = config.k;
+        let cutoffs = match filter {
+            PrefixFilter::Disabled | PrefixFilter::Adaptive => vec![u64::MAX; k],
+            PrefixFilter::MaxListLen(len) => vec![len.max(1); k],
+            PrefixFilter::FrequentFraction(fraction) => {
+                assert!(
+                    (0.0..=1.0).contains(&fraction),
+                    "fraction must be in [0, 1]"
+                );
+                let mut cutoffs = Vec::with_capacity(k);
+                for func in 0..k {
+                    let hist = index.list_length_histogram(func)?;
+                    let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+                    let budget = (total as f64 * fraction).floor() as u64;
+                    // Walk from the longest lists down until the budget is
+                    // spent; everything at or above the stopping length is
+                    // long.
+                    let mut cutoff = u64::MAX;
+                    let mut used = 0u64;
+                    for &(len, count) in hist.iter().rev() {
+                        if used + count > budget {
+                            break;
+                        }
+                        used += count;
+                        cutoff = len;
+                    }
+                    cutoffs.push(cutoff);
+                }
+                cutoffs
+            }
+        };
+        Ok(Self {
+            index,
+            hasher: config.hasher(),
+            cutoffs,
+            adaptive: matches!(filter, PrefixFilter::Adaptive),
+        })
+    }
+
+    /// The searcher's hash bank (shared with sketch-producing callers).
+    pub fn hasher(&self) -> &MinHasher {
+        &self.hasher
+    }
+
+    /// Runs Algorithm 3: finds all sequences (length ≥ t) colliding with
+    /// `query` on at least `β = ⌈kθ⌉` hash functions. Sound and complete
+    /// for the approximate problem (Theorem 2).
+    pub fn search(&self, query: &[TokenId], theta: f64) -> Result<SearchOutcome, QueryError> {
+        if query.is_empty() {
+            return Err(QueryError::EmptyQuery);
+        }
+        if !(theta > 0.0 && theta <= 1.0) {
+            return Err(QueryError::BadThreshold(theta));
+        }
+        let start = Instant::now();
+        let io_before = self.index.io_snapshot();
+        let config = self.index.config();
+        let (k, t) = (config.k, config.t as u32);
+        let beta = collision_threshold(k, theta);
+        let mut stats = QueryStats::default();
+
+        // Line 2: the query's k-mins sketch.
+        let sketch = self.hasher.sketch(query);
+
+        // Classify lists. Soundness of the reduced threshold
+        // β − (k − p) ≥ 1 merely requires at most β − 1 long lists, but the
+        // filter's pruning power collapses as the reduced threshold
+        // approaches 1 (every text sharing a single short-list window
+        // becomes a candidate, and each candidate pays k − p probes). We cap
+        // the number of long lists at ⌊β/2⌋ — keeping the reduced threshold
+        // at ≥ ⌈β/2⌉ — retaining the longest lists as long; this is the
+        // cost-model role the paper delegates to prefix-length tuning
+        // ("a few works design cost-models to choose a good cutoff", §3.5).
+        let lens: Vec<u64> = (0..k)
+            .map(|func| self.index.list_len(func, sketch.value(func)))
+            .collect::<Result<_, _>>()?;
+        let long_funcs: Vec<usize> = if self.adaptive {
+            // Cost-based per-query plan; its own soundness cap applies.
+            crate::planner::plan_query(&lens, beta, config.zone_step).deferred
+        } else {
+            let mut long: Vec<usize> = (0..k)
+                .filter(|&f| lens[f] >= self.cutoffs[f])
+                .collect();
+            long.sort_unstable_by_key(|&f| std::cmp::Reverse(lens[f]));
+            long.truncate(beta / 2);
+            long
+        };
+        let is_long: Vec<bool> = {
+            let mut v = vec![false; k];
+            for &f in &long_funcs {
+                v[f] = true;
+            }
+            v
+        };
+        let p = k - long_funcs.len();
+        let alpha0 = beta - (k - p);
+        debug_assert!(alpha0 >= 1);
+        stats.lists_long = long_funcs.len();
+
+        // Lines 3–4: load the short lists and group windows by text.
+        let mut groups: HashMap<TextId, Vec<CompactWindow>> = HashMap::new();
+        for (func, &long) in is_long.iter().enumerate() {
+            if long {
+                continue;
+            }
+            let list = self.index.read_list(func, sketch.value(func))?;
+            stats.lists_loaded += 1;
+            stats.postings_read += list.len() as u64;
+            for posting in list {
+                groups.entry(posting.text).or_default().push(posting.window);
+            }
+        }
+
+        // Lines 5–12: per candidate text, count collisions.
+        let mut texts: Vec<TextId> = groups.keys().copied().collect();
+        texts.sort_unstable();
+        let mut matches = Vec::new();
+        for text in texts {
+            let mut windows = groups.remove(&text).expect("text key exists");
+            if windows.len() < alpha0 {
+                continue;
+            }
+            // Line 6: candidate check at the reduced threshold.
+            let rects0 = collision_count(&windows, alpha0);
+            let has_candidate = rects0.iter().any(|r| r.sequences_at_least(t) > 0);
+            if !has_candidate {
+                continue;
+            }
+            stats.candidate_texts += 1;
+            let rects = if long_funcs.is_empty() {
+                // No long lists: alpha0 == beta and rects0 is final.
+                rects0
+            } else {
+                // Lines 8–9: locate this text's windows in the long lists
+                // (zone-map probes) and re-count at the full threshold.
+                for &func in &long_funcs {
+                    let postings =
+                        self.index
+                            .read_postings_for_text(func, sketch.value(func), text)?;
+                    stats.long_probes += 1;
+                    stats.postings_read += postings.len() as u64;
+                    windows.extend(postings.into_iter().map(|p| p.window));
+                }
+                collision_count(&windows, beta)
+            };
+            let rects: Vec<Rectangle> = rects
+                .into_iter()
+                .filter(|r| r.sequences_at_least(t) > 0)
+                .collect();
+            if !rects.is_empty() {
+                matches.push(TextMatch { text, rects });
+            }
+        }
+
+        stats.matched_texts = matches.len();
+        let io_after = self.index.io_snapshot();
+        let io = io_after.since(&io_before);
+        stats.io_bytes = io.bytes;
+        stats.io_time = io.time();
+        stats.total = start.elapsed();
+        stats.cpu_time = stats.total.saturating_sub(stats.io_time);
+        Ok(SearchOutcome {
+            matches,
+            stats,
+            beta,
+            t,
+        })
+    }
+
+    /// Ranked search: like [`Self::search`] but returns the matched texts
+    /// ordered by their best collision count (i.e. by estimated similarity
+    /// of their best sequence), truncated to `limit`. This is the "show me
+    /// the most likely sources" mode the memorization and plagiarism
+    /// applications want, avoiding full enumeration.
+    pub fn search_ranked(
+        &self,
+        query: &[TokenId],
+        theta: f64,
+        limit: usize,
+    ) -> Result<Vec<RankedMatch>, QueryError> {
+        let outcome = self.search(query, theta)?;
+        let k = self.hasher.k() as f64;
+        let mut ranked: Vec<RankedMatch> = outcome
+            .matches
+            .iter()
+            .map(|m| RankedMatch {
+                text: m.text,
+                collisions: m.best_collisions(),
+                estimated_similarity: m.best_collisions() as f64 / k,
+                spans: m.merged_spans(outcome.t),
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.collisions
+                .cmp(&a.collisions)
+                .then_with(|| a.text.cmp(&b.text))
+        });
+        ranked.truncate(limit);
+        Ok(ranked)
+    }
+
+    /// Definition 1 mode: runs the approximate search, then verifies each
+    /// enumerated candidate's true distinct Jaccard similarity against the
+    /// corpus, returning only sequences with `J(Q, ·) ≥ θ`.
+    ///
+    /// Enumeration is quadratic in rectangle sides; `max_candidates` bounds
+    /// the work (an `Err` is returned when exceeded so callers never get
+    /// silently truncated results).
+    pub fn search_verified<C: CorpusSource + ?Sized>(
+        &self,
+        query: &[TokenId],
+        theta: f64,
+        corpus: &C,
+        max_candidates: usize,
+    ) -> Result<(Vec<SeqRef>, QueryStats), QueryError> {
+        let outcome = self.search(query, theta)?;
+        let total = outcome.total_sequences();
+        if total > max_candidates as u64 {
+            return Err(QueryError::TooManyCandidates {
+                found: total,
+                cap: max_candidates,
+            });
+        }
+        let mut verified = Vec::new();
+        let mut text_buf = Vec::new();
+        for m in &outcome.matches {
+            corpus.read_text(m.text, &mut text_buf)?;
+            for span in m.enumerate(outcome.t) {
+                let seq = span.slice(&text_buf);
+                if distinct_jaccard(query, seq) + 1e-12 >= theta {
+                    verified.push(SeqRef {
+                        text: m.text,
+                        span,
+                    });
+                }
+            }
+        }
+        Ok((verified, outcome.stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndss_corpus::{InMemoryCorpus, SyntheticCorpusBuilder};
+    use ndss_index::{IndexConfig, MemoryIndex};
+
+    fn build_index(corpus: &InMemoryCorpus, k: usize, t: usize) -> MemoryIndex {
+        MemoryIndex::build(corpus, IndexConfig::new(k, t, 1234)).unwrap()
+    }
+
+    #[test]
+    fn finds_planted_exact_duplicate() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(41)
+            .num_texts(60)
+            .text_len(150, 300)
+            .duplicates_per_text(1.0)
+            .dup_len(60, 100)
+            .mutation_rate(0.0)
+            .build();
+        let index = build_index(&corpus, 16, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let p = planted.first().expect("duplicates planted");
+        let query = corpus.sequence_to_vec(p.dst).unwrap();
+        let outcome = searcher.search(&query, 0.9).unwrap();
+        // The source text must be among the matches (the query IS a copy of
+        // a span of it).
+        assert!(
+            outcome.matches.iter().any(|m| m.text == p.src.text),
+            "planted source text not found"
+        );
+        // And the copy itself (in the destination text) must be found too.
+        assert!(outcome.matches.iter().any(|m| m.text == p.dst.text));
+    }
+
+    #[test]
+    fn random_query_finds_nothing_at_high_threshold() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(42)
+            .num_texts(50)
+            .duplicates_per_text(0.0)
+            .vocab_size(100_000)
+            .build();
+        let index = build_index(&corpus, 16, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        // A fresh random sequence over a huge vocab shares nothing.
+        let query: Vec<u32> = (900_000..900_064).collect();
+        let outcome = searcher.search(&query, 0.8).unwrap();
+        assert_eq!(outcome.num_texts(), 0);
+        assert_eq!(outcome.total_sequences(), 0);
+    }
+
+    #[test]
+    fn prefix_filtering_changes_nothing_in_results() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(43)
+            .num_texts(80)
+            .text_len(120, 250)
+            .vocab_size(800) // small vocab → skewed lists
+            .duplicates_per_text(1.0)
+            .dup_len(40, 80)
+            .mutation_rate(0.05)
+            .build();
+        let index = build_index(&corpus, 16, 20);
+        let plain = NearDupSearcher::new(&index).unwrap();
+        let filtered =
+            NearDupSearcher::with_prefix_filter(&index, PrefixFilter::FrequentFraction(0.10))
+                .unwrap();
+        let strict =
+            NearDupSearcher::with_prefix_filter(&index, PrefixFilter::MaxListLen(8)).unwrap();
+        for p in planted.iter().take(10) {
+            let query = corpus.sequence_to_vec(p.dst).unwrap();
+            for theta in [0.7, 0.8, 0.95] {
+                let a = plain.search(&query, theta).unwrap();
+                let b = filtered.search(&query, theta).unwrap();
+                let c = strict.search(&query, theta).unwrap();
+                assert_eq!(a.enumerate_all(), b.enumerate_all(), "fraction filter");
+                assert_eq!(a.enumerate_all(), c.enumerate_all(), "length filter");
+            }
+        }
+    }
+
+    #[test]
+    fn query_of_itself_matches_whole_span() {
+        // Query = an entire span of an indexed text at θ = 1: the span
+        // itself must be reported.
+        let (corpus, _) = SyntheticCorpusBuilder::new(44)
+            .num_texts(20)
+            .text_len(100, 150)
+            .vocab_size(1_000_000) // distinct tokens
+            .duplicates_per_text(0.0)
+            .build();
+        let index = build_index(&corpus, 32, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let text5 = corpus.text(5);
+        let query = &text5[10..60]; // 50 tokens ≥ t
+        let outcome = searcher.search(query, 1.0).unwrap();
+        let hits = outcome.enumerate_all();
+        assert!(
+            hits.contains(&SeqRef::new(5, 10, 59)),
+            "self-span not found; hits: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn verified_mode_filters_by_true_jaccard() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(45)
+            .num_texts(40)
+            .text_len(150, 250)
+            .duplicates_per_text(1.0)
+            .dup_len(50, 80)
+            .mutation_rate(0.0)
+            .build();
+        let index = build_index(&corpus, 32, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let p = planted.first().unwrap();
+        let query = corpus.sequence_to_vec(p.dst).unwrap();
+        let (verified, _) = searcher
+            .search_verified(&query, 0.9, &corpus, 2_000_000)
+            .unwrap();
+        assert!(!verified.is_empty());
+        for seq in &verified {
+            let tokens = corpus.sequence_to_vec(*seq).unwrap();
+            assert!(distinct_jaccard(&query, &tokens) >= 0.9 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn merged_spans_are_disjoint_and_cover_enumeration() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(46)
+            .num_texts(50)
+            .duplicates_per_text(1.0)
+            .mutation_rate(0.02)
+            .build();
+        let index = build_index(&corpus, 16, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let p = planted.first().unwrap();
+        let query = corpus.sequence_to_vec(p.dst).unwrap();
+        let outcome = searcher.search(&query, 0.8).unwrap();
+        for m in &outcome.matches {
+            let merged = m.merged_spans(outcome.t);
+            // Disjoint and non-touching.
+            for w in merged.windows(2) {
+                assert!(w[0].end + 1 < w[1].start);
+            }
+            // Every enumerated sequence is inside some merged span.
+            for span in m.enumerate(outcome.t) {
+                assert!(
+                    merged
+                        .iter()
+                        .any(|ms| ms.start <= span.start && span.end <= ms.end),
+                    "sequence {span:?} outside merged spans {merged:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(47).num_texts(5).build();
+        let index = build_index(&corpus, 4, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        assert!(matches!(
+            searcher.search(&[], 0.8),
+            Err(QueryError::EmptyQuery)
+        ));
+        assert!(matches!(
+            searcher.search(&[1, 2, 3], 0.0),
+            Err(QueryError::BadThreshold(_))
+        ));
+        assert!(matches!(
+            searcher.search(&[1, 2, 3], 1.5),
+            Err(QueryError::BadThreshold(_))
+        ));
+    }
+
+    #[test]
+    fn lower_threshold_finds_at_least_as_much() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(48)
+            .num_texts(60)
+            .duplicates_per_text(1.0)
+            .mutation_rate(0.08)
+            .build();
+        let index = build_index(&corpus, 32, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let p = planted.first().unwrap();
+        let query = corpus.sequence_to_vec(p.dst).unwrap();
+        let high = searcher.search(&query, 0.9).unwrap().total_sequences();
+        let low = searcher.search(&query, 0.7).unwrap().total_sequences();
+        assert!(low >= high, "low {low} < high {high}");
+    }
+
+    #[test]
+    fn adaptive_filter_changes_nothing_in_results() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(143)
+            .num_texts(80)
+            .vocab_size(500)
+            .duplicates_per_text(1.0)
+            .mutation_rate(0.05)
+            .build();
+        let index = build_index(&corpus, 16, 20);
+        let plain = NearDupSearcher::new(&index).unwrap();
+        let adaptive =
+            NearDupSearcher::with_prefix_filter(&index, PrefixFilter::Adaptive).unwrap();
+        for p in planted.iter().take(8) {
+            let query = corpus.sequence_to_vec(p.dst).unwrap();
+            for theta in [0.7, 0.9, 1.0] {
+                assert_eq!(
+                    plain.search(&query, theta).unwrap().enumerate_all(),
+                    adaptive.search(&query, theta).unwrap().enumerate_all(),
+                    "adaptive plan altered results at theta {theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranked_search_orders_by_collisions() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(144)
+            .num_texts(60)
+            .duplicates_per_text(1.5)
+            .mutation_rate(0.05)
+            .build();
+        let index = build_index(&corpus, 32, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let p = planted.first().unwrap();
+        let query = corpus.sequence_to_vec(p.dst).unwrap();
+        let ranked = searcher.search_ranked(&query, 0.7, 5).unwrap();
+        assert!(!ranked.is_empty());
+        assert!(ranked.len() <= 5);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].collisions >= pair[1].collisions);
+        }
+        // The top hit should be (near-)perfect: the query is a copy.
+        assert!(ranked[0].estimated_similarity > 0.9);
+        assert!(!ranked[0].spans.is_empty());
+    }
+
+    #[test]
+    fn stats_account_for_work() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(49)
+            .num_texts(60)
+            .duplicates_per_text(1.0)
+            .build();
+        let index = build_index(&corpus, 8, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let p = planted.first().unwrap();
+        let query = corpus.sequence_to_vec(p.dst).unwrap();
+        let outcome = searcher.search(&query, 0.8).unwrap();
+        assert_eq!(outcome.stats.lists_loaded, 8); // no filtering: all short
+        assert_eq!(outcome.stats.lists_long, 0);
+        assert!(outcome.stats.postings_read > 0);
+        assert!(outcome.stats.total >= outcome.stats.io_time);
+        assert_eq!(outcome.stats.matched_texts, outcome.matches.len());
+    }
+}

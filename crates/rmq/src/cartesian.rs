@@ -1,0 +1,223 @@
+//! Linear-time Cartesian trees.
+//!
+//! A Cartesian tree over an array places the (leftmost) minimum at the root
+//! and recursively builds the left and right subtrees from the sub-arrays on
+//! either side. Its shape is therefore *exactly the recursion tree of the
+//! compact-window generator* (paper Algorithm 2): node `c` with subtree span
+//! `[l, r]` corresponds to the compact window `(l, c, r)`. Building the tree
+//! with the classic rightmost-spine stack construction takes `O(n)` time, so
+//! walking it (with pruning at spans narrower than the length threshold)
+//! yields all valid compact windows in `O(n)` total — the paper's claimed
+//! linear bound, without any per-recursion RMQ query.
+//!
+//! Ties: equal values are treated as *decreasing to the right*, i.e. the
+//! leftmost of several equal minima becomes the ancestor. This matches the
+//! leftmost tie-break used by the RMQ structures in this crate, so the
+//! tree-walk generator and the RMQ-based generator produce identical windows.
+
+/// Sentinel meaning "no node".
+pub const NONE: u32 = u32::MAX;
+
+/// A Cartesian tree stored as parent/child index arrays.
+#[derive(Debug, Clone)]
+pub struct CartesianTree {
+    root: u32,
+    parent: Vec<u32>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+}
+
+impl CartesianTree {
+    /// Builds the tree over `values` in `O(n)` using a rightmost-spine stack.
+    ///
+    /// Returns an empty tree for an empty array.
+    pub fn new(values: &[u64]) -> Self {
+        let n = values.len();
+        let mut parent = vec![NONE; n];
+        let mut left = vec![NONE; n];
+        let mut right = vec![NONE; n];
+        let mut stack: Vec<u32> = Vec::with_capacity(64);
+        for i in 0..n {
+            let mut last_popped = NONE;
+            // Strict '>' keeps the leftmost of equal minima as the ancestor.
+            while let Some(&top) = stack.last() {
+                if values[top as usize] > values[i] {
+                    last_popped = top;
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if last_popped != NONE {
+                left[i] = last_popped;
+                parent[last_popped as usize] = i as u32;
+            }
+            if let Some(&top) = stack.last() {
+                right[top as usize] = i as u32;
+                parent[i] = top;
+            }
+            stack.push(i as u32);
+        }
+        let root = stack.first().copied().unwrap_or(NONE);
+        Self {
+            root,
+            parent,
+            left,
+            right,
+        }
+    }
+
+    /// The number of nodes (array length).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root index, or [`NONE`] if the tree is empty.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// Left child of node `i`, or [`NONE`].
+    pub fn left(&self, i: usize) -> u32 {
+        self.left[i]
+    }
+
+    /// Right child of node `i`, or [`NONE`].
+    pub fn right(&self, i: usize) -> u32 {
+        self.right[i]
+    }
+
+    /// Parent of node `i`, or [`NONE`] for the root.
+    pub fn parent(&self, i: usize) -> u32 {
+        self.parent[i]
+    }
+
+    /// Visits every node together with its subtree span `[l, r]` (inclusive),
+    /// in preorder. The visitor returns `true` to descend into the node's
+    /// children and `false` to prune the subtree — window generation prunes
+    /// spans narrower than the length threshold, because *every* span in a
+    /// pruned subtree is strictly contained in its parent's span.
+    pub fn visit_spans<F: FnMut(usize, usize, usize) -> bool>(&self, mut visit: F) {
+        if self.root == NONE {
+            return;
+        }
+        // Explicit stack of (node, span_lo, span_hi).
+        let mut stack: Vec<(u32, u32, u32)> = Vec::with_capacity(64);
+        stack.push((self.root, 0, (self.len() - 1) as u32));
+        while let Some((node, lo, hi)) = stack.pop() {
+            let c = node as usize;
+            if !visit(lo as usize, c, hi as usize) {
+                continue;
+            }
+            // Children spans: left subtree covers [lo, c-1], right [c+1, hi].
+            let l = self.left[c];
+            if l != NONE {
+                stack.push((l, lo, node - 1));
+            }
+            let r = self.right[c];
+            if r != NONE {
+                stack.push((r, node + 1, hi));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NaiveArgmin, RangeArgmin};
+
+    /// Checks the Cartesian-tree heap and BST invariants against the values.
+    fn check_invariants(values: &[u64]) {
+        let tree = CartesianTree::new(values);
+        assert_eq!(tree.len(), values.len());
+        if values.is_empty() {
+            assert_eq!(tree.root(), NONE);
+            return;
+        }
+        let naive = NaiveArgmin::new(values);
+        assert_eq!(tree.root() as usize, naive.argmin(0, values.len() - 1));
+        tree.visit_spans(|l, c, r| {
+            // Span containment and the heap property: c is the leftmost min
+            // of its span.
+            assert!(l <= c && c <= r);
+            assert_eq!(c, naive.argmin(l, r), "span [{l},{r}] of {values:?}");
+            true
+        });
+        // Every node is visited exactly once when nothing is pruned.
+        let mut seen = vec![false; values.len()];
+        tree.visit_spans(|_, c, _| {
+            assert!(!seen[c], "node {c} visited twice");
+            seen[c] = true;
+            true
+        });
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn invariants_on_assorted_arrays() {
+        check_invariants(&[]);
+        check_invariants(&[42]);
+        check_invariants(&[1, 2, 3, 4, 5]);
+        check_invariants(&[5, 4, 3, 2, 1]);
+        check_invariants(&[5, 3, 9, 3, 7]);
+        check_invariants(&[2, 2, 2, 2]);
+        let pseudo: Vec<u64> = (0..200u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 53) % 13)
+            .collect();
+        check_invariants(&pseudo);
+    }
+
+    #[test]
+    fn leftmost_of_equal_minima_is_root() {
+        let values = [7u64, 1, 8, 1, 9];
+        let tree = CartesianTree::new(&values);
+        assert_eq!(tree.root(), 1);
+        // The second 1 must live in the right subtree of the first.
+        assert_eq!(tree.right(1), 3);
+    }
+
+    #[test]
+    fn pruning_stops_descent() {
+        let values = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let tree = CartesianTree::new(&values);
+        let mut visited = 0;
+        tree.visit_spans(|l, _, r| {
+            visited += 1;
+            r - l + 1 >= 4 // only descend through wide spans
+        });
+        // Root span always visited; narrow subtrees are cut off.
+        assert!(visited < values.len());
+        assert!(visited >= 1);
+    }
+
+    #[test]
+    fn spans_partition_under_pruning_threshold() {
+        // With no pruning, spans of the visit are exactly the Algorithm-2
+        // recursion: each node's span minus its children's spans is {c}.
+        let values = [4u64, 0, 6, 2, 8, 1, 3];
+        let tree = CartesianTree::new(&values);
+        let mut spans = Vec::new();
+        tree.visit_spans(|l, c, r| {
+            spans.push((l, c, r));
+            true
+        });
+        // Every sequence [i,j] must be covered by exactly one (l,c,r) with
+        // l <= i <= c <= j <= r.
+        let n = values.len();
+        for i in 0..n {
+            for j in i..n {
+                let covering = spans
+                    .iter()
+                    .filter(|&&(l, c, r)| l <= i && i <= c && c <= j && j <= r)
+                    .count();
+                assert_eq!(covering, 1, "sequence [{i},{j}] covered {covering} times");
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Range-minimum-query (RMQ) structures for compact-window generation.
+//!
+//! The divide-and-conquer compact-window generator (paper Algorithm 2, line
+//! 2) repeatedly asks: *which position in `[l, r]` holds the smallest token
+//! hash value?* ALIGN answered this with a segment tree (`O(log n)` per
+//! query); the paper notes that advanced RMQ structures bring the whole
+//! generation down to `O(n)` time and space. This crate provides three
+//! interchangeable answers behind the [`RangeArgmin`] trait:
+//!
+//! * [`SparseTable`] — the classic `O(n log n)`-space, `O(1)`-query doubling
+//!   table. Simple and branch-light; the reference implementation.
+//! * [`BlockRmq`] — a block-decomposed structure with `O(n)` space: block
+//!   minima are indexed by a sparse table, in-block queries scan at most two
+//!   short blocks. Queries are `O(b)` for a small constant block size, which
+//!   in practice beats the big-O-optimal structures on token-hash arrays.
+//! * [`CartesianTree`] — a linear-time stack-built Cartesian tree. Its
+//!   structure *is* the recursion tree of Algorithm 2, so window generation
+//!   can walk it directly without issuing point queries at all; it also
+//!   underlies the textbook `O(n)`/`O(1)` RMQ reduction.
+//!
+//! All structures break ties toward the **leftmost** minimum so that window
+//! generation is deterministic (the paper allows arbitrary tie-breaks).
+//!
+//! # Example
+//!
+//! ```
+//! use ndss_rmq::{RangeArgmin, SparseTable, BlockRmq};
+//!
+//! let values = [5u64, 3, 9, 3, 7];
+//! let st = SparseTable::new(&values);
+//! let bl = BlockRmq::new(&values);
+//! assert_eq!(st.argmin(0, 4), 1); // leftmost of the two 3s
+//! assert_eq!(bl.argmin(2, 4), 3);
+//! ```
+
+pub mod block;
+pub mod cartesian;
+pub mod sparse;
+
+pub use block::BlockRmq;
+pub use cartesian::CartesianTree;
+pub use sparse::SparseTable;
+
+/// A structure answering *arg-min* queries over a fixed array.
+///
+/// `argmin(l, r)` returns the index of the minimum value in the **inclusive**
+/// range `[l, r]`, choosing the leftmost index on ties. Implementations may
+/// assume `l <= r < len` and should panic otherwise.
+pub trait RangeArgmin {
+    /// The length of the underlying array.
+    fn len(&self) -> usize;
+
+    /// Whether the underlying array is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Index of the leftmost minimum value in `[l, r]` (inclusive).
+    fn argmin(&self, l: usize, r: usize) -> usize;
+}
+
+/// Reference implementation: a linear scan. Used by tests as ground truth
+/// and by callers with very short arrays where building a structure is not
+/// worth it.
+#[derive(Debug, Clone)]
+pub struct NaiveArgmin<'a> {
+    values: &'a [u64],
+}
+
+impl<'a> NaiveArgmin<'a> {
+    /// Wraps a value slice without any preprocessing.
+    pub fn new(values: &'a [u64]) -> Self {
+        Self { values }
+    }
+}
+
+impl RangeArgmin for NaiveArgmin<'_> {
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    fn argmin(&self, l: usize, r: usize) -> usize {
+        assert!(l <= r && r < self.values.len(), "argmin range out of bounds");
+        let mut best = l;
+        for i in l + 1..=r {
+            if self.values[i] < self.values[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_picks_leftmost_tie() {
+        let v = [2u64, 1, 1, 3];
+        let n = NaiveArgmin::new(&v);
+        assert_eq!(n.argmin(0, 3), 1);
+        assert_eq!(n.argmin(2, 3), 2);
+    }
+
+    #[test]
+    fn naive_single_element() {
+        let v = [7u64];
+        let n = NaiveArgmin::new(&v);
+        assert_eq!(n.argmin(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn naive_rejects_bad_range() {
+        let v = [1u64, 2];
+        NaiveArgmin::new(&v).argmin(0, 2);
+    }
+}

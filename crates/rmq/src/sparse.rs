@@ -1,0 +1,151 @@
+//! Sparse-table RMQ: `O(n log n)` preprocessing, `O(1)` queries.
+//!
+//! Level `j` of the table stores, for every position `i`, the index of the
+//! minimum in the window `[i, i + 2^j - 1]`. A query `[l, r]` combines the
+//! two (possibly overlapping) windows of length `2^⌊log₂(r-l+1)⌋` anchored at
+//! `l` and at `r - 2^j + 1`. Ties resolve to the leftmost index because the
+//! left window's candidate is preferred on equality and each level is built
+//! left-candidate-first.
+
+use crate::RangeArgmin;
+
+/// A doubling sparse table over a copied value array.
+#[derive(Debug, Clone)]
+pub struct SparseTable {
+    values: Vec<u64>,
+    /// `table[j][i]` = index of the leftmost min in `[i, i + 2^j - 1]`.
+    /// Level 0 is implicit (the identity), so `table[0]` here is level 1.
+    levels: Vec<Vec<u32>>,
+}
+
+impl SparseTable {
+    /// Builds the table. `O(n log n)` time and space.
+    pub fn new(values: &[u64]) -> Self {
+        let n = values.len();
+        let values = values.to_vec();
+        let mut levels: Vec<Vec<u32>> = Vec::new();
+        if n >= 2 {
+            // Level 1: windows of length 2.
+            let mut lvl: Vec<u32> = Vec::with_capacity(n - 1);
+            for i in 0..n - 1 {
+                lvl.push(if values[i + 1] < values[i] {
+                    (i + 1) as u32
+                } else {
+                    i as u32
+                });
+            }
+            levels.push(lvl);
+            let mut width = 2usize;
+            while width * 2 <= n {
+                let prev = levels.last().expect("at least one level exists");
+                let count = n - width * 2 + 1;
+                let mut lvl = Vec::with_capacity(count);
+                for i in 0..count {
+                    let a = prev[i];
+                    let b = prev[i + width];
+                    lvl.push(if values[b as usize] < values[a as usize] {
+                        b
+                    } else {
+                        a
+                    });
+                }
+                levels.push(lvl);
+                width *= 2;
+            }
+        }
+        Self { values, levels }
+    }
+
+    /// The underlying values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+}
+
+impl RangeArgmin for SparseTable {
+    fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    fn argmin(&self, l: usize, r: usize) -> usize {
+        assert!(l <= r && r < self.values.len(), "argmin range out of bounds");
+        if l == r {
+            return l;
+        }
+        let span = r - l + 1;
+        // j = ⌊log2(span)⌋ ≥ 1; levels[j-1] holds windows of width 2^j.
+        let j = (usize::BITS - 1 - span.leading_zeros()) as usize;
+        let level = &self.levels[j - 1];
+        let a = level[l] as usize;
+        let b = level[r + 1 - (1 << j)] as usize;
+        // Prefer the left window's candidate on ties; when the windows
+        // overlap and b < a positionally we still must compare values first.
+        if self.values[b] < self.values[a] || (self.values[b] == self.values[a] && b < a) {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NaiveArgmin;
+
+    fn check_all_ranges(values: &[u64]) {
+        let st = SparseTable::new(values);
+        let naive = NaiveArgmin::new(values);
+        for l in 0..values.len() {
+            for r in l..values.len() {
+                assert_eq!(
+                    st.argmin(l, r),
+                    naive.argmin(l, r),
+                    "mismatch on [{l},{r}] over {values:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_small_arrays() {
+        check_all_ranges(&[5, 3, 9, 3, 7]);
+        check_all_ranges(&[1]);
+        check_all_ranges(&[2, 2, 2, 2]);
+        check_all_ranges(&[9, 8, 7, 6, 5, 4, 3, 2, 1]);
+        check_all_ranges(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom_array() {
+        // Deterministic pseudo-random values with plenty of ties.
+        let values: Vec<u64> = (0..257u64)
+            .map(|i| (i.wrapping_mul(2654435761) >> 7) % 16)
+            .collect();
+        check_all_ranges(&values);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        let st = SparseTable::new(&[]);
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn power_of_two_lengths() {
+        for n in [2usize, 4, 8, 16, 32, 64] {
+            let values: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(37) % 11).collect();
+            check_all_ranges(&values);
+        }
+    }
+
+    #[test]
+    fn leftmost_tie_break_on_full_range() {
+        let values = [4u64, 1, 6, 1, 1, 9];
+        let st = SparseTable::new(&values);
+        assert_eq!(st.argmin(0, 5), 1);
+        assert_eq!(st.argmin(2, 5), 3);
+        assert_eq!(st.argmin(3, 4), 3);
+    }
+}

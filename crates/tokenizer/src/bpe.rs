@@ -1,0 +1,283 @@
+//! The trained BPE tokenizer: encoding, decoding, (de)serialization.
+//!
+//! Encoding a word applies the learned merges in *rank order*: at each step
+//! the adjacent pair with the lowest merge rank present in the word is
+//! merged, exactly as at training time, which makes encoding deterministic
+//! and consistent with the learned vocabulary. A per-word cache makes
+//! re-encoding large corpora (where word distributions are Zipfian) fast.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::pretokenize::split_words;
+use crate::vocab::Vocab;
+use crate::TokenizerError;
+
+/// Serialized form of a tokenizer (vocab is reconstructible from merges, but
+/// storing both keeps loading trivial and the file self-describing).
+#[derive(Serialize, Deserialize)]
+struct TokenizerFile {
+    format_version: u32,
+    merges: Vec<(u32, u32)>,
+}
+
+/// A trained byte-pair-encoding tokenizer.
+pub struct BpeTokenizer {
+    vocab: Vocab,
+    merges: Vec<(u32, u32)>,
+    /// rank of each merge pair; lower rank = applied earlier.
+    ranks: HashMap<(u32, u32), u32>,
+    /// Cache of word → encoded ids. Mutex-guarded so `encode(&self)` stays
+    /// shareable across threads; contention is negligible next to the work.
+    cache: Mutex<HashMap<String, Vec<u32>>>,
+}
+
+impl std::fmt::Debug for BpeTokenizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BpeTokenizer")
+            .field("vocab_size", &self.vocab.len())
+            .field("merges", &self.merges.len())
+            .finish()
+    }
+}
+
+impl BpeTokenizer {
+    /// Assembles a tokenizer from a vocabulary and its merge list (the
+    /// trainer's output). The merge list must be consistent with the vocab:
+    /// merge `i` must have produced id `256 + i`.
+    pub fn from_parts(vocab: Vocab, merges: Vec<(u32, u32)>) -> Self {
+        debug_assert_eq!(vocab.len(), 256 + merges.len());
+        let ranks = merges
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
+        Self {
+            vocab,
+            merges,
+            ranks,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Rebuilds a tokenizer from just its merge list.
+    pub fn from_merges(merges: Vec<(u32, u32)>) -> Self {
+        let mut vocab = Vocab::base();
+        for &(a, b) in &merges {
+            vocab.push_merge(a, b);
+        }
+        Self::from_parts(vocab, merges)
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The learned merges in rank order.
+    pub fn merges(&self) -> &[(u32, u32)] {
+        &self.merges
+    }
+
+    /// Total vocabulary size (base bytes + merges).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Encodes one word (no further splitting) into token ids.
+    fn encode_word(&self, word: &str) -> Vec<u32> {
+        if let Some(hit) = self.cache.lock().expect("cache poisoned").get(word) {
+            return hit.clone();
+        }
+        let mut toks: Vec<u32> = word.bytes().map(u32::from).collect();
+        // Repeatedly merge the lowest-rank adjacent pair present.
+        while toks.len() >= 2 {
+            let mut best: Option<(u32, usize)> = None;
+            for i in 0..toks.len() - 1 {
+                if let Some(&rank) = self.ranks.get(&(toks[i], toks[i + 1])) {
+                    if best.is_none_or(|(r, _)| rank < r) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((rank, _)) = best else { break };
+            let pair = self.merges[rank as usize];
+            let new_id = 256 + rank;
+            // Merge every occurrence of the pair (left-to-right), as in
+            // training.
+            let mut merged = Vec::with_capacity(toks.len());
+            let mut i = 0;
+            while i < toks.len() {
+                if i + 1 < toks.len() && toks[i] == pair.0 && toks[i + 1] == pair.1 {
+                    merged.push(new_id);
+                    i += 2;
+                } else {
+                    merged.push(toks[i]);
+                    i += 1;
+                }
+            }
+            toks = merged;
+        }
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(word.to_owned(), toks.clone());
+        toks
+    }
+
+    /// Encodes raw text into token ids.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::with_capacity(text.len() / 3);
+        for word in split_words(text) {
+            out.extend(self.encode_word(word));
+        }
+        out
+    }
+
+    /// Decodes token ids back to text. Exact inverse of [`Self::encode`] for
+    /// valid UTF-8 inputs.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        self.vocab.decode(ids).expect("ids produced by this tokenizer")
+    }
+
+    /// Decodes, reporting out-of-vocabulary ids instead of panicking.
+    pub fn try_decode(&self, ids: &[u32]) -> Result<String, TokenizerError> {
+        self.vocab.decode(ids)
+    }
+
+    /// Saves the tokenizer to a JSON file.
+    pub fn save(&self, path: &Path) -> Result<(), TokenizerError> {
+        let file = std::fs::File::create(path)?;
+        let writer = BufWriter::new(file);
+        serde_json::to_writer(
+            writer,
+            &TokenizerFile {
+                format_version: 1,
+                merges: self.merges.clone(),
+            },
+        )
+        .map_err(|e| TokenizerError::Malformed(e.to_string()))?;
+        Ok(())
+    }
+
+    /// Loads a tokenizer saved by [`Self::save`].
+    pub fn load(path: &Path) -> Result<Self, TokenizerError> {
+        let file = std::fs::File::open(path)?;
+        let reader = BufReader::new(file);
+        let parsed: TokenizerFile =
+            serde_json::from_reader(reader).map_err(|e| TokenizerError::Malformed(e.to_string()))?;
+        if parsed.format_version != 1 {
+            return Err(TokenizerError::Malformed(format!(
+                "unsupported tokenizer format version {}",
+                parsed.format_version
+            )));
+        }
+        for (i, &(a, b)) in parsed.merges.iter().enumerate() {
+            let limit = 256 + i as u32;
+            if a >= limit || b >= limit {
+                return Err(TokenizerError::Malformed(format!(
+                    "merge {i} references future id ({a}, {b})"
+                )));
+            }
+        }
+        Ok(Self::from_merges(parsed.merges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::BpeTrainer;
+
+    fn sample_tokenizer() -> BpeTokenizer {
+        let corpus = [
+            "the cat sat on the mat",
+            "the cat ate the rat",
+            "a cat and a rat and a mat",
+        ];
+        BpeTrainer::new(300).train(corpus.iter().copied())
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let tok = sample_tokenizer();
+        for text in [
+            "the cat sat",
+            "unseen words also roundtrip",
+            "punctuation!? and\nnewlines",
+            "",
+            "  spaces  everywhere  ",
+        ] {
+            assert_eq!(tok.decode(&tok.encode(text)), text);
+        }
+    }
+
+    #[test]
+    fn merges_compress() {
+        let tok = sample_tokenizer();
+        let text = "the cat sat on the mat";
+        let ids = tok.encode(text);
+        assert!(
+            ids.len() < text.len(),
+            "learned merges should beat byte-level encoding: {} vs {}",
+            ids.len(),
+            text.len()
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_cached() {
+        let tok = sample_tokenizer();
+        let a = tok.encode("the cat sat on the mat");
+        let b = tok.encode("the cat sat on the mat");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let tok = sample_tokenizer();
+        let dir = std::env::temp_dir().join("ndss_tok_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tok.json");
+        tok.save(&path).unwrap();
+        let loaded = BpeTokenizer::load(&path).unwrap();
+        assert_eq!(loaded.merges(), tok.merges());
+        let text = "the cat ate the rat";
+        assert_eq!(loaded.encode(text), tok.encode(text));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_inconsistent_merges() {
+        let dir = std::env::temp_dir().join("ndss_tok_test_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(
+            &path,
+            r#"{"format_version":1,"merges":[[999,5]]}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            BpeTokenizer::load(&path),
+            Err(TokenizerError::Malformed(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_bytes_fall_back_to_base_vocab() {
+        let tok = sample_tokenizer();
+        let text = "§ unicode ¶ never seen ☃";
+        assert_eq!(tok.decode(&tok.encode(text)), text);
+    }
+
+    #[test]
+    fn vocab_size_accounts_for_merges() {
+        let tok = sample_tokenizer();
+        assert_eq!(tok.vocab_size(), 256 + tok.merges().len());
+    }
+}

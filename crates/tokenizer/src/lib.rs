@@ -1,0 +1,55 @@
+//! A from-scratch byte-pair-encoding (BPE) tokenizer.
+//!
+//! The paper tokenizes its corpora with BPE before indexing: OpenWebText with
+//! a freshly trained 64K-vocabulary BPE model, The Pile with the 50,257-token
+//! GPT-2 tokenizer (§4, "BPE Tokenization"). The search algorithms themselves
+//! only ever see `u32` token ids, but the memorization evaluation needs to
+//! *decode* matches back to human-readable text (Table 1), and the example
+//! programs tokenize raw text end-to-end — so the tokenizer is a real
+//! substrate, not a stub.
+//!
+//! Components:
+//!
+//! * [`pretokenize`] — splits raw text into *words* (maximal non-whitespace
+//!   runs with their leading space attached, GPT-2 style) so that BPE merges
+//!   never cross word boundaries.
+//! * [`vocab::Vocab`] — the id ↔ byte-string mapping. The base vocabulary is
+//!   the 256 single bytes; learned merges append new ids.
+//! * [`trainer::BpeTrainer`] — learns merge rules from raw text by iterated
+//!   most-frequent-pair merging over a word-frequency dictionary.
+//! * [`bpe::BpeTokenizer`] — applies the learned merges to encode text to
+//!   token ids and decodes ids back to text; serializes to / from JSON.
+//!
+//! # Example
+//!
+//! ```
+//! use ndss_tokenizer::{BpeTrainer, BpeTokenizer};
+//!
+//! let corpus = ["the cat sat on the mat", "the cat ate the rat"];
+//! let tokenizer = BpeTrainer::new(300).train(corpus.iter().copied());
+//! let ids = tokenizer.encode("the cat sat");
+//! assert_eq!(tokenizer.decode(&ids), "the cat sat");
+//! ```
+
+pub mod bpe;
+pub mod pretokenize;
+pub mod trainer;
+pub mod vocab;
+
+pub use bpe::BpeTokenizer;
+pub use trainer::BpeTrainer;
+pub use vocab::Vocab;
+
+/// Errors produced while loading or using a tokenizer.
+#[derive(Debug, thiserror::Error)]
+pub enum TokenizerError {
+    /// A serialized tokenizer file could not be parsed.
+    #[error("malformed tokenizer file: {0}")]
+    Malformed(String),
+    /// An id outside the vocabulary was passed to `decode`.
+    #[error("token id {0} is out of vocabulary (size {1})")]
+    OutOfVocabulary(u32, usize),
+    /// Underlying IO failure.
+    #[error(transparent)]
+    Io(#[from] std::io::Error),
+}

@@ -1,0 +1,104 @@
+//! Pre-tokenization: raw text → words.
+//!
+//! BPE merges are learned and applied *within* words only, so the first step
+//! of both training and encoding is a deterministic split of the input into
+//! words. We follow the GPT-2 convention of attaching a single leading space
+//! to the word that follows it (so `"the cat"` becomes `["the", " cat"]`),
+//! which lets decoding be exact concatenation. Newlines and other whitespace
+//! runs are emitted as standalone words so that no byte of the input is lost.
+
+/// Splits `text` into pre-tokenization words.
+///
+/// Properties (tested below):
+/// * concatenating the returned words reproduces `text` byte-for-byte;
+/// * no word is empty;
+/// * a word is either (a) an optional single space followed by a maximal run
+///   of non-whitespace bytes, or (b) a maximal run of whitespace (minus any
+///   single space donated to a following word).
+pub fn split_words(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut words = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        if bytes[i].is_ascii_whitespace() {
+            // Consume the whitespace run.
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            // Donate one trailing plain space to a following non-space word.
+            let donate = i < bytes.len() && bytes[i - 1] == b' ';
+            let end = if donate { i - 1 } else { i };
+            if end > start {
+                words.push(&text[start..end]);
+            }
+            if donate {
+                let word_start = i - 1;
+                while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                words.push(&text[word_start..i]);
+            }
+        } else {
+            while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            words.push(&text[start..i]);
+        }
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) {
+        let words = split_words(text);
+        assert_eq!(words.concat(), text, "words {words:?}");
+        assert!(words.iter().all(|w| !w.is_empty()));
+    }
+
+    #[test]
+    fn simple_sentence() {
+        assert_eq!(split_words("the cat sat"), vec!["the", " cat", " sat"]);
+    }
+
+    #[test]
+    fn leading_space_attaches_forward() {
+        assert_eq!(split_words(" hello"), vec![" hello"]);
+    }
+
+    #[test]
+    fn multiple_spaces_split_off_extra() {
+        assert_eq!(split_words("a  b"), vec!["a", " ", " b"]);
+        assert_eq!(split_words("a   b"), vec!["a", "  ", " b"]);
+    }
+
+    #[test]
+    fn newlines_are_standalone() {
+        assert_eq!(split_words("a\nb"), vec!["a", "\n", "b"]);
+        assert_eq!(split_words("a\n b"), vec!["a", "\n", " b"]);
+        assert_eq!(split_words("a \nb"), vec!["a", " \n", "b"]);
+    }
+
+    #[test]
+    fn concatenation_is_lossless() {
+        roundtrip("");
+        roundtrip("x");
+        roundtrip("  leading and trailing  ");
+        roundtrip("tabs\tand\nnewlines \t mixed");
+        roundtrip("unicode: naïve café 北京 🚀 end");
+        roundtrip("   ");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_words("").is_empty());
+    }
+
+    #[test]
+    fn trailing_space_stays_with_whitespace_run() {
+        assert_eq!(split_words("a "), vec!["a", " "]);
+    }
+}

@@ -1,0 +1,193 @@
+//! BPE training: learning merge rules from raw text.
+//!
+//! Classic Sennrich-style training over a word-frequency dictionary: the
+//! corpus is pre-tokenized into words, each word starts as its byte sequence,
+//! and the most frequent adjacent token pair (weighted by word frequency) is
+//! merged into a new token until the target vocabulary size is reached or no
+//! pair occurs at least twice. Pair counts are maintained incrementally —
+//! only words containing the merged pair are rewritten — so training a 64K
+//! vocabulary over millions of words stays tractable (the paper trained a
+//! 64K-vocab model over 1M OpenWebText documents, §4).
+
+use std::collections::HashMap;
+
+use crate::bpe::BpeTokenizer;
+use crate::pretokenize::split_words;
+use crate::vocab::Vocab;
+
+/// Configuration + driver for BPE training.
+#[derive(Debug, Clone)]
+pub struct BpeTrainer {
+    vocab_size: usize,
+    min_pair_count: u64,
+}
+
+impl BpeTrainer {
+    /// A trainer targeting the given total vocabulary size (including the
+    /// 256 base byte tokens). Sizes below 256 train no merges.
+    pub fn new(vocab_size: usize) -> Self {
+        Self {
+            vocab_size,
+            min_pair_count: 2,
+        }
+    }
+
+    /// Sets the minimum weighted count a pair must reach to be merged
+    /// (default 2: never learn a merge witnessed only once).
+    pub fn min_pair_count(mut self, count: u64) -> Self {
+        self.min_pair_count = count.max(1);
+        self
+    }
+
+    /// Trains a tokenizer from an iterator of raw texts.
+    pub fn train<'a, I: IntoIterator<Item = &'a str>>(&self, texts: I) -> BpeTokenizer {
+        // 1. Word-frequency dictionary.
+        let mut word_freq: HashMap<&str, u64> = HashMap::new();
+        for text in texts {
+            for word in split_words(text) {
+                *word_freq.entry(word).or_insert(0) += 1;
+            }
+        }
+
+        // 2. Each distinct word as a token-id sequence, with its frequency.
+        let mut words: Vec<(Vec<u32>, u64)> = word_freq
+            .into_iter()
+            .map(|(w, f)| (w.bytes().map(u32::from).collect(), f))
+            .collect();
+        // Deterministic processing order regardless of hash-map iteration.
+        words.sort_unstable();
+
+        let mut vocab = Vocab::base();
+        let mut merges: Vec<(u32, u32)> = Vec::new();
+
+        // 3. Global pair counts and which words contain each pair.
+        let mut pair_counts: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut pair_words: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        for (wi, (toks, f)) in words.iter().enumerate() {
+            for pair in toks.windows(2) {
+                let key = (pair[0], pair[1]);
+                *pair_counts.entry(key).or_insert(0) += f;
+                pair_words.entry(key).or_default().push(wi as u32);
+            }
+        }
+
+        while vocab.len() < self.vocab_size {
+            // Most frequent pair; ties break toward the smaller pair so the
+            // result is independent of hash-map order.
+            let Some((&best_pair, &count)) = pair_counts
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            else {
+                break;
+            };
+            if count < self.min_pair_count {
+                break;
+            }
+            let new_id = vocab.push_merge(best_pair.0, best_pair.1);
+            merges.push(best_pair);
+
+            // Rewrite only the words that contain the pair, updating counts
+            // incrementally.
+            let mut touched = pair_words.remove(&best_pair).unwrap_or_default();
+            touched.sort_unstable();
+            touched.dedup();
+            pair_counts.remove(&best_pair);
+            for wi in touched {
+                let (toks, f) = &mut words[wi as usize];
+                let f = *f;
+                // Remove this word's contribution to all its current pairs.
+                for pair in toks.windows(2) {
+                    let key = (pair[0], pair[1]);
+                    if let Some(c) = pair_counts.get_mut(&key) {
+                        *c = c.saturating_sub(f);
+                        if *c == 0 {
+                            pair_counts.remove(&key);
+                        }
+                    }
+                }
+                // Apply the merge within the word.
+                let mut merged = Vec::with_capacity(toks.len());
+                let mut i = 0;
+                while i < toks.len() {
+                    if i + 1 < toks.len() && toks[i] == best_pair.0 && toks[i + 1] == best_pair.1 {
+                        merged.push(new_id);
+                        i += 2;
+                    } else {
+                        merged.push(toks[i]);
+                        i += 1;
+                    }
+                }
+                *toks = merged;
+                // Add back the word's new pairs.
+                for pair in toks.windows(2) {
+                    let key = (pair[0], pair[1]);
+                    *pair_counts.entry(key).or_insert(0) += f;
+                    pair_words.entry(key).or_default().push(wi);
+                }
+            }
+        }
+
+        BpeTokenizer::from_parts(vocab, merges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_frequent_pairs_first() {
+        // "aaaa..." makes ('a','a') the overwhelmingly most frequent pair.
+        let text = "aaaaaaaa aaaaaaaa aaaaaaaa";
+        let tok = BpeTrainer::new(257).train([text]);
+        assert_eq!(tok.merges().len(), 1);
+        assert_eq!(tok.merges()[0], (b'a' as u32, b'a' as u32));
+    }
+
+    #[test]
+    fn respects_vocab_size_budget() {
+        let corpus = ["the quick brown fox jumps over the lazy dog"; 10];
+        let tok = BpeTrainer::new(280).train(corpus.iter().copied());
+        assert!(tok.vocab().len() <= 280);
+        assert!(tok.vocab().len() > 256, "should learn at least one merge");
+    }
+
+    #[test]
+    fn no_merges_below_min_count() {
+        // Every pair occurs exactly once: nothing to learn with default
+        // min_pair_count = 2.
+        let tok = BpeTrainer::new(1000).train(["abcdefg"]);
+        assert!(tok.merges().is_empty());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = [
+            "near duplicate sequence search at scale",
+            "sequence search with minhash sketches",
+            "near duplicate detection for language models",
+        ];
+        let a = BpeTrainer::new(300).train(corpus.iter().copied());
+        let b = BpeTrainer::new(300).train(corpus.iter().copied());
+        assert_eq!(a.merges(), b.merges());
+    }
+
+    #[test]
+    fn merges_do_not_cross_word_boundaries() {
+        // 'x y' repeated: the pair (x, space) never forms because the space
+        // belongs to the following word.
+        let tok = BpeTrainer::new(400).train(["x y x y x y x y"]);
+        for &(a, b) in tok.merges() {
+            let bytes_a = tok.vocab().bytes_of(a).unwrap();
+            let bytes_b = tok.vocab().bytes_of(b).unwrap();
+            // No learned token may contain a space in a non-leading position,
+            // which would indicate a cross-word merge.
+            let mut joined = bytes_a.to_vec();
+            joined.extend_from_slice(bytes_b);
+            assert!(
+                !joined[1..].contains(&b' '),
+                "cross-word merge {joined:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Vocabulary: the bidirectional mapping between token ids and byte strings.
+//!
+//! Ids `0..256` are the single bytes (the *base vocabulary*), so any input is
+//! encodable. Learned BPE merges append ids `256, 257, …`, each denoting the
+//! concatenation of two earlier tokens. The vocabulary therefore grows
+//! append-only and every id's byte string is fixed at creation.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::TokenizerError;
+
+/// A token vocabulary. Construct via [`Vocab::base`] and [`Vocab::push_merge`]
+/// (the trainer does this) or deserialize a trained one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    /// `bytes[id]` is the byte string token `id` stands for.
+    tokens: Vec<Vec<u8>>,
+    /// Reverse map for exact-token lookups (used by tests and tools).
+    #[serde(skip)]
+    reverse: HashMap<Vec<u8>, u32>,
+}
+
+impl Vocab {
+    /// The 256-entry byte-level base vocabulary.
+    pub fn base() -> Self {
+        let tokens: Vec<Vec<u8>> = (0u16..256).map(|b| vec![b as u8]).collect();
+        let mut vocab = Self {
+            tokens,
+            reverse: HashMap::new(),
+        };
+        vocab.rebuild_reverse();
+        vocab
+    }
+
+    fn rebuild_reverse(&mut self) {
+        self.reverse = self
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+    }
+
+    /// Re-creates the reverse map after deserialization (serde skips it).
+    pub fn finalize_after_deserialize(&mut self) {
+        self.rebuild_reverse();
+    }
+
+    /// Appends a merged token formed from ids `a` and `b`; returns the new id.
+    ///
+    /// # Panics
+    /// Panics if either id is out of range.
+    pub fn push_merge(&mut self, a: u32, b: u32) -> u32 {
+        let mut bytes = self.tokens[a as usize].clone();
+        bytes.extend_from_slice(&self.tokens[b as usize]);
+        let id = self.tokens.len() as u32;
+        self.reverse.entry(bytes.clone()).or_insert(id);
+        self.tokens.push(bytes);
+        id
+    }
+
+    /// Number of tokens in the vocabulary.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// A vocabulary always contains at least the 256 base bytes.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The byte string of token `id`.
+    pub fn bytes_of(&self, id: u32) -> Result<&[u8], TokenizerError> {
+        self.tokens
+            .get(id as usize)
+            .map(|v| v.as_slice())
+            .ok_or(TokenizerError::OutOfVocabulary(id, self.tokens.len()))
+    }
+
+    /// Looks up the id of an exact byte string, if present.
+    pub fn id_of(&self, bytes: &[u8]) -> Option<u32> {
+        self.reverse.get(bytes).copied()
+    }
+
+    /// Decodes a sequence of ids into a string (invalid UTF-8 is replaced).
+    pub fn decode(&self, ids: &[u32]) -> Result<String, TokenizerError> {
+        let mut out = Vec::new();
+        for &id in ids {
+            out.extend_from_slice(self.bytes_of(id)?);
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_has_256_byte_tokens() {
+        let v = Vocab::base();
+        assert_eq!(v.len(), 256);
+        assert_eq!(v.bytes_of(65).unwrap(), b"A");
+        assert_eq!(v.id_of(b"A"), Some(65));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut v = Vocab::base();
+        let th = v.push_merge(b't' as u32, b'h' as u32);
+        assert_eq!(th, 256);
+        assert_eq!(v.bytes_of(th).unwrap(), b"th");
+        let the = v.push_merge(th, b'e' as u32);
+        assert_eq!(v.bytes_of(the).unwrap(), b"the");
+        assert_eq!(v.id_of(b"the"), Some(the));
+    }
+
+    #[test]
+    fn decode_concatenates_and_reports_bad_ids() {
+        let mut v = Vocab::base();
+        let hi = v.push_merge(b'h' as u32, b'i' as u32);
+        assert_eq!(v.decode(&[hi, b'!' as u32]).unwrap(), "hi!");
+        assert!(matches!(
+            v.decode(&[9999]),
+            Err(TokenizerError::OutOfVocabulary(9999, _))
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_restores_reverse_map() {
+        let mut v = Vocab::base();
+        v.push_merge(b'a' as u32, b'b' as u32);
+        let json = serde_json::to_string(&v).unwrap();
+        let mut back: Vocab = serde_json::from_str(&json).unwrap();
+        back.finalize_after_deserialize();
+        assert_eq!(back.len(), v.len());
+        assert_eq!(back.id_of(b"ab"), Some(256));
+    }
+}

@@ -1,0 +1,150 @@
+//! Brute-force oracles for the compact-window guarantees (Theorem 1, part 2).
+//!
+//! These checkers are `O(n²)`–`O(n³)` and exist purely for tests and
+//! property-based verification; production code never calls them.
+
+use ndss_hash::HashValue;
+
+use crate::HashedWindow;
+
+/// Verifies the two window invariants over `hashes` for threshold `t`:
+///
+/// 1. **Partition**: every sequence `[i, j]` with `j − i + 1 ≥ t` is covered
+///    by *exactly one* window, and every shorter sequence by *at most one*
+///    (valid windows are a subset of the full partition, so short sequences
+///    may or may not be covered but can never be double-covered).
+/// 2. **Min-hash labeling**: each window's recorded hash equals the minimum
+///    position hash over `[l, r]`, which is also the min over `[i, j]` for
+///    every covered sequence.
+///
+/// Returns a description of the first violation, if any.
+pub fn check_partition_property(
+    hashes: &[HashValue],
+    t: usize,
+    windows: &[HashedWindow],
+) -> Result<(), String> {
+    let n = hashes.len();
+    // Labeling first: cheap per window.
+    for hw in windows {
+        let w = hw.window;
+        if w.r as usize >= n {
+            return Err(format!("window {w:?} exceeds text length {n}"));
+        }
+        if (w.width() as usize) < t {
+            return Err(format!("window {w:?} narrower than threshold {t}"));
+        }
+        let min = (w.l..=w.r)
+            .map(|p| hashes[p as usize])
+            .min()
+            .expect("window non-empty");
+        if hashes[w.c as usize] != min {
+            return Err(format!(
+                "window {w:?}: pivot hash {} is not the range minimum {min}",
+                hashes[w.c as usize]
+            ));
+        }
+        if hw.hash != min {
+            return Err(format!(
+                "window {w:?}: recorded hash {} differs from range minimum {min}",
+                hw.hash
+            ));
+        }
+    }
+    // Coverage counts for every sequence.
+    for i in 0..n {
+        for j in i..n {
+            let count = windows
+                .iter()
+                .filter(|hw| hw.window.covers(i as u32, j as u32))
+                .count();
+            let len = j - i + 1;
+            if len >= t && count != 1 {
+                return Err(format!(
+                    "sequence [{i},{j}] (len {len} ≥ t={t}) covered {count} times"
+                ));
+            }
+            if len < t && count > 1 {
+                return Err(format!(
+                    "short sequence [{i},{j}] covered {count} times (> 1)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Brute-force min-hash of a sequence of position hashes (min over `[i, j]`).
+/// The oracle for "what min-hash value should sequence `[i, j]` be filed
+/// under".
+pub fn bruteforce_sequence_minhash(hashes: &[HashValue], i: usize, j: usize) -> HashValue {
+    hashes[i..=j].iter().copied().min().expect("non-empty")
+}
+
+/// Finds, by brute force, the unique window covering `[i, j]`, if any.
+pub fn covering_window(windows: &[HashedWindow], i: u32, j: u32) -> Option<HashedWindow> {
+    let mut found = None;
+    for hw in windows {
+        if hw.window.covers(i, j) {
+            assert!(found.is_none(), "sequence [{i},{j}] covered twice");
+            found = Some(*hw);
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_cartesian;
+    use crate::CompactWindow;
+
+    #[test]
+    fn oracle_accepts_generated_windows() {
+        let hashes: Vec<u64> = (0..80u64).map(|i| (i * 2654435761) % 101).collect();
+        for t in [1usize, 5, 20] {
+            let mut out = Vec::new();
+            generate_cartesian(&hashes, t, &mut out);
+            check_partition_property(&hashes, t, &out).unwrap();
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_missing_window() {
+        let hashes: Vec<u64> = vec![5, 1, 7, 3, 9, 2, 8, 4];
+        let mut out = Vec::new();
+        generate_cartesian(&hashes, 2, &mut out);
+        let removed = out.split_off(out.len() - 1);
+        assert!(!removed.is_empty());
+        assert!(check_partition_property(&hashes, 2, &out).is_err());
+    }
+
+    #[test]
+    fn oracle_rejects_wrong_pivot() {
+        let hashes: Vec<u64> = vec![5, 1, 7];
+        let bogus = vec![HashedWindow {
+            hash: hashes[0],
+            window: CompactWindow::new(0, 0, 2), // pivot 0 is not the min
+        }];
+        assert!(check_partition_property(&hashes, 3, &bogus).is_err());
+    }
+
+    #[test]
+    fn oracle_rejects_narrow_window() {
+        let hashes: Vec<u64> = vec![5, 1, 7, 2];
+        let bogus = vec![HashedWindow {
+            hash: 1,
+            window: CompactWindow::new(1, 1, 1),
+        }];
+        assert!(check_partition_property(&hashes, 3, &bogus).is_err());
+    }
+
+    #[test]
+    fn covering_window_finds_the_right_one() {
+        let hashes: Vec<u64> = vec![9, 4, 8, 1, 7, 5, 6];
+        let mut out = Vec::new();
+        generate_cartesian(&hashes, 2, &mut out);
+        let hw = covering_window(&out, 2, 5).expect("len-4 sequence must be covered");
+        assert!(hw.window.covers(2, 5));
+        assert_eq!(hw.hash, bruteforce_sequence_minhash(&hashes, 2, 5));
+    }
+}

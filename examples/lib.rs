@@ -1,0 +1,11 @@
+//! Runnable examples for the `ndss` library.
+//!
+//! Each example is declared as an explicit `[[example]]` target in this
+//! package's `Cargo.toml` and lives in a sibling `.rs` file:
+//!
+//! ```text
+//! cargo run -p ndss-examples --release --example quickstart
+//! cargo run -p ndss-examples --release --example memorization_eval
+//! cargo run -p ndss-examples --release --example corpus_dedup
+//! cargo run -p ndss-examples --release --example plagiarism_check
+//! ```

@@ -1,0 +1,175 @@
+//! Property-based verification of the system's central guarantee
+//! (Theorem 2): the indexed search solves the approximate problem
+//! (Definition 2) **exactly** — sound and complete — and the compact-window
+//! machinery underneath preserves its partition invariant on arbitrary
+//! inputs.
+
+use proptest::prelude::*;
+
+use ndss::prelude::*;
+use ndss::query::bruteforce::definition2_scan;
+use ndss::query::{collision_count, interval_scan, Interval};
+use ndss::windows::verify::check_partition_property;
+use ndss::windows::{generate_cartesian, generate_recursive, CompactWindow};
+
+/// Strategy: a small corpus of token arrays with a controllable amount of
+/// token repetition (small vocab = many duplicate tokens = many hash ties).
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..40, 10..60),
+        1..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The indexed search equals the brute-force Definition 2 oracle for
+    /// random corpora, queries, k, t, and θ.
+    #[test]
+    fn indexed_search_equals_oracle(
+        texts in corpus_strategy(),
+        query in proptest::collection::vec(0u32..40, 5..30),
+        k in 1usize..10,
+        t in 2usize..12,
+        theta in 0.3f64..1.0,
+    ) {
+        let corpus = InMemoryCorpus::from_texts(texts);
+        let config = IndexConfig::new(k, t, 0xABCD);
+        let index = MemoryIndex::build(&corpus, config).unwrap();
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let hasher = index.config().hasher();
+
+        let indexed = searcher.search(&query, theta).unwrap().enumerate_all();
+        let oracle = definition2_scan(&corpus, &hasher, &query, theta, t).unwrap();
+        prop_assert_eq!(indexed, oracle);
+    }
+
+    /// Prefix filtering never changes the result set.
+    #[test]
+    fn prefix_filter_is_transparent(
+        texts in corpus_strategy(),
+        query in proptest::collection::vec(0u32..40, 5..30),
+        cutoff in 1u64..30,
+        theta in 0.3f64..1.0,
+    ) {
+        let corpus = InMemoryCorpus::from_texts(texts);
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(6, 5, 0xBEEF)).unwrap();
+        let plain = NearDupSearcher::new(&index).unwrap();
+        let filtered =
+            NearDupSearcher::with_prefix_filter(&index, PrefixFilter::MaxListLen(cutoff))
+                .unwrap();
+        let a = plain.search(&query, theta).unwrap().enumerate_all();
+        let b = filtered.search(&query, theta).unwrap().enumerate_all();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Compact windows partition the ≥ t sequences of arbitrary hash arrays,
+    /// and both generators agree.
+    #[test]
+    fn window_partition_property(
+        hashes in proptest::collection::vec(0u64..50, 1..80),
+        t in 1usize..15,
+    ) {
+        let mut cart = Vec::new();
+        generate_cartesian(&hashes, t, &mut cart);
+        check_partition_property(&hashes, t, &cart)
+            .map_err(TestCaseError::fail)?;
+
+        let mut rec = Vec::new();
+        generate_recursive(&hashes, t, &mut rec);
+        let mut a = cart.clone();
+        let mut b = rec;
+        a.sort_by_key(|hw| (hw.window.l, hw.window.c, hw.window.r));
+        b.sort_by_key(|hw| (hw.window.l, hw.window.c, hw.window.r));
+        prop_assert_eq!(a, b);
+    }
+
+    /// IntervalScan reports exactly the positions covered by ≥ α intervals.
+    #[test]
+    fn interval_scan_matches_bruteforce(
+        raw in proptest::collection::vec((0u32..40, 0u32..15), 1..12),
+        alpha in 1usize..6,
+    ) {
+        let intervals: Vec<Interval> = raw
+            .iter()
+            .enumerate()
+            .map(|(id, &(lo, width))| Interval::new(id as u32, lo, lo + width))
+            .collect();
+        let hits = interval_scan(&intervals, alpha);
+        let max = intervals.iter().map(|iv| iv.hi).max().unwrap();
+        for pos in 0..=max {
+            let expect: usize = intervals
+                .iter()
+                .filter(|iv| iv.lo <= pos && pos <= iv.hi)
+                .count();
+            let hit = hits.iter().find(|h| h.range_lo <= pos && pos <= h.range_hi);
+            if expect >= alpha {
+                let h = hit.ok_or_else(|| TestCaseError::fail(format!("pos {pos} missing")))?;
+                prop_assert_eq!(h.active.len(), expect);
+            } else {
+                prop_assert!(hit.is_none(), "pos {} wrongly covered", pos);
+            }
+        }
+    }
+
+    /// CollisionCount rectangles are exactly the ≥ α collision sequences.
+    #[test]
+    fn collision_count_matches_bruteforce(
+        raw in proptest::collection::vec((0u32..12, 0u32..6, 0u32..8), 1..8),
+        alpha in 1usize..5,
+    ) {
+        let windows: Vec<CompactWindow> = raw
+            .iter()
+            .map(|&(l, dc, dr)| CompactWindow::new(l, l + dc, l + dc + dr))
+            .collect();
+        let rects = collision_count(&windows, alpha);
+        let max = windows.iter().map(|w| w.r).max().unwrap();
+        for i in 0..=max {
+            for j in i..=max {
+                let count = windows.iter().filter(|w| w.covers(i, j)).count();
+                let in_rects: Vec<u32> = rects
+                    .iter()
+                    .filter(|r| r.contains(i, j))
+                    .map(|r| r.collisions)
+                    .collect();
+                if count >= alpha {
+                    prop_assert_eq!(
+                        in_rects.len(), 1,
+                        "seq ({},{}) must be in exactly one rectangle", i, j
+                    );
+                    prop_assert_eq!(in_rects[0] as usize, count);
+                } else {
+                    prop_assert!(in_rects.is_empty());
+                }
+            }
+        }
+    }
+
+    /// Merged spans cover exactly the union of enumerated sequences.
+    #[test]
+    fn merged_spans_equal_enumeration_union(
+        texts in corpus_strategy(),
+        query in proptest::collection::vec(0u32..40, 8..30),
+    ) {
+        let corpus = InMemoryCorpus::from_texts(texts);
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(4, 5, 0xFEED)).unwrap();
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let outcome = searcher.search(&query, 0.5).unwrap();
+        for m in &outcome.matches {
+            let mut covered = std::collections::BTreeSet::new();
+            for span in m.enumerate(outcome.t) {
+                for pos in span.start..=span.end {
+                    covered.insert(pos);
+                }
+            }
+            let mut merged_cover = std::collections::BTreeSet::new();
+            for span in m.merged_spans(outcome.t) {
+                for pos in span.start..=span.end {
+                    merged_cover.insert(pos);
+                }
+            }
+            prop_assert_eq!(covered, merged_cover);
+        }
+    }
+}

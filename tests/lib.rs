@@ -1,0 +1,1 @@
+//! Integration test files are declared as [[test]] targets in Cargo.toml.
