@@ -22,14 +22,36 @@ use ndss_corpus::{CorpusError, CorpusSource, SeqRef, TextId};
 use ndss_hash::{MinHasher, Sketch, SplitMix64, TokenId};
 
 /// Errors raised by the baseline index.
-#[derive(Debug, thiserror::Error)]
+#[derive(Debug)]
 pub enum BaselineError {
     /// The configuration is inconsistent.
-    #[error("invalid LSH parameters: {0}")]
     BadConfig(String),
     /// Corpus access failed.
-    #[error(transparent)]
-    Corpus(#[from] CorpusError),
+    Corpus(CorpusError),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::BadConfig(msg) => write!(f, "invalid LSH parameters: {msg}"),
+            BaselineError::Corpus(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Corpus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CorpusError> for BaselineError {
+    fn from(e: CorpusError) -> Self {
+        BaselineError::Corpus(e)
+    }
 }
 
 /// Parameters of the windowed-LSH baseline.
@@ -146,11 +168,7 @@ impl LshWindowIndex {
                     index.buckets.entry(key).or_default().push(wid);
                 }
                 index.windows.push(WindowEntry {
-                    seq: SeqRef::new(
-                        id,
-                        start as u32,
-                        (start + params.window - 1) as u32,
-                    ),
+                    seq: SeqRef::new(id, start as u32, (start + params.window - 1) as u32),
                     sketch,
                 });
                 start += params.stride;
@@ -181,11 +199,7 @@ impl LshWindowIndex {
     /// for the size comparison against the compact-window index.
     pub fn approx_bytes(&self) -> u64 {
         let sketches = self.windows.len() as u64 * (self.params.k() as u64 * 8 + 12);
-        let buckets: u64 = self
-            .buckets
-            .values()
-            .map(|v| 12 + v.len() as u64 * 4)
-            .sum();
+        let buckets: u64 = self.buckets.values().map(|v| 12 + v.len() as u64 * 4).sum();
         sketches + buckets
     }
 
@@ -217,12 +231,7 @@ impl LshWindowIndex {
     }
 
     /// Whether any indexed window of a text other than `exclude` matches.
-    pub fn hits_other_text(
-        &self,
-        query: &[TokenId],
-        theta: f64,
-        exclude: TextId,
-    ) -> bool {
+    pub fn hits_other_text(&self, query: &[TokenId], theta: f64, exclude: TextId) -> bool {
         self.query(query, theta)
             .iter()
             .any(|(seq, _)| seq.text != exclude)
@@ -314,16 +323,8 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let corpus = InMemoryCorpus::from_texts(vec![vec![1; 10]]);
-        assert!(LshWindowIndex::build(
-            &corpus,
-            LshParams::new(8).stride(0)
-        )
-        .is_err());
-        assert!(LshWindowIndex::build(
-            &corpus,
-            LshParams::new(8).banding(0, 4)
-        )
-        .is_err());
+        assert!(LshWindowIndex::build(&corpus, LshParams::new(8).stride(0)).is_err());
+        assert!(LshWindowIndex::build(&corpus, LshParams::new(8).banding(0, 4)).is_err());
     }
 
     #[test]

@@ -22,9 +22,7 @@ fn bench_memory_build(c: &mut Criterion) {
     group.throughput(Throughput::Elements(corpus.total_tokens()));
     group.bench_function("memory_serial_k4_t25", |b| {
         b.iter(|| {
-            black_box(
-                MemoryIndex::build(black_box(&corpus), IndexConfig::new(4, 25, 1)).unwrap(),
-            )
+            black_box(MemoryIndex::build(black_box(&corpus), IndexConfig::new(4, 25, 1)).unwrap())
         });
     });
     group.bench_function("memory_parallel_k4_t25", |b| {

@@ -50,13 +50,9 @@ fn bench_collision_count(c: &mut Criterion) {
             if alpha > m {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(format!("alpha{alpha}"), m),
-                &m,
-                |b, _| {
-                    b.iter(|| black_box(collision_count(black_box(&windows), alpha)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("alpha{alpha}"), m), &m, |b, _| {
+                b.iter(|| black_box(collision_count(black_box(&windows), alpha)));
+            });
         }
     }
     group.finish();

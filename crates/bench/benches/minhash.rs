@@ -44,13 +44,9 @@ fn bench_sketch(c: &mut Criterion) {
     for k in [16usize, 32, 64] {
         for family in [HashFamily::MultiplyShift, HashFamily::Tabulation] {
             let hasher = MinHasher::with_family(k, 9, family);
-            group.bench_with_input(
-                BenchmarkId::new(format!("{family:?}"), k),
-                &k,
-                |b, _| {
-                    b.iter(|| black_box(hasher.sketch(black_box(&query))));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{family:?}"), k), &k, |b, _| {
+                b.iter(|| black_box(hasher.sketch(black_box(&query))));
+            });
         }
     }
     group.finish();

@@ -69,11 +69,9 @@ fn bench_theta_sweep(c: &mut Criterion) {
 fn bench_disk_and_filtering(c: &mut Criterion) {
     let s = setup();
     let plain = NearDupSearcher::new(&s.disk_index).unwrap();
-    let filtered = NearDupSearcher::with_prefix_filter(
-        &s.disk_index,
-        PrefixFilter::FrequentFraction(0.05),
-    )
-    .unwrap();
+    let filtered =
+        NearDupSearcher::with_prefix_filter(&s.disk_index, PrefixFilter::FrequentFraction(0.05))
+            .unwrap();
     let mut group = c.benchmark_group("query_latency_disk");
     group.bench_function("unfiltered_theta08", |b| {
         b.iter(|| {
@@ -98,9 +96,7 @@ fn bench_bruteforce_baseline(c: &mut Criterion) {
     // 20-text slice to keep the benchmark finite — the per-text cost is
     // what matters, and it already dwarfs the indexed search.
     let s = setup();
-    let slice = InMemoryCorpus::from_texts(
-        (0..20u32).map(|i| s.corpus.text(i).to_vec()).collect(),
-    );
+    let slice = InMemoryCorpus::from_texts((0..20u32).map(|i| s.corpus.text(i).to_vec()).collect());
     let hasher = s.mem_index.config().hasher();
     let searcher = NearDupSearcher::new(&s.mem_index).unwrap();
     let q = &s.queries[0];

@@ -1,0 +1,62 @@
+//! Batch query throughput: serial `NearDupSearcher` loop vs `BatchSearcher`
+//! across thread counts, on a disk index (the configuration where lock-free
+//! positioned reads and the hot-list cache actually matter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ndss::prelude::*;
+use ndss_bench::{owt_like, query_workload};
+
+struct Setup {
+    dir: std::path::PathBuf,
+    queries: Vec<Vec<TokenId>>,
+}
+
+fn setup() -> Setup {
+    let dir = std::env::temp_dir().join("ndss_bench_query_throughput");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let (corpus, planted) = owt_like(1, 4000, 7);
+    let params = SearchParams::new(16, 25, 1234).index_config(|c| c.zone_map(256, 1024));
+    CorpusIndex::build_on_disk(&corpus, params, &dir).unwrap();
+    let queries = query_workload(&corpus, &planted, 64, 60, 99);
+    Setup { dir, queries }
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let s = setup();
+    let index = CorpusIndex::open(&s.dir, PrefixFilter::FrequentFraction(0.05)).unwrap();
+    let mut group = c.benchmark_group("query_throughput");
+    group.throughput(Throughput::Elements(s.queries.len() as u64));
+
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let searcher = index.searcher().unwrap();
+            for q in &s.queries {
+                black_box(searcher.search(black_box(q), 0.8).unwrap());
+            }
+        })
+    });
+
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("batch", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(index.search_batch(&s.queries, 0.8, threads).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(600))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_batch_throughput
+}
+criterion_main!(benches);

@@ -44,7 +44,9 @@ fn bench_end_to_end_text(c: &mut Criterion) {
     let mut group = c.benchmark_group("window_generation_per_text");
     let hasher = MinHasher::new(1, 3);
     let mut rng = SplitMix64::new(4);
-    let tokens: Vec<u32> = (0..2_000).map(|_| (rng.next_u64() % 50_000) as u32).collect();
+    let tokens: Vec<u32> = (0..2_000)
+        .map(|_| (rng.next_u64() % 50_000) as u32)
+        .collect();
     group.throughput(Throughput::Elements(tokens.len() as u64));
     group.bench_function("hash_and_generate_t25", |b| {
         let mut generator = WindowGenerator::new();

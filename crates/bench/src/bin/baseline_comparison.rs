@@ -28,7 +28,11 @@ fn main() {
 
     // Corpus with planted near-duplicates over a spread of mutation rates.
     let mut sweeps = Vec::new();
-    for (label, mutation) in [("exact copies", 0.0f64), ("2% mutated", 0.02), ("8% mutated", 0.08)] {
+    for (label, mutation) in [
+        ("exact copies", 0.0f64),
+        ("2% mutated", 0.02),
+        ("8% mutated", 0.08),
+    ] {
         let (corpus, planted) = SyntheticCorpusBuilder::new(881)
             .num_texts(600)
             .text_len(200, 500)
@@ -56,9 +60,8 @@ fn main() {
             .collect();
 
         // --- this paper: compact-window index, guaranteed Definition 2. ---
-        let (index, _) = time(|| {
-            MemoryIndex::build_parallel(corpus, IndexConfig::new(32, 25, 5)).unwrap()
-        });
+        let (index, _) =
+            time(|| MemoryIndex::build_parallel(corpus, IndexConfig::new(32, 25, 5)).unwrap());
         let searcher = NearDupSearcher::new(&index).unwrap();
         let t0 = Instant::now();
         let mut found = 0usize;
@@ -97,8 +100,8 @@ fn main() {
         );
 
         // --- windowed MinHash-LSH baseline. --------------------------------
-        let lsh = LshWindowIndex::build(corpus, LshParams::new(64).stride(32).banding(8, 4))
-            .unwrap();
+        let lsh =
+            LshWindowIndex::build(corpus, LshParams::new(64).stride(32).banding(8, 4)).unwrap();
         let t0 = Instant::now();
         let mut found = 0usize;
         for (src, q) in &queries {
@@ -125,10 +128,7 @@ fn main() {
 
     shape_check(
         "compact windows dominate LSH recall on every workload",
-        ndss_recalls
-            .iter()
-            .zip(&lsh_recalls)
-            .all(|(a, b)| a >= b),
+        ndss_recalls.iter().zip(&lsh_recalls).all(|(a, b)| a >= b),
         &format!("ndss {ndss_recalls:.3?} vs lsh {lsh_recalls:.3?}"),
     );
     shape_check(
@@ -184,7 +184,10 @@ fn main() {
     shape_check(
         "near-duplicate lens reveals more memorization than the exact lens",
         near_dup >= verbatim,
-        &format!("near-dup {near_dup} vs verbatim {verbatim} of {}", windows.len()),
+        &format!(
+            "near-dup {near_dup} vs verbatim {verbatim} of {}",
+            windows.len()
+        ),
     );
     println!("\ndone.");
 }

@@ -31,9 +31,8 @@ fn build(corpus: &InMemoryCorpus, k: usize, t: usize, tag: &str) -> BuildOutcome
     let dir = std::env::temp_dir().join("ndss_fig2").join(tag);
     std::fs::remove_dir_all(&dir).ok();
     std::fs::create_dir_all(&dir).unwrap();
-    let (index, gen_time) = time(|| {
-        MemoryIndex::build_parallel(corpus, IndexConfig::new(k, t, 7)).expect("build")
-    });
+    let (index, gen_time) =
+        time(|| MemoryIndex::build_parallel(corpus, IndexConfig::new(k, t, 7)).expect("build"));
     let (disk, io_time) = time(|| ndss::index::write_memory_index(&index, &dir).expect("write"));
     let outcome = BuildOutcome {
         postings: index.total_postings(),
@@ -65,12 +64,7 @@ fn main() {
         for t in [25usize, 50, 100, 200] {
             let out = build(&corpus, 1, t, &format!("a_v{vocab}_t{t}"));
             windows_at_t.insert((vocab, t), out.postings);
-            ndss_bench::csv_row!(
-                csv_a,
-                "{vocab},{t},{},{:.0}",
-                out.postings,
-                expected_for(t)
-            );
+            ndss_bench::csv_row!(csv_a, "{vocab},{t},{},{:.0}", out.postings, expected_for(t));
             ndss_bench::csv_row!(
                 csv_e,
                 "{vocab},{t},{},{}",

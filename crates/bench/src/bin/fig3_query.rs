@@ -68,7 +68,10 @@ fn main() {
     let (corpus, planted) = owt_like(2, 64_000, 17);
     let queries = query_workload(&corpus, &planted, 100, 64, 23);
     let mut csv_a = Csv::new("fig3a_latency_vs_theta_owt", "k,theta,io_ms,cpu_ms");
-    let mut csv_b = Csv::new("fig3b_found_vs_theta_owt", "k,theta,avg_texts,avg_sequences");
+    let mut csv_b = Csv::new(
+        "fig3b_found_vs_theta_owt",
+        "k,theta,avg_texts,avg_sequences",
+    );
     let mut latency_by_theta = std::collections::HashMap::new();
     for k in [16usize, 32, 64] {
         let index = disk_index(&corpus, k, 25, &format!("a_k{k}"));
@@ -165,7 +168,10 @@ fn main() {
     let (pile, pile_planted) = pile_like(1, 19);
     let pile_queries = query_workload(&pile, &pile_planted, 100, 64, 31);
     let mut csv_e = Csv::new("fig3e_latency_vs_theta_pile", "k,theta,io_ms,cpu_ms");
-    let mut csv_f = Csv::new("fig3f_found_vs_theta_pile", "k,theta,avg_texts,avg_sequences");
+    let mut csv_f = Csv::new(
+        "fig3f_found_vs_theta_pile",
+        "k,theta,avg_texts,avg_sequences",
+    );
     for k in [16usize, 32] {
         let index = disk_index(&pile, k, 25, &format!("e_k{k}"));
         let searcher =

@@ -46,8 +46,7 @@ fn panel_theta(
     for &(label, order) in models {
         let model = NGramModel::train(corpus, order).expect("train");
         let config = MemorizationConfig::new(25, 512).window(32).seed(101);
-        let reports =
-            evaluate_memorization(&model, &searcher, &config, thetas).expect("evaluate");
+        let reports = evaluate_memorization(&model, &searcher, &config, thetas).expect("evaluate");
         let mut ratios = Vec::new();
         for r in &reports {
             ndss_bench::csv_row!(
@@ -78,7 +77,13 @@ fn panel_window(
     for x in [32usize, 64, 128] {
         let config = MemorizationConfig::new(25, 512).window(x).seed(103);
         let r = evaluate_memorization(&model, &searcher, &config, &[0.8]).expect("evaluate")[0];
-        ndss_bench::csv_row!(csv, "{x},0.8,{},{},{:.4}", r.queries, r.memorized, r.ratio());
+        ndss_bench::csv_row!(
+            csv,
+            "{x},0.8,{},{},{:.4}",
+            r.queries,
+            r.memorized,
+            r.ratio()
+        );
         points.push((x, r.ratio()));
     }
     points

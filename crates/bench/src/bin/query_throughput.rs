@@ -1,0 +1,170 @@
+//! Batch query throughput report: serial vs `BatchSearcher` at several
+//! thread counts, plus cold-vs-warm hot-list-cache behaviour, emitted as
+//! `BENCH_query_throughput.json` for machine consumption.
+//!
+//! ```text
+//! cargo run -p ndss-bench --release --bin query_throughput
+//! ```
+//!
+//! Shapes this must show (the PR's acceptance criteria):
+//! * batch throughput at ≥ 4 threads ≥ 2× the serial loop, identical results;
+//! * a second (cache-warm) pass reads fewer IO bytes than the first and
+//!   reports a non-trivial posting-list cache hit rate.
+
+use std::time::Instant;
+
+use ndss::index::CacheConfig;
+use ndss::prelude::*;
+use ndss_bench::{owt_like, query_workload, shape_check};
+use ndss_json::{Json, ObjectBuilder};
+
+fn qps(n: usize, secs: f64) -> f64 {
+    n as f64 / secs.max(1e-9)
+}
+
+fn sum_io(outcomes: &[SearchOutcome]) -> (u64, u64, u64) {
+    let mut bytes = 0;
+    let mut hits = 0;
+    let mut misses = 0;
+    for o in outcomes {
+        bytes += o.stats.io_bytes;
+        hits += o.stats.cache_hits;
+        misses += o.stats.cache_misses;
+    }
+    (bytes, hits, misses)
+}
+
+fn main() {
+    println!("== query throughput: serial vs batch, cold vs warm cache ==");
+    let dir = std::env::temp_dir().join("ndss_bench_query_throughput_bin");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let (corpus, planted) = owt_like(2, 16_000, 7);
+    let params = SearchParams::new(32, 25, 1234).index_config(|c| c.zone_map(256, 1024));
+    CorpusIndex::build_on_disk(&corpus, params, &dir).unwrap();
+    let queries = query_workload(&corpus, &planted, 128, 60, 99);
+    let theta = 0.8;
+
+    // ---- Serial baseline vs batch across thread counts. ------------------
+    // Cache disabled so every pass measures raw positioned-read throughput,
+    // not a residency difference between runs.
+    let raw = DiskIndex::open_with_cache(&dir, CacheConfig::disabled()).unwrap();
+    let searcher =
+        NearDupSearcher::with_prefix_filter(&raw, PrefixFilter::FrequentFraction(0.05)).unwrap();
+    // Warm the page cache once so serial vs batch compare compute + syscalls.
+    let expected: Vec<Vec<_>> = queries
+        .iter()
+        .map(|q| searcher.search(q, theta).unwrap().enumerate_all())
+        .collect();
+
+    let start = Instant::now();
+    for q in &queries {
+        std::hint::black_box(searcher.search(q, theta).unwrap());
+    }
+    let serial_secs = start.elapsed().as_secs_f64();
+    let serial_qps = qps(queries.len(), serial_secs);
+    println!("serial: {serial_qps:.1} queries/s");
+
+    let mut batch_rows = Vec::new();
+    let mut qps_at_4 = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let runner = BatchSearcher::with_prefix_filter(&raw, PrefixFilter::FrequentFraction(0.05))
+            .unwrap()
+            .threads(threads);
+        let start = Instant::now();
+        let outcomes = runner.search_all(&queries, theta).unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(
+                o.enumerate_all(),
+                expected[i],
+                "batch diverged at query {i}"
+            );
+        }
+        let rate = qps(queries.len(), secs);
+        if threads == 4 {
+            qps_at_4 = rate;
+        }
+        println!(
+            "batch {threads} thread(s): {rate:.1} queries/s ({:.2}x serial)",
+            rate / serial_qps
+        );
+        batch_rows.push(
+            ObjectBuilder::new()
+                .field("threads", Json::UInt(threads as u64))
+                .field("queries_per_sec", Json::Float(rate))
+                .field("speedup_vs_serial", Json::Float(rate / serial_qps))
+                .build(),
+        );
+    }
+    let cores = ndss::parallel::default_threads();
+    if cores >= 4 {
+        shape_check(
+            "batch at 4 threads ≥ 2x serial throughput",
+            qps_at_4 >= 2.0 * serial_qps,
+            &format!("{:.2}x on {cores} cores", qps_at_4 / serial_qps),
+        );
+    } else {
+        println!(
+            "shape-check [SKIP] batch ≥ 2x serial: only {cores} core(s) available, \
+             no parallel speedup is measurable on this host ({:.2}x observed)",
+            qps_at_4 / serial_qps
+        );
+    }
+
+    // ---- Cold vs warm hot-list cache. ------------------------------------
+    let cached = DiskIndex::open_with_cache(&dir, CacheConfig::default()).unwrap();
+    let runner = BatchSearcher::with_prefix_filter(&cached, PrefixFilter::FrequentFraction(0.05))
+        .unwrap()
+        .threads(4);
+    let cold = runner.search_all(&queries, theta).unwrap();
+    let (cold_bytes, cold_hits, cold_misses) = sum_io(&cold);
+    let warm = runner.search_all(&queries, theta).unwrap();
+    let (warm_bytes, warm_hits, warm_misses) = sum_io(&warm);
+    let warm_hit_rate = warm_hits as f64 / (warm_hits + warm_misses).max(1) as f64;
+    println!(
+        "cold pass: {cold_bytes} io bytes ({cold_hits} hits / {cold_misses} misses)\n\
+         warm pass: {warm_bytes} io bytes ({warm_hits} hits / {warm_misses} misses, \
+         hit rate {:.1}%)",
+        100.0 * warm_hit_rate
+    );
+    shape_check(
+        "warm pass reads fewer io bytes than cold pass",
+        warm_bytes < cold_bytes,
+        &format!("{warm_bytes} < {cold_bytes}"),
+    );
+
+    // ---- Emit the report. ------------------------------------------------
+    let report = ObjectBuilder::new()
+        .field(
+            "workload",
+            ObjectBuilder::new()
+                .field("texts", Json::UInt(corpus.num_texts() as u64))
+                .field("tokens", Json::UInt(corpus.total_tokens()))
+                .field("queries", Json::UInt(queries.len() as u64))
+                .field("theta", Json::Float(theta))
+                .field("k", Json::UInt(32))
+                .field("t", Json::UInt(25))
+                .build(),
+        )
+        .field("available_cores", Json::UInt(cores as u64))
+        .field("serial_queries_per_sec", Json::Float(serial_qps))
+        .field("batch", Json::Array(batch_rows))
+        .field(
+            "hot_list_cache",
+            ObjectBuilder::new()
+                .field("cold_io_bytes", Json::UInt(cold_bytes))
+                .field("warm_io_bytes", Json::UInt(warm_bytes))
+                .field(
+                    "io_bytes_saved_pct",
+                    Json::Float(100.0 * (1.0 - warm_bytes as f64 / cold_bytes.max(1) as f64)),
+                )
+                .field("warm_hit_rate", Json::Float(warm_hit_rate))
+                .build(),
+        )
+        .build();
+    let out = "BENCH_query_throughput.json";
+    std::fs::write(out, report.to_string_pretty()).unwrap();
+    println!("\nwrote {out}");
+}

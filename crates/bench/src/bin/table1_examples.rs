@@ -19,8 +19,7 @@ fn main() {
         .dup_len(80, 200)
         .mutation_rate(0.0)
         .build();
-    let index =
-        MemoryIndex::build_parallel(&corpus, IndexConfig::new(32, 25, 15)).expect("index");
+    let index = MemoryIndex::build_parallel(&corpus, IndexConfig::new(32, 25, 15)).expect("index");
     let searcher = NearDupSearcher::new(&index).expect("searcher");
     let model = NGramModel::train(&corpus, 5).expect("train");
     let config = MemorizationConfig::new(30, 512).window(32).seed(301);
@@ -37,7 +36,10 @@ fn main() {
                 span: ex.span,
             })
             .expect("span");
-        println!("─── example {} ─────────────────────────────────────────────", i + 1);
+        println!(
+            "─── example {} ─────────────────────────────────────────────",
+            i + 1
+        );
         println!("generated (query, {} tokens):", ex.query.len());
         println!("  {}", PseudoWords::render(&ex.query));
         println!(

@@ -22,7 +22,11 @@ pub const BASE_TEXTS: usize = 2_000;
 
 /// An OpenWebText-flavoured synthetic corpus: 32K/64K BPE-sized vocab,
 /// Zipfian tokens, moderate near-duplicate injection.
-pub fn owt_like(scale: usize, vocab_size: usize, seed: u64) -> (InMemoryCorpus, Vec<ndss::corpus::PlantedDuplicate>) {
+pub fn owt_like(
+    scale: usize,
+    vocab_size: usize,
+    seed: u64,
+) -> (InMemoryCorpus, Vec<ndss::corpus::PlantedDuplicate>) {
     SyntheticCorpusBuilder::new(seed)
         .num_texts(BASE_TEXTS * scale)
         .text_len(200, 600)

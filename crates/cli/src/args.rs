@@ -19,7 +19,9 @@ impl Args {
         while i < raw.len() {
             let token = &raw[i];
             let Some(key) = token.strip_prefix("--") else {
-                return Err(format!("unexpected argument '{token}' (flags are --key value)"));
+                return Err(format!(
+                    "unexpected argument '{token}' (flags are --key value)"
+                ));
             };
             if key.is_empty() {
                 return Err("empty flag '--'".into());
@@ -47,7 +49,8 @@ impl Args {
 
     /// A required string value.
     pub fn required(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required flag --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
     /// A parsed value with a default.

@@ -22,8 +22,8 @@ pub fn run(args: &Args) -> Result<(), String> {
     }
 
     let corpus = DiskCorpus::open(Path::new(corpus_path)).map_err(|e| e.to_string())?;
-    let index =
-        CorpusIndex::open(Path::new(index_dir), PrefixFilter::Adaptive).map_err(|e| e.to_string())?;
+    let index = CorpusIndex::open(Path::new(index_dir), PrefixFilter::Adaptive)
+        .map_err(|e| e.to_string())?;
     let searcher = index.searcher().map_err(|e| e.to_string())?;
 
     eprintln!("training order-{order} n-gram model on {corpus_path}…");
@@ -37,9 +37,11 @@ pub fn run(args: &Args) -> Result<(), String> {
     eprintln!(
         "generating {texts} texts × {len} tokens (top-50 sampling), querying {window}-token windows…"
     );
-    let config = MemorizationConfig::new(texts, len).window(window).seed(seed);
-    let reports = evaluate_memorization(&model, &searcher, &config, &thetas)
-        .map_err(|e| e.to_string())?;
+    let config = MemorizationConfig::new(texts, len)
+        .window(window)
+        .seed(seed);
+    let reports =
+        evaluate_memorization(&model, &searcher, &config, &thetas).map_err(|e| e.to_string())?;
 
     println!("\nθ        windows   memorized   ratio");
     for r in &reports {

@@ -18,7 +18,10 @@ pub fn run(args: &Args) -> Result<(), String> {
     }
     for dir in &inputs {
         if !dir.join("meta.json").exists() {
-            return Err(format!("{} does not look like an index directory", dir.display()));
+            return Err(format!(
+                "{} does not look like an index directory",
+                dir.display()
+            ));
         }
     }
     eprintln!("merging {} shards into {out}…", inputs.len());

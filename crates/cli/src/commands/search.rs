@@ -11,6 +11,12 @@ pub fn run(args: &Args) -> Result<(), String> {
     let theta: f64 = args.get_or("theta", 0.8)?;
     let top: usize = args.get_or("top", 10)?;
 
+    // Batch mode: a file of queries fanned out over a thread pool.
+    if let Some(path) = args.get("queries-file") {
+        let threads: usize = args.get_or("threads", 0)?;
+        return run_batch(index_dir, path, theta, threads);
+    }
+
     // Query source: explicit token ids, a span of the corpus itself, or raw
     // text through a tokenizer.
     let query: Vec<u32> = if let Some(tokens) = args.get("query-tokens") {
@@ -50,8 +56,8 @@ pub fn run(args: &Args) -> Result<(), String> {
         return Err("query is empty after tokenization".into());
     }
 
-    let index =
-        CorpusIndex::open(Path::new(index_dir), PrefixFilter::Adaptive).map_err(|e| e.to_string())?;
+    let index = CorpusIndex::open(Path::new(index_dir), PrefixFilter::Adaptive)
+        .map_err(|e| e.to_string())?;
     let t = index.config().t;
     if query.len() < t {
         eprintln!(
@@ -110,6 +116,82 @@ pub fn run(args: &Args) -> Result<(), String> {
             let preview: String = rendered.chars().take(160).collect();
             println!("            “{preview}…”");
         }
+    }
+    Ok(())
+}
+
+/// `--queries-file FILE [--threads N]`: one query per line as
+/// comma-separated token ids; blank lines and `#` comments are skipped.
+/// Queries run through [`ndss::BatchSearcher`]; results print in input
+/// order with an aggregate throughput/IO summary.
+fn run_batch(index_dir: &str, path: &str, theta: f64, threads: usize) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut queries: Vec<Vec<u32>> = Vec::new();
+    for (lineno, line) in raw.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<u32> = line
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse()
+                    .map_err(|e| format!("{path}:{}: bad token id: {e}", lineno + 1))
+            })
+            .collect::<Result<_, _>>()?;
+        queries.push(tokens);
+    }
+    if queries.is_empty() {
+        return Err(format!("{path} contains no queries"));
+    }
+
+    let index = CorpusIndex::open(Path::new(index_dir), PrefixFilter::Adaptive)
+        .map_err(|e| e.to_string())?;
+    let threads = if threads == 0 {
+        ndss::parallel::default_threads()
+    } else {
+        threads
+    };
+    let start = std::time::Instant::now();
+    let outcomes = index
+        .search_batch(&queries, theta, threads)
+        .map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+
+    let mut io_bytes = 0u64;
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    let mut matched = 0usize;
+    for (i, outcome) in outcomes.iter().enumerate() {
+        io_bytes += outcome.stats.io_bytes;
+        cache_hits += outcome.stats.cache_hits;
+        cache_misses += outcome.stats.cache_misses;
+        if outcome.num_texts() > 0 {
+            matched += 1;
+        }
+        println!(
+            "query {i:>5}: {} text(s), {} sequence(s), {} postings, {} KiB IO",
+            outcome.num_texts(),
+            outcome.total_sequences(),
+            outcome.stats.postings_read,
+            outcome.stats.io_bytes / 1024,
+        );
+    }
+    let qps = outcomes.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "\n{} queries on {threads} thread(s) in {:.3} s ({qps:.1} queries/s); \
+         {matched} matched at θ = {theta}",
+        outcomes.len(),
+        elapsed.as_secs_f64(),
+    );
+    let lookups = cache_hits + cache_misses;
+    if lookups > 0 {
+        println!(
+            "IO: {:.2} MiB read, posting-list cache hit rate {:.1}% ({cache_hits}/{lookups})",
+            io_bytes as f64 / (1024.0 * 1024.0),
+            100.0 * cache_hits as f64 / lookups as f64,
+        );
     }
     Ok(())
 }

@@ -29,7 +29,10 @@ pub fn run(args: &Args) -> Result<(), String> {
     );
     let top: usize = args.get_or("top", 10)?;
     let freqs = stats.sorted_frequencies();
-    println!("  top-{top} token frequencies: {:?}", &freqs[..top.min(freqs.len())]);
+    println!(
+        "  top-{top} token frequencies: {:?}",
+        &freqs[..top.min(freqs.len())]
+    );
     for pct in [0.05, 0.10, 0.20] {
         println!(
             "  frequency cutoff for top {:>4.0}% tokens: {}",
@@ -54,7 +57,9 @@ pub fn run(args: &Args) -> Result<(), String> {
         println!("  size on disk: {:.1} MiB", bytes as f64 / (1 << 20) as f64);
         let mut total_postings = 0u64;
         for func in 0..config.k {
-            total_postings += index.postings_for_function(func).map_err(|e| e.to_string())?;
+            total_postings += index
+                .postings_for_function(func)
+                .map_err(|e| e.to_string())?;
         }
         println!(
             "  postings: {total_postings} total ({:.1} per text per function)",

@@ -37,22 +37,29 @@ pub fn run(args: &Args) -> Result<(), String> {
     );
 
     if let Some(prov) = args.get("provenance") {
-        let json = serde_encode(&planted)?;
+        let json = encode_provenance(&planted)?;
         std::fs::write(prov, json).map_err(|e| e.to_string())?;
-        println!("wrote provenance of {} planted pairs to {prov}", planted.len());
+        println!(
+            "wrote provenance of {} planted pairs to {prov}",
+            planted.len()
+        );
     }
     Ok(())
 }
 
-fn serde_encode(planted: &[ndss::corpus::PlantedDuplicate]) -> Result<String, String> {
+fn encode_provenance(planted: &[ndss::corpus::PlantedDuplicate]) -> Result<String, String> {
     // Hand-rolled, line-oriented JSONL: src_text,src_start,src_end,
     // dst_text,dst_start,dst_end,mutated — easy to consume from any tool.
     let mut out = String::new();
     for p in planted {
         out.push_str(&format!(
             "{{\"src\":[{},{},{}],\"dst\":[{},{},{}],\"mutated\":{}}}\n",
-            p.src.text, p.src.span.start, p.src.span.end,
-            p.dst.text, p.dst.span.start, p.dst.span.end,
+            p.src.text,
+            p.src.span.start,
+            p.src.span.end,
+            p.dst.text,
+            p.dst.span.start,
+            p.dst.span.end,
             p.mutated_tokens
         ));
     }

@@ -84,6 +84,9 @@ COMMANDS:
                --query-span text:start:end --corpus FILE |
                --query TEXT --tokenizer FILE] [--top N=10]
                [--corpus FILE (decodes matches)]
+             batch mode: one comma-separated query per line, run in parallel
+               --index DIR --queries-file FILE [--theta F=0.8]
+               [--threads N=all cores]
   stats      corpus and index statistics
                --corpus FILE [--index DIR] [--top N=10]
   memorize   train an n-gram LM on the corpus and measure memorization

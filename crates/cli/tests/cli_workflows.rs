@@ -26,18 +26,35 @@ fn synth_index_search_workflow() {
     dispatch(
         "synth",
         &args(&[
-            "--out", &corpus, "--texts", "200", "--vocab", "3000", "--seed", "3",
-            "--provenance", &prov, "--mutation", "0.0", "--dup-rate", "1.0",
+            "--out",
+            &corpus,
+            "--texts",
+            "200",
+            "--vocab",
+            "3000",
+            "--seed",
+            "3",
+            "--provenance",
+            &prov,
+            "--mutation",
+            "0.0",
+            "--dup-rate",
+            "1.0",
         ]),
     )
     .unwrap();
     assert!(std::path::Path::new(&corpus).exists());
     let prov_line = std::fs::read_to_string(&prov).unwrap();
-    assert!(prov_line.lines().count() > 20, "expected many planted pairs");
+    assert!(
+        prov_line.lines().count() > 20,
+        "expected many planted pairs"
+    );
 
     dispatch(
         "index",
-        &args(&["--corpus", &corpus, "--out", &index, "--k", "16", "--t", "25"]),
+        &args(&[
+            "--corpus", &corpus, "--out", &index, "--k", "16", "--t", "25",
+        ]),
     )
     .unwrap();
     assert!(std::path::Path::new(&index).join("meta.json").exists());
@@ -57,8 +74,16 @@ fn synth_index_search_workflow() {
     dispatch(
         "search",
         &args(&[
-            "--index", &index, "--corpus", &corpus, "--query-span", &span,
-            "--theta", "0.9", "--top", "5",
+            "--index",
+            &index,
+            "--corpus",
+            &corpus,
+            "--query-span",
+            &span,
+            "--theta",
+            "0.9",
+            "--top",
+            "5",
         ]),
     )
     .unwrap();
@@ -76,19 +101,33 @@ fn compressed_and_external_index_workflow() {
 
     dispatch(
         "synth",
-        &args(&["--out", &corpus, "--texts", "120", "--vocab", "2000", "--seed", "9"]),
-    )
-    .unwrap();
-    dispatch(
-        "index",
-        &args(&["--corpus", &corpus, "--out", &plain, "--k", "4", "--t", "20"]),
+        &args(&[
+            "--out", &corpus, "--texts", "120", "--vocab", "2000", "--seed", "9",
+        ]),
     )
     .unwrap();
     dispatch(
         "index",
         &args(&[
-            "--corpus", &corpus, "--out", &packed, "--k", "4", "--t", "20",
-            "--compress", "--external", "--memory-budget", "65536",
+            "--corpus", &corpus, "--out", &plain, "--k", "4", "--t", "20",
+        ]),
+    )
+    .unwrap();
+    dispatch(
+        "index",
+        &args(&[
+            "--corpus",
+            &corpus,
+            "--out",
+            &packed,
+            "--k",
+            "4",
+            "--t",
+            "20",
+            "--compress",
+            "--external",
+            "--memory-budget",
+            "65536",
         ]),
     )
     .unwrap();
@@ -106,8 +145,14 @@ fn compressed_and_external_index_workflow() {
         dispatch(
             "search",
             &args(&[
-                "--index", idx, "--corpus", &corpus, "--query-span", "5:10:80",
-                "--theta", "0.8",
+                "--index",
+                idx,
+                "--corpus",
+                &corpus,
+                "--query-span",
+                "5:10:80",
+                "--theta",
+                "0.8",
             ]),
         )
         .unwrap();
@@ -123,12 +168,22 @@ fn merge_workflow() {
     let i1 = dir.join("i1").display().to_string();
     let i2 = dir.join("i2").display().to_string();
     let out = dir.join("merged").display().to_string();
-    dispatch("synth", &args(&["--out", &c1, "--texts", "50", "--seed", "1"])).unwrap();
-    dispatch("synth", &args(&["--out", &c2, "--texts", "60", "--seed", "2"])).unwrap();
+    dispatch(
+        "synth",
+        &args(&["--out", &c1, "--texts", "50", "--seed", "1"]),
+    )
+    .unwrap();
+    dispatch(
+        "synth",
+        &args(&["--out", &c2, "--texts", "60", "--seed", "2"]),
+    )
+    .unwrap();
     for (c, i) in [(&c1, &i1), (&c2, &i2)] {
         dispatch(
             "index",
-            &args(&["--corpus", c, "--out", i, "--k", "4", "--t", "25", "--seed", "5"]),
+            &args(&[
+                "--corpus", c, "--out", i, "--k", "4", "--t", "25", "--seed", "5",
+            ]),
         )
         .unwrap();
     }
@@ -158,8 +213,14 @@ fn tokenize_and_memorize_workflow() {
     dispatch(
         "tokenize",
         &args(&[
-            "--input", &input.display().to_string(), "--out", &corpus,
-            "--tokenizer", &tok, "--vocab-size", "400",
+            "--input",
+            &input.display().to_string(),
+            "--out",
+            &corpus,
+            "--tokenizer",
+            &tok,
+            "--vocab-size",
+            "400",
         ]),
     )
     .unwrap();
@@ -171,8 +232,8 @@ fn tokenize_and_memorize_workflow() {
     dispatch(
         "memorize",
         &args(&[
-            "--corpus", &corpus, "--index", &index, "--order", "3",
-            "--texts", "3", "--len", "32", "--window", "8", "--thetas", "0.8",
+            "--corpus", &corpus, "--index", &index, "--order", "3", "--texts", "3", "--len", "32",
+            "--window", "8", "--thetas", "0.8",
         ]),
     )
     .unwrap();
@@ -180,9 +241,16 @@ fn tokenize_and_memorize_workflow() {
     dispatch(
         "search",
         &args(&[
-            "--index", &index, "--corpus", &corpus, "--tokenizer", &tok,
-            "--query", "the quick brown fox number 1 jumps over the lazy dog",
-            "--theta", "0.7",
+            "--index",
+            &index,
+            "--corpus",
+            &corpus,
+            "--tokenizer",
+            &tok,
+            "--query",
+            "the quick brown fox number 1 jumps over the lazy dog",
+            "--theta",
+            "0.7",
         ]),
     )
     .unwrap();
@@ -198,7 +266,14 @@ fn errors_are_reported_not_panicked() {
     assert!(dispatch("index", &args(&["--corpus", "/nonexistent.ndsc"])).is_err());
     assert!(dispatch(
         "search",
-        &args(&["--index", "/nonexistent", "--theta", "0.8", "--query-tokens", "1,2"])
+        &args(&[
+            "--index",
+            "/nonexistent",
+            "--theta",
+            "0.8",
+            "--query-tokens",
+            "1,2"
+        ])
     )
     .is_err());
     // Invalid values.

@@ -8,23 +8,65 @@ use ndss_index::{
     build_and_write, DiskIndex, ExternalIndexBuilder, IndexAccess, IndexConfig, MemoryIndex,
 };
 use ndss_query::search::{NearDupSearcher, SearchOutcome};
-use ndss_query::{PrefixFilter, QueryStats};
+use ndss_query::{BatchSearcher, PrefixFilter, QueryStats};
 
 /// Unified error type of the facade.
-#[derive(Debug, thiserror::Error)]
+#[derive(Debug)]
 pub enum NdssError {
     /// Index construction or access failed.
-    #[error(transparent)]
-    Index(#[from] ndss_index::IndexError),
+    Index(ndss_index::IndexError),
     /// Query processing failed.
-    #[error(transparent)]
-    Query(#[from] ndss_query::QueryError),
+    Query(ndss_query::QueryError),
     /// Corpus access failed.
-    #[error(transparent)]
-    Corpus(#[from] ndss_corpus::CorpusError),
+    Corpus(ndss_corpus::CorpusError),
     /// Language-model layer failed.
-    #[error(transparent)]
-    Lm(#[from] ndss_lm::LmError),
+    Lm(ndss_lm::LmError),
+}
+
+impl std::fmt::Display for NdssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NdssError::Index(e) => e.fmt(f),
+            NdssError::Query(e) => e.fmt(f),
+            NdssError::Corpus(e) => e.fmt(f),
+            NdssError::Lm(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for NdssError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NdssError::Index(e) => Some(e),
+            NdssError::Query(e) => Some(e),
+            NdssError::Corpus(e) => Some(e),
+            NdssError::Lm(e) => Some(e),
+        }
+    }
+}
+
+impl From<ndss_index::IndexError> for NdssError {
+    fn from(e: ndss_index::IndexError) -> Self {
+        NdssError::Index(e)
+    }
+}
+
+impl From<ndss_query::QueryError> for NdssError {
+    fn from(e: ndss_query::QueryError) -> Self {
+        NdssError::Query(e)
+    }
+}
+
+impl From<ndss_corpus::CorpusError> for NdssError {
+    fn from(e: ndss_corpus::CorpusError) -> Self {
+        NdssError::Corpus(e)
+    }
+}
+
+impl From<ndss_lm::LmError> for NdssError {
+    fn from(e: ndss_lm::LmError) -> Self {
+        NdssError::Lm(e)
+    }
 }
 
 /// The three knobs every deployment must choose (paper §3.2): the number of
@@ -201,22 +243,40 @@ impl<I: IndexAccess> CorpusIndex<I> {
         Ok(self.searcher()?.search(query, theta)?)
     }
 
-    /// Searches many queries in parallel (rayon), preserving input order.
-    /// Each worker shares the index (readers are thread-safe) but owns its
-    /// own search state, so this scales with cores on the CPU-bound part
-    /// of query processing — the batch analog of the paper's observation
-    /// that IO, not CPU, limits single queries.
+    /// A reusable batch searcher over the index (computes prefix-filter
+    /// cutoffs once; thread count defaults to the available cores).
+    pub fn batch_searcher(&self) -> Result<BatchSearcher<'_, I>, NdssError> {
+        Ok(BatchSearcher::with_prefix_filter(
+            &self.index,
+            self.prefix_filter,
+        )?)
+    }
+
+    /// Searches many queries across `threads` worker threads, preserving
+    /// input order. Each worker shares the index (readers use lock-free
+    /// positioned reads) but accumulates its own per-query stats, so this
+    /// scales with cores and each outcome's `QueryStats` is attributed to
+    /// its own query.
+    pub fn search_batch(
+        &self,
+        queries: &[Vec<TokenId>],
+        theta: f64,
+        threads: usize,
+    ) -> Result<Vec<SearchOutcome>, NdssError> {
+        Ok(self
+            .batch_searcher()?
+            .threads(threads)
+            .search_all(queries, theta)?)
+    }
+
+    /// Searches many queries in parallel on all available cores, preserving
+    /// input order. See [`Self::search_batch`].
     pub fn search_many(
         &self,
         queries: &[Vec<TokenId>],
         theta: f64,
     ) -> Result<Vec<SearchOutcome>, NdssError> {
-        use rayon::prelude::*;
-        let searcher = self.searcher()?;
-        queries
-            .par_iter()
-            .map(|q| searcher.search(q, theta).map_err(NdssError::from))
-            .collect()
+        self.search_batch(queries, theta, ndss_parallel::default_threads())
     }
 
     /// Search then verify true distinct Jaccard against the corpus
@@ -337,9 +397,8 @@ mod tests {
             .mutation_rate(0.0)
             .build();
         let dir = temp_dir("external");
-        let idx =
-            CorpusIndex::build_external(&corpus, SearchParams::new(4, 25, 3), &dir, 1 << 14)
-                .unwrap();
+        let idx = CorpusIndex::build_external(&corpus, SearchParams::new(4, 25, 3), &dir, 1 << 14)
+            .unwrap();
         let p = &planted[0];
         let query = corpus.sequence_to_vec(p.dst).unwrap();
         let outcome = idx.search(&query, 0.9).unwrap();

@@ -54,6 +54,7 @@ pub use ndss_exact as exact;
 pub use ndss_hash as hash;
 pub use ndss_index as index;
 pub use ndss_lm as lm;
+pub use ndss_parallel as parallel;
 pub use ndss_query as query;
 pub use ndss_rmq as rmq;
 pub use ndss_tokenizer as tokenizer;
@@ -66,21 +67,19 @@ pub use facade::{CorpusIndex, NdssError, SearchParams};
 /// The common imports for applications built on ndss.
 pub mod prelude {
     pub use crate::facade::{CorpusIndex, NdssError, SearchParams};
+    pub use ndss_baseline::{LshParams, LshWindowIndex};
     pub use ndss_corpus::{
         CorpusSource, DiskCorpus, DiskCorpusWriter, InMemoryCorpus, PseudoWords, SeqRef, SeqSpan,
         SyntheticCorpusBuilder, TextId,
     };
+    pub use ndss_exact::ExactSubstringIndex;
     pub use ndss_hash::jaccard::{distinct_jaccard, multiset_jaccard};
     pub use ndss_hash::{MinHasher, Sketch, TokenId};
     pub use ndss_index::{DiskIndex, ExternalIndexBuilder, IndexAccess, IndexConfig, MemoryIndex};
-    pub use ndss_lm::{
-        evaluate_memorization, GenerationStrategy, MemorizationConfig, NGramModel,
-    };
-    pub use ndss_baseline::{LshParams, LshWindowIndex};
-    pub use ndss_exact::ExactSubstringIndex;
+    pub use ndss_lm::{evaluate_memorization, GenerationStrategy, MemorizationConfig, NGramModel};
     pub use ndss_query::{
-        DocumentMatch, DocumentScan, NearDupSearcher, PrefixFilter, RankedMatch, SearchOutcome,
-        TextMatch,
+        BatchSearcher, DocumentMatch, DocumentScan, NearDupSearcher, PrefixFilter, RankedMatch,
+        SearchOutcome, TextMatch,
     };
     pub use ndss_tokenizer::{BpeTokenizer, BpeTrainer};
 }

@@ -311,7 +311,9 @@ mod tests {
     #[test]
     fn batched_scan_covers_all_tokens() {
         let mem = InMemoryCorpus::from_texts(
-            (0..20).map(|i| vec![i as u32; (i % 5 + 1) as usize]).collect(),
+            (0..20)
+                .map(|i| vec![i as u32; (i % 5 + 1) as usize])
+                .collect(),
         );
         let path = temp_path("batches.ndsc");
         let disk = write_corpus(&mem, &path).unwrap();

@@ -127,8 +127,7 @@ mod tests {
     #[test]
     fn iter_visits_in_order() {
         let c = InMemoryCorpus::from_texts(vec![vec![5], vec![6, 7]]);
-        let collected: Vec<(u32, Vec<u32>)> =
-            c.iter().map(|(id, t)| (id, t.to_vec())).collect();
+        let collected: Vec<(u32, Vec<u32>)> = c.iter().map(|(id, t)| (id, t.to_vec())).collect();
         assert_eq!(collected, vec![(0, vec![5]), (1, vec![6, 7])]);
     }
 }

@@ -146,10 +146,7 @@ mod tests {
     use crate::memory::InMemoryCorpus;
 
     fn toy() -> InMemoryCorpus {
-        InMemoryCorpus::from_texts(vec![
-            vec![0, 0, 0, 0, 1, 1, 2],
-            vec![0, 1, 3],
-        ])
+        InMemoryCorpus::from_texts(vec![vec![0, 0, 0, 0, 1, 1, 2], vec![0, 1, 3]])
     }
 
     #[test]

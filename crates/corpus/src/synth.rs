@@ -20,7 +20,6 @@
 //! model.
 
 use ndss_hash::{TokenId, Xoshiro256StarStar};
-use serde::{Deserialize, Serialize};
 
 use crate::memory::InMemoryCorpus;
 use crate::types::SeqRef;
@@ -67,7 +66,7 @@ impl ZipfSampler {
 
 /// Provenance of one planted copy: `dst` was created by copying `src` and
 /// mutating `mutated_tokens` of its positions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlantedDuplicate {
     /// The original sequence that was copied.
     pub src: SeqRef,
@@ -400,10 +399,7 @@ mod tests {
             .build();
         let stats = CorpusStats::compute(&corpus).unwrap();
         let slope = stats.zipf_slope(200);
-        assert!(
-            slope < -0.7,
-            "expected a steep Zipf slope, got {slope}"
-        );
+        assert!(slope < -0.7, "expected a steep Zipf slope, got {slope}");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Core corpus types shared across the workspace.
 
-use serde::{Deserialize, Serialize};
+use std::fmt;
 
 use ndss_hash::TokenId;
 
@@ -9,22 +9,46 @@ use ndss_hash::TokenId;
 pub type TextId = u32;
 
 /// Errors raised by corpus storage.
-#[derive(Debug, thiserror::Error)]
+#[derive(Debug)]
 pub enum CorpusError {
     /// A text id beyond the corpus size was requested.
-    #[error("text id {0} out of range (corpus has {1} texts)")]
     TextOutOfRange(TextId, usize),
     /// A stored corpus file is structurally invalid.
-    #[error("malformed corpus file: {0}")]
     Malformed(String),
     /// Underlying IO failure.
-    #[error(transparent)]
-    Io(#[from] std::io::Error),
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::TextOutOfRange(id, n) => {
+                write!(f, "text id {id} out of range (corpus has {n} texts)")
+            }
+            CorpusError::Malformed(msg) => write!(f, "malformed corpus file: {msg}"),
+            CorpusError::Io(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CorpusError {
+    fn from(e: std::io::Error) -> Self {
+        CorpusError::Io(e)
+    }
 }
 
 /// An inclusive token range `[start, end]` within some text (0-based), the
 /// in-code counterpart of the paper's `T[i, j]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SeqSpan {
     /// Index of the first token (inclusive).
     pub start: u32,
@@ -76,7 +100,7 @@ impl SeqSpan {
 
 /// A span within an identified text: a fully qualified sequence reference,
 /// the unit in which search results are reported.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SeqRef {
     /// The containing text.
     pub text: TextId,
@@ -223,9 +247,7 @@ mod tests {
             vec![3; 25], // oversized relative to the budget below
             vec![4; 5],
         ]);
-        let batches: Vec<TextBatch> = BatchIter::new(&corpus, 20)
-            .map(|b| b.unwrap())
-            .collect();
+        let batches: Vec<TextBatch> = BatchIter::new(&corpus, 20).map(|b| b.unwrap()).collect();
         // All texts exactly once, in order.
         let mut seen = Vec::new();
         for b in &batches {
@@ -235,7 +257,9 @@ mod tests {
         }
         assert_eq!(seen, vec![(0, 10), (1, 10), (2, 25), (3, 5)]);
         // The oversized text occupies its own batch.
-        assert!(batches.iter().any(|b| b.texts.len() == 1 && b.texts[0].len() == 25));
+        assert!(batches
+            .iter()
+            .any(|b| b.texts.len() == 1 && b.texts[0].len() == 25));
     }
 
     #[test]

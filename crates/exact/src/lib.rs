@@ -47,14 +47,39 @@ use ndss_corpus::{CorpusError, CorpusSource, SeqRef, TextId};
 use ndss_hash::TokenId;
 
 /// Errors raised by exact-substring search.
-#[derive(Debug, thiserror::Error)]
+#[derive(Debug)]
 pub enum ExactError {
     /// The query is shorter than the index's gram width.
-    #[error("query of {0} tokens is shorter than the index width {1}")]
     QueryTooShort(usize, usize),
     /// Corpus access failed.
-    #[error(transparent)]
-    Corpus(#[from] CorpusError),
+    Corpus(CorpusError),
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExactError::QueryTooShort(got, width) => write!(
+                f,
+                "query of {got} tokens is shorter than the index width {width}"
+            ),
+            ExactError::Corpus(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ExactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExactError::Corpus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CorpusError> for ExactError {
+    fn from(e: CorpusError) -> Self {
+        ExactError::Corpus(e)
+    }
 }
 
 /// Polynomial rolling hash modulo the Mersenne prime `2^61 − 1`.
@@ -169,10 +194,7 @@ impl std::fmt::Debug for ExactSubstringIndex {
 
 impl ExactSubstringIndex {
     /// Indexes every `width`-gram of `corpus`.
-    pub fn build<C: CorpusSource + ?Sized>(
-        corpus: &C,
-        width: usize,
-    ) -> Result<Self, ExactError> {
+    pub fn build<C: CorpusSource + ?Sized>(corpus: &C, width: usize) -> Result<Self, ExactError> {
         let hasher = RollingHasher::new(width);
         let mut grams: HashMap<u64, Vec<(TextId, u32)>> = HashMap::new();
         let mut num_grams = 0u64;

@@ -7,8 +7,6 @@
 //! sequences by their collision fraction, an unbiased estimator with
 //! variance `O(1/k)`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::universal::{HashFamily, MultiplyShiftHash, TabulationHash, TokenHasher};
 use crate::{HashValue, SplitMix64, TokenId};
 
@@ -17,7 +15,7 @@ use crate::{HashValue, SplitMix64, TokenId};
 /// Sketches are only comparable when produced by the same [`MinHasher`]
 /// (same family, `k`, and master seed); [`Sketch::estimate_jaccard`] checks
 /// the lengths match and the caller is responsible for the rest.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sketch {
     values: Vec<HashValue>,
 }

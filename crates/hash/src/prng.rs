@@ -215,7 +215,10 @@ mod tests {
         let expected = draws as f64 / 10.0;
         for &c in &counts {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.05, "bucket count {c} deviates {dev:.3} from uniform");
+            assert!(
+                dev < 0.05,
+                "bucket count {c} deviates {dev:.3} from uniform"
+            );
         }
     }
 

@@ -110,13 +110,32 @@ impl TokenHasher for TabulationHash {
 }
 
 /// Which universal hash family the min-hasher should draw from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum HashFamily {
     /// Multiply–shift (default; constant memory per function).
     #[default]
     MultiplyShift,
     /// Simple tabulation (8 KiB of tables per function, 3-independent).
     Tabulation,
+}
+
+impl HashFamily {
+    /// Stable name used in on-disk metadata (`meta.json`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HashFamily::MultiplyShift => "MultiplyShift",
+            HashFamily::Tabulation => "Tabulation",
+        }
+    }
+
+    /// Parses the [`HashFamily::as_str`] form back.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "MultiplyShift" => Some(HashFamily::MultiplyShift),
+            "Tabulation" => Some(HashFamily::Tabulation),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -136,7 +155,10 @@ mod tests {
         let a = MultiplyShiftHash::new(1);
         let b = MultiplyShiftHash::new(2);
         let agree = (0..1000u32).filter(|&t| a.hash(t) == b.hash(t)).count();
-        assert_eq!(agree, 0, "independent functions should (almost) never agree");
+        assert_eq!(
+            agree, 0,
+            "independent functions should (almost) never agree"
+        );
     }
 
     #[test]

@@ -23,8 +23,6 @@ use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
-use rayon::prelude::*;
-
 use ndss_corpus::types::BatchIter;
 use ndss_corpus::CorpusSource;
 use ndss_hash::HashValue;
@@ -175,7 +173,7 @@ impl ExternalIndexBuilder {
         self
     }
 
-    /// Enables rayon parallelism across hash functions during the scan.
+    /// Enables thread parallelism across hash functions during build.
     pub fn parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
@@ -249,17 +247,16 @@ impl ExternalIndexBuilder {
                 }
                 Ok::<(), IndexError>(())
             };
-            if self.parallel {
-                spills
-                    .par_iter_mut()
-                    .enumerate()
-                    .map(spill_batch)
-                    .collect::<Result<(), _>>()?;
+            let threads = if self.parallel {
+                ndss_parallel::default_threads()
             } else {
-                for item in spills.iter_mut().enumerate() {
-                    spill_batch(item)?;
-                }
-            }
+                1
+            };
+            ndss_parallel::map_mut(&mut spills, threads, |func, writers| {
+                spill_batch((func, writers))
+            })
+            .into_iter()
+            .collect::<Result<(), _>>()?;
         }
         for writers in &mut spills {
             for w in writers {
@@ -269,15 +266,25 @@ impl ExternalIndexBuilder {
         drop(spills);
 
         // Phase 2: per function, aggregate partitions in ascending hash
-        // order into the final index file.
-        for func in 0..k {
+        // order into the final index file. Functions write to disjoint
+        // files and disjoint spill partitions, so they parallelize without
+        // coordination — and each file's bytes are independent of how many
+        // functions run at once.
+        let funcs: Vec<usize> = (0..k).collect();
+        let threads = if self.parallel {
+            ndss_parallel::default_threads()
+        } else {
+            1
+        };
+        ndss_parallel::try_map(&funcs, threads, |_, &func| {
             let mut writer = ListWriter::create(&inv_file_path(dir, func), func as u32, config)?;
             for p in 0..fanout {
                 let path = spill_path(spill_dir, func, 0, p);
                 self.process_partition(&path, self.partition_bits, func, spill_dir, &mut writer)?;
             }
             writer.finish()?;
-        }
+            Ok::<(), IndexError>(())
+        })?;
         Ok(())
     }
 

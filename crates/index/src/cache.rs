@@ -1,0 +1,259 @@
+//! Bounded hot caches for the disk index.
+//!
+//! Two read-side structures are worth caching between queries: the zone maps
+//! of long lists (reread on every per-text probe of the same list) and the
+//! decoded posting lists themselves (skewed query workloads hit the same
+//! min-hash values repeatedly). Both caches here are:
+//!
+//! * **sharded** — the key hash picks one of N independently-locked shards,
+//!   so concurrent queries rarely contend on the same mutex;
+//! * **byte-budgeted** — each shard holds at most `budget / shards` bytes of
+//!   cached values and evicts with the second-chance (clock) policy, which
+//!   approximates LRU with O(1) hits and no per-access list splicing.
+//!
+//! A cache with a zero budget stores nothing and always misses, which is how
+//! callers disable caching without changing code paths.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use ndss_hash::HashValue;
+
+/// Cache sizing for [`crate::DiskIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total byte budget for cached decoded posting lists, across all
+    /// shards. Zero disables the posting cache.
+    pub posting_budget: usize,
+    /// Total byte budget for cached zone maps. Zero disables the zone cache
+    /// (every per-text probe then rereads its zone section).
+    pub zone_budget: usize,
+    /// Number of independently-locked shards per cache. Rounded up to a
+    /// power of two; at least 1.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            posting_budget: 64 << 20,
+            zone_budget: 8 << 20,
+            shards: 16,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// No caching at all: every read goes to disk.
+    pub fn disabled() -> Self {
+        Self {
+            posting_budget: 0,
+            zone_budget: 0,
+            shards: 1,
+        }
+    }
+
+    /// Default shape with a specific posting-list budget.
+    pub fn with_posting_budget(bytes: usize) -> Self {
+        Self {
+            posting_budget: bytes,
+            ..Self::default()
+        }
+    }
+}
+
+/// Cache key: `(hash function, min-hash value)`.
+type Key = (usize, HashValue);
+
+struct Entry<V> {
+    value: V,
+    weight: usize,
+    /// Second-chance bit: set on hit, cleared (once) by the clock hand
+    /// before eviction.
+    referenced: bool,
+}
+
+struct Shard<V> {
+    map: HashMap<Key, Entry<V>>,
+    /// Clock ring of resident keys. May contain stale keys for entries
+    /// already replaced; those are skipped when the hand reaches them.
+    ring: VecDeque<Key>,
+    bytes: usize,
+    budget: usize,
+}
+
+impl<V> Shard<V> {
+    fn evict_one(&mut self) -> bool {
+        while let Some(key) = self.ring.pop_front() {
+            match self.map.get_mut(&key) {
+                None => continue, // stale ring slot
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    self.ring.push_back(key);
+                }
+                Some(_) => {
+                    let e = self.map.remove(&key).expect("entry checked above");
+                    self.bytes -= e.weight;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// A sharded clock cache mapping `(func, hash)` to a cheaply-cloneable
+/// value (in practice an `Arc` of the decoded data).
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    /// Bit mask selecting a shard from the key hash.
+    mask: usize,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// A cache splitting `budget` bytes across `shards` shards. A zero
+    /// budget yields a cache that never stores anything.
+    pub fn new(budget: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = budget / shards;
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        ring: VecDeque::new(),
+                        bytes: 0,
+                        budget: per_shard,
+                    })
+                })
+                .collect(),
+            mask: shards - 1,
+        }
+    }
+
+    /// Whether this cache can ever hold anything.
+    pub fn enabled(&self) -> bool {
+        self.shards.iter().any(|s| s.lock().unwrap().budget > 0)
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<Shard<V>> {
+        // Fibonacci-style mix of (func, hash); the low bits of raw min-hash
+        // values are not uniformly distributed across small key sets.
+        let h = (key.1 ^ (key.0 as u64)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize & self.mask]
+    }
+
+    /// Looks up `key`, marking it recently used on hit.
+    pub fn get(&self, func: usize, hash: HashValue) -> Option<V> {
+        let key = (func, hash);
+        let mut shard = self.shard(&key).lock().unwrap();
+        let e = shard.map.get_mut(&key)?;
+        e.referenced = true;
+        Some(e.value.clone())
+    }
+
+    /// Inserts `value` weighing `weight` bytes, evicting older entries as
+    /// needed. Values heavier than a whole shard's budget are not cached.
+    pub fn insert(&self, func: usize, hash: HashValue, value: V, weight: usize) {
+        let key = (func, hash);
+        let mut shard = self.shard(&key).lock().unwrap();
+        if weight > shard.budget {
+            return;
+        }
+        if let Some(old) = shard.map.remove(&key) {
+            shard.bytes -= old.weight;
+            // Its ring slot goes stale and is skipped by the clock hand.
+        }
+        while shard.bytes + weight > shard.budget {
+            if !shard.evict_one() {
+                return;
+            }
+        }
+        shard.bytes += weight;
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                weight,
+                referenced: false,
+            },
+        );
+        shard.ring.push_back(key);
+    }
+
+    /// Total bytes currently resident across all shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache: ShardedCache<u32> = ShardedCache::new(1024, 4);
+        assert_eq!(cache.get(0, 42), None);
+        cache.insert(0, 42, 7, 16);
+        assert_eq!(cache.get(0, 42), Some(7));
+        assert_eq!(cache.get(1, 42), None, "keys are per-function");
+    }
+
+    #[test]
+    fn zero_budget_never_stores() {
+        let cache: ShardedCache<u32> = ShardedCache::new(0, 4);
+        assert!(!cache.enabled());
+        cache.insert(0, 1, 9, 8);
+        assert_eq!(cache.get(0, 1), None);
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn budget_is_enforced_by_eviction() {
+        // One shard so the budget applies to every key.
+        let cache: ShardedCache<u64> = ShardedCache::new(100, 1);
+        for i in 0..50u64 {
+            cache.insert(0, i, i, 10);
+        }
+        assert!(cache.resident_bytes() <= 100);
+        // Exactly budget/weight entries survive.
+        let resident = (0..50u64).filter(|&i| cache.get(0, i).is_some()).count();
+        assert_eq!(resident, 10);
+    }
+
+    #[test]
+    fn second_chance_protects_hot_entries() {
+        let cache: ShardedCache<u64> = ShardedCache::new(40, 1);
+        for i in 0..4u64 {
+            cache.insert(0, i, i, 10);
+        }
+        // Touch key 0 so it carries a reference bit, then overflow.
+        assert!(cache.get(0, 0).is_some());
+        for i in 4..7u64 {
+            cache.insert(0, i, i, 10);
+        }
+        assert!(
+            cache.get(0, 0).is_some(),
+            "referenced entry should survive one eviction sweep"
+        );
+        assert!(cache.resident_bytes() <= 40);
+    }
+
+    #[test]
+    fn oversized_values_are_not_cached() {
+        let cache: ShardedCache<u32> = ShardedCache::new(64, 1);
+        cache.insert(0, 5, 1, 1000);
+        assert_eq!(cache.get(0, 5), None);
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_weight() {
+        let cache: ShardedCache<u32> = ShardedCache::new(64, 1);
+        cache.insert(0, 1, 1, 30);
+        cache.insert(0, 1, 2, 50);
+        assert_eq!(cache.get(0, 1), Some(2));
+        assert_eq!(cache.resident_bytes(), 50);
+    }
+}

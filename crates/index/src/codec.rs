@@ -20,7 +20,6 @@
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::Mutex;
 use std::time::Instant;
 
 use ndss_corpus::TextId;
@@ -250,8 +249,11 @@ impl CompressedFileWriter {
 /// Read-only handle to a v2 inverted-index file. The directory and block
 /// index live in memory (16 bytes per `block_len` postings); block bytes are
 /// read on demand with IO accounting.
+///
+/// Block reads are positioned (`pread`): no lock, no shared cursor, safe to
+/// share across any number of query threads.
 pub struct CompressedFileReader {
-    file: Mutex<File>,
+    file: File,
     dir: Vec<DirEntryV2>,
     blocks: Vec<BlockEntry>,
     func_idx: u32,
@@ -335,7 +337,7 @@ impl CompressedFileReader {
             ));
         }
         Ok(Self {
-            file: Mutex::new(file),
+            file,
             dir,
             blocks,
             func_idx,
@@ -387,14 +389,15 @@ impl CompressedFileReader {
         out
     }
 
-    fn read_bytes(&self, rel_offset: u64, len: usize, stats: &IoStats) -> Result<Vec<u8>, IndexError> {
+    fn read_bytes(
+        &self,
+        rel_offset: u64,
+        len: usize,
+        stats: &IoStats,
+    ) -> Result<Vec<u8>, IndexError> {
         let mut buf = vec![0u8; len];
         let start = Instant::now();
-        {
-            let mut file = self.file.lock().expect("v2 index file lock poisoned");
-            file.seek(SeekFrom::Start(HEADER_LEN + rel_offset))?;
-            file.read_exact(&mut buf)?;
-        }
+        crate::pread::read_exact_at(&self.file, &mut buf, HEADER_LEN + rel_offset)?;
         stats.record(len as u64, start.elapsed().as_nanos() as u64);
         Ok(buf)
     }
@@ -508,9 +511,7 @@ mod tests {
 
     #[test]
     fn block_roundtrip() {
-        let postings: Vec<Posting> = (0..100)
-            .map(|i| posting(i / 3, (i % 3) * 7))
-            .collect();
+        let postings: Vec<Posting> = (0..100).map(|i| posting(i / 3, (i % 3) * 7)).collect();
         let mut encoded = Vec::new();
         encode_block(&postings, &mut encoded);
         let mut decoded = Vec::new();
@@ -573,8 +574,7 @@ mod tests {
         let stats = IoStats::default();
         for text in 0..=10u32 {
             let got = r.read_postings_for_text(1, text, &stats).unwrap();
-            let expect: Vec<Posting> =
-                list.iter().filter(|p| p.text == text).copied().collect();
+            let expect: Vec<Posting> = list.iter().filter(|p| p.text == text).copied().collect();
             assert_eq!(got, expect, "text {text}");
         }
         std::fs::remove_file(&path).ok();
@@ -583,8 +583,7 @@ mod tests {
     #[test]
     fn rejects_v1_file() {
         let path = temp("v2_rejects_v1.ndsi");
-        let mut w =
-            crate::format::IndexFileWriter::create(&path, 0, 16, 1024).unwrap();
+        let mut w = crate::format::IndexFileWriter::create(&path, 0, 16, 1024).unwrap();
         w.write_list(1, &[posting(0, 0)]).unwrap();
         w.finish().unwrap();
         assert!(CompressedFileReader::open(&path).is_err());

@@ -14,15 +14,13 @@
 //! bytes instead of the entire list, which is exactly the §3.5 mechanism
 //! that keeps prefix-filtered probes of long lists cheap.
 
-use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use ndss_corpus::TextId;
 use ndss_hash::HashValue;
 
+use crate::cache::{CacheConfig, ShardedCache};
 use crate::codec::CompressedFileReader;
 use crate::format::{IndexFileReader, ZoneEntry};
 use crate::{IndexAccess, IndexConfig, IndexError, IoSnapshot, IoStats, Posting};
@@ -121,9 +119,6 @@ pub fn inv_file_path(dir: &Path, func: usize) -> PathBuf {
     dir.join(format!("inv_{func}.ndsi"))
 }
 
-/// Cache of zone maps keyed by `(function, min-hash value)`.
-type ZoneCache = HashMap<(usize, HashValue), Arc<Vec<ZoneEntry>>>;
-
 /// Read-only handle to an index directory.
 pub struct DiskIndex {
     config: IndexConfig,
@@ -132,8 +127,24 @@ pub struct DiskIndex {
     dir: PathBuf,
     /// Zone maps read once per (function, hash) and reused across candidate
     /// probes — they are `O(list / zone_step)` small, and a single query can
-    /// probe the same long list for many candidate texts.
-    zone_cache: Mutex<ZoneCache>,
+    /// probe the same long list for many candidate texts. Sharded so
+    /// concurrent queries don't serialize on one lock; byte-budgeted so a
+    /// long-running process can't grow it without bound.
+    zone_cache: ShardedCache<Arc<Vec<ZoneEntry>>>,
+    /// Hot decoded posting lists. Skewed workloads fetch the same min-hash
+    /// keys over and over; serving those from memory removes the reread
+    /// entirely. Hits and misses are tallied in [`IoStats`].
+    list_cache: ShardedCache<Arc<Vec<Posting>>>,
+}
+
+/// Approximate heap weight of a cached posting list, in bytes.
+fn list_weight(postings: &[Posting]) -> usize {
+    postings.len() * Posting::ENCODED_LEN + 64
+}
+
+/// Approximate heap weight of a cached zone map, in bytes.
+fn zone_weight(zone: &[ZoneEntry]) -> usize {
+    std::mem::size_of_val(zone) + 64
 }
 
 impl std::fmt::Debug for DiskIndex {
@@ -147,13 +158,21 @@ impl std::fmt::Debug for DiskIndex {
 }
 
 impl DiskIndex {
-    /// Opens an index directory written by one of the builders.
+    /// Opens an index directory written by one of the builders, with the
+    /// default cache sizing.
     pub fn open(dir: &Path) -> Result<Self, IndexError> {
+        Self::open_with_cache(dir, CacheConfig::default())
+    }
+
+    /// Opens an index directory with explicit cache sizing (use
+    /// [`CacheConfig::disabled`] for pure cold-read behavior, e.g. in IO
+    /// measurements).
+    pub fn open_with_cache(dir: &Path, cache: CacheConfig) -> Result<Self, IndexError> {
         let meta_path = dir.join(META_FILE);
         let meta = std::fs::read_to_string(&meta_path).map_err(|e| {
             IndexError::Malformed(format!("cannot read {}: {e}", meta_path.display()))
         })?;
-        let config: IndexConfig = serde_json::from_str(&meta)
+        let config = IndexConfig::from_json(&meta)
             .map_err(|e| IndexError::Malformed(format!("bad meta.json: {e}")))?;
         let mut readers = Vec::with_capacity(config.k);
         for func in 0..config.k {
@@ -171,15 +190,14 @@ impl DiskIndex {
             readers,
             stats: IoStats::default(),
             dir: dir.to_owned(),
-            zone_cache: Mutex::new(HashMap::new()),
+            zone_cache: ShardedCache::new(cache.zone_budget, cache.shards),
+            list_cache: ShardedCache::new(cache.posting_budget, cache.shards),
         })
     }
 
     /// Writes `config` as the directory's `meta.json`.
     pub fn write_meta(dir: &Path, config: &IndexConfig) -> Result<(), IndexError> {
-        let json = serde_json::to_string_pretty(config)
-            .map_err(|e| IndexError::Malformed(e.to_string()))?;
-        std::fs::write(dir.join(META_FILE), json)?;
+        std::fs::write(dir.join(META_FILE), config.to_json_pretty())?;
         Ok(())
     }
 
@@ -210,38 +228,42 @@ impl DiskIndex {
             Ok(())
         }
     }
-}
 
-impl IndexAccess for DiskIndex {
-    fn config(&self) -> &IndexConfig {
-        &self.config
-    }
-
-    fn list_len(&self, func: usize, hash: HashValue) -> Result<u64, IndexError> {
-        self.check_func(func)?;
-        Ok(self.readers[func].list_len(hash))
-    }
-
-    fn read_list(&self, func: usize, hash: HashValue) -> Result<Vec<Posting>, IndexError> {
-        self.check_func(func)?;
-        match &self.readers[func] {
-            AnyFileReader::V2(r) => r.read_list(hash, &self.stats),
-            AnyFileReader::V1(r) => match r.find(hash) {
-                Some(entry) => r.read_postings(entry, &self.stats),
-                None => Ok(Vec::new()),
-            },
+    /// Full-list read with hot-cache consult, recording IO into `io` only.
+    fn read_list_inner(
+        &self,
+        func: usize,
+        hash: HashValue,
+        io: &IoStats,
+    ) -> Result<Vec<Posting>, IndexError> {
+        if let Some(hit) = self.list_cache.get(func, hash) {
+            io.record_hit();
+            return Ok((*hit).clone());
         }
+        io.record_miss();
+        let postings = self.readers[func].read_list_by_hash(hash, io)?;
+        let weight = list_weight(&postings);
+        self.list_cache
+            .insert(func, hash, Arc::new(postings.clone()), weight);
+        Ok(postings)
     }
 
-    fn read_postings_for_text(
+    /// Per-text probe with zone-map bracketing, recording IO into `io` only.
+    fn read_postings_for_text_inner(
         &self,
         func: usize,
         hash: HashValue,
         text: TextId,
+        io: &IoStats,
     ) -> Result<Vec<Posting>, IndexError> {
-        self.check_func(func)?;
+        // A resident full list answers any probe with zero IO.
+        if let Some(hit) = self.list_cache.get(func, hash) {
+            io.record_hit();
+            return Ok(hit.iter().filter(|p| p.text == text).copied().collect());
+        }
+        io.record_miss();
         let reader = match &self.readers[func] {
-            AnyFileReader::V2(r) => return r.read_postings_for_text(hash, text, &self.stats),
+            AnyFileReader::V2(r) => return r.read_postings_for_text(hash, text, io),
             AnyFileReader::V1(r) => r,
         };
         let Some(entry) = reader.find(hash) else {
@@ -251,15 +273,13 @@ impl IndexAccess for DiskIndex {
             // Zone probe: bracket the text id between two samples. The zone
             // map is cached after its first read — repeat probes of the same
             // list (other candidate texts, later queries) cost no IO.
-            let zone = {
-                let cached = self.zone_cache.lock().get(&(func, hash)).cloned();
-                match cached {
-                    Some(z) => z,
-                    None => {
-                        let z = Arc::new(reader.read_zone(entry, &self.stats)?);
-                        self.zone_cache.lock().insert((func, hash), z.clone());
-                        z
-                    }
+            let zone = match self.zone_cache.get(func, hash) {
+                Some(z) => z,
+                None => {
+                    let z = Arc::new(reader.read_zone(entry, io)?);
+                    self.zone_cache
+                        .insert(func, hash, z.clone(), zone_weight(&z));
+                    z
                 }
             };
             // First sample at or past `text`: postings for `text` cannot
@@ -282,8 +302,34 @@ impl IndexAccess for DiskIndex {
         } else {
             (0, entry.count)
         };
-        let chunk = reader.read_postings_range(entry, rel_lo, rel_hi, &self.stats)?;
+        let chunk = reader.read_postings_range(entry, rel_lo, rel_hi, io)?;
         Ok(chunk.into_iter().filter(|p| p.text == text).collect())
+    }
+}
+
+impl IndexAccess for DiskIndex {
+    fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    fn list_len(&self, func: usize, hash: HashValue) -> Result<u64, IndexError> {
+        self.check_func(func)?;
+        Ok(self.readers[func].list_len(hash))
+    }
+
+    fn read_list(&self, func: usize, hash: HashValue) -> Result<Vec<Posting>, IndexError> {
+        let scratch = IoStats::default();
+        self.read_list_into(func, hash, &scratch)
+    }
+
+    fn read_postings_for_text(
+        &self,
+        func: usize,
+        hash: HashValue,
+        text: TextId,
+    ) -> Result<Vec<Posting>, IndexError> {
+        let scratch = IoStats::default();
+        self.read_postings_for_text_into(func, hash, text, &scratch)
     }
 
     fn io_snapshot(&self) -> IoSnapshot {
@@ -293,6 +339,36 @@ impl IndexAccess for DiskIndex {
     fn list_length_histogram(&self, func: usize) -> Result<Vec<(u64, u64)>, IndexError> {
         self.check_func(func)?;
         Ok(self.readers[func].length_histogram())
+    }
+
+    fn read_list_into(
+        &self,
+        func: usize,
+        hash: HashValue,
+        io: &IoStats,
+    ) -> Result<Vec<Posting>, IndexError> {
+        self.check_func(func)?;
+        let before = io.snapshot();
+        let result = self.read_list_inner(func, hash, io);
+        // Fold this call's delta into the index-wide totals. The accumulator
+        // is owned by one query (single-threaded), so the before/after diff
+        // is exact even while other queries run concurrently.
+        self.stats.add(&io.snapshot().since(&before));
+        result
+    }
+
+    fn read_postings_for_text_into(
+        &self,
+        func: usize,
+        hash: HashValue,
+        text: TextId,
+        io: &IoStats,
+    ) -> Result<Vec<Posting>, IndexError> {
+        self.check_func(func)?;
+        let before = io.snapshot();
+        let result = self.read_postings_for_text_inner(func, hash, text, io);
+        self.stats.add(&io.snapshot().since(&before));
+        result
     }
 }
 
@@ -415,11 +491,8 @@ mod tests {
         let v1_dir = temp_dir("v1");
         let v2_dir = temp_dir("v2");
         let base = IndexConfig::new(3, 15, 77).zone_map(32, 64);
-        let v1 = write_memory_index(
-            &MemoryIndex::build(&corpus, base.clone()).unwrap(),
-            &v1_dir,
-        )
-        .unwrap();
+        let v1 = write_memory_index(&MemoryIndex::build(&corpus, base.clone()).unwrap(), &v1_dir)
+            .unwrap();
         let v2 = write_memory_index(
             &MemoryIndex::build(&corpus, base.compressed(true)).unwrap(),
             &v2_dir,
@@ -431,7 +504,11 @@ mod tests {
         for func in 0..3 {
             for (hash, postings) in mem.sorted_lists(func) {
                 assert_eq!(v1.read_list(func, hash).unwrap(), postings);
-                assert_eq!(v2.read_list(func, hash).unwrap(), postings, "hash {hash:#x}");
+                assert_eq!(
+                    v2.read_list(func, hash).unwrap(),
+                    postings,
+                    "hash {hash:#x}"
+                );
                 assert_eq!(v2.list_len(func, hash).unwrap(), postings.len() as u64);
                 let text = postings[postings.len() / 2].text;
                 assert_eq!(

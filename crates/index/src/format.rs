@@ -11,7 +11,6 @@
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use ndss_hash::HashValue;
@@ -185,8 +184,11 @@ impl IndexFileWriter {
 
 /// Read-only handle to one inverted-index file. The directory lives in
 /// memory; postings and zone entries are read on demand with IO accounting.
+///
+/// All reads are *positioned* (`pread`), so a shared reader serves any
+/// number of threads with no lock and one syscall per read.
 pub struct IndexFileReader {
-    file: Mutex<File>,
+    file: File,
     dir: Vec<DirEntry>,
     func_idx: u32,
     zone_step: u32,
@@ -253,7 +255,7 @@ impl IndexFileReader {
             ));
         }
         Ok(Self {
-            file: Mutex::new(file),
+            file,
             dir,
             func_idx,
             zone_step,
@@ -297,11 +299,7 @@ impl IndexFileReader {
 
     fn read_at(&self, offset: u64, buf: &mut [u8], stats: &IoStats) -> Result<(), IndexError> {
         let start = Instant::now();
-        {
-            let mut file = self.file.lock().expect("index file lock poisoned");
-            file.seek(SeekFrom::Start(offset))?;
-            file.read_exact(buf)?;
-        }
+        crate::pread::read_exact_at(&self.file, buf, offset)?;
         stats.record(buf.len() as u64, start.elapsed().as_nanos() as u64);
         Ok(())
     }
@@ -314,7 +312,10 @@ impl IndexFileReader {
         rel_hi: u64,
         stats: &IoStats,
     ) -> Result<Vec<Posting>, IndexError> {
-        assert!(rel_lo <= rel_hi && rel_hi <= entry.count, "bad posting range");
+        assert!(
+            rel_lo <= rel_hi && rel_hi <= entry.count,
+            "bad posting range"
+        );
         let count = (rel_hi - rel_lo) as usize;
         let mut bytes = vec![0u8; count * Posting::ENCODED_LEN];
         let offset = HEADER_LEN + (entry.start + rel_lo) * Posting::ENCODED_LEN as u64;

@@ -44,39 +44,72 @@
 //! window" accounting that yields the `8/t` index-to-corpus size ratio.
 
 pub mod build;
+pub mod cache;
 pub mod codec;
 pub mod disk;
 pub mod format;
 pub mod memory;
 pub mod merge;
+mod pread;
 
 pub use build::{build_and_write, write_memory_index, ExternalIndexBuilder};
+pub use cache::CacheConfig;
 pub use disk::{inv_file_path, DiskIndex};
 pub use memory::MemoryIndex;
 pub use merge::merge_indexes;
 
-use serde::{Deserialize, Serialize};
-
 use ndss_corpus::TextId;
 use ndss_hash::universal::HashFamily;
 use ndss_hash::{HashValue, MinHasher};
+use ndss_json::Json;
 use ndss_windows::CompactWindow;
 
 /// Errors raised by index construction and access.
-#[derive(Debug, thiserror::Error)]
+#[derive(Debug)]
 pub enum IndexError {
     /// A stored index file or directory is structurally invalid.
-    #[error("malformed index: {0}")]
     Malformed(String),
     /// The queried hash-function number exceeds `k`.
-    #[error("hash function {0} out of range (index has k = {1})")]
     FunctionOutOfRange(usize, usize),
     /// Error from the corpus layer during construction.
-    #[error(transparent)]
-    Corpus(#[from] ndss_corpus::CorpusError),
+    Corpus(ndss_corpus::CorpusError),
     /// Underlying IO failure.
-    #[error(transparent)]
-    Io(#[from] std::io::Error),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::Malformed(msg) => write!(f, "malformed index: {msg}"),
+            IndexError::FunctionOutOfRange(func, k) => {
+                write!(f, "hash function {func} out of range (index has k = {k})")
+            }
+            IndexError::Corpus(e) => e.fmt(f),
+            IndexError::Io(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Corpus(e) => Some(e),
+            IndexError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ndss_corpus::CorpusError> for IndexError {
+    fn from(e: ndss_corpus::CorpusError) -> Self {
+        IndexError::Corpus(e)
+    }
+}
+
+impl From<std::io::Error> for IndexError {
+    fn from(e: std::io::Error) -> Self {
+        IndexError::Io(e)
+    }
 }
 
 /// One inverted-list entry: a compact window in an identified text.
@@ -115,7 +148,7 @@ impl Posting {
 /// Everything needed to rebuild the query-side hashing and to sanity-check
 /// compatibility between an index and a query configuration. Persisted as
 /// `meta.json` in the index directory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndexConfig {
     /// Number of hash functions `k`.
     pub k: usize,
@@ -138,7 +171,6 @@ pub struct IndexConfig {
     /// Store posting lists delta-compressed (file format v2). Trades decode
     /// CPU for ~3–4× smaller lists — usually a win in the IO-dominated
     /// query regime. Defaults to off (v1, fixed-width postings).
-    #[serde(default)]
     pub compress: bool,
 }
 
@@ -186,20 +218,77 @@ impl IndexConfig {
     pub fn hasher(&self) -> MinHasher {
         MinHasher::with_family(self.k, self.seed, self.family)
     }
+
+    /// Serializes to the `meta.json` document (pretty, one field per line).
+    pub fn to_json_pretty(&self) -> String {
+        Json::Object(vec![
+            ("k".to_string(), Json::UInt(self.k as u64)),
+            ("t".to_string(), Json::UInt(self.t as u64)),
+            ("seed".to_string(), Json::UInt(self.seed)),
+            (
+                "family".to_string(),
+                Json::Str(self.family.as_str().to_string()),
+            ),
+            ("num_texts".to_string(), Json::UInt(self.num_texts as u64)),
+            ("total_tokens".to_string(), Json::UInt(self.total_tokens)),
+            ("zone_step".to_string(), Json::UInt(self.zone_step as u64)),
+            (
+                "zone_min_len".to_string(),
+                Json::UInt(self.zone_min_len as u64),
+            ),
+            ("compress".to_string(), Json::Bool(self.compress)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parses a `meta.json` document. `compress` may be absent (older
+    /// metadata predates the field) and defaults to `false`.
+    pub fn from_json(text: &str) -> Result<Self, IndexError> {
+        let malformed = |what: &str| IndexError::Malformed(format!("meta.json: {what}"));
+        let doc = Json::parse(text).map_err(|e| IndexError::Malformed(e.to_string()))?;
+        let uint = |key: &str| doc.get(key).and_then(Json::as_u64);
+        let family_name = doc
+            .get("family")
+            .and_then(Json::as_str)
+            .ok_or_else(|| malformed("missing family"))?;
+        Ok(IndexConfig {
+            k: uint("k").ok_or_else(|| malformed("missing k"))? as usize,
+            t: uint("t").ok_or_else(|| malformed("missing t"))? as usize,
+            seed: uint("seed").ok_or_else(|| malformed("missing seed"))?,
+            family: HashFamily::parse(family_name)
+                .ok_or_else(|| malformed("unknown hash family"))?,
+            num_texts: uint("num_texts").ok_or_else(|| malformed("missing num_texts"))? as usize,
+            total_tokens: uint("total_tokens").ok_or_else(|| malformed("missing total_tokens"))?,
+            zone_step: uint("zone_step").ok_or_else(|| malformed("missing zone_step"))? as u32,
+            zone_min_len: uint("zone_min_len").ok_or_else(|| malformed("missing zone_min_len"))?
+                as u32,
+            compress: match doc.get("compress") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| malformed("compress must be a bool"))?,
+            },
+        })
+    }
 }
 
-/// Cumulative IO accounting (bytes and wall time spent in reads). The disk
-/// index updates these on every list or zone access; the query processor
-/// snapshots them to report the paper's stacked IO-vs-CPU latency bars.
+/// Cumulative IO accounting (bytes and wall time spent in reads, plus hot
+/// cache hit/miss counters). The disk index updates these on every list or
+/// zone access; the query processor keeps a **per-query** accumulator so IO
+/// is attributed to the query that caused it even when many queries run
+/// concurrently, and the disk index additionally folds every accumulator
+/// into its global totals.
 #[derive(Debug, Default)]
 pub struct IoStats {
     reads: std::sync::atomic::AtomicU64,
     bytes: std::sync::atomic::AtomicU64,
     nanos: std::sync::atomic::AtomicU64,
+    cache_hits: std::sync::atomic::AtomicU64,
+    cache_misses: std::sync::atomic::AtomicU64,
 }
 
 /// A point-in-time copy of [`IoStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoSnapshot {
     /// Number of read operations.
     pub reads: u64,
@@ -207,15 +296,22 @@ pub struct IoSnapshot {
     pub bytes: u64,
     /// Wall time spent in reads, in nanoseconds.
     pub nanos: u64,
+    /// Posting-list / zone-map reads served from the hot cache.
+    pub cache_hits: u64,
+    /// Reads that had to go to disk.
+    pub cache_misses: u64,
 }
 
 impl IoSnapshot {
-    /// Difference `self − earlier` (for per-query accounting).
+    /// Difference `self − earlier` (for per-query accounting). Saturating,
+    /// so a snapshot pair taken across concurrent activity never panics.
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {
-            reads: self.reads - earlier.reads,
-            bytes: self.bytes - earlier.bytes,
-            nanos: self.nanos - earlier.nanos,
+            reads: self.reads.saturating_sub(earlier.reads),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            nanos: self.nanos.saturating_sub(earlier.nanos),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
         }
     }
 
@@ -234,6 +330,29 @@ impl IoStats {
         self.nanos.fetch_add(nanos, Relaxed);
     }
 
+    /// Records a hot-cache hit (no disk read performed).
+    pub fn record_hit(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.cache_hits.fetch_add(1, Relaxed);
+    }
+
+    /// Records a hot-cache miss (the read fell through to disk).
+    pub fn record_miss(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.cache_misses.fetch_add(1, Relaxed);
+    }
+
+    /// Folds a snapshot delta into these totals. Used by the disk index to
+    /// add a query's privately-accumulated IO to the global counters.
+    pub fn add(&self, delta: &IoSnapshot) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.reads.fetch_add(delta.reads, Relaxed);
+        self.bytes.fetch_add(delta.bytes, Relaxed);
+        self.nanos.fetch_add(delta.nanos, Relaxed);
+        self.cache_hits.fetch_add(delta.cache_hits, Relaxed);
+        self.cache_misses.fetch_add(delta.cache_misses, Relaxed);
+    }
+
     /// Current totals.
     pub fn snapshot(&self) -> IoSnapshot {
         use std::sync::atomic::Ordering::Relaxed;
@@ -241,6 +360,8 @@ impl IoStats {
             reads: self.reads.load(Relaxed),
             bytes: self.bytes.load(Relaxed),
             nanos: self.nanos.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            cache_misses: self.cache_misses.load(Relaxed),
         }
     }
 }
@@ -278,6 +399,34 @@ pub trait IndexAccess: Send + Sync {
     /// Distribution of list lengths under `func` as `(length, how many
     /// lists)` pairs — used to pick prefix-filtering cutoffs.
     fn list_length_histogram(&self, func: usize) -> Result<Vec<(u64, u64)>, IndexError>;
+
+    /// Like [`Self::read_list`], but accounts the IO it causes into `io`
+    /// (a caller-owned accumulator) rather than only the index's global
+    /// counters. This is the attribution-safe path: under concurrent
+    /// queries, diffing [`Self::io_snapshot`] charges one query with
+    /// another's reads, while an accumulator passed down the call chain
+    /// cannot bleed. Memory indexes perform no IO, so the default simply
+    /// delegates.
+    fn read_list_into(
+        &self,
+        func: usize,
+        hash: HashValue,
+        _io: &IoStats,
+    ) -> Result<Vec<Posting>, IndexError> {
+        self.read_list(func, hash)
+    }
+
+    /// Accumulator-threading variant of [`Self::read_postings_for_text`];
+    /// see [`Self::read_list_into`].
+    fn read_postings_for_text_into(
+        &self,
+        func: usize,
+        hash: HashValue,
+        text: TextId,
+        _io: &IoStats,
+    ) -> Result<Vec<Posting>, IndexError> {
+        self.read_postings_for_text(func, hash, text)
+    }
 }
 
 #[cfg(test)]
@@ -324,5 +473,44 @@ mod tests {
     #[should_panic(expected = "length threshold")]
     fn config_rejects_zero_t() {
         IndexConfig::new(8, 0, 1);
+    }
+
+    #[test]
+    fn config_json_roundtrip_preserves_large_seed() {
+        let mut cfg = IndexConfig::new(32, 25, u64::MAX - 3).compressed(true);
+        cfg.num_texts = 7;
+        cfg.total_tokens = 12345;
+        let text = cfg.to_json_pretty();
+        assert_eq!(IndexConfig::from_json(&text).unwrap(), cfg);
+    }
+
+    #[test]
+    fn config_json_compress_defaults_false_when_absent() {
+        let cfg = IndexConfig::new(4, 25, 9);
+        let text = cfg.to_json_pretty();
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.contains("compress"))
+            .collect::<Vec<_>>()
+            .join("\n")
+            .replace(",\n}", "\n}");
+        let back = IndexConfig::from_json(&stripped).unwrap();
+        assert!(!back.compress);
+        assert_eq!(back.seed, 9);
+    }
+
+    #[test]
+    fn io_stats_add_and_cache_counters() {
+        let global = IoStats::default();
+        let per_query = IoStats::default();
+        per_query.record(64, 10);
+        per_query.record_hit();
+        per_query.record_miss();
+        global.add(&per_query.snapshot());
+        let s = global.snapshot();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes, 64);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
     }
 }

@@ -8,8 +8,6 @@
 
 use std::collections::HashMap;
 
-use rayon::prelude::*;
-
 use ndss_corpus::{CorpusSource, TextId};
 use ndss_hash::HashValue;
 use ndss_windows::{HashedWindow, WindowGenerator};
@@ -33,7 +31,7 @@ impl MemoryIndex {
         Self::build_inner(corpus, config, false)
     }
 
-    /// Builds the index with rayon parallelism over texts.
+    /// Builds the index with thread parallelism over text chunks.
     pub fn build_parallel<C: CorpusSource + ?Sized>(
         corpus: &C,
         config: IndexConfig,
@@ -85,17 +83,13 @@ impl MemoryIndex {
             Ok(maps)
         };
 
-        let partials: Vec<Vec<HashMap<HashValue, Vec<Posting>>>> = if parallel {
-            chunks
-                .par_iter()
-                .map(process_chunk)
-                .collect::<Result<_, _>>()?
+        let threads = if parallel {
+            ndss_parallel::default_threads()
         } else {
-            chunks
-                .iter()
-                .map(process_chunk)
-                .collect::<Result<_, _>>()?
+            1
         };
+        let partials: Vec<Vec<HashMap<HashValue, Vec<Posting>>>> =
+            ndss_parallel::try_map(&chunks, threads, |_, chunk| process_chunk(chunk))?;
 
         // Merge in chunk order, so lists stay ordered by text id; a final
         // canonical sort makes ordering independent of the merge schedule.
@@ -242,10 +236,7 @@ mod tests {
                             .iter()
                             .filter(|p| p.text == text_id && p.window.covers(i as u32, j as u32))
                             .count();
-                        assert_eq!(
-                            covering, 1,
-                            "text {text_id} func {func} seq [{i},{j}]"
-                        );
+                        assert_eq!(covering, 1, "text {text_id} func {func} seq [{i},{j}]");
                     }
                 }
             }

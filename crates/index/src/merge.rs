@@ -35,8 +35,9 @@ pub fn merge_indexes(inputs: &[&Path], out_dir: &Path) -> Result<DiskIndex, Inde
     for dir in inputs {
         let meta = std::fs::read_to_string(dir.join(crate::disk::META_FILE))
             .map_err(|e| IndexError::Malformed(format!("{}: {e}", dir.display())))?;
-        let config: IndexConfig = serde_json::from_str(&meta)
-            .map_err(|e| IndexError::Malformed(format!("bad meta.json in {}: {e}", dir.display())))?;
+        let config = IndexConfig::from_json(&meta).map_err(|e| {
+            IndexError::Malformed(format!("bad meta.json in {}: {e}", dir.display()))
+        })?;
         configs.push(config);
     }
     let base = &configs[0];

@@ -92,11 +92,7 @@ fn sample_next(
     }
 }
 
-fn weighted_pick(
-    items: &[(TokenId, u32)],
-    total: u64,
-    rng: &mut Xoshiro256StarStar,
-) -> TokenId {
+fn weighted_pick(items: &[(TokenId, u32)], total: u64, rng: &mut Xoshiro256StarStar) -> TokenId {
     debug_assert!(total > 0 && !items.is_empty());
     let mut target = rng.next_bounded(total);
     for &(tok, c) in items {
@@ -149,9 +145,8 @@ mod tests {
     use ndss_corpus::InMemoryCorpus;
 
     fn chain_model(order: usize) -> NGramModel {
-        let corpus = InMemoryCorpus::from_texts(vec![
-            vec![1, 2, 3, 4, 5, 1, 2, 3, 4, 5, 1, 2, 3, 4, 5],
-        ]);
+        let corpus =
+            InMemoryCorpus::from_texts(vec![vec![1, 2, 3, 4, 5, 1, 2, 3, 4, 5, 1, 2, 3, 4, 5]]);
         NGramModel::train(&corpus, order).unwrap()
     }
 

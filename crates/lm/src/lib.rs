@@ -31,18 +31,49 @@ pub use memorization::{
 pub use ngram::NGramModel;
 
 /// Errors raised by the language-model layer.
-#[derive(Debug, thiserror::Error)]
+#[derive(Debug)]
 pub enum LmError {
     /// The model was trained on an empty corpus.
-    #[error("cannot train a language model on an empty corpus")]
     EmptyCorpus,
     /// Invalid configuration value.
-    #[error("invalid configuration: {0}")]
     BadConfig(String),
     /// Error from the corpus layer during training.
-    #[error(transparent)]
-    Corpus(#[from] ndss_corpus::CorpusError),
+    Corpus(ndss_corpus::CorpusError),
     /// Error from the query layer during evaluation.
-    #[error(transparent)]
-    Query(#[from] ndss_query::QueryError),
+    Query(ndss_query::QueryError),
+}
+
+impl std::fmt::Display for LmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LmError::EmptyCorpus => {
+                write!(f, "cannot train a language model on an empty corpus")
+            }
+            LmError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            LmError::Corpus(e) => e.fmt(f),
+            LmError::Query(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LmError::Corpus(e) => Some(e),
+            LmError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ndss_corpus::CorpusError> for LmError {
+    fn from(e: ndss_corpus::CorpusError) -> Self {
+        LmError::Corpus(e)
+    }
+}
+
+impl From<ndss_query::QueryError> for LmError {
+    fn from(e: ndss_query::QueryError) -> Self {
+        LmError::Query(e)
+    }
 }

@@ -292,9 +292,18 @@ mod tests {
         // On its own training data, a higher-order model must have lower
         // (or equal) perplexity — it can only refine the contexts.
         let corpus = tiny_corpus();
-        let p1 = NGramModel::train(&corpus, 1).unwrap().perplexity(&corpus).unwrap();
-        let p2 = NGramModel::train(&corpus, 2).unwrap().perplexity(&corpus).unwrap();
-        let p3 = NGramModel::train(&corpus, 3).unwrap().perplexity(&corpus).unwrap();
+        let p1 = NGramModel::train(&corpus, 1)
+            .unwrap()
+            .perplexity(&corpus)
+            .unwrap();
+        let p2 = NGramModel::train(&corpus, 2)
+            .unwrap()
+            .perplexity(&corpus)
+            .unwrap();
+        let p3 = NGramModel::train(&corpus, 3)
+            .unwrap()
+            .perplexity(&corpus)
+            .unwrap();
         assert!(p2 <= p1 + 1e-9, "order2 {p2} > order1 {p1}");
         assert!(p3 <= p2 + 1e-9, "order3 {p3} > order2 {p2}");
         // The deterministic chain is perfectly predictable at order ≥ 2

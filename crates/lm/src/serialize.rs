@@ -169,8 +169,7 @@ mod tests {
         }
         // Identical perplexity.
         assert!(
-            (model.perplexity(&corpus).unwrap() - loaded.perplexity(&corpus).unwrap()).abs()
-                < 1e-9
+            (model.perplexity(&corpus).unwrap() - loaded.perplexity(&corpus).unwrap()).abs() < 1e-9
         );
         std::fs::remove_file(&path).ok();
     }

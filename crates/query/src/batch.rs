@@ -1,0 +1,125 @@
+//! Parallel batch query execution.
+//!
+//! Memorization evaluation is a *throughput* workload: thousands of model
+//! generations are checked against the training corpus, and each query is
+//! independent. [`BatchSearcher`] fans a query set out over a thread pool
+//! and returns outcomes **in input order**, each with per-query
+//! [`crate::QueryStats`] attributed through that query's own IO accumulator.
+//!
+//! This only became safe/fast when the index layer dropped its `Mutex<File>`
+//! readers: a [`ndss_index::DiskIndex`] is `Sync` with positioned reads, so
+//! N threads issue N concurrent preads into the same files with no lock
+//! convoy, and the sharded hot caches are shared across all queries in the
+//! batch.
+
+use ndss_hash::TokenId;
+use ndss_index::IndexAccess;
+
+use crate::search::{NearDupSearcher, PrefixFilter, SearchOutcome};
+use crate::QueryError;
+
+/// Runs many queries against one index across a thread pool.
+///
+/// Results are deterministic: `search_all(queries, θ)[i]` equals
+/// `NearDupSearcher::search(queries[i], θ)`, whatever the thread count.
+/// Stats are exact per query, but timing fields vary run to run, and with
+/// a shared hot-list cache `io_bytes`/hit counts depend on which query
+/// touched a list first (disable the cache for schedule-independent IO
+/// attribution).
+pub struct BatchSearcher<'a, I: IndexAccess + ?Sized> {
+    searcher: NearDupSearcher<'a, I>,
+    threads: usize,
+}
+
+impl<'a, I: IndexAccess + ?Sized> BatchSearcher<'a, I> {
+    /// A batch searcher with prefix filtering disabled and one thread per
+    /// available core.
+    pub fn new(index: &'a I) -> Result<Self, QueryError> {
+        Self::with_prefix_filter(index, PrefixFilter::Disabled)
+    }
+
+    /// A batch searcher with the given prefix-filtering policy.
+    pub fn with_prefix_filter(index: &'a I, filter: PrefixFilter) -> Result<Self, QueryError> {
+        Ok(Self {
+            searcher: NearDupSearcher::with_prefix_filter(index, filter)?,
+            threads: ndss_parallel::default_threads(),
+        })
+    }
+
+    /// Pins the worker-thread count (`0` or `1` runs serially inline).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The underlying single-query searcher (shared configuration).
+    pub fn searcher(&self) -> &NearDupSearcher<'a, I> {
+        &self.searcher
+    }
+
+    /// Runs every query at threshold `theta`; `results[i]` corresponds to
+    /// `queries[i]`. Fails fast with the first error in input order.
+    pub fn search_all(
+        &self,
+        queries: &[Vec<TokenId>],
+        theta: f64,
+    ) -> Result<Vec<SearchOutcome>, QueryError> {
+        ndss_parallel::try_map(queries, self.threads, |_, query| {
+            self.searcher.search(query, theta)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndss_corpus::{CorpusSource, SyntheticCorpusBuilder};
+    use ndss_index::{IndexConfig, MemoryIndex};
+
+    #[test]
+    fn batch_matches_serial_in_input_order() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(71)
+            .num_texts(50)
+            .duplicates_per_text(1.0)
+            .mutation_rate(0.03)
+            .build();
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(16, 25, 9)).unwrap();
+        let queries: Vec<Vec<u32>> = planted
+            .iter()
+            .take(12)
+            .map(|p| corpus.sequence_to_vec(p.dst).unwrap())
+            .collect();
+
+        let serial = NearDupSearcher::new(&index).unwrap();
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| serial.search(q, 0.8).unwrap().enumerate_all())
+            .collect();
+
+        for threads in [1, 4, 8] {
+            let batch = BatchSearcher::new(&index).unwrap().threads(threads);
+            let got = batch.search_all(&queries, 0.8).unwrap();
+            assert_eq!(got.len(), queries.len());
+            for (i, outcome) in got.iter().enumerate() {
+                assert_eq!(
+                    outcome.enumerate_all(),
+                    expected[i],
+                    "query {i} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_bad_query_propagate() {
+        let (corpus, _) = SyntheticCorpusBuilder::new(72).num_texts(5).build();
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(4, 25, 1)).unwrap();
+        let batch = BatchSearcher::new(&index).unwrap().threads(4);
+        assert!(batch.search_all(&[], 0.8).unwrap().is_empty());
+        let queries = vec![vec![1u32, 2, 3], Vec::new()];
+        assert!(matches!(
+            batch.search_all(&queries, 0.8),
+            Err(QueryError::EmptyQuery)
+        ));
+    }
+}

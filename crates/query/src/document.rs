@@ -99,10 +99,8 @@ impl<I: IndexAccess + ?Sized> NearDupSearcher<'_, I> {
                     best_collisions: 0,
                 });
                 agg.regions.extend(spans);
-                agg.document_regions.push(SeqSpan::new(
-                    start as u32,
-                    (start + scan.width - 1) as u32,
-                ));
+                agg.document_regions
+                    .push(SeqSpan::new(start as u32, (start + scan.width - 1) as u32));
                 agg.query_windows += 1;
                 agg.best_collisions = agg.best_collisions.max(m.best_collisions());
             }
@@ -237,7 +235,14 @@ mod tests {
         let index = MemoryIndex::build(&corpus, IndexConfig::new(4, 25, 7)).unwrap();
         let searcher = NearDupSearcher::new(&index).unwrap();
         assert!(searcher
-            .search_document(&[1, 2, 3], DocumentScan { width: 0, stride: 1 }, 0.8)
+            .search_document(
+                &[1, 2, 3],
+                DocumentScan {
+                    width: 0,
+                    stride: 1
+                },
+                0.8
+            )
             .is_err());
     }
 }

@@ -89,7 +89,10 @@ pub fn interval_scan(intervals: &[Interval], alpha: usize) -> Vec<ScanHit> {
             hits.push(ScanHit {
                 range_lo: pos as u32,
                 range_hi: (next - 1) as u32,
-                active: active.iter().map(|&idx| intervals[idx as usize].id).collect(),
+                active: active
+                    .iter()
+                    .map(|&idx| intervals[idx as usize].id)
+                    .collect(),
             });
         }
     }
@@ -206,7 +209,9 @@ mod tests {
         // Dense random intervals with many ties stress every branch.
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for trial in 0..50 {

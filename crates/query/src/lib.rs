@@ -48,6 +48,7 @@
 //! assert_eq!(texts, vec![0, 1]);
 //! ```
 
+pub mod batch;
 pub mod bruteforce;
 pub mod collision;
 pub mod document;
@@ -55,6 +56,7 @@ pub mod interval;
 pub mod planner;
 pub mod search;
 
+pub use batch::BatchSearcher;
 pub use collision::{collision_count, Rectangle};
 pub use document::{DocumentMatch, DocumentScan};
 pub use interval::{interval_scan, Interval, ScanHit};
@@ -64,17 +66,14 @@ pub use search::{
 };
 
 /// Errors raised during query processing.
-#[derive(Debug, thiserror::Error)]
+#[derive(Debug)]
 pub enum QueryError {
     /// The query sequence is empty.
-    #[error("query sequence is empty")]
     EmptyQuery,
     /// The similarity threshold must lie in (0, 1].
-    #[error("similarity threshold {0} outside (0, 1]")]
     BadThreshold(f64),
     /// Verified search would enumerate more candidate sequences than the
     /// caller's cap.
-    #[error("verification would enumerate {found} sequences (cap {cap}); raise the cap or the threshold")]
     TooManyCandidates {
         /// Sequences the approximate search produced.
         found: u64,
@@ -82,9 +81,47 @@ pub enum QueryError {
         cap: usize,
     },
     /// Error from the index layer.
-    #[error(transparent)]
-    Index(#[from] ndss_index::IndexError),
+    Index(ndss_index::IndexError),
     /// Error from the corpus layer (verification mode).
-    #[error(transparent)]
-    Corpus(#[from] ndss_corpus::CorpusError),
+    Corpus(ndss_corpus::CorpusError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::EmptyQuery => write!(f, "query sequence is empty"),
+            QueryError::BadThreshold(theta) => {
+                write!(f, "similarity threshold {theta} outside (0, 1]")
+            }
+            QueryError::TooManyCandidates { found, cap } => write!(
+                f,
+                "verification would enumerate {found} sequences (cap {cap}); \
+                 raise the cap or the threshold"
+            ),
+            QueryError::Index(e) => e.fmt(f),
+            QueryError::Corpus(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Index(e) => Some(e),
+            QueryError::Corpus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ndss_index::IndexError> for QueryError {
+    fn from(e: ndss_index::IndexError) -> Self {
+        QueryError::Index(e)
+    }
+}
+
+impl From<ndss_corpus::CorpusError> for QueryError {
+    fn from(e: ndss_corpus::CorpusError) -> Self {
+        QueryError::Corpus(e)
+    }
 }

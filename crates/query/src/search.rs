@@ -8,7 +8,7 @@ use ndss_corpus::{CorpusSource, SeqRef, SeqSpan, TextId};
 use ndss_hash::jaccard::distinct_jaccard;
 use ndss_hash::minhash::collision_threshold;
 use ndss_hash::{MinHasher, TokenId};
-use ndss_index::IndexAccess;
+use ndss_index::{IndexAccess, IoStats};
 use ndss_windows::CompactWindow;
 
 use crate::collision::{collision_count, Rectangle};
@@ -32,9 +32,11 @@ pub enum PrefixFilter {
     Adaptive,
 }
 
-/// Per-query cost and outcome accounting. `io_*` comes from the index's
-/// instrumentation ([`IndexAccess::io_snapshot`]); `cpu` is wall time minus
-/// IO time, reproducing the paper's stacked latency bars.
+/// Per-query cost and outcome accounting. `io_*` comes from a per-query
+/// [`IoStats`] accumulator the searcher threads through every index read —
+/// NOT from diffing the index's global counters, which under concurrent
+/// queries would charge this query with other queries' IO. `cpu` is wall
+/// time minus IO time, reproducing the paper's stacked latency bars.
 #[derive(Debug, Clone, Default)]
 pub struct QueryStats {
     /// End-to-end wall time.
@@ -43,6 +45,10 @@ pub struct QueryStats {
     pub io_time: Duration,
     /// Bytes read from the index.
     pub io_bytes: u64,
+    /// Index reads served from the hot posting-list cache.
+    pub cache_hits: u64,
+    /// Index reads that went to disk.
+    pub cache_misses: u64,
     /// `total − io_time`.
     pub cpu_time: Duration,
     /// Short lists read in full.
@@ -84,11 +90,12 @@ impl TextMatch {
         for r in &self.rects {
             for i in r.x_lo..=r.x_hi {
                 let j_min = r.y_lo.max(i.saturating_add(t - 1));
+                if j_min > r.y_hi {
+                    // j_min only grows with i, so no later i qualifies.
+                    break;
+                }
                 for j in j_min..=r.y_hi {
                     out.push(SeqSpan::new(i, j));
-                }
-                if j_min > r.y_hi {
-                    continue;
                 }
             }
         }
@@ -168,10 +175,7 @@ impl SearchOutcome {
         let mut out = Vec::new();
         for m in &self.matches {
             for span in m.enumerate(self.t) {
-                out.push(SeqRef {
-                    text: m.text,
-                    span,
-                });
+                out.push(SeqRef { text: m.text, span });
             }
         }
         out
@@ -266,7 +270,10 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             return Err(QueryError::BadThreshold(theta));
         }
         let start = Instant::now();
-        let io_before = self.index.io_snapshot();
+        // Per-query IO accumulator: every index read below records into this
+        // (and the index folds it into its global counters), so the stats
+        // are exact even with other queries in flight.
+        let io_acc = IoStats::default();
         let config = self.index.config();
         let (k, t) = (config.k, config.t as u32);
         let beta = collision_threshold(k, theta);
@@ -291,9 +298,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             // Cost-based per-query plan; its own soundness cap applies.
             crate::planner::plan_query(&lens, beta, config.zone_step).deferred
         } else {
-            let mut long: Vec<usize> = (0..k)
-                .filter(|&f| lens[f] >= self.cutoffs[f])
-                .collect();
+            let mut long: Vec<usize> = (0..k).filter(|&f| lens[f] >= self.cutoffs[f]).collect();
             long.sort_unstable_by_key(|&f| std::cmp::Reverse(lens[f]));
             long.truncate(beta / 2);
             long
@@ -316,7 +321,9 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             if long {
                 continue;
             }
-            let list = self.index.read_list(func, sketch.value(func))?;
+            let list = self
+                .index
+                .read_list_into(func, sketch.value(func), &io_acc)?;
             stats.lists_loaded += 1;
             stats.postings_read += list.len() as u64;
             for posting in list {
@@ -347,9 +354,12 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
                 // Lines 8–9: locate this text's windows in the long lists
                 // (zone-map probes) and re-count at the full threshold.
                 for &func in &long_funcs {
-                    let postings =
-                        self.index
-                            .read_postings_for_text(func, sketch.value(func), text)?;
+                    let postings = self.index.read_postings_for_text_into(
+                        func,
+                        sketch.value(func),
+                        text,
+                        &io_acc,
+                    )?;
                     stats.long_probes += 1;
                     stats.postings_read += postings.len() as u64;
                     windows.extend(postings.into_iter().map(|p| p.window));
@@ -366,10 +376,11 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
         }
 
         stats.matched_texts = matches.len();
-        let io_after = self.index.io_snapshot();
-        let io = io_after.since(&io_before);
+        let io = io_acc.snapshot();
         stats.io_bytes = io.bytes;
         stats.io_time = io.time();
+        stats.cache_hits = io.cache_hits;
+        stats.cache_misses = io.cache_misses;
         stats.total = start.elapsed();
         stats.cpu_time = stats.total.saturating_sub(stats.io_time);
         Ok(SearchOutcome {
@@ -441,10 +452,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             for span in m.enumerate(outcome.t) {
                 let seq = span.slice(&text_buf);
                 if distinct_jaccard(query, seq) + 1e-12 >= theta {
-                    verified.push(SeqRef {
-                        text: m.text,
-                        span,
-                    });
+                    verified.push(SeqRef { text: m.text, span });
                 }
             }
         }
@@ -651,8 +659,7 @@ mod tests {
             .build();
         let index = build_index(&corpus, 16, 20);
         let plain = NearDupSearcher::new(&index).unwrap();
-        let adaptive =
-            NearDupSearcher::with_prefix_filter(&index, PrefixFilter::Adaptive).unwrap();
+        let adaptive = NearDupSearcher::with_prefix_filter(&index, PrefixFilter::Adaptive).unwrap();
         for p in planted.iter().take(8) {
             let query = corpus.sequence_to_vec(p.dst).unwrap();
             for theta in [0.7, 0.9, 1.0] {

@@ -85,7 +85,10 @@ impl RangeArgmin for BlockRmq {
 
     #[inline]
     fn argmin(&self, l: usize, r: usize) -> usize {
-        assert!(l <= r && r < self.values.len(), "argmin range out of bounds");
+        assert!(
+            l <= r && r < self.values.len(),
+            "argmin range out of bounds"
+        );
         let lb = l / self.block;
         let rb = r / self.block;
         if lb == rb {

@@ -80,7 +80,10 @@ impl RangeArgmin for NaiveArgmin<'_> {
     }
 
     fn argmin(&self, l: usize, r: usize) -> usize {
-        assert!(l <= r && r < self.values.len(), "argmin range out of bounds");
+        assert!(
+            l <= r && r < self.values.len(),
+            "argmin range out of bounds"
+        );
         let mut best = l;
         for i in l + 1..=r {
             if self.values[i] < self.values[best] {

@@ -69,7 +69,10 @@ impl RangeArgmin for SparseTable {
 
     #[inline]
     fn argmin(&self, l: usize, r: usize) -> usize {
-        assert!(l <= r && r < self.values.len(), "argmin range out of bounds");
+        assert!(
+            l <= r && r < self.values.len(),
+            "argmin range out of bounds"
+        );
         if l == r {
             return l;
         }

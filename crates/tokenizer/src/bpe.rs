@@ -7,22 +7,73 @@
 //! re-encoding large corpora (where word distributions are Zipfian) fast.
 
 use std::collections::HashMap;
-use std::io::{BufReader, BufWriter};
 use std::path::Path;
 use std::sync::Mutex;
 
-use serde::{Deserialize, Serialize};
+use ndss_json::Json;
 
 use crate::pretokenize::split_words;
 use crate::vocab::Vocab;
 use crate::TokenizerError;
 
-/// Serialized form of a tokenizer (vocab is reconstructible from merges, but
-/// storing both keeps loading trivial and the file self-describing).
-#[derive(Serialize, Deserialize)]
+/// Serialized form of a tokenizer: `{"format_version":1,"merges":[[a,b],…]}`.
+/// The vocab is reconstructible from merges, so only the merge list is
+/// stored.
 struct TokenizerFile {
     format_version: u32,
     merges: Vec<(u32, u32)>,
+}
+
+impl TokenizerFile {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "format_version".to_string(),
+                Json::UInt(self.format_version as u64),
+            ),
+            (
+                "merges".to_string(),
+                Json::Array(
+                    self.merges
+                        .iter()
+                        .map(|&(a, b)| {
+                            Json::Array(vec![Json::UInt(a as u64), Json::UInt(b as u64)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, TokenizerError> {
+        let malformed = |what: &str| TokenizerError::Malformed(what.to_string());
+        let format_version =
+            doc.get("format_version")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| malformed("missing format_version"))? as u32;
+        let mut merges = Vec::new();
+        for pair in doc
+            .get("merges")
+            .and_then(Json::as_array)
+            .ok_or_else(|| malformed("missing merges array"))?
+        {
+            let pair = pair.as_array().ok_or_else(|| malformed("merge entry"))?;
+            let [a, b] = pair else {
+                return Err(malformed("merge entry must hold two ids"));
+            };
+            let (Some(a), Some(b)) = (a.as_u64(), b.as_u64()) else {
+                return Err(malformed("merge ids must be non-negative integers"));
+            };
+            if a > u32::MAX as u64 || b > u32::MAX as u64 {
+                return Err(malformed("merge id exceeds u32"));
+            }
+            merges.push((a as u32, b as u32));
+        }
+        Ok(TokenizerFile {
+            format_version,
+            merges,
+        })
+    }
 }
 
 /// A trained byte-pair-encoding tokenizer.
@@ -141,7 +192,9 @@ impl BpeTokenizer {
     /// Decodes token ids back to text. Exact inverse of [`Self::encode`] for
     /// valid UTF-8 inputs.
     pub fn decode(&self, ids: &[u32]) -> String {
-        self.vocab.decode(ids).expect("ids produced by this tokenizer")
+        self.vocab
+            .decode(ids)
+            .expect("ids produced by this tokenizer")
     }
 
     /// Decodes, reporting out-of-vocabulary ids instead of panicking.
@@ -151,25 +204,20 @@ impl BpeTokenizer {
 
     /// Saves the tokenizer to a JSON file.
     pub fn save(&self, path: &Path) -> Result<(), TokenizerError> {
-        let file = std::fs::File::create(path)?;
-        let writer = BufWriter::new(file);
-        serde_json::to_writer(
-            writer,
-            &TokenizerFile {
-                format_version: 1,
-                merges: self.merges.clone(),
-            },
-        )
-        .map_err(|e| TokenizerError::Malformed(e.to_string()))?;
+        let doc = TokenizerFile {
+            format_version: 1,
+            merges: self.merges.clone(),
+        }
+        .to_json();
+        std::fs::write(path, doc.to_string_compact())?;
         Ok(())
     }
 
     /// Loads a tokenizer saved by [`Self::save`].
     pub fn load(path: &Path) -> Result<Self, TokenizerError> {
-        let file = std::fs::File::open(path)?;
-        let reader = BufReader::new(file);
-        let parsed: TokenizerFile =
-            serde_json::from_reader(reader).map_err(|e| TokenizerError::Malformed(e.to_string()))?;
+        let text = std::fs::read_to_string(path)?;
+        let doc = Json::parse(&text).map_err(|e| TokenizerError::Malformed(e.to_string()))?;
+        let parsed = TokenizerFile::from_json(&doc)?;
         if parsed.format_version != 1 {
             return Err(TokenizerError::Malformed(format!(
                 "unsupported tokenizer format version {}",
@@ -256,11 +304,7 @@ mod tests {
         let dir = std::env::temp_dir().join("ndss_tok_test_bad");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.json");
-        std::fs::write(
-            &path,
-            r#"{"format_version":1,"merges":[[999,5]]}"#,
-        )
-        .unwrap();
+        std::fs::write(&path, r#"{"format_version":1,"merges":[[999,5]]}"#).unwrap();
         assert!(matches!(
             BpeTokenizer::load(&path),
             Err(TokenizerError::Malformed(_))

@@ -41,15 +41,39 @@ pub use trainer::BpeTrainer;
 pub use vocab::Vocab;
 
 /// Errors produced while loading or using a tokenizer.
-#[derive(Debug, thiserror::Error)]
+#[derive(Debug)]
 pub enum TokenizerError {
     /// A serialized tokenizer file could not be parsed.
-    #[error("malformed tokenizer file: {0}")]
     Malformed(String),
     /// An id outside the vocabulary was passed to `decode`.
-    #[error("token id {0} is out of vocabulary (size {1})")]
     OutOfVocabulary(u32, usize),
     /// Underlying IO failure.
-    #[error(transparent)]
-    Io(#[from] std::io::Error),
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for TokenizerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenizerError::Malformed(msg) => write!(f, "malformed tokenizer file: {msg}"),
+            TokenizerError::OutOfVocabulary(id, size) => {
+                write!(f, "token id {id} is out of vocabulary (size {size})")
+            }
+            TokenizerError::Io(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for TokenizerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TokenizerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TokenizerError {
+    fn from(e: std::io::Error) -> Self {
+        TokenizerError::Io(e)
+    }
 }

@@ -184,10 +184,7 @@ mod tests {
             // which would indicate a cross-word merge.
             let mut joined = bytes_a.to_vec();
             joined.extend_from_slice(bytes_b);
-            assert!(
-                !joined[1..].contains(&b' '),
-                "cross-word merge {joined:?}"
-            );
+            assert!(!joined[1..].contains(&b' '), "cross-word merge {joined:?}");
         }
     }
 }

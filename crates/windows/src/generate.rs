@@ -116,7 +116,9 @@ mod tests {
     /// minimum and position 5 (paper's 6) the minimum of the left part.
     fn figure1_hashes() -> Vec<u64> {
         // positions:     0   1   2   3   4   5   6   7   8   9  10  11  12  13  14  15  16
-        vec![55, 80, 62, 91, 47, 20, 30, 66, 88, 41, 95, 59, 10, 77, 84, 35, 93]
+        vec![
+            55, 80, 62, 91, 47, 20, 30, 66, 88, 41, 95, 59, 10, 77, 84, 35, 93,
+        ]
         // Recursion at t = 5: pivot 12 → (0,12,16); left part pivots at 5 →
         // (0,5,11); then (0,4,4), (6,6,11), (7,9,11). Total 5 windows,
         // matching the paper's Example 1 count 2·18/6 − 1 = 5.

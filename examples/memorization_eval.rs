@@ -39,21 +39,31 @@ fn main() {
     // "Model sizes": n-gram orders standing in for 117M/345M/1.3B/2.7B
     // parameter models (DESIGN.md §3). More context = more capacity = more
     // memorization.
-    let model_specs = [("small (order 2)", 2usize), ("medium (order 3)", 3), ("large (order 5)", 5)];
+    let model_specs = [
+        ("small (order 2)", 2usize),
+        ("medium (order 3)", 3),
+        ("large (order 5)", 5),
+    ];
     let thetas = [1.0, 0.9, 0.8, 0.7];
 
     println!("\n== memorized fraction vs θ (x = 32), per model size ==");
-    println!("{:<18} {:>8} {:>8} {:>8} {:>8}", "model", "θ=1.0", "θ=0.9", "θ=0.8", "θ=0.7");
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>8}",
+        "model", "θ=1.0", "θ=0.9", "θ=0.8", "θ=0.7"
+    );
     for (name, order) in model_specs {
         let model = NGramModel::train(&corpus, order).expect("train");
         let config = MemorizationConfig::new(20, 512).window(32).seed(5);
-        let reports =
-            evaluate_memorization(&model, &searcher, &config, &thetas).expect("evaluate");
+        let reports = evaluate_memorization(&model, &searcher, &config, &thetas).expect("evaluate");
         print!("{name:<18}");
         for r in &reports {
             print!(" {:>7.1}%", r.ratio() * 100.0);
         }
-        println!("  ({} params, {} windows)", model.num_parameters(), reports[0].queries);
+        println!(
+            "  ({} params, {} windows)",
+            model.num_parameters(),
+            reports[0].queries
+        );
     }
 
     println!("\n== memorized fraction vs window width x (θ = 0.8, large model) ==");
@@ -77,7 +87,10 @@ fn main() {
         println!("\nexample {}:", i + 1);
         println!("  generated : {}", PseudoWords::render(&ex.query));
         let matched = corpus
-            .sequence_to_vec(SeqRef { text: ex.text, span: ex.span })
+            .sequence_to_vec(SeqRef {
+                text: ex.text,
+                span: ex.span,
+            })
             .expect("matched span");
         let preview: Vec<TokenId> = matched.iter().copied().take(32).collect();
         println!(

@@ -58,10 +58,14 @@ fn main() {
     //    swapped).
     let source = &documents[17];
     let source_words: Vec<&str> = source.split(' ').collect();
-    let mut lifted_a: Vec<String> =
-        source_words[40..110].iter().map(|w| w.to_string()).collect();
-    let mut lifted_b: Vec<String> =
-        source_words[200..260].iter().map(|w| w.to_string()).collect();
+    let mut lifted_a: Vec<String> = source_words[40..110]
+        .iter()
+        .map(|w| w.to_string())
+        .collect();
+    let mut lifted_b: Vec<String> = source_words[200..260]
+        .iter()
+        .map(|w| w.to_string())
+        .collect();
     // Paraphrase: replace every 15th word.
     for (i, w) in lifted_a.iter_mut().enumerate() {
         if i % 15 == 7 {
@@ -112,7 +116,10 @@ fn main() {
     println!("  matched source documents: {sources:?} (expected: [17])");
     for (w, text, span) in flagged.iter().take(4) {
         let matched_tokens = corpus
-            .sequence_to_vec(SeqRef { text: *text, span: *span })
+            .sequence_to_vec(SeqRef {
+                text: *text,
+                span: *span,
+            })
             .expect("span");
         let decoded = tokenizer.decode(&matched_tokens);
         let preview: String = decoded.chars().take(100).collect();

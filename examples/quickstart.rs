@@ -49,7 +49,11 @@ fn main() {
     let query = corpus.sequence_to_vec(p.dst).expect("planted span");
     println!(
         "\nquery: the planted copy at text {} [{}, {}] ({} tokens, {} mutated)",
-        p.dst.text, p.dst.span.start, p.dst.span.end, p.dst.span.len(), p.mutated_tokens
+        p.dst.text,
+        p.dst.span.start,
+        p.dst.span.end,
+        p.dst.span.len(),
+        p.mutated_tokens
     );
     for theta in [1.0, 0.9, 0.8, 0.7] {
         let outcome = searcher.search(&query, theta).expect("search");
@@ -66,10 +70,7 @@ fn main() {
             println!(
                 "       → planted source text {} found; merged span(s): {:?}",
                 m.text,
-                spans
-                    .iter()
-                    .map(|s| (s.start, s.end))
-                    .collect::<Vec<_>>()
+                spans.iter().map(|s| (s.start, s.end)).collect::<Vec<_>>()
             );
         }
     }
@@ -79,7 +80,10 @@ fn main() {
     let (verified, _) = index
         .search_verified(&query, 0.8, &corpus, 1_000_000)
         .expect("verified search");
-    println!("\nverified (true Jaccard ≥ 0.8): {} sequences", verified.len());
+    println!(
+        "\nverified (true Jaccard ≥ 0.8): {} sequences",
+        verified.len()
+    );
     if let Some(seq) = verified.iter().find(|s| s.text == p.src.text) {
         let tokens = corpus.sequence_to_vec(*seq).expect("sequence");
         println!(

@@ -58,7 +58,11 @@ fn all_builders_byte_identical() {
         .unwrap();
 
     let a = read_inv_files(&dir_a, k);
-    for (name, dir) in [("parallel", &dir_b), ("external", &dir_c), ("external_par", &dir_d)] {
+    for (name, dir) in [
+        ("parallel", &dir_b),
+        ("external", &dir_c),
+        ("external_par", &dir_d),
+    ] {
         let other = read_inv_files(dir, k);
         for func in 0..k {
             assert_eq!(
@@ -84,9 +88,16 @@ fn disk_corpus_builds_the_same_index_as_memory_corpus() {
     let config = IndexConfig::new(3, 20, 55);
     let dir_mem = temp_dir("from_mem");
     let dir_disk = temp_dir("from_disk");
-    write_memory_index(&MemoryIndex::build(&mem_corpus, config.clone()).unwrap(), &dir_mem)
-        .unwrap();
-    write_memory_index(&MemoryIndex::build(&disk_corpus, config).unwrap(), &dir_disk).unwrap();
+    write_memory_index(
+        &MemoryIndex::build(&mem_corpus, config.clone()).unwrap(),
+        &dir_mem,
+    )
+    .unwrap();
+    write_memory_index(
+        &MemoryIndex::build(&disk_corpus, config).unwrap(),
+        &dir_disk,
+    )
+    .unwrap();
 
     for func in 0..3 {
         assert_eq!(
@@ -152,12 +163,11 @@ fn index_size_respects_paper_bound() {
         let corpus_bytes = corpus.total_tokens() as f64 * 4.0;
         for t in [25usize, 50, 100] {
             let dir = temp_dir(&format!("size_{name}_t{t}"));
-            let disk = CorpusIndex::build_on_disk(corpus, SearchParams::new(2, t, 1), &dir)
-                .unwrap();
+            let disk =
+                CorpusIndex::build_on_disk(corpus, SearchParams::new(2, t, 1), &dir).unwrap();
             let bound = 8.0 / t as f64;
             for func in 0..2 {
-                let posting_bytes =
-                    disk.index().postings_for_function(func).unwrap() as f64 * 16.0;
+                let posting_bytes = disk.index().postings_for_function(func).unwrap() as f64 * 16.0;
                 assert!(
                     posting_bytes / corpus_bytes <= bound * slack,
                     "{name} t={t} func={func}: posting ratio {} exceeds {slack}×(8/t) = {}",

@@ -15,10 +15,7 @@ use ndss::windows::{generate_cartesian, generate_recursive, CompactWindow};
 /// Strategy: a small corpus of token arrays with a controllable amount of
 /// token repetition (small vocab = many duplicate tokens = many hash ties).
 fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u32..40, 10..60),
-        1..6,
-    )
+    proptest::collection::vec(proptest::collection::vec(0u32..40, 10..60), 1..6)
 }
 
 proptest! {

@@ -51,8 +51,8 @@ fn near_duplicate_recall_is_high() {
         .dup_len(60, 100)
         .mutation_rate(0.05)
         .build();
-    let index = CorpusIndex::build_in_memory_parallel(&corpus, SearchParams::new(32, 25, 6))
-        .unwrap();
+    let index =
+        CorpusIndex::build_in_memory_parallel(&corpus, SearchParams::new(32, 25, 6)).unwrap();
     let searcher = index.searcher().unwrap();
     let mut found = 0usize;
     for p in &planted {
@@ -129,8 +129,7 @@ fn verified_search_equals_definition1_on_exact_copies() {
     let (verified, _) = index
         .search_verified(&query, 0.95, &corpus, 5_000_000)
         .unwrap();
-    let oracle =
-        ndss::query::bruteforce::definition1_scan(&corpus, &query, 0.95, 30).unwrap();
+    let oracle = ndss::query::bruteforce::definition1_scan(&corpus, &query, 0.95, 30).unwrap();
     // The verified result must be a subset of the oracle (everything it
     // returns is truly similar) and must contain the planted source span.
     for seq in &verified {
@@ -155,8 +154,7 @@ fn prefix_filtering_reduces_io() {
         .mutation_rate(0.02)
         .build();
     let dir = temp_dir("io");
-    let params = SearchParams::new(16, 20, 13)
-        .index_config(|c| c.zone_map(16, 64));
+    let params = SearchParams::new(16, 20, 13).index_config(|c| c.zone_map(16, 64));
     let disk = CorpusIndex::build_on_disk(&corpus, params, &dir).unwrap();
 
     let queries: Vec<Vec<TokenId>> = planted
@@ -174,11 +172,9 @@ fn prefix_filtering_reduces_io() {
         bytes
     };
     let unfiltered = NearDupSearcher::new(disk.index()).unwrap();
-    let filtered = NearDupSearcher::with_prefix_filter(
-        disk.index(),
-        PrefixFilter::FrequentFraction(0.10),
-    )
-    .unwrap();
+    let filtered =
+        NearDupSearcher::with_prefix_filter(disk.index(), PrefixFilter::FrequentFraction(0.10))
+            .unwrap();
     let bytes_unfiltered = run(&unfiltered);
     let bytes_filtered = run(&filtered);
     assert!(
@@ -202,12 +198,9 @@ fn compressed_index_is_transparent_to_search() {
     let d2 = temp_dir("v2");
     let params = SearchParams::new(8, 20, 31);
     let plain = CorpusIndex::build_on_disk(&corpus, params.clone(), &d1).unwrap();
-    let packed = CorpusIndex::build_on_disk(
-        &corpus,
-        params.index_config(|c| c.compressed(true)),
-        &d2,
-    )
-    .unwrap();
+    let packed =
+        CorpusIndex::build_on_disk(&corpus, params.index_config(|c| c.compressed(true)), &d2)
+            .unwrap();
     assert!(packed.index().size_bytes().unwrap() < plain.index().size_bytes().unwrap());
     let s1 = plain.searcher().unwrap();
     let s2 = packed.searcher().unwrap();

@@ -25,8 +25,7 @@ fn memorized_fraction_grows_as_threshold_drops() {
     let searcher = NearDupSearcher::new(&index).unwrap();
     let model = NGramModel::train(&corpus, 5).unwrap();
     let config = MemorizationConfig::new(8, 160).window(32).seed(1);
-    let reports =
-        evaluate_memorization(&model, &searcher, &config, &[1.0, 0.9, 0.8, 0.7]).unwrap();
+    let reports = evaluate_memorization(&model, &searcher, &config, &[1.0, 0.9, 0.8, 0.7]).unwrap();
     for pair in reports.windows(2) {
         assert!(
             pair[1].memorized >= pair[0].memorized,

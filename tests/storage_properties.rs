@@ -10,19 +10,17 @@ use ndss::windows::CompactWindow;
 
 /// Strategy: a sorted, valid posting list (texts ascending, l ≤ c ≤ r).
 fn posting_list() -> impl Strategy<Value = Vec<Posting>> {
-    proptest::collection::vec((0u32..50, 0u32..100, 0u32..20, 0u32..30), 1..120).prop_map(
-        |raw| {
-            let mut list: Vec<Posting> = raw
-                .into_iter()
-                .map(|(text, l, dc, dr)| Posting {
-                    text,
-                    window: CompactWindow::new(l, l + dc, l + dc + dr),
-                })
-                .collect();
-            list.sort_unstable();
-            list
-        },
-    )
+    proptest::collection::vec((0u32..50, 0u32..100, 0u32..20, 0u32..30), 1..120).prop_map(|raw| {
+        let mut list: Vec<Posting> = raw
+            .into_iter()
+            .map(|(text, l, dc, dr)| Posting {
+                text,
+                window: CompactWindow::new(l, l + dc, l + dc + dr),
+            })
+            .collect();
+        list.sort_unstable();
+        list
+    })
 }
 
 proptest! {

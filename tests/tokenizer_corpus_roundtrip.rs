@@ -44,8 +44,7 @@ fn tokenize_index_search_decode() {
     }
 
     // Index and query with the plagiarized chunk.
-    let index =
-        CorpusIndex::build_in_memory(&corpus, SearchParams::new(16, 20, 42)).unwrap();
+    let index = CorpusIndex::build_in_memory(&corpus, SearchParams::new(16, 20, 42)).unwrap();
     let chunk: String = raw[0]
         .split(' ')
         .skip(20)
@@ -68,12 +67,7 @@ fn tokenize_index_search_decode() {
     // with the chunk.
     let m0 = outcome.matches.iter().find(|m| m.text == 0).unwrap();
     let span = m0.merged_spans(outcome.t)[0];
-    let tokens = corpus
-        .sequence_to_vec(SeqRef {
-            text: 0,
-            span,
-        })
-        .unwrap();
+    let tokens = corpus.sequence_to_vec(SeqRef { text: 0, span }).unwrap();
     let decoded = tokenizer.decode(&tokens);
     let chunk_words: std::collections::HashSet<&str> = chunk.split(' ').collect();
     let shared = decoded

@@ -1,0 +1,370 @@
+//! Offline work-alike of the `criterion` surface this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the real criterion is
+//! unavailable. This crate keeps the bench files source-compatible —
+//! `criterion_group!`/`criterion_main!`, `Criterion`, benchmark groups,
+//! `BenchmarkId`, `Throughput`, and `Bencher::iter` — and implements a
+//! simple but honest measurement loop: per benchmark it warms up for the
+//! configured warm-up time, then runs timed batches until the measurement
+//! time elapses (at least `sample_size` batches), and reports min / mean /
+//! max per-iteration wall time plus derived throughput.
+//!
+//! A filter argument (as passed by `cargo bench -- <filter>`) restricts
+//! which benchmark ids run; `--list` prints ids without running.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver and its configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter: None,
+            list_only: false,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Applies `cargo bench` CLI arguments (a positional name filter and
+    /// `--list`); unknown flags are ignored so harness options stay inert.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--list" => self.list_only = true,
+                "--bench" | "--test" => {}
+                // `--profile-time <secs>` takes a value; skipping a missing
+                // value is harmless at the end.
+                "--profile-time" => {
+                    args.next();
+                }
+                flag if flag.starts_with('-') => {}
+                name if self.filter.is_none() => self.filter = Some(name.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), None, f);
+        self
+    }
+
+    fn run_one<F>(&self, id: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.should_run(&id) {
+            return;
+        }
+        if self.list_only {
+            println!("{id}: benchmark");
+            return;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&id, throughput);
+    }
+}
+
+/// A named group of related benchmarks sharing a throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(id, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one(id, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark id: either a plain string or `BenchmarkId::new(name, param)`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+/// Work-per-iteration declaration, folded into the report as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the measured closure; `iter` runs the timing loop.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: run untimed and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Size batches so one batch is roughly a sample_size-th of the
+        // measurement window, with at least one iteration per batch.
+        let batch = (self.measurement_time.as_nanos()
+            / (self.sample_size as u128 * per_iter.as_nanos().max(1)))
+        .clamp(1, u32::MAX as u128) as u64;
+
+        self.samples.clear();
+        let measure_start = Instant::now();
+        loop {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(batch_start.elapsed() / batch as u32);
+            if measure_start.elapsed() >= self.measurement_time
+                && self.samples.len() >= self.sample_size.min(10)
+            {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples — closure never called iter)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!(
+                    "  {:>14}/s",
+                    human_rate(n as f64 / mean.as_secs_f64(), "elem")
+                )
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>14}/s", human_rate(n as f64 / mean.as_secs_f64(), "B"))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<50} time: [{} {} {}]{rate}",
+            human_time(*min),
+            human_time(mean),
+            human_time(*max),
+        );
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// Re-export so `criterion::black_box` keeps working if a bench imports it.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = ($config).configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut c = fast_criterion();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_compose_ids_and_respect_filters() {
+        let mut c = fast_criterion();
+        c.filter = Some("nomatch".into());
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+                b.iter(|| calls += x as u64)
+            });
+            g.finish();
+        }
+        assert_eq!(calls, 0, "filtered-out benchmark must not run");
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(
+            BenchmarkId::new("theta", "0.8").into_benchmark_id(),
+            "theta/0.8"
+        );
+    }
+}

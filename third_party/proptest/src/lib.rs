@@ -1,0 +1,486 @@
+//! Offline work-alike of the `proptest` surface this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! proptest cannot be vendored. This crate re-implements the small slice of
+//! its API that the integration tests rely on — `proptest!`, `prop_assert*`,
+//! `Strategy`/`prop_map`, `collection::vec`, integer/float range strategies,
+//! `num::*::ANY`, and simple `[class]{m,n}` string patterns — with a
+//! deterministic per-test RNG instead of shrinking: a failing case panics
+//! with the full input set so it can be replayed as a unit test.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic per-test RNG (SplitMix64 seeded from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift keeps the bias negligible for the small ranges
+        // property tests use (no range here approaches 2^64).
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking tree;
+/// `generate` produces one value per case.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end - self.start) as u64;
+                self.start + rng.below(width) as $ty
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, usize, i64);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// String-pattern strategy: a `&str` used as a strategy is parsed as a tiny
+/// regex of literal chars and `[a-z...]` classes, each with an optional
+/// `{m,n}` / `{n}` / `?` / `*` / `+` quantifier. This covers patterns like
+/// `"[ -~]{0,200}"`; anything fancier panics loudly.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let items = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &items {
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(chars[rng.below(chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+type PatternItem = (Vec<char>, usize, usize);
+
+fn parse_pattern(pattern: &str) -> Vec<PatternItem> {
+    let mut items: Vec<PatternItem> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alternatives: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated character class in pattern {pattern:?}"),
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let hi = chars.next().unwrap();
+                            let lo = prev.take().unwrap();
+                            set.pop();
+                            for v in lo as u32..=hi as u32 {
+                                set.push(char::from_u32(v).unwrap());
+                            }
+                        }
+                        Some('\\') => {
+                            let c = chars.next().expect("trailing escape");
+                            set.push(c);
+                            prev = Some(c);
+                        }
+                        Some(c) => {
+                            set.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => vec![chars.next().expect("trailing escape")],
+            '{' | '}' | '?' | '*' | '+' => {
+                panic!("unsupported pattern construct '{c}' in {pattern:?}")
+            }
+            c => vec![c],
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(!alternatives.is_empty(), "empty character class");
+        items.push((alternatives, lo, hi));
+    }
+    items
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `size` (half-open, like proptest's
+    /// `1..120`) and whose elements come from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len =
+                self.size.start + rng.below((self.size.end - self.size.start) as u64) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Full-domain numeric strategies (`proptest::num::u64::ANY` etc.).
+pub mod num {
+    macro_rules! any_mod {
+        ($($mod_name:ident => $ty:ty),+) => {$(
+            pub mod $mod_name {
+                pub struct Any;
+                pub const ANY: Any = Any;
+
+                impl crate::Strategy for Any {
+                    type Value = $ty;
+
+                    fn generate(&self, rng: &mut crate::TestRng) -> $ty {
+                        rng.next_u64() as $ty
+                    }
+                }
+            }
+        )+};
+    }
+
+    any_mod!(u32 => u32, u64 => u64);
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property case. `prop_assert*` and explicit `TestCaseError::fail`
+/// produce this; the `proptest!` harness panics with it plus the inputs.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+),
+            __l,
+            __r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);
+                )+
+                let __inputs = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str(&::std::format!(
+                            "\n  {} = {:?}",
+                            stringify!($arg),
+                            &$arg
+                        ));
+                    )+
+                    __s
+                };
+                #[allow(clippy::redundant_closure_call)]
+                let __result: ::core::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(__err) = __result {
+                    ::core::panic!(
+                        "property {} failed on case {}/{}: {}\ninputs:{}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __err,
+                        __inputs
+                    );
+                }
+            }
+        }
+    )+};
+}
+
+/// Everything the test files import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        let mut c = crate::TestRng::deterministic("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(5u32..17), &mut rng);
+            assert!((5..17).contains(&v));
+            let f = Strategy::generate(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let n = Strategy::generate(&(3usize..4), &mut rng);
+            assert_eq!(n, 3);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = crate::TestRng::deterministic("compose");
+        let strat = crate::collection::vec((0u32..10, 0u32..5), 2..6).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let len = strat.generate(&mut rng);
+            assert!((2..6).contains(&len));
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_printable_ascii() {
+        let mut rng = crate::TestRng::deterministic("ascii");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~]{0,200}", &mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_runs_and_passes(v in 0u64..100, w in crate::collection::vec(0u32..9, 1..4)) {
+            prop_assert!(v < 100);
+            prop_assert_eq!(w.len(), w.len());
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            fn always_fails(v in 0u32..10) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        let caught = std::panic::catch_unwind(always_fails);
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("inputs:"), "{msg}");
+    }
+}
