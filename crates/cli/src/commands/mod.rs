@@ -7,3 +7,4 @@ pub mod search;
 pub mod stats;
 pub mod synth;
 pub mod tokenize;
+pub mod verify;

@@ -56,6 +56,7 @@ pub fn dispatch(command: &str, args: &args::Args) -> Result<(), String> {
         "stats" => commands::stats::run(args),
         "memorize" => commands::memorize::run(args),
         "merge" => commands::merge::run(args),
+        "verify" => commands::verify::run(args),
         other => Err(format!("unknown command '{other}'; try 'ndss help'")),
     }
 }
@@ -89,6 +90,8 @@ COMMANDS:
                [--threads N=all cores]
   stats      corpus and index statistics
                --corpus FILE [--index DIR] [--top N=10]
+  verify     stream stored checksums over an index and/or corpus
+               [--corpus FILE] [--index DIR]
   memorize   train an n-gram LM on the corpus and measure memorization
                --corpus FILE --index DIR [--order N=4] [--texts N=20]
                [--len N=256] [--window N=32] [--thetas F,F=1.0,0.9,0.8]

@@ -7,10 +7,13 @@
 //! ```text
 //! ┌──────────────────────────────────────────────────────────┐
 //! │ magic "NDSC" │ version u32 │ num_texts u64 │ tokens u64  │  header
+//! │ (v2 adds: data_crc u32 │ offsets_crc u32 │ reserved u32  │
+//! │  header_crc u32)                                         │
 //! ├──────────────────────────────────────────────────────────┤
-//! │ offsets: (num_texts + 1) × u64  (token index of text i)  │
+//! │ data: tokens × u32 little-endian                         │
 //! ├──────────────────────────────────────────────────────────┤
-//! │ data: tokens × u32 little-endian                          │
+//! │ offsets: (num_texts + 1) × u64  (token index of text i;  │
+//! │          written last, so construction streams one pass) │
 //! └──────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -18,47 +21,94 @@
 //! data is read on demand, so a [`DiskCorpus`] supports both random access
 //! (query verification, decoding matches) and sequential batched scans
 //! (index construction) with bounded memory.
+//!
+//! # Integrity and durability
+//!
+//! Corpora are published atomically ([`ndss_durable::AtomicFile`]): the
+//! destination path appears only when [`DiskCorpusWriter::finish`] commits,
+//! so a crash mid-write can never leave a parseable half-corpus. The
+//! current format (v2) carries CRC-32C checksums over the data section, the
+//! offsets table, and the header itself; [`DiskCorpus::open`] validates
+//! every header-derived size against the real file length with
+//! overflow-checked arithmetic *before* allocating, and
+//! [`DiskCorpus::verify`] streams the data section against its checksum.
+//! Legacy v1 files (no checksums) still open and read identically.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use crc32c::Crc32c;
+use ndss_durable::AtomicFile;
 use ndss_hash::TokenId;
 
 use crate::types::{CorpusError, CorpusSource, TextId};
 
 const MAGIC: &[u8; 4] = b"NDSC";
-const VERSION: u32 = 1;
+/// Legacy format: 24-byte header, no checksums.
+const VERSION_V1: u32 = 1;
+/// Current format: 40-byte header with data/offsets/header CRC-32Cs.
+const VERSION_V2: u32 = 2;
+const HEADER_LEN_V1: u64 = 24;
+const HEADER_LEN_V2: u64 = 40;
+const OFF_DATA_CRC: usize = 24;
+const OFF_OFFSETS_CRC: usize = 28;
+const OFF_HEADER_CRC: usize = 36;
+
+fn mul(a: u64, b: u64, what: &str) -> Result<u64, CorpusError> {
+    a.checked_mul(b)
+        .ok_or_else(|| CorpusError::Malformed(format!("{what} overflows ({a} * {b})")))
+}
+
+fn add(a: u64, b: u64, what: &str) -> Result<u64, CorpusError> {
+    a.checked_add(b)
+        .ok_or_else(|| CorpusError::Malformed(format!("{what} overflows ({a} + {b})")))
+}
 
 /// Streaming writer for `.ndsc` corpus files.
 ///
 /// Texts are appended one at a time; the offsets table is buffered in memory
 /// (8 bytes per text) and written on [`Self::finish`], which rewrites the
-/// header with final counts. Dropping without `finish` leaves an unusable
-/// file by design.
+/// header with final counts and checksums and atomically publishes the file.
+/// Dropping without `finish` leaves nothing at the destination path.
 pub struct DiskCorpusWriter {
     path: PathBuf,
-    data: BufWriter<File>,
+    data: BufWriter<AtomicFile>,
     offsets: Vec<u64>,
     tokens_written: u64,
+    data_crc: Crc32c,
+    /// Write the legacy checksum-less v1 layout (back-compat tests only).
+    legacy: bool,
 }
 
 impl DiskCorpusWriter {
-    /// Creates (truncates) the corpus file at `path`.
+    /// Creates the corpus writer for `path`. The destination file appears
+    /// only when [`Self::finish`] commits.
     pub fn create(path: &Path) -> Result<Self, CorpusError> {
-        let file = File::create(path)?;
+        Self::create_inner(path, false)
+    }
+
+    /// Creates a writer emitting the **legacy v1** (checksum-less) layout.
+    /// Exists so back-compat tests can manufacture pre-checksum corpora; new
+    /// artifacts should always use [`Self::create`].
+    pub fn create_legacy(path: &Path) -> Result<Self, CorpusError> {
+        Self::create_inner(path, true)
+    }
+
+    fn create_inner(path: &Path, legacy: bool) -> Result<Self, CorpusError> {
+        let file = AtomicFile::create(path)?;
         let mut data = BufWriter::new(file);
         // Reserve header space; real values land in `finish`.
-        data.write_all(MAGIC)?;
-        data.write_all(&VERSION.to_le_bytes())?;
-        data.write_all(&0u64.to_le_bytes())?;
-        data.write_all(&0u64.to_le_bytes())?;
+        let header_len = if legacy { HEADER_LEN_V1 } else { HEADER_LEN_V2 };
+        data.write_all(&vec![0u8; header_len as usize])?;
         Ok(Self {
             path: path.to_owned(),
             data,
             offsets: vec![0],
             tokens_written: 0,
+            data_crc: Crc32c::new(),
+            legacy,
         })
     }
 
@@ -66,7 +116,9 @@ impl DiskCorpusWriter {
     pub fn push_text(&mut self, tokens: &[TokenId]) -> Result<TextId, CorpusError> {
         let id = (self.offsets.len() - 1) as TextId;
         for &t in tokens {
-            self.data.write_all(&t.to_le_bytes())?;
+            let bytes = t.to_le_bytes();
+            self.data_crc.update(&bytes);
+            self.data.write_all(&bytes)?;
         }
         self.tokens_written += tokens.len() as u64;
         self.offsets.push(self.tokens_written);
@@ -74,23 +126,41 @@ impl DiskCorpusWriter {
     }
 
     /// Finalizes the file: appends the offsets table after the token data,
-    /// then rewrites the header. Returns the opened corpus.
-    ///
-    /// Layout note: the offsets table physically *follows* the data section
-    /// (it is complete only at the end of writing); the header records both
-    /// section sizes so readers can locate it.
-    ///
+    /// rewrites the header, fsyncs, and atomically publishes the corpus at
+    /// its destination. Returns the opened corpus.
     pub fn finish(mut self) -> Result<DiskCorpus, CorpusError> {
+        let mut offsets_crc = Crc32c::new();
         for &off in &self.offsets {
-            self.data.write_all(&off.to_le_bytes())?;
+            let bytes = off.to_le_bytes();
+            offsets_crc.update(&bytes);
+            self.data.write_all(&bytes)?;
         }
         self.data.flush()?;
         let mut file = self.data.into_inner().map_err(|e| e.into_error())?;
-        file.seek(SeekFrom::Start(8))?;
-        file.write_all(&((self.offsets.len() - 1) as u64).to_le_bytes())?;
-        file.write_all(&self.tokens_written.to_le_bytes())?;
-        file.sync_all()?;
-        drop(file);
+
+        let header_len = if self.legacy {
+            HEADER_LEN_V1
+        } else {
+            HEADER_LEN_V2
+        } as usize;
+        let mut header = vec![0u8; header_len];
+        header[0..4].copy_from_slice(MAGIC);
+        let version = if self.legacy { VERSION_V1 } else { VERSION_V2 };
+        header[4..8].copy_from_slice(&version.to_le_bytes());
+        header[8..16].copy_from_slice(&((self.offsets.len() - 1) as u64).to_le_bytes());
+        header[16..24].copy_from_slice(&self.tokens_written.to_le_bytes());
+        if !self.legacy {
+            header[OFF_DATA_CRC..OFF_DATA_CRC + 4]
+                .copy_from_slice(&self.data_crc.finalize().to_le_bytes());
+            header[OFF_OFFSETS_CRC..OFF_OFFSETS_CRC + 4]
+                .copy_from_slice(&offsets_crc.finalize().to_le_bytes());
+            // bytes 32..36 reserved
+            let header_crc = crc32c::crc32c(&header[..OFF_HEADER_CRC]);
+            header[OFF_HEADER_CRC..OFF_HEADER_CRC + 4].copy_from_slice(&header_crc.to_le_bytes());
+        }
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header)?;
+        file.commit()?;
         DiskCorpus::open(&self.path)
     }
 }
@@ -105,8 +175,10 @@ pub struct DiskCorpus {
     path: PathBuf,
     file: Mutex<File>,
     offsets: Vec<u64>,
-    /// Byte position where token data starts.
+    /// Byte position where token data starts (24 for v1, 40 for v2).
     data_start: u64,
+    /// CRC-32C of the data section; `None` on legacy v1 files.
+    data_crc: Option<u32>,
 }
 
 impl std::fmt::Debug for DiskCorpus {
@@ -119,37 +191,97 @@ impl std::fmt::Debug for DiskCorpus {
 }
 
 impl DiskCorpus {
-    /// Opens a corpus file, validating the header and offsets table.
+    /// Opens a corpus file: checks the magic and version, verifies the
+    /// header and offsets-table checksums (v2), and validates the exact
+    /// file length implied by the header counts — overflow-checked, before
+    /// any allocation — so a corrupt `num_texts` or `total_tokens` can
+    /// never drive a huge allocation or a bogus read.
     pub fn open(path: &Path) -> Result<Self, CorpusError> {
-        let file = File::open(path)?;
-        let mut reader = BufReader::new(file);
-        let mut magic = [0u8; 4];
-        reader.read_exact(&mut magic)?;
-        if &magic != MAGIC {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN_V1 {
             return Err(CorpusError::Malformed(format!(
-                "bad magic {magic:?} in {}",
+                "{} is too short ({file_len} B) to hold a corpus header",
                 path.display()
             )));
         }
-        let version = read_u32(&mut reader)?;
-        if version != VERSION {
+        let mut header = vec![0u8; HEADER_LEN_V2.min(file_len) as usize];
+        file.read_exact(&mut header)?;
+        if &header[0..4] != MAGIC {
             return Err(CorpusError::Malformed(format!(
-                "unsupported corpus version {version}"
+                "bad magic in {}",
+                path.display()
             )));
         }
-        let num_texts = read_u64(&mut reader)? as usize;
-        let total_tokens = read_u64(&mut reader)?;
-        let data_start = 4 + 4 + 8 + 8;
-        // Offsets table sits after the data section.
-        let offsets_start = data_start + total_tokens * 4;
-        let mut file = reader.into_inner();
-        file.seek(SeekFrom::Start(offsets_start))?;
-        let mut reader = BufReader::new(&mut file);
-        let mut offsets = Vec::with_capacity(num_texts + 1);
-        for _ in 0..=num_texts {
-            offsets.push(read_u64(&mut reader)?);
+        let u32_at = |o: usize| u32::from_le_bytes(header[o..o + 4].try_into().expect("4 bytes"));
+        let u64_at = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().expect("8 bytes"));
+        let version = u32_at(4);
+        let (data_start, data_crc, offsets_crc) = match version {
+            VERSION_V1 => (HEADER_LEN_V1, None, None),
+            VERSION_V2 => {
+                if (header.len() as u64) < HEADER_LEN_V2 {
+                    return Err(CorpusError::Malformed(format!(
+                        "{} is too short ({file_len} B) for a v2 corpus header",
+                        path.display()
+                    )));
+                }
+                let stored = u32_at(OFF_HEADER_CRC);
+                let actual = crc32c::crc32c(&header[..OFF_HEADER_CRC]);
+                if stored != actual {
+                    return Err(CorpusError::Malformed(format!(
+                        "header checksum mismatch in {} (stored {stored:#010x}, computed {actual:#010x})",
+                        path.display()
+                    )));
+                }
+                (
+                    HEADER_LEN_V2,
+                    Some(u32_at(OFF_DATA_CRC)),
+                    Some(u32_at(OFF_OFFSETS_CRC)),
+                )
+            }
+            v => {
+                return Err(CorpusError::Malformed(format!(
+                    "unsupported corpus version {v} in {}",
+                    path.display()
+                )))
+            }
+        };
+        let num_texts = u64_at(8);
+        let total_tokens = u64_at(16);
+
+        // Exact-length validation: the layout is fully determined by the two
+        // counts, so anything else is corruption.
+        let data_len = mul(total_tokens, 4, "data-section size")?;
+        let offsets_len = mul(add(num_texts, 1, "offsets count")?, 8, "offsets-table size")?;
+        let expected = add(
+            add(data_start, data_len, "file size")?,
+            offsets_len,
+            "file size",
+        )?;
+        if expected != file_len {
+            return Err(CorpusError::Malformed(format!(
+                "{}: header promises {expected} B ({num_texts} texts, {total_tokens} tokens) \
+                 but the file is {file_len} B",
+                path.display()
+            )));
         }
-        drop(reader);
+        let offsets_start = data_start + data_len;
+        file.seek(SeekFrom::Start(offsets_start))?;
+        let mut offset_bytes = vec![0u8; offsets_len as usize];
+        file.read_exact(&mut offset_bytes)?;
+        if let Some(expect) = offsets_crc {
+            let actual = crc32c::crc32c(&offset_bytes);
+            if actual != expect {
+                return Err(CorpusError::Malformed(format!(
+                    "offsets-table checksum mismatch in {} (stored {expect:#010x}, computed {actual:#010x})",
+                    path.display()
+                )));
+            }
+        }
+        let offsets: Vec<u64> = offset_bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
         if offsets.first() != Some(&0)
             || offsets.last() != Some(&total_tokens)
             || offsets.windows(2).any(|w| w[0] > w[1])
@@ -163,7 +295,43 @@ impl DiskCorpus {
             file: Mutex::new(file),
             offsets,
             data_start,
+            data_crc,
         })
+    }
+
+    /// Streams the data section against its header checksum. A no-op on
+    /// legacy (v1) files, which carry no checksums. `open` plus `verify`
+    /// together cover every byte of the file.
+    pub fn verify(&self) -> Result<(), CorpusError> {
+        let Some(expect) = self.data_crc else {
+            return Ok(());
+        };
+        let data_len = self.total_tokens() * 4;
+        let mut crc = Crc32c::new();
+        let mut buf = vec![0u8; (1 << 20).min(data_len.max(1)) as usize];
+        let mut remaining = data_len;
+        let mut file = self.file.lock().expect("corpus file lock poisoned");
+        file.seek(SeekFrom::Start(self.data_start))?;
+        while remaining > 0 {
+            let take = remaining.min(buf.len() as u64) as usize;
+            file.read_exact(&mut buf[..take]).map_err(|e| {
+                CorpusError::Malformed(format!(
+                    "cannot read data section of {}: {e}",
+                    self.path.display()
+                ))
+            })?;
+            crc.update(&buf[..take]);
+            remaining -= take as u64;
+        }
+        drop(file);
+        let actual = crc.finalize();
+        if actual != expect {
+            return Err(CorpusError::Malformed(format!(
+                "data-section checksum mismatch in {} (stored {expect:#010x}, computed {actual:#010x})",
+                self.path.display()
+            )));
+        }
+        Ok(())
     }
 
     /// Opens an independent handle to the same file (for parallel readers).
@@ -175,18 +343,6 @@ impl DiskCorpus {
     pub fn path(&self) -> &Path {
         &self.path
     }
-}
-
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, CorpusError> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, CorpusError> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
 }
 
 impl CorpusSource for DiskCorpus {
@@ -262,6 +418,7 @@ mod tests {
         assert_eq!(c.text_to_vec(0).unwrap(), vec![1, 2, 3]);
         assert_eq!(c.text_to_vec(1).unwrap(), Vec::<u32>::new());
         assert_eq!(c.text_to_vec(2).unwrap(), vec![u32::MAX, 0, 7]);
+        c.verify().unwrap();
         std::fs::remove_file(&path).ok();
     }
 
@@ -282,6 +439,106 @@ mod tests {
     fn rejects_bad_magic() {
         let path = temp_path("bad_magic.ndsc");
         std::fs::write(&path, b"NOPE0000000000000000000000000000").unwrap();
+        assert!(matches!(
+            DiskCorpus::open(&path),
+            Err(CorpusError::Malformed(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_open_and_read_identically() {
+        let new_path = temp_path("compat_new.ndsc");
+        let old_path = temp_path("compat_old.ndsc");
+        let texts: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![], vec![9; 50]];
+        for (path, legacy) in [(&new_path, false), (&old_path, true)] {
+            let mut w = if legacy {
+                DiskCorpusWriter::create_legacy(path).unwrap()
+            } else {
+                DiskCorpusWriter::create(path).unwrap()
+            };
+            for t in &texts {
+                w.push_text(t).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let old_bytes = std::fs::read(&old_path).unwrap();
+        let new_bytes = std::fs::read(&new_path).unwrap();
+        // Legacy layout: exactly the old 24-byte header, version 1.
+        assert_eq!(old_bytes.len() + 16, new_bytes.len());
+        assert_eq!(u32::from_le_bytes(old_bytes[4..8].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(new_bytes[4..8].try_into().unwrap()), 2);
+
+        let old = DiskCorpus::open(&old_path).unwrap();
+        let new = DiskCorpus::open(&new_path).unwrap();
+        old.verify().unwrap(); // no-op, but must not error
+        new.verify().unwrap();
+        assert_eq!(old.num_texts(), new.num_texts());
+        for id in 0..texts.len() as u32 {
+            assert_eq!(old.text_to_vec(id).unwrap(), new.text_to_vec(id).unwrap());
+            assert_eq!(old.text_to_vec(id).unwrap(), texts[id as usize]);
+        }
+        std::fs::remove_file(&old_path).ok();
+        std::fs::remove_file(&new_path).ok();
+    }
+
+    #[test]
+    fn no_file_appears_before_finish() {
+        let path = temp_path("atomic.ndsc");
+        std::fs::remove_file(&path).ok();
+        let mut w = DiskCorpusWriter::create(&path).unwrap();
+        w.push_text(&[1, 2, 3]).unwrap();
+        assert!(
+            !path.exists(),
+            "destination must not exist until finish() commits"
+        );
+        drop(w); // simulated crash: nothing at the destination
+        assert!(!path.exists());
+        let mut w = DiskCorpusWriter::create(&path).unwrap();
+        w.push_text(&[1, 2, 3]).unwrap();
+        w.finish().unwrap();
+        assert!(DiskCorpus::open(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let path = temp_path("tamper.ndsc");
+        let mut w = DiskCorpusWriter::create(&path).unwrap();
+        w.push_text(&(0..200u32).collect::<Vec<_>>()).unwrap();
+        w.push_text(&[7; 30]).unwrap();
+        w.finish().unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Header corruption → rejected at open.
+        for offset in [9usize, 17, 25, 29, 37] {
+            let mut bytes = pristine.clone();
+            bytes[offset] ^= 0x08;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                matches!(DiskCorpus::open(&path), Err(CorpusError::Malformed(_))),
+                "header byte {offset} corruption not caught"
+            );
+        }
+        // Offsets-table corruption → rejected at open.
+        let mut bytes = pristine.clone();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            DiskCorpus::open(&path),
+            Err(CorpusError::Malformed(_))
+        ));
+        // Data corruption → caught by verify().
+        let mut bytes = pristine.clone();
+        bytes[HEADER_LEN_V2 as usize + 11] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let c = DiskCorpus::open(&path).unwrap();
+        assert!(matches!(c.verify(), Err(CorpusError::Malformed(_))));
+        // Truncation → rejected at open (length no longer matches header).
+        let mut bytes = pristine.clone();
+        bytes.truncate(bytes.len() - 8);
+        std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
             DiskCorpus::open(&path),
             Err(CorpusError::Malformed(_))

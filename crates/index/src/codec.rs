@@ -1,10 +1,11 @@
-//! Compressed posting-list storage (index file format v2).
+//! Compressed posting-list storage (index file format v2 legacy / v4
+//! checksummed).
 //!
 //! Format v1 stores postings as fixed 16-byte records, which makes range
 //! reads trivial but spends most of its bytes on leading zeros: text ids
 //! within a list are sorted (small deltas), and `l ≤ c ≤ r` are nearby
-//! positions. Format v2 delta-encodes each list in **blocks** of up to
-//! `zone_step` postings using LEB128 varints:
+//! positions. The compressed format delta-encodes each list in **blocks**
+//! of up to `zone_step` postings using LEB128 varints:
 //!
 //! ```text
 //! per posting: varint(text − prev_text), varint(l), varint(c − l), varint(r − c)
@@ -13,25 +14,44 @@
 //! Each block starts a fresh delta chain, so blocks are independently
 //! decodable; the per-list **block index** `{first_text, byte_offset,
 //! posting_count}` doubles as the zone map — locating one text's postings
-//! reads only the covering blocks. On realistic Zipf-skewed lists v2 is
+//! reads only the covering blocks. On realistic Zipf-skewed lists this is
 //! ~3–4× smaller than v1 (asserted by tests), trading decode CPU for IO —
 //! the right trade for the paper's IO-dominated query regime.
+//!
+//! # Integrity and durability
+//!
+//! v4 extends the legacy 48-byte header to 80 bytes with the blocks-section
+//! byte length (v2 derived it from the file length, which a truncation
+//! silently shrinks), a CRC-32C per section (blocks, block index,
+//! directory), and a header CRC. Files are published atomically via
+//! [`ndss_durable::AtomicFile`]. Decoding is fully checked: varint deltas
+//! that overflow `u32`, blocks whose byte length disagrees with the block
+//! index, and windows violating `l ≤ c ≤ r` all surface as
+//! [`IndexError::Malformed`], never a panic. Legacy v2 files still open and
+//! read identically.
 
 use std::fs::File;
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use crc32c::Crc32c;
 use ndss_corpus::TextId;
+use ndss_durable::AtomicFile;
 use ndss_hash::HashValue;
 use ndss_windows::CompactWindow;
 
 use crate::format::MAGIC;
+use crate::integrity::{
+    self, SectionChecksums, HEADER_LEN_CHECKED, HEADER_LEN_LEGACY, OFF_DIR_CRC, OFF_HEADER_CRC,
+    OFF_SECTION1_CRC, OFF_SECTION1_LEN, OFF_SECTION2_CRC,
+};
 use crate::{IndexError, IoStats, Posting};
 
-/// File format version written by this module.
+/// Legacy compressed format: 48-byte header, no checksums.
 pub const VERSION_V2: u32 = 2;
-const HEADER_LEN: u64 = 48;
+/// Current compressed format: 80-byte header with section CRC-32Cs.
+pub const VERSION_V4: u32 = 4;
 const DIR_ENTRY_LEN: usize = 40;
 const BLOCK_ENTRY_LEN: usize = 16;
 
@@ -86,12 +106,21 @@ pub fn encode_block(postings: &[Posting], out: &mut Vec<u8>) {
 }
 
 /// Decodes `count` postings from `bytes`, appending to `out`. Returns bytes
-/// consumed.
+/// consumed. Every arithmetic step is overflow-checked, so corrupt varints
+/// yield [`IndexError::Malformed`] rather than a wrapped (silently wrong)
+/// posting or a debug-mode panic.
 pub fn decode_block(
     bytes: &[u8],
     count: usize,
     out: &mut Vec<Posting>,
 ) -> Result<usize, IndexError> {
+    fn narrow(v: u64) -> Result<u32, IndexError> {
+        u32::try_from(v).map_err(|_| IndexError::Malformed("varint value exceeds u32".into()))
+    }
+    fn checked(a: u32, b: u32) -> Result<u32, IndexError> {
+        a.checked_add(b)
+            .ok_or_else(|| IndexError::Malformed("delta chain overflows u32".into()))
+    }
     let mut pos = 0usize;
     let mut prev_text = 0u32;
     for i in 0..count {
@@ -100,15 +129,21 @@ pub fn decode_block(
             *pos += n;
             Ok(v)
         };
-        let delta = next(&mut pos)? as u32;
-        let text = if i == 0 { delta } else { prev_text + delta };
+        let delta = narrow(next(&mut pos)?)?;
+        let text = if i == 0 {
+            delta
+        } else {
+            checked(prev_text, delta)?
+        };
         prev_text = text;
-        let l = next(&mut pos)? as u32;
-        let c = l + next(&mut pos)? as u32;
-        let r = c + next(&mut pos)? as u32;
+        let l = narrow(next(&mut pos)?)?;
+        let c = checked(l, narrow(next(&mut pos)?)?)?;
+        let r = checked(c, narrow(next(&mut pos)?)?)?;
+        // l ≤ c ≤ r holds by construction, so the window can be built
+        // without re-asserting the invariant on corrupt-capable input.
         out.push(Posting {
             text,
-            window: CompactWindow::new(l, c, r),
+            window: CompactWindow { l, c, r },
         });
     }
     Ok(pos)
@@ -135,10 +170,10 @@ struct BlockEntry {
     posting_count: u32,
 }
 
-/// Streaming writer for a v2 (compressed) inverted-index file. Same calling
-/// convention as the v1 [`crate::format::IndexFileWriter`].
+/// Streaming writer for a compressed inverted-index file. Same calling
+/// convention as the fixed-width [`crate::format::IndexFileWriter`].
 pub struct CompressedFileWriter {
-    out: BufWriter<File>,
+    out: BufWriter<AtomicFile>,
     func_idx: u32,
     block_len: u32,
     dir: Vec<DirEntryV2>,
@@ -147,15 +182,40 @@ pub struct CompressedFileWriter {
     postings_written: u64,
     last_hash: Option<HashValue>,
     scratch: Vec<u8>,
+    blocks_crc: Crc32c,
+    /// Write the legacy checksum-less v2 layout (back-compat tests only).
+    legacy: bool,
 }
 
 impl CompressedFileWriter {
-    /// Creates the file; `block_len` postings per block (the v1 zone step).
+    /// Creates the file (via a temp path; the destination appears only on
+    /// [`Self::finish`]); `block_len` postings per block (the v1 zone step).
     pub fn create(path: &Path, func_idx: u32, block_len: u32) -> Result<Self, IndexError> {
+        Self::create_inner(path, func_idx, block_len, false)
+    }
+
+    /// Creates a writer emitting the **legacy v2** (checksum-less) layout.
+    /// Exists so back-compat tests can manufacture pre-checksum files; new
+    /// artifacts should always use [`Self::create`].
+    pub fn create_legacy(path: &Path, func_idx: u32, block_len: u32) -> Result<Self, IndexError> {
+        Self::create_inner(path, func_idx, block_len, true)
+    }
+
+    fn create_inner(
+        path: &Path,
+        func_idx: u32,
+        block_len: u32,
+        legacy: bool,
+    ) -> Result<Self, IndexError> {
         assert!(block_len >= 1, "block length must be at least 1");
-        let file = File::create(path)?;
+        let file = AtomicFile::create(path)?;
         let mut out = BufWriter::new(file);
-        out.write_all(&[0u8; HEADER_LEN as usize])?;
+        let header_len = if legacy {
+            HEADER_LEN_LEGACY
+        } else {
+            HEADER_LEN_CHECKED
+        };
+        out.write_all(&vec![0u8; header_len as usize])?;
         Ok(Self {
             out,
             func_idx,
@@ -166,6 +226,8 @@ impl CompressedFileWriter {
             postings_written: 0,
             last_hash: None,
             scratch: Vec::new(),
+            blocks_crc: Crc32c::new(),
+            legacy,
         })
     }
 
@@ -193,6 +255,7 @@ impl CompressedFileWriter {
                 byte_offset: self.bytes_written,
                 posting_count: chunk.len() as u32,
             });
+            self.blocks_crc.update(&self.scratch);
             self.out.write_all(&self.scratch)?;
             self.bytes_written += self.scratch.len() as u64;
         }
@@ -207,60 +270,91 @@ impl CompressedFileWriter {
         Ok(())
     }
 
-    /// Appends the block index and directory, rewrites the header, syncs.
+    /// Appends the block index and directory, rewrites the header, fsyncs,
+    /// and atomically publishes the file at its destination path.
     pub fn finish(mut self) -> Result<u64, IndexError> {
+        let mut index_crc = Crc32c::new();
+        let mut entry = [0u8; BLOCK_ENTRY_LEN];
         for b in &self.blocks {
-            self.out.write_all(&b.first_text.to_le_bytes())?;
-            self.out.write_all(&b.byte_offset.to_le_bytes())?;
-            self.out.write_all(&b.posting_count.to_le_bytes())?;
+            entry[0..4].copy_from_slice(&b.first_text.to_le_bytes());
+            entry[4..12].copy_from_slice(&b.byte_offset.to_le_bytes());
+            entry[12..16].copy_from_slice(&b.posting_count.to_le_bytes());
+            index_crc.update(&entry);
+            self.out.write_all(&entry)?;
         }
+        let mut dir_crc = Crc32c::new();
+        let mut entry = [0u8; DIR_ENTRY_LEN];
         for d in &self.dir {
-            self.out.write_all(&d.hash.to_le_bytes())?;
-            self.out.write_all(&d.block_start.to_le_bytes())?;
-            self.out.write_all(&d.block_count.to_le_bytes())?;
-            self.out.write_all(&d.posting_count.to_le_bytes())?;
-            self.out.write_all(&d.byte_start.to_le_bytes())?;
+            entry[0..8].copy_from_slice(&d.hash.to_le_bytes());
+            entry[8..16].copy_from_slice(&d.block_start.to_le_bytes());
+            entry[16..24].copy_from_slice(&d.block_count.to_le_bytes());
+            entry[24..32].copy_from_slice(&d.posting_count.to_le_bytes());
+            entry[32..40].copy_from_slice(&d.byte_start.to_le_bytes());
+            dir_crc.update(&entry);
+            self.out.write_all(&entry)?;
         }
         self.out.flush()?;
         let mut file = self.out.into_inner().map_err(|e| e.into_error())?;
         let size = file.stream_position()?;
-        file.seek(SeekFrom::Start(0))?;
-        file.write_all(MAGIC)?;
-        file.write_all(&VERSION_V2.to_le_bytes())?;
-        file.write_all(&self.func_idx.to_le_bytes())?;
-        file.write_all(&0u32.to_le_bytes())?;
-        file.write_all(&(self.dir.len() as u64).to_le_bytes())?;
-        file.write_all(&self.postings_written.to_le_bytes())?;
+
+        let header_len = if self.legacy {
+            HEADER_LEN_LEGACY
+        } else {
+            HEADER_LEN_CHECKED
+        } as usize;
+        let mut header = vec![0u8; header_len];
+        header[0..4].copy_from_slice(MAGIC);
+        let version = if self.legacy { VERSION_V2 } else { VERSION_V4 };
+        header[4..8].copy_from_slice(&version.to_le_bytes());
+        header[8..12].copy_from_slice(&self.func_idx.to_le_bytes());
+        // bytes 12..16 reserved
+        header[16..24].copy_from_slice(&(self.dir.len() as u64).to_le_bytes());
+        header[24..32].copy_from_slice(&self.postings_written.to_le_bytes());
         // The v1 header's zone fields are repurposed: zone-entry count slot
-        // holds the block count, zone-step slot the block length. The final
-        // u32 is reserved (the blocks-section byte size is derived from the
-        // file length and the two index-section sizes on open).
-        file.write_all(&(self.blocks.len() as u64).to_le_bytes())?;
-        file.write_all(&self.block_len.to_le_bytes())?;
-        file.write_all(&0u32.to_le_bytes())?;
-        file.sync_all()?;
-        debug_assert_eq!(4 + 4 + 4 + 4 + 8 + 8 + 8 + 4 + 4, HEADER_LEN as usize);
+        // holds the block count, zone-step slot the block length.
+        header[32..40].copy_from_slice(&(self.blocks.len() as u64).to_le_bytes());
+        header[40..44].copy_from_slice(&self.block_len.to_le_bytes());
+        // bytes 44..48 reserved
+        if !self.legacy {
+            header[OFF_SECTION1_LEN..OFF_SECTION1_LEN + 8]
+                .copy_from_slice(&self.bytes_written.to_le_bytes());
+            header[OFF_SECTION1_CRC..OFF_SECTION1_CRC + 4]
+                .copy_from_slice(&self.blocks_crc.finalize().to_le_bytes());
+            header[OFF_SECTION2_CRC..OFF_SECTION2_CRC + 4]
+                .copy_from_slice(&index_crc.finalize().to_le_bytes());
+            header[OFF_DIR_CRC..OFF_DIR_CRC + 4].copy_from_slice(&dir_crc.finalize().to_le_bytes());
+            let header_crc = crc32c::crc32c(&header[..OFF_HEADER_CRC]);
+            header[OFF_HEADER_CRC..OFF_HEADER_CRC + 4].copy_from_slice(&header_crc.to_le_bytes());
+        }
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header)?;
+        file.commit()?;
         Ok(size)
     }
 }
 
 // ------------------------------------------------------------------ reader
 
-/// Read-only handle to a v2 inverted-index file. The directory and block
-/// index live in memory (16 bytes per `block_len` postings); block bytes are
-/// read on demand with IO accounting.
+/// Read-only handle to a compressed (v2/v4) inverted-index file. The
+/// directory and block index live in memory (16 bytes per `block_len`
+/// postings); block bytes are read on demand with IO accounting.
 ///
 /// Block reads are positioned (`pread`): no lock, no shared cursor, safe to
 /// share across any number of query threads.
 pub struct CompressedFileReader {
     file: File,
+    path: PathBuf,
     dir: Vec<DirEntryV2>,
     blocks: Vec<BlockEntry>,
     func_idx: u32,
     num_postings: u64,
     /// Byte size of the blocks section (= offset of the block index,
-    /// relative to HEADER_LEN).
+    /// relative to the header end).
     blocks_bytes: u64,
+    header_len: u64,
+    /// Section CRCs from the header; `None` on legacy v2 files. Only
+    /// `section1` (the blocks section) is still unverified after `open`.
+    checksums: Option<SectionChecksums>,
 }
 
 impl std::fmt::Debug for CompressedFileReader {
@@ -274,11 +368,21 @@ impl std::fmt::Debug for CompressedFileReader {
 }
 
 impl CompressedFileReader {
-    /// Opens and validates a v2 file, loading directory and block index.
+    /// Opens a compressed file: validates every header-derived size against
+    /// the real file length (overflow-checked, before any allocation),
+    /// verifies the header / block-index / directory checksums (v4), and
+    /// cross-checks the block index against the directory.
     pub fn open(path: &Path) -> Result<Self, IndexError> {
-        let mut file = File::open(path)?;
-        let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact(&mut header)?;
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN_LEGACY {
+            return Err(IndexError::Malformed(format!(
+                "{} is too short ({file_len} B) to hold an index header",
+                path.display()
+            )));
+        }
+        let mut header = vec![0u8; HEADER_LEN_CHECKED.min(file_len) as usize];
+        crate::pread::read_exact_at(&file, &mut header, 0)?;
         if &header[0..4] != MAGIC {
             return Err(IndexError::Malformed(format!(
                 "bad magic in {}",
@@ -287,30 +391,73 @@ impl CompressedFileReader {
         }
         let u32_at = |o: usize| u32::from_le_bytes(header[o..o + 4].try_into().expect("4 bytes"));
         let u64_at = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().expect("8 bytes"));
-        if u32_at(4) != VERSION_V2 {
-            return Err(IndexError::Malformed(format!(
-                "not a v2 index file (version {})",
-                u32_at(4)
-            )));
-        }
+        let version = u32_at(4);
+        let (header_len, checksums) = match version {
+            VERSION_V2 => (HEADER_LEN_LEGACY, None),
+            VERSION_V4 => {
+                if (header.len() as u64) < HEADER_LEN_CHECKED {
+                    return Err(IndexError::Malformed(format!(
+                        "{} is too short ({file_len} B) for a v4 header",
+                        path.display()
+                    )));
+                }
+                integrity::check_header_crc(&header, path)?;
+                (
+                    HEADER_LEN_CHECKED,
+                    Some(SectionChecksums {
+                        section1: u32_at(OFF_SECTION1_CRC),
+                        section2: u32_at(OFF_SECTION2_CRC),
+                        dir: u32_at(OFF_DIR_CRC),
+                    }),
+                )
+            }
+            v => {
+                return Err(IndexError::Malformed(format!(
+                    "not a compressed index file (version {v}) in {}",
+                    path.display()
+                )))
+            }
+        };
         let func_idx = u32_at(8);
-        let num_keys = u64_at(16) as usize;
+        let num_keys = u64_at(16);
         let num_postings = u64_at(24);
-        let num_blocks = u64_at(32) as usize;
+        let num_blocks = u64_at(32);
 
-        // The blocks section spans from HEADER_LEN to the block index, whose
-        // position we get from total file size minus the two tail sections.
-        let file_len = file.metadata()?.len();
-        let tail = (num_blocks * BLOCK_ENTRY_LEN + num_keys * DIR_ENTRY_LEN) as u64;
-        if file_len < HEADER_LEN + tail {
-            return Err(IndexError::Malformed("v2 index file too short".into()));
+        // Size validation before any allocation. The blocks section spans
+        // from the header to the block index; v4 records its byte length in
+        // the header (and the total must match the file exactly), while v2
+        // derives it from the file length.
+        let index_len = integrity::mul(num_blocks, BLOCK_ENTRY_LEN as u64, "block-index size")?;
+        let dir_len = integrity::mul(num_keys, DIR_ENTRY_LEN as u64, "directory size")?;
+        let tail = integrity::add(index_len, dir_len, "tail size")?;
+        let min_len = integrity::add(header_len, tail, "file size")?;
+        let blocks_bytes = if checksums.is_some() {
+            let blocks_bytes = u64_at(OFF_SECTION1_LEN);
+            let expected = integrity::add(min_len, blocks_bytes, "file size")?;
+            if expected != file_len {
+                return Err(IndexError::Malformed(format!(
+                    "{}: header promises {expected} B ({num_keys} keys, {num_blocks} blocks, \
+                     {blocks_bytes} block bytes) but the file is {file_len} B",
+                    path.display()
+                )));
+            }
+            blocks_bytes
+        } else {
+            if file_len < min_len {
+                return Err(IndexError::Malformed(format!(
+                    "{}: header promises at least {min_len} B but the file is {file_len} B",
+                    path.display()
+                )));
+            }
+            file_len - min_len
+        };
+
+        let mut buf = vec![0u8; index_len as usize];
+        crate::pread::read_exact_at(&file, &mut buf, header_len + blocks_bytes)?;
+        if let Some(ck) = &checksums {
+            integrity::check_loaded_crc(&buf, ck.section2, "block index", path)?;
         }
-        let blocks_bytes = file_len - HEADER_LEN - tail;
-
-        file.seek(SeekFrom::Start(HEADER_LEN + blocks_bytes))?;
-        let mut buf = vec![0u8; num_blocks * BLOCK_ENTRY_LEN];
-        file.read_exact(&mut buf)?;
-        let mut blocks = Vec::with_capacity(num_blocks);
+        let mut blocks = Vec::with_capacity(num_blocks as usize);
         for chunk in buf.chunks_exact(BLOCK_ENTRY_LEN) {
             blocks.push(BlockEntry {
                 first_text: u32::from_le_bytes(chunk[0..4].try_into().expect("4")),
@@ -318,9 +465,12 @@ impl CompressedFileReader {
                 posting_count: u32::from_le_bytes(chunk[12..16].try_into().expect("4")),
             });
         }
-        let mut buf = vec![0u8; num_keys * DIR_ENTRY_LEN];
-        file.read_exact(&mut buf)?;
-        let mut dir = Vec::with_capacity(num_keys);
+        let mut buf = vec![0u8; dir_len as usize];
+        crate::pread::read_exact_at(&file, &mut buf, header_len + blocks_bytes + index_len)?;
+        if let Some(ck) = &checksums {
+            integrity::check_loaded_crc(&buf, ck.dir, "directory", path)?;
+        }
+        let mut dir = Vec::with_capacity(num_keys as usize);
         for chunk in buf.chunks_exact(DIR_ENTRY_LEN) {
             let g = |o: usize| u64::from_le_bytes(chunk[o..o + 8].try_into().expect("8"));
             dir.push(DirEntryV2 {
@@ -331,19 +481,103 @@ impl CompressedFileReader {
                 byte_start: g(32),
             });
         }
+
+        // Structural validation: block offsets strictly ascending within the
+        // blocks section, non-empty blocks, directory keys strictly
+        // ascending, contiguous block ranges consistent with the block index
+        // and covering it exactly.
+        for (i, b) in blocks.iter().enumerate() {
+            let lower = if i == 0 {
+                0
+            } else {
+                blocks[i - 1].byte_offset.saturating_add(1)
+            };
+            if b.byte_offset < lower || b.byte_offset >= blocks_bytes || b.posting_count == 0 {
+                return Err(IndexError::Malformed(format!(
+                    "block {i} has an invalid offset or posting count in {}",
+                    path.display()
+                )));
+            }
+        }
+        if !blocks.is_empty() && blocks[0].byte_offset != 0 {
+            return Err(IndexError::Malformed(format!(
+                "first block does not start the blocks section in {}",
+                path.display()
+            )));
+        }
         if dir.windows(2).any(|w| w[0].hash >= w[1].hash) {
             return Err(IndexError::Malformed(
-                "v2 directory keys are not strictly ascending".into(),
+                "directory keys are not strictly ascending".into(),
+            ));
+        }
+        let mut next_block = 0u64;
+        let mut posting_total = 0u64;
+        for d in &dir {
+            if d.block_start != next_block || d.block_count == 0 {
+                return Err(IndexError::Malformed(format!(
+                    "directory entry {:#x} has a non-contiguous or empty block range",
+                    d.hash
+                )));
+            }
+            next_block = integrity::add(d.block_start, d.block_count, "block range")?;
+            if next_block > blocks.len() as u64 {
+                return Err(IndexError::Malformed(format!(
+                    "directory entry {:#x} points past the block index",
+                    d.hash
+                )));
+            }
+            if d.byte_start != blocks[d.block_start as usize].byte_offset {
+                return Err(IndexError::Malformed(format!(
+                    "directory entry {:#x} disagrees with the block index on its byte offset",
+                    d.hash
+                )));
+            }
+            let in_blocks: u64 = blocks[d.block_start as usize..next_block as usize]
+                .iter()
+                .map(|b| b.posting_count as u64)
+                .sum();
+            if in_blocks != d.posting_count {
+                return Err(IndexError::Malformed(format!(
+                    "directory entry {:#x} claims {} postings but its blocks hold {in_blocks}",
+                    d.hash, d.posting_count
+                )));
+            }
+            posting_total = integrity::add(posting_total, in_blocks, "posting total")?;
+        }
+        if next_block != num_blocks || posting_total != num_postings {
+            return Err(IndexError::Malformed(
+                "directory does not cover the block index / posting counts".into(),
             ));
         }
         Ok(Self {
             file,
+            path: path.to_owned(),
             dir,
             blocks,
             func_idx,
             num_postings,
             blocks_bytes,
+            header_len,
+            checksums,
         })
+    }
+
+    /// Streams the blocks section against its header CRC. A no-op on legacy
+    /// (v2) files, which carry no checksums. `open` plus `verify` together
+    /// cover every byte of the file.
+    pub fn verify(&self, stats: &IoStats) -> Result<(), IndexError> {
+        let Some(ck) = &self.checksums else {
+            return Ok(());
+        };
+        integrity::check_streamed_crc(
+            &self.file,
+            self.header_len,
+            self.blocks_bytes,
+            ck.section1,
+            "blocks section",
+            &self.path,
+            stats,
+        )
     }
 
     /// The hash-function number in the header.
@@ -397,7 +631,7 @@ impl CompressedFileReader {
     ) -> Result<Vec<u8>, IndexError> {
         let mut buf = vec![0u8; len];
         let start = Instant::now();
-        crate::pread::read_exact_at(&self.file, &mut buf, HEADER_LEN + rel_offset)?;
+        crate::pread::read_exact_at(&self.file, &mut buf, self.header_len + rel_offset)?;
         stats.record(len as u64, start.elapsed().as_nanos() as u64);
         Ok(buf)
     }
@@ -428,6 +662,21 @@ impl CompressedFileReader {
                 self.blocks[blk].posting_count as usize,
                 &mut out,
             )?;
+            // Each block must decode to exactly the byte span the block
+            // index promises — a mismatch means the block bytes and the
+            // index disagree (corruption the varint decoder alone can't
+            // see, because garbage often still parses as varints).
+            let block_end = if blk + 1 < blk_hi {
+                self.blocks[blk + 1].byte_offset
+            } else {
+                byte_hi
+            };
+            if pos as u64 != block_end - byte_lo {
+                return Err(IndexError::Malformed(format!(
+                    "block {blk} byte length disagrees with the block index in {}",
+                    self.path.display()
+                )));
+            }
         }
         Ok(out)
     }
@@ -523,6 +772,34 @@ mod tests {
     }
 
     #[test]
+    fn decode_block_rejects_overflowing_deltas() {
+        // text delta chain that wraps u32: first text near MAX, then a big
+        // delta. Must be a clean Malformed, not a wrap or panic.
+        let mut bytes = Vec::new();
+        write_varint(u32::MAX as u64, &mut bytes); // text
+        write_varint(0, &mut bytes); // l
+        write_varint(0, &mut bytes); // c - l
+        write_varint(0, &mut bytes); // r - c
+        write_varint(5, &mut bytes); // delta: MAX + 5 overflows
+        write_varint(0, &mut bytes);
+        write_varint(0, &mut bytes);
+        write_varint(0, &mut bytes);
+        let mut out = Vec::new();
+        assert!(matches!(
+            decode_block(&bytes, 2, &mut out),
+            Err(IndexError::Malformed(_))
+        ));
+        // A varint too large for u32 in any position is also rejected.
+        let mut bytes = Vec::new();
+        write_varint(u64::MAX, &mut bytes);
+        let mut out = Vec::new();
+        assert!(matches!(
+            decode_block(&bytes, 1, &mut out),
+            Err(IndexError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn file_roundtrip_and_probes() {
         let path = temp("v2_roundtrip.ndsi");
         let mut w = CompressedFileWriter::create(&path, 5, 8).unwrap();
@@ -539,6 +816,7 @@ mod tests {
         assert_eq!(r.list_len(100), 5);
         assert_eq!(r.list_len(999), 0);
         let stats = IoStats::default();
+        r.verify(&stats).unwrap();
         assert_eq!(r.read_list(100, &stats).unwrap(), short);
         assert_eq!(r.read_list(200, &stats).unwrap(), long);
         assert!(r.read_list(999, &stats).unwrap().is_empty());
@@ -556,6 +834,40 @@ mod tests {
         };
         assert!(probe_bytes < full_read, "{probe_bytes} >= {full_read}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v2_files_open_and_read_identically() {
+        let new_path = temp("v2_compat_new.ndsi");
+        let old_path = temp("v2_compat_old.ndsi");
+        let lists: Vec<(u64, Vec<Posting>)> = vec![
+            (3, (0..7).map(|i| posting(i, i)).collect()),
+            (9, (0..64).map(|i| posting(i / 2, i % 2)).collect()),
+        ];
+        for (path, legacy) in [(&new_path, false), (&old_path, true)] {
+            let mut w = if legacy {
+                CompressedFileWriter::create_legacy(path, 1, 8).unwrap()
+            } else {
+                CompressedFileWriter::create(path, 1, 8).unwrap()
+            };
+            for (hash, postings) in &lists {
+                w.write_list(*hash, postings).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let old_bytes = std::fs::read(&old_path).unwrap();
+        assert_eq!(u32::from_le_bytes(old_bytes[4..8].try_into().unwrap()), 2);
+
+        let stats = IoStats::default();
+        let old = CompressedFileReader::open(&old_path).unwrap();
+        let new = CompressedFileReader::open(&new_path).unwrap();
+        old.verify(&stats).unwrap(); // no-op, but must not error
+        for (hash, postings) in &lists {
+            assert_eq!(old.read_list(*hash, &stats).unwrap(), *postings);
+            assert_eq!(new.read_list(*hash, &stats).unwrap(), *postings);
+        }
+        std::fs::remove_file(&old_path).ok();
+        std::fs::remove_file(&new_path).ok();
     }
 
     #[test]
@@ -596,5 +908,41 @@ mod tests {
         let mut w = CompressedFileWriter::create(&path, 0, 8).unwrap();
         w.write_list(10, &[posting(0, 0)]).unwrap();
         assert!(w.write_list(5, &[posting(0, 0)]).is_err());
+    }
+
+    #[test]
+    fn header_tampering_and_payload_corruption_detected() {
+        let path = temp("v2_tamper.ndsi");
+        let mut w = CompressedFileWriter::create(&path, 2, 4).unwrap();
+        w.write_list(
+            1,
+            &(0..40).map(|i| posting(i / 2, i % 2)).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        w.finish().unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        for offset in [8usize, 17, 25, 33, 41, 50, 57, 61, 65, 77] {
+            let mut bytes = pristine.clone();
+            bytes[offset] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                matches!(
+                    CompressedFileReader::open(&path),
+                    Err(IndexError::Malformed(_))
+                ),
+                "header byte {offset} corruption not caught"
+            );
+        }
+        // Blocks-section corruption is caught by verify().
+        let mut bytes = pristine.clone();
+        bytes[HEADER_LEN_CHECKED as usize + 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = CompressedFileReader::open(&path).unwrap();
+        assert!(matches!(
+            r.verify(&IoStats::default()),
+            Err(IndexError::Malformed(_))
+        ));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -25,10 +25,10 @@ use crate::codec::CompressedFileReader;
 use crate::format::{IndexFileReader, ZoneEntry};
 use crate::{IndexAccess, IndexConfig, IndexError, IoSnapshot, IoStats, Posting};
 
-/// Version-dispatching handle to one inverted-index file: v1 stores
-/// fixed-width postings with optional zone maps, v2 stores delta-compressed
-/// blocks (see [`crate::codec`]). The version is sniffed from the header so
-/// mixed deployments can open either transparently.
+/// Version-dispatching handle to one inverted-index file: v1/v3 store
+/// fixed-width postings with optional zone maps, v2/v4 store
+/// delta-compressed blocks (see [`crate::codec`]). The version is sniffed
+/// from the header so mixed deployments can open either transparently.
 pub(crate) enum AnyFileReader {
     V1(IndexFileReader),
     V2(CompressedFileReader),
@@ -40,15 +40,42 @@ impl AnyFileReader {
         {
             use std::io::Read;
             let mut f = std::fs::File::open(path)?;
-            f.read_exact(&mut header)?;
+            f.read_exact(&mut header).map_err(|e| {
+                IndexError::Malformed(format!(
+                    "{} is not an index file (cannot read header: {e})",
+                    path.display()
+                ))
+            })?;
+        }
+        // Check the magic before dispatching on the version: a non-index
+        // file whose bytes 4..8 happen to match a known version must not
+        // reach a version-specific parser.
+        if &header[0..4] != crate::format::MAGIC {
+            return Err(IndexError::Malformed(format!(
+                "{} is not an index file (bad magic)",
+                path.display()
+            )));
         }
         match u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) {
-            crate::format::VERSION => Ok(Self::V1(IndexFileReader::open(path)?)),
-            crate::codec::VERSION_V2 => Ok(Self::V2(CompressedFileReader::open(path)?)),
+            crate::format::VERSION_V1 | crate::format::VERSION_V3 => {
+                Ok(Self::V1(IndexFileReader::open(path)?))
+            }
+            crate::codec::VERSION_V2 | crate::codec::VERSION_V4 => {
+                Ok(Self::V2(CompressedFileReader::open(path)?))
+            }
             v => Err(IndexError::Malformed(format!(
                 "unsupported index file version {v} in {}",
                 path.display()
             ))),
+        }
+    }
+
+    /// Streams the payload sections not already covered by `open` against
+    /// their header checksums (no-op for legacy checksum-less files).
+    pub(crate) fn verify(&self, stats: &IoStats) -> Result<(), IndexError> {
+        match self {
+            Self::V1(r) => r.verify(stats),
+            Self::V2(r) => r.verify(stats),
         }
     }
 
@@ -195,9 +222,22 @@ impl DiskIndex {
         })
     }
 
-    /// Writes `config` as the directory's `meta.json`.
+    /// Writes `config` as the directory's `meta.json` (atomically: temp
+    /// file, fsync, rename — a crash never leaves a half-written meta).
     pub fn write_meta(dir: &Path, config: &IndexConfig) -> Result<(), IndexError> {
-        std::fs::write(dir.join(META_FILE), config.to_json_pretty())?;
+        ndss_durable::write_atomic(&dir.join(META_FILE), config.to_json_pretty().as_bytes())?;
+        Ok(())
+    }
+
+    /// Streams every inverted-index file against its stored checksums,
+    /// verifying the sections `open` did not already load. Together with the
+    /// validation done at open time this covers every byte of the index.
+    /// Legacy (pre-checksum v1/v2) files are skipped — they carry nothing to
+    /// verify against. IO performed is tallied in the index's global stats.
+    pub fn verify_integrity(&self) -> Result<(), IndexError> {
+        for reader in &self.readers {
+            reader.verify(&self.stats)?;
+        }
         Ok(())
     }
 

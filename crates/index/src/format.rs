@@ -1,4 +1,5 @@
-//! Binary format of one inverted-index file (`inv_<i>.ndsi`).
+//! Binary format of one inverted-index file (`inv_<i>.ndsi`), fixed-width
+//! postings (format v1 legacy / v3 checksummed).
 //!
 //! The file is written streaming, one list at a time in ascending hash
 //! order: postings go out immediately, zone entries accumulate per long
@@ -7,21 +8,41 @@
 //! record section sizes. Readers load the directory (and only the
 //! directory) into memory; posting and zone reads seek into the file and
 //! are instrumented through [`crate::IoStats`].
+//!
+//! # Integrity and durability
+//!
+//! Files are written through [`ndss_durable::AtomicFile`]: the bytes land in
+//! a temp file that is fsynced and renamed over the destination only in
+//! [`IndexFileWriter::finish`], so a crash mid-build can never leave a
+//! parseable half-index under the final name. The current format version
+//! (v3) extends the v1 header with a CRC-32C per section (postings, zones,
+//! directory) plus a header CRC; [`IndexFileReader::open`] verifies the
+//! header and directory checksums and validates every size and offset
+//! against the real file length before allocating, and
+//! [`IndexFileReader::verify`] streams the payload sections against their
+//! checksums. Legacy v1 files (no checksums) still open and read
+//! identically; they only get the structural validation.
 
 use std::fs::File;
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use crc32c::Crc32c;
+use ndss_durable::AtomicFile;
 use ndss_hash::HashValue;
 
+use crate::integrity::{
+    self, SectionChecksums, HEADER_LEN_CHECKED, HEADER_LEN_LEGACY, OFF_DIR_CRC, OFF_HEADER_CRC,
+    OFF_SECTION1_CRC, OFF_SECTION1_LEN, OFF_SECTION2_CRC,
+};
 use crate::{IndexError, IoStats, Posting};
 
 pub(crate) const MAGIC: &[u8; 4] = b"NDSI";
-pub(crate) const VERSION: u32 = 1;
-/// magic + version + func_idx + reserved + num_keys + num_postings + zone_entries
-/// + zone_step + zone_min_len = 4+4+4+4+8+8+8+4+4.
-pub(crate) const HEADER_LEN: u64 = 48;
+/// Legacy fixed-width format: 48-byte header, no checksums.
+pub(crate) const VERSION_V1: u32 = 1;
+/// Current fixed-width format: 80-byte header with section CRC-32Cs.
+pub(crate) const VERSION_V3: u32 = 3;
 pub(crate) const DIR_ENTRY_LEN: usize = 40;
 pub(crate) const ZONE_ENTRY_LEN: usize = 8;
 
@@ -61,8 +82,7 @@ pub struct ZoneEntry {
 
 /// Streaming writer for one inverted-index file.
 pub struct IndexFileWriter {
-    path: PathBuf,
-    out: BufWriter<File>,
+    out: BufWriter<AtomicFile>,
     func_idx: u32,
     zone_step: u32,
     zone_min_len: u32,
@@ -71,22 +91,52 @@ pub struct IndexFileWriter {
     postings_written: u64,
     last_hash: Option<HashValue>,
     posting_buf: [u8; Posting::ENCODED_LEN],
+    postings_crc: Crc32c,
+    /// Write the legacy checksum-less v1 layout (back-compat tests only).
+    legacy: bool,
 }
 
 impl IndexFileWriter {
-    /// Creates (truncates) the file and reserves header space.
+    /// Creates the file (via a temp path; the destination appears only on
+    /// [`Self::finish`]) and reserves header space.
     pub fn create(
         path: &Path,
         func_idx: u32,
         zone_step: u32,
         zone_min_len: u32,
     ) -> Result<Self, IndexError> {
+        Self::create_inner(path, func_idx, zone_step, zone_min_len, false)
+    }
+
+    /// Creates a writer emitting the **legacy v1** (checksum-less) layout.
+    /// Exists so back-compat tests can manufacture pre-checksum files; new
+    /// artifacts should always use [`Self::create`].
+    pub fn create_legacy(
+        path: &Path,
+        func_idx: u32,
+        zone_step: u32,
+        zone_min_len: u32,
+    ) -> Result<Self, IndexError> {
+        Self::create_inner(path, func_idx, zone_step, zone_min_len, true)
+    }
+
+    fn create_inner(
+        path: &Path,
+        func_idx: u32,
+        zone_step: u32,
+        zone_min_len: u32,
+        legacy: bool,
+    ) -> Result<Self, IndexError> {
         assert!(zone_step >= 1, "zone step must be at least 1");
-        let file = File::create(path)?;
+        let file = AtomicFile::create(path)?;
         let mut out = BufWriter::new(file);
-        out.write_all(&[0u8; HEADER_LEN as usize])?;
+        let header_len = if legacy {
+            HEADER_LEN_LEGACY
+        } else {
+            HEADER_LEN_CHECKED
+        };
+        out.write_all(&vec![0u8; header_len as usize])?;
         Ok(Self {
-            path: path.to_owned(),
             out,
             func_idx,
             zone_step,
@@ -96,6 +146,8 @@ impl IndexFileWriter {
             postings_written: 0,
             last_hash: None,
             posting_buf: [0u8; Posting::ENCODED_LEN],
+            postings_crc: Crc32c::new(),
+            legacy,
         })
     }
 
@@ -127,6 +179,7 @@ impl IndexFileWriter {
         };
         for (rel, p) in postings.iter().enumerate() {
             p.encode(&mut self.posting_buf);
+            self.postings_crc.update(&self.posting_buf);
             self.out.write_all(&self.posting_buf)?;
             if long && rel % self.zone_step as usize == 0 {
                 self.zones.push(ZoneEntry {
@@ -147,37 +200,67 @@ impl IndexFileWriter {
         Ok(())
     }
 
-    /// Appends the zone and directory sections, rewrites the header, and
-    /// syncs. Returns the final file size in bytes.
+    /// Appends the zone and directory sections, rewrites the header, fsyncs,
+    /// and atomically publishes the file at its destination path. Returns
+    /// the final file size in bytes.
     pub fn finish(mut self) -> Result<u64, IndexError> {
         // Zone section.
+        let mut zones_crc = Crc32c::new();
+        let mut entry = [0u8; ZONE_ENTRY_LEN];
         for z in &self.zones {
-            self.out.write_all(&z.text.to_le_bytes())?;
-            self.out.write_all(&z.rel_idx.to_le_bytes())?;
+            entry[0..4].copy_from_slice(&z.text.to_le_bytes());
+            entry[4..8].copy_from_slice(&z.rel_idx.to_le_bytes());
+            zones_crc.update(&entry);
+            self.out.write_all(&entry)?;
         }
         // Directory section.
+        let mut dir_crc = Crc32c::new();
+        let mut entry = [0u8; DIR_ENTRY_LEN];
         for d in &self.dir {
-            self.out.write_all(&d.hash.to_le_bytes())?;
-            self.out.write_all(&d.start.to_le_bytes())?;
-            self.out.write_all(&d.count.to_le_bytes())?;
-            self.out.write_all(&d.zone_start.to_le_bytes())?;
-            self.out.write_all(&d.zone_count.to_le_bytes())?;
+            entry[0..8].copy_from_slice(&d.hash.to_le_bytes());
+            entry[8..16].copy_from_slice(&d.start.to_le_bytes());
+            entry[16..24].copy_from_slice(&d.count.to_le_bytes());
+            entry[24..32].copy_from_slice(&d.zone_start.to_le_bytes());
+            entry[32..40].copy_from_slice(&d.zone_count.to_le_bytes());
+            dir_crc.update(&entry);
+            self.out.write_all(&entry)?;
         }
         self.out.flush()?;
         let mut file = self.out.into_inner().map_err(|e| e.into_error())?;
         let size = file.stream_position()?;
+
+        // Assemble and patch in the header.
+        let header_len = if self.legacy {
+            HEADER_LEN_LEGACY
+        } else {
+            HEADER_LEN_CHECKED
+        } as usize;
+        let mut header = vec![0u8; header_len];
+        header[0..4].copy_from_slice(MAGIC);
+        let version = if self.legacy { VERSION_V1 } else { VERSION_V3 };
+        header[4..8].copy_from_slice(&version.to_le_bytes());
+        header[8..12].copy_from_slice(&self.func_idx.to_le_bytes());
+        // bytes 12..16 reserved
+        header[16..24].copy_from_slice(&(self.dir.len() as u64).to_le_bytes());
+        header[24..32].copy_from_slice(&self.postings_written.to_le_bytes());
+        header[32..40].copy_from_slice(&(self.zones.len() as u64).to_le_bytes());
+        header[40..44].copy_from_slice(&self.zone_step.to_le_bytes());
+        header[44..48].copy_from_slice(&self.zone_min_len.to_le_bytes());
+        if !self.legacy {
+            let postings_len = self.postings_written * Posting::ENCODED_LEN as u64;
+            header[OFF_SECTION1_LEN..OFF_SECTION1_LEN + 8]
+                .copy_from_slice(&postings_len.to_le_bytes());
+            header[OFF_SECTION1_CRC..OFF_SECTION1_CRC + 4]
+                .copy_from_slice(&self.postings_crc.finalize().to_le_bytes());
+            header[OFF_SECTION2_CRC..OFF_SECTION2_CRC + 4]
+                .copy_from_slice(&zones_crc.finalize().to_le_bytes());
+            header[OFF_DIR_CRC..OFF_DIR_CRC + 4].copy_from_slice(&dir_crc.finalize().to_le_bytes());
+            let header_crc = crc32c::crc32c(&header[..OFF_HEADER_CRC]);
+            header[OFF_HEADER_CRC..OFF_HEADER_CRC + 4].copy_from_slice(&header_crc.to_le_bytes());
+        }
         file.seek(SeekFrom::Start(0))?;
-        file.write_all(MAGIC)?;
-        file.write_all(&VERSION.to_le_bytes())?;
-        file.write_all(&self.func_idx.to_le_bytes())?;
-        file.write_all(&0u32.to_le_bytes())?; // reserved
-        file.write_all(&(self.dir.len() as u64).to_le_bytes())?;
-        file.write_all(&self.postings_written.to_le_bytes())?;
-        file.write_all(&(self.zones.len() as u64).to_le_bytes())?;
-        file.write_all(&self.zone_step.to_le_bytes())?;
-        file.write_all(&self.zone_min_len.to_le_bytes())?;
-        file.sync_all()?;
-        let _ = self.path;
+        file.write_all(&header)?;
+        file.commit()?;
         Ok(size)
     }
 }
@@ -189,12 +272,17 @@ impl IndexFileWriter {
 /// number of threads with no lock and one syscall per read.
 pub struct IndexFileReader {
     file: File,
+    path: PathBuf,
     dir: Vec<DirEntry>,
     func_idx: u32,
     zone_step: u32,
     num_postings: u64,
+    num_zone_entries: u64,
+    header_len: u64,
     /// Byte offset of the zone section.
     zone_section: u64,
+    /// Section CRCs from the header; `None` on legacy v1 files.
+    checksums: Option<SectionChecksums>,
 }
 
 impl std::fmt::Debug for IndexFileReader {
@@ -208,11 +296,20 @@ impl std::fmt::Debug for IndexFileReader {
 }
 
 impl IndexFileReader {
-    /// Opens the file and loads its directory.
+    /// Opens the file, validates every header-derived size and offset
+    /// against the real file length, verifies the header and directory
+    /// checksums (v3), and loads the directory.
     pub fn open(path: &Path) -> Result<Self, IndexError> {
-        let mut file = File::open(path)?;
-        let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact(&mut header)?;
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN_LEGACY {
+            return Err(IndexError::Malformed(format!(
+                "{} is too short ({file_len} B) to hold an index header",
+                path.display()
+            )));
+        }
+        let mut header = vec![0u8; HEADER_LEN_CHECKED.min(file_len) as usize];
+        crate::pread::read_exact_at(&file, &mut header, 0)?;
         if &header[0..4] != MAGIC {
             return Err(IndexError::Malformed(format!(
                 "bad magic in {}",
@@ -222,22 +319,74 @@ impl IndexFileReader {
         let u32_at = |o: usize| u32::from_le_bytes(header[o..o + 4].try_into().expect("4 bytes"));
         let u64_at = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().expect("8 bytes"));
         let version = u32_at(4);
-        if version != VERSION {
-            return Err(IndexError::Malformed(format!(
-                "unsupported index version {version}"
-            )));
-        }
+        let (header_len, checksums) = match version {
+            VERSION_V1 => (HEADER_LEN_LEGACY, None),
+            VERSION_V3 => {
+                if (header.len() as u64) < HEADER_LEN_CHECKED {
+                    return Err(IndexError::Malformed(format!(
+                        "{} is too short ({file_len} B) for a v3 header",
+                        path.display()
+                    )));
+                }
+                integrity::check_header_crc(&header, path)?;
+                (
+                    HEADER_LEN_CHECKED,
+                    Some(SectionChecksums {
+                        section1: u32_at(OFF_SECTION1_CRC),
+                        section2: u32_at(OFF_SECTION2_CRC),
+                        dir: u32_at(OFF_DIR_CRC),
+                    }),
+                )
+            }
+            v => {
+                return Err(IndexError::Malformed(format!(
+                    "unsupported index version {v} in {}",
+                    path.display()
+                )))
+            }
+        };
         let func_idx = u32_at(8);
         let num_keys = u64_at(16);
         let num_postings = u64_at(24);
         let zone_entries = u64_at(32);
         let zone_step = u32_at(40);
 
-        let zone_section = HEADER_LEN + num_postings * Posting::ENCODED_LEN as u64;
-        let dir_section = zone_section + zone_entries * ZONE_ENTRY_LEN as u64;
-        file.seek(SeekFrom::Start(dir_section))?;
-        let mut dir_bytes = vec![0u8; num_keys as usize * DIR_ENTRY_LEN];
-        file.read_exact(&mut dir_bytes)?;
+        // The v1/v3 layout is fully determined by the header counts: check
+        // the exact file length (overflow-checked) before any allocation.
+        let postings_len =
+            integrity::mul(num_postings, Posting::ENCODED_LEN as u64, "postings size")?;
+        let zones_len = integrity::mul(zone_entries, ZONE_ENTRY_LEN as u64, "zone-section size")?;
+        let dir_len = integrity::mul(num_keys, DIR_ENTRY_LEN as u64, "directory size")?;
+        let expected = integrity::add(
+            integrity::add(
+                integrity::add(header_len, postings_len, "file size")?,
+                zones_len,
+                "file size",
+            )?,
+            dir_len,
+            "file size",
+        )?;
+        if expected != file_len {
+            return Err(IndexError::Malformed(format!(
+                "{}: header promises {expected} B ({num_keys} keys, {num_postings} postings, \
+                 {zone_entries} zone entries) but the file is {file_len} B",
+                path.display()
+            )));
+        }
+        if checksums.is_some() && u64_at(OFF_SECTION1_LEN) != postings_len {
+            return Err(IndexError::Malformed(format!(
+                "{}: postings-section length field disagrees with posting count",
+                path.display()
+            )));
+        }
+        let zone_section = header_len + postings_len;
+        let dir_section = zone_section + zones_len;
+
+        let mut dir_bytes = vec![0u8; dir_len as usize];
+        crate::pread::read_exact_at(&file, &mut dir_bytes, dir_section)?;
+        if let Some(ck) = &checksums {
+            integrity::check_loaded_crc(&dir_bytes, ck.dir, "directory", path)?;
+        }
         let mut dir = Vec::with_capacity(num_keys as usize);
         for chunk in dir_bytes.chunks_exact(DIR_ENTRY_LEN) {
             let g = |o: usize| u64::from_le_bytes(chunk[o..o + 8].try_into().expect("8 bytes"));
@@ -249,19 +398,84 @@ impl IndexFileReader {
                 zone_count: g(32),
             });
         }
+        // Structural validation: strictly ascending keys, contiguous posting
+        // ranges covering exactly the postings section, contiguous zone
+        // ranges covering exactly the zone section.
         if dir.windows(2).any(|w| w[0].hash >= w[1].hash) {
             return Err(IndexError::Malformed(
                 "directory keys are not strictly ascending".into(),
             ));
         }
+        let mut next_start = 0u64;
+        let mut next_zone = 0u64;
+        for d in &dir {
+            if d.start != next_start || d.count == 0 {
+                return Err(IndexError::Malformed(format!(
+                    "directory entry {:#x} has a non-contiguous or empty posting range",
+                    d.hash
+                )));
+            }
+            next_start = integrity::add(d.start, d.count, "posting range")?;
+            if d.has_zone_map() {
+                if d.zone_start != next_zone || d.zone_count == 0 {
+                    return Err(IndexError::Malformed(format!(
+                        "directory entry {:#x} has a non-contiguous zone range",
+                        d.hash
+                    )));
+                }
+                next_zone = integrity::add(d.zone_start, d.zone_count, "zone range")?;
+            } else if d.zone_count != 0 {
+                return Err(IndexError::Malformed(format!(
+                    "directory entry {:#x} has zone entries but no zone map",
+                    d.hash
+                )));
+            }
+        }
+        if next_start != num_postings || next_zone != zone_entries {
+            return Err(IndexError::Malformed(
+                "directory ranges do not cover the postings/zone sections".into(),
+            ));
+        }
         Ok(Self {
             file,
+            path: path.to_owned(),
             dir,
             func_idx,
             zone_step,
             num_postings,
+            num_zone_entries: zone_entries,
+            header_len,
             zone_section,
+            checksums,
         })
+    }
+
+    /// Streams the postings and zone sections against their header CRCs.
+    /// A no-op on legacy (v1) files, which carry no checksums. `open` plus
+    /// `verify` together cover every byte of the file.
+    pub fn verify(&self, stats: &IoStats) -> Result<(), IndexError> {
+        let Some(ck) = &self.checksums else {
+            return Ok(());
+        };
+        let postings_len = self.zone_section - self.header_len;
+        integrity::check_streamed_crc(
+            &self.file,
+            self.header_len,
+            postings_len,
+            ck.section1,
+            "postings section",
+            &self.path,
+            stats,
+        )?;
+        integrity::check_streamed_crc(
+            &self.file,
+            self.zone_section,
+            self.num_zone_entries * ZONE_ENTRY_LEN as u64,
+            ck.section2,
+            "zone section",
+            &self.path,
+            stats,
+        )
     }
 
     /// The hash-function number recorded in the header.
@@ -312,18 +526,28 @@ impl IndexFileReader {
         rel_hi: u64,
         stats: &IoStats,
     ) -> Result<Vec<Posting>, IndexError> {
-        assert!(
-            rel_lo <= rel_hi && rel_hi <= entry.count,
-            "bad posting range"
-        );
+        if rel_lo > rel_hi || rel_hi > entry.count {
+            return Err(IndexError::Malformed(format!(
+                "posting range [{rel_lo}, {rel_hi}) outside list of {} postings in {}",
+                entry.count,
+                self.path.display()
+            )));
+        }
         let count = (rel_hi - rel_lo) as usize;
         let mut bytes = vec![0u8; count * Posting::ENCODED_LEN];
-        let offset = HEADER_LEN + (entry.start + rel_lo) * Posting::ENCODED_LEN as u64;
+        let offset = self.header_len + (entry.start + rel_lo) * Posting::ENCODED_LEN as u64;
         self.read_at(offset, &mut bytes, stats)?;
-        Ok(bytes
+        bytes
             .chunks_exact(Posting::ENCODED_LEN)
-            .map(Posting::decode)
-            .collect())
+            .map(|chunk| {
+                Posting::decode_checked(chunk).ok_or_else(|| {
+                    IndexError::Malformed(format!(
+                        "corrupt posting (window invariant violated) in {}",
+                        self.path.display()
+                    ))
+                })
+            })
+            .collect()
     }
 
     /// Reads an entire list.
@@ -390,6 +614,7 @@ mod tests {
         assert_eq!(r.num_keys(), 2);
         assert_eq!(r.num_postings(), 105);
         let stats = IoStats::default();
+        r.verify(&stats).unwrap();
 
         let e10 = r.find(10).unwrap();
         assert!(!e10.has_zone_map(), "short list must not get a zone map");
@@ -407,6 +632,52 @@ mod tests {
         assert!(r.find(15).is_none());
         assert!(stats.snapshot().bytes > 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v1_files_open_and_read_identically() {
+        let new_path = temp("compat_new.ndsi");
+        let old_path = temp("compat_old.ndsi");
+        let lists: Vec<(u64, Vec<Posting>)> = vec![
+            (3, (0..7).map(|i| posting(i, i)).collect()),
+            (9, (0..64).map(|i| posting(i / 2, i % 2)).collect()),
+            (12, vec![posting(5, 1)]),
+        ];
+        for (path, legacy) in [(&new_path, false), (&old_path, true)] {
+            let mut w = if legacy {
+                IndexFileWriter::create_legacy(path, 1, 4, 8).unwrap()
+            } else {
+                IndexFileWriter::create(path, 1, 4, 8).unwrap()
+            };
+            for (hash, postings) in &lists {
+                w.write_list(*hash, postings).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        // The legacy file is exactly the old layout: 32 bytes shorter
+        // (48- vs 80-byte header) and version 1.
+        let old_bytes = std::fs::read(&old_path).unwrap();
+        let new_bytes = std::fs::read(&new_path).unwrap();
+        assert_eq!(old_bytes.len() + 32, new_bytes.len());
+        assert_eq!(u32::from_le_bytes(old_bytes[4..8].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(new_bytes[4..8].try_into().unwrap()), 3);
+
+        let stats = IoStats::default();
+        let old = IndexFileReader::open(&old_path).unwrap();
+        let new = IndexFileReader::open(&new_path).unwrap();
+        old.verify(&stats).unwrap(); // no-op, but must not error
+        assert_eq!(old.dir(), new.dir());
+        for (hash, postings) in &lists {
+            let (eo, en) = (old.find(*hash).unwrap(), new.find(*hash).unwrap());
+            assert_eq!(old.read_postings(eo, &stats).unwrap(), *postings);
+            assert_eq!(new.read_postings(en, &stats).unwrap(), *postings);
+            assert_eq!(
+                old.read_zone(eo, &stats).unwrap(),
+                new.read_zone(en, &stats).unwrap()
+            );
+        }
+        std::fs::remove_file(&old_path).ok();
+        std::fs::remove_file(&new_path).ok();
     }
 
     #[test]
@@ -444,6 +715,15 @@ mod tests {
             r.read_postings_range(e, 10, 20, &stats).unwrap(),
             list[10..20]
         );
+        // An out-of-bounds range is a clean error, not a panic.
+        assert!(matches!(
+            r.read_postings_range(e, 10, 51, &stats),
+            Err(IndexError::Malformed(_))
+        ));
+        assert!(matches!(
+            r.read_postings_range(e, 20, 10, &stats),
+            Err(IndexError::Malformed(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -452,6 +732,58 @@ mod tests {
         let path = temp("garbage.ndsi");
         std::fs::write(&path, vec![0u8; 64]).unwrap();
         assert!(IndexFileReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn no_file_appears_before_finish() {
+        let path = temp("atomic.ndsi");
+        std::fs::remove_file(&path).ok();
+        let mut w = IndexFileWriter::create(&path, 0, 4, 8).unwrap();
+        w.write_list(1, &[posting(0, 0)]).unwrap();
+        assert!(
+            !path.exists(),
+            "destination must not exist until finish() commits"
+        );
+        drop(w); // simulated crash: no artifact, no temp residue under the name
+        assert!(!path.exists());
+
+        let mut w = IndexFileWriter::create(&path, 0, 4, 8).unwrap();
+        w.write_list(1, &[posting(0, 0)]).unwrap();
+        w.finish().unwrap();
+        assert!(IndexFileReader::open(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_tampering_is_detected() {
+        let path = temp("tamper.ndsi");
+        let mut w = IndexFileWriter::create(&path, 0, 4, 8).unwrap();
+        w.write_list(1, &(0..30).map(|i| posting(i, 0)).collect::<Vec<_>>())
+            .unwrap();
+        w.finish().unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Any single-byte header corruption must be rejected at open.
+        for offset in [8usize, 17, 25, 33, 41, 50, 57, 61, 65, 77] {
+            let mut bytes = pristine.clone();
+            bytes[offset] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                matches!(IndexFileReader::open(&path), Err(IndexError::Malformed(_))),
+                "header byte {offset} corruption not caught"
+            );
+        }
+        // Payload corruption is caught by verify().
+        let mut bytes = pristine.clone();
+        let mid = HEADER_LEN_CHECKED as usize + 100;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = IndexFileReader::open(&path).unwrap();
+        assert!(matches!(
+            r.verify(&IoStats::default()),
+            Err(IndexError::Malformed(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 }

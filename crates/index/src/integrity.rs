@@ -1,0 +1,132 @@
+//! Shared integrity machinery for the on-disk index formats.
+//!
+//! Checksummed formats (v3 fixed-width, v4 compressed) extend the legacy
+//! 48-byte header to 80 bytes: the byte length of the variable-size payload
+//! section, a CRC-32C per section, and a CRC-32C over the header itself.
+//! Every header-derived size and offset is validated against the real file
+//! length with overflow-checked arithmetic *before* any allocation, so a
+//! corrupt `num_keys` or `num_postings` can never drive a multi-GB
+//! `Vec::with_capacity` or an out-of-bounds read — it surfaces as
+//! [`IndexError::Malformed`].
+//!
+//! Open-time vs. full verification: `open` checks the header checksum and
+//! the checksums of every section it loads into memory (directory, block
+//! index). The payload sections (postings/blocks, zones) are verified by
+//! the readers' `verify` methods, which stream the section once — callers
+//! that need end-to-end integrity (the `ndss verify` CLI, the
+//! fault-injection suite) run both.
+
+use std::fs::File;
+use std::path::Path;
+
+use crate::{IndexError, IoStats};
+
+/// Header length of the legacy (checksum-less) v1/v2 formats.
+pub(crate) const HEADER_LEN_LEGACY: u64 = 48;
+/// Header length of the checksummed v3/v4 formats: the legacy 48 bytes plus
+/// `section1_len u64`, `section1_crc u32`, `section2_crc u32`, `dir_crc
+/// u32`, `reserved u64`, `header_crc u32`.
+pub(crate) const HEADER_LEN_CHECKED: u64 = 80;
+
+/// Byte offsets of the checksum fields within an 80-byte checked header.
+pub(crate) const OFF_SECTION1_LEN: usize = 48;
+pub(crate) const OFF_SECTION1_CRC: usize = 56;
+pub(crate) const OFF_SECTION2_CRC: usize = 60;
+pub(crate) const OFF_DIR_CRC: usize = 64;
+pub(crate) const OFF_HEADER_CRC: usize = 76;
+
+/// Section checksums carried by a checked header (absent on legacy files).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SectionChecksums {
+    /// CRC-32C of the postings (v3) / blocks (v4) section.
+    pub section1: u32,
+    /// CRC-32C of the zones (v3) / block-index (v4) section.
+    pub section2: u32,
+    /// CRC-32C of the directory section.
+    pub dir: u32,
+}
+
+/// `a * b`, or [`IndexError::Malformed`] naming `what` on overflow.
+pub(crate) fn mul(a: u64, b: u64, what: &str) -> Result<u64, IndexError> {
+    a.checked_mul(b)
+        .ok_or_else(|| IndexError::Malformed(format!("{what} overflows ({a} * {b})")))
+}
+
+/// `a + b`, or [`IndexError::Malformed`] naming `what` on overflow.
+pub(crate) fn add(a: u64, b: u64, what: &str) -> Result<u64, IndexError> {
+    a.checked_add(b)
+        .ok_or_else(|| IndexError::Malformed(format!("{what} overflows ({a} + {b})")))
+}
+
+/// Verifies the trailing CRC of an 80-byte checked header.
+pub(crate) fn check_header_crc(header: &[u8], path: &Path) -> Result<(), IndexError> {
+    let stored = u32::from_le_bytes(
+        header[OFF_HEADER_CRC..OFF_HEADER_CRC + 4]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    let actual = crc32c::crc32c(&header[..OFF_HEADER_CRC]);
+    if stored != actual {
+        return Err(IndexError::Malformed(format!(
+            "header checksum mismatch in {} (stored {stored:#010x}, computed {actual:#010x})",
+            path.display()
+        )));
+    }
+    Ok(())
+}
+
+/// Compares the CRC-32C of an in-memory section against its header value.
+pub(crate) fn check_loaded_crc(
+    bytes: &[u8],
+    expect: u32,
+    what: &str,
+    path: &Path,
+) -> Result<(), IndexError> {
+    let actual = crc32c::crc32c(bytes);
+    if actual != expect {
+        return Err(IndexError::Malformed(format!(
+            "{what} checksum mismatch in {} (stored {expect:#010x}, computed {actual:#010x})",
+            path.display()
+        )));
+    }
+    Ok(())
+}
+
+/// Streams file range `[offset, offset + len)` through CRC-32C in bounded
+/// chunks and compares with `expect`. IO is tallied in `stats`.
+pub(crate) fn check_streamed_crc(
+    file: &File,
+    offset: u64,
+    len: u64,
+    expect: u32,
+    what: &str,
+    path: &Path,
+    stats: &IoStats,
+) -> Result<(), IndexError> {
+    const CHUNK: u64 = 1 << 20;
+    let mut crc = crc32c::Crc32c::new();
+    let mut buf = vec![0u8; CHUNK.min(len.max(1)) as usize];
+    let mut pos = offset;
+    let end = offset + len;
+    while pos < end {
+        let take = ((end - pos).min(CHUNK)) as usize;
+        let start = std::time::Instant::now();
+        crate::pread::read_exact_at(file, &mut buf[..take], pos).map_err(|e| {
+            IndexError::Malformed(format!(
+                "cannot read {what} of {} at offset {pos}: {e}",
+                path.display()
+            ))
+        })?;
+        stats.record(take as u64, start.elapsed().as_nanos() as u64);
+        crc.update(&buf[..take]);
+        pos += take as u64;
+    }
+    if crc.finalize() != expect {
+        return Err(IndexError::Malformed(format!(
+            "{what} checksum mismatch in {} (stored {expect:#010x}, computed {:#010x})",
+            path.display(),
+            crc.finalize()
+        )));
+    }
+    Ok(())
+}

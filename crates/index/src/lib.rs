@@ -48,6 +48,7 @@ pub mod cache;
 pub mod codec;
 pub mod disk;
 pub mod format;
+mod integrity;
 pub mod memory;
 pub mod merge;
 mod pread;
@@ -141,6 +142,25 @@ impl Posting {
         Posting {
             text: u(0),
             window: CompactWindow::new(u(4), u(8), u(12)),
+        }
+    }
+
+    /// Decodes from 16 little-endian bytes, returning `None` when the window
+    /// invariant `l ≤ c ≤ r` does not hold. Read paths use this on bytes
+    /// that come from disk, so corrupt postings surface as
+    /// [`IndexError::Malformed`] instead of tripping the `CompactWindow`
+    /// debug assertion.
+    #[inline]
+    pub fn decode_checked(bytes: &[u8]) -> Option<Self> {
+        let u = |o: usize| u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+        let (l, c, r) = (u(4), u(8), u(12));
+        if l <= c && c <= r {
+            Some(Posting {
+                text: u(0),
+                window: CompactWindow { l, c, r },
+            })
+        } else {
+            None
         }
     }
 }
@@ -251,15 +271,30 @@ impl IndexConfig {
             .get("family")
             .and_then(Json::as_str)
             .ok_or_else(|| malformed("missing family"))?;
+        // A corrupt meta.json must not drive absurd allocations downstream
+        // (`DiskIndex::open` sizes per-function tables by `k`), so bound the
+        // structural parameters before accepting them.
+        let k = uint("k").ok_or_else(|| malformed("missing k"))?;
+        if k == 0 || k > 65_536 {
+            return Err(malformed(&format!("k = {k} out of range (1..=65536)")));
+        }
+        let t = uint("t").ok_or_else(|| malformed("missing t"))?;
+        if t == 0 || t > u32::MAX as u64 {
+            return Err(malformed(&format!("t = {t} out of range (1..=u32::MAX)")));
+        }
+        let zone_step = uint("zone_step").ok_or_else(|| malformed("missing zone_step"))?;
+        if zone_step == 0 || zone_step > u32::MAX as u64 {
+            return Err(malformed(&format!("zone_step = {zone_step} out of range")));
+        }
         Ok(IndexConfig {
-            k: uint("k").ok_or_else(|| malformed("missing k"))? as usize,
-            t: uint("t").ok_or_else(|| malformed("missing t"))? as usize,
+            k: k as usize,
+            t: t as usize,
             seed: uint("seed").ok_or_else(|| malformed("missing seed"))?,
             family: HashFamily::parse(family_name)
                 .ok_or_else(|| malformed("unknown hash family"))?,
             num_texts: uint("num_texts").ok_or_else(|| malformed("missing num_texts"))? as usize,
             total_tokens: uint("total_tokens").ok_or_else(|| malformed("missing total_tokens"))?,
-            zone_step: uint("zone_step").ok_or_else(|| malformed("missing zone_step"))? as u32,
+            zone_step: zone_step as u32,
             zone_min_len: uint("zone_min_len").ok_or_else(|| malformed("missing zone_min_len"))?
                 as u32,
             compress: match doc.get("compress") {

@@ -47,16 +47,26 @@ impl Rectangle {
     }
 
     /// Number of sequences `(i, j)` in the rectangle with `j − i + 1 ≥ t`.
+    ///
+    /// Closed form, O(1): for each start `i`, valid ends are
+    /// `max(y_lo, i + t − 1) ..= y_hi`. The i-axis splits at the point where
+    /// the length constraint overtakes `y_lo` — full rows before it, an
+    /// arithmetic series after. `t = 0` counts the same sequences as
+    /// `t = 1` (every `(i, j)` has length ≥ 1) instead of underflowing.
     pub fn sequences_at_least(&self, t: u32) -> u64 {
-        let mut total = 0u64;
-        for i in self.x_lo..=self.x_hi {
-            // j must be ≥ max(y_lo, i + t − 1) and ≤ y_hi.
-            let j_min = self.y_lo.max(i.saturating_add(t - 1));
-            if j_min <= self.y_hi {
-                total += (self.y_hi - j_min + 1) as u64;
-            }
+        let d = t.saturating_sub(1) as i128;
+        let (x0, x1) = (self.x_lo as i128, self.x_hi as i128);
+        let (y0, y1) = (self.y_lo as i128, self.y_hi as i128);
+        // Starts with i + d ≤ y_lo see the full end-range [y_lo, y_hi].
+        let full_rows = (x1.min(y0 - d) - x0 + 1).max(0);
+        let mut total = full_rows * (y1 - y0 + 1);
+        // Length-constrained starts: row i holds (y1 − d + 1) − i ends.
+        let a = x0.max(y0 - d + 1);
+        let b = x1.min(y1 - d);
+        if a <= b {
+            total += (b - a + 1) * (2 * (y1 - d + 1) - a - b) / 2;
         }
-        total
+        total.max(0) as u64
     }
 
     /// The union of token positions covered by the rectangle's sequences of
@@ -253,6 +263,71 @@ mod tests {
         assert_eq!(r.sequences_at_least(6), 0);
         assert_eq!(r.covered_span(3), Some((0, 4)));
         assert_eq!(r.covered_span(6), None);
+    }
+
+    /// Closed form agrees with the per-start loop it replaced, including the
+    /// t = 0 case that used to underflow `t - 1`.
+    #[test]
+    fn sequences_at_least_matches_bruteforce() {
+        fn brute(r: &Rectangle, t: u32) -> u64 {
+            let mut total = 0u64;
+            for i in r.x_lo..=r.x_hi {
+                for j in r.y_lo..=r.y_hi {
+                    if j >= i && (j - i + 1) as u64 >= t.max(1) as u64 {
+                        total += 1;
+                    }
+                }
+            }
+            total
+        }
+        let rects = [
+            Rectangle {
+                x_lo: 0,
+                x_hi: 2,
+                y_lo: 1,
+                y_hi: 4,
+                collisions: 1,
+            },
+            Rectangle {
+                x_lo: 3,
+                x_hi: 3,
+                y_lo: 3,
+                y_hi: 3,
+                collisions: 1,
+            },
+            Rectangle {
+                x_lo: 0,
+                x_hi: 9,
+                y_lo: 9,
+                y_hi: 30,
+                collisions: 1,
+            },
+            Rectangle {
+                x_lo: 5,
+                x_hi: 7,
+                y_lo: 7,
+                y_hi: 8,
+                collisions: 1,
+            },
+        ];
+        for r in &rects {
+            for t in 0..40u32 {
+                assert_eq!(r.sequences_at_least(t), brute(r, t), "{r:?} t={t}");
+            }
+            // t = 0 is "any sequence", identical to t = 1, and must not panic.
+            assert_eq!(r.sequences_at_least(0), r.sequences_at_least(1));
+            assert_eq!(r.sequences_at_least(u32::MAX), 0);
+        }
+        // Huge coordinates: the closed form must not overflow.
+        let big = Rectangle {
+            x_lo: 0,
+            x_hi: u32::MAX - 1,
+            y_lo: 0,
+            y_hi: u32::MAX - 1,
+            collisions: 1,
+        };
+        assert_eq!(big.sequences_at_least(u32::MAX), 1);
+        assert!(big.sequences_at_least(1) > 0);
     }
 
     #[test]

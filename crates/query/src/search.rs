@@ -89,7 +89,9 @@ impl TextMatch {
         let mut out = Vec::new();
         for r in &self.rects {
             for i in r.x_lo..=r.x_hi {
-                let j_min = r.y_lo.max(i.saturating_add(t - 1));
+                // t = 0 behaves as t = 1 (every sequence has length ≥ 1)
+                // rather than underflowing `t - 1`.
+                let j_min = r.y_lo.max(i.saturating_add(t.saturating_sub(1)));
                 if j_min > r.y_hi {
                     // j_min only grows with i, so no later i qualifies.
                     break;
@@ -468,6 +470,38 @@ mod tests {
 
     fn build_index(corpus: &InMemoryCorpus, k: usize, t: usize) -> MemoryIndex {
         MemoryIndex::build(corpus, IndexConfig::new(k, t, 1234)).unwrap()
+    }
+
+    /// `t = 0` and `t = 1` are equivalent everywhere the length threshold is
+    /// applied (every sequence has length ≥ 1) — and neither panics, which
+    /// `t = 0` used to do via `t - 1` underflow.
+    #[test]
+    fn zero_length_threshold_behaves_like_one() {
+        let m = TextMatch {
+            text: 7,
+            rects: vec![
+                Rectangle {
+                    x_lo: 0,
+                    x_hi: 2,
+                    y_lo: 2,
+                    y_hi: 5,
+                    collisions: 3,
+                },
+                Rectangle {
+                    x_lo: 4,
+                    x_hi: 4,
+                    y_lo: 6,
+                    y_hi: 6,
+                    collisions: 2,
+                },
+            ],
+        };
+        assert_eq!(m.enumerate(0), m.enumerate(1));
+        assert_eq!(m.num_sequences(0), m.num_sequences(1));
+        assert_eq!(m.merged_spans(0), m.merged_spans(1));
+        assert_eq!(m.num_sequences(1), m.enumerate(1).len() as u64);
+        // t = 1 sanity: every (i, j) pair of each rectangle qualifies.
+        assert_eq!(m.num_sequences(1), 3 * 4 + 1);
     }
 
     #[test]

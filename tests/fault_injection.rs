@@ -1,0 +1,320 @@
+//! Fault-injection sweeps over every on-disk format.
+//!
+//! For each artifact (fixed-width v3 index, compressed v4 index, corpus
+//! v2) the harness applies hundreds of seed-deterministic mutations — bit
+//! flips, truncations, zeroed pages, adversarial header fields, trailing
+//! garbage — and requires that every case either fails with a clean typed
+//! error or reads back byte-identically to the pristine artifact. A panic,
+//! an allocation larger than 64 MiB, or a silently different query result
+//! fails the sweep with the offending seed in the message.
+//!
+//! Because the checksummed formats cover every byte (header CRC + one CRC
+//! per section) and validate exact file length, an *effective* mutation can
+//! never read back clean — the sweeps assert all of them are rejected.
+//! Legacy (v1/v2) files carry no checksums, so their sweeps only demand
+//! memory safety: no panics and no unbounded allocations; corrupt data may
+//! surface as either an error or wrong bytes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ndss::index::codec::{CompressedFileReader, CompressedFileWriter};
+use ndss::index::format::{IndexFileReader, IndexFileWriter};
+use ndss::index::{IoStats, Posting};
+use ndss::prelude::*;
+use ndss::windows::CompactWindow;
+
+use ndss_integration::mutate::mutate;
+
+/// Tracks the largest single allocation requested anywhere in the process.
+/// A corrupted header must never translate into an OOM-sized allocation;
+/// 64 MiB is orders of magnitude above anything these small test artifacts
+/// legitimately need.
+struct PeakAlloc;
+
+static LARGEST_ALLOC: AtomicUsize = AtomicUsize::new(0);
+const ALLOC_CAP: usize = 64 << 20;
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        LARGEST_ALLOC.fetch_max(layout.size(), Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc;
+
+fn assert_alloc_cap(context: &str) {
+    let peak = LARGEST_ALLOC.load(Ordering::Relaxed);
+    assert!(
+        peak <= ALLOC_CAP,
+        "{context}: corrupted input drove a {peak}-byte allocation (cap {ALLOC_CAP})"
+    );
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ndss_it_faults").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// ---------------------------------------------------------------------------
+// Checksummed index formats: full open → verify → query pipeline.
+// ---------------------------------------------------------------------------
+
+/// Opens the index directory, streams every stored checksum, and runs the
+/// query set; any corruption must surface as `Err` before results differ.
+fn run_queries(dir: &Path, queries: &[Vec<TokenId>]) -> Result<Vec<SeqRef>, String> {
+    let index = CorpusIndex::open(dir, PrefixFilter::Disabled).map_err(|e| e.to_string())?;
+    index
+        .index()
+        .verify_integrity()
+        .map_err(|e| e.to_string())?;
+    let searcher = index.searcher().map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for query in queries {
+        let outcome = searcher.search(query, 0.8).map_err(|e| e.to_string())?;
+        out.extend(outcome.enumerate_all());
+    }
+    Ok(out)
+}
+
+fn index_sweep(compress: bool, seeds: u64) {
+    let version = if compress { "v4" } else { "v3" };
+    let dir = temp_dir(&format!("index_{version}"));
+    let (corpus, planted) = SyntheticCorpusBuilder::new(41).num_texts(30).build();
+    let params =
+        SearchParams::new(2, 25, 5).index_config(|c| c.compressed(compress).zone_map(8, 16));
+    CorpusIndex::build_on_disk(&corpus, params, &dir).unwrap();
+    let queries: Vec<Vec<TokenId>> = planted
+        .iter()
+        .take(4)
+        .map(|p| corpus.sequence_to_vec(p.dst).unwrap())
+        .collect();
+    assert!(
+        !queries.is_empty(),
+        "synthetic corpus planted no duplicates"
+    );
+    let baseline = run_queries(&dir, &queries).expect("pristine index must verify and search");
+    assert!(!baseline.is_empty(), "queries must hit planted duplicates");
+
+    let target = dir.join("inv_0.ndsi");
+    let pristine = std::fs::read(&target).unwrap();
+    let (mut applied, mut rejected) = (0u64, 0u64);
+    for seed in 0..seeds {
+        let (mutated, mutation) = mutate(&pristine, seed);
+        if mutated == pristine {
+            continue; // e.g. zeroed an already-zero page
+        }
+        applied += 1;
+        std::fs::write(&target, &mutated).unwrap();
+        match catch_unwind(AssertUnwindSafe(|| run_queries(&dir, &queries))) {
+            Err(_) => panic!("{version} seed {seed}: {mutation:?} caused a panic"),
+            Ok(Err(_)) => rejected += 1,
+            Ok(Ok(results)) => assert_eq!(
+                results, baseline,
+                "{version} seed {seed}: {mutation:?} gave silently wrong results"
+            ),
+        }
+    }
+    // Every byte of a checksummed file is covered, so no effective mutation
+    // may survive the open + verify pipeline.
+    assert_eq!(
+        rejected, applied,
+        "{version}: all {applied} effective mutations must be rejected"
+    );
+    assert!(
+        applied > seeds / 2,
+        "{version}: mutation sweep mostly no-ops"
+    );
+    std::fs::write(&target, &pristine).unwrap();
+    let restored = run_queries(&dir, &queries).expect("restoring pristine bytes must heal");
+    assert_eq!(restored, baseline);
+    assert_alloc_cap(version);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fixed_width_index_survives_mutation_sweep() {
+    index_sweep(false, 220);
+}
+
+#[test]
+fn compressed_index_survives_mutation_sweep() {
+    index_sweep(true, 220);
+}
+
+// ---------------------------------------------------------------------------
+// Checksummed corpus format.
+// ---------------------------------------------------------------------------
+
+fn corpus_reads(path: &Path) -> Result<(u64, Vec<Vec<TokenId>>), String> {
+    let corpus = DiskCorpus::open(path).map_err(|e| e.to_string())?;
+    corpus.verify().map_err(|e| e.to_string())?;
+    let mut texts = Vec::new();
+    for id in 0..corpus.num_texts() {
+        texts.push(
+            corpus
+                .text_to_vec(id as TextId)
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    Ok((corpus.total_tokens(), texts))
+}
+
+#[test]
+fn corpus_survives_mutation_sweep() {
+    let dir = temp_dir("corpus_v2");
+    let path = dir.join("c.ndsc");
+    let (corpus, _) = SyntheticCorpusBuilder::new(42).num_texts(25).build();
+    ndss::corpus::disk::write_corpus(&corpus, &path).unwrap();
+    let baseline = corpus_reads(&path).expect("pristine corpus must verify and read");
+
+    let pristine = std::fs::read(&path).unwrap();
+    let (mut applied, mut rejected) = (0u64, 0u64);
+    for seed in 0..220 {
+        let (mutated, mutation) = mutate(&pristine, seed);
+        if mutated == pristine {
+            continue;
+        }
+        applied += 1;
+        std::fs::write(&path, &mutated).unwrap();
+        match catch_unwind(AssertUnwindSafe(|| corpus_reads(&path))) {
+            Err(_) => panic!("corpus seed {seed}: {mutation:?} caused a panic"),
+            Ok(Err(_)) => rejected += 1,
+            Ok(Ok(read)) => assert_eq!(
+                read, baseline,
+                "corpus seed {seed}: {mutation:?} gave silently wrong texts"
+            ),
+        }
+    }
+    assert_eq!(
+        rejected, applied,
+        "corpus v2: all {applied} effective mutations must be rejected"
+    );
+    std::fs::write(&path, &pristine).unwrap();
+    assert_eq!(corpus_reads(&path).unwrap(), baseline);
+    assert_alloc_cap("corpus v2");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Legacy (checksum-less) formats: corruption may go undetected, but it must
+// never panic or provoke an OOM-sized allocation.
+// ---------------------------------------------------------------------------
+
+/// A small but non-trivial posting-list fixture: strictly ascending hashes,
+/// per-list postings sorted by `(text, l, c, r)`.
+fn fixture_lists() -> Vec<(u64, Vec<Posting>)> {
+    (0..40u64)
+        .map(|h| {
+            let postings = (0..1 + (h % 4) as u32)
+                .map(|text| {
+                    let l = (h % 5) as u32;
+                    let c = l + text % 3;
+                    Posting {
+                        text,
+                        window: CompactWindow::new(l, c, c + 2),
+                    }
+                })
+                .collect();
+            (h * 17 + 3, postings)
+        })
+        .collect()
+}
+
+fn legacy_sweep<F>(name: &str, pristine: &[u8], path: &Path, seeds: u64, read: F)
+where
+    F: Fn(&Path) -> Result<(), String>,
+{
+    for seed in 0..seeds {
+        let (mutated, mutation) = mutate(pristine, seed);
+        std::fs::write(path, &mutated).unwrap();
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| {
+            // Errors and silently wrong bytes are both acceptable for
+            // checksum-less files; only panics and huge allocations are not.
+            let _ = read(path);
+        })) {
+            drop(panic);
+            panic!("{name} seed {seed}: {mutation:?} caused a panic");
+        }
+    }
+    assert_alloc_cap(name);
+}
+
+#[test]
+fn legacy_v1_index_never_panics() {
+    let dir = temp_dir("legacy_v1");
+    let path = dir.join("inv_0.ndsi");
+    let mut writer = IndexFileWriter::create_legacy(&path, 0, 8, 16).unwrap();
+    for (hash, postings) in fixture_lists() {
+        writer.write_list(hash, &postings).unwrap();
+    }
+    writer.finish().unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    legacy_sweep("legacy v1", &pristine, &path, 80, |p| {
+        let reader = IndexFileReader::open(p).map_err(|e| e.to_string())?;
+        let stats = IoStats::default();
+        for entry in reader.dir().to_vec() {
+            reader
+                .read_postings(&entry, &stats)
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_v2_index_never_panics() {
+    let dir = temp_dir("legacy_v2");
+    let path = dir.join("inv_0.ndsi");
+    let mut writer = CompressedFileWriter::create_legacy(&path, 0, 8).unwrap();
+    let lists = fixture_lists();
+    for (hash, postings) in &lists {
+        writer.write_list(*hash, postings).unwrap();
+    }
+    writer.finish().unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    let hashes: Vec<u64> = lists.iter().map(|(h, _)| *h).collect();
+    legacy_sweep("legacy v2", &pristine, &path, 80, move |p| {
+        let reader = CompressedFileReader::open(p).map_err(|e| e.to_string())?;
+        let stats = IoStats::default();
+        for &hash in &hashes {
+            reader.read_list(hash, &stats).map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn legacy_v1_corpus_never_panics() {
+    let dir = temp_dir("legacy_corpus");
+    let path = dir.join("c.ndsc");
+    let mut writer = DiskCorpusWriter::create_legacy(&path).unwrap();
+    for text in 0..20u32 {
+        let tokens: Vec<TokenId> = (0..50).map(|i| text * 100 + i).collect();
+        writer.push_text(&tokens).unwrap();
+    }
+    writer.finish().unwrap();
+    let pristine = std::fs::read(&path).unwrap();
+    legacy_sweep("legacy corpus", &pristine, &path, 80, |p| {
+        let corpus = DiskCorpus::open(p).map_err(|e| e.to_string())?;
+        for id in 0..corpus.num_texts() {
+            corpus
+                .text_to_vec(id as TextId)
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}

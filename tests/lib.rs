@@ -1,1 +1,4 @@
-//! Integration test files are declared as [[test]] targets in Cargo.toml.
+//! Shared test support for the integration suite. The integration test
+//! files themselves are declared as `[[test]]` targets in `Cargo.toml`.
+
+pub mod mutate;

@@ -1,0 +1,178 @@
+//! Deterministic fault injection for on-disk artifacts.
+//!
+//! [`mutate`] derives one corruption from a `(pristine, seed)` pair — the
+//! same inputs always produce the same mutated bytes, so a sweep over seeds
+//! is reproducible: a seed that exposes a panic or a silently-wrong read
+//! keeps exposing it until the underlying bug is fixed.
+//!
+//! The mutation mix models the faults a storage layer actually sees:
+//! single-bit flips (media decay), truncation (crash mid-write), zeroed
+//! pages (lost writes on page-granular media), targeted header-field
+//! overwrites (the adversarial case for size/offset validation), and
+//! trailing garbage (partial overwrite by a larger stale file).
+
+/// Splitmix64: tiny, seedable, and good enough to spread mutations across
+/// the whole file.
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `[0, n)`. Modulo bias is irrelevant here.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// What [`mutate`] did, for diagnostics when a sweep case fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// One bit flipped anywhere in the file.
+    BitFlip { offset: usize, bit: u8 },
+    /// File cut to a strictly shorter length (possibly zero).
+    Truncate { new_len: usize },
+    /// Up to one 4 KiB page overwritten with zeros.
+    ZeroPage { offset: usize, len: usize },
+    /// An aligned 4- or 8-byte field in the header region overwritten with
+    /// an adversarial value (0, 1, 2, a size-like number, or all-ones).
+    HeaderField {
+        offset: usize,
+        width: usize,
+        value: u64,
+    },
+    /// Garbage bytes appended past the true end of the file.
+    Extend { extra: usize },
+}
+
+const PAGE: usize = 4096;
+/// Header fields live in the first 80 bytes of every ndss format.
+const HEADER_REGION: usize = 80;
+
+/// Applies one seed-determined mutation to a copy of `pristine`.
+///
+/// The result may equal the input (zeroing an already-zero page, writing a
+/// header value that was already there); callers that require an effective
+/// mutation should compare and skip. `pristine` must be at least 8 bytes —
+/// every real artifact starts with magic + version.
+pub fn mutate(pristine: &[u8], seed: u64) -> (Vec<u8>, Mutation) {
+    assert!(pristine.len() >= 8, "artifact too small to mutate");
+    let mut rng = Rng::new(seed);
+    let mut bytes = pristine.to_vec();
+    let len = bytes.len();
+    // Weighted kind choice: bit flips dominate (they probe every byte's
+    // checksum coverage), the structured faults split the rest.
+    let mutation = match rng.below(16) {
+        0..=6 => {
+            let offset = rng.below(len as u64) as usize;
+            let bit = rng.below(8) as u8;
+            bytes[offset] ^= 1 << bit;
+            Mutation::BitFlip { offset, bit }
+        }
+        7..=9 => {
+            let new_len = rng.below(len as u64) as usize;
+            bytes.truncate(new_len);
+            Mutation::Truncate { new_len }
+        }
+        10..=12 => {
+            let offset = rng.below(len as u64) as usize;
+            let end = (offset + PAGE).min(len);
+            bytes[offset..end].fill(0);
+            Mutation::ZeroPage {
+                offset,
+                len: end - offset,
+            }
+        }
+        13..=14 => {
+            // Aligned field in the header region: the values a validator
+            // must survive — zeros, tiny counts, version confusion (2), a
+            // plausible-but-wrong size, and overflow bait.
+            let region = HEADER_REGION.min(len);
+            let width = if rng.below(2) == 0 { 4 } else { 8 };
+            let slots = (region / width).max(1) as u64;
+            let offset = rng.below(slots) as usize * width;
+            let value = match rng.below(7) {
+                0 => 0,
+                1 => 1,
+                2 => 2,
+                3 => len as u64,
+                4 => (len as u64).wrapping_mul(1 << 20),
+                5 => u32::MAX as u64,
+                _ => u64::MAX,
+            };
+            let end = (offset + width).min(len);
+            bytes[offset..end].copy_from_slice(&value.to_le_bytes()[..end - offset]);
+            Mutation::HeaderField {
+                offset,
+                width,
+                value,
+            }
+        }
+        _ => {
+            let extra = 1 + rng.below(64) as usize;
+            for _ in 0..extra {
+                bytes.push(rng.next_u64() as u8);
+            }
+            Mutation::Extend { extra }
+        }
+    };
+    (bytes, mutation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_deterministic() {
+        let data: Vec<u8> = (0..500u32).map(|i| (i * 7) as u8).collect();
+        for seed in 0..64 {
+            assert_eq!(mutate(&data, seed), mutate(&data, seed));
+        }
+    }
+
+    #[test]
+    fn covers_every_kind() {
+        let data = vec![0xABu8; 1000];
+        let mut seen = [false; 5];
+        for seed in 0..256 {
+            let (_, m) = mutate(&data, seed);
+            let idx = match m {
+                Mutation::BitFlip { .. } => 0,
+                Mutation::Truncate { .. } => 1,
+                Mutation::ZeroPage { .. } => 2,
+                Mutation::HeaderField { .. } => 3,
+                Mutation::Extend { .. } => 4,
+            };
+            seen[idx] = true;
+        }
+        assert_eq!(seen, [true; 5], "some mutation kind never fired");
+    }
+
+    #[test]
+    fn length_changes_match_reported_mutation() {
+        let data = vec![1u8; 300];
+        for seed in 0..256 {
+            let (out, m) = mutate(&data, seed);
+            match m {
+                Mutation::Truncate { new_len } => assert_eq!(out.len(), new_len),
+                Mutation::Extend { extra } => assert_eq!(out.len(), data.len() + extra),
+                _ => assert_eq!(out.len(), data.len()),
+            }
+        }
+    }
+}

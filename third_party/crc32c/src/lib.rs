@@ -1,0 +1,166 @@
+//! CRC-32C (Castagnoli) — software implementation, no registry deps.
+//!
+//! Work-alike of the `crc32c` crate surface this workspace uses: the
+//! one-shot [`crc32c`] function, the streaming [`crc32c_append`], and the
+//! incremental [`Crc32c`] hasher. The polynomial (0x1EDC6F41, reflected
+//! 0x82F63B78) is the one hardware CRC instructions implement, so artifacts
+//! checksummed here stay verifiable by any standard CRC-32C tool.
+//!
+//! The implementation is slicing-by-8 over tables built at first use: ~1–2
+//! GB/s in software, which is far faster than the disk reads it guards.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0x82F63B78; // reflected Castagnoli polynomial
+
+/// 8 tables × 256 entries for slicing-by-8.
+fn tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for i in 0..256u32 {
+            let mut crc = i;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            t[0][i as usize] = crc;
+        }
+        for i in 0..256 {
+            let mut crc = t[0][i];
+            for slice in 1..8 {
+                crc = t[0][(crc & 0xFF) as usize] ^ (crc >> 8);
+                t[slice][i] = crc;
+            }
+        }
+        t
+    })
+}
+
+/// Appends `data` to a running CRC-32C. `crc` is the value returned by a
+/// previous call (or 0 to start).
+pub fn crc32c_append(crc: u32, data: &[u8]) -> u32 {
+    let t = tables();
+    let mut crc = !crc;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let low = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let high = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = t[7][(low & 0xFF) as usize]
+            ^ t[6][((low >> 8) & 0xFF) as usize]
+            ^ t[5][((low >> 16) & 0xFF) as usize]
+            ^ t[4][(low >> 24) as usize]
+            ^ t[3][(high & 0xFF) as usize]
+            ^ t[2][((high >> 8) & 0xFF) as usize]
+            ^ t[1][((high >> 16) & 0xFF) as usize]
+            ^ t[0][(high >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// One-shot CRC-32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+/// Incremental CRC-32C hasher for streaming writers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Crc32c {
+    crc: u32,
+}
+
+impl Crc32c {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        self.crc = crc32c_append(self.crc, data);
+    }
+
+    /// The checksum of everything updated so far.
+    pub fn finalize(&self) -> u32 {
+        self.crc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-at-a-time reference, independent of the table construction.
+    fn reference(data: &[u8]) -> u32 {
+        let mut crc = !0u32;
+        for &b in data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
+    }
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 / standard CRC-32C test vectors.
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn sliced_tables_match_bitwise_reference() {
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        for len in [0, 1, 7, 8, 9, 63, 64, 65, 1000, 4096] {
+            assert_eq!(crc32c(&data[..len]), reference(&data[..len]), "len {len}");
+        }
+    }
+
+    #[test]
+    fn append_equals_oneshot_at_every_split() {
+        let data: Vec<u8> = (0..253u32).map(|i| (i * 7 + 3) as u8).collect();
+        let whole = crc32c(&data);
+        for cut in 0..=data.len() {
+            let partial = crc32c(&data[..cut]);
+            assert_eq!(crc32c_append(partial, &data[cut..]), whole, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn incremental_hasher_matches() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let mut h = Crc32c::new();
+        for chunk in data.chunks(17) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), crc32c(&data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = b"near-duplicate sequence search".to_vec();
+        let clean = crc32c(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&data), clean, "missed flip at {byte}:{bit}");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+}
