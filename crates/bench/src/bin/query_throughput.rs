@@ -66,6 +66,38 @@ fn main() {
     let serial_qps = qps(queries.len(), serial_secs);
     println!("serial: {serial_qps:.1} queries/s");
 
+    // ---- Instrumentation overhead: registry recording on vs off. ---------
+    // Same serial workload, best of 3 passes each way to damp scheduler
+    // noise. The metrics hot path is pure relaxed atomics, so the enabled
+    // run must stay within 5% of the disabled run.
+    let time_serial = || {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for q in &queries {
+                std::hint::black_box(searcher.search(q, theta).unwrap());
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    assert!(ndss::obs::is_enabled(), "instrumentation should default on");
+    let secs_on = time_serial();
+    ndss::obs::set_enabled(false);
+    let secs_off = time_serial();
+    ndss::obs::set_enabled(true);
+    let overhead_pct = 100.0 * (secs_on - secs_off) / secs_off.max(1e-9);
+    println!(
+        "instrumentation: {:.1} q/s enabled vs {:.1} q/s disabled ({overhead_pct:+.2}% overhead)",
+        qps(queries.len(), secs_on),
+        qps(queries.len(), secs_off)
+    );
+    shape_check(
+        "instrumentation overhead on the query path < 5%",
+        overhead_pct < 5.0,
+        &format!("{overhead_pct:+.2}%"),
+    );
+
     let mut batch_rows = Vec::new();
     let mut qps_at_4 = 0.0;
     for threads in [1usize, 2, 4, 8] {
@@ -150,6 +182,20 @@ fn main() {
         )
         .field("available_cores", Json::UInt(cores as u64))
         .field("serial_queries_per_sec", Json::Float(serial_qps))
+        .field(
+            "instrumentation",
+            ObjectBuilder::new()
+                .field(
+                    "queries_per_sec_enabled",
+                    Json::Float(qps(queries.len(), secs_on)),
+                )
+                .field(
+                    "queries_per_sec_disabled",
+                    Json::Float(qps(queries.len(), secs_off)),
+                )
+                .field("overhead_pct", Json::Float(overhead_pct))
+                .build(),
+        )
         .field("batch", Json::Array(batch_rows))
         .field(
             "hot_list_cache",

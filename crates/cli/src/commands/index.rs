@@ -55,5 +55,5 @@ pub fn run(args: &Args) -> Result<(), String> {
         bytes as f64 / (corpus.total_tokens() as f64 * 4.0) / k as f64,
         8.0 / t as f64
     );
-    Ok(())
+    crate::obs::maybe_write_metrics(args)
 }

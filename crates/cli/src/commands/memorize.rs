@@ -53,5 +53,5 @@ pub fn run(args: &Args) -> Result<(), String> {
             r.ratio() * 100.0
         );
     }
-    Ok(())
+    crate::obs::maybe_write_metrics(args)
 }

@@ -34,5 +34,5 @@ pub fn run(args: &Args) -> Result<(), String> {
         merged.config().k,
         merged.config().t
     );
-    Ok(())
+    crate::obs::maybe_write_metrics(args)
 }

@@ -10,11 +10,13 @@ pub fn run(args: &Args) -> Result<(), String> {
     let index_dir = args.required("index")?;
     let theta: f64 = args.get_or("theta", 0.8)?;
     let top: usize = args.get_or("top", 10)?;
+    let profile = args.flag("profile");
 
     // Batch mode: a file of queries fanned out over a thread pool.
     if let Some(path) = args.get("queries-file") {
         let threads: usize = args.get_or("threads", 0)?;
-        return run_batch(index_dir, path, theta, threads);
+        run_batch(index_dir, path, theta, threads, profile)?;
+        return crate::obs::maybe_write_metrics(args);
     }
 
     // Query source: explicit token ids, a span of the corpus itself, or raw
@@ -66,13 +68,15 @@ pub fn run(args: &Args) -> Result<(), String> {
         );
     }
     let searcher = index.searcher().map_err(|e| e.to_string())?;
-    let ranked = searcher
-        .search_ranked(&query, theta, top)
-        .map_err(|e| e.to_string())?;
+    let outcome = searcher.search(&query, theta).map_err(|e| e.to_string())?;
+    let ranked = searcher.rank(&outcome, top);
 
     if ranked.is_empty() {
         println!("no near-duplicate sequences at θ = {theta}");
-        return Ok(());
+        if profile {
+            crate::obs::print_profile(&outcome.stats, 1);
+        }
+        return crate::obs::maybe_write_metrics(args);
     }
     println!(
         "{} matched text(s) at θ = {theta} (k = {}, β = {}):",
@@ -117,14 +121,23 @@ pub fn run(args: &Args) -> Result<(), String> {
             println!("            “{preview}…”");
         }
     }
-    Ok(())
+    if profile {
+        crate::obs::print_profile(&outcome.stats, 1);
+    }
+    crate::obs::maybe_write_metrics(args)
 }
 
 /// `--queries-file FILE [--threads N]`: one query per line as
 /// comma-separated token ids; blank lines and `#` comments are skipped.
 /// Queries run through [`ndss::BatchSearcher`]; results print in input
 /// order with an aggregate throughput/IO summary.
-fn run_batch(index_dir: &str, path: &str, theta: f64, threads: usize) -> Result<(), String> {
+fn run_batch(
+    index_dir: &str,
+    path: &str,
+    theta: f64,
+    threads: usize,
+    profile: bool,
+) -> Result<(), String> {
     let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let mut queries: Vec<Vec<u32>> = Vec::new();
     for (lineno, line) in raw.lines().enumerate() {
@@ -192,6 +205,13 @@ fn run_batch(index_dir: &str, path: &str, theta: f64, threads: usize) -> Result<
             io_bytes as f64 / (1024.0 * 1024.0),
             100.0 * cache_hits as f64 / lookups as f64,
         );
+    }
+    if profile {
+        // Stage times are summed across queries (total thread-time per
+        // stage); latency percentiles come from the registry histogram.
+        let summed = crate::obs::sum_stats(outcomes.iter().map(|o| &o.stats));
+        crate::obs::print_profile(&summed, outcomes.len());
+        crate::obs::print_latency_percentiles();
     }
     Ok(())
 }

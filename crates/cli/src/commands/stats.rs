@@ -73,5 +73,12 @@ pub fn run(args: &Args) -> Result<(), String> {
              (Zipf skew drives prefix filtering)"
         );
     }
-    Ok(())
+
+    // Process metrics accumulated while scanning (corpus reads, index IO,
+    // cache behaviour): `--metrics` renders them, `--metrics-out` exports.
+    if args.flag("metrics") {
+        println!("\nprocess metrics:");
+        crate::obs::print_registry();
+    }
+    crate::obs::maybe_write_metrics(args)
 }

@@ -15,6 +15,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod obs;
 
 use std::process::ExitCode;
 
@@ -85,17 +86,23 @@ COMMANDS:
                --query-span text:start:end --corpus FILE |
                --query TEXT --tokenizer FILE] [--top N=10]
                [--corpus FILE (decodes matches)]
+               [--profile (per-stage timing/IO breakdown)]
              batch mode: one comma-separated query per line, run in parallel
                --index DIR --queries-file FILE [--theta F=0.8]
-               [--threads N=all cores]
+               [--threads N=all cores] [--profile]
   stats      corpus and index statistics
                --corpus FILE [--index DIR] [--top N=10]
+               [--metrics (render process metrics registry)]
   verify     stream stored checksums over an index and/or corpus
                [--corpus FILE] [--index DIR]
   memorize   train an n-gram LM on the corpus and measure memorization
                --corpus FILE --index DIR [--order N=4] [--texts N=20]
                [--len N=256] [--window N=32] [--thetas F,F=1.0,0.9,0.8]
                [--seed N=1]
-  help       print this message"
+  help       print this message
+
+Long-running commands (index, merge, search, memorize, stats) accept
+  --metrics-out PATH   write a metrics snapshot on exit: Prometheus text
+                       exposition for .prom/.txt, JSON otherwise"
     );
 }

@@ -50,10 +50,13 @@
 
 pub use ndss_baseline as baseline;
 pub use ndss_corpus as corpus;
+pub use ndss_durable as durable;
 pub use ndss_exact as exact;
 pub use ndss_hash as hash;
 pub use ndss_index as index;
+pub use ndss_json as json;
 pub use ndss_lm as lm;
+pub use ndss_obs as obs;
 pub use ndss_parallel as parallel;
 pub use ndss_query as query;
 pub use ndss_rmq as rmq;
@@ -77,6 +80,7 @@ pub mod prelude {
     pub use ndss_hash::{MinHasher, Sketch, TokenId};
     pub use ndss_index::{DiskIndex, ExternalIndexBuilder, IndexAccess, IndexConfig, MemoryIndex};
     pub use ndss_lm::{evaluate_memorization, GenerationStrategy, MemorizationConfig, NGramModel};
+    pub use ndss_obs::{Registry, Unit};
     pub use ndss_query::{
         BatchSearcher, DocumentMatch, DocumentScan, NearDupSearcher, PrefixFilter, RankedMatch,
         SearchOutcome, TextMatch,

@@ -179,6 +179,9 @@ pub struct DiskCorpus {
     data_start: u64,
     /// CRC-32C of the data section; `None` on legacy v1 files.
     data_crc: Option<u32>,
+    /// Registry handles (registered once per open, atomic adds per read).
+    reads: ndss_obs::Counter,
+    read_bytes: ndss_obs::Counter,
 }
 
 impl std::fmt::Debug for DiskCorpus {
@@ -290,12 +293,15 @@ impl DiskCorpus {
                 "offsets table is not monotone or inconsistent with token count".into(),
             ));
         }
+        let reg = ndss_obs::Registry::global();
         Ok(Self {
             path: path.to_owned(),
             file: Mutex::new(file),
             offsets,
             data_start,
             data_crc,
+            reads: reg.counter("corpus.io.reads", "Text reads served by disk corpora"),
+            read_bytes: reg.counter("corpus.io.bytes", "Bytes read from disk corpora"),
         })
     }
 
@@ -369,6 +375,8 @@ impl CorpusSource for DiskCorpus {
             file.seek(SeekFrom::Start(self.data_start + start * 4))?;
             file.read_exact(&mut bytes)?;
         }
+        self.reads.inc(1);
+        self.read_bytes.inc(bytes.len() as u64);
         buf.extend(
             bytes
                 .chunks_exact(4)

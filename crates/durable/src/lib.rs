@@ -25,6 +25,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// side by side).
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Process-wide count of `fsync` calls issued by this crate (file
+/// `sync_all` on commit plus directory syncs). Build pipelines snapshot it
+/// before/after a phase to report fsyncs per artifact without this crate
+/// depending on the observability layer.
+static FSYNC_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Total `fsync`s (file + directory) performed via this crate so far.
+pub fn fsync_count() -> u64 {
+    FSYNC_COUNTER.load(Ordering::Relaxed)
+}
+
 /// A file that materializes at its destination path only on [`commit`].
 ///
 /// [`commit`]: AtomicFile::commit
@@ -75,6 +86,7 @@ impl AtomicFile {
     pub fn commit(mut self) -> io::Result<()> {
         let file = self.file.take().expect("AtomicFile committed twice");
         file.sync_all()?;
+        FSYNC_COUNTER.fetch_add(1, Ordering::Relaxed);
         drop(file);
         std::fs::rename(&self.tmp_path, &self.dest)?;
         if let Some(parent) = self.dest.parent() {
@@ -117,7 +129,9 @@ impl Seek for AtomicFile {
 pub fn sync_dir(dir: &Path) -> io::Result<()> {
     #[cfg(unix)]
     {
-        File::open(dir)?.sync_all()
+        File::open(dir)?.sync_all()?;
+        FSYNC_COUNTER.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
     #[cfg(not(unix))]
     {
@@ -192,6 +206,21 @@ mod tests {
         write_atomic(&dest, b"{\"v\":2}").unwrap();
         assert_eq!(std::fs::read(&dest).unwrap(), b"{\"v\":2}");
         assert_eq!(list_names(&dir), vec!["meta.json"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_counter_advances_on_commit() {
+        let dir = temp_dir("fsync_count");
+        let before = fsync_count();
+        write_atomic(&dir.join("a.bin"), b"x").unwrap();
+        let after = fsync_count();
+        // File sync plus (on unix) a directory sync.
+        let expected = if cfg!(unix) { 2 } else { 1 };
+        assert!(
+            after >= before + expected,
+            "fsync count {before} -> {after}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,113 @@
+//! Statistical properties of the min-hash sketch, the estimator the whole
+//! system rests on: each sketch component collides between two token sets
+//! with probability equal to their **distinct Jaccard similarity**, so the
+//! collision fraction is an unbiased estimator with variance `J(1−J)/k`.
+//!
+//! These are Monte-Carlo tests with pinned seeds and generous tolerances —
+//! they catch systematic estimator bias (broken hashing, correlated
+//! components), not small numerical drift.
+
+use ndss_hash::jaccard::distinct_jaccard;
+use ndss_hash::MinHasher;
+
+/// Two token arrays with `shared` common distinct tokens and `only` extra
+/// distinct tokens each: J = shared / (shared + 2·only).
+fn pair(shared: u32, only: u32) -> (Vec<u32>, Vec<u32>) {
+    let a: Vec<u32> = (0..shared).chain(1000..1000 + only).collect();
+    let b: Vec<u32> = (0..shared).chain(2000..2000 + only).collect();
+    (a, b)
+}
+
+/// Fraction of sketch components on which `a` and `b` collide under one
+/// seeded hasher.
+fn collision_fraction(hasher: &MinHasher, a: &[u32], b: &[u32]) -> f64 {
+    let sa = hasher.sketch(a);
+    let sb = hasher.sketch(b);
+    let hits = sa
+        .values()
+        .iter()
+        .zip(sb.values())
+        .filter(|(x, y)| x == y)
+        .count();
+    hits as f64 / hasher.k() as f64
+}
+
+#[test]
+fn collision_rate_is_unbiased_for_distinct_jaccard() {
+    // Several similarity levels; 200 independent seeds × k=64 components
+    // gives 12 800 Bernoulli trials per level, so the sample mean is within
+    // ~±0.015 of J with overwhelming probability. Tolerance: 0.03.
+    for (case, &(shared, only)) in [(40u32, 10u32), (30, 30), (10, 45), (50, 0)]
+        .iter()
+        .enumerate()
+    {
+        let (a, b) = pair(shared, only);
+        let j = distinct_jaccard(&a, &b);
+        let trials = 200;
+        let mut total = 0.0;
+        for s in 0..trials {
+            let hasher = MinHasher::new(64, 0x1234_5000 + case as u64 * 1000 + s);
+            total += collision_fraction(&hasher, &a, &b);
+        }
+        let mean = total / trials as f64;
+        assert!(
+            (mean - j).abs() < 0.03,
+            "case {case}: mean collision rate {mean:.4} vs distinct Jaccard {j:.4}"
+        );
+    }
+}
+
+#[test]
+fn estimator_variance_shrinks_like_one_over_k() {
+    // J = 0.5 maximizes Bernoulli variance; theory says Var = J(1−J)/k.
+    let (a, b) = pair(30, 15);
+    let j = distinct_jaccard(&a, &b);
+    assert!((j - 0.5).abs() < 1e-12, "pair construction broke: J = {j}");
+
+    let trials = 300u64;
+    let variance_at = |k: usize, seed_base: u64| {
+        let samples: Vec<f64> = (0..trials)
+            .map(|s| collision_fraction(&MinHasher::new(k, seed_base + s), &a, &b))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (trials - 1) as f64
+    };
+
+    let mut prev = f64::INFINITY;
+    for &(k, seed_base) in &[
+        (8usize, 0xAAA0_0000u64),
+        (32, 0xBBB0_0000),
+        (128, 0xCCC0_0000),
+    ] {
+        let var = variance_at(k, seed_base);
+        let theory = j * (1.0 - j) / k as f64;
+        // Within a generous 2.5× band of the theoretical variance…
+        assert!(
+            var > theory / 2.5 && var < theory * 2.5,
+            "k={k}: empirical variance {var:.5} vs theoretical {theory:.5}"
+        );
+        // …and strictly decreasing as k grows (each 4× step in k should
+        // shrink it well below the previous level).
+        assert!(
+            var < prev * 0.6,
+            "k={k}: variance {var:.5} did not shrink from {prev:.5}"
+        );
+        prev = var;
+    }
+}
+
+#[test]
+fn identical_and_disjoint_sets_are_exact() {
+    let (a, _) = pair(40, 0);
+    let disjoint: Vec<u32> = (5000..5040).collect();
+    for seed in [1u64, 99, 0xFEDC] {
+        let hasher = MinHasher::new(32, seed);
+        assert_eq!(collision_fraction(&hasher, &a, &a), 1.0, "seed {seed}");
+        // Disjoint 64-bit min-hashes collide with probability ≈ 2⁻⁶⁴.
+        assert_eq!(
+            collision_fraction(&hasher, &a, &disjoint),
+            0.0,
+            "seed {seed}"
+        );
+    }
+}

@@ -85,17 +85,45 @@ impl ListWriter {
 /// Writes a built [`MemoryIndex`] to `dir` (created if needed) and returns
 /// the opened [`DiskIndex`].
 pub fn write_memory_index(index: &MemoryIndex, dir: &Path) -> Result<DiskIndex, IndexError> {
+    let _span = ndss_obs::span("index.write");
+    let postings_written = build_postings_counter();
+    let fsyncs_before = ndss_durable::fsync_count();
     std::fs::create_dir_all(dir)?;
     let config = index.config();
     for func in 0..config.k {
         let mut writer = ListWriter::create(&inv_file_path(dir, func), func as u32, config)?;
         for (hash, postings) in index.sorted_lists(func) {
             writer.write_list(hash, postings)?;
+            postings_written.inc(postings.len() as u64);
         }
         writer.finish()?;
     }
     DiskIndex::write_meta(dir, config)?;
+    record_build_fsyncs(fsyncs_before);
     DiskIndex::open(dir)
+}
+
+/// Counter of postings written by any builder (memory write-back, external
+/// aggregation, merge).
+pub(crate) fn build_postings_counter() -> ndss_obs::Counter {
+    ndss_obs::Registry::global().counter(
+        "index.build.postings",
+        "postings written to inverted-index files",
+    )
+}
+
+/// Records the fsyncs one build/merge issued (delta of the process-wide
+/// [`ndss_durable::fsync_count`]) as a per-build histogram sample. With
+/// concurrent builds in one process the deltas can overlap; the precise
+/// total is the `durable.fsyncs` gauge refreshed at export time.
+pub(crate) fn record_build_fsyncs(before: u64) {
+    ndss_obs::Registry::global()
+        .histogram(
+            "index.build.fsyncs",
+            "fsyncs issued while publishing one index build",
+            ndss_obs::Unit::None,
+        )
+        .record(ndss_durable::fsync_count().saturating_sub(before));
 }
 
 /// Convenience: build in memory (optionally in parallel) and write to disk.
@@ -185,6 +213,8 @@ impl ExternalIndexBuilder {
         corpus: &C,
         dir: &Path,
     ) -> Result<DiskIndex, IndexError> {
+        let _span = ndss_obs::span("index.build.external");
+        let fsyncs_before = ndss_durable::fsync_count();
         std::fs::create_dir_all(dir)?;
         let spill_dir = dir.join("tmp_spill");
         std::fs::create_dir_all(&spill_dir)?;
@@ -197,6 +227,7 @@ impl ExternalIndexBuilder {
         std::fs::remove_dir_all(&spill_dir).ok();
         result?;
         DiskIndex::write_meta(dir, &config)?;
+        record_build_fsyncs(fsyncs_before);
         DiskIndex::open(dir)
     }
 
@@ -214,6 +245,7 @@ impl ExternalIndexBuilder {
 
         // Phase 1: scan batches, spill (hash, posting) records partitioned
         // by (function, top hash bits).
+        let spill_span = ndss_obs::span("index.build.spill");
         let mut spills: Vec<Vec<BufWriter<File>>> = (0..k)
             .map(|func| {
                 (0..fanout)
@@ -264,12 +296,14 @@ impl ExternalIndexBuilder {
             }
         }
         drop(spills);
+        drop(spill_span);
 
         // Phase 2: per function, aggregate partitions in ascending hash
         // order into the final index file. Functions write to disjoint
         // files and disjoint spill partitions, so they parallelize without
         // coordination — and each file's bytes are independent of how many
         // functions run at once.
+        let _aggregate_span = ndss_obs::span("index.build.aggregate");
         let funcs: Vec<usize> = (0..k).collect();
         let threads = if self.parallel {
             ndss_parallel::default_threads()
@@ -321,6 +355,7 @@ impl ExternalIndexBuilder {
                 .map(decode_spill)
                 .collect();
             records.sort_unstable_by_key(|&(h, p)| (h, p));
+            let postings_written = build_postings_counter();
             let mut i = 0;
             let mut list: Vec<Posting> = Vec::new();
             while i < records.len() {
@@ -331,6 +366,7 @@ impl ExternalIndexBuilder {
                     i += 1;
                 }
                 writer.write_list(hash, &list)?;
+                postings_written.inc(list.len() as u64);
             }
             return Ok(());
         }

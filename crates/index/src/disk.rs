@@ -23,6 +23,7 @@ use ndss_hash::HashValue;
 use crate::cache::{CacheConfig, ShardedCache};
 use crate::codec::CompressedFileReader;
 use crate::format::{IndexFileReader, ZoneEntry};
+use crate::metrics::IndexIoMetrics;
 use crate::{IndexAccess, IndexConfig, IndexError, IoSnapshot, IoStats, Posting};
 
 /// Version-dispatching handle to one inverted-index file: v1/v3 store
@@ -162,6 +163,9 @@ pub struct DiskIndex {
     /// keys over and over; serving those from memory removes the reread
     /// entirely. Hits and misses are tallied in [`IoStats`].
     list_cache: ShardedCache<Arc<Vec<Posting>>>,
+    /// Registry mirror: every delta folded into `stats` is also added to
+    /// the process-wide observability counters.
+    metrics: IndexIoMetrics,
 }
 
 /// Approximate heap weight of a cached posting list, in bytes.
@@ -219,6 +223,7 @@ impl DiskIndex {
             dir: dir.to_owned(),
             zone_cache: ShardedCache::new(cache.zone_budget, cache.shards),
             list_cache: ShardedCache::new(cache.posting_budget, cache.shards),
+            metrics: IndexIoMetrics::register(ndss_obs::Registry::global()),
         })
     }
 
@@ -235,10 +240,15 @@ impl DiskIndex {
     /// Legacy (pre-checksum v1/v2) files are skipped — they carry nothing to
     /// verify against. IO performed is tallied in the index's global stats.
     pub fn verify_integrity(&self) -> Result<(), IndexError> {
-        for reader in &self.readers {
-            reader.verify(&self.stats)?;
-        }
-        Ok(())
+        let before = self.stats.snapshot();
+        let result = (|| {
+            for reader in &self.readers {
+                reader.verify(&self.stats)?;
+            }
+            Ok(())
+        })();
+        self.metrics.observe(&self.stats.snapshot().since(&before));
+        result
     }
 
     /// The directory this index was opened from.
@@ -314,8 +324,12 @@ impl DiskIndex {
             // map is cached after its first read — repeat probes of the same
             // list (other candidate texts, later queries) cost no IO.
             let zone = match self.zone_cache.get(func, hash) {
-                Some(z) => z,
+                Some(z) => {
+                    io.record_zone_hit();
+                    z
+                }
                 None => {
+                    io.record_zone_miss();
                     let z = Arc::new(reader.read_zone(entry, io)?);
                     self.zone_cache
                         .insert(func, hash, z.clone(), zone_weight(&z));
@@ -393,7 +407,9 @@ impl IndexAccess for DiskIndex {
         // Fold this call's delta into the index-wide totals. The accumulator
         // is owned by one query (single-threaded), so the before/after diff
         // is exact even while other queries run concurrently.
-        self.stats.add(&io.snapshot().since(&before));
+        let delta = io.snapshot().since(&before);
+        self.stats.add(&delta);
+        self.metrics.observe(&delta);
         result
     }
 
@@ -407,7 +423,9 @@ impl IndexAccess for DiskIndex {
         self.check_func(func)?;
         let before = io.snapshot();
         let result = self.read_postings_for_text_inner(func, hash, text, io);
-        self.stats.add(&io.snapshot().since(&before));
+        let delta = io.snapshot().since(&before);
+        self.stats.add(&delta);
+        self.metrics.observe(&delta);
         result
     }
 }

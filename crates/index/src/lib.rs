@@ -51,6 +51,7 @@ pub mod format;
 mod integrity;
 pub mod memory;
 pub mod merge;
+mod metrics;
 mod pread;
 
 pub use build::{build_and_write, write_memory_index, ExternalIndexBuilder};
@@ -320,6 +321,8 @@ pub struct IoStats {
     nanos: std::sync::atomic::AtomicU64,
     cache_hits: std::sync::atomic::AtomicU64,
     cache_misses: std::sync::atomic::AtomicU64,
+    zone_hits: std::sync::atomic::AtomicU64,
+    zone_misses: std::sync::atomic::AtomicU64,
 }
 
 /// A point-in-time copy of [`IoStats`].
@@ -331,10 +334,17 @@ pub struct IoSnapshot {
     pub bytes: u64,
     /// Wall time spent in reads, in nanoseconds.
     pub nanos: u64,
-    /// Posting-list / zone-map reads served from the hot cache.
+    /// Posting-list reads served from the hot cache.
     pub cache_hits: u64,
-    /// Reads that had to go to disk.
+    /// Posting-list reads that had to go to disk.
     pub cache_misses: u64,
+    /// Zone-map consults served from the zone cache. Tracked separately
+    /// from the posting-list counters: a long-list probe can miss the list
+    /// cache yet hit the zone cache, and folding the two together
+    /// overstated miss rates before the observability registry exposed it.
+    pub zone_hits: u64,
+    /// Zone-map consults that read the zone from disk.
+    pub zone_misses: u64,
 }
 
 impl IoSnapshot {
@@ -347,6 +357,8 @@ impl IoSnapshot {
             nanos: self.nanos.saturating_sub(earlier.nanos),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            zone_hits: self.zone_hits.saturating_sub(earlier.zone_hits),
+            zone_misses: self.zone_misses.saturating_sub(earlier.zone_misses),
         }
     }
 
@@ -377,6 +389,18 @@ impl IoStats {
         self.cache_misses.fetch_add(1, Relaxed);
     }
 
+    /// Records a zone-map consult served from the zone cache.
+    pub fn record_zone_hit(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.zone_hits.fetch_add(1, Relaxed);
+    }
+
+    /// Records a zone-map consult that read the zone from disk.
+    pub fn record_zone_miss(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.zone_misses.fetch_add(1, Relaxed);
+    }
+
     /// Folds a snapshot delta into these totals. Used by the disk index to
     /// add a query's privately-accumulated IO to the global counters.
     pub fn add(&self, delta: &IoSnapshot) {
@@ -386,6 +410,8 @@ impl IoStats {
         self.nanos.fetch_add(delta.nanos, Relaxed);
         self.cache_hits.fetch_add(delta.cache_hits, Relaxed);
         self.cache_misses.fetch_add(delta.cache_misses, Relaxed);
+        self.zone_hits.fetch_add(delta.zone_hits, Relaxed);
+        self.zone_misses.fetch_add(delta.zone_misses, Relaxed);
     }
 
     /// Current totals.
@@ -397,6 +423,8 @@ impl IoStats {
             nanos: self.nanos.load(Relaxed),
             cache_hits: self.cache_hits.load(Relaxed),
             cache_misses: self.cache_misses.load(Relaxed),
+            zone_hits: self.zone_hits.load(Relaxed),
+            zone_misses: self.zone_misses.load(Relaxed),
         }
     }
 }

@@ -71,6 +71,9 @@ pub fn merge_indexes(inputs: &[&Path], out_dir: &Path) -> Result<DiskIndex, Inde
         )));
     }
 
+    let _span = ndss_obs::span("index.merge");
+    let postings_written = crate::build::build_postings_counter();
+    let fsyncs_before = ndss_durable::fsync_count();
     std::fs::create_dir_all(out_dir)?;
     let stats = IoStats::default();
     for func in 0..base.k {
@@ -109,6 +112,7 @@ pub fn merge_indexes(inputs: &[&Path], out_dir: &Path) -> Result<DiskIndex, Inde
                 cursors[r] += 1;
             }
             writer.write_list(hash, &merged)?;
+            postings_written.inc(merged.len() as u64);
         }
         writer.finish()?;
     }
@@ -116,6 +120,7 @@ pub fn merge_indexes(inputs: &[&Path], out_dir: &Path) -> Result<DiskIndex, Inde
     merged_config.num_texts = total_texts as usize;
     merged_config.total_tokens = total_tokens;
     DiskIndex::write_meta(out_dir, &merged_config)?;
+    crate::build::record_build_fsyncs(fsyncs_before);
     DiskIndex::open(out_dir)
 }
 

@@ -1,0 +1,81 @@
+//! Registry mirror of the index layer's IO accounting.
+//!
+//! [`crate::IoStats`] stays the *attribution* mechanism — a per-query
+//! accumulator threaded through every read so concurrent queries cannot
+//! charge each other — while the process-wide [`ndss_obs::Registry`] is the
+//! *aggregation* mechanism: every delta a [`crate::DiskIndex`] folds into
+//! its global totals is mirrored into these counters, so `ndss stats`,
+//! `--metrics-out`, and the Prometheus exporter all read one system.
+
+use ndss_obs::{Counter, Registry};
+
+use crate::IoSnapshot;
+
+/// Counter handles for the index IO totals, registered once per
+/// [`crate::DiskIndex`] (handles to the same names share cells).
+pub(crate) struct IndexIoMetrics {
+    reads: Counter,
+    bytes: Counter,
+    nanos: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    zone_hits: Counter,
+    zone_misses: Counter,
+}
+
+impl IndexIoMetrics {
+    pub(crate) fn register(reg: &Registry) -> Self {
+        IndexIoMetrics {
+            reads: reg.counter(
+                "index.io.reads",
+                "positioned reads issued by the index layer",
+            ),
+            bytes: reg.counter("index.io.bytes", "bytes read from index files"),
+            nanos: reg.counter(
+                "index.io.nanos",
+                "wall nanoseconds spent inside index reads",
+            ),
+            cache_hits: reg.counter(
+                "index.cache.posting.hits",
+                "posting-list reads served from the hot cache",
+            ),
+            cache_misses: reg.counter(
+                "index.cache.posting.misses",
+                "posting-list reads that went to disk",
+            ),
+            zone_hits: reg.counter(
+                "index.cache.zone.hits",
+                "zone-map consults served from the zone cache",
+            ),
+            zone_misses: reg.counter(
+                "index.cache.zone.misses",
+                "zone-map consults read from disk",
+            ),
+        }
+    }
+
+    /// Mirrors one attribution delta into the registry totals.
+    pub(crate) fn observe(&self, d: &IoSnapshot) {
+        if d.reads > 0 {
+            self.reads.inc(d.reads);
+        }
+        if d.bytes > 0 {
+            self.bytes.inc(d.bytes);
+        }
+        if d.nanos > 0 {
+            self.nanos.inc(d.nanos);
+        }
+        if d.cache_hits > 0 {
+            self.cache_hits.inc(d.cache_hits);
+        }
+        if d.cache_misses > 0 {
+            self.cache_misses.inc(d.cache_misses);
+        }
+        if d.zone_hits > 0 {
+            self.zone_hits.inc(d.zone_hits);
+        }
+        if d.zone_misses > 0 {
+            self.zone_misses.inc(d.zone_misses);
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Registry exporters: Prometheus text exposition and JSON.
+//!
+//! Both render the same [`MetricSnapshot`] list. JSON keeps the internal
+//! dotted names verbatim; Prometheus names are derived mechanically (see
+//! [`prom_name`]) so a scrape target needs no per-metric configuration.
+
+use ndss_json::{Json, ObjectBuilder};
+
+use crate::{HistogramSnapshot, MetricSnapshot, MetricValue, Unit};
+
+/// Derives the Prometheus exposition name: `ndss_` prefix, dots and other
+/// non-identifier characters to underscores, the unit suffix
+/// (`_seconds`/`_bytes`) unless already present, and `_total` for counters.
+fn prom_name(name: &str, value: &MetricValue) -> String {
+    let mut base: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if !base.starts_with("ndss") {
+        base = format!("ndss_{base}");
+    }
+    let unit = match value {
+        MetricValue::Histogram(h) => h.unit,
+        _ => Unit::None,
+    };
+    let suffix = unit.suffix();
+    if !suffix.is_empty() && !base.ends_with(suffix) {
+        base.push_str(suffix);
+    }
+    if matches!(value, MetricValue::Counter(_)) && !base.ends_with("_total") {
+        base.push_str("_total");
+    }
+    base
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Formats an exported (already scaled) float; integers print without a
+/// fractional part so counter-like series stay exact.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn push_histogram(out: &mut String, name: &str, help: &str, h: &HistogramSnapshot) {
+    let scale = h.unit.scale();
+    if !help.is_empty() {
+        out.push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+    }
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    for &(ub, cum) in &h.buckets {
+        let le = if ub == u64::MAX {
+            "+Inf".to_string()
+        } else {
+            fmt_f64(ub as f64 * scale)
+        };
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", fmt_f64(h.sum as f64 * scale)));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Renders a snapshot in the Prometheus text exposition format (version
+/// 0.0.4): `# HELP` / `# TYPE` headers followed by samples, histograms with
+/// cumulative `le` buckets, `_sum`, and `_count`.
+pub(crate) fn prometheus_text(snapshot: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for m in snapshot {
+        let name = prom_name(&m.name, &m.value);
+        match &m.value {
+            MetricValue::Counter(v) => {
+                if !m.help.is_empty() {
+                    out.push_str(&format!("# HELP {name} {}\n", escape_help(&m.help)));
+                }
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                out.push_str(&format!("{name} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                if !m.help.is_empty() {
+                    out.push_str(&format!("# HELP {name} {}\n", escape_help(&m.help)));
+                }
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+                out.push_str(&format!("{name} {v}\n"));
+            }
+            MetricValue::Histogram(h) => push_histogram(&mut out, &name, &m.help, h),
+        }
+    }
+    out
+}
+
+fn hist_json(h: &HistogramSnapshot) -> Json {
+    let scale = h.unit.scale();
+    let buckets: Vec<Json> = h
+        .buckets
+        .iter()
+        .map(|&(ub, cum)| {
+            ObjectBuilder::new()
+                .field(
+                    "le",
+                    if ub == u64::MAX {
+                        Json::Str("+Inf".to_string())
+                    } else {
+                        Json::Float(ub as f64 * scale)
+                    },
+                )
+                .field("count", Json::UInt(cum))
+                .build()
+        })
+        .collect();
+    ObjectBuilder::new()
+        .field("unit", Json::Str(h.unit.as_str().to_string()))
+        .field("count", Json::UInt(h.count))
+        .field("sum", Json::Float(h.sum as f64 * scale))
+        .field("mean", Json::Float(h.mean() * scale))
+        .field("max", Json::Float(h.max as f64 * scale))
+        .field("p50", Json::Float(h.quantile(0.50) as f64 * scale))
+        .field("p95", Json::Float(h.quantile(0.95) as f64 * scale))
+        .field("p99", Json::Float(h.quantile(0.99) as f64 * scale))
+        .field("buckets", Json::Array(buckets))
+        .build()
+}
+
+/// Renders a snapshot as `{"metrics": [{name, kind, help, …}, …]}` with the
+/// internal dotted names preserved.
+pub(crate) fn to_json(snapshot: &[MetricSnapshot]) -> Json {
+    let metrics: Vec<Json> = snapshot
+        .iter()
+        .map(|m| {
+            let b = ObjectBuilder::new()
+                .field("name", Json::Str(m.name.clone()))
+                .field("help", Json::Str(m.help.clone()));
+            match &m.value {
+                MetricValue::Counter(v) => b
+                    .field("kind", Json::Str("counter".to_string()))
+                    .field("value", Json::UInt(*v))
+                    .build(),
+                MetricValue::Gauge(v) => b
+                    .field("kind", Json::Str("gauge".to_string()))
+                    .field("value", Json::Int(*v))
+                    .build(),
+                MetricValue::Histogram(h) => b
+                    .field("kind", Json::Str("histogram".to_string()))
+                    .field("histogram", hist_json(h))
+                    .build(),
+            }
+        })
+        .collect();
+    ObjectBuilder::new()
+        .field("metrics", Json::Array(metrics))
+        .build()
+}
+
+/// Structural validator for Prometheus text exposition output, used by
+/// integration tests (the offline build has no real Prometheus parser to
+/// lean on). Checks:
+///
+/// * every sample line is `name` or `name{labels}` followed by one float;
+/// * metric names are valid (`[a-zA-Z_:][a-zA-Z0-9_:]*`);
+/// * every sample's base name was declared by a preceding `# TYPE`;
+/// * histograms end with a `+Inf` bucket, bucket counts are cumulative
+///   (non-decreasing), and `_count` equals the `+Inf` bucket.
+pub fn validate_prometheus_text(text: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut types: HashMap<String, String> = HashMap::new();
+    // Per-histogram running state: (last bucket cum, +Inf value, count value)
+    let mut hist: HashMap<String, (u64, Option<u64>, Option<u64>)> = HashMap::new();
+
+    fn valid_name(s: &str) -> bool {
+        let mut chars = s.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            if !valid_name(name) {
+                return Err(format!("line {lineno}: bad metric name {name:?}"));
+            }
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {lineno}: bad TYPE {kind:?}"));
+            }
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // Sample: name[{labels}] value
+        let (name_part, value_part) = match line.find(' ') {
+            Some(i) => (&line[..i], line[i + 1..].trim()),
+            None => return Err(format!("line {lineno}: no value in {line:?}")),
+        };
+        let (name, labels) = match name_part.find('{') {
+            Some(i) => {
+                if !name_part.ends_with('}') {
+                    return Err(format!("line {lineno}: unterminated labels"));
+                }
+                (
+                    &name_part[..i],
+                    Some(&name_part[i + 1..name_part.len() - 1]),
+                )
+            }
+            None => (name_part, None),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        let value: f64 = if value_part == "+Inf" {
+            f64::INFINITY
+        } else {
+            value_part
+                .parse()
+                .map_err(|_| format!("line {lineno}: bad value {value_part:?}"))?
+        };
+        // Resolve the declared base name (histogram series carry suffixes).
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .filter_map(|sfx| name.strip_suffix(sfx))
+            .find(|b| types.get(*b).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        let Some(kind) = types.get(base) else {
+            return Err(format!("line {lineno}: sample {name} has no # TYPE"));
+        };
+        if kind == "histogram" && base != name {
+            let entry = hist.entry(base.to_string()).or_insert((0, None, None));
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .and_then(|l| l.strip_prefix("le=\""))
+                    .and_then(|l| l.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {lineno}: bucket without le label"))?;
+                let cum = value as u64;
+                if cum < entry.0 {
+                    return Err(format!(
+                        "line {lineno}: bucket counts decrease ({} → {cum})",
+                        entry.0
+                    ));
+                }
+                entry.0 = cum;
+                if le == "+Inf" {
+                    entry.1 = Some(cum);
+                }
+            } else if name.ends_with("_count") {
+                entry.2 = Some(value as u64);
+            }
+        }
+    }
+    for (base, (_, inf, count)) in &hist {
+        let inf = inf.ok_or_else(|| format!("histogram {base}: no +Inf bucket"))?;
+        let count = count.ok_or_else(|| format!("histogram {base}: no _count"))?;
+        if inf != count {
+            return Err(format!(
+                "histogram {base}: +Inf bucket {inf} != count {count}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("query.count", "queries executed").inc(42);
+        reg.counter("index.io.bytes", "bytes read").inc(1 << 20);
+        reg.gauge("batch.threads", "workers").set(8);
+        let h = reg.histogram("query.seconds", "query latency", Unit::Seconds);
+        h.record_nanos(1_000_000); // 1 ms
+        h.record_nanos(2_000_000);
+        h.record_nanos(500_000_000); // 0.5 s
+        reg
+    }
+
+    #[test]
+    fn prometheus_output_is_valid_and_named_conventionally() {
+        let text = sample_registry().prometheus_text();
+        validate_prometheus_text(&text).unwrap();
+        assert!(text.contains("# TYPE ndss_query_count_total counter"));
+        assert!(text.contains("ndss_query_count_total 42"));
+        // Unit suffix comes from the name, not appended twice.
+        assert!(text.contains("ndss_query_seconds_bucket{le="));
+        assert!(!text.contains("seconds_seconds"));
+        // Byte counters get _total after the unit-ish name.
+        assert!(text.contains("ndss_index_io_bytes_total 1048576"));
+        assert!(text.contains("ndss_query_seconds_count 3"));
+        assert!(text.contains("ndss_batch_threads 8"));
+    }
+
+    #[test]
+    fn histogram_buckets_scale_to_seconds() {
+        let text = sample_registry().prometheus_text();
+        // 1 ms observations land in a bucket with an upper bound well under
+        // one second; the sum is ~0.503 s.
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("ndss_query_seconds_sum"))
+            .unwrap();
+        let sum: f64 = sum_line.split(' ').nth(1).unwrap().parse().unwrap();
+        assert!((sum - 0.503).abs() < 0.01, "sum {sum}");
+    }
+
+    #[test]
+    fn json_preserves_dotted_names_and_parses_back() {
+        let json = sample_registry().to_json();
+        let text = json.to_string_pretty();
+        let parsed = ndss_json::Json::parse(&text).unwrap();
+        let metrics = parsed.get("metrics").and_then(|m| m.as_array()).unwrap();
+        assert_eq!(metrics.len(), 4);
+        let names: Vec<&str> = metrics
+            .iter()
+            .map(|m| m.get("name").and_then(|n| n.as_str()).unwrap())
+            .collect();
+        assert!(names.contains(&"query.seconds"));
+        let hist = metrics
+            .iter()
+            .find(|m| m.get("name").and_then(|n| n.as_str()) == Some("query.seconds"))
+            .unwrap()
+            .get("histogram")
+            .unwrap();
+        assert_eq!(hist.get("count").and_then(|c| c.as_u64()), Some(3));
+        assert!(hist.get("p50").and_then(|p| p.as_f64()).unwrap() < 0.01);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exposition() {
+        assert!(validate_prometheus_text("ndss_x 1\n").is_err()); // no TYPE
+        assert!(validate_prometheus_text("# TYPE ndss_x counter\nndss_x one\n").is_err());
+        assert!(validate_prometheus_text("# TYPE 9bad counter\n9bad 1\n").is_err());
+        let decreasing = "# TYPE h histogram\n\
+                          h_bucket{le=\"1\"} 5\n\
+                          h_bucket{le=\"2\"} 3\n\
+                          h_bucket{le=\"+Inf\"} 5\n\
+                          h_sum 1\nh_count 5\n";
+        assert!(validate_prometheus_text(decreasing).is_err());
+        let mismatch = "# TYPE h histogram\n\
+                        h_bucket{le=\"+Inf\"} 5\n\
+                        h_sum 1\nh_count 4\n";
+        assert!(validate_prometheus_text(mismatch).is_err());
+    }
+
+    #[test]
+    fn empty_registry_exports_cleanly() {
+        let reg = Registry::new();
+        assert_eq!(reg.prometheus_text(), "");
+        validate_prometheus_text(&reg.prometheus_text()).unwrap();
+        let json = reg.to_json().to_string_compact();
+        assert!(ndss_json::Json::parse(&json).is_ok());
+    }
+}

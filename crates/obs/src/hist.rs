@@ -1,0 +1,273 @@
+//! Log-bucketed atomic histogram.
+//!
+//! 65 power-of-two buckets cover the full `u64` range: bucket 0 holds the
+//! value 0, bucket `i ≥ 1` holds `[2^(i-1), 2^i)`. Recording is three
+//! relaxed `fetch_add`s and one `fetch_max` — no locks, no allocation —
+//! which keeps it safe for the per-read IO path. Quantiles are estimated
+//! from bucket boundaries, so they carry at most one octave of error;
+//! that resolution is ample for the p50/p95/p99 latency split the batch
+//! engine reports (a 2× bucket never confuses a 100 µs stage with a 10 ms
+//! one).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::Unit;
+
+const NUM_BUCKETS: usize = 65;
+
+/// Bucket index for a raw value: 0 → 0, otherwise `1 + floor(log2 v)`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (raw units). Bucket 64's true bound
+/// is `u64::MAX`.
+#[inline]
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+pub(crate) struct HistCore {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new() -> Self {
+        HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, unit: Unit) -> HistogramSnapshot {
+        // Counters are relaxed, so a snapshot taken during concurrent
+        // recording may be off by in-flight observations — fine for
+        // monitoring, and exact once recording quiesces.
+        let mut buckets = Vec::new();
+        let mut cumulative = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let n = self.buckets[i].load(Relaxed);
+            if n > 0 {
+                cumulative += n;
+                buckets.push((bucket_upper_bound(i), cumulative));
+            }
+        }
+        HistogramSnapshot {
+            unit,
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Handle to a registered histogram. Cloning shares the underlying cells.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistCore>,
+    unit: Unit,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    pub(crate) fn from_core(core: Arc<HistCore>, unit: Unit, enabled: Arc<AtomicBool>) -> Self {
+        Histogram {
+            core,
+            unit,
+            enabled,
+        }
+    }
+
+    /// Records one observation in the histogram's raw unit.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if self.enabled.load(Relaxed) {
+            self.core.record(v);
+        }
+    }
+
+    /// Records a nanosecond observation (callers time with `Instant` and
+    /// pass `elapsed().as_nanos()`; only meaningful for `Unit::Seconds`).
+    #[inline]
+    pub fn record_nanos(&self, nanos: u64) {
+        self.record(nanos);
+    }
+
+    /// Records a duration (for `Unit::Seconds` histograms).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// The unit observations are recorded in.
+    pub fn unit(&self) -> Unit {
+        self.unit
+    }
+
+    /// Point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core.snapshot(self.unit)
+    }
+}
+
+/// Frozen histogram state: non-empty buckets as `(inclusive upper bound,
+/// cumulative count)`, both in raw units.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Raw-value unit (drives exporter scaling).
+    pub unit: Unit,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of raw observations.
+    pub sum: u64,
+    /// Largest raw observation.
+    pub max: u64,
+    /// `(upper_bound, cumulative_count)` for each non-empty bucket,
+    /// ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Estimated `q`-quantile (`0 < q ≤ 1`) in **raw** units: the upper
+    /// bound of the bucket containing the rank-`⌈q·count⌉` observation
+    /// (within one octave of the true value). Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        for &(ub, cum) in &self.buckets {
+            if cum >= rank {
+                // The max observation tightens the top bucket's bound.
+                return ub.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of raw observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn bucket_indexing_covers_u64() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every value lies at or below its bucket's upper bound and above
+        // the previous bucket's.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_sum_max_and_quantiles() {
+        let reg = Registry::new();
+        let h = reg.histogram("t", "", Unit::None);
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.max, 1000);
+        // p50 = 3rd smallest (3) → bucket [2,3], ub 3.
+        assert_eq!(s.quantile(0.5), 3);
+        // p99 lands in the top bucket; bounded by the observed max.
+        assert_eq!(s.quantile(0.99), 1000);
+        assert!(s.quantile(1.0) <= 1023);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let reg = Registry::new();
+        let s = reg.histogram("e", "", Unit::Seconds).snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn quantile_within_one_octave_of_truth() {
+        let reg = Registry::new();
+        let h = reg.histogram("o", "", Unit::None);
+        let mut values: Vec<u64> = (0..1000).map(|i| (i * i) % 50_000 + 1).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let s = h.snapshot();
+        for q in [0.5f64, 0.9, 0.95, 0.99] {
+            let rank = ((q * 1000.0).ceil() as usize).clamp(1, 1000);
+            let truth = values[rank - 1];
+            let est = s.quantile(q);
+            assert!(est >= truth, "q={q}: est {est} < truth {truth}");
+            assert!(est < truth * 2 + 1, "q={q}: est {est} ≥ 2×truth {truth}");
+        }
+    }
+
+    #[test]
+    fn concurrent_records_sum_exactly() {
+        let reg = Registry::new();
+        let h = reg.histogram("c", "", Unit::None);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..25_000u64 {
+                        h.record(t + i % 7);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.snapshot().count, 100_000);
+    }
+}

@@ -64,9 +64,33 @@ impl<'a, I: IndexAccess + ?Sized> BatchSearcher<'a, I> {
         queries: &[Vec<TokenId>],
         theta: f64,
     ) -> Result<Vec<SearchOutcome>, QueryError> {
-        ndss_parallel::try_map(queries, self.threads, |_, query| {
+        let _span = ndss_obs::span("query.batch");
+        let reg = ndss_obs::Registry::global();
+        let queue_wait = reg.histogram(
+            "query.batch.queue_wait.seconds",
+            "Delay between batch start and each query's pickup by a worker",
+            ndss_obs::Unit::Seconds,
+        );
+        let start = std::time::Instant::now();
+        let results = ndss_parallel::try_map(queries, self.threads, |_, query| {
+            // Pickup delay: how long this query sat in the work queue behind
+            // earlier queries (p50/p95/p99 come from the histogram).
+            queue_wait.record_duration(start.elapsed());
             self.searcher.search(query, theta)
-        })
+        })?;
+        // Utilization: total per-query busy time over thread-seconds of
+        // wall time. 100% = every worker searching the whole batch.
+        let wall = start.elapsed();
+        if !results.is_empty() && !wall.is_zero() {
+            let busy: std::time::Duration = results.iter().map(|o| o.stats.total).sum();
+            let pct = 100.0 * busy.as_secs_f64() / (self.threads as f64 * wall.as_secs_f64());
+            reg.gauge(
+                "query.batch.utilization.percent",
+                "Worker busy time over thread-seconds in the last batch (0-100)",
+            )
+            .set(pct.round() as i64);
+        }
+        Ok(results)
     }
 }
 

@@ -53,6 +53,7 @@ pub mod bruteforce;
 pub mod collision;
 pub mod document;
 pub mod interval;
+mod metrics;
 pub mod planner;
 pub mod search;
 

@@ -51,6 +51,21 @@ pub struct QueryStats {
     pub cache_misses: u64,
     /// `total − io_time`.
     pub cpu_time: Duration,
+    /// Zone-map consults served by the zone cache.
+    pub zone_hits: u64,
+    /// Zone-map consults that read the zone table from disk.
+    pub zone_misses: u64,
+    /// Time computing the query's k-mins sketch.
+    pub stage_sketch: Duration,
+    /// Time classifying lists (prefix filter or per-query cost model).
+    pub stage_plan: Duration,
+    /// Time loading short lists and grouping windows by text.
+    pub stage_gather: Duration,
+    /// Time in collision counting and candidate verification (probe time
+    /// excluded).
+    pub stage_count: Duration,
+    /// Time probing long lists through zone maps.
+    pub stage_probe: Duration,
     /// Short lists read in full.
     pub lists_loaded: usize,
     /// Long lists skipped during candidate generation.
@@ -205,6 +220,9 @@ pub struct NearDupSearcher<'a, I: IndexAccess + ?Sized> {
     /// Whether to re-plan the long/short split per query with the cost
     /// model instead of the static cutoffs.
     adaptive: bool,
+    /// Global-registry handles (registered once here so the per-query hot
+    /// path is pure atomic adds).
+    metrics: crate::metrics::QueryMetrics,
 }
 
 impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
@@ -253,6 +271,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             hasher: config.hasher(),
             cutoffs,
             adaptive: matches!(filter, PrefixFilter::Adaptive),
+            metrics: crate::metrics::QueryMetrics::register(ndss_obs::Registry::global()),
         })
     }
 
@@ -272,6 +291,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             return Err(QueryError::BadThreshold(theta));
         }
         let start = Instant::now();
+        let _span = ndss_obs::span("query.search");
         // Per-query IO accumulator: every index read below records into this
         // (and the index folds it into its global counters), so the stats
         // are exact even with other queries in flight.
@@ -283,6 +303,8 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
 
         // Line 2: the query's k-mins sketch.
         let sketch = self.hasher.sketch(query);
+        stats.stage_sketch = start.elapsed();
+        let plan_start = Instant::now();
 
         // Classify lists. Soundness of the reduced threshold
         // β − (k − p) ≥ 1 merely requires at most β − 1 long lists, but the
@@ -316,8 +338,10 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
         let alpha0 = beta - (k - p);
         debug_assert!(alpha0 >= 1);
         stats.lists_long = long_funcs.len();
+        stats.stage_plan = plan_start.elapsed();
 
         // Lines 3–4: load the short lists and group windows by text.
+        let gather_start = Instant::now();
         let mut groups: HashMap<TextId, Vec<CompactWindow>> = HashMap::new();
         for (func, &long) in is_long.iter().enumerate() {
             if long {
@@ -333,7 +357,11 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             }
         }
 
+        stats.stage_gather = gather_start.elapsed();
+
         // Lines 5–12: per candidate text, count collisions.
+        let count_start = Instant::now();
+        let mut probe_time = Duration::ZERO;
         let mut texts: Vec<TextId> = groups.keys().copied().collect();
         texts.sort_unstable();
         let mut matches = Vec::new();
@@ -355,6 +383,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             } else {
                 // Lines 8–9: locate this text's windows in the long lists
                 // (zone-map probes) and re-count at the full threshold.
+                let probe_start = Instant::now();
                 for &func in &long_funcs {
                     let postings = self.index.read_postings_for_text_into(
                         func,
@@ -366,6 +395,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
                     stats.postings_read += postings.len() as u64;
                     windows.extend(postings.into_iter().map(|p| p.window));
                 }
+                probe_time += probe_start.elapsed();
                 collision_count(&windows, beta)
             };
             let rects: Vec<Rectangle> = rects
@@ -377,14 +407,19 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             }
         }
 
+        stats.stage_probe = probe_time;
+        stats.stage_count = count_start.elapsed().saturating_sub(probe_time);
         stats.matched_texts = matches.len();
         let io = io_acc.snapshot();
         stats.io_bytes = io.bytes;
         stats.io_time = io.time();
         stats.cache_hits = io.cache_hits;
         stats.cache_misses = io.cache_misses;
+        stats.zone_hits = io.zone_hits;
+        stats.zone_misses = io.zone_misses;
         stats.total = start.elapsed();
         stats.cpu_time = stats.total.saturating_sub(stats.io_time);
+        self.metrics.observe(&stats);
         Ok(SearchOutcome {
             matches,
             stats,
@@ -405,6 +440,12 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
         limit: usize,
     ) -> Result<Vec<RankedMatch>, QueryError> {
         let outcome = self.search(query, theta)?;
+        Ok(self.rank(&outcome, limit))
+    }
+
+    /// Ranks an already-computed outcome (lets callers keep the outcome's
+    /// [`QueryStats`] — e.g. for `--profile` — without searching twice).
+    pub fn rank(&self, outcome: &SearchOutcome, limit: usize) -> Vec<RankedMatch> {
         let k = self.hasher.k() as f64;
         let mut ranked: Vec<RankedMatch> = outcome
             .matches
@@ -422,7 +463,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
                 .then_with(|| a.text.cmp(&b.text))
         });
         ranked.truncate(limit);
-        Ok(ranked)
+        ranked
     }
 
     /// Definition 1 mode: runs the approximate search, then verifies each

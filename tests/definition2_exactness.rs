@@ -170,3 +170,144 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Deterministic seeded grid sweep: structured corpora × (θ, t, k), always
+// checked against the brute-force Definition 2 oracle, plus execution-mode
+// equivalences (batch ≡ sequential, cached ≡ cold ≡ in-memory). Every seed
+// is pinned so a CI failure reproduces bit-for-bit.
+// ---------------------------------------------------------------------------
+
+use ndss::index::{write_memory_index, CacheConfig};
+
+/// Four corpus shapes that stress different index regimes: list fan-out
+/// (many short texts), long posting runs (few long texts), heavy hash ties
+/// (tiny vocabulary), and near-distinct tokens (large vocabulary).
+fn corpus_shapes() -> Vec<(&'static str, InMemoryCorpus)> {
+    let build = |seed: u64, n: usize, lo: usize, hi: usize, vocab: usize| {
+        SyntheticCorpusBuilder::new(seed)
+            .num_texts(n)
+            .text_len(lo, hi)
+            .vocab_size(vocab)
+            .duplicates_per_text(0.8)
+            .dup_len(8, 16)
+            .mutation_rate(0.1)
+            .build()
+            .0
+    };
+    vec![
+        ("many-short", build(0x51, 14, 20, 45, 50)),
+        ("few-long", build(0x52, 3, 120, 180, 200)),
+        ("tiny-vocab", build(0x53, 8, 30, 70, 8)),
+        ("large-vocab", build(0x54, 8, 30, 70, 5000)),
+    ]
+}
+
+/// Two queries per corpus: a verbatim slice of text 0 (guaranteed hits at
+/// high θ) and a perturbed copy of it (partial-overlap hits at lower θ).
+fn grid_queries(corpus: &InMemoryCorpus) -> Vec<Vec<u32>> {
+    let text = corpus.text_to_vec(0).unwrap();
+    let len = text.len().min(20);
+    let slice = text[..len].to_vec();
+    let mut perturbed = slice.clone();
+    for (i, tok) in perturbed.iter_mut().enumerate() {
+        if i % 4 == 3 {
+            *tok = tok.wrapping_add(1);
+        }
+    }
+    vec![slice, perturbed]
+}
+
+/// The heart of Theorem 2: across every (shape, t, k, θ) cell the indexed
+/// search returns byte-identical results to the O(k·Σn²) oracle.
+#[test]
+fn seeded_grid_sweep_matches_oracle() {
+    for (shape, corpus) in corpus_shapes() {
+        let queries = grid_queries(&corpus);
+        for &t in &[3usize, 10] {
+            for &k in &[2usize, 6, 12] {
+                let seed = 0x5EED ^ ((k as u64) << 8) ^ t as u64;
+                let index = MemoryIndex::build(&corpus, IndexConfig::new(k, t, seed)).unwrap();
+                let searcher = NearDupSearcher::new(&index).unwrap();
+                let hasher = index.config().hasher();
+                for (qi, query) in queries.iter().enumerate() {
+                    for &theta in &[0.4f64, 0.7, 0.9, 1.0] {
+                        let got = searcher.search(query, theta).unwrap().enumerate_all();
+                        let want = definition2_scan(&corpus, &hasher, query, theta, t).unwrap();
+                        assert_eq!(
+                            got, want,
+                            "divergence at shape={shape} t={t} k={k} θ={theta} query#{qi}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Batch execution is a pure throughput optimization: for every thread
+/// count the outcomes equal the sequential searcher's, query for query.
+#[test]
+fn batch_equals_sequential_for_all_thread_counts() {
+    let (_, corpus) = corpus_shapes().swap_remove(0);
+    let index = MemoryIndex::build(&corpus, IndexConfig::new(8, 6, 0xC0FFEE)).unwrap();
+    let sequential = NearDupSearcher::new(&index).unwrap();
+
+    let mut queries = Vec::new();
+    for text in 0..corpus.num_texts().min(8) as u32 {
+        let tokens = corpus.text_to_vec(text).unwrap();
+        queries.push(tokens[..tokens.len().min(18)].to_vec());
+    }
+    queries.push(vec![9999, 9998, 9997, 9996, 9995, 9994, 9993]); // no hits
+
+    for &theta in &[0.5f64, 0.9] {
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| sequential.search(q, theta).unwrap().enumerate_all())
+            .collect();
+        for &threads in &[1usize, 2, 4, 8] {
+            let batch = BatchSearcher::new(&index).unwrap().threads(threads);
+            let outcomes = batch.search_all(&queries, theta).unwrap();
+            assert_eq!(outcomes.len(), queries.len());
+            for (i, outcome) in outcomes.iter().enumerate() {
+                assert_eq!(
+                    outcome.enumerate_all(),
+                    expected[i],
+                    "θ={theta} threads={threads} query#{i}"
+                );
+            }
+        }
+    }
+}
+
+/// The disk index answers identically to the in-memory index it was written
+/// from, with caches cold, warming, and warm — caching must never change
+/// results, only IO counts.
+#[test]
+fn cached_and_cold_disk_reads_agree_with_memory() {
+    let dir = std::env::temp_dir().join("ndss_def2_cache_equiv");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (_, corpus) = corpus_shapes().swap_remove(2); // tiny vocab: long lists
+    let mem = MemoryIndex::build(&corpus, IndexConfig::new(6, 5, 0xD15C)).unwrap();
+    let warm_index = write_memory_index(&mem, &dir).unwrap();
+    let cold_index = DiskIndex::open_with_cache(&dir, CacheConfig::disabled()).unwrap();
+
+    let mem_s = NearDupSearcher::new(&mem).unwrap();
+    let warm_s = NearDupSearcher::new(&warm_index).unwrap();
+    let cold_s = NearDupSearcher::new(&cold_index).unwrap();
+
+    for query in grid_queries(&corpus) {
+        for &theta in &[0.5f64, 0.9] {
+            let want = mem_s.search(&query, theta).unwrap().enumerate_all();
+            // First warm pass populates the cache, second is served from it.
+            let warm1 = warm_s.search(&query, theta).unwrap().enumerate_all();
+            let warm2 = warm_s.search(&query, theta).unwrap().enumerate_all();
+            let cold = cold_s.search(&query, theta).unwrap().enumerate_all();
+            assert_eq!(warm1, want, "cache-warming read diverged (θ={theta})");
+            assert_eq!(warm2, want, "cache-hit read diverged (θ={theta})");
+            assert_eq!(cold, want, "uncached read diverged (θ={theta})");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
