@@ -98,6 +98,68 @@ fn main() {
         &format!("{overhead_pct:+.2}%"),
     );
 
+    // ---- Governance overhead: budget checkpoints on the hot path. --------
+    // Every search now runs through the governor's checkpoints; with no
+    // limits set each check collapses to one pre-resolved branch. The gate:
+    // searching through the governed entry point with an unlimited budget
+    // must cost < 2% vs the plain entry point — governance is compiled in
+    // and always on, so its idle cost has to be noise. A run with live
+    // (never-tripping) limits is also reported, un-gated: that is the price
+    // of actual enforcement (per-checkpoint deadline reads dominate it).
+    // Interleave the two variants and take the minimum of five passes each:
+    // on a shared host, background load drifts over seconds, and adjacent
+    // (rather than back-to-back-blocked) samples keep that drift from
+    // landing entirely on one side of the comparison.
+    let unlimited = QueryBudget::unlimited();
+    let mut secs_plain = f64::INFINITY;
+    let mut secs_governed = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for q in &queries {
+            std::hint::black_box(searcher.search(q, theta).unwrap());
+        }
+        secs_plain = secs_plain.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for q in &queries {
+            std::hint::black_box(searcher.search_governed(q, theta, &unlimited).unwrap());
+        }
+        secs_governed = secs_governed.min(start.elapsed().as_secs_f64());
+    }
+    let governance_pct = 100.0 * (secs_governed - secs_plain) / secs_plain.max(1e-9);
+    println!(
+        "governance: {:.1} q/s plain vs {:.1} q/s governed-unlimited \
+         ({governance_pct:+.2}% overhead)",
+        qps(queries.len(), secs_plain),
+        qps(queries.len(), secs_governed)
+    );
+    shape_check(
+        "governance overhead with an unlimited budget < 2%",
+        governance_pct < 2.0,
+        &format!("{governance_pct:+.2}%"),
+    );
+    let generous = QueryBudget::unlimited()
+        .time_limit(std::time::Duration::from_secs(3600))
+        .max_io_bytes(u64::MAX)
+        .max_candidates(u64::MAX)
+        .max_result_matches(usize::MAX);
+    let secs_enforced = {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for q in &queries {
+                std::hint::black_box(searcher.search_governed(q, theta, &generous).unwrap());
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let enforcement_pct = 100.0 * (secs_enforced - secs_plain) / secs_plain.max(1e-9);
+    println!(
+        "governance: {:.1} q/s with live (never-tripping) limits \
+         ({enforcement_pct:+.2}% enforcement cost, informational)",
+        qps(queries.len(), secs_enforced)
+    );
+
     let mut batch_rows = Vec::new();
     let mut qps_at_4 = 0.0;
     for threads in [1usize, 2, 4, 8] {
@@ -194,6 +256,25 @@ fn main() {
                     Json::Float(qps(queries.len(), secs_off)),
                 )
                 .field("overhead_pct", Json::Float(overhead_pct))
+                .build(),
+        )
+        .field(
+            "governance",
+            ObjectBuilder::new()
+                .field(
+                    "queries_per_sec_plain",
+                    Json::Float(qps(queries.len(), secs_plain)),
+                )
+                .field(
+                    "queries_per_sec_governed_unlimited",
+                    Json::Float(qps(queries.len(), secs_governed)),
+                )
+                .field("overhead_pct", Json::Float(governance_pct))
+                .field(
+                    "queries_per_sec_live_limits",
+                    Json::Float(qps(queries.len(), secs_enforced)),
+                )
+                .field("enforcement_pct", Json::Float(enforcement_pct))
                 .build(),
         )
         .field("batch", Json::Array(batch_rows))

@@ -14,8 +14,7 @@ pub fn run(args: &Args) -> Result<(), String> {
 
     // Batch mode: a file of queries fanned out over a thread pool.
     if let Some(path) = args.get("queries-file") {
-        let threads: usize = args.get_or("threads", 0)?;
-        run_batch(index_dir, path, theta, threads, profile)?;
+        run_batch(args, index_dir, path, theta, profile)?;
         return crate::obs::maybe_write_metrics(args);
     }
 
@@ -68,7 +67,18 @@ pub fn run(args: &Args) -> Result<(), String> {
         );
     }
     let searcher = index.searcher().map_err(|e| e.to_string())?;
-    let outcome = searcher.search(&query, theta).map_err(|e| e.to_string())?;
+    let budget = parse_budget(args)?;
+    let outcome = match searcher.search_governed(&query, theta, &budget) {
+        Ok(outcome) => outcome,
+        Err(QueryError::BudgetExceeded { resource, partial }) => {
+            eprintln!(
+                "warning: {resource} budget exhausted — showing the partial (incomplete) \
+                 result set found before stopping"
+            );
+            *partial
+        }
+        Err(e) => return Err(e.to_string()),
+    };
     let ranked = searcher.rank(&outcome, top);
 
     if ranked.is_empty() {
@@ -127,15 +137,53 @@ pub fn run(args: &Args) -> Result<(), String> {
     crate::obs::maybe_write_metrics(args)
 }
 
+/// Assembles a per-query [`QueryBudget`] from `--deadline-ms`,
+/// `--max-io-bytes`, `--max-candidates`, and `--max-matches`. Omitted flags
+/// leave that dimension unlimited.
+fn parse_budget(args: &Args) -> Result<QueryBudget, String> {
+    let mut budget = QueryBudget::unlimited();
+    if let Some(raw) = args.get("deadline-ms") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|e| format!("invalid --deadline-ms: {e}"))?;
+        budget = budget.time_limit(std::time::Duration::from_millis(ms));
+    }
+    if let Some(raw) = args.get("max-io-bytes") {
+        let bytes: u64 = raw
+            .parse()
+            .map_err(|e| format!("invalid --max-io-bytes: {e}"))?;
+        budget = budget.max_io_bytes(bytes);
+    }
+    if let Some(raw) = args.get("max-candidates") {
+        let n: u64 = raw
+            .parse()
+            .map_err(|e| format!("invalid --max-candidates: {e}"))?;
+        budget = budget.max_candidates(n);
+    }
+    if let Some(raw) = args.get("max-matches") {
+        let n: usize = raw
+            .parse()
+            .map_err(|e| format!("invalid --max-matches: {e}"))?;
+        budget = budget.max_result_matches(n);
+    }
+    Ok(budget)
+}
+
 /// `--queries-file FILE [--threads N]`: one query per line as
 /// comma-separated token ids; blank lines and `#` comments are skipped.
-/// Queries run through [`ndss::BatchSearcher`]; results print in input
-/// order with an aggregate throughput/IO summary.
+/// Queries run through [`ndss::prelude::BatchSearcher`]; results print in
+/// input order with an aggregate throughput/IO summary.
+///
+/// Governance flags: `--failure-policy failfast|isolate` picks whether one
+/// failing query aborts the batch or is confined to its own slot;
+/// `--batch-deadline-ms` bounds the whole batch; `--admission-cap` sheds
+/// queries beyond position N; the per-query budget flags (`--deadline-ms`
+/// etc.) apply to every query.
 fn run_batch(
+    args: &Args,
     index_dir: &str,
     path: &str,
     theta: f64,
-    threads: usize,
     profile: bool,
 ) -> Result<(), String> {
     let raw = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -159,6 +207,17 @@ fn run_batch(
         return Err(format!("{path} contains no queries"));
     }
 
+    let threads: usize = args.get_or("threads", 0)?;
+    let policy = match args.get("failure-policy").unwrap_or("failfast") {
+        "failfast" => FailurePolicy::FailFast,
+        "isolate" => FailurePolicy::Isolate,
+        other => {
+            return Err(format!(
+                "invalid --failure-policy '{other}' (expected failfast or isolate)"
+            ))
+        }
+    };
+
     let index = CorpusIndex::open(Path::new(index_dir), PrefixFilter::Adaptive)
         .map_err(|e| e.to_string())?;
     let threads = if threads == 0 {
@@ -166,38 +225,86 @@ fn run_batch(
     } else {
         threads
     };
+    let mut batch = index
+        .batch_searcher()
+        .map_err(|e| e.to_string())?
+        .threads(threads)
+        .failure_policy(policy)
+        .budget(parse_budget(args)?);
+    if let Some(raw) = args.get("batch-deadline-ms") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|e| format!("invalid --batch-deadline-ms: {e}"))?;
+        batch = batch.batch_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(raw) = args.get("admission-cap") {
+        let cap: usize = raw
+            .parse()
+            .map_err(|e| format!("invalid --admission-cap: {e}"))?;
+        batch = batch.admission_cap(cap);
+    }
+
     let start = std::time::Instant::now();
-    let outcomes = index
-        .search_batch(&queries, theta, threads)
-        .map_err(|e| e.to_string())?;
+    let results = batch.search_all_governed(&queries, theta);
     let elapsed = start.elapsed();
 
     let mut io_bytes = 0u64;
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
     let mut matched = 0usize;
-    for (i, outcome) in outcomes.iter().enumerate() {
+    let (mut completed, mut partial, mut shed, mut failed) = (0usize, 0usize, 0usize, 0usize);
+    let mut stats: Vec<&ndss::query::QueryStats> = Vec::new();
+    for (i, result) in results.iter().enumerate() {
+        let (outcome, note) = match result {
+            Ok(outcome) => {
+                completed += 1;
+                (outcome, "")
+            }
+            Err(QueryError::BudgetExceeded {
+                partial: outcome, ..
+            }) => {
+                partial += 1;
+                (&**outcome, "  [partial: budget exhausted]")
+            }
+            Err(e @ (QueryError::Overloaded { .. } | QueryError::Cancelled)) => {
+                shed += 1;
+                println!("query {i:>5}: shed ({e})");
+                continue;
+            }
+            Err(e) => {
+                failed += 1;
+                println!("query {i:>5}: failed ({e})");
+                continue;
+            }
+        };
         io_bytes += outcome.stats.io_bytes;
         cache_hits += outcome.stats.cache_hits;
         cache_misses += outcome.stats.cache_misses;
+        stats.push(&outcome.stats);
         if outcome.num_texts() > 0 {
             matched += 1;
         }
         println!(
-            "query {i:>5}: {} text(s), {} sequence(s), {} postings, {} KiB IO",
+            "query {i:>5}: {} text(s), {} sequence(s), {} postings, {} KiB IO{note}",
             outcome.num_texts(),
             outcome.total_sequences(),
             outcome.stats.postings_read,
             outcome.stats.io_bytes / 1024,
         );
     }
-    let qps = outcomes.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    let qps = results.len() as f64 / elapsed.as_secs_f64().max(1e-9);
     println!(
         "\n{} queries on {threads} thread(s) in {:.3} s ({qps:.1} queries/s); \
          {matched} matched at θ = {theta}",
-        outcomes.len(),
+        results.len(),
         elapsed.as_secs_f64(),
     );
+    if partial + shed + failed > 0 {
+        println!(
+            "governance: {completed} completed, {partial} partial (budget), \
+             {shed} shed, {failed} failed"
+        );
+    }
     let lookups = cache_hits + cache_misses;
     if lookups > 0 {
         println!(
@@ -209,8 +316,8 @@ fn run_batch(
     if profile {
         // Stage times are summed across queries (total thread-time per
         // stage); latency percentiles come from the registry histogram.
-        let summed = crate::obs::sum_stats(outcomes.iter().map(|o| &o.stats));
-        crate::obs::print_profile(&summed, outcomes.len());
+        let summed = crate::obs::sum_stats(stats.iter().copied());
+        crate::obs::print_profile(&summed, stats.len().max(1));
         crate::obs::print_latency_percentiles();
     }
     Ok(())

@@ -87,9 +87,15 @@ COMMANDS:
                --query TEXT --tokenizer FILE] [--top N=10]
                [--corpus FILE (decodes matches)]
                [--profile (per-stage timing/IO breakdown)]
+             per-query resource budgets (a tripped budget reports the partial
+             result set found so far, flagged incomplete)
+               [--deadline-ms N] [--max-io-bytes N] [--max-candidates N]
+               [--max-matches N]
              batch mode: one comma-separated query per line, run in parallel
                --index DIR --queries-file FILE [--theta F=0.8]
                [--threads N=all cores] [--profile]
+               [--failure-policy failfast|isolate (default failfast)]
+               [--batch-deadline-ms N] [--admission-cap N]
   stats      corpus and index statistics
                --corpus FILE [--index DIR] [--top N=10]
                [--metrics (render process metrics registry)]

@@ -8,7 +8,7 @@ use ndss_index::{
     build_and_write, DiskIndex, ExternalIndexBuilder, IndexAccess, IndexConfig, MemoryIndex,
 };
 use ndss_query::search::{NearDupSearcher, SearchOutcome};
-use ndss_query::{BatchSearcher, PrefixFilter, QueryStats};
+use ndss_query::{BatchSearcher, PrefixFilter, QueryBudget, QueryStats};
 
 /// Unified error type of the facade.
 #[derive(Debug)]
@@ -241,6 +241,19 @@ impl<I: IndexAccess> CorpusIndex<I> {
     /// on ≥ ⌈kθ⌉ hash functions.
     pub fn search(&self, query: &[TokenId], theta: f64) -> Result<SearchOutcome, NdssError> {
         Ok(self.searcher()?.search(query, theta)?)
+    }
+
+    /// One-shot search under a resource budget (deadline, IO bytes,
+    /// candidate or match caps). When a limit trips, the error carries the
+    /// sound partial outcome found so far — see
+    /// [`ndss_query::QueryError::BudgetExceeded`].
+    pub fn search_governed(
+        &self,
+        query: &[TokenId],
+        theta: f64,
+        budget: &QueryBudget,
+    ) -> Result<SearchOutcome, NdssError> {
+        Ok(self.searcher()?.search_governed(query, theta, budget)?)
     }
 
     /// A reusable batch searcher over the index (computes prefix-filter

@@ -78,12 +78,15 @@ pub mod prelude {
     pub use ndss_exact::ExactSubstringIndex;
     pub use ndss_hash::jaccard::{distinct_jaccard, multiset_jaccard};
     pub use ndss_hash::{MinHasher, Sketch, TokenId};
-    pub use ndss_index::{DiskIndex, ExternalIndexBuilder, IndexAccess, IndexConfig, MemoryIndex};
+    pub use ndss_index::{
+        DiskIndex, ExternalIndexBuilder, FaultConfig, IndexAccess, IndexConfig, MemoryIndex,
+        ReadOptions,
+    };
     pub use ndss_lm::{evaluate_memorization, GenerationStrategy, MemorizationConfig, NGramModel};
     pub use ndss_obs::{Registry, Unit};
     pub use ndss_query::{
-        BatchSearcher, DocumentMatch, DocumentScan, NearDupSearcher, PrefixFilter, RankedMatch,
-        SearchOutcome, TextMatch,
+        BatchSearcher, CancelToken, DocumentMatch, DocumentScan, FailurePolicy, NearDupSearcher,
+        PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource, SearchOutcome, TextMatch,
     };
     pub use ndss_tokenizer::{BpeTokenizer, BpeTrainer};
 }

@@ -30,7 +30,6 @@
 //! [`IndexError::Malformed`], never a panic. Legacy v2 files still open and
 //! read identically.
 
-use std::fs::File;
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -46,6 +45,7 @@ use crate::integrity::{
     self, SectionChecksums, HEADER_LEN_CHECKED, HEADER_LEN_LEGACY, OFF_DIR_CRC, OFF_HEADER_CRC,
     OFF_SECTION1_CRC, OFF_SECTION1_LEN, OFF_SECTION2_CRC,
 };
+use crate::pread::{ReadOptions, RetryingFile};
 use crate::{IndexError, IoStats, Posting};
 
 /// Legacy compressed format: 48-byte header, no checksums.
@@ -342,7 +342,7 @@ impl CompressedFileWriter {
 /// Block reads are positioned (`pread`): no lock, no shared cursor, safe to
 /// share across any number of query threads.
 pub struct CompressedFileReader {
-    file: File,
+    file: RetryingFile,
     path: PathBuf,
     dir: Vec<DirEntryV2>,
     blocks: Vec<BlockEntry>,
@@ -368,13 +368,20 @@ impl std::fmt::Debug for CompressedFileReader {
 }
 
 impl CompressedFileReader {
+    /// Opens a compressed file with default IO options (transient-error
+    /// retry on, fault injection off). See [`Self::open_with`].
+    pub fn open(path: &Path) -> Result<Self, IndexError> {
+        Self::open_with(path, &ReadOptions::default())
+    }
+
     /// Opens a compressed file: validates every header-derived size against
     /// the real file length (overflow-checked, before any allocation),
     /// verifies the header / block-index / directory checksums (v4), and
-    /// cross-checks the block index against the directory.
-    pub fn open(path: &Path) -> Result<Self, IndexError> {
-        let file = File::open(path)?;
-        let file_len = file.metadata()?.len();
+    /// cross-checks the block index against the directory. All reads go
+    /// through the retrying layer configured by `io`.
+    pub fn open_with(path: &Path, io: &ReadOptions) -> Result<Self, IndexError> {
+        let file = RetryingFile::open(path, io)?;
+        let file_len = file.len()?;
         if file_len < HEADER_LEN_LEGACY {
             return Err(IndexError::Malformed(format!(
                 "{} is too short ({file_len} B) to hold an index header",
@@ -382,7 +389,7 @@ impl CompressedFileReader {
             )));
         }
         let mut header = vec![0u8; HEADER_LEN_CHECKED.min(file_len) as usize];
-        crate::pread::read_exact_at(&file, &mut header, 0)?;
+        file.read_exact_at(&mut header, 0)?;
         if &header[0..4] != MAGIC {
             return Err(IndexError::Malformed(format!(
                 "bad magic in {}",
@@ -453,7 +460,7 @@ impl CompressedFileReader {
         };
 
         let mut buf = vec![0u8; index_len as usize];
-        crate::pread::read_exact_at(&file, &mut buf, header_len + blocks_bytes)?;
+        file.read_exact_at(&mut buf, header_len + blocks_bytes)?;
         if let Some(ck) = &checksums {
             integrity::check_loaded_crc(&buf, ck.section2, "block index", path)?;
         }
@@ -466,7 +473,7 @@ impl CompressedFileReader {
             });
         }
         let mut buf = vec![0u8; dir_len as usize];
-        crate::pread::read_exact_at(&file, &mut buf, header_len + blocks_bytes + index_len)?;
+        file.read_exact_at(&mut buf, header_len + blocks_bytes + index_len)?;
         if let Some(ck) = &checksums {
             integrity::check_loaded_crc(&buf, ck.dir, "directory", path)?;
         }
@@ -631,7 +638,8 @@ impl CompressedFileReader {
     ) -> Result<Vec<u8>, IndexError> {
         let mut buf = vec![0u8; len];
         let start = Instant::now();
-        crate::pread::read_exact_at(&self.file, &mut buf, self.header_len + rel_offset)?;
+        self.file
+            .read_exact_at(&mut buf, self.header_len + rel_offset)?;
         stats.record(len as u64, start.elapsed().as_nanos() as u64);
         Ok(buf)
     }

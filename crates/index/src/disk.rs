@@ -24,6 +24,7 @@ use crate::cache::{CacheConfig, ShardedCache};
 use crate::codec::CompressedFileReader;
 use crate::format::{IndexFileReader, ZoneEntry};
 use crate::metrics::IndexIoMetrics;
+use crate::pread::ReadOptions;
 use crate::{IndexAccess, IndexConfig, IndexError, IoSnapshot, IoStats, Posting};
 
 /// Version-dispatching handle to one inverted-index file: v1/v3 store
@@ -37,6 +38,10 @@ pub(crate) enum AnyFileReader {
 
 impl AnyFileReader {
     pub(crate) fn open(path: &Path) -> Result<Self, IndexError> {
+        Self::open_with(path, &ReadOptions::default())
+    }
+
+    pub(crate) fn open_with(path: &Path, io: &ReadOptions) -> Result<Self, IndexError> {
         let mut header = [0u8; 8];
         {
             use std::io::Read;
@@ -59,10 +64,10 @@ impl AnyFileReader {
         }
         match u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) {
             crate::format::VERSION_V1 | crate::format::VERSION_V3 => {
-                Ok(Self::V1(IndexFileReader::open(path)?))
+                Ok(Self::V1(IndexFileReader::open_with(path, io)?))
             }
             crate::codec::VERSION_V2 | crate::codec::VERSION_V4 => {
-                Ok(Self::V2(CompressedFileReader::open(path)?))
+                Ok(Self::V2(CompressedFileReader::open_with(path, io)?))
             }
             v => Err(IndexError::Malformed(format!(
                 "unsupported index file version {v} in {}",
@@ -199,6 +204,17 @@ impl DiskIndex {
     /// [`CacheConfig::disabled`] for pure cold-read behavior, e.g. in IO
     /// measurements).
     pub fn open_with_cache(dir: &Path, cache: CacheConfig) -> Result<Self, IndexError> {
+        Self::open_with_io(dir, cache, ReadOptions::default())
+    }
+
+    /// Opens an index directory with explicit cache sizing **and** IO
+    /// options: retry policy for transient read errors and (in tests) a
+    /// deterministic fault injector shared by every index file.
+    pub fn open_with_io(
+        dir: &Path,
+        cache: CacheConfig,
+        io: ReadOptions,
+    ) -> Result<Self, IndexError> {
         let meta_path = dir.join(META_FILE);
         let meta = std::fs::read_to_string(&meta_path).map_err(|e| {
             IndexError::Malformed(format!("cannot read {}: {e}", meta_path.display()))
@@ -207,7 +223,7 @@ impl DiskIndex {
             .map_err(|e| IndexError::Malformed(format!("bad meta.json: {e}")))?;
         let mut readers = Vec::with_capacity(config.k);
         for func in 0..config.k {
-            let reader = AnyFileReader::open(&inv_file_path(dir, func))?;
+            let reader = AnyFileReader::open_with(&inv_file_path(dir, func), &io)?;
             if reader.func_idx() as usize != func {
                 return Err(IndexError::Malformed(format!(
                     "inv_{func}.ndsi claims function {}",

@@ -23,7 +23,6 @@
 //! checksums. Legacy v1 files (no checksums) still open and read
 //! identically; they only get the structural validation.
 
-use std::fs::File;
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -36,6 +35,7 @@ use crate::integrity::{
     self, SectionChecksums, HEADER_LEN_CHECKED, HEADER_LEN_LEGACY, OFF_DIR_CRC, OFF_HEADER_CRC,
     OFF_SECTION1_CRC, OFF_SECTION1_LEN, OFF_SECTION2_CRC,
 };
+use crate::pread::{ReadOptions, RetryingFile};
 use crate::{IndexError, IoStats, Posting};
 
 pub(crate) const MAGIC: &[u8; 4] = b"NDSI";
@@ -271,7 +271,7 @@ impl IndexFileWriter {
 /// All reads are *positioned* (`pread`), so a shared reader serves any
 /// number of threads with no lock and one syscall per read.
 pub struct IndexFileReader {
-    file: File,
+    file: RetryingFile,
     path: PathBuf,
     dir: Vec<DirEntry>,
     func_idx: u32,
@@ -296,12 +296,20 @@ impl std::fmt::Debug for IndexFileReader {
 }
 
 impl IndexFileReader {
+    /// Opens the file with default IO options (transient-error retry on,
+    /// fault injection off). See [`Self::open_with`].
+    pub fn open(path: &Path) -> Result<Self, IndexError> {
+        Self::open_with(path, &ReadOptions::default())
+    }
+
     /// Opens the file, validates every header-derived size and offset
     /// against the real file length, verifies the header and directory
-    /// checksums (v3), and loads the directory.
-    pub fn open(path: &Path) -> Result<Self, IndexError> {
-        let file = File::open(path)?;
-        let file_len = file.metadata()?.len();
+    /// checksums (v3), and loads the directory. All reads — including the
+    /// header and directory loads here — go through the retrying layer
+    /// configured by `io`.
+    pub fn open_with(path: &Path, io: &ReadOptions) -> Result<Self, IndexError> {
+        let file = RetryingFile::open(path, io)?;
+        let file_len = file.len()?;
         if file_len < HEADER_LEN_LEGACY {
             return Err(IndexError::Malformed(format!(
                 "{} is too short ({file_len} B) to hold an index header",
@@ -309,7 +317,7 @@ impl IndexFileReader {
             )));
         }
         let mut header = vec![0u8; HEADER_LEN_CHECKED.min(file_len) as usize];
-        crate::pread::read_exact_at(&file, &mut header, 0)?;
+        file.read_exact_at(&mut header, 0)?;
         if &header[0..4] != MAGIC {
             return Err(IndexError::Malformed(format!(
                 "bad magic in {}",
@@ -383,7 +391,7 @@ impl IndexFileReader {
         let dir_section = zone_section + zones_len;
 
         let mut dir_bytes = vec![0u8; dir_len as usize];
-        crate::pread::read_exact_at(&file, &mut dir_bytes, dir_section)?;
+        file.read_exact_at(&mut dir_bytes, dir_section)?;
         if let Some(ck) = &checksums {
             integrity::check_loaded_crc(&dir_bytes, ck.dir, "directory", path)?;
         }
@@ -513,7 +521,7 @@ impl IndexFileReader {
 
     fn read_at(&self, offset: u64, buf: &mut [u8], stats: &IoStats) -> Result<(), IndexError> {
         let start = Instant::now();
-        crate::pread::read_exact_at(&self.file, buf, offset)?;
+        self.file.read_exact_at(buf, offset)?;
         stats.record(buf.len() as u64, start.elapsed().as_nanos() as u64);
         Ok(())
     }

@@ -16,9 +16,9 @@
 //! that need end-to-end integrity (the `ndss verify` CLI, the
 //! fault-injection suite) run both.
 
-use std::fs::File;
 use std::path::Path;
 
+use crate::pread::RetryingFile;
 use crate::{IndexError, IoStats};
 
 /// Header length of the legacy (checksum-less) v1/v2 formats.
@@ -93,9 +93,12 @@ pub(crate) fn check_loaded_crc(
 }
 
 /// Streams file range `[offset, offset + len)` through CRC-32C in bounded
-/// chunks and compares with `expect`. IO is tallied in `stats`.
+/// chunks and compares with `expect`. IO is tallied in `stats`. Transient
+/// read faults are absorbed by the [`RetryingFile`]; a checksum mismatch is
+/// permanent and is never retried (re-reading corrupt bytes cannot fix
+/// them).
 pub(crate) fn check_streamed_crc(
-    file: &File,
+    file: &RetryingFile,
     offset: u64,
     len: u64,
     expect: u32,
@@ -111,7 +114,7 @@ pub(crate) fn check_streamed_crc(
     while pos < end {
         let take = ((end - pos).min(CHUNK)) as usize;
         let start = std::time::Instant::now();
-        crate::pread::read_exact_at(file, &mut buf[..take], pos).map_err(|e| {
+        file.read_exact_at(&mut buf[..take], pos).map_err(|e| {
             IndexError::Malformed(format!(
                 "cannot read {what} of {} at offset {pos}: {e}",
                 path.display()

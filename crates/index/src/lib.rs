@@ -59,6 +59,7 @@ pub use cache::CacheConfig;
 pub use disk::{inv_file_path, DiskIndex};
 pub use memory::MemoryIndex;
 pub use merge::merge_indexes;
+pub use pread::{FaultConfig, FaultStats, ReadOptions, RetryPolicy};
 
 use ndss_corpus::TextId;
 use ndss_hash::universal::HashFamily;

@@ -1,29 +1,245 @@
-//! Positioned (`pread`-style) file reads.
+//! Positioned (`pread`-style) file reads with transient-error retry and
+//! deterministic fault injection.
 //!
 //! Every posting or zone read used to funnel through a `Mutex<File>` with a
 //! seek + read pair, which serialized concurrent queries on the same index
 //! file. A positioned read needs no cursor and therefore no lock: readers
-//! hold a plain `File`, are `Sync`, and issue exactly one syscall per read.
+//! hold a [`RetryingFile`], are `Sync`, and issue one syscall per read in
+//! the common case.
+//!
+//! # Retry taxonomy
+//!
+//! A positioned read can fail **transiently** — `EINTR` (a signal landed
+//! mid-syscall), `EAGAIN`/`EWOULDBLOCK`, or a short read (the kernel
+//! returned fewer bytes than asked) — without anything being wrong with the
+//! file. [`RetryingFile`] absorbs these: short reads continue the fill loop
+//! immediately, error kinds `Interrupted`/`WouldBlock` retry with bounded
+//! exponential backoff. Every absorbed event counts into the `io.retries`
+//! registry counter; running out of attempts counts `io.retry_exhausted`
+//! and surfaces the original error. **Permanent** errors — anything else,
+//! including `UnexpectedEof` and the checksum/`Malformed` failures raised
+//! above this layer — are never retried: retrying cannot make corrupt
+//! bytes valid.
+//!
+//! # Fault injection
+//!
+//! [`FaultConfig`] wraps the file in a seeded, deterministic [`FlakyFile`]
+//! that injects the full transient taxonomy (plus an always-failing
+//! "hard" byte range for exercising retry exhaustion), so tests can prove
+//! the retry path yields bit-identical results to fault-free runs.
 
 use std::fs::File;
 use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Duration;
 
-/// Reads exactly `buf.len()` bytes at absolute `offset`, without touching
-/// the file cursor. Thread-safe on a shared `&File`.
+/// One positioned read returning the number of bytes read (possibly short).
 #[cfg(unix)]
-pub(crate) fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+fn raw_read_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<usize> {
     use std::os::unix::fs::FileExt;
-    file.read_exact_at(buf, offset)
+    file.read_at(buf, offset)
 }
 
 /// Windows fallback: `seek_read` takes its own offset (it moves the cursor,
 /// but no reader relies on cursor position, so concurrent use stays safe in
-/// the read-exact loop below).
+/// the retry loop above it).
 #[cfg(windows)]
-pub(crate) fn read_exact_at(file: &File, mut buf: &mut [u8], mut offset: u64) -> io::Result<()> {
+fn raw_read_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<usize> {
     use std::os::windows::fs::FileExt;
+    file.seek_read(buf, offset)
+}
+
+/// Bounded exponential backoff for transient read errors.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Transient errors tolerated per logical read before giving up.
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 8,
+            initial_backoff: Duration::from_micros(20),
+            max_backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Shared fault-injection tallies, readable by tests through
+/// [`FaultConfig::stats`].
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    injected: AtomicU64,
+    hard_faults: AtomicU64,
+}
+
+impl FaultStats {
+    /// Transient faults injected (EINTR / EAGAIN / short reads).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Relaxed)
+    }
+
+    /// Always-failing hard-range faults injected.
+    pub fn hard_faults(&self) -> u64 {
+        self.hard_faults.load(Relaxed)
+    }
+}
+
+/// Deterministic fault-injection plan for a [`FlakyFile`].
+///
+/// Clones share one [`FaultStats`], so the handle a test keeps observes
+/// faults injected by every reader opened from the same config.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// PRNG seed: the same seed and call sequence injects the same faults.
+    pub seed: u64,
+    /// Inject on roughly one in `fault_every` read calls (0 disables the
+    /// probabilistic faults, leaving only the hard range).
+    pub fault_every: u32,
+    /// Cap on consecutive injected faults seen by any one retry loop; must
+    /// stay below [`RetryPolicy::max_retries`] for reads to always succeed
+    /// eventually.
+    pub max_consecutive: u32,
+    /// Absolute byte range `[lo, hi)` whose reads *always* fail with
+    /// `EINTR`, bypassing `max_consecutive` — the retry-exhaustion path.
+    pub hard_range: Option<(u64, u64)>,
+    stats: Arc<FaultStats>,
+}
+
+impl FaultConfig {
+    /// Transient faults on ~1 in 4 reads, at most 3 in a row, no hard range.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            fault_every: 4,
+            max_consecutive: 3,
+            hard_range: None,
+            stats: Arc::new(FaultStats::default()),
+        }
+    }
+
+    /// Sets the probabilistic fault rate (one in `n` reads; 0 disables).
+    pub fn fault_every(mut self, n: u32) -> Self {
+        self.fault_every = n;
+        self
+    }
+
+    /// Marks `[lo, hi)` as permanently transient: every read touching it
+    /// fails with `EINTR` until the retry budget is exhausted.
+    pub fn hard_range(mut self, lo: u64, hi: u64) -> Self {
+        self.hard_range = Some((lo, hi));
+        self
+    }
+
+    /// The shared tally of injected faults.
+    pub fn stats(&self) -> Arc<FaultStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+/// How index files are opened: the retry policy plus an optional fault
+/// injector. `ReadOptions::default()` is the production configuration —
+/// retries on, faults off.
+#[derive(Debug, Clone, Default)]
+pub struct ReadOptions {
+    /// Backoff schedule for transient errors.
+    pub retry: RetryPolicy,
+    /// Fault injection (tests only).
+    pub faults: Option<FaultConfig>,
+}
+
+impl ReadOptions {
+    /// Production defaults with a fault injector attached.
+    pub fn with_faults(faults: FaultConfig) -> Self {
+        Self {
+            retry: RetryPolicy::default(),
+            faults: Some(faults),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+std::thread_local! {
+    /// Consecutive injected faults as seen by the current thread. A retry
+    /// loop runs on one thread, so bounding this per thread guarantees any
+    /// single logical read succeeds within `max_consecutive + 1` attempts,
+    /// regardless of faults injected into other threads' reads.
+    static CONSECUTIVE_FAULTS: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// A seeded fault-injecting wrapper around a plain file: each read call
+/// rolls a deterministic PRNG and either passes through or injects one of
+/// the transient failure modes (`EINTR`, `EAGAIN`, short read).
+#[derive(Debug)]
+pub struct FlakyFile {
+    file: File,
+    config: FaultConfig,
+    calls: AtomicU64,
+}
+
+impl FlakyFile {
+    fn new(file: File, config: FaultConfig) -> Self {
+        Self {
+            file,
+            config,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        let len = buf.len() as u64;
+        if let Some((lo, hi)) = self.config.hard_range {
+            if offset < hi && offset + len > lo {
+                self.config.stats.hard_faults.fetch_add(1, Relaxed);
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected hard fault",
+                ));
+            }
+        }
+        let call = self.calls.fetch_add(1, Relaxed);
+        let roll = splitmix64(self.config.seed ^ call);
+        let inject =
+            self.config.fault_every > 0 && roll.is_multiple_of(self.config.fault_every as u64);
+        if inject && CONSECUTIVE_FAULTS.with(|c| c.get()) < self.config.max_consecutive {
+            CONSECUTIVE_FAULTS.with(|c| c.set(c.get() + 1));
+            self.config.stats.injected.fetch_add(1, Relaxed);
+            return match (roll >> 32) % 3 {
+                0 => Err(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR")),
+                1 => Err(io::Error::new(io::ErrorKind::WouldBlock, "injected EAGAIN")),
+                _ if buf.len() > 1 => {
+                    // Short read: really deliver the first half.
+                    let half = buf.len() / 2;
+                    fill_exact(&self.file, &mut buf[..half], offset)?;
+                    Ok(half)
+                }
+                _ => Err(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR")),
+            };
+        }
+        CONSECUTIVE_FAULTS.with(|c| c.set(0));
+        raw_read_at(&self.file, buf, offset)
+    }
+}
+
+/// Fills `buf` completely, retrying only genuine short reads (helper for
+/// the injector's own passthrough reads).
+fn fill_exact(file: &File, mut buf: &mut [u8], mut offset: u64) -> io::Result<usize> {
+    let total = buf.len();
     while !buf.is_empty() {
-        match file.seek_read(buf, offset)? {
+        match raw_read_at(file, buf, offset)? {
             0 => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -31,12 +247,135 @@ pub(crate) fn read_exact_at(file: &File, mut buf: &mut [u8], mut offset: u64) ->
                 ))
             }
             n => {
-                buf = &mut buf[n..];
                 offset += n as u64;
+                let rest = buf;
+                buf = &mut rest[n..];
             }
         }
     }
-    Ok(())
+    Ok(total)
+}
+
+#[derive(Debug)]
+enum Source {
+    Plain(File),
+    Flaky(Box<FlakyFile>),
+}
+
+impl Source {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        match self {
+            Source::Plain(f) => raw_read_at(f, buf, offset),
+            Source::Flaky(f) => f.read_at(buf, offset),
+        }
+    }
+
+    fn file(&self) -> &File {
+        match self {
+            Source::Plain(f) => f,
+            Source::Flaky(f) => &f.file,
+        }
+    }
+}
+
+/// A positioned-read file handle that absorbs transient errors.
+///
+/// Thread-safe: holds no cursor, takes no lock; concurrent readers pay one
+/// syscall per read on the fault-free path.
+#[derive(Debug)]
+pub struct RetryingFile {
+    source: Source,
+    policy: RetryPolicy,
+    retries: ndss_obs::Counter,
+    exhausted: ndss_obs::Counter,
+}
+
+impl RetryingFile {
+    /// Opens `path` for positioned reads under `options`.
+    pub(crate) fn open(path: &Path, options: &ReadOptions) -> io::Result<Self> {
+        let file = File::open(path)?;
+        Ok(Self::from_file(file, options))
+    }
+
+    pub(crate) fn from_file(file: File, options: &ReadOptions) -> Self {
+        let source = match &options.faults {
+            None => Source::Plain(file),
+            Some(cfg) => Source::Flaky(Box::new(FlakyFile::new(file, cfg.clone()))),
+        };
+        let reg = ndss_obs::Registry::global();
+        Self {
+            source,
+            policy: options.retry.clone(),
+            retries: reg.counter(
+                "io.retries",
+                "Transient index-read faults absorbed by retry (EINTR/EAGAIN/short reads)",
+            ),
+            exhausted: reg.counter(
+                "io.retry_exhausted",
+                "Index reads that failed after exhausting the transient-retry budget",
+            ),
+        }
+    }
+
+    /// Current file length in bytes.
+    pub(crate) fn len(&self) -> io::Result<u64> {
+        Ok(self.source.file().metadata()?.len())
+    }
+
+    /// Reads exactly `buf.len()` bytes at absolute `offset`, without
+    /// touching the file cursor. Transient failures retry with backoff;
+    /// permanent errors (including EOF) return immediately.
+    pub(crate) fn read_exact_at(&self, mut buf: &mut [u8], mut offset: u64) -> io::Result<()> {
+        let mut attempts = 0u32;
+        let mut backoff = self.policy.initial_backoff;
+        while !buf.is_empty() {
+            match self.source.read_at(buf, offset) {
+                Ok(0) => {
+                    // EOF mid-fill is permanent: the bytes are not there.
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "failed to fill whole buffer",
+                    ));
+                }
+                Ok(n) => {
+                    offset += n as u64;
+                    let whole = n == buf.len();
+                    let rest = buf;
+                    buf = &mut rest[n..];
+                    if !whole {
+                        // Short read: transient; the loop continues at the
+                        // advanced offset with no backoff (progress was
+                        // made, so this cannot spin forever).
+                        self.retries.inc(1);
+                    }
+                    attempts = 0;
+                    backoff = self.policy.initial_backoff;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    attempts += 1;
+                    if attempts > self.policy.max_retries {
+                        self.exhausted.inc(1);
+                        return Err(e);
+                    }
+                    self.retries.inc(1);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    backoff = (backoff * 2).min(self.policy.max_backoff);
+                }
+                // Permanent (NotFound, PermissionDenied, UnexpectedEof,
+                // corrupt-data errors raised above this layer, …): never
+                // retried.
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -44,36 +383,43 @@ mod tests {
     use super::*;
     use std::io::Write;
 
-    #[test]
-    fn reads_at_arbitrary_offsets() {
+    fn data_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("ndss_pread");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("data.bin");
+        let path = dir.join(name);
         let mut f = File::create(&path).unwrap();
-        f.write_all(&(0u8..=255).collect::<Vec<u8>>()).unwrap();
-        drop(f);
+        f.write_all(bytes).unwrap();
+        path
+    }
 
-        let f = File::open(&path).unwrap();
+    fn no_backoff() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 8,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn reads_at_arbitrary_offsets() {
+        let path = data_file("data.bin", &(0u8..=255).collect::<Vec<u8>>());
+        let f = RetryingFile::open(&path, &ReadOptions::default()).unwrap();
         let mut buf = [0u8; 4];
-        read_exact_at(&f, &mut buf, 10).unwrap();
+        f.read_exact_at(&mut buf, 10).unwrap();
         assert_eq!(buf, [10, 11, 12, 13]);
         // A second read at a lower offset works regardless of any cursor.
-        read_exact_at(&f, &mut buf, 0).unwrap();
+        f.read_exact_at(&mut buf, 0).unwrap();
         assert_eq!(buf, [0, 1, 2, 3]);
         // Reading past EOF errors instead of short-reading.
-        assert!(read_exact_at(&f, &mut buf, 254).is_err());
+        assert!(f.read_exact_at(&mut buf, 254).is_err());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn concurrent_reads_see_consistent_bytes() {
-        let dir = std::env::temp_dir().join("ndss_pread");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("concurrent.bin");
         let data: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
-        std::fs::write(&path, &data).unwrap();
-
-        let f = File::open(&path).unwrap();
+        let path = data_file("concurrent.bin", &data);
+        let f = RetryingFile::open(&path, &ReadOptions::default()).unwrap();
         std::thread::scope(|s| {
             for t in 0..8 {
                 let f = &f;
@@ -82,12 +428,102 @@ mod tests {
                     let mut buf = [0u8; 64];
                     for i in 0..200 {
                         let off = ((t * 131 + i * 17) % (4096 - 64)) as u64;
-                        read_exact_at(f, &mut buf, off).unwrap();
+                        f.read_exact_at(&mut buf, off).unwrap();
                         assert_eq!(&buf[..], &data[off as usize..off as usize + 64]);
                     }
                 });
             }
         });
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Under an aggressive injector (fault on every other call), every read
+    /// still returns the right bytes, and faults were really injected.
+    #[test]
+    fn transient_faults_are_absorbed_bit_exactly() {
+        let data: Vec<u8> = (0..8192u32).map(|i| (i * 7 % 256) as u8).collect();
+        let path = data_file("flaky.bin", &data);
+        let faults = FaultConfig::new(0xF00D).fault_every(2);
+        let stats = faults.stats();
+        let options = ReadOptions {
+            retry: no_backoff(),
+            faults: Some(faults),
+        };
+        let f = RetryingFile::open(&path, &options).unwrap();
+        let mut buf = vec![0u8; 100];
+        for round in 0..300u64 {
+            let off = (round * 31) % (8192 - 100);
+            f.read_exact_at(&mut buf, off).unwrap();
+            assert_eq!(&buf[..], &data[off as usize..off as usize + 100]);
+        }
+        assert!(stats.injected() > 0, "injector never fired");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The same seed injects the same fault sequence: two single-threaded
+    /// passes over the same read pattern tally identical counts.
+    #[test]
+    fn fault_injection_is_deterministic_per_seed() {
+        let data = vec![0xABu8; 4096];
+        let path = data_file("deterministic.bin", &data);
+        let run = |seed: u64| {
+            let faults = FaultConfig::new(seed).fault_every(3);
+            let stats = faults.stats();
+            let options = ReadOptions {
+                retry: no_backoff(),
+                faults: Some(faults),
+            };
+            let f = RetryingFile::open(&path, &options).unwrap();
+            let mut buf = [0u8; 64];
+            for i in 0..200u64 {
+                f.read_exact_at(&mut buf, (i * 13) % 4000).unwrap();
+            }
+            stats.injected()
+        };
+        assert_eq!(run(42), run(42));
+        assert!(run(42) > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Reads inside the hard range exhaust the retry budget and fail with
+    /// the transient error; reads outside it keep working.
+    #[test]
+    fn hard_range_exhausts_retries() {
+        let data = vec![0x55u8; 4096];
+        let path = data_file("hard.bin", &data);
+        let faults = FaultConfig::new(1).fault_every(0).hard_range(1024, 2048);
+        let options = ReadOptions {
+            retry: no_backoff(),
+            faults: Some(faults),
+        };
+        let f = RetryingFile::open(&path, &options).unwrap();
+        let mut buf = [0u8; 64];
+        f.read_exact_at(&mut buf, 0).unwrap();
+        f.read_exact_at(&mut buf, 3000).unwrap();
+        let err = f.read_exact_at(&mut buf, 1500).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Permanent errors are not retried: with a zero retry budget (any
+    /// retry attempt would error as exhausted), EOF still surfaces as
+    /// `UnexpectedEof` on the first attempt rather than as a transient.
+    #[test]
+    fn permanent_errors_never_retry() {
+        let path = data_file("short.bin", &[1, 2, 3, 4]);
+        let options = ReadOptions {
+            retry: RetryPolicy {
+                max_retries: 0,
+                initial_backoff: Duration::ZERO,
+                max_backoff: Duration::ZERO,
+            },
+            faults: None,
+        };
+        let f = RetryingFile::open(&path, &options).unwrap();
+        let mut buf = [0u8; 16];
+        // Entirely past EOF: the very first positioned read returns 0.
+        let err = f.read_exact_at(&mut buf, 100).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,4 +1,5 @@
-//! Parallel batch query execution.
+//! Parallel batch query execution with failure isolation and load
+//! shedding.
 //!
 //! Memorization evaluation is a *throughput* workload: thousands of model
 //! generations are checked against the training corpus, and each query is
@@ -11,12 +12,39 @@
 //! N threads issue N concurrent preads into the same files with no lock
 //! convoy, and the sharded hot caches are shared across all queries in the
 //! batch.
+//!
+//! Batches survive individual failures: a [`FailurePolicy`] decides whether
+//! one query's budget exhaustion or IO error poisons the batch
+//! ([`FailurePolicy::FailFast`]) or stays its own per-query `Err`
+//! ([`FailurePolicy::Isolate`]); an admission cap sheds excess queries up
+//! front ([`crate::QueryError::Overloaded`]); and a batch-wide deadline
+//! bounds the whole run — queries not started by then are shed, queries in
+//! flight stop at their next governor checkpoint with a sound partial
+//! result.
+
+use std::time::{Duration, Instant};
 
 use ndss_hash::TokenId;
 use ndss_index::IndexAccess;
 
+use crate::governor::{CancelToken, QueryBudget};
 use crate::search::{NearDupSearcher, PrefixFilter, SearchOutcome};
 use crate::QueryError;
+
+/// How a batch reacts to one query failing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Abort the whole batch on the first failure: workers stop picking up
+    /// new queries and in-flight queries abandon work at their next
+    /// governor checkpoint. This is [`BatchSearcher::search_all`]'s
+    /// behavior.
+    #[default]
+    FailFast,
+    /// Isolate failures: every query runs to its own `Ok`/`Err`, so one
+    /// poisoned query (bad input, exhausted budget, failed IO) never
+    /// discards the rest of the batch's work.
+    Isolate,
+}
 
 /// Runs many queries against one index across a thread pool.
 ///
@@ -29,6 +57,10 @@ use crate::QueryError;
 pub struct BatchSearcher<'a, I: IndexAccess + ?Sized> {
     searcher: NearDupSearcher<'a, I>,
     threads: usize,
+    policy: FailurePolicy,
+    admission_cap: Option<usize>,
+    batch_deadline: Option<Duration>,
+    budget: QueryBudget,
 }
 
 impl<'a, I: IndexAccess + ?Sized> BatchSearcher<'a, I> {
@@ -43,6 +75,10 @@ impl<'a, I: IndexAccess + ?Sized> BatchSearcher<'a, I> {
         Ok(Self {
             searcher: NearDupSearcher::with_prefix_filter(index, filter)?,
             threads: ndss_parallel::default_threads(),
+            policy: FailurePolicy::default(),
+            admission_cap: None,
+            batch_deadline: None,
+            budget: QueryBudget::unlimited(),
         })
     }
 
@@ -52,18 +88,100 @@ impl<'a, I: IndexAccess + ?Sized> BatchSearcher<'a, I> {
         self
     }
 
+    /// Sets how [`Self::search_all_governed`] reacts to per-query failures
+    /// (default [`FailurePolicy::FailFast`]).
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Admission control: at most `cap` queries per batch are admitted;
+    /// the rest are shed immediately with [`QueryError::Overloaded`]
+    /// (counted in `query.shed`) without consuming index IO.
+    pub fn admission_cap(mut self, cap: usize) -> Self {
+        self.admission_cap = Some(cap);
+        self
+    }
+
+    /// A wall-clock deadline for the whole batch, measured from the start
+    /// of `search_all*`. Queries not started by the deadline are shed
+    /// ([`QueryError::Overloaded`]); queries in flight observe it as their
+    /// own deadline and stop with a sound partial result
+    /// ([`QueryError::BudgetExceeded`]).
+    pub fn batch_deadline(mut self, deadline: Duration) -> Self {
+        self.batch_deadline = Some(deadline);
+        self
+    }
+
+    /// A per-query resource budget applied to every query in the batch
+    /// (combined with the batch deadline, whichever is earlier).
+    pub fn budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// The underlying single-query searcher (shared configuration).
     pub fn searcher(&self) -> &NearDupSearcher<'a, I> {
         &self.searcher
     }
 
     /// Runs every query at threshold `theta`; `results[i]` corresponds to
-    /// `queries[i]`. Fails fast with the first error in input order.
+    /// `queries[i]`. Fails fast with the first error **in input order**
+    /// among queries that failed on their own (not ones cancelled by the
+    /// abort below).
+    ///
+    /// Fail-fast is cooperative, not instantaneous: when any query fails,
+    /// a shared abort flag stops workers from picking up further queries,
+    /// and queries already in flight abandon work at their next governor
+    /// checkpoint (between stages, posting lists, and candidate texts) —
+    /// so a failed batch stops issuing new IO promptly. Queries that
+    /// completed before the failure was observed have their results
+    /// discarded; there is no rollback, only early termination.
     pub fn search_all(
         &self,
         queries: &[Vec<TokenId>],
         theta: f64,
     ) -> Result<Vec<SearchOutcome>, QueryError> {
+        let per_query = self.run(queries, theta, FailurePolicy::FailFast);
+        let mut outcomes = Vec::with_capacity(per_query.len());
+        let mut first_cancelled = None;
+        for result in per_query {
+            match result {
+                Ok(outcome) => outcomes.push(outcome),
+                // A cancelled query is collateral of the real failure;
+                // keep scanning for the error that tripped the abort.
+                Err(QueryError::Cancelled) => {
+                    first_cancelled.get_or_insert(QueryError::Cancelled);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        match first_cancelled {
+            // Defensive: cancellation implies some query errored first.
+            Some(e) => Err(e),
+            None => Ok(outcomes),
+        }
+    }
+
+    /// Runs every query under the configured [`FailurePolicy`], admission
+    /// cap, batch deadline, and per-query budget, returning one `Result`
+    /// per query in input order. Under [`FailurePolicy::Isolate`] a
+    /// poisoned query is exactly one `Err` — every other query's outcome
+    /// is bit-identical to a solo run.
+    pub fn search_all_governed(
+        &self,
+        queries: &[Vec<TokenId>],
+        theta: f64,
+    ) -> Vec<Result<SearchOutcome, QueryError>> {
+        self.run(queries, theta, self.policy)
+    }
+
+    fn run(
+        &self,
+        queries: &[Vec<TokenId>],
+        theta: f64,
+        policy: FailurePolicy,
+    ) -> Vec<Result<SearchOutcome, QueryError>> {
         let _span = ndss_obs::span("query.batch");
         let reg = ndss_obs::Registry::global();
         let queue_wait = reg.histogram(
@@ -71,18 +189,52 @@ impl<'a, I: IndexAccess + ?Sized> BatchSearcher<'a, I> {
             "Delay between batch start and each query's pickup by a worker",
             ndss_obs::Unit::Seconds,
         );
-        let start = std::time::Instant::now();
-        let results = ndss_parallel::try_map(queries, self.threads, |_, query| {
+        let start = Instant::now();
+        let deadline = self.batch_deadline.map(|d| start + d);
+        let budget = match deadline {
+            Some(d) => self.budget.clone().deadline_at(d),
+            None => self.budget.clone(),
+        };
+        let cap = self.admission_cap.unwrap_or(usize::MAX);
+        let abort = CancelToken::new();
+
+        let results = ndss_parallel::map(queries, self.threads, |i, query| {
             // Pickup delay: how long this query sat in the work queue behind
             // earlier queries (p50/p95/p99 come from the histogram).
             queue_wait.record_duration(start.elapsed());
-            self.searcher.search(query, theta)
-        })?;
+            // Load shedding, before any index work: over the admission cap,
+            // past the batch deadline, or the batch already failed fast.
+            if i >= cap {
+                self.searcher.metrics().record_shed();
+                return Err(QueryError::Overloaded { position: i, cap });
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                self.searcher.metrics().record_shed();
+                return Err(QueryError::Overloaded {
+                    position: i,
+                    cap: queries.len(),
+                });
+            }
+            if abort.is_cancelled() {
+                return Err(QueryError::Cancelled);
+            }
+            let result = self
+                .searcher
+                .search_cancellable(query, theta, &budget, &abort);
+            if result.is_err() && policy == FailurePolicy::FailFast {
+                abort.cancel();
+            }
+            result
+        });
+
         // Utilization: total per-query busy time over thread-seconds of
         // wall time. 100% = every worker searching the whole batch.
         let wall = start.elapsed();
         if !results.is_empty() && !wall.is_zero() {
-            let busy: std::time::Duration = results.iter().map(|o| o.stats.total).sum();
+            let busy: Duration = results
+                .iter()
+                .filter_map(|r| r.as_ref().ok().map(|o| o.stats.total))
+                .sum();
             let pct = 100.0 * busy.as_secs_f64() / (self.threads as f64 * wall.as_secs_f64());
             reg.gauge(
                 "query.batch.utilization.percent",
@@ -90,7 +242,7 @@ impl<'a, I: IndexAccess + ?Sized> BatchSearcher<'a, I> {
             )
             .set(pct.round() as i64);
         }
-        Ok(results)
+        results
     }
 }
 
@@ -100,19 +252,24 @@ mod tests {
     use ndss_corpus::{CorpusSource, SyntheticCorpusBuilder};
     use ndss_index::{IndexConfig, MemoryIndex};
 
-    #[test]
-    fn batch_matches_serial_in_input_order() {
+    fn workload() -> (ndss_corpus::InMemoryCorpus, Vec<Vec<u32>>) {
         let (corpus, planted) = SyntheticCorpusBuilder::new(71)
             .num_texts(50)
             .duplicates_per_text(1.0)
             .mutation_rate(0.03)
             .build();
-        let index = MemoryIndex::build(&corpus, IndexConfig::new(16, 25, 9)).unwrap();
         let queries: Vec<Vec<u32>> = planted
             .iter()
             .take(12)
             .map(|p| corpus.sequence_to_vec(p.dst).unwrap())
             .collect();
+        (corpus, queries)
+    }
+
+    #[test]
+    fn batch_matches_serial_in_input_order() {
+        let (corpus, queries) = workload();
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(16, 25, 9)).unwrap();
 
         let serial = NearDupSearcher::new(&index).unwrap();
         let expected: Vec<_> = queries
@@ -145,5 +302,82 @@ mod tests {
             batch.search_all(&queries, 0.8),
             Err(QueryError::EmptyQuery)
         ));
+    }
+
+    /// Isolate mode: the poisoned query is exactly one `Err` at its own
+    /// index; every other outcome is bit-identical to a solo run.
+    #[test]
+    fn isolate_mode_confines_a_poisoned_query() {
+        let (corpus, mut queries) = workload();
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(16, 25, 9)).unwrap();
+        let serial = NearDupSearcher::new(&index).unwrap();
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| serial.search(q, 0.8).unwrap().enumerate_all())
+            .collect();
+        let poisoned = 3;
+        queries[poisoned] = Vec::new(); // EmptyQuery on arrival
+
+        for threads in [1, 4] {
+            let batch = BatchSearcher::new(&index)
+                .unwrap()
+                .threads(threads)
+                .failure_policy(FailurePolicy::Isolate);
+            let results = batch.search_all_governed(&queries, 0.8);
+            assert_eq!(results.len(), queries.len());
+            for (i, r) in results.iter().enumerate() {
+                if i == poisoned {
+                    assert!(matches!(r, Err(QueryError::EmptyQuery)), "index {i}");
+                } else {
+                    assert_eq!(
+                        r.as_ref().unwrap().enumerate_all(),
+                        expected[i],
+                        "index {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Admission control sheds exactly the queries beyond the cap, and the
+    /// admitted prefix is unchanged.
+    #[test]
+    fn admission_cap_sheds_the_tail() {
+        let (corpus, queries) = workload();
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(16, 25, 9)).unwrap();
+        let cap = 5;
+        let batch = BatchSearcher::new(&index)
+            .unwrap()
+            .threads(4)
+            .failure_policy(FailurePolicy::Isolate)
+            .admission_cap(cap);
+        let results = batch.search_all_governed(&queries, 0.8);
+        for (i, r) in results.iter().enumerate() {
+            if i < cap {
+                assert!(r.is_ok(), "admitted query {i} failed: {r:?}");
+            } else {
+                assert!(
+                    matches!(r, Err(QueryError::Overloaded { position, cap: c })
+                        if *position == i && *c == cap),
+                    "query {i} not shed: {r:?}"
+                );
+            }
+        }
+    }
+
+    /// A zero batch deadline sheds every query before any index work.
+    #[test]
+    fn expired_batch_deadline_sheds_everything() {
+        let (corpus, queries) = workload();
+        let index = MemoryIndex::build(&corpus, IndexConfig::new(16, 25, 9)).unwrap();
+        let batch = BatchSearcher::new(&index)
+            .unwrap()
+            .threads(4)
+            .failure_policy(FailurePolicy::Isolate)
+            .batch_deadline(Duration::ZERO);
+        let results = batch.search_all_governed(&queries, 0.8);
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(QueryError::Overloaded { .. }))));
     }
 }

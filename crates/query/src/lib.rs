@@ -52,14 +52,16 @@ pub mod batch;
 pub mod bruteforce;
 pub mod collision;
 pub mod document;
+pub mod governor;
 pub mod interval;
 mod metrics;
 pub mod planner;
 pub mod search;
 
-pub use batch::BatchSearcher;
+pub use batch::{BatchSearcher, FailurePolicy};
 pub use collision::{collision_count, Rectangle};
 pub use document::{DocumentMatch, DocumentScan};
+pub use governor::{CancelToken, QueryBudget, Resource};
 pub use interval::{interval_scan, Interval, ScanHit};
 pub use planner::{plan_query, QueryPlan};
 pub use search::{
@@ -81,6 +83,27 @@ pub enum QueryError {
         /// The caller-provided cap.
         cap: usize,
     },
+    /// A resource budget ran out mid-query. `partial` is a **sound**
+    /// partial outcome: every match in it was fully verified before the
+    /// budget tripped (a subset of what the un-budgeted query would
+    /// return), with [`SearchOutcome::complete`] set to `false`.
+    BudgetExceeded {
+        /// Which budget dimension ran out.
+        resource: governor::Resource,
+        /// Verified matches found so far, flagged incomplete.
+        partial: Box<SearchOutcome>,
+    },
+    /// The batch engine shed this query before starting it: the admission
+    /// cap was hit or the batch deadline had already passed.
+    Overloaded {
+        /// The query's position in the batch.
+        position: usize,
+        /// The admission cap in force (batch size for deadline sheds).
+        cap: usize,
+    },
+    /// The query was abandoned at a governor checkpoint because its batch
+    /// failed fast (see [`BatchSearcher::search_all`]).
+    Cancelled,
     /// Error from the index layer.
     Index(ndss_index::IndexError),
     /// Error from the corpus layer (verification mode).
@@ -99,6 +122,15 @@ impl std::fmt::Display for QueryError {
                 "verification would enumerate {found} sequences (cap {cap}); \
                  raise the cap or the threshold"
             ),
+            QueryError::BudgetExceeded { resource, partial } => write!(
+                f,
+                "query budget exceeded ({resource}); {} verified match(es) found before stopping",
+                partial.matches.len()
+            ),
+            QueryError::Overloaded { position, cap } => {
+                write!(f, "query {position} shed by admission control (cap {cap})")
+            }
+            QueryError::Cancelled => write!(f, "query cancelled by its batch"),
             QueryError::Index(e) => e.fmt(f),
             QueryError::Corpus(e) => e.fmt(f),
         }

@@ -12,6 +12,7 @@ use ndss_index::{IndexAccess, IoStats};
 use ndss_windows::CompactWindow;
 
 use crate::collision::{collision_count, Rectangle};
+use crate::governor::{BudgetTracker, CancelToken, QueryBudget, Resource, Verdict};
 use crate::QueryError;
 
 /// How the searcher decides which inverted lists are "long" (skipped during
@@ -30,6 +31,35 @@ pub enum PrefixFilter {
     /// whichever lists minimize the estimated postings read, given the
     /// query's actual list lengths (the paper's §3.5 cost-model reference).
     Adaptive,
+}
+
+/// The `FrequentFraction` long-list cutoff for one hash function: walk the
+/// list-length histogram `hist` (ascending `(length, count)` pairs) from
+/// the longest lists down until `⌊total × fraction⌋` lists are spent;
+/// everything at or above the stopping length is long.
+///
+/// Boundary behavior (pinned by unit tests):
+/// * `total = 0` (empty index) → `u64::MAX`: no list is ever long;
+/// * `fraction = 0.0` → `u64::MAX`: a zero budget marks nothing long;
+/// * `fraction = 1.0` → the minimum list length: every list is eligible
+///   (the searcher's ⌊β/2⌋ cap keeps the reduced threshold sound anyway).
+///
+/// The budget is clamped to `total` because `total as f64` rounds for
+/// counts above 2⁵³, and `(total as f64 * 1.0).floor()` could then exceed
+/// the true total — the clamp keeps "all lists" the worst case.
+pub(crate) fn fraction_cutoff(hist: &[(u64, u64)], fraction: f64) -> u64 {
+    let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+    let budget = ((total as f64 * fraction).floor().max(0.0) as u64).min(total);
+    let mut cutoff = u64::MAX;
+    let mut used = 0u64;
+    for &(len, count) in hist.iter().rev() {
+        if used + count > budget {
+            break;
+        }
+        used += count;
+        cutoff = len;
+    }
+    cutoff
 }
 
 /// Per-query cost and outcome accounting. `io_*` comes from a per-query
@@ -173,6 +203,10 @@ pub struct SearchOutcome {
     pub beta: usize,
     /// The index's length threshold t.
     pub t: u32,
+    /// `true` when the query ran to completion. `false` only inside
+    /// [`QueryError::BudgetExceeded::partial`]: the matches are sound
+    /// (each fully verified) but the corpus was not exhausted.
+    pub complete: bool,
 }
 
 impl SearchOutcome {
@@ -247,21 +281,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
                 let mut cutoffs = Vec::with_capacity(k);
                 for func in 0..k {
                     let hist = index.list_length_histogram(func)?;
-                    let total: u64 = hist.iter().map(|&(_, c)| c).sum();
-                    let budget = (total as f64 * fraction).floor() as u64;
-                    // Walk from the longest lists down until the budget is
-                    // spent; everything at or above the stopping length is
-                    // long.
-                    let mut cutoff = u64::MAX;
-                    let mut used = 0u64;
-                    for &(len, count) in hist.iter().rev() {
-                        if used + count > budget {
-                            break;
-                        }
-                        used += count;
-                        cutoff = len;
-                    }
-                    cutoffs.push(cutoff);
+                    cutoffs.push(fraction_cutoff(&hist, fraction));
                 }
                 cutoffs
             }
@@ -280,10 +300,56 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
         &self.hasher
     }
 
+    /// Registry handles shared with the batch engine (shed counter etc.).
+    pub(crate) fn metrics(&self) -> &crate::metrics::QueryMetrics {
+        &self.metrics
+    }
+
     /// Runs Algorithm 3: finds all sequences (length ≥ t) colliding with
     /// `query` on at least `β = ⌈kθ⌉` hash functions. Sound and complete
-    /// for the approximate problem (Theorem 2).
+    /// for the approximate problem (Theorem 2). Equivalent to
+    /// [`Self::search_governed`] with an unlimited [`QueryBudget`].
     pub fn search(&self, query: &[TokenId], theta: f64) -> Result<SearchOutcome, QueryError> {
+        self.search_inner(query, theta, &QueryBudget::unlimited(), None)
+    }
+
+    /// Like [`Self::search`], but checks `budget` cooperatively at stage
+    /// boundaries and inside the posting-list / candidate loops. When a
+    /// dimension runs out the query stops at the next checkpoint and
+    /// returns [`QueryError::BudgetExceeded`] carrying the verified
+    /// matches found so far (a sound subset of the full result set,
+    /// flagged [`SearchOutcome::complete`]` = false`).
+    pub fn search_governed(
+        &self,
+        query: &[TokenId],
+        theta: f64,
+        budget: &QueryBudget,
+    ) -> Result<SearchOutcome, QueryError> {
+        self.search_inner(query, theta, budget, None)
+    }
+
+    /// [`Self::search_governed`] with a [`CancelToken`] observed at every
+    /// checkpoint: when another thread cancels the token, the query
+    /// abandons work promptly and returns [`QueryError::Cancelled`]. This
+    /// is what [`crate::BatchSearcher`] uses to stop a failed batch from
+    /// issuing further IO.
+    pub fn search_cancellable(
+        &self,
+        query: &[TokenId],
+        theta: f64,
+        budget: &QueryBudget,
+        cancel: &CancelToken,
+    ) -> Result<SearchOutcome, QueryError> {
+        self.search_inner(query, theta, budget, Some(cancel))
+    }
+
+    fn search_inner(
+        &self,
+        query: &[TokenId],
+        theta: f64,
+        budget: &QueryBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<SearchOutcome, QueryError> {
         if query.is_empty() {
             return Err(QueryError::EmptyQuery);
         }
@@ -292,6 +358,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
         }
         let start = Instant::now();
         let _span = ndss_obs::span("query.search");
+        let tracker = BudgetTracker::start(budget, cancel, start);
         // Per-query IO accumulator: every index read below records into this
         // (and the index folds it into its global counters), so the stats
         // are exact even with other queries in flight.
@@ -300,115 +367,152 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
         let (k, t) = (config.k, config.t as u32);
         let beta = collision_threshold(k, theta);
         let mut stats = QueryStats::default();
+        let mut matches: Vec<TextMatch> = Vec::new();
+        let mut probe_time = Duration::ZERO;
 
         // Line 2: the query's k-mins sketch.
         let sketch = self.hasher.sketch(query);
         stats.stage_sketch = start.elapsed();
-        let plan_start = Instant::now();
 
-        // Classify lists. Soundness of the reduced threshold
-        // β − (k − p) ≥ 1 merely requires at most β − 1 long lists, but the
-        // filter's pruning power collapses as the reduced threshold
-        // approaches 1 (every text sharing a single short-list window
-        // becomes a candidate, and each candidate pays k − p probes). We cap
-        // the number of long lists at ⌊β/2⌋ — keeping the reduced threshold
-        // at ≥ ⌈β/2⌉ — retaining the longest lists as long; this is the
-        // cost-model role the paper delegates to prefix-length tuning
-        // ("a few works design cost-models to choose a good cutoff", §3.5).
-        let lens: Vec<u64> = (0..k)
-            .map(|func| self.index.list_len(func, sketch.value(func)))
-            .collect::<Result<_, _>>()?;
-        let long_funcs: Vec<usize> = if self.adaptive {
-            // Cost-based per-query plan; its own soundness cap applies.
-            crate::planner::plan_query(&lens, beta, config.zone_step).deferred
-        } else {
-            let mut long: Vec<usize> = (0..k).filter(|&f| lens[f] >= self.cutoffs[f]).collect();
-            long.sort_unstable_by_key(|&f| std::cmp::Reverse(lens[f]));
-            long.truncate(beta / 2);
-            long
-        };
-        let is_long: Vec<bool> = {
-            let mut v = vec![false; k];
-            for &f in &long_funcs {
-                v[f] = true;
+        // The budget-governed pipeline. `checkpoint!` is the cooperative
+        // yield point: an unlimited budget resolves it to a single branch
+        // (plus one relaxed load when a cancel token is attached); a tripped
+        // budget breaks out with the exhausted resource, keeping every
+        // fully-verified match accumulated so far. A stage interrupted
+        // mid-flight leaves its `stage_*` duration at zero — its time still
+        // shows up in `total`/`cpu_time`.
+        let stopped: Option<Resource> = 'run: {
+            macro_rules! checkpoint {
+                ($candidates:expr, $matches:expr) => {
+                    match tracker.check(
+                        if tracker.is_limited() {
+                            io_acc.snapshot().bytes
+                        } else {
+                            0
+                        },
+                        $candidates,
+                        $matches,
+                    ) {
+                        Verdict::Proceed => {}
+                        Verdict::Cancelled => return Err(QueryError::Cancelled),
+                        Verdict::Over(resource) => break 'run Some(resource),
+                    }
+                };
             }
-            v
-        };
-        let p = k - long_funcs.len();
-        let alpha0 = beta - (k - p);
-        debug_assert!(alpha0 >= 1);
-        stats.lists_long = long_funcs.len();
-        stats.stage_plan = plan_start.elapsed();
+            checkpoint!(0, 0);
+            let plan_start = Instant::now();
 
-        // Lines 3–4: load the short lists and group windows by text.
-        let gather_start = Instant::now();
-        let mut groups: HashMap<TextId, Vec<CompactWindow>> = HashMap::new();
-        for (func, &long) in is_long.iter().enumerate() {
-            if long {
-                continue;
-            }
-            let list = self
-                .index
-                .read_list_into(func, sketch.value(func), &io_acc)?;
-            stats.lists_loaded += 1;
-            stats.postings_read += list.len() as u64;
-            for posting in list {
-                groups.entry(posting.text).or_default().push(posting.window);
-            }
-        }
-
-        stats.stage_gather = gather_start.elapsed();
-
-        // Lines 5–12: per candidate text, count collisions.
-        let count_start = Instant::now();
-        let mut probe_time = Duration::ZERO;
-        let mut texts: Vec<TextId> = groups.keys().copied().collect();
-        texts.sort_unstable();
-        let mut matches = Vec::new();
-        for text in texts {
-            let mut windows = groups.remove(&text).expect("text key exists");
-            if windows.len() < alpha0 {
-                continue;
-            }
-            // Line 6: candidate check at the reduced threshold.
-            let rects0 = collision_count(&windows, alpha0);
-            let has_candidate = rects0.iter().any(|r| r.sequences_at_least(t) > 0);
-            if !has_candidate {
-                continue;
-            }
-            stats.candidate_texts += 1;
-            let rects = if long_funcs.is_empty() {
-                // No long lists: alpha0 == beta and rects0 is final.
-                rects0
+            // Classify lists. Soundness of the reduced threshold
+            // β − (k − p) ≥ 1 merely requires at most β − 1 long lists, but the
+            // filter's pruning power collapses as the reduced threshold
+            // approaches 1 (every text sharing a single short-list window
+            // becomes a candidate, and each candidate pays k − p probes). We cap
+            // the number of long lists at ⌊β/2⌋ — keeping the reduced threshold
+            // at ≥ ⌈β/2⌉ — retaining the longest lists as long; this is the
+            // cost-model role the paper delegates to prefix-length tuning
+            // ("a few works design cost-models to choose a good cutoff", §3.5).
+            let lens: Vec<u64> = (0..k)
+                .map(|func| self.index.list_len(func, sketch.value(func)))
+                .collect::<Result<_, _>>()?;
+            let long_funcs: Vec<usize> = if self.adaptive {
+                // Cost-based per-query plan; its own soundness cap applies.
+                crate::planner::plan_query(&lens, beta, config.zone_step).deferred
             } else {
-                // Lines 8–9: locate this text's windows in the long lists
-                // (zone-map probes) and re-count at the full threshold.
-                let probe_start = Instant::now();
-                for &func in &long_funcs {
-                    let postings = self.index.read_postings_for_text_into(
-                        func,
-                        sketch.value(func),
-                        text,
-                        &io_acc,
-                    )?;
-                    stats.long_probes += 1;
-                    stats.postings_read += postings.len() as u64;
-                    windows.extend(postings.into_iter().map(|p| p.window));
-                }
-                probe_time += probe_start.elapsed();
-                collision_count(&windows, beta)
+                let mut long: Vec<usize> = (0..k).filter(|&f| lens[f] >= self.cutoffs[f]).collect();
+                long.sort_unstable_by_key(|&f| std::cmp::Reverse(lens[f]));
+                long.truncate(beta / 2);
+                long
             };
-            let rects: Vec<Rectangle> = rects
-                .into_iter()
-                .filter(|r| r.sequences_at_least(t) > 0)
-                .collect();
-            if !rects.is_empty() {
-                matches.push(TextMatch { text, rects });
+            let is_long: Vec<bool> = {
+                let mut v = vec![false; k];
+                for &f in &long_funcs {
+                    v[f] = true;
+                }
+                v
+            };
+            let p = k - long_funcs.len();
+            let alpha0 = beta - (k - p);
+            debug_assert!(alpha0 >= 1);
+            stats.lists_long = long_funcs.len();
+            stats.stage_plan = plan_start.elapsed();
+
+            // Lines 3–4: load the short lists and group windows by text.
+            let gather_start = Instant::now();
+            let mut groups: HashMap<TextId, Vec<CompactWindow>> = HashMap::new();
+            for (func, &long) in is_long.iter().enumerate() {
+                if long {
+                    continue;
+                }
+                checkpoint!(0, 0);
+                let list = self
+                    .index
+                    .read_list_into(func, sketch.value(func), &io_acc)?;
+                stats.lists_loaded += 1;
+                stats.postings_read += list.len() as u64;
+                for posting in list {
+                    groups.entry(posting.text).or_default().push(posting.window);
+                }
             }
-        }
+
+            stats.stage_gather = gather_start.elapsed();
+
+            // Lines 5–12: per candidate text, count collisions. Texts are
+            // visited in ascending id order and a text's match is appended
+            // only after its final collision count, so breaking between
+            // texts (or mid-probe, before the append) always leaves a sound
+            // prefix of the full result set.
+            let count_start = Instant::now();
+            let mut texts: Vec<TextId> = groups.keys().copied().collect();
+            texts.sort_unstable();
+            for text in texts {
+                checkpoint!(stats.candidate_texts as u64, matches.len() as u64);
+                let mut windows = groups.remove(&text).expect("text key exists");
+                if windows.len() < alpha0 {
+                    continue;
+                }
+                // Line 6: candidate check at the reduced threshold.
+                let rects0 = collision_count(&windows, alpha0);
+                let has_candidate = rects0.iter().any(|r| r.sequences_at_least(t) > 0);
+                if !has_candidate {
+                    continue;
+                }
+                stats.candidate_texts += 1;
+                let rects = if long_funcs.is_empty() {
+                    // No long lists: alpha0 == beta and rects0 is final.
+                    rects0
+                } else {
+                    // Lines 8–9: locate this text's windows in the long lists
+                    // (zone-map probes) and re-count at the full threshold.
+                    let probe_start = Instant::now();
+                    for &func in &long_funcs {
+                        checkpoint!(stats.candidate_texts as u64, matches.len() as u64);
+                        let postings = self.index.read_postings_for_text_into(
+                            func,
+                            sketch.value(func),
+                            text,
+                            &io_acc,
+                        )?;
+                        stats.long_probes += 1;
+                        stats.postings_read += postings.len() as u64;
+                        windows.extend(postings.into_iter().map(|p| p.window));
+                    }
+                    probe_time += probe_start.elapsed();
+                    collision_count(&windows, beta)
+                };
+                let rects: Vec<Rectangle> = rects
+                    .into_iter()
+                    .filter(|r| r.sequences_at_least(t) > 0)
+                    .collect();
+                if !rects.is_empty() {
+                    matches.push(TextMatch { text, rects });
+                }
+            }
+
+            stats.stage_count = count_start.elapsed().saturating_sub(probe_time);
+            None
+        };
 
         stats.stage_probe = probe_time;
-        stats.stage_count = count_start.elapsed().saturating_sub(probe_time);
         stats.matched_texts = matches.len();
         let io = io_acc.snapshot();
         stats.io_bytes = io.bytes;
@@ -420,12 +524,23 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
         stats.total = start.elapsed();
         stats.cpu_time = stats.total.saturating_sub(stats.io_time);
         self.metrics.observe(&stats);
-        Ok(SearchOutcome {
+        let outcome = SearchOutcome {
             matches,
             stats,
             beta,
             t,
-        })
+            complete: stopped.is_none(),
+        };
+        match stopped {
+            None => Ok(outcome),
+            Some(resource) => {
+                self.metrics.record_budget_exceeded();
+                Err(QueryError::BudgetExceeded {
+                    resource,
+                    partial: Box::new(outcome),
+                })
+            }
+        }
     }
 
     /// Ranked search: like [`Self::search`] but returns the matched texts
@@ -767,6 +882,154 @@ mod tests {
         // The top hit should be (near-)perfect: the query is a copy.
         assert!(ranked[0].estimated_similarity > 0.9);
         assert!(!ranked[0].spans.is_empty());
+    }
+
+    /// Satellite audit: `FrequentFraction` budget arithmetic at the
+    /// boundaries. An empty histogram (total = 0) and a zero fraction must
+    /// mark nothing long; fraction = 1.0 must make every list eligible
+    /// (cutoff = minimum length) without the float budget overshooting.
+    #[test]
+    fn fraction_cutoff_boundaries_are_pinned() {
+        // total = 0: no lists at all → nothing can be long.
+        assert_eq!(fraction_cutoff(&[], 0.0), u64::MAX);
+        assert_eq!(fraction_cutoff(&[], 1.0), u64::MAX);
+
+        let hist: Vec<(u64, u64)> = vec![(1, 5), (3, 3), (10, 2)]; // 10 lists
+                                                                   // fraction = 0: zero budget → nothing long.
+        assert_eq!(fraction_cutoff(&hist, 0.0), u64::MAX);
+        // fraction = 1: every list fits the budget → cutoff is the minimum
+        // length, i.e. all lists are long-eligible.
+        assert_eq!(fraction_cutoff(&hist, 1.0), 1);
+        // 20% of 10 lists = 2: exactly the length-10 bucket.
+        assert_eq!(fraction_cutoff(&hist, 0.2), 10);
+        // 40% of 10 = 4: the length-10 bucket (2) fits, adding the
+        // length-3 bucket (3 more) would overshoot → cutoff stays at 10.
+        assert_eq!(fraction_cutoff(&hist, 0.4), 10);
+        // 50% of 10 = 5: both top buckets fit exactly.
+        assert_eq!(fraction_cutoff(&hist, 0.5), 3);
+        // A sub-list budget (fraction × total < 1) marks nothing long.
+        assert_eq!(fraction_cutoff(&hist, 0.05), u64::MAX);
+        // Single-bucket histogram, fraction = 1.0.
+        assert_eq!(fraction_cutoff(&[(4, 7)], 1.0), 4);
+    }
+
+    /// A searcher over an *empty* index with `FrequentFraction` must
+    /// construct (total = 0 histograms) and answer queries.
+    #[test]
+    fn frequent_fraction_on_empty_index_is_harmless() {
+        let corpus = InMemoryCorpus::from_texts(vec![vec![1u32, 2, 3]]); // < t: no windows
+        let index = build_index(&corpus, 8, 25);
+        for fraction in [0.0, 0.05, 1.0] {
+            let s = NearDupSearcher::with_prefix_filter(
+                &index,
+                PrefixFilter::FrequentFraction(fraction),
+            )
+            .unwrap();
+            let outcome = s.search(&(0..40).collect::<Vec<u32>>(), 0.8).unwrap();
+            assert_eq!(outcome.num_texts(), 0);
+            assert!(outcome.complete);
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_search() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(50)
+            .num_texts(60)
+            .duplicates_per_text(1.0)
+            .build();
+        let index = build_index(&corpus, 16, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let p = planted.first().unwrap();
+        let query = corpus.sequence_to_vec(p.dst).unwrap();
+        let plain = searcher.search(&query, 0.8).unwrap();
+        let governed = searcher
+            .search_governed(&query, 0.8, &QueryBudget::unlimited())
+            .unwrap();
+        assert!(plain.complete && governed.complete);
+        assert_eq!(plain.enumerate_all(), governed.enumerate_all());
+    }
+
+    /// Partial outcomes are sound: under any `max_candidates`, whatever is
+    /// returned (complete or partial) is a subset of the full result set,
+    /// and a generous cap returns it all.
+    #[test]
+    fn tiny_candidate_budget_yields_sound_subset() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(51)
+            .num_texts(80)
+            .duplicates_per_text(2.0)
+            .mutation_rate(0.05)
+            .build();
+        let index = build_index(&corpus, 16, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let p = planted.first().unwrap();
+        let query = corpus.sequence_to_vec(p.dst).unwrap();
+        let full = searcher.search(&query, 0.7).unwrap();
+        let full_set: std::collections::HashSet<SeqRef> =
+            full.enumerate_all().into_iter().collect();
+        assert!(
+            full.stats.candidate_texts > 1,
+            "need a multi-candidate query"
+        );
+
+        for cap in 0..full.stats.candidate_texts as u64 + 2 {
+            let budget = QueryBudget::unlimited().max_candidates(cap);
+            match searcher.search_governed(&query, 0.7, &budget) {
+                Ok(outcome) => {
+                    assert!(outcome.complete);
+                    assert_eq!(outcome.enumerate_all(), full.enumerate_all());
+                }
+                Err(QueryError::BudgetExceeded { resource, partial }) => {
+                    assert_eq!(resource, Resource::Candidates);
+                    assert!(!partial.complete);
+                    for seq in partial.enumerate_all() {
+                        assert!(full_set.contains(&seq), "unsound partial match {seq:?}");
+                    }
+                    // Every partial match is bit-identical to its full-run
+                    // counterpart (fully verified, not truncated).
+                    for m in &partial.matches {
+                        assert!(full.matches.contains(m));
+                    }
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately_with_empty_partial() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(52)
+            .num_texts(30)
+            .duplicates_per_text(1.0)
+            .build();
+        let index = build_index(&corpus, 8, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let query = corpus.sequence_to_vec(planted[0].dst).unwrap();
+        let budget = QueryBudget::unlimited().time_limit(Duration::ZERO);
+        match searcher.search_governed(&query, 0.8, &budget) {
+            Err(QueryError::BudgetExceeded { resource, partial }) => {
+                assert_eq!(resource, Resource::Deadline);
+                assert!(!partial.complete);
+                assert!(partial.matches.is_empty(), "nothing verified yet");
+            }
+            other => panic!("expected deadline trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_before_io() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(53)
+            .num_texts(30)
+            .duplicates_per_text(1.0)
+            .build();
+        let index = build_index(&corpus, 8, 25);
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let query = corpus.sequence_to_vec(planted[0].dst).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(matches!(
+            searcher.search_cancellable(&query, 0.8, &QueryBudget::unlimited(), &token),
+            Err(QueryError::Cancelled)
+        ));
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! Resource-governed query execution, end to end against disk indexes:
+//! deterministic fault injection absorbed by the retrying IO layer with
+//! bit-identical results, sound partial outcomes under budgets, batch
+//! failure isolation, and load shedding with counter accounting.
+
+use ndss::index::CacheConfig;
+use ndss::prelude::*;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ndss_it_governed").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn workload(seed: u64) -> (InMemoryCorpus, Vec<Vec<TokenId>>) {
+    let (corpus, planted) = SyntheticCorpusBuilder::new(seed)
+        .num_texts(120)
+        .text_len(150, 300)
+        .duplicates_per_text(1.0)
+        .dup_len(50, 90)
+        .mutation_rate(0.03)
+        .build();
+    let queries: Vec<Vec<TokenId>> = planted
+        .iter()
+        .take(16)
+        .map(|p| corpus.sequence_to_vec(p.dst).unwrap())
+        .collect();
+    assert!(queries.len() >= 12, "expected a non-trivial query set");
+    (corpus, queries)
+}
+
+fn build(corpus: &InMemoryCorpus, dir: &std::path::Path, compress: bool) {
+    // Tiny zone thresholds so long-list probes (and their reads) engage.
+    let config = IndexConfig::new(16, 25, 5)
+        .zone_map(16, 64)
+        .compressed(compress);
+    ndss::index::build_and_write(corpus, config, dir, true).unwrap();
+}
+
+/// Under a seeded fault injector the retry layer absorbs every transient
+/// error and queries return results bit-identical to a fault-free run —
+/// for both the fixed-width (v3) and compressed (v4) formats — while the
+/// `io.retries` counter proves retries really happened.
+#[test]
+fn faulty_reads_yield_bit_identical_results() {
+    let (corpus, queries) = workload(9001);
+    for (compress, sub) in [(false, "v3"), (true, "v4")] {
+        let dir = temp_dir(&format!("flaky_{sub}"));
+        build(&corpus, &dir, compress);
+
+        let clean = DiskIndex::open_with_cache(&dir, CacheConfig::disabled()).unwrap();
+        let baseline = BatchSearcher::new(&clean)
+            .unwrap()
+            .threads(4)
+            .search_all(&queries, 0.8)
+            .unwrap();
+
+        let retries = Registry::global().counter("io.retries", "");
+        for seed in [1u64, 7, 0xDEAD_BEEF] {
+            let faults = FaultConfig::new(seed).fault_every(3);
+            let stats = faults.stats();
+            let flaky = DiskIndex::open_with_io(
+                &dir,
+                CacheConfig::disabled(),
+                ReadOptions::with_faults(faults),
+            )
+            .unwrap();
+            let retries_before = retries.get();
+            let outcomes = BatchSearcher::new(&flaky)
+                .unwrap()
+                .threads(4)
+                .search_all(&queries, 0.8)
+                .unwrap();
+            assert!(
+                stats.injected() > 0,
+                "seed {seed}: injector never fired ({sub})"
+            );
+            assert!(
+                retries.get() > retries_before,
+                "seed {seed}: io.retries did not rise ({sub})"
+            );
+            for (i, (got, want)) in outcomes.iter().zip(baseline.iter()).enumerate() {
+                assert_eq!(
+                    got.enumerate_all(),
+                    want.enumerate_all(),
+                    "seed {seed}: query {i} diverged under faults ({sub})"
+                );
+                assert_eq!(got.stats.io_bytes, want.stats.io_bytes);
+            }
+        }
+    }
+}
+
+/// The same seed injects the same fault sequence: two serial passes over
+/// the same query stream tally identical injected-fault counts.
+#[test]
+fn fault_injection_is_deterministic_across_runs() {
+    let (corpus, queries) = workload(9002);
+    let dir = temp_dir("deterministic");
+    build(&corpus, &dir, false);
+
+    let run = |seed: u64| {
+        let faults = FaultConfig::new(seed).fault_every(4);
+        let stats = faults.stats();
+        let index = DiskIndex::open_with_io(
+            &dir,
+            CacheConfig::disabled(),
+            ReadOptions::with_faults(faults),
+        )
+        .unwrap();
+        let searcher = NearDupSearcher::new(&index).unwrap();
+        let keys: Vec<_> = queries
+            .iter()
+            .map(|q| searcher.search(q, 0.8).unwrap().enumerate_all())
+            .collect();
+        (keys, stats.injected())
+    };
+    let (results_a, faults_a) = run(42);
+    let (results_b, faults_b) = run(42);
+    assert_eq!(results_a, results_b);
+    assert_eq!(faults_a, faults_b, "same seed must inject the same faults");
+    assert!(faults_a > 0);
+}
+
+/// A byte range that never stops failing exhausts the retry budget: the
+/// error surfaces (here at open, which reads the directory) instead of
+/// retrying forever, and `io.retry_exhausted` records it.
+#[test]
+fn permanently_failing_range_exhausts_retries() {
+    let (corpus, _) = workload(9003);
+    let dir = temp_dir("exhaust");
+    build(&corpus, &dir, false);
+
+    let exhausted = Registry::global().counter("io.retry_exhausted", "");
+    let before = exhausted.get();
+    let faults = FaultConfig::new(3).fault_every(0).hard_range(0, u64::MAX);
+    let result = DiskIndex::open_with_io(
+        &dir,
+        CacheConfig::disabled(),
+        ReadOptions::with_faults(faults),
+    );
+    assert!(result.is_err(), "an always-failing file must not open");
+    assert!(
+        exhausted.get() > before,
+        "io.retry_exhausted did not record the failure"
+    );
+}
+
+/// Isolate mode confines a poisoned query to its own slot: exactly one
+/// `Err`, every other query's results bit-identical to an all-good batch.
+/// FailFast on the same input aborts the whole batch.
+#[test]
+fn isolate_confines_poison_fail_fast_aborts() {
+    let (corpus, queries) = workload(9004);
+    let dir = temp_dir("isolate");
+    build(&corpus, &dir, false);
+    let index = DiskIndex::open(&dir).unwrap();
+
+    let baseline = BatchSearcher::new(&index)
+        .unwrap()
+        .threads(4)
+        .search_all(&queries, 0.8)
+        .unwrap();
+
+    let mut poisoned = queries.clone();
+    poisoned[5] = Vec::new(); // empty query: always an error
+
+    let results = BatchSearcher::new(&index)
+        .unwrap()
+        .threads(4)
+        .failure_policy(FailurePolicy::Isolate)
+        .search_all_governed(&poisoned, 0.8);
+    assert_eq!(results.len(), poisoned.len());
+    let errors: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_err())
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(errors, vec![5], "exactly the poisoned slot must fail");
+    for (i, result) in results.iter().enumerate() {
+        if i == 5 {
+            continue;
+        }
+        assert_eq!(
+            result.as_ref().unwrap().enumerate_all(),
+            baseline[i].enumerate_all(),
+            "query {i} perturbed by the poisoned neighbor"
+        );
+    }
+
+    let fail_fast = BatchSearcher::new(&index)
+        .unwrap()
+        .threads(4)
+        .search_all(&poisoned, 0.8);
+    assert!(fail_fast.is_err(), "fail-fast must surface the poison");
+}
+
+/// Tiny candidate budgets stop queries early with a sound partial outcome:
+/// a prefix of the full result set, flagged incomplete. Sweeping the cap
+/// upward reaches the complete result.
+#[test]
+fn partial_outcomes_are_sound_prefixes() {
+    let (corpus, queries) = workload(9005);
+    let dir = temp_dir("partial");
+    build(&corpus, &dir, false);
+    let index = DiskIndex::open(&dir).unwrap();
+    let searcher = NearDupSearcher::new(&index).unwrap();
+
+    let mut partials = 0usize;
+    for query in &queries {
+        let full = searcher.search(query, 0.8).unwrap();
+        assert!(full.complete);
+        for cap in 0..=3u64 {
+            let budget = QueryBudget::unlimited().max_candidates(cap);
+            match searcher.search_governed(query, 0.8, &budget) {
+                Ok(outcome) => {
+                    assert!(outcome.complete);
+                    assert_eq!(outcome.enumerate_all(), full.enumerate_all());
+                }
+                Err(QueryError::BudgetExceeded { resource, partial }) => {
+                    partials += 1;
+                    assert_eq!(resource, Resource::Candidates);
+                    assert!(!partial.complete, "partial outcomes must say so");
+                    // Texts are processed in ascending id order and a match
+                    // is appended only once fully verified, so the partial
+                    // set is a prefix of the full one.
+                    assert!(partial.matches.len() <= full.matches.len());
+                    assert_eq!(
+                        full.matches[..partial.matches.len()],
+                        partial.matches[..],
+                        "partial result is not a sound prefix"
+                    );
+                }
+                Err(e) => panic!("unexpected error under candidate cap: {e}"),
+            }
+        }
+    }
+    assert!(partials > 0, "candidate caps this tiny must trip sometimes");
+}
+
+/// A zero deadline trips before any index IO; the partial outcome is empty
+/// but well-formed.
+#[test]
+fn zero_deadline_returns_empty_partial() {
+    let (corpus, queries) = workload(9006);
+    let dir = temp_dir("deadline");
+    build(&corpus, &dir, false);
+    let index = DiskIndex::open(&dir).unwrap();
+    let searcher = NearDupSearcher::new(&index).unwrap();
+
+    let budget = QueryBudget::unlimited().time_limit(std::time::Duration::ZERO);
+    match searcher.search_governed(&queries[0], 0.8, &budget) {
+        Err(QueryError::BudgetExceeded { resource, partial }) => {
+            assert_eq!(resource, Resource::Deadline);
+            assert!(!partial.complete);
+            assert!(partial.matches.is_empty());
+        }
+        other => panic!("expected a deadline trip, got {other:?}"),
+    }
+}
+
+/// Admission control sheds the tail beyond the cap and an expired batch
+/// deadline sheds everything, both tallied in the `query.shed` counter;
+/// admitted queries stay exact.
+#[test]
+fn load_shedding_is_counted_and_admitted_queries_stay_exact() {
+    let (corpus, queries) = workload(9007);
+    let dir = temp_dir("shed");
+    build(&corpus, &dir, false);
+    let index = DiskIndex::open(&dir).unwrap();
+
+    let baseline = BatchSearcher::new(&index)
+        .unwrap()
+        .threads(4)
+        .search_all(&queries, 0.8)
+        .unwrap();
+
+    let shed_counter = Registry::global().counter("query.shed", "");
+    let before = shed_counter.get();
+    let cap = 5usize;
+    let results = BatchSearcher::new(&index)
+        .unwrap()
+        .threads(4)
+        .failure_policy(FailurePolicy::Isolate)
+        .admission_cap(cap)
+        .search_all_governed(&queries, 0.8);
+    for (i, result) in results.iter().enumerate() {
+        if i < cap {
+            assert_eq!(
+                result.as_ref().unwrap().enumerate_all(),
+                baseline[i].enumerate_all(),
+                "admitted query {i} must stay exact"
+            );
+        } else {
+            assert!(
+                matches!(result, Err(QueryError::Overloaded { position, cap: c })
+                    if *position == i && *c == cap),
+                "query {i} past the cap must be shed"
+            );
+        }
+    }
+    assert!(
+        shed_counter.get() >= before + (queries.len() - cap) as u64,
+        "query.shed must count every shed query"
+    );
+
+    // An already-expired batch deadline sheds the entire batch.
+    let results = BatchSearcher::new(&index)
+        .unwrap()
+        .threads(4)
+        .failure_policy(FailurePolicy::Isolate)
+        .batch_deadline(std::time::Duration::ZERO)
+        .search_all_governed(&queries, 0.8);
+    assert!(
+        results
+            .iter()
+            .all(|r| matches!(r, Err(QueryError::Overloaded { .. }))),
+        "an expired batch deadline must shed everything"
+    );
+}
+
+/// Budgets compose with fault injection: a governed batch over a flaky
+/// index still produces sound outcomes — completed queries exact, partial
+/// ones prefixes — because retries happen below the budget checkpoints.
+#[test]
+fn budgets_and_faults_compose() {
+    let (corpus, queries) = workload(9008);
+    let dir = temp_dir("compose");
+    build(&corpus, &dir, true);
+
+    let clean = DiskIndex::open_with_cache(&dir, CacheConfig::disabled()).unwrap();
+    let serial = NearDupSearcher::new(&clean).unwrap();
+    let full: Vec<_> = queries
+        .iter()
+        .map(|q| serial.search(q, 0.8).unwrap())
+        .collect();
+
+    let faults = FaultConfig::new(77).fault_every(3);
+    let flaky = DiskIndex::open_with_io(
+        &dir,
+        CacheConfig::disabled(),
+        ReadOptions::with_faults(faults),
+    )
+    .unwrap();
+    let results = BatchSearcher::new(&flaky)
+        .unwrap()
+        .threads(4)
+        .failure_policy(FailurePolicy::Isolate)
+        .budget(QueryBudget::unlimited().max_candidates(2))
+        .search_all_governed(&queries, 0.8);
+    for (i, result) in results.iter().enumerate() {
+        match result {
+            Ok(outcome) => {
+                assert_eq!(outcome.enumerate_all(), full[i].enumerate_all());
+            }
+            Err(QueryError::BudgetExceeded { partial, .. }) => {
+                assert!(!partial.complete);
+                assert_eq!(
+                    full[i].matches[..partial.matches.len()],
+                    partial.matches[..]
+                );
+            }
+            Err(e) => panic!("query {i}: unexpected error {e}"),
+        }
+    }
+}
