@@ -1,6 +1,13 @@
 //! `ndss index`: build the k inverted indexes for a corpus file.
+//!
+//! Plain mode writes the index straight into `--out`. With `--store`,
+//! `--out` is a *generation store*: the build lands in a freshly allocated
+//! `gen-NNNN/` directory and is published (verified, then `CURRENT`
+//! re-pointed atomically) only after it completes. `--resume` continues an
+//! interrupted `--external` build from its journal — in store mode it picks
+//! the store's resumable generation automatically.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use ndss::prelude::*;
@@ -15,9 +22,15 @@ pub fn run(args: &Args) -> Result<(), String> {
     let seed: u64 = args.get_or("seed", 7)?;
     let external = args.flag("external");
     let compress = args.flag("compress");
+    let resume = args.flag("resume");
+    let store_mode = args.flag("store");
+    let keep: usize = args.get_or("keep", 1)?;
     let memory_budget: usize = args.get_or("memory-budget", 256 << 20)?;
     if k == 0 || t == 0 {
         return Err("--k and --t must be positive".into());
+    }
+    if resume && !external {
+        return Err("--resume requires --external (only journaled builds can resume)".into());
     }
 
     let corpus = DiskCorpus::open(Path::new(corpus_path)).map_err(|e| e.to_string())?;
@@ -31,23 +44,58 @@ pub fn run(args: &Args) -> Result<(), String> {
             "in-memory parallel"
         }
     );
-    let params = SearchParams::new(k, t, seed).index_config(|c| c.compressed(compress));
+
+    // Where the index files land: the --out directory itself, or an
+    // allocated (or resumable) generation inside the store.
+    let store = if store_mode {
+        Some(GenerationStore::open(Path::new(out)).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let build_dir: PathBuf = match &store {
+        None => PathBuf::from(out),
+        Some(store) => {
+            let resumable = if resume {
+                store.resumable().map_err(|e| e.to_string())?
+            } else {
+                None
+            };
+            match resumable {
+                Some(info) => {
+                    eprintln!("resuming interrupted build in {}…", info.name);
+                    store.root().join(info.name)
+                }
+                None => {
+                    if resume {
+                        eprintln!("no resumable generation in store; starting fresh");
+                    }
+                    store.allocate().map_err(|e| e.to_string())?
+                }
+            }
+        }
+    };
+
+    let config = IndexConfig::new(k, t, seed).compressed(compress);
     let start = Instant::now();
     let index = if external {
-        CorpusIndex::build_external(&corpus, params, Path::new(out), memory_budget)
+        ExternalIndexBuilder::new(config)
+            .memory_budget(memory_budget)
+            .parallel(true)
+            .resume(resume)
+            .build(&corpus, &build_dir)
     } else {
-        CorpusIndex::build_on_disk(&corpus, params, Path::new(out))
+        ndss::index::build_and_write(&corpus, config, &build_dir, true)
     }
     .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
-    let bytes = index.index().size_bytes().map_err(|e| e.to_string())?;
+    let bytes = index.size_bytes().map_err(|e| e.to_string())?;
     println!(
         "built {k} inverted indexes in {elapsed:.2?}: {} postings, {:.1} MiB on disk ({})",
         (0..k)
-            .map(|f| index.index().postings_for_function(f).unwrap_or(0))
+            .map(|f| index.postings_for_function(f).unwrap_or(0))
             .sum::<u64>(),
         bytes as f64 / (1 << 20) as f64,
-        out
+        build_dir.display()
     );
     println!(
         "index/corpus size ratio: {:.3} total ({:.4} per hash function; paper bound 8/t = {:.3})",
@@ -55,5 +103,15 @@ pub fn run(args: &Args) -> Result<(), String> {
         bytes as f64 / (corpus.total_tokens() as f64 * 4.0) / k as f64,
         8.0 / t as f64
     );
+    if let Some(store) = &store {
+        drop(index);
+        let name = build_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or("generation directory has no name")?
+            .to_string();
+        store.publish(&name, keep).map_err(|e| e.to_string())?;
+        println!("published {name} as CURRENT in {out} (keeping {keep} previous)");
+    }
     crate::obs::maybe_write_metrics(args)
 }

@@ -3,6 +3,8 @@
 pub mod index;
 pub mod memorize;
 pub mod merge;
+pub mod publish;
+pub mod rollback;
 pub mod search;
 pub mod stats;
 pub mod synth;

@@ -1,0 +1,32 @@
+//! `ndss publish`: verify a generation and atomically point `CURRENT` at it.
+//!
+//! The generation is re-opened and put through the full `verify_integrity`
+//! checksum walk before the pointer moves, so a corrupt build can never
+//! become the serving generation. Older complete generations beyond the
+//! newest `--keep` are pruned afterwards.
+
+use std::path::Path;
+
+use ndss::prelude::*;
+
+use crate::args::Args;
+
+pub fn run(args: &Args) -> Result<(), String> {
+    let root = args.required("store")?;
+    let keep: usize = args.get_or("keep", 1)?;
+    let store = GenerationStore::open(Path::new(root)).map_err(|e| e.to_string())?;
+    let name = match args.get("generation") {
+        Some(name) => name.to_string(),
+        None => store
+            .generations()
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .rev()
+            .find(|info| info.complete)
+            .map(|info| info.name)
+            .ok_or("no complete generation to publish; pass --generation gen-NNNN")?,
+    };
+    store.publish(&name, keep).map_err(|e| e.to_string())?;
+    println!("published {name} as CURRENT in {root} (keeping {keep} previous)");
+    crate::obs::maybe_write_metrics(args)
+}

@@ -1,0 +1,20 @@
+//! `ndss rollback`: re-point `CURRENT` at an older generation.
+//!
+//! Without `--to`, rolls back to the newest complete generation older than
+//! the current one. The target is re-verified before the pointer moves —
+//! a rollback must not land on a generation that has rotted on disk.
+//! Serving processes pick the change up on their next `reload()`.
+
+use std::path::Path;
+
+use ndss::prelude::*;
+
+use crate::args::Args;
+
+pub fn run(args: &Args) -> Result<(), String> {
+    let root = args.required("store")?;
+    let store = GenerationStore::open(Path::new(root)).map_err(|e| e.to_string())?;
+    let target = store.rollback(args.get("to")).map_err(|e| e.to_string())?;
+    println!("rolled back: CURRENT in {root} now names {target}");
+    crate::obs::maybe_write_metrics(args)
+}

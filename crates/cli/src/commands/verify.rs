@@ -6,6 +6,11 @@
 //! against their stored CRC-32Cs, so together every byte on disk is covered.
 //! Legacy (pre-checksum) files open fine but carry nothing to verify
 //! against; they are reported as such.
+//!
+//! `--store` verifies a generation store's `CURRENT` generation (or every
+//! generation with `--all-generations`, one status line each). The exit
+//! code is nonzero whenever the CURRENT generation fails — that is the one
+//! queries are being served from.
 
 use std::path::Path;
 use std::time::Instant;
@@ -14,8 +19,77 @@ use ndss::prelude::*;
 
 use crate::args::Args;
 
+/// Verifies one generation directory; returns its status-line suffix.
+fn verify_generation(dir: &Path) -> Result<String, String> {
+    let start = Instant::now();
+    let index = DiskIndex::open(dir).map_err(|e| e.to_string())?;
+    index.verify_integrity().map_err(|e| e.to_string())?;
+    let io = index.io_snapshot();
+    Ok(format!(
+        "ok (k = {}, {:.1} MiB streamed, {:.2}s)",
+        index.config().k,
+        io.bytes as f64 / (1 << 20) as f64,
+        start.elapsed().as_secs_f64()
+    ))
+}
+
+/// `--store` mode: per-generation status, error iff CURRENT fails.
+fn run_store(root: &str, all: bool) -> Result<(), String> {
+    let store = GenerationStore::open(Path::new(root)).map_err(|e| e.to_string())?;
+    let generations = store.generations().map_err(|e| e.to_string())?;
+    if generations.is_empty() {
+        return Err(format!("store {root} has no generations"));
+    }
+    let mut current_failure: Option<String> = None;
+    let mut saw_current = false;
+    for info in &generations {
+        if !all && !info.current {
+            continue;
+        }
+        saw_current |= info.current;
+        let marker = if info.current { " [CURRENT]" } else { "" };
+        if !info.complete {
+            let state = if info.resumable {
+                "incomplete (resumable: build.journal present)"
+            } else {
+                "incomplete"
+            };
+            println!("generation {}{marker}: {state}", info.name);
+            continue;
+        }
+        match verify_generation(&store.root().join(&info.name)) {
+            Ok(status) => println!("generation {}{marker}: {status}", info.name),
+            Err(e) => {
+                println!("generation {}{marker}: FAILED: {e}", info.name);
+                if info.current {
+                    current_failure = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = current_failure {
+        return Err(format!("CURRENT generation failed verification: {e}"));
+    }
+    if !saw_current {
+        let current = store.current().map_err(|e| e.to_string())?;
+        match current {
+            Some(name) => {
+                return Err(format!(
+                    "CURRENT names {name}, which does not exist in the store"
+                ))
+            }
+            None => println!("store {root}: no CURRENT pointer (nothing is serving)"),
+        }
+    }
+    Ok(())
+}
+
 pub fn run(args: &Args) -> Result<(), String> {
     let mut checked = false;
+    if let Some(store_root) = args.get("store") {
+        checked = true;
+        run_store(store_root, args.flag("all-generations"))?;
+    }
     if let Some(corpus_path) = args.get("corpus") {
         checked = true;
         let start = Instant::now();
@@ -31,7 +105,8 @@ pub fn run(args: &Args) -> Result<(), String> {
     if let Some(index_dir) = args.get("index") {
         checked = true;
         let start = Instant::now();
-        let index = DiskIndex::open(Path::new(index_dir)).map_err(|e| e.to_string())?;
+        let index =
+            DiskIndex::open(&resolve_index_dir(Path::new(index_dir))).map_err(|e| e.to_string())?;
         index.verify_integrity().map_err(|e| e.to_string())?;
         let io = index.io_snapshot();
         println!(
@@ -42,7 +117,9 @@ pub fn run(args: &Args) -> Result<(), String> {
         );
     }
     if !checked {
-        return Err("nothing to verify: pass --corpus FILE and/or --index DIR".into());
+        return Err(
+            "nothing to verify: pass --corpus FILE, --index DIR, and/or --store DIR".into(),
+        );
     }
     Ok(())
 }

@@ -57,6 +57,8 @@ pub fn dispatch(command: &str, args: &args::Args) -> Result<(), String> {
         "stats" => commands::stats::run(args),
         "memorize" => commands::memorize::run(args),
         "merge" => commands::merge::run(args),
+        "publish" => commands::publish::run(args),
+        "rollback" => commands::rollback::run(args),
         "verify" => commands::verify::run(args),
         other => Err(format!("unknown command '{other}'; try 'ndss help'")),
     }
@@ -79,8 +81,18 @@ COMMANDS:
   index      build the inverted indexes for a corpus
                --corpus FILE --out DIR [--k N=32] [--t N=25] [--seed N=7]
                [--external] [--memory-budget BYTES=268435456] [--compress]
+               [--resume (continue an interrupted --external build)]
+               [--store (treat --out as a generation store: build lands in
+                gen-NNNN/, verified, then published as CURRENT)]
+               [--keep N=1 (previous generations retained on publish)]
   merge      merge shard indexes (built with identical parameters)
                --out DIR --inputs DIR,DIR,...
+               [--resume (continue an interrupted merge)]
+  publish    verify a generation and atomically point CURRENT at it
+               --store DIR [--generation gen-NNNN (default: newest complete)]
+               [--keep N=1]
+  rollback   re-point CURRENT at an older (re-verified) generation
+               --store DIR [--to gen-NNNN (default: newest older complete)]
   search     query an index for near-duplicate sequences
                --index DIR --theta F [--query-tokens a,b,c |
                --query-span text:start:end --corpus FILE |
@@ -99,8 +111,10 @@ COMMANDS:
   stats      corpus and index statistics
                --corpus FILE [--index DIR] [--top N=10]
                [--metrics (render process metrics registry)]
-  verify     stream stored checksums over an index and/or corpus
+  verify     stream stored checksums over an index, corpus, and/or store
                [--corpus FILE] [--index DIR]
+               [--store DIR [--all-generations] (per-generation status;
+                exit is nonzero iff the CURRENT generation fails)]
   memorize   train an n-gram LM on the corpus and measure memorization
                --corpus FILE --index DIR [--order N=4] [--texts N=20]
                [--len N=256] [--window N=32] [--thetas F,F=1.0,0.9,0.8]

@@ -258,6 +258,91 @@ fn tokenize_and_memorize_workflow() {
 }
 
 #[test]
+fn generation_store_lifecycle_workflow() {
+    let dir = workdir("store");
+    let corpus = dir.join("c.ndsc").display().to_string();
+    let store = dir.join("store").display().to_string();
+    dispatch(
+        "synth",
+        &args(&["--out", &corpus, "--texts", "80", "--seed", "4"]),
+    )
+    .unwrap();
+
+    // First build lands in gen-0000 and is published as CURRENT.
+    let index_args = [
+        "--corpus",
+        &corpus,
+        "--out",
+        &store,
+        "--k",
+        "4",
+        "--t",
+        "20",
+        "--external",
+        "--store",
+    ];
+    dispatch("index", &args(&index_args)).unwrap();
+    let current = || {
+        std::fs::read_to_string(std::path::Path::new(&store).join("CURRENT"))
+            .unwrap()
+            .trim()
+            .to_string()
+    };
+    assert_eq!(current(), "gen-0000");
+
+    // The store root is transparently searchable and verifiable.
+    dispatch(
+        "search",
+        &args(&[
+            "--index",
+            &store,
+            "--corpus",
+            &corpus,
+            "--query-span",
+            "5:0:60",
+            "--theta",
+            "0.8",
+        ]),
+    )
+    .unwrap();
+    dispatch("verify", &args(&["--store", &store, "--all-generations"])).unwrap();
+
+    // Second build becomes gen-0001; keep=1 retains gen-0000 for rollback.
+    dispatch("index", &args(&index_args)).unwrap();
+    assert_eq!(current(), "gen-0001");
+    assert!(std::path::Path::new(&store).join("gen-0000").is_dir());
+
+    dispatch("rollback", &args(&["--store", &store])).unwrap();
+    assert_eq!(current(), "gen-0000");
+    dispatch(
+        "publish",
+        &args(&["--store", &store, "--generation", "gen-0001"]),
+    )
+    .unwrap();
+    assert_eq!(current(), "gen-0001");
+
+    // Corrupting the CURRENT generation turns `verify --store` into a
+    // failure (nonzero exit), and a rotten generation cannot be published.
+    let victim = std::path::Path::new(&store)
+        .join("gen-0001")
+        .join("inv_0.ndsi");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&victim, &bytes).unwrap();
+    assert!(dispatch("verify", &args(&["--store", &store])).is_err());
+    assert!(dispatch(
+        "publish",
+        &args(&["--store", &store, "--generation", "gen-0001"])
+    )
+    .is_err());
+    // Rollback to the intact generation restores a verifiable store.
+    dispatch("rollback", &args(&["--store", &store, "--to", "gen-0000"])).unwrap();
+    dispatch("verify", &args(&["--store", &store])).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn errors_are_reported_not_panicked() {
     // Unknown command.
     assert!(dispatch("frobnicate", &args(&[])).is_err());
@@ -283,4 +368,19 @@ fn errors_are_reported_not_panicked() {
     )
     .is_err());
     assert!(dispatch("merge", &args(&["--out", "/tmp/m", "--inputs", "one_dir"])).is_err());
+    // --resume is a journaled-external-build feature.
+    assert!(dispatch(
+        "index",
+        &args(&[
+            "--corpus",
+            "/nonexistent.ndsc",
+            "--out",
+            "/tmp/i",
+            "--resume"
+        ])
+    )
+    .is_err());
+    // Lifecycle commands need a store.
+    assert!(dispatch("publish", &args(&[])).is_err());
+    assert!(dispatch("rollback", &args(&["--store", "/nonexistent_store"])).is_err());
 }

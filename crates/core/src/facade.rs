@@ -208,10 +208,12 @@ impl CorpusIndex<DiskIndex> {
         })
     }
 
-    /// Opens an existing index directory.
+    /// Opens an existing index directory, or a generation store's `CURRENT`
+    /// generation when `dir` is a store root — both layouts are
+    /// transparently addressable.
     pub fn open(dir: &Path, prefix_filter: PrefixFilter) -> Result<Self, NdssError> {
         Ok(Self {
-            index: DiskIndex::open(dir)?,
+            index: DiskIndex::open(&ndss_index::resolve_index_dir(dir))?,
             prefix_filter,
         })
     }

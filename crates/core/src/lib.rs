@@ -79,14 +79,15 @@ pub mod prelude {
     pub use ndss_hash::jaccard::{distinct_jaccard, multiset_jaccard};
     pub use ndss_hash::{MinHasher, Sketch, TokenId};
     pub use ndss_index::{
-        DiskIndex, ExternalIndexBuilder, FaultConfig, IndexAccess, IndexConfig, MemoryIndex,
-        ReadOptions,
+        resolve_index_dir, DiskIndex, ExternalIndexBuilder, FaultConfig, GenerationInfo,
+        GenerationStore, IndexAccess, IndexConfig, MemoryIndex, MergeOptions, ReadOptions,
     };
     pub use ndss_lm::{evaluate_memorization, GenerationStrategy, MemorizationConfig, NGramModel};
     pub use ndss_obs::{Registry, Unit};
     pub use ndss_query::{
         BatchSearcher, CancelToken, DocumentMatch, DocumentScan, FailurePolicy, NearDupSearcher,
-        PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource, SearchOutcome, TextMatch,
+        PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource, SearchOutcome, ServingIndex,
+        ServingSearcher, TextMatch,
     };
     pub use ndss_tokenizer::{BpeTokenizer, BpeTrainer};
 }

@@ -20,19 +20,25 @@
 //! the property that lets every query-layer test run against either.
 
 use std::fs::File;
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use ndss_corpus::types::BatchIter;
 use ndss_corpus::CorpusSource;
-use ndss_hash::HashValue;
+use ndss_hash::{HashValue, MinHasher};
 use ndss_windows::{HashedWindow, WindowGenerator};
 
 use crate::codec::CompressedFileWriter;
 use crate::disk::{inv_file_path, DiskIndex};
 use crate::format::IndexFileWriter;
+use crate::journal::{self, BuildJournal, JournalKind, KillPoints};
 use crate::memory::MemoryIndex;
-use crate::{IndexAccess, IndexConfig, IndexError, Posting};
+use crate::{gc, IndexAccess, IndexConfig, IndexError, Posting};
+
+/// Name of the spill scratch directory an external build keeps inside its
+/// output directory.
+pub(crate) const SPILL_DIR: &str = "tmp_spill";
 
 /// Version-dispatching list writer: v1 fixed-width postings + zone maps, or
 /// v2 delta-compressed blocks, per [`IndexConfig::compress`].
@@ -155,6 +161,108 @@ fn decode_spill(bytes: &[u8]) -> (HashValue, Posting) {
     (hash, Posting::decode(&bytes[8..SPILL_RECORD_LEN]))
 }
 
+/// One unit of work for the durability worker: make `sync`'s bytes durable,
+/// publish `snapshot`, then drop spill files a newly journaled function no
+/// longer needs.
+struct CheckpointMsg {
+    snapshot: BuildJournal,
+    /// Spill files whose bytes must be durable *before* the snapshot is
+    /// published (the snapshot's `spill_lens` describe them).
+    sync: Option<Arc<Vec<File>>>,
+    /// Function whose spill files may be removed *after* the snapshot is
+    /// published (its `funcs_done` entry makes them unreachable by resume).
+    cleanup_func: Option<usize>,
+}
+
+/// Background durability worker: receives journal snapshots in checkpoint
+/// order, makes the spill bytes they describe durable (`fdatasync` on
+/// cloned handles), and atomically publishes each snapshot — all while the
+/// producing threads compute the next batch or aggregate the next function.
+/// The lag is invisible to resume: a crash simply finds an earlier
+/// checkpoint's journal, exactly as if checkpoints had been synchronous and
+/// the crash had landed a moment sooner.
+struct CheckpointPipeline {
+    tx: Option<std::sync::mpsc::Sender<CheckpointMsg>>,
+    handle: Option<std::thread::JoinHandle<Result<(), IndexError>>>,
+    dead: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CheckpointPipeline {
+    fn spawn(dir: &Path, spill_dir: &Path, kill: Option<Arc<KillPoints>>) -> Self {
+        let (tx, rx) = std::sync::mpsc::channel::<CheckpointMsg>();
+        let dir = dir.to_path_buf();
+        let spill_dir = spill_dir.to_path_buf();
+        let dead = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = dead.clone();
+        let handle = std::thread::spawn(move || {
+            let result = (|| {
+                for msg in rx {
+                    if let Some(files) = &msg.sync {
+                        // fdatasync, not fsync: the size change from an
+                        // append is metadata "needed for a subsequent data
+                        // retrieval" and is therefore flushed, which is all
+                        // the truncate-to-journaled-length resume relies
+                        // on. Synced concurrently: the filesystem journal
+                        // batches overlapping commits, so k × fanout
+                        // sequential syncs collapse to a few commit waits.
+                        ndss_parallel::try_map(&files[..], 8, |_, file| file.sync_data())?;
+                    }
+                    journal::tick_checkpoint(&kill)?;
+                    msg.snapshot.save(&dir)?;
+                    journal::tick_checkpoint(&kill)?;
+                    if let Some(func) = msg.cleanup_func {
+                        // The committed index file supersedes this
+                        // function's spill files; now that the journal
+                        // durably records the commit, drop them so disk
+                        // usage does not double.
+                        remove_func_spill(&spill_dir, func);
+                    }
+                }
+                Ok(())
+            })();
+            if result.is_err() {
+                flag.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            result
+        });
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+            dead,
+        }
+    }
+
+    /// Whether the worker has died; its error surfaces from
+    /// [`CheckpointPipeline::finish`]. Producers use this to stop early.
+    fn is_dead(&self) -> bool {
+        self.dead.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Hands one checkpoint to the worker. `false` means the worker has
+    /// died; its error surfaces from [`CheckpointPipeline::finish`].
+    fn enqueue(&self, msg: CheckpointMsg) -> bool {
+        !self.is_dead()
+            && self
+                .tx
+                .as_ref()
+                .expect("pipeline not finished")
+                .send(msg)
+                .is_ok()
+    }
+
+    /// Drains the queue and joins the worker: after `Ok(())` every enqueued
+    /// checkpoint is durably published.
+    fn finish(mut self) -> Result<(), IndexError> {
+        drop(self.tx.take());
+        match self.handle.take().expect("pipeline not finished").join() {
+            Ok(result) => result,
+            Err(_) => Err(IndexError::Io(std::io::Error::other(
+                "checkpoint worker panicked",
+            ))),
+        }
+    }
+}
+
 /// Out-of-core index builder via hash aggregation.
 #[derive(Debug, Clone)]
 pub struct ExternalIndexBuilder {
@@ -167,6 +275,12 @@ pub struct ExternalIndexBuilder {
     partition_bits: u32,
     /// Parallelize window generation across hash functions.
     parallel: bool,
+    /// Publish crash-safe progress checkpoints (`build.journal`).
+    use_journal: bool,
+    /// Continue an interrupted journaled build instead of starting over.
+    resume: bool,
+    /// Deterministic crash injector (fault-injection harnesses only).
+    kill: Option<Arc<KillPoints>>,
 }
 
 impl ExternalIndexBuilder {
@@ -179,6 +293,9 @@ impl ExternalIndexBuilder {
             memory_budget: 256 << 20,
             partition_bits: 4,
             parallel: false,
+            use_journal: true,
+            resume: false,
+            kill: None,
         }
     }
 
@@ -207,6 +324,50 @@ impl ExternalIndexBuilder {
         self
     }
 
+    /// Enables (default) or disables the crash-safe build journal. With the
+    /// journal on, progress is checkpointed to `build.journal` after every
+    /// spilled batch and every committed index file, and a failed or killed
+    /// build leaves resumable state behind; with it off, a failed build
+    /// cleans its partial artifacts up and leaves nothing.
+    pub fn journal(mut self, on: bool) -> Self {
+        self.use_journal = on;
+        self
+    }
+
+    /// Continues an interrupted journaled build: the journal is validated
+    /// against the configuration (exact fingerprint match), the in-flight
+    /// unit of work is discarded, and the build picks up from the last
+    /// checkpoint — producing output byte-identical to an uninterrupted
+    /// build. With no journal on disk this silently degrades to a fresh
+    /// build (there is nothing to resume).
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    /// Installs a deterministic crash injector. When it fires, the builder
+    /// behaves like a hard crash: the error propagates and **no** cleanup
+    /// runs, leaving on-disk state exactly as the crash found it. Test
+    /// harnesses only.
+    pub fn kill_points(mut self, kill: Arc<KillPoints>) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+
+    /// Digest of everything that shapes the spill layout and output bytes:
+    /// the full configuration (which embeds the corpus dimensions) plus the
+    /// builder parameters that determine batch boundaries and partition
+    /// fan-out. A journal only resumes a build with an identical digest.
+    fn build_fingerprint(&self, config: &IndexConfig) -> u64 {
+        journal::fingerprint(&[
+            "external_build",
+            &config.to_json_pretty(),
+            &self.batch_tokens.to_string(),
+            &self.memory_budget.to_string(),
+            &self.partition_bits.to_string(),
+        ])
+    }
+
     /// Builds the index for `corpus` into `dir`.
     pub fn build<C: CorpusSource + ?Sized>(
         &self,
@@ -216,17 +377,78 @@ impl ExternalIndexBuilder {
         let _span = ndss_obs::span("index.build.external");
         let fsyncs_before = ndss_durable::fsync_count();
         std::fs::create_dir_all(dir)?;
-        let spill_dir = dir.join("tmp_spill");
-        std::fs::create_dir_all(&spill_dir)?;
         let mut config = self.config.clone();
         config.num_texts = corpus.num_texts();
         config.total_tokens = corpus.total_tokens();
+        let fingerprint = self.build_fingerprint(&config);
 
-        let result = self.build_inner(corpus, dir, &spill_dir, &config);
-        // Spill files are scratch space either way.
-        std::fs::remove_dir_all(&spill_dir).ok();
-        result?;
-        DiskIndex::write_meta(dir, &config)?;
+        let mut state = if self.resume {
+            match BuildJournal::load(dir)? {
+                Some(loaded) => {
+                    if loaded.kind != JournalKind::ExternalBuild {
+                        return Err(IndexError::Malformed(format!(
+                            "{}: journal belongs to a merge, not an external build",
+                            dir.display()
+                        )));
+                    }
+                    if loaded.fingerprint != fingerprint {
+                        return Err(IndexError::Malformed(format!(
+                            "{}: journal was written by a different configuration or \
+                             corpus; re-run without --resume to start over",
+                            dir.display()
+                        )));
+                    }
+                    loaded
+                }
+                // Nothing to resume (the crash predated the first
+                // checkpoint, or the build never ran): start fresh.
+                None => BuildJournal::new(JournalKind::ExternalBuild, fingerprint),
+            }
+        } else {
+            // A fresh build owns the directory: sweep residue of crashed
+            // runs instead of letting it accumulate.
+            let removed = gc::sweep_build_residue(dir) + gc::sweep_atomic_temps(dir);
+            if removed > 0 {
+                gc::gc_counter().inc(removed);
+            }
+            BuildJournal::new(JournalKind::ExternalBuild, fingerprint)
+        };
+
+        let spill_dir = dir.join(SPILL_DIR);
+        std::fs::create_dir_all(&spill_dir)?;
+
+        let outcome = (|| {
+            self.build_inner(corpus, dir, &spill_dir, &config, &mut state)?;
+            journal::tick_checkpoint(&self.kill)?;
+            DiskIndex::write_meta(dir, &config)?;
+            journal::tick_checkpoint(&self.kill)?;
+            if self.use_journal {
+                BuildJournal::remove(dir)?;
+            }
+            journal::tick_checkpoint(&self.kill)?;
+            Ok(())
+        })();
+        if let Err(e) = outcome {
+            if self.kill.as_ref().is_some_and(|kp| kp.fired()) {
+                // Simulated hard crash: leave the directory exactly as the
+                // crash found it — the sweep harness resumes from here.
+                return Err(e);
+            }
+            if !self.use_journal {
+                // No journal means no resumable state worth keeping: remove
+                // the partial artifacts rather than stranding them.
+                clean_failed_build(dir, &spill_dir, config.k);
+            }
+            // With the journal on, the journal + spill files *are* the
+            // resumable state; a later fresh build garbage-collects them.
+            return Err(e);
+        }
+        if let Err(e) = std::fs::remove_dir_all(&spill_dir) {
+            eprintln!(
+                "warning: could not remove spill scratch {}: {e}",
+                spill_dir.display()
+            );
+        }
         record_build_fsyncs(fsyncs_before);
         DiskIndex::open(dir)
     }
@@ -237,36 +459,207 @@ impl ExternalIndexBuilder {
         dir: &Path,
         spill_dir: &Path,
         config: &IndexConfig,
+        state: &mut BuildJournal,
     ) -> Result<(), IndexError> {
         let hasher = config.hasher();
         let k = config.k;
         let fanout = 1usize << self.partition_bits;
         let shift = 64 - self.partition_bits;
 
-        // Phase 1: scan batches, spill (hash, posting) records partitioned
-        // by (function, top hash bits).
-        let spill_span = ndss_obs::span("index.build.spill");
+        // All durability (spill fdatasyncs, journal publications, spill
+        // cleanup of committed functions) runs on one worker thread so it
+        // overlaps the compute of both phases. The result of each phase is
+        // captured rather than propagated with `?` so the worker is always
+        // joined before this function returns — nothing may keep writing to
+        // `dir` after the build has reported failure.
+        let pipeline = self
+            .use_journal
+            .then(|| CheckpointPipeline::spawn(dir, spill_dir, self.kill.clone()));
+
+        let compute = (|| {
+            // Phase 1: scan batches, spill (hash, posting) records
+            // partitioned by (function, top hash bits). Skipped entirely
+            // when a resumed journal says every batch is already durably
+            // spilled.
+            if !state.spill_done {
+                self.spill_phase(
+                    corpus,
+                    dir,
+                    spill_dir,
+                    config,
+                    state,
+                    &hasher,
+                    fanout,
+                    shift,
+                    pipeline.as_ref(),
+                )?;
+            }
+            if pipeline.as_ref().is_some_and(CheckpointPipeline::is_dead) {
+                // The durability worker crashed mid-spill; there is nothing
+                // sound to aggregate (`finish` below surfaces its error).
+                return Ok(());
+            }
+
+            // Phase 2: per function, aggregate partitions in ascending hash
+            // order into the final index file. Functions write to disjoint
+            // files and disjoint spill partitions, so they parallelize
+            // without coordination — and each file's bytes are independent
+            // of how many functions run at once. Functions the journal
+            // records as committed are skipped; the journal itself is
+            // updated under a mutex (the `funcs_done` set is
+            // order-independent, so concurrent completions serialize
+            // cleanly).
+            let _aggregate_span = ndss_obs::span("index.build.aggregate");
+            let funcs: Vec<usize> = (0..k).filter(|f| !state.funcs_done.contains(f)).collect();
+            let threads = if self.parallel {
+                ndss_parallel::default_threads()
+            } else {
+                1
+            };
+            let journal_cell = Mutex::new(&mut *state);
+            ndss_parallel::try_map(&funcs, threads, |_, &func| {
+                if pipeline.as_ref().is_some_and(CheckpointPipeline::is_dead) {
+                    // The durability worker crashed; stop producing work its
+                    // journal will never record (`finish` surfaces why).
+                    return Ok(());
+                }
+                let mut writer =
+                    ListWriter::create(&inv_file_path(dir, func), func as u32, config)?;
+                for p in 0..fanout {
+                    let path = spill_path(spill_dir, func, 0, p);
+                    self.process_partition(
+                        &path,
+                        self.partition_bits,
+                        func,
+                        spill_dir,
+                        &mut writer,
+                    )?;
+                }
+                writer.finish()?;
+                if let Some(pipeline) = &pipeline {
+                    let mut journal = journal_cell.lock().unwrap();
+                    journal.funcs_done.insert(func);
+                    // The worker publishes the snapshot and then removes
+                    // this function's spill files — in that order, so a
+                    // crash can never leave a function neither journaled
+                    // nor re-buildable from spill.
+                    pipeline.enqueue(CheckpointMsg {
+                        snapshot: journal.clone(),
+                        sync: None,
+                        cleanup_func: Some(func),
+                    });
+                }
+                Ok::<(), IndexError>(())
+            })?;
+            Ok(())
+        })();
+        match pipeline {
+            Some(pipeline) => {
+                let worker = pipeline.finish();
+                compute?;
+                worker
+            }
+            None => compute,
+        }
+    }
+
+    /// Phase 1 with checkpointing: after each batch every spill writer is
+    /// flushed and its length handed to the durability worker, which
+    /// fdatasyncs the files and journals the lengths, so a resume can
+    /// truncate away a partially-spilled batch and re-run it.
+    #[allow(clippy::too_many_arguments)]
+    fn spill_phase<C: CorpusSource + ?Sized>(
+        &self,
+        corpus: &C,
+        dir: &Path,
+        spill_dir: &Path,
+        config: &IndexConfig,
+        state: &mut BuildJournal,
+        hasher: &MinHasher,
+        fanout: usize,
+        shift: u32,
+        pipeline: Option<&CheckpointPipeline>,
+    ) -> Result<(), IndexError> {
+        let _spill_span = ndss_obs::span("index.build.spill");
+        let k = config.k;
+        let resuming = state.batches_done > 0 || !state.spill_lens.is_empty();
+        // Open the k × fanout partition writers. A fresh build truncates; a
+        // resume reopens each file, truncates it back to the length the
+        // journal recorded at the last completed batch (discarding the
+        // in-flight batch's partial appends), and appends from there.
         let mut spills: Vec<Vec<BufWriter<File>>> = (0..k)
             .map(|func| {
                 (0..fanout)
                     .map(|p| {
                         let path = spill_path(spill_dir, func, 0, p);
-                        File::create(path).map(BufWriter::new)
+                        let file = if resuming {
+                            let recorded = state
+                                .spill_lens
+                                .get(func * fanout + p)
+                                .copied()
+                                .unwrap_or(0);
+                            let mut file = std::fs::OpenOptions::new()
+                                .write(true)
+                                .create(true)
+                                .truncate(false)
+                                .open(&path)?;
+                            file.set_len(recorded)?;
+                            file.seek(SeekFrom::End(0))?;
+                            file
+                        } else {
+                            File::create(&path)?
+                        };
+                        Ok(BufWriter::new(file))
                     })
-                    .collect::<Result<Vec<_>, _>>()
+                    .collect::<Result<Vec<_>, IndexError>>()
             })
-            .collect::<Result<Vec<_>, _>>()?;
+            .collect::<Result<Vec<_>, IndexError>>()?;
 
+        if self.use_journal && !resuming {
+            journal::tick_checkpoint(&self.kill)?;
+            state.save(dir)?;
+            journal::tick_checkpoint(&self.kill)?;
+        }
+
+        // Cloned handles let the durability worker fdatasync the spill
+        // files while this thread keeps appending to them: a checkpoint
+        // runs one batch behind the scan instead of stalling it.
+        let sync_files = match pipeline {
+            Some(_) => {
+                let mut files = Vec::with_capacity(k * fanout);
+                for writers in &spills {
+                    for w in writers {
+                        files.push(w.get_ref().try_clone()?);
+                    }
+                }
+                Some(Arc::new(files))
+            }
+            None => None,
+        };
+
+        let threads = if self.parallel {
+            ndss_parallel::default_threads()
+        } else {
+            1
+        };
+        let mut batch_idx: u64 = 0;
         for batch in BatchIter::new(corpus, self.batch_tokens) {
             let batch = batch?;
-            let spill_batch = |(func, writers): (usize, &mut Vec<BufWriter<File>>)| {
+            if batch_idx < state.batches_done {
+                // Already durably spilled by the interrupted run.
+                batch_idx += 1;
+                continue;
+            }
+            let kill = &self.kill;
+            let spill_batch = |func: usize, writers: &mut [BufWriter<File>]| {
                 let mut generator = WindowGenerator::new();
                 let mut windows: Vec<HashedWindow> = Vec::new();
                 let mut record = [0u8; SPILL_RECORD_LEN];
                 for (offset, tokens) in batch.texts.iter().enumerate() {
+                    journal::tick_io(kill)?;
                     let text = batch.first + offset as u32;
                     windows.clear();
-                    generator.generate(&hasher, func, tokens, config.t, &mut windows);
+                    generator.generate(hasher, func, tokens, config.t, &mut windows);
                     for hw in &windows {
                         let posting = Posting {
                             text,
@@ -279,16 +672,35 @@ impl ExternalIndexBuilder {
                 }
                 Ok::<(), IndexError>(())
             };
-            let threads = if self.parallel {
-                ndss_parallel::default_threads()
-            } else {
-                1
-            };
             ndss_parallel::map_mut(&mut spills, threads, |func, writers| {
-                spill_batch((func, writers))
+                spill_batch(func, writers)
             })
             .into_iter()
             .collect::<Result<(), _>>()?;
+            batch_idx += 1;
+            if let Some(pipeline) = pipeline {
+                if pipeline.is_dead() {
+                    // Worker died; stop scanning. `build_inner` skips
+                    // aggregation and surfaces the worker's error.
+                    return Ok(());
+                }
+                // Checkpoint: flush the new high-water marks to the OS and
+                // hand the snapshot to the durability worker.
+                let mut lens = Vec::with_capacity(k * fanout);
+                for writers in &mut spills {
+                    for w in writers {
+                        w.flush()?;
+                        lens.push(w.get_ref().metadata()?.len());
+                    }
+                }
+                state.batches_done = batch_idx;
+                state.spill_lens = lens;
+                pipeline.enqueue(CheckpointMsg {
+                    snapshot: state.clone(),
+                    sync: sync_files.clone(),
+                    cleanup_func: None,
+                });
+            }
         }
         for writers in &mut spills {
             for w in writers {
@@ -296,35 +708,32 @@ impl ExternalIndexBuilder {
             }
         }
         drop(spills);
-        drop(spill_span);
-
-        // Phase 2: per function, aggregate partitions in ascending hash
-        // order into the final index file. Functions write to disjoint
-        // files and disjoint spill partitions, so they parallelize without
-        // coordination — and each file's bytes are independent of how many
-        // functions run at once.
-        let _aggregate_span = ndss_obs::span("index.build.aggregate");
-        let funcs: Vec<usize> = (0..k).collect();
-        let threads = if self.parallel {
-            ndss_parallel::default_threads()
-        } else {
-            1
-        };
-        ndss_parallel::try_map(&funcs, threads, |_, &func| {
-            let mut writer = ListWriter::create(&inv_file_path(dir, func), func as u32, config)?;
-            for p in 0..fanout {
-                let path = spill_path(spill_dir, func, 0, p);
-                self.process_partition(&path, self.partition_bits, func, spill_dir, &mut writer)?;
-            }
-            writer.finish()?;
-            Ok::<(), IndexError>(())
-        })?;
+        state.spill_done = true;
+        if let Some(pipeline) = pipeline {
+            // The spill-done checkpoint rides the pipeline too: its sync
+            // covers the final batch, and FIFO order guarantees it is
+            // published before any `funcs_done` snapshot aggregation
+            // enqueues — so aggregation can start on the page-cache spill
+            // immediately, durability trailing behind.
+            pipeline.enqueue(CheckpointMsg {
+                snapshot: state.clone(),
+                sync: sync_files.clone(),
+                cleanup_func: None,
+            });
+        }
         Ok(())
     }
 
     /// Aggregates one partition file: loads it if it fits the budget (or can
     /// no longer be split), otherwise re-partitions on the next hash bits
     /// and recurses in ascending sub-partition order.
+    ///
+    /// In journaled mode spill files are **not** deleted as they are
+    /// consumed: the level-0 partitions must survive until this function's
+    /// index file commits, so that a crash mid-aggregation can re-run the
+    /// function from intact inputs (re-splitting is idempotent — sub files
+    /// are recreated with `File::create`). The committed-function path in
+    /// `build_inner` removes them afterwards.
     fn process_partition(
         &self,
         path: &Path,
@@ -333,9 +742,13 @@ impl ExternalIndexBuilder {
         spill_dir: &Path,
         writer: &mut ListWriter,
     ) -> Result<(), IndexError> {
+        journal::tick_io(&self.kill)?;
+        let keep_spill = self.use_journal;
         let size = std::fs::metadata(path)?.len();
         if size == 0 {
-            std::fs::remove_file(path).ok();
+            if !keep_spill {
+                remove_file_warn(path);
+            }
             return Ok(());
         }
         let can_split = consumed_bits + self.partition_bits <= 64;
@@ -343,7 +756,9 @@ impl ExternalIndexBuilder {
             // Terminal: load, sort, group, emit.
             let mut bytes = Vec::with_capacity(size as usize);
             File::open(path)?.read_to_end(&mut bytes)?;
-            std::fs::remove_file(path).ok();
+            if !keep_spill {
+                remove_file_warn(path);
+            }
             if bytes.len() % SPILL_RECORD_LEN != 0 {
                 return Err(IndexError::Malformed(format!(
                     "spill file {} is not a whole number of records",
@@ -400,12 +815,69 @@ impl ExternalIndexBuilder {
             w.flush()?;
         }
         drop(subs);
-        std::fs::remove_file(path).ok();
+        if !keep_spill {
+            remove_file_warn(path);
+        }
         for p in 0..fanout {
             let sub_path = sub_partition_path(spill_dir, func, path, p);
             self.process_partition(&sub_path, next_consumed, func, spill_dir, writer)?;
         }
         Ok(())
+    }
+}
+
+/// Removes `path`, reporting failure (other than absence) as a warning —
+/// the file is garbage, but the operator should know it remains.
+fn remove_file_warn(path: &Path) {
+    if let Err(e) = std::fs::remove_file(path) {
+        if e.kind() != std::io::ErrorKind::NotFound {
+            eprintln!("warning: could not remove {}: {e}", path.display());
+        }
+    }
+}
+
+/// Removes every spill file belonging to `func` (name prefix `f{func}_`,
+/// which covers its level-0 partitions and all recursive sub-partitions)
+/// once its index file has committed and the journal records it.
+fn remove_func_spill(spill_dir: &Path, func: usize) {
+    let prefix = format!("f{func}_");
+    let Ok(entries) = std::fs::read_dir(spill_dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.starts_with(&prefix))
+        {
+            remove_file_warn(&entry.path());
+        }
+    }
+}
+
+/// Removes the partial artifacts of a failed **un-journaled** build: the
+/// spill scratch directory and any committed inverted-index files — but
+/// only when no `meta.json` marks the directory as a previously completed
+/// index (clobbering a prior build's files after a failed rebuild would
+/// make a bad situation worse). Cleanup failures are surfaced as warnings
+/// rather than masking the original build error.
+fn clean_failed_build(dir: &Path, spill_dir: &Path, k: usize) {
+    if spill_dir.exists() {
+        if let Err(e) = std::fs::remove_dir_all(spill_dir) {
+            eprintln!(
+                "warning: could not remove spill scratch {}: {e}",
+                spill_dir.display()
+            );
+        }
+    }
+    if dir.join(crate::disk::META_FILE).exists() {
+        return;
+    }
+    for func in 0..k {
+        let path = inv_file_path(dir, func);
+        if path.exists() {
+            remove_file_warn(&path);
+        }
     }
 }
 

@@ -1,0 +1,167 @@
+//! Garbage collection of build residue left by crashed runs.
+//!
+//! A crash can strand three kinds of garbage: the `tmp_spill/` directory of
+//! an external build, a `build.journal` whose build will never resume, and
+//! `.{name}.{pid}.{seq}.tmp` temporaries from interrupted
+//! [`ndss_durable::AtomicFile`] publications. Rather than accumulating
+//! silently, they are swept at the natural ownership-transfer points —
+//! build start, [`crate::DiskIndex::open`], and
+//! [`crate::GenerationStore::open`] — with every removed file counted in
+//! the `index.gc_files` counter so operators can see a crashy environment
+//! in the metrics.
+//!
+//! The one thing GC must never do is destroy *resumable* state: a valid
+//! journal plus its spill files is exactly what `--resume` needs, so the
+//! open-path sweep leaves them alone and only a fresh (non-resume) build —
+//! the explicit decision to start over — clears them.
+
+use std::path::Path;
+
+use ndss_obs::Counter;
+
+use crate::build::SPILL_DIR;
+use crate::journal::JOURNAL_FILE;
+
+/// Handle to the `index.gc_files` counter.
+pub(crate) fn gc_counter() -> Counter {
+    ndss_obs::Registry::global().counter(
+        "index.gc_files",
+        "stale build artifacts (spill files, journals, atomic-write temps) removed by gc",
+    )
+}
+
+/// Whether `name` matches the `AtomicFile` temp pattern
+/// (`.{stem}.{pid}.{seq}.tmp`).
+fn is_atomic_temp(name: &str) -> bool {
+    name.starts_with('.') && name.ends_with(".tmp")
+}
+
+/// Removes interrupted atomic-write temporaries directly inside `dir`.
+/// Returns the number of files removed; IO errors are reported as warnings
+/// rather than failing the caller (the garbage is inert).
+pub(crate) fn sweep_atomic_temps(dir: &Path) -> u64 {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return 0,
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !is_atomic_temp(name) || !entry.path().is_file() {
+            continue;
+        }
+        match std::fs::remove_file(entry.path()) {
+            Ok(()) => removed += 1,
+            Err(e) => eprintln!(
+                "warning: gc could not remove {}: {e}",
+                entry.path().display()
+            ),
+        }
+    }
+    removed
+}
+
+/// Counts the regular files under `path` (recursively), so directory
+/// removal can report how much garbage it reclaimed.
+fn count_files(path: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(path) else {
+        return 0;
+    };
+    let mut n = 0;
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            n += count_files(&p);
+        } else {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Removes a stale `tmp_spill/` directory and `build.journal` from `dir`.
+/// Callers decide *when* this is safe (fresh build start, or open with no
+/// valid journal); this only performs the removal. Returns files removed.
+pub(crate) fn sweep_build_residue(dir: &Path) -> u64 {
+    let mut removed = 0;
+    let spill = dir.join(SPILL_DIR);
+    if spill.is_dir() {
+        let files = count_files(&spill);
+        match std::fs::remove_dir_all(&spill) {
+            Ok(()) => removed += files,
+            Err(e) => eprintln!("warning: gc could not remove {}: {e}", spill.display()),
+        }
+    }
+    let journal = dir.join(JOURNAL_FILE);
+    if journal.is_file() {
+        match std::fs::remove_file(&journal) {
+            Ok(()) => removed += 1,
+            Err(e) => eprintln!("warning: gc could not remove {}: {e}", journal.display()),
+        }
+    }
+    removed
+}
+
+/// Open-path sweep for an index directory: always clears interrupted
+/// atomic-write temps; clears spill + journal residue only when no journal
+/// is present at all (a journal — even a corrupt one — marks state a
+/// `--resume` or a human may still want). Counts into `index.gc_files`.
+pub(crate) fn sweep_on_open(dir: &Path) {
+    let mut removed = sweep_atomic_temps(dir);
+    if !dir.join(JOURNAL_FILE).exists() && dir.join(SPILL_DIR).is_dir() {
+        removed += sweep_build_residue(dir);
+    }
+    if removed > 0 {
+        gc_counter().inc(removed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ndss_gc_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn temp_pattern_matches_only_atomic_temps() {
+        assert!(is_atomic_temp(".meta.json.123.0.tmp"));
+        assert!(!is_atomic_temp("meta.json"));
+        assert!(!is_atomic_temp("inv_0.ndsi"));
+        assert!(!is_atomic_temp(".hidden"));
+    }
+
+    #[test]
+    fn sweep_removes_temps_and_residue_but_not_artifacts() {
+        let dir = temp_dir("sweep");
+        std::fs::write(dir.join(".meta.json.99.1.tmp"), b"x").unwrap();
+        std::fs::write(dir.join("meta.json"), b"keep").unwrap();
+        std::fs::create_dir_all(dir.join(SPILL_DIR)).unwrap();
+        std::fs::write(dir.join(SPILL_DIR).join("f0_l0_p0.spill"), b"y").unwrap();
+        sweep_on_open(&dir);
+        assert!(!dir.join(".meta.json.99.1.tmp").exists());
+        assert!(!dir.join(SPILL_DIR).exists());
+        assert!(dir.join("meta.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_preserves_resumable_state() {
+        let dir = temp_dir("resumable");
+        std::fs::create_dir_all(dir.join(SPILL_DIR)).unwrap();
+        std::fs::write(dir.join(SPILL_DIR).join("f0_l0_p0.spill"), b"y").unwrap();
+        // Any journal file — valid or not — marks the spill dir as spoken
+        // for; only an explicit fresh build clears it.
+        std::fs::write(dir.join(JOURNAL_FILE), b"{}").unwrap();
+        sweep_on_open(&dir);
+        assert!(dir.join(SPILL_DIR).join("f0_l0_p0.spill").exists());
+        assert!(dir.join(JOURNAL_FILE).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -48,7 +48,10 @@ pub mod cache;
 pub mod codec;
 pub mod disk;
 pub mod format;
+mod gc;
+pub mod generation;
 mod integrity;
+pub mod journal;
 pub mod memory;
 pub mod merge;
 mod metrics;
@@ -57,8 +60,10 @@ mod pread;
 pub use build::{build_and_write, write_memory_index, ExternalIndexBuilder};
 pub use cache::CacheConfig;
 pub use disk::{inv_file_path, DiskIndex};
+pub use generation::{resolve_index_dir, GenerationInfo, GenerationStore};
+pub use journal::{BuildJournal, JournalKind, KillPoints};
 pub use memory::MemoryIndex;
-pub use merge::merge_indexes;
+pub use merge::{merge_indexes, merge_indexes_with, MergeOptions};
 pub use pread::{FaultConfig, FaultStats, ReadOptions, RetryPolicy};
 
 use ndss_corpus::TextId;

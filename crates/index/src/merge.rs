@@ -16,22 +16,90 @@
 //! `s + 1`.
 
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::build::ListWriter;
 use crate::disk::{inv_file_path, AnyFileReader, DiskIndex};
-use crate::{IndexConfig, IndexError, IoStats};
+use crate::journal::{self, BuildJournal, JournalKind, KillPoints};
+use crate::{gc, IndexConfig, IndexError, IoStats};
+
+/// Knobs for [`merge_indexes_with`]: journaling, resume, and (in tests) a
+/// deterministic crash injector. Mirrors the corresponding options on
+/// [`crate::ExternalIndexBuilder`].
+#[derive(Debug, Clone)]
+pub struct MergeOptions {
+    use_journal: bool,
+    resume: bool,
+    kill: Option<Arc<KillPoints>>,
+}
+
+impl Default for MergeOptions {
+    fn default() -> Self {
+        Self {
+            use_journal: true,
+            resume: false,
+            kill: None,
+        }
+    }
+}
+
+impl MergeOptions {
+    /// Default options: journal on, fresh merge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables (default) or disables the crash-safe merge journal.
+    pub fn journal(mut self, on: bool) -> Self {
+        self.use_journal = on;
+        self
+    }
+
+    /// Continues an interrupted journaled merge: committed per-function
+    /// outputs are kept, the in-flight function is re-merged from the
+    /// (untouched) inputs. With no journal on disk this degrades to a fresh
+    /// merge.
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    /// Installs a deterministic crash injector; a fired injector behaves
+    /// like a hard crash (no cleanup). Test harnesses only.
+    pub fn kill_points(mut self, kill: Arc<KillPoints>) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+}
 
 /// Merges the index directories `inputs` (in shard order) into `out_dir`.
 ///
 /// All inputs must share the same `k`, `t`, seed, hash family, and zone-map
 /// parameters; text ids are re-based by cumulative shard sizes. Returns the
-/// opened merged index.
+/// opened merged index. Equivalent to [`merge_indexes_with`] with default
+/// options (journal on).
 pub fn merge_indexes(inputs: &[&Path], out_dir: &Path) -> Result<DiskIndex, IndexError> {
+    merge_indexes_with(inputs, out_dir, &MergeOptions::default())
+}
+
+/// [`merge_indexes`] with explicit [`MergeOptions`].
+///
+/// The merge journal records which functions' output files have committed
+/// (each commits atomically at `finish()`), keyed by a fingerprint over the
+/// input metadata and paths; resume skips committed functions and re-merges
+/// the rest from the inputs, which the merge never modifies — so a resumed
+/// merge is byte-identical to an uninterrupted one.
+pub fn merge_indexes_with(
+    inputs: &[&Path],
+    out_dir: &Path,
+    options: &MergeOptions,
+) -> Result<DiskIndex, IndexError> {
     if inputs.is_empty() {
         return Err(IndexError::Malformed("no input indexes to merge".into()));
     }
     // Load and validate configurations.
     let mut configs = Vec::with_capacity(inputs.len());
+    let mut metas = Vec::with_capacity(inputs.len());
     for dir in inputs {
         let meta = std::fs::read_to_string(dir.join(crate::disk::META_FILE))
             .map_err(|e| IndexError::Malformed(format!("{}: {e}", dir.display())))?;
@@ -39,6 +107,7 @@ pub fn merge_indexes(inputs: &[&Path], out_dir: &Path) -> Result<DiskIndex, Inde
             IndexError::Malformed(format!("bad meta.json in {}: {e}", dir.display()))
         })?;
         configs.push(config);
+        metas.push(meta);
     }
     let base = &configs[0];
     for (i, c) in configs.iter().enumerate().skip(1) {
@@ -72,56 +141,161 @@ pub fn merge_indexes(inputs: &[&Path], out_dir: &Path) -> Result<DiskIndex, Inde
     }
 
     let _span = ndss_obs::span("index.merge");
-    let postings_written = crate::build::build_postings_counter();
     let fsyncs_before = ndss_durable::fsync_count();
     std::fs::create_dir_all(out_dir)?;
-    let stats = IoStats::default();
-    for func in 0..base.k {
-        let readers: Vec<AnyFileReader> = inputs
-            .iter()
-            .map(|dir| AnyFileReader::open(&inv_file_path(dir, func)))
-            .collect::<Result<_, _>>()?;
-        let mut writer = ListWriter::create(&inv_file_path(out_dir, func), func as u32, base)?;
-        // K-way merge over the sorted directories by (hash, shard order).
-        let mut cursors = vec![0usize; readers.len()];
-        let mut merged: Vec<crate::Posting> = Vec::new();
-        loop {
-            // The smallest hash any reader still has.
-            let mut next_hash = None;
-            for (r, reader) in readers.iter().enumerate() {
-                if let Some(h) = reader.hash_at(cursors[r]) {
-                    next_hash = Some(match next_hash {
-                        None => h,
-                        Some(best) if h < best => h,
-                        Some(best) => best,
-                    });
-                }
-            }
-            let Some(hash) = next_hash else { break };
-            merged.clear();
-            for (r, reader) in readers.iter().enumerate() {
-                if reader.hash_at(cursors[r]) != Some(hash) {
-                    continue;
-                }
-                let postings = reader.read_list_by_hash(hash, &stats)?;
-                let offset = offsets[r];
-                merged.extend(postings.into_iter().map(|mut p| {
-                    p.text += offset;
-                    p
-                }));
-                cursors[r] += 1;
-            }
-            writer.write_list(hash, &merged)?;
-            postings_written.inc(merged.len() as u64);
-        }
-        writer.finish()?;
+
+    // The fingerprint covers every input's metadata (hence corpus
+    // dimensions and configuration) and the input paths in shard order —
+    // resuming a merge of a *different* shard list must be refused.
+    let mut parts: Vec<String> = vec!["merge".to_string()];
+    for (dir, meta) in inputs.iter().zip(&metas) {
+        parts.push(dir.display().to_string());
+        parts.push(meta.clone());
     }
-    let mut merged_config = base.clone();
-    merged_config.num_texts = total_texts as usize;
-    merged_config.total_tokens = total_tokens;
-    DiskIndex::write_meta(out_dir, &merged_config)?;
+    let part_refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    let fingerprint = journal::fingerprint(&part_refs);
+
+    let mut state = if options.resume {
+        match BuildJournal::load(out_dir)? {
+            Some(loaded) => {
+                if loaded.kind != JournalKind::Merge {
+                    return Err(IndexError::Malformed(format!(
+                        "{}: journal belongs to an external build, not a merge",
+                        out_dir.display()
+                    )));
+                }
+                if loaded.fingerprint != fingerprint {
+                    return Err(IndexError::Malformed(format!(
+                        "{}: journal was written for different merge inputs; \
+                         re-run without --resume to start over",
+                        out_dir.display()
+                    )));
+                }
+                loaded
+            }
+            None => BuildJournal::new(JournalKind::Merge, fingerprint),
+        }
+    } else {
+        let removed = gc::sweep_build_residue(out_dir) + gc::sweep_atomic_temps(out_dir);
+        if removed > 0 {
+            gc::gc_counter().inc(removed);
+        }
+        BuildJournal::new(JournalKind::Merge, fingerprint)
+    };
+
+    let outcome = (|| {
+        if options.use_journal && state.funcs_done.is_empty() {
+            journal::tick_checkpoint(&options.kill)?;
+            state.save(out_dir)?;
+            journal::tick_checkpoint(&options.kill)?;
+        }
+        for func in 0..base.k {
+            if state.funcs_done.contains(&func) {
+                continue; // committed by the interrupted run
+            }
+            merge_one_function(inputs, out_dir, base, &offsets, func, &options.kill)?;
+            if options.use_journal {
+                state.funcs_done.insert(func);
+                journal::tick_checkpoint(&options.kill)?;
+                state.save(out_dir)?;
+                journal::tick_checkpoint(&options.kill)?;
+            }
+        }
+        journal::tick_checkpoint(&options.kill)?;
+        let mut merged_config = base.clone();
+        merged_config.num_texts = total_texts as usize;
+        merged_config.total_tokens = total_tokens;
+        DiskIndex::write_meta(out_dir, &merged_config)?;
+        journal::tick_checkpoint(&options.kill)?;
+        if options.use_journal {
+            BuildJournal::remove(out_dir)?;
+        }
+        journal::tick_checkpoint(&options.kill)?;
+        Ok(())
+    })();
+    if let Err(e) = outcome {
+        if options.kill.as_ref().is_some_and(|kp| kp.fired()) {
+            return Err(e); // simulated hard crash: touch nothing
+        }
+        if !options.use_journal {
+            clean_failed_merge(out_dir, base.k);
+        }
+        return Err(e);
+    }
     crate::build::record_build_fsyncs(fsyncs_before);
     DiskIndex::open(out_dir)
+}
+
+/// K-way merges one hash function's lists from every input into the output
+/// file. The output commits atomically at `finish()`, so this is the unit
+/// of resumable work.
+fn merge_one_function(
+    inputs: &[&Path],
+    out_dir: &Path,
+    base: &IndexConfig,
+    offsets: &[u32],
+    func: usize,
+    kill: &Option<Arc<KillPoints>>,
+) -> Result<(), IndexError> {
+    let postings_written = crate::build::build_postings_counter();
+    let stats = IoStats::default();
+    let readers: Vec<AnyFileReader> = inputs
+        .iter()
+        .map(|dir| AnyFileReader::open(&inv_file_path(dir, func)))
+        .collect::<Result<_, _>>()?;
+    let mut writer = ListWriter::create(&inv_file_path(out_dir, func), func as u32, base)?;
+    // K-way merge over the sorted directories by (hash, shard order).
+    let mut cursors = vec![0usize; readers.len()];
+    let mut merged: Vec<crate::Posting> = Vec::new();
+    loop {
+        // The smallest hash any reader still has.
+        let mut next_hash = None;
+        for (r, reader) in readers.iter().enumerate() {
+            if let Some(h) = reader.hash_at(cursors[r]) {
+                next_hash = Some(match next_hash {
+                    None => h,
+                    Some(best) if h < best => h,
+                    Some(best) => best,
+                });
+            }
+        }
+        let Some(hash) = next_hash else { break };
+        journal::tick_io(kill)?;
+        merged.clear();
+        for (r, reader) in readers.iter().enumerate() {
+            if reader.hash_at(cursors[r]) != Some(hash) {
+                continue;
+            }
+            let postings = reader.read_list_by_hash(hash, &stats)?;
+            let offset = offsets[r];
+            merged.extend(postings.into_iter().map(|mut p| {
+                p.text += offset;
+                p
+            }));
+            cursors[r] += 1;
+        }
+        writer.write_list(hash, &merged)?;
+        postings_written.inc(merged.len() as u64);
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+/// Removes the partial outputs of a failed un-journaled merge, unless a
+/// `meta.json` marks the directory as an already-complete index. Failures
+/// are warnings — the merge error is the story.
+fn clean_failed_merge(out_dir: &Path, k: usize) {
+    if out_dir.join(crate::disk::META_FILE).exists() {
+        return;
+    }
+    for func in 0..k {
+        let path = inv_file_path(out_dir, func);
+        if path.exists() {
+            if let Err(e) = std::fs::remove_file(&path) {
+                eprintln!("warning: could not remove partial {}: {e}", path.display());
+            }
+        }
+    }
 }
 
 #[cfg(test)]

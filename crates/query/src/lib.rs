@@ -57,6 +57,7 @@ pub mod interval;
 mod metrics;
 pub mod planner;
 pub mod search;
+pub mod serving;
 
 pub use batch::{BatchSearcher, FailurePolicy};
 pub use collision::{collision_count, Rectangle};
@@ -67,6 +68,7 @@ pub use planner::{plan_query, QueryPlan};
 pub use search::{
     NearDupSearcher, PrefixFilter, QueryStats, RankedMatch, SearchOutcome, TextMatch,
 };
+pub use serving::{ServingIndex, ServingSearcher};
 
 /// Errors raised during query processing.
 #[derive(Debug)]

@@ -1,0 +1,204 @@
+//! Hot-swappable serving: queries against a generational index store with
+//! zero-downtime `reload()`.
+//!
+//! [`crate::BatchSearcher`] borrows its index for a lifetime, which is the
+//! right shape for one-shot evaluation runs but cannot swap the index out
+//! from under live traffic. [`ServingIndex`] closes that gap: it owns the
+//! current generation behind an `Arc` and re-resolves the store's `CURRENT`
+//! pointer on [`ServingIndex::reload`]. Queries *pin* a snapshot for their
+//! entire execution — a batch runs start to finish against one generation,
+//! so no query ever observes postings from two generations — while new
+//! queries arriving after a reload see the new generation immediately. The
+//! old generation's memory and file handles drop when its last in-flight
+//! query finishes (plain `Arc` reference counting; there is no explicit
+//! drain step to get wrong).
+//!
+//! Observability: the `index.generation` gauge tracks the serving
+//! generation number and the `index.reloads` counter every completed swap,
+//! so a fleet dashboard shows exactly which generation each process serves.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+
+use ndss_hash::TokenId;
+use ndss_index::generation::{parse_generation_name, resolve_index_dir};
+use ndss_index::{CacheConfig, DiskIndex};
+
+use crate::batch::BatchSearcher;
+use crate::search::{NearDupSearcher, PrefixFilter, SearchOutcome};
+use crate::QueryError;
+
+struct ServingState {
+    index: Arc<DiskIndex>,
+    /// Directory the current index was opened from (identity for change
+    /// detection on reload).
+    dir: PathBuf,
+    /// Generation number when serving from a store, `None` for a plain
+    /// index directory.
+    generation: Option<u64>,
+}
+
+/// An index handle that can be atomically re-pointed at a new generation
+/// while queries are in flight.
+pub struct ServingIndex {
+    /// Store root (or plain index directory) reloads re-resolve.
+    path: PathBuf,
+    cache: CacheConfig,
+    state: RwLock<ServingState>,
+    generation_gauge: ndss_obs::Gauge,
+    reload_counter: ndss_obs::Counter,
+}
+
+impl ServingIndex {
+    /// Opens the index at `path` — either a generation store (its `CURRENT`
+    /// generation is served) or a plain index directory.
+    pub fn open(path: &Path) -> Result<Self, QueryError> {
+        Self::open_with_cache(path, CacheConfig::default())
+    }
+
+    /// [`Self::open`] with explicit cache sizing. Each generation gets its
+    /// own caches (postings cached under one generation must not be served
+    /// under another).
+    pub fn open_with_cache(path: &Path, cache: CacheConfig) -> Result<Self, QueryError> {
+        let reg = ndss_obs::Registry::global();
+        let generation_gauge = reg.gauge(
+            "index.generation",
+            "generation number currently being served (0 for a plain index directory)",
+        );
+        let reload_counter = reg.counter(
+            "index.reloads",
+            "completed hot swaps to a new index generation",
+        );
+        let state = Self::load_state(path, cache)?;
+        generation_gauge.set(state.generation.unwrap_or(0) as i64);
+        Ok(Self {
+            path: path.to_path_buf(),
+            cache,
+            state: RwLock::new(state),
+            generation_gauge,
+            reload_counter,
+        })
+    }
+
+    fn load_state(path: &Path, cache: CacheConfig) -> Result<ServingState, QueryError> {
+        let dir = resolve_index_dir(path);
+        let generation = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(parse_generation_name);
+        let index = Arc::new(DiskIndex::open_with_cache(&dir, cache)?);
+        Ok(ServingState {
+            index,
+            dir,
+            generation,
+        })
+    }
+
+    /// The snapshot new queries would use right now. Callers hold the `Arc`
+    /// for the duration of a query (or batch), pinning that generation —
+    /// a concurrent reload never changes an execution in progress.
+    pub fn snapshot(&self) -> Arc<DiskIndex> {
+        self.state.read().unwrap().index.clone()
+    }
+
+    /// The generation number being served (`None` for a plain directory).
+    pub fn generation(&self) -> Option<u64> {
+        self.state.read().unwrap().generation
+    }
+
+    /// The directory the serving snapshot was opened from.
+    pub fn serving_dir(&self) -> PathBuf {
+        self.state.read().unwrap().dir.clone()
+    }
+
+    /// Re-resolves the store's `CURRENT` pointer and, if it moved, opens
+    /// the new generation and swaps it in. Returns `true` when a swap
+    /// happened. In-flight queries keep their pinned snapshot; the old
+    /// generation is dropped when the last of them finishes. The new
+    /// generation is fully opened (headers validated) *before* the swap, so
+    /// a bad generation leaves serving untouched and returns the error.
+    pub fn reload(&self) -> Result<bool, QueryError> {
+        let target = resolve_index_dir(&self.path);
+        {
+            let state = self.state.read().unwrap();
+            if state.dir == target {
+                return Ok(false);
+            }
+        }
+        let fresh = Self::load_state(&self.path, self.cache)?;
+        let generation = fresh.generation;
+        // Double-checked under the write lock: two concurrent reloads to
+        // the same target swap once each, harmlessly, to the same index.
+        *self.state.write().unwrap() = fresh;
+        self.generation_gauge.set(generation.unwrap_or(0) as i64);
+        self.reload_counter.inc(1);
+        Ok(true)
+    }
+}
+
+/// A long-lived searcher over a [`ServingIndex`]: the owning counterpart of
+/// [`BatchSearcher`], safe to keep across generation swaps.
+///
+/// Every call pins one snapshot for its whole execution, so a batch's
+/// results are bit-identical to running it against whichever generation was
+/// current when the call started — reloads concurrent with the batch take
+/// effect for the *next* call.
+pub struct ServingSearcher {
+    index: Arc<ServingIndex>,
+    filter: PrefixFilter,
+    threads: usize,
+}
+
+impl ServingSearcher {
+    /// A serving searcher with prefix filtering disabled.
+    pub fn new(index: Arc<ServingIndex>) -> Self {
+        Self::with_prefix_filter(index, PrefixFilter::Disabled)
+    }
+
+    /// A serving searcher with the given prefix-filtering policy.
+    pub fn with_prefix_filter(index: Arc<ServingIndex>, filter: PrefixFilter) -> Self {
+        Self {
+            index,
+            filter,
+            threads: ndss_parallel::default_threads(),
+        }
+    }
+
+    /// Pins the worker-thread count for batch calls.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The underlying serving index (for `snapshot()` / `generation()`).
+    pub fn index(&self) -> &Arc<ServingIndex> {
+        &self.index
+    }
+
+    /// Hot-swaps to the store's current generation; see
+    /// [`ServingIndex::reload`].
+    pub fn reload(&self) -> Result<bool, QueryError> {
+        self.index.reload()
+    }
+
+    /// Runs one query at threshold `theta` against the current generation.
+    pub fn search(&self, query: &[TokenId], theta: f64) -> Result<SearchOutcome, QueryError> {
+        let snapshot = self.index.snapshot();
+        let searcher = NearDupSearcher::with_prefix_filter(&*snapshot, self.filter)?;
+        searcher.search(query, theta)
+    }
+
+    /// Runs every query at threshold `theta`, all against the single
+    /// generation that was current when the call started; `results[i]`
+    /// corresponds to `queries[i]`.
+    pub fn search_all(
+        &self,
+        queries: &[Vec<TokenId>],
+        theta: f64,
+    ) -> Result<Vec<SearchOutcome>, QueryError> {
+        let snapshot = self.index.snapshot();
+        let batch =
+            BatchSearcher::with_prefix_filter(&*snapshot, self.filter)?.threads(self.threads);
+        batch.search_all(queries, theta)
+    }
+}

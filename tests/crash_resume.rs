@@ -1,0 +1,365 @@
+//! Kill-point fault-injection sweep over the journaled build pipelines.
+//!
+//! The builders expose two families of deterministic crash sites (see
+//! `ndss::index::KillPoints`): *checkpoints* bracketing every journal
+//! publication, and fine-grained *IO points* (per text spilled, per
+//! partition aggregated, per list merged). The harness first runs a
+//! counting pass to learn how many sites a given build exposes, then
+//! crashes at **every** checkpoint and a seeded sample of IO points,
+//! resumes with `--resume` semantics, and requires the resumed directory to
+//! be **byte-identical** to an uninterrupted build — on both the
+//! fixed-width (v3) and compressed (v4) index formats, for the external
+//! build and the k-way merge alike.
+//!
+//! Builds run serially (`parallel(false)`): the sweep's determinism
+//! contract is that crash site `n` means the same on-disk state on every
+//! run, which thread scheduling would break.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use ndss::index::{build_and_write, BuildJournal, ExternalIndexBuilder, KillPoints};
+use ndss::prelude::*;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ndss_it_crash").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every file under `dir` (recursively), relative path → contents.
+fn dir_files(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path.strip_prefix(root).unwrap();
+                out.insert(
+                    rel.to_string_lossy().into_owned(),
+                    std::fs::read(&path).unwrap(),
+                );
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+/// Asserts `dir` holds exactly the reference files: same names, same bytes,
+/// and in particular no leftover journal or spill state.
+fn assert_same_files(context: &str, dir: &Path, reference: &BTreeMap<String, Vec<u8>>) {
+    let got = dir_files(dir);
+    let got_names: Vec<&String> = got.keys().collect();
+    let want_names: Vec<&String> = reference.keys().collect();
+    assert_eq!(
+        got_names, want_names,
+        "{context}: file set differs from uninterrupted build"
+    );
+    for (name, bytes) in reference {
+        assert_eq!(
+            &got[name], bytes,
+            "{context}: {name} differs from uninterrupted build"
+        );
+    }
+}
+
+fn small_corpus() -> InMemoryCorpus {
+    let (corpus, _) = SyntheticCorpusBuilder::new(91)
+        .num_texts(16)
+        .vocab_size(400)
+        .build();
+    corpus
+}
+
+fn config(compress: bool) -> IndexConfig {
+    IndexConfig::new(3, 20, 11).compressed(compress)
+}
+
+/// A serial external builder with budgets small enough to exercise
+/// multiple spill batches *and* recursive re-partitioning.
+fn builder(compress: bool) -> ExternalIndexBuilder {
+    ExternalIndexBuilder::new(config(compress))
+        .batch_tokens(1500)
+        .memory_budget(1 << 12)
+        .parallel(false)
+}
+
+/// ~`samples` indices spread evenly over `0..total`, deduplicated.
+fn spread(total: u64, samples: u64) -> Vec<u64> {
+    let mut points: Vec<u64> = (0..samples)
+        .map(|i| i * total / samples)
+        .filter(|&n| n < total)
+        .collect();
+    points.dedup();
+    points
+}
+
+fn external_build_sweep(compress: bool) {
+    let version = if compress { "v4" } else { "v3" };
+    let corpus = small_corpus();
+
+    // Uninterrupted reference build (journal on, like every real build).
+    let clean_dir = temp_dir(&format!("ext_{version}_clean"));
+    builder(compress).build(&corpus, &clean_dir).unwrap();
+    let reference = dir_files(&clean_dir);
+    assert!(
+        !reference.contains_key("build.journal"),
+        "a completed build must remove its journal"
+    );
+
+    // Counting pass: learn how many crash sites this build exposes, and
+    // check that the injector itself doesn't perturb the output.
+    let count = KillPoints::count_only();
+    let count_dir = temp_dir(&format!("ext_{version}_count"));
+    builder(compress)
+        .kill_points(count.clone())
+        .build(&corpus, &count_dir)
+        .unwrap();
+    let (checkpoints, io_points) = (count.checkpoints_seen(), count.io_seen());
+    assert!(
+        checkpoints >= 10,
+        "{version}: expected a multi-checkpoint build, saw {checkpoints}"
+    );
+    assert!(
+        io_points > checkpoints,
+        "{version}: IO points should be finer-grained than checkpoints"
+    );
+    assert_same_files(&format!("{version} counting pass"), &count_dir, &reference);
+
+    let sweep = |crash_at: &dyn Fn() -> std::sync::Arc<KillPoints>, label: String| {
+        let dir = temp_dir(&format!("ext_{version}_sweep"));
+        let kp = crash_at();
+        let err = builder(compress)
+            .kill_points(kp.clone())
+            .build(&corpus, &dir)
+            .expect_err(&format!("{label}: build must crash"));
+        assert!(kp.fired(), "{label}: injector did not fire");
+        assert!(
+            err.to_string().contains("injected crash"),
+            "{label}: unexpected error {err}"
+        );
+        // Resume exactly as `ndss index --resume` would: same parameters,
+        // no injector.
+        builder(compress)
+            .resume(true)
+            .build(&corpus, &dir)
+            .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
+        assert_same_files(&label, &dir, &reference);
+    };
+
+    for n in 0..checkpoints {
+        sweep(
+            &|| KillPoints::at_checkpoint(n),
+            format!("{version} checkpoint {n}"),
+        );
+    }
+    for n in spread(io_points, 12) {
+        sweep(&|| KillPoints::at_io(n), format!("{version} io {n}"));
+    }
+
+    for name in ["ext_{v}_clean", "ext_{v}_count", "ext_{v}_sweep"] {
+        let dir = std::env::temp_dir()
+            .join("ndss_it_crash")
+            .join(name.replace("{v}", version));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn external_build_resumes_byte_identical_fixed_width() {
+    external_build_sweep(false);
+}
+
+#[test]
+fn external_build_resumes_byte_identical_compressed() {
+    external_build_sweep(true);
+}
+
+// ---------------------------------------------------------------------------
+// Merge under injected crash.
+// ---------------------------------------------------------------------------
+
+fn build_shards(compress: bool, root: &Path) -> (PathBuf, PathBuf) {
+    let corpus = small_corpus();
+    let all: Vec<Vec<u32>> = (0..16u32).map(|i| corpus.text(i).to_vec()).collect();
+    let a = InMemoryCorpus::from_texts(all[..8].to_vec());
+    let b = InMemoryCorpus::from_texts(all[8..].to_vec());
+    let dir_a = root.join("shard_a");
+    let dir_b = root.join("shard_b");
+    std::fs::create_dir_all(&dir_a).unwrap();
+    std::fs::create_dir_all(&dir_b).unwrap();
+    build_and_write(&a, config(compress), &dir_a, false).unwrap();
+    build_and_write(&b, config(compress), &dir_b, false).unwrap();
+    (dir_a, dir_b)
+}
+
+fn merge_sweep(compress: bool) {
+    let version = if compress { "v4" } else { "v3" };
+    let root = temp_dir(&format!("merge_{version}"));
+    let (dir_a, dir_b) = build_shards(compress, &root);
+    let inputs: Vec<&Path> = vec![&dir_a, &dir_b];
+
+    let clean_dir = root.join("clean");
+    ndss::index::merge_indexes_with(&inputs, &clean_dir, &MergeOptions::new()).unwrap();
+    let reference = dir_files(&clean_dir);
+
+    let count = KillPoints::count_only();
+    let count_dir = root.join("count");
+    ndss::index::merge_indexes_with(
+        &inputs,
+        &count_dir,
+        &MergeOptions::new().kill_points(count.clone()),
+    )
+    .unwrap();
+    let (checkpoints, io_points) = (count.checkpoints_seen(), count.io_seen());
+    assert!(
+        checkpoints >= 5,
+        "{version} merge: saw only {checkpoints} checkpoints"
+    );
+    assert_same_files(
+        &format!("{version} merge counting pass"),
+        &count_dir,
+        &reference,
+    );
+
+    let sweep = |kp: std::sync::Arc<KillPoints>, label: String| {
+        let dir = root.join("sweep");
+        std::fs::remove_dir_all(&dir).ok();
+        let err = ndss::index::merge_indexes_with(
+            &inputs,
+            &dir,
+            &MergeOptions::new().kill_points(kp.clone()),
+        )
+        .expect_err(&format!("{label}: merge must crash"));
+        assert!(kp.fired(), "{label}: injector did not fire");
+        assert!(
+            err.to_string().contains("injected crash"),
+            "{label}: unexpected error {err}"
+        );
+        ndss::index::merge_indexes_with(&inputs, &dir, &MergeOptions::new().resume(true))
+            .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
+        assert_same_files(&label, &dir, &reference);
+    };
+
+    for n in 0..checkpoints {
+        sweep(
+            KillPoints::at_checkpoint(n),
+            format!("{version} merge checkpoint {n}"),
+        );
+    }
+    for n in spread(io_points, 8) {
+        sweep(KillPoints::at_io(n), format!("{version} merge io {n}"));
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn merge_resumes_byte_identical_fixed_width() {
+    merge_sweep(false);
+}
+
+#[test]
+fn merge_resumes_byte_identical_compressed() {
+    merge_sweep(true);
+}
+
+// ---------------------------------------------------------------------------
+// Resume validation and garbage collection.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn resume_rejects_mismatched_parameters() {
+    let corpus = small_corpus();
+    let dir = temp_dir("fingerprint");
+    builder(false)
+        .kill_points(KillPoints::at_checkpoint(4))
+        .build(&corpus, &dir)
+        .expect_err("build must crash");
+    assert!(BuildJournal::load(&dir).unwrap().is_some());
+    // Different spill layout (batch size) ⇒ the journal describes a
+    // different build; resuming must refuse rather than guess.
+    let err = builder(false)
+        .batch_tokens(999)
+        .resume(true)
+        .build(&corpus, &dir)
+        .expect_err("mismatched resume must be rejected");
+    assert!(
+        err.to_string().contains("journal"),
+        "expected a journal mismatch error, got: {err}"
+    );
+    // Same parameters resume fine.
+    builder(false).resume(true).build(&corpus, &dir).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_without_journal_degrades_to_fresh_build() {
+    let corpus = small_corpus();
+    let clean = temp_dir("fresh_clean");
+    builder(false).build(&corpus, &clean).unwrap();
+    let reference = dir_files(&clean);
+
+    let dir = temp_dir("fresh_resume");
+    builder(false).resume(true).build(&corpus, &dir).unwrap();
+    assert_same_files("resume with no journal", &dir, &reference);
+    std::fs::remove_dir_all(&clean).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fresh_build_sweeps_crash_residue() {
+    let corpus = small_corpus();
+    let dir = temp_dir("gc_residue");
+    // Crash a journaled build, leaving tmp_spill/ + build.journal behind.
+    builder(false)
+        .kill_points(KillPoints::at_checkpoint(3))
+        .build(&corpus, &dir)
+        .expect_err("build must crash");
+    assert!(dir.join("tmp_spill").is_dir());
+    assert!(dir.join("build.journal").is_file());
+
+    let gc_counter = ndss::obs::Registry::global().counter(
+        "index.gc_files",
+        "files and directories removed by crash-residue garbage collection",
+    );
+    let before = gc_counter.get();
+    // A *fresh* (non-resume) build discards the residue and starts over.
+    builder(false).build(&corpus, &dir).unwrap();
+    assert!(!dir.join("tmp_spill").exists());
+    assert!(!dir.join("build.journal").exists());
+    assert!(
+        gc_counter.get() > before,
+        "gc sweep must count discarded crash residue"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn interrupted_build_is_reported_resumable_and_openable_after_resume() {
+    let corpus = small_corpus();
+    let root = temp_dir("store_resume");
+    let store = GenerationStore::open(&root).unwrap();
+    let gen_dir = store.allocate().unwrap();
+    builder(false)
+        .kill_points(KillPoints::at_checkpoint(6))
+        .build(&corpus, &gen_dir)
+        .expect_err("build must crash");
+
+    // Reopening the store must keep (not GC) the resumable generation.
+    let store = GenerationStore::open(&root).unwrap();
+    let resumable = store.resumable().unwrap().expect("generation is resumable");
+    assert_eq!(root.join(&resumable.name), gen_dir);
+
+    builder(false)
+        .resume(true)
+        .build(&corpus, &gen_dir)
+        .unwrap();
+    store.publish(&resumable.name, 1).unwrap();
+    let opened = DiskIndex::open(&resolve_index_dir(&root)).unwrap();
+    opened.verify_integrity().unwrap();
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,265 @@
+//! Generational index lifecycle: publish / rollback semantics, `CURRENT`
+//! pointer atomicity under a concurrent reader, and hot swap under live
+//! batch queries.
+//!
+//! The load-bearing invariants:
+//!
+//! * `CURRENT` is only ever observed naming a complete, verified
+//!   generation — never torn, never an unverified build — because the
+//!   pointer is re-pointed with an atomic rename after `verify_integrity`.
+//! * A `ServingIndex::reload` concurrent with batch queries is invisible
+//!   to each batch: every batch's results are bit-identical to a cold open
+//!   of *one* generation (the one current when the batch started), never a
+//!   mix of two.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ndss::index::build_and_write;
+use ndss::prelude::*;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ndss_it_hotswap").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config() -> IndexConfig {
+    IndexConfig::new(8, 20, 13)
+}
+
+/// Builds a generation from `corpus` in a fresh `gen-NNNN/` and returns its
+/// name (unpublished).
+fn build_generation(store: &GenerationStore, corpus: &InMemoryCorpus) -> String {
+    let dir = store.allocate().unwrap();
+    build_and_write(corpus, config(), &dir, true).unwrap();
+    dir.file_name().unwrap().to_string_lossy().into_owned()
+}
+
+fn corpus_a() -> (InMemoryCorpus, Vec<Vec<u32>>) {
+    let (corpus, planted) = SyntheticCorpusBuilder::new(31)
+        .num_texts(20)
+        .duplicates_per_text(1.0)
+        .mutation_rate(0.0)
+        .build();
+    let queries: Vec<Vec<u32>> = planted
+        .iter()
+        .take(5)
+        .map(|p| corpus.sequence_to_vec(p.dst).unwrap())
+        .collect();
+    assert!(!queries.is_empty());
+    (corpus, queries)
+}
+
+/// Corpus A plus one extra text repeating query 0 — so at least one query
+/// has strictly more matches under generation B than under A.
+fn corpus_b(a: &InMemoryCorpus, queries: &[Vec<u32>]) -> InMemoryCorpus {
+    let mut texts: Vec<Vec<u32>> = (0..a.num_texts() as u32)
+        .map(|i| a.text(i).to_vec())
+        .collect();
+    texts.push(queries[0].clone());
+    InMemoryCorpus::from_texts(texts)
+}
+
+/// Cold-open reference: batch results against one index directory.
+fn cold_results(dir: &Path, queries: &[Vec<u32>]) -> Vec<Vec<SeqRef>> {
+    let index = DiskIndex::open(dir).unwrap();
+    let batch = BatchSearcher::new(&index).unwrap().threads(2);
+    batch
+        .search_all(queries, 0.8)
+        .unwrap()
+        .into_iter()
+        .map(|o| o.enumerate_all())
+        .collect()
+}
+
+#[test]
+fn publish_rollback_lifecycle() {
+    let root = temp_dir("lifecycle");
+    let store = GenerationStore::open(&root).unwrap();
+    let (a, _) = corpus_a();
+
+    let g0 = build_generation(&store, &a);
+    assert!(store.current().unwrap().is_none(), "nothing published yet");
+    store.publish(&g0, 1).unwrap();
+    assert_eq!(store.current().unwrap().as_deref(), Some(g0.as_str()));
+    assert_eq!(resolve_index_dir(&root), root.join(&g0));
+
+    let g1 = build_generation(&store, &a);
+    store.publish(&g1, 1).unwrap();
+    assert_eq!(store.current().unwrap().as_deref(), Some(g1.as_str()));
+    assert!(
+        root.join(&g0).is_dir(),
+        "previous generation kept for rollback"
+    );
+
+    // A third publish with keep = 1 prunes the oldest retired generation.
+    let g2 = build_generation(&store, &a);
+    store.publish(&g2, 1).unwrap();
+    assert!(!root.join(&g0).exists(), "beyond-keep generation pruned");
+    assert!(root.join(&g1).is_dir());
+
+    // Rollback with no target: newest complete generation below current.
+    assert_eq!(store.rollback(None).unwrap(), g1);
+    assert_eq!(store.current().unwrap().as_deref(), Some(g1.as_str()));
+    // Explicit rollback (forward here) re-verifies and re-points.
+    assert_eq!(store.rollback(Some(&g2)).unwrap(), g2);
+    assert_eq!(store.current().unwrap().as_deref(), Some(g2.as_str()));
+
+    // A corrupt generation can be neither published nor rolled back to.
+    let victim = std::fs::read_dir(root.join(&g1))
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "ndsi"))
+        .unwrap();
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&victim, &bytes).unwrap();
+    assert!(store.publish(&g1, 1).is_err());
+    assert!(store.rollback(Some(&g1)).is_err());
+    assert_eq!(
+        store.current().unwrap().as_deref(),
+        Some(g2.as_str()),
+        "failed publish/rollback must leave CURRENT untouched"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn current_pointer_is_never_torn_under_concurrent_reads() {
+    let root = temp_dir("torn");
+    let store = GenerationStore::open(&root).unwrap();
+    let (a, _) = corpus_a();
+    let g0 = build_generation(&store, &a);
+    let g1 = build_generation(&store, &a);
+    store.publish(&g0, 2).unwrap();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let done = done.clone();
+        let current = root.join("CURRENT");
+        let valid = [g0.clone(), g1.clone()];
+        std::thread::spawn(move || {
+            let mut reads = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let text = std::fs::read_to_string(&current)
+                    .expect("CURRENT must exist once first published");
+                let name = text.trim();
+                assert!(
+                    valid.iter().any(|v| v == name),
+                    "torn or invalid CURRENT contents: {text:?}"
+                );
+                reads += 1;
+            }
+            reads
+        })
+    };
+
+    // Flip the pointer repeatedly; every flip re-verifies the target, so
+    // the reader is racing genuine publishes, not bare renames.
+    for i in 0..20 {
+        let target = if i % 2 == 0 { &g1 } else { &g0 };
+        store.publish(target, 2).unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    let reads = reader.join().unwrap();
+    assert!(reads > 0, "reader never observed the pointer");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn reload_under_live_batch_queries_is_bit_identical_to_cold_open() {
+    let root = temp_dir("reload");
+    let store = GenerationStore::open(&root).unwrap();
+    let (a, queries) = corpus_a();
+    let b = corpus_b(&a, &queries);
+
+    let g0 = build_generation(&store, &a);
+    store.publish(&g0, 1).unwrap();
+    let ref_a = cold_results(&root.join(&g0), &queries);
+
+    let serving = Arc::new(ServingIndex::open(&root).unwrap());
+    assert_eq!(serving.generation(), Some(0));
+
+    // Workers hammer the serving index across the swap; every batch result
+    // must equal a cold open of exactly one generation.
+    let done = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let serving = serving.clone();
+            let queries = queries.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let searcher = ServingSearcher::new(serving).threads(2);
+                let mut batches = Vec::new();
+                while !done.load(Ordering::Relaxed) {
+                    let outcome: Vec<Vec<SeqRef>> = searcher
+                        .search_all(&queries, 0.8)
+                        .unwrap()
+                        .into_iter()
+                        .map(|o| o.enumerate_all())
+                        .collect();
+                    batches.push(outcome);
+                }
+                batches
+            })
+        })
+        .collect();
+
+    // Build, publish, and hot-swap to generation 1 while queries fly.
+    let g1 = build_generation(&store, &b);
+    store.publish(&g1, 1).unwrap();
+    let ref_b = cold_results(&resolve_index_dir(&root), &queries);
+    assert_ne!(
+        ref_a, ref_b,
+        "generations must be distinguishable by results"
+    );
+    assert!(serving.reload().unwrap(), "pointer moved, reload must swap");
+    assert_eq!(serving.generation(), Some(1));
+    assert!(!serving.reload().unwrap(), "no-op reload must not swap");
+
+    // Let the workers observe the new generation, then stop them.
+    let searcher = ServingSearcher::new(serving.clone());
+    let after: Vec<Vec<SeqRef>> = searcher
+        .search_all(&queries, 0.8)
+        .unwrap()
+        .into_iter()
+        .map(|o| o.enumerate_all())
+        .collect();
+    assert_eq!(
+        after, ref_b,
+        "post-swap queries must serve the new generation"
+    );
+    done.store(true, Ordering::Relaxed);
+
+    let mut total = 0usize;
+    for worker in workers {
+        for batch in worker.join().unwrap() {
+            assert!(
+                batch == ref_a || batch == ref_b,
+                "a batch mixed results from two generations"
+            );
+            total += 1;
+        }
+    }
+    assert!(total > 0, "workers never completed a batch");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn serving_index_on_plain_directory() {
+    let dir = temp_dir("plain");
+    let (a, queries) = corpus_a();
+    build_and_write(&a, config(), &dir, true).unwrap();
+    let serving = Arc::new(ServingIndex::open(&dir).unwrap());
+    assert_eq!(serving.generation(), None);
+    assert!(!serving.reload().unwrap(), "plain directory never swaps");
+    let searcher = ServingSearcher::new(serving);
+    let outcome = searcher.search(&queries[0], 0.8).unwrap();
+    assert!(!outcome.matches.is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
