@@ -22,6 +22,19 @@ pub fn run(args: &Args) -> Result<(), String> {
     let seed: u64 = args.get_or("seed", 7)?;
     let external = args.flag("external");
     let compress = args.flag("compress");
+    // --format v3|v4|v5 is the explicit spelling; --compress remains a
+    // shorthand for v4.
+    let (compress, packed) = match args.get("format") {
+        None => (compress, false),
+        Some("v3") => (false, false),
+        Some("v4") => (true, false),
+        Some("v5") => (false, true),
+        Some(other) => {
+            return Err(format!(
+                "invalid value for --format: {other} (expected v3, v4, or v5)"
+            ))
+        }
+    };
     let resume = args.flag("resume");
     let store_mode = args.flag("store");
     let keep: usize = args.get_or("keep", 1)?;
@@ -75,7 +88,10 @@ pub fn run(args: &Args) -> Result<(), String> {
         }
     };
 
-    let config = IndexConfig::new(k, t, seed).compressed(compress);
+    let config = IndexConfig::new(k, t, seed)
+        .compressed(compress)
+        .bit_packed(packed);
+    eprintln!("on-disk format: {}", config.format_name());
     let start = Instant::now();
     let index = if external {
         ExternalIndexBuilder::new(config)

@@ -6,6 +6,22 @@ use ndss::prelude::*;
 
 use crate::args::Args;
 
+/// Opens the index with `--mmap` honored: memory-mapped reads when the flag
+/// is present, the default pread path otherwise.
+fn open_index(args: &Args, index_dir: &str) -> Result<CorpusIndex<ndss::index::DiskIndex>, String> {
+    if args.flag("mmap") {
+        CorpusIndex::open_with(
+            Path::new(index_dir),
+            PrefixFilter::Adaptive,
+            ndss::index::CacheConfig::default(),
+            ndss::index::ReadOptions::with_mmap(),
+        )
+        .map_err(|e| e.to_string())
+    } else {
+        CorpusIndex::open(Path::new(index_dir), PrefixFilter::Adaptive).map_err(|e| e.to_string())
+    }
+}
+
 pub fn run(args: &Args) -> Result<(), String> {
     let index_dir = args.required("index")?;
     let theta: f64 = args.get_or("theta", 0.8)?;
@@ -57,8 +73,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         return Err("query is empty after tokenization".into());
     }
 
-    let index = CorpusIndex::open(Path::new(index_dir), PrefixFilter::Adaptive)
-        .map_err(|e| e.to_string())?;
+    let index = open_index(args, index_dir)?;
     let t = index.config().t;
     if query.len() < t {
         eprintln!(
@@ -218,8 +233,7 @@ fn run_batch(
         }
     };
 
-    let index = CorpusIndex::open(Path::new(index_dir), PrefixFilter::Adaptive)
-        .map_err(|e| e.to_string())?;
+    let index = open_index(args, index_dir)?;
     let threads = if threads == 0 {
         ndss::parallel::default_threads()
     } else {

@@ -217,6 +217,21 @@ impl CorpusIndex<DiskIndex> {
             prefix_filter,
         })
     }
+
+    /// Like [`CorpusIndex::open`], but with explicit cache sizing and IO
+    /// options — e.g. [`ndss_index::ReadOptions::with_mmap`] to serve warm
+    /// queries from a memory map instead of pread.
+    pub fn open_with(
+        dir: &Path,
+        prefix_filter: PrefixFilter,
+        cache: ndss_index::CacheConfig,
+        io: ndss_index::ReadOptions,
+    ) -> Result<Self, NdssError> {
+        Ok(Self {
+            index: DiskIndex::open_with_io(&ndss_index::resolve_index_dir(dir), cache, io)?,
+            prefix_filter,
+        })
+    }
 }
 
 impl<I: IndexAccess> CorpusIndex<I> {

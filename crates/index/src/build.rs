@@ -34,17 +34,21 @@ use crate::disk::{inv_file_path, DiskIndex};
 use crate::format::IndexFileWriter;
 use crate::journal::{self, BuildJournal, JournalKind, KillPoints};
 use crate::memory::MemoryIndex;
+use crate::packed::PackedFileWriter;
 use crate::{gc, IndexAccess, IndexConfig, IndexError, Posting};
 
 /// Name of the spill scratch directory an external build keeps inside its
 /// output directory.
 pub(crate) const SPILL_DIR: &str = "tmp_spill";
 
-/// Version-dispatching list writer: v1 fixed-width postings + zone maps, or
-/// v2 delta-compressed blocks, per [`IndexConfig::compress`].
+/// Version-dispatching list writer: v1 fixed-width postings + zone maps,
+/// v2 delta-compressed varint blocks ([`IndexConfig::compress`]), or v5
+/// bitpacked blocks with skip entries ([`IndexConfig::packed`], which wins
+/// when both flags are set).
 pub(crate) enum ListWriter {
     V1(IndexFileWriter),
     V2(CompressedFileWriter),
+    V5(Box<PackedFileWriter>),
 }
 
 impl ListWriter {
@@ -53,7 +57,9 @@ impl ListWriter {
         func: u32,
         config: &IndexConfig,
     ) -> Result<Self, IndexError> {
-        if config.compress {
+        if config.packed {
+            Ok(Self::V5(Box::new(PackedFileWriter::create(path, func)?)))
+        } else if config.compress {
             Ok(Self::V2(CompressedFileWriter::create(
                 path,
                 func,
@@ -77,6 +83,7 @@ impl ListWriter {
         match self {
             Self::V1(w) => w.write_list(hash, postings),
             Self::V2(w) => w.write_list(hash, postings),
+            Self::V5(w) => w.write_list(hash, postings),
         }
     }
 
@@ -84,6 +91,7 @@ impl ListWriter {
         match self {
             Self::V1(w) => w.finish(),
             Self::V2(w) => w.finish(),
+            Self::V5(w) => (*w).finish(),
         }
     }
 }

@@ -108,6 +108,9 @@ pub struct ShardedCache<V> {
     shards: Vec<Mutex<Shard<V>>>,
     /// Bit mask selecting a shard from the key hash.
     mask: usize,
+    /// Whether any shard has a nonzero budget (fixed at construction), so
+    /// hot paths can skip admission work without taking a shard lock.
+    any_budget: bool,
 }
 
 impl<V: Clone> ShardedCache<V> {
@@ -128,12 +131,14 @@ impl<V: Clone> ShardedCache<V> {
                 })
                 .collect(),
             mask: shards - 1,
+            any_budget: per_shard > 0,
         }
     }
 
-    /// Whether this cache can ever hold anything.
+    /// Whether this cache can ever hold anything. Lock-free: budgets are
+    /// fixed at construction.
     pub fn enabled(&self) -> bool {
-        self.shards.iter().any(|s| s.lock().unwrap().budget > 0)
+        self.any_budget
     }
 
     fn shard(&self, key: &Key) -> &Mutex<Shard<V>> {

@@ -24,16 +24,20 @@ use crate::cache::{CacheConfig, ShardedCache};
 use crate::codec::CompressedFileReader;
 use crate::format::{IndexFileReader, ZoneEntry};
 use crate::metrics::IndexIoMetrics;
+use crate::packed::PackedFileReader;
 use crate::pread::ReadOptions;
 use crate::{IndexAccess, IndexConfig, IndexError, IoSnapshot, IoStats, Posting};
 
 /// Version-dispatching handle to one inverted-index file: v1/v3 store
 /// fixed-width postings with optional zone maps, v2/v4 store
-/// delta-compressed blocks (see [`crate::codec`]). The version is sniffed
-/// from the header so mixed deployments can open either transparently.
+/// delta-compressed varint blocks (see [`crate::codec`]), v5 stores
+/// bitpacked SIMD-unpackable blocks with per-block skip entries (see
+/// [`crate::packed`]). The version is sniffed from the header so mixed
+/// deployments can open any of them transparently.
 pub(crate) enum AnyFileReader {
     V1(IndexFileReader),
     V2(CompressedFileReader),
+    V5(PackedFileReader),
 }
 
 impl AnyFileReader {
@@ -69,6 +73,7 @@ impl AnyFileReader {
             crate::codec::VERSION_V2 | crate::codec::VERSION_V4 => {
                 Ok(Self::V2(CompressedFileReader::open_with(path, io)?))
             }
+            crate::packed::VERSION_V5 => Ok(Self::V5(PackedFileReader::open_with(path, io)?)),
             v => Err(IndexError::Malformed(format!(
                 "unsupported index file version {v} in {}",
                 path.display()
@@ -82,6 +87,7 @@ impl AnyFileReader {
         match self {
             Self::V1(r) => r.verify(stats),
             Self::V2(r) => r.verify(stats),
+            Self::V5(r) => r.verify(stats),
         }
     }
 
@@ -89,6 +95,7 @@ impl AnyFileReader {
         match self {
             Self::V1(r) => r.func_idx(),
             Self::V2(r) => r.func_idx(),
+            Self::V5(r) => r.func_idx(),
         }
     }
 
@@ -96,6 +103,7 @@ impl AnyFileReader {
         match self {
             Self::V1(r) => r.num_postings(),
             Self::V2(r) => r.num_postings(),
+            Self::V5(r) => r.num_postings(),
         }
     }
 
@@ -103,6 +111,7 @@ impl AnyFileReader {
         match self {
             Self::V1(r) => r.find(hash).map_or(0, |e| e.count),
             Self::V2(r) => r.list_len(hash),
+            Self::V5(r) => r.list_len(hash),
         }
     }
 
@@ -111,6 +120,7 @@ impl AnyFileReader {
         match self {
             Self::V1(r) => r.dir().get(i).map(|d| d.hash),
             Self::V2(r) => r.hash_at(i),
+            Self::V5(r) => r.hash_at(i),
         }
     }
 
@@ -125,6 +135,7 @@ impl AnyFileReader {
                 None => Ok(Vec::new()),
             },
             Self::V2(r) => r.read_list(hash, stats),
+            Self::V5(r) => r.read_list(hash, stats),
         }
     }
 
@@ -140,6 +151,7 @@ impl AnyFileReader {
                 out
             }
             Self::V2(r) => r.length_histogram(),
+            Self::V5(r) => r.length_histogram(),
         }
     }
 }
@@ -312,9 +324,12 @@ impl DiskIndex {
         }
         io.record_miss();
         let postings = self.readers[func].read_list_by_hash(hash, io)?;
-        let weight = list_weight(&postings);
-        self.list_cache
-            .insert(func, hash, Arc::new(postings.clone()), weight);
+        // A disabled cache never admits anything; skip the admission clone.
+        if self.list_cache.enabled() {
+            let weight = list_weight(&postings);
+            self.list_cache
+                .insert(func, hash, Arc::new(postings.clone()), weight);
+        }
         Ok(postings)
     }
 
@@ -334,6 +349,9 @@ impl DiskIndex {
         io.record_miss();
         let reader = match &self.readers[func] {
             AnyFileReader::V2(r) => return r.read_postings_for_text(hash, text, io),
+            // V5: the per-block max-text skip entries seek the probe to the
+            // first candidate block of a long list.
+            AnyFileReader::V5(r) => return r.read_postings_for_text(hash, text, io),
             AnyFileReader::V1(r) => r,
         };
         let Some(entry) = reader.find(hash) else {

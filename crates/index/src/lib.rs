@@ -55,6 +55,7 @@ pub mod journal;
 pub mod memory;
 pub mod merge;
 mod metrics;
+pub mod packed;
 mod pread;
 
 pub use build::{build_and_write, write_memory_index, ExternalIndexBuilder};
@@ -199,6 +200,10 @@ pub struct IndexConfig {
     /// CPU for ~3–4× smaller lists — usually a win in the IO-dominated
     /// query regime. Defaults to off (v1, fixed-width postings).
     pub compress: bool,
+    /// Store posting lists as 128-entry bitpacked blocks with per-block
+    /// skip entries (file format v5, SIMD-unpacked at query time). Takes
+    /// precedence over [`Self::compress`]. Defaults to off.
+    pub packed: bool,
 }
 
 impl IndexConfig {
@@ -218,6 +223,7 @@ impl IndexConfig {
             zone_step: 256,
             zone_min_len: 1024,
             compress: false,
+            packed: false,
         }
     }
 
@@ -239,6 +245,23 @@ impl IndexConfig {
     pub fn compressed(mut self, compress: bool) -> Self {
         self.compress = compress;
         self
+    }
+
+    /// Enables or disables block-bitpacked (v5) posting storage.
+    pub fn bit_packed(mut self, packed: bool) -> Self {
+        self.packed = packed;
+        self
+    }
+
+    /// The on-disk format name new index files will use.
+    pub fn format_name(&self) -> &'static str {
+        if self.packed {
+            "v5"
+        } else if self.compress {
+            "v4"
+        } else {
+            "v3"
+        }
     }
 
     /// The hash bank this configuration describes.
@@ -264,12 +287,13 @@ impl IndexConfig {
                 Json::UInt(self.zone_min_len as u64),
             ),
             ("compress".to_string(), Json::Bool(self.compress)),
+            ("packed".to_string(), Json::Bool(self.packed)),
         ])
         .to_string_pretty()
     }
 
-    /// Parses a `meta.json` document. `compress` may be absent (older
-    /// metadata predates the field) and defaults to `false`.
+    /// Parses a `meta.json` document. `compress` and `packed` may be absent
+    /// (older metadata predates the fields) and default to `false`.
     pub fn from_json(text: &str) -> Result<Self, IndexError> {
         let malformed = |what: &str| IndexError::Malformed(format!("meta.json: {what}"));
         let doc = Json::parse(text).map_err(|e| IndexError::Malformed(e.to_string()))?;
@@ -309,6 +333,12 @@ impl IndexConfig {
                 Some(v) => v
                     .as_bool()
                     .ok_or_else(|| malformed("compress must be a bool"))?,
+            },
+            packed: match doc.get("packed") {
+                None => false,
+                Some(v) => v
+                    .as_bool()
+                    .ok_or_else(|| malformed("packed must be a bool"))?,
             },
         })
     }

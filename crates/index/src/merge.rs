@@ -117,7 +117,8 @@ pub fn merge_indexes_with(
             && c.family == base.family
             && c.zone_step == base.zone_step
             && c.zone_min_len == base.zone_min_len
-            && c.compress == base.compress;
+            && c.compress == base.compress
+            && c.packed == base.packed;
         if !compatible {
             return Err(IndexError::Malformed(format!(
                 "index {} has incompatible configuration (k/t/seed/family/zone must match shard 0)",

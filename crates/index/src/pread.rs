@@ -27,6 +27,16 @@
 //! that injects the full transient taxonomy (plus an always-failing
 //! "hard" byte range for exercising retry exhaustion), so tests can prove
 //! the retry path yields bit-identical results to fault-free runs.
+//!
+//! # Memory-mapped reads
+//!
+//! [`ReadOptions::mmap`] swaps the pread syscall for a private read-only
+//! `mmap(2)` of the whole file (vendored binding, unix only): warm queries
+//! become plain memory copies with no syscall per read. The mapping is
+//! strictly an optimization — if `mmap` fails, the platform is not unix, or
+//! a fault injector is attached (faults must flow through the read path),
+//! the handle silently falls back to positioned reads. Reads past the
+//! mapped length surface as `UnexpectedEof` exactly like pread EOF.
 
 use std::fs::File;
 use std::io;
@@ -144,15 +154,18 @@ impl FaultConfig {
     }
 }
 
-/// How index files are opened: the retry policy plus an optional fault
-/// injector. `ReadOptions::default()` is the production configuration —
-/// retries on, faults off.
+/// How index files are opened: the retry policy, an optional fault
+/// injector, and the read mechanism. `ReadOptions::default()` is the
+/// production configuration — retries on, faults off, pread.
 #[derive(Debug, Clone, Default)]
 pub struct ReadOptions {
     /// Backoff schedule for transient errors.
     pub retry: RetryPolicy,
     /// Fault injection (tests only).
     pub faults: Option<FaultConfig>,
+    /// Memory-map index files instead of pread (unix only; falls back to
+    /// pread when mapping fails or a fault injector is attached).
+    pub mmap: bool,
 }
 
 impl ReadOptions {
@@ -161,9 +174,133 @@ impl ReadOptions {
         Self {
             retry: RetryPolicy::default(),
             faults: Some(faults),
+            mmap: false,
+        }
+    }
+
+    /// Production defaults with memory-mapped reads requested.
+    pub fn with_mmap() -> Self {
+        Self {
+            retry: RetryPolicy::default(),
+            faults: None,
+            mmap: true,
         }
     }
 }
+
+/// A private read-only memory map of an entire file, built on a vendored
+/// `mmap(2)` binding (the environment has no external crates). The mapping
+/// is immutable for this process; `munmap` runs on drop.
+#[cfg(unix)]
+mod mapped {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    #[derive(Debug)]
+    pub struct Mmap {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned until drop; sharing &Mmap across
+    // threads only ever reads the mapped bytes.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        pub fn map(file: &File) -> io::Result<Self> {
+            let len = file.metadata()?.len();
+            if len > usize::MAX as u64 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "file too large to map",
+                ));
+            }
+            let len = len as usize;
+            if len == 0 {
+                // mmap(2) rejects zero-length maps; an empty slice needs
+                // no mapping at all.
+                return Ok(Self {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { ptr, len })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            if self.len != 0 {
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod mapped {
+    use std::fs::File;
+    use std::io;
+
+    /// Non-unix stub: mapping always fails, so callers fall back to pread.
+    #[derive(Debug)]
+    pub struct Mmap;
+
+    impl Mmap {
+        pub fn map(_file: &File) -> io::Result<Self> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "mmap is only available on unix",
+            ))
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            &[]
+        }
+    }
+}
+
+pub(crate) use mapped::Mmap;
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -260,6 +397,9 @@ fn fill_exact(file: &File, mut buf: &mut [u8], mut offset: u64) -> io::Result<us
 enum Source {
     Plain(File),
     Flaky(Box<FlakyFile>),
+    /// Whole-file memory map; reads are plain copies, EOF is the mapped
+    /// length captured at open time.
+    Mapped(Mmap),
 }
 
 impl Source {
@@ -267,13 +407,24 @@ impl Source {
         match self {
             Source::Plain(f) => raw_read_at(f, buf, offset),
             Source::Flaky(f) => f.read_at(buf, offset),
+            Source::Mapped(m) => {
+                let bytes = m.as_slice();
+                if offset >= bytes.len() as u64 {
+                    return Ok(0);
+                }
+                let off = offset as usize;
+                let n = buf.len().min(bytes.len() - off);
+                buf[..n].copy_from_slice(&bytes[off..off + n]);
+                Ok(n)
+            }
         }
     }
 
-    fn file(&self) -> &File {
+    fn len(&self) -> io::Result<u64> {
         match self {
-            Source::Plain(f) => f,
-            Source::Flaky(f) => &f.file,
+            Source::Plain(f) => Ok(f.metadata()?.len()),
+            Source::Flaky(f) => Ok(f.file.metadata()?.len()),
+            Source::Mapped(m) => Ok(m.as_slice().len() as u64),
         }
     }
 }
@@ -299,8 +450,14 @@ impl RetryingFile {
 
     pub(crate) fn from_file(file: File, options: &ReadOptions) -> Self {
         let source = match &options.faults {
-            None => Source::Plain(file),
+            // Fault injection must flow through the read path, so it wins
+            // over mmap.
             Some(cfg) => Source::Flaky(Box::new(FlakyFile::new(file, cfg.clone()))),
+            None if options.mmap => match Mmap::map(&file) {
+                Ok(map) => Source::Mapped(map),
+                Err(_) => Source::Plain(file),
+            },
+            None => Source::Plain(file),
         };
         let reg = ndss_obs::Registry::global();
         Self {
@@ -317,9 +474,25 @@ impl RetryingFile {
         }
     }
 
-    /// Current file length in bytes.
+    /// Current file length in bytes (the mapped length when memory-mapped).
     pub(crate) fn len(&self) -> io::Result<u64> {
-        Ok(self.source.file().metadata()?.len())
+        self.source.len()
+    }
+
+    /// Whether reads are served from a memory map.
+    #[cfg(test)]
+    pub(crate) fn is_mapped(&self) -> bool {
+        matches!(self.source, Source::Mapped(_))
+    }
+
+    /// The whole file as one borrowed slice when it is memory-mapped,
+    /// `None` on the pread paths. Lets decoders skip the copy into an
+    /// intermediate buffer entirely.
+    pub(crate) fn mapped(&self) -> Option<&[u8]> {
+        match &self.source {
+            Source::Mapped(m) => Some(m.as_slice()),
+            _ => None,
+        }
     }
 
     /// Reads exactly `buf.len()` bytes at absolute `offset`, without
@@ -448,6 +621,7 @@ mod tests {
         let options = ReadOptions {
             retry: no_backoff(),
             faults: Some(faults),
+            mmap: false,
         };
         let f = RetryingFile::open(&path, &options).unwrap();
         let mut buf = vec![0u8; 100];
@@ -472,6 +646,7 @@ mod tests {
             let options = ReadOptions {
                 retry: no_backoff(),
                 faults: Some(faults),
+                mmap: false,
             };
             let f = RetryingFile::open(&path, &options).unwrap();
             let mut buf = [0u8; 64];
@@ -495,6 +670,7 @@ mod tests {
         let options = ReadOptions {
             retry: no_backoff(),
             faults: Some(faults),
+            mmap: false,
         };
         let f = RetryingFile::open(&path, &options).unwrap();
         let mut buf = [0u8; 64];
@@ -503,6 +679,65 @@ mod tests {
         let err = f.read_exact_at(&mut buf, 1500).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::Interrupted);
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Memory-mapped reads return the same bytes as pread at every offset,
+    /// EOF behaves identically, and the handle really is mapped (on unix).
+    #[test]
+    fn mmap_reads_match_pread() {
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(31) % 256) as u8)
+            .collect();
+        let path = data_file("mapped.bin", &data);
+        let plain = RetryingFile::open(&path, &ReadOptions::default()).unwrap();
+        let mapped = RetryingFile::open(&path, &ReadOptions::with_mmap()).unwrap();
+        if cfg!(unix) {
+            assert!(mapped.is_mapped(), "unix open with mmap should map");
+        }
+        assert_eq!(plain.len().unwrap(), mapped.len().unwrap());
+        let mut a = [0u8; 97];
+        let mut b = [0u8; 97];
+        for i in 0..100u64 {
+            let off = (i * 41) % (4096 - 97);
+            plain.read_exact_at(&mut a, off).unwrap();
+            mapped.read_exact_at(&mut b, off).unwrap();
+            assert_eq!(a, b);
+        }
+        // Straddling EOF errors the same way on both paths.
+        let mut buf = [0u8; 16];
+        let pe = plain.read_exact_at(&mut buf, 4090).unwrap_err();
+        let me = mapped.read_exact_at(&mut buf, 4090).unwrap_err();
+        assert_eq!(pe.kind(), io::ErrorKind::UnexpectedEof);
+        assert_eq!(me.kind(), io::ErrorKind::UnexpectedEof);
+        // Entirely past EOF too.
+        let err = mapped.read_exact_at(&mut buf, 1 << 20).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A fault injector forces the read path even when mmap is requested,
+    /// and an empty file maps to an empty view without erroring.
+    #[test]
+    fn mmap_yields_to_faults_and_handles_empty_files() {
+        let path = data_file("mapped_faults.bin", &[7u8; 256]);
+        let options = ReadOptions {
+            retry: no_backoff(),
+            faults: Some(FaultConfig::new(9).fault_every(2)),
+            mmap: true,
+        };
+        let f = RetryingFile::open(&path, &options).unwrap();
+        assert!(!f.is_mapped(), "faults must win over mmap");
+        let mut buf = [0u8; 32];
+        f.read_exact_at(&mut buf, 100).unwrap();
+        assert_eq!(buf, [7u8; 32]);
+        std::fs::remove_file(&path).ok();
+
+        let empty = data_file("mapped_empty.bin", &[]);
+        let f = RetryingFile::open(&empty, &ReadOptions::with_mmap()).unwrap();
+        assert_eq!(f.len().unwrap(), 0);
+        let err = f.read_exact_at(&mut buf, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(&empty).ok();
     }
 
     /// Permanent errors are not retried: with a zero retry budget (any
@@ -518,6 +753,7 @@ mod tests {
                 max_backoff: Duration::ZERO,
             },
             faults: None,
+            mmap: false,
         };
         let f = RetryingFile::open(&path, &options).unwrap();
         let mut buf = [0u8; 16];

@@ -42,7 +42,6 @@ fn bucket_upper_bound(i: usize) -> u64 {
 
 pub(crate) struct HistCore {
     buckets: [AtomicU64; NUM_BUCKETS],
-    count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
 }
@@ -51,16 +50,17 @@ impl HistCore {
     pub(crate) fn new() -> Self {
         HistCore {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
         }
     }
 
+    /// Two `fetch_add`s and one `fetch_max`: the total count is not kept as
+    /// its own atomic — it equals the sum of the buckets, which `snapshot`
+    /// derives (snapshots are rare, records are per-IO hot).
     #[inline]
     fn record(&self, v: u64) {
         self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
-        self.count.fetch_add(1, Relaxed);
         self.sum.fetch_add(v, Relaxed);
         self.max.fetch_max(v, Relaxed);
     }
@@ -80,7 +80,7 @@ impl HistCore {
         }
         HistogramSnapshot {
             unit,
-            count: self.count.load(Relaxed),
+            count: cumulative,
             sum: self.sum.load(Relaxed),
             max: self.max.load(Relaxed),
             buckets,

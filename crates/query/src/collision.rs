@@ -21,8 +21,6 @@
 
 use ndss_windows::CompactWindow;
 
-use crate::interval::{interval_scan, Interval};
-
 /// A maximal axis-aligned block of sequences sharing one collision count:
 /// all `T[i..=j]` with `i ∈ [x_lo, x_hi]`, `j ∈ [y_lo, y_hi]` collide with
 /// the query exactly `collisions` times. Invariant: `x_hi ≤ y_lo`.
@@ -83,6 +81,26 @@ impl Rectangle {
     }
 }
 
+/// Reusable buffers for [`collision_count_into`]. The query loop runs one
+/// collision count per candidate text — thousands per query — and the
+/// sweeps' endpoint lists are the only heap state they need, so one scratch
+/// per query removes every per-text allocation.
+#[derive(Debug, Default)]
+pub struct CollisionScratch {
+    /// Left-sweep endpoints: `(position << 1 | is_end, window index)`. The
+    /// packed key sorts by `(position, is_end)` with one u64 comparison.
+    left: Vec<(u64, u32)>,
+    /// Right-sweep endpoints, `position << 1 | is_end` — the right sweep
+    /// only needs active *counts*, not identities, so the packed key is the
+    /// whole event.
+    right: Vec<u64>,
+    /// Window indices active in the left sweep.
+    active: Vec<u32>,
+    /// `slot[idx]` = position of window `idx` inside `active` (or `u32::MAX`
+    /// when inactive), so end events remove in O(1) instead of scanning.
+    slot: Vec<u32>,
+}
+
 /// Runs Algorithm 4 on the windows of one text. Returns the rectangles of
 /// all sequences covered by at least `alpha` of the given windows.
 ///
@@ -90,38 +108,116 @@ impl Rectangle {
 /// `k` different hash functions, and one function can contribute several
 /// windows of the same text).
 pub fn collision_count(windows: &[CompactWindow], alpha: usize) -> Vec<Rectangle> {
-    assert!(alpha >= 1, "collision threshold must be at least 1");
-    if windows.len() < alpha {
-        return Vec::new();
-    }
-    // Left intervals [l, c], tagged with the window index.
-    let left: Vec<Interval> = windows
-        .iter()
-        .enumerate()
-        .map(|(idx, w)| Interval::new(idx as u32, w.l, w.c))
-        .collect();
     let mut rects = Vec::new();
-    for left_hit in interval_scan(&left, alpha) {
-        // Right intervals [c, r] of exactly the windows active on [x, x'].
-        let right: Vec<Interval> = left_hit
-            .active
-            .iter()
-            .map(|&idx| {
-                let w = &windows[idx as usize];
-                Interval::new(idx, w.c, w.r)
-            })
-            .collect();
-        for right_hit in interval_scan(&right, alpha) {
-            rects.push(Rectangle {
-                x_lo: left_hit.range_lo,
-                x_hi: left_hit.range_hi,
-                y_lo: right_hit.range_lo,
-                y_hi: right_hit.range_hi,
-                collisions: right_hit.active.len() as u32,
-            });
+    collision_count_into(windows, alpha, &mut CollisionScratch::default(), &mut rects);
+    rects
+}
+
+/// [`collision_count`] without the allocations: clears `out` and fills it
+/// with the same rectangles, reusing `scratch`'s buffers across calls.
+pub fn collision_count_into(
+    windows: &[CompactWindow],
+    alpha: usize,
+    scratch: &mut CollisionScratch,
+    out: &mut Vec<Rectangle>,
+) {
+    collision_count_fn_into(windows.len(), |i| windows[i], alpha, scratch, out);
+}
+
+/// [`collision_count_into`] over any indexed window source — the query loop
+/// feeds posting runs straight in, without first copying their windows into
+/// a buffer.
+///
+/// Both sweeps of the paper's nested formulation run inline here (the
+/// outer sweep tracks which windows are active so their right intervals
+/// can be swept; the inner sweep only tracks how many remain active, which
+/// is the rectangle's collision count).
+pub fn collision_count_fn_into(
+    num_windows: usize,
+    window_at: impl Fn(usize) -> CompactWindow,
+    alpha: usize,
+    scratch: &mut CollisionScratch,
+    out: &mut Vec<Rectangle>,
+) {
+    assert!(alpha >= 1, "collision threshold must be at least 1");
+    out.clear();
+    if num_windows < alpha {
+        return;
+    }
+    // Left sweep over the [l, c] intervals. Positions are widened to u64
+    // before packing so `hi + 1` cannot overflow at u32::MAX; the packed
+    // key `pos << 1 | is_end` orders events exactly like a `(pos, is_end)`
+    // tuple sort — starts before ends at the same position.
+    let left = &mut scratch.left;
+    left.clear();
+    for idx in 0..num_windows {
+        let w = window_at(idx);
+        left.push(((w.l as u64) << 1, idx as u32));
+        left.push(((w.c as u64 + 1) << 1 | 1, idx as u32));
+    }
+    left.sort_unstable_by_key(|&(key, _)| key);
+    let active = &mut scratch.active;
+    active.clear();
+    let slot = &mut scratch.slot;
+    slot.clear();
+    slot.resize(num_windows, u32::MAX);
+    let mut i = 0;
+    while i < left.len() {
+        let pos = left[i].0 >> 1;
+        while i < left.len() && left[i].0 >> 1 == pos {
+            let (key, idx) = left[i];
+            if key & 1 == 1 {
+                let at = slot[idx as usize] as usize;
+                debug_assert!(at != u32::MAX as usize, "ending an inactive interval");
+                active.swap_remove(at);
+                if at < active.len() {
+                    slot[active[at] as usize] = at as u32;
+                }
+                slot[idx as usize] = u32::MAX;
+            } else {
+                slot[idx as usize] = active.len() as u32;
+                active.push(idx);
+            }
+            i += 1;
+        }
+        if active.len() < alpha {
+            continue;
+        }
+        // The active set persists until the next distinct endpoint (ends
+        // exist for all active intervals, so `left[i]` is in bounds).
+        let (x_lo, x_hi) = (pos as u32, ((left[i].0 >> 1) - 1) as u32);
+        // Right sweep over the active windows' [c, r] intervals.
+        let right = &mut scratch.right;
+        right.clear();
+        for &idx in active.iter() {
+            let w = window_at(idx as usize);
+            right.push((w.c as u64) << 1);
+            right.push((w.r as u64 + 1) << 1 | 1);
+        }
+        right.sort_unstable();
+        let mut count = 0usize;
+        let mut j = 0;
+        while j < right.len() {
+            let rpos = right[j] >> 1;
+            while j < right.len() && right[j] >> 1 == rpos {
+                if right[j] & 1 == 1 {
+                    count -= 1;
+                } else {
+                    count += 1;
+                }
+                j += 1;
+            }
+            if count >= alpha {
+                out.push(Rectangle {
+                    x_lo,
+                    x_hi,
+                    y_lo: rpos as u32,
+                    y_hi: ((right[j] >> 1) - 1) as u32,
+                    collisions: count as u32,
+                });
+            }
         }
     }
-    rects
 }
 
 /// Brute-force oracle for tests: collision count of every sequence `(i, j)`

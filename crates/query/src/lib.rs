@@ -60,7 +60,9 @@ pub mod search;
 pub mod serving;
 
 pub use batch::{BatchSearcher, FailurePolicy};
-pub use collision::{collision_count, Rectangle};
+pub use collision::{
+    collision_count, collision_count_fn_into, collision_count_into, CollisionScratch, Rectangle,
+};
 pub use document::{DocumentMatch, DocumentScan};
 pub use governor::{CancelToken, QueryBudget, Resource};
 pub use interval::{interval_scan, Interval, ScanHit};

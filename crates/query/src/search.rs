@@ -1,17 +1,18 @@
 //! `NearDuplicateSearch` (paper Algorithm 3): the end-to-end query pipeline
 //! with prefix filtering, zone-map probes, and result post-processing.
 
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use ndss_corpus::{CorpusSource, SeqRef, SeqSpan, TextId};
 use ndss_hash::jaccard::distinct_jaccard;
 use ndss_hash::minhash::collision_threshold;
 use ndss_hash::{MinHasher, TokenId};
-use ndss_index::{IndexAccess, IoStats};
+use ndss_index::{IndexAccess, IoStats, Posting};
 use ndss_windows::CompactWindow;
 
-use crate::collision::{collision_count, Rectangle};
+use crate::collision::{
+    collision_count_fn_into, collision_count_into, CollisionScratch, Rectangle,
+};
 use crate::governor::{BudgetTracker, CancelToken, QueryBudget, Resource, Verdict};
 use crate::QueryError;
 
@@ -257,6 +258,9 @@ pub struct NearDupSearcher<'a, I: IndexAccess + ?Sized> {
     /// Global-registry handles (registered once here so the per-query hot
     /// path is pure atomic adds).
     metrics: crate::metrics::QueryMetrics,
+    /// Pre-registered `span.query.search` histograms: opening the per-query
+    /// span costs no name formatting or registry lock.
+    search_span: ndss_obs::SpanHandle,
 }
 
 impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
@@ -292,6 +296,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             cutoffs,
             adaptive: matches!(filter, PrefixFilter::Adaptive),
             metrics: crate::metrics::QueryMetrics::register(ndss_obs::Registry::global()),
+            search_span: ndss_obs::span_handle("query.search"),
         })
     }
 
@@ -357,7 +362,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             return Err(QueryError::BadThreshold(theta));
         }
         let start = Instant::now();
-        let _span = ndss_obs::span("query.search");
+        let _span = self.search_span.start();
         let tracker = BudgetTracker::start(budget, cancel, start);
         // Per-query IO accumulator: every index read below records into this
         // (and the index folds it into its global counters), so the stats
@@ -437,8 +442,16 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             stats.stage_plan = plan_start.elapsed();
 
             // Lines 3–4: load the short lists and group windows by text.
+            // Grouping is sort-based: the short lists are concatenated and
+            // sorted by text id once, then candidates are walked as runs of
+            // the sorted vector. This is the hottest per-posting loop of a
+            // query, and one cache-friendly sort beats a hash-map insert
+            // per posting (collision counting is order-insensitive, so the
+            // unstable sort is fine).
             let gather_start = Instant::now();
-            let mut groups: HashMap<TextId, Vec<CompactWindow>> = HashMap::new();
+            let short_total: u64 = (0..k).filter(|&f| !is_long[f]).map(|f| lens[f]).sum();
+            let mut gathered: Vec<Posting> = Vec::with_capacity(short_total as usize);
+            let mut max_text: TextId = 0;
             for (func, &long) in is_long.iter().enumerate() {
                 if long {
                     continue;
@@ -449,9 +462,34 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
                     .read_list_into(func, sketch.value(func), &io_acc)?;
                 stats.lists_loaded += 1;
                 stats.postings_read += list.len() as u64;
-                for posting in list {
-                    groups.entry(posting.text).or_default().push(posting.window);
+                if let Some(last) = list.last() {
+                    // Lists are text-sorted; their last entry is their max.
+                    max_text = max_text.max(last.text);
                 }
+                gathered.extend_from_slice(&list);
+            }
+            // Text ids are dense, so when their span is within a small
+            // factor of the posting count a two-pass counting sort beats
+            // the comparison sort; very sparse id spaces (huge corpus, tiny
+            // query) fall back to it.
+            let t_span = max_text as usize + 1;
+            if !gathered.is_empty() && t_span / 8 <= gathered.len() {
+                let mut starts = vec![0u32; t_span + 1];
+                for p in &gathered {
+                    starts[p.text as usize + 1] += 1;
+                }
+                for i in 1..starts.len() {
+                    starts[i] += starts[i - 1];
+                }
+                let mut sorted = vec![gathered[0]; gathered.len()];
+                for p in &gathered {
+                    let slot = &mut starts[p.text as usize];
+                    sorted[*slot as usize] = *p;
+                    *slot += 1;
+                }
+                gathered = sorted;
+            } else {
+                gathered.sort_unstable_by_key(|p| p.text);
             }
 
             stats.stage_gather = gather_start.elapsed();
@@ -462,28 +500,43 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             // texts (or mid-probe, before the append) always leaves a sound
             // prefix of the full result set.
             let count_start = Instant::now();
-            let mut texts: Vec<TextId> = groups.keys().copied().collect();
-            texts.sort_unstable();
-            for text in texts {
+            let mut windows: Vec<CompactWindow> = Vec::new();
+            let mut scratch = CollisionScratch::default();
+            let mut rect_buf: Vec<Rectangle> = Vec::new();
+            let mut run_start = 0usize;
+            while run_start < gathered.len() {
+                let text = gathered[run_start].text;
+                let mut run_end = run_start + 1;
+                while run_end < gathered.len() && gathered[run_end].text == text {
+                    run_end += 1;
+                }
+                let run = &gathered[run_start..run_end];
+                run_start = run_end;
                 checkpoint!(stats.candidate_texts as u64, matches.len() as u64);
-                let mut windows = groups.remove(&text).expect("text key exists");
-                if windows.len() < alpha0 {
+                if run.len() < alpha0 {
                     continue;
                 }
-                // Line 6: candidate check at the reduced threshold.
-                let rects0 = collision_count(&windows, alpha0);
-                let has_candidate = rects0.iter().any(|r| r.sequences_at_least(t) > 0);
+                // Line 6: candidate check at the reduced threshold, fed
+                // straight from the posting run (no window copy for the
+                // common non-candidate case).
+                collision_count_fn_into(
+                    run.len(),
+                    |i| run[i].window,
+                    alpha0,
+                    &mut scratch,
+                    &mut rect_buf,
+                );
+                let has_candidate = rect_buf.iter().any(|r| r.sequences_at_least(t) > 0);
                 if !has_candidate {
                     continue;
                 }
                 stats.candidate_texts += 1;
-                let rects = if long_funcs.is_empty() {
-                    // No long lists: alpha0 == beta and rects0 is final.
-                    rects0
-                } else {
+                if !long_funcs.is_empty() {
                     // Lines 8–9: locate this text's windows in the long lists
                     // (zone-map probes) and re-count at the full threshold.
                     let probe_start = Instant::now();
+                    windows.clear();
+                    windows.extend(run.iter().map(|p| p.window));
                     for &func in &long_funcs {
                         checkpoint!(stats.candidate_texts as u64, matches.len() as u64);
                         let postings = self.index.read_postings_for_text_into(
@@ -497,10 +550,13 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
                         windows.extend(postings.into_iter().map(|p| p.window));
                     }
                     probe_time += probe_start.elapsed();
-                    collision_count(&windows, beta)
-                };
-                let rects: Vec<Rectangle> = rects
-                    .into_iter()
+                    collision_count_into(&windows, beta, &mut scratch, &mut rect_buf);
+                }
+                // With no long lists, alpha0 == beta and the reduced-threshold
+                // rectangles are already final.
+                let rects: Vec<Rectangle> = rect_buf
+                    .iter()
+                    .copied()
                     .filter(|r| r.sequences_at_least(t) > 0)
                     .collect();
                 if !rects.is_empty() {

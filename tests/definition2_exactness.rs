@@ -280,6 +280,73 @@ fn batch_equals_sequential_for_all_thread_counts() {
     }
 }
 
+/// The on-disk formats are pure storage encodings: for every corpus shape
+/// and grid cell, v5 (bitpacked + SIMD unpack + skip gather) answers
+/// bit-identically to v4 (varint) and v3 (fixed width), whether the file is
+/// read cold (caches disabled), warm (second pass over populated caches),
+/// or through the mmap read path — and batch execution over the v5 index
+/// agrees at 1/2/4/8 threads.
+#[test]
+fn format_v5_matches_v4_and_v3_cold_warm_mmap_threaded() {
+    use ndss::index::ReadOptions;
+
+    let root = std::env::temp_dir().join("ndss_def2_format_equiv");
+    std::fs::remove_dir_all(&root).ok();
+
+    for (shape, corpus) in corpus_shapes() {
+        let queries = grid_queries(&corpus);
+        let base = IndexConfig::new(6, 5, 0xF0F5);
+        let mem = MemoryIndex::build(&corpus, base.clone()).unwrap();
+        let mem_s = NearDupSearcher::new(&mem).unwrap();
+
+        let configs = [
+            ("v3", base.clone()),
+            ("v4", base.clone().compressed(true)),
+            ("v5", base.clone().bit_packed(true)),
+        ];
+        for (fmt, config) in configs {
+            assert_eq!(config.format_name(), fmt);
+            let dir = root.join(format!("{shape}_{fmt}"));
+            let built = MemoryIndex::build(&corpus, config).unwrap();
+            let warm = write_memory_index(&built, &dir).unwrap();
+            let cold = DiskIndex::open_with_cache(&dir, CacheConfig::disabled()).unwrap();
+            let mapped =
+                DiskIndex::open_with_io(&dir, CacheConfig::disabled(), ReadOptions::with_mmap())
+                    .unwrap();
+            let warm_s = NearDupSearcher::new(&warm).unwrap();
+            let cold_s = NearDupSearcher::new(&cold).unwrap();
+            let mapped_s = NearDupSearcher::new(&mapped).unwrap();
+            for (qi, query) in queries.iter().enumerate() {
+                for &theta in &[0.5f64, 0.9] {
+                    let want = mem_s.search(query, theta).unwrap().enumerate_all();
+                    let ctx = format!("shape={shape} fmt={fmt} θ={theta} query#{qi}");
+                    let cold_got = cold_s.search(query, theta).unwrap().enumerate_all();
+                    let warm1 = warm_s.search(query, theta).unwrap().enumerate_all();
+                    let warm2 = warm_s.search(query, theta).unwrap().enumerate_all();
+                    let mmap_got = mapped_s.search(query, theta).unwrap().enumerate_all();
+                    assert_eq!(cold_got, want, "cold read diverged: {ctx}");
+                    assert_eq!(warm1, want, "cache-warming read diverged: {ctx}");
+                    assert_eq!(warm2, want, "cache-hit read diverged: {ctx}");
+                    assert_eq!(mmap_got, want, "mmap read diverged: {ctx}");
+                }
+            }
+            // Batch execution over this format at every thread count.
+            for &threads in &[1usize, 2, 4, 8] {
+                let batch = BatchSearcher::new(&warm).unwrap().threads(threads);
+                let outcomes = batch.search_all(&queries, 0.5).unwrap();
+                for (qi, outcome) in outcomes.iter().enumerate() {
+                    assert_eq!(
+                        outcome.enumerate_all(),
+                        mem_s.search(&queries[qi], 0.5).unwrap().enumerate_all(),
+                        "batch diverged: shape={shape} fmt={fmt} threads={threads} query#{qi}"
+                    );
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
 /// The disk index answers identically to the in-memory index it was written
 /// from, with caches cold, warming, and warm — caching must never change
 /// results, only IO counts.

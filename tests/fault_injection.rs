@@ -1,7 +1,8 @@
 //! Fault-injection sweeps over every on-disk format.
 //!
-//! For each artifact (fixed-width v3 index, compressed v4 index, corpus
-//! v2) the harness applies hundreds of seed-deterministic mutations — bit
+//! For each artifact (fixed-width v3 index, compressed v4 index, bitpacked
+//! v5 index, corpus v2) the harness applies hundreds of seed-deterministic
+//! mutations — bit
 //! flips, truncations, zeroed pages, adversarial header fields, trailing
 //! garbage — and requires that every case either fails with a clean typed
 //! error or reads back byte-identically to the pristine artifact. A panic,
@@ -87,12 +88,19 @@ fn run_queries(dir: &Path, queries: &[Vec<TokenId>]) -> Result<Vec<SeqRef>, Stri
     Ok(out)
 }
 
-fn index_sweep(compress: bool, seeds: u64) {
-    let version = if compress { "v4" } else { "v3" };
+/// Builds an index in the named on-disk format (`"v3"`, `"v4"`, `"v5"`)
+/// and runs the mutation sweep against its `inv_0.ndsi`.
+fn index_sweep(version: &str, seeds: u64) {
+    let (compress, packed) = match version {
+        "v3" => (false, false),
+        "v4" => (true, false),
+        "v5" => (false, true),
+        other => panic!("unknown index format {other}"),
+    };
     let dir = temp_dir(&format!("index_{version}"));
     let (corpus, planted) = SyntheticCorpusBuilder::new(41).num_texts(30).build();
-    let params =
-        SearchParams::new(2, 25, 5).index_config(|c| c.compressed(compress).zone_map(8, 16));
+    let params = SearchParams::new(2, 25, 5)
+        .index_config(|c| c.compressed(compress).bit_packed(packed).zone_map(8, 16));
     CorpusIndex::build_on_disk(&corpus, params, &dir).unwrap();
     let queries: Vec<Vec<TokenId>> = planted
         .iter()
@@ -144,12 +152,21 @@ fn index_sweep(compress: bool, seeds: u64) {
 
 #[test]
 fn fixed_width_index_survives_mutation_sweep() {
-    index_sweep(false, 220);
+    index_sweep("v3", 220);
 }
 
 #[test]
 fn compressed_index_survives_mutation_sweep() {
-    index_sweep(true, 220);
+    index_sweep("v4", 220);
+}
+
+/// v5's every byte is covered by the header CRC, the per-section CRCs, and
+/// the structural prefix-sum check over per-block bit widths — so the
+/// sweep's truncations (which shear the skip table) and bit flips (which
+/// corrupt per-block widths) must all reject cleanly.
+#[test]
+fn bitpacked_index_survives_mutation_sweep() {
+    index_sweep("v5", 220);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,448 @@
+//! Block bitpacking for 128-integer blocks, no registry deps.
+//!
+//! The layout follows the `BitPacker4x` idiom: a block of 128 `u32` values
+//! is split across 4 interleaved lanes (value `i` lives in lane `i % 4` at
+//! position `i / 4`), each lane is packed LSB-first at a common bit width
+//! `b`, and the lanes' 32-bit little-endian words are interleaved in groups
+//! of four. A block therefore always packs to exactly `16·b` bytes
+//! (`128·b` bits), byte-aligned for every width `b ∈ 0..=32`.
+//!
+//! The interleave is what makes SIMD unpacking natural: one 16-byte group
+//! holds word `k` of all four lanes, so a 128-bit register can shift/mask
+//! four values at once (SSE2), and a 256-bit register two groups at once
+//! with AVX2's per-lane variable shifts. All kernels produce bit-identical
+//! output; [`unpack`] picks the fastest one the CPU supports at runtime
+//! (detection is done once and cached).
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Number of values in a packed block.
+pub const BLOCK_LEN: usize = 128;
+
+const LANES: usize = 4;
+const POSITIONS: usize = BLOCK_LEN / LANES; // 32 positions per lane
+const GROUP_BYTES: usize = LANES * 4; // one 32-bit word per lane
+
+/// Packed size in bytes of one block at bit width `bits` (always `16·bits`).
+#[inline]
+pub const fn packed_len(bits: u8) -> usize {
+    bits as usize * (BLOCK_LEN / 8)
+}
+
+/// Smallest bit width that can represent every value in `values`.
+#[inline]
+pub fn num_bits(values: &[u32]) -> u8 {
+    let all = values.iter().fold(0u32, |acc, &v| acc | v);
+    (32 - all.leading_zeros()) as u8
+}
+
+#[inline]
+fn width_mask(bits: u8) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+/// Packs `values` at width `bits` into `out` (`out.len()` must be exactly
+/// [`packed_len`]`(bits)`). Values must fit in `bits` bits; the caller
+/// normally derives `bits` with [`num_bits`].
+///
+/// Packing is scalar only — it runs once at index-build time, while
+/// unpacking runs on every query.
+pub fn pack(values: &[u32; BLOCK_LEN], bits: u8, out: &mut [u8]) {
+    assert!(bits <= 32, "bit width {bits} out of range");
+    assert_eq!(out.len(), packed_len(bits), "packed output length mismatch");
+    if bits == 0 {
+        return;
+    }
+    let b = bits as usize;
+    let mut words = [0u32; LANES * POSITIONS];
+    for (i, &raw) in values.iter().enumerate() {
+        let v = raw;
+        debug_assert!(
+            bits == 32 || v >> bits == 0,
+            "value {v} does not fit in {bits} bits"
+        );
+        let lane = i & (LANES - 1);
+        let bitpos = (i >> 2) * b;
+        let w0 = bitpos >> 5;
+        let sh = bitpos & 31;
+        words[LANES * w0 + lane] |= v.wrapping_shl(sh as u32);
+        if sh + b > 32 {
+            words[LANES * (w0 + 1) + lane] |= v >> (32 - sh);
+        }
+    }
+    for (k, w) in words[..b * LANES].iter().enumerate() {
+        out[k * 4..k * 4 + 4].copy_from_slice(&w.to_le_bytes());
+    }
+}
+
+#[inline]
+fn read_word(packed: &[u8], idx: usize) -> u32 {
+    u32::from_le_bytes(packed[idx * 4..idx * 4 + 4].try_into().unwrap())
+}
+
+/// Reference kernel: portable scalar unpack. Always available.
+pub fn unpack_scalar(packed: &[u8], bits: u8, out: &mut [u32; BLOCK_LEN]) {
+    check_unpack_args(packed, bits);
+    if bits == 0 {
+        out.fill(0);
+        return;
+    }
+    if bits == 32 {
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = read_word(packed, i);
+        }
+        return;
+    }
+    let b = bits as usize;
+    let mask = width_mask(bits) as u64;
+    for (i, v) in out.iter_mut().enumerate() {
+        let lane = i & (LANES - 1);
+        let bitpos = (i >> 2) * b;
+        let w0 = bitpos >> 5;
+        let sh = bitpos & 31;
+        let lo = read_word(packed, LANES * w0 + lane) as u64;
+        let hi = if sh + b > 32 {
+            read_word(packed, LANES * (w0 + 1) + lane) as u64
+        } else {
+            0
+        };
+        *v = (((lo | (hi << 32)) >> sh) & mask) as u32;
+    }
+}
+
+#[inline]
+fn check_unpack_args(packed: &[u8], bits: u8) {
+    assert!(bits <= 32, "bit width {bits} out of range");
+    assert_eq!(
+        packed.len(),
+        packed_len(bits),
+        "packed input length mismatch for width {bits}"
+    );
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod x86 {
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    use super::{check_unpack_args, width_mask, BLOCK_LEN, GROUP_BYTES, LANES, POSITIONS};
+
+    /// SSE2 kernel: one 16-byte group (four lanes' word `k`) per step; all
+    /// four lanes of a position share the same shift, so a uniform-count
+    /// shift extracts four values at once.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports SSE2.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn unpack_sse2(packed: &[u8], bits: u8, out: &mut [u32; BLOCK_LEN]) {
+        check_unpack_args(packed, bits);
+        if bits == 0 {
+            out.fill(0);
+            return;
+        }
+        let b = bits as usize;
+        let last_group = b - 1;
+        let mask = _mm_set1_epi32(width_mask(bits) as i32);
+        let base = packed.as_ptr();
+        for pos in 0..POSITIONS {
+            let bitpos = pos * b;
+            let w0 = bitpos >> 5;
+            let sh = (bitpos & 31) as i32;
+            // Clamp the carry group: when the value does not cross a word
+            // boundary the left shift below is ≥ 32 and contributes nothing
+            // (x86 vector shifts with count ≥ 32 yield 0), so any in-bounds
+            // load is fine.
+            let hi_group = if w0 + 1 > last_group {
+                last_group
+            } else {
+                w0 + 1
+            };
+            let lo = _mm_loadu_si128(base.add(GROUP_BYTES * w0) as *const __m128i);
+            let hi = _mm_loadu_si128(base.add(GROUP_BYTES * hi_group) as *const __m128i);
+            let lo_sh = _mm_srl_epi32(lo, _mm_cvtsi32_si128(sh));
+            let hi_sh = _mm_sll_epi32(hi, _mm_cvtsi32_si128(32 - sh));
+            let v = _mm_and_si128(_mm_or_si128(lo_sh, hi_sh), mask);
+            _mm_storeu_si128(out.as_mut_ptr().add(LANES * pos) as *mut __m128i, v);
+        }
+    }
+
+    /// AVX2 kernel: two groups (eight values) per step. The two positions
+    /// in a 256-bit register carry different bit offsets, which AVX2's
+    /// per-element variable shifts (`vpsrlvd`/`vpsllvd`) handle directly.
+    ///
+    /// # Safety
+    /// Caller must ensure the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn unpack_avx2(packed: &[u8], bits: u8, out: &mut [u32; BLOCK_LEN]) {
+        check_unpack_args(packed, bits);
+        if bits == 0 {
+            out.fill(0);
+            return;
+        }
+        let b = bits as usize;
+        let last_group = b - 1;
+        let mask = _mm256_set1_epi32(width_mask(bits) as i32);
+        let thirty_two = _mm256_set1_epi32(32);
+        let base = packed.as_ptr();
+        let mut pos = 0;
+        while pos < POSITIONS {
+            let bp_a = pos * b;
+            let bp_b = (pos + 1) * b;
+            let (w0a, sha) = (bp_a >> 5, (bp_a & 31) as i32);
+            let (w0b, shb) = (bp_b >> 5, (bp_b & 31) as i32);
+            let hia = if w0a + 1 > last_group {
+                last_group
+            } else {
+                w0a + 1
+            };
+            let hib = if w0b + 1 > last_group {
+                last_group
+            } else {
+                w0b + 1
+            };
+            let lo = _mm256_inserti128_si256::<1>(
+                _mm256_castsi128_si256(_mm_loadu_si128(
+                    base.add(GROUP_BYTES * w0a) as *const __m128i
+                )),
+                _mm_loadu_si128(base.add(GROUP_BYTES * w0b) as *const __m128i),
+            );
+            let hi = _mm256_inserti128_si256::<1>(
+                _mm256_castsi128_si256(_mm_loadu_si128(
+                    base.add(GROUP_BYTES * hia) as *const __m128i
+                )),
+                _mm_loadu_si128(base.add(GROUP_BYTES * hib) as *const __m128i),
+            );
+            let shv = _mm256_setr_epi32(sha, sha, sha, sha, shb, shb, shb, shb);
+            let inv = _mm256_sub_epi32(thirty_two, shv);
+            let v = _mm256_and_si256(
+                _mm256_or_si256(_mm256_srlv_epi32(lo, shv), _mm256_sllv_epi32(hi, inv)),
+                mask,
+            );
+            _mm256_storeu_si256(out.as_mut_ptr().add(LANES * pos) as *mut __m256i, v);
+            pos += 2;
+        }
+    }
+}
+
+/// Which unpack kernel a call used or should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// Portable scalar loop.
+    Scalar,
+    /// 128-bit SSE2 shift/mask kernel (x86 / x86_64).
+    Sse2,
+    /// 256-bit AVX2 variable-shift kernel (x86 / x86_64).
+    Avx2,
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+fn detect_kernel() -> Kernel {
+    // 0 = undetected, 1 = scalar, 2 = sse2, 3 = avx2.
+    static DETECTED: AtomicU8 = AtomicU8::new(0);
+    match DETECTED.load(Ordering::Relaxed) {
+        1 => Kernel::Scalar,
+        2 => Kernel::Sse2,
+        3 => Kernel::Avx2,
+        _ => {
+            let k = if std::arch::is_x86_feature_detected!("avx2") {
+                Kernel::Avx2
+            } else if std::arch::is_x86_feature_detected!("sse2") {
+                Kernel::Sse2
+            } else {
+                Kernel::Scalar
+            };
+            DETECTED.store(
+                match k {
+                    Kernel::Scalar => 1,
+                    Kernel::Sse2 => 2,
+                    Kernel::Avx2 => 3,
+                },
+                Ordering::Relaxed,
+            );
+            k
+        }
+    }
+}
+
+#[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+fn detect_kernel() -> Kernel {
+    Kernel::Scalar
+}
+
+/// The kernel [`unpack`] will dispatch to on this CPU.
+pub fn active_kernel() -> Kernel {
+    detect_kernel()
+}
+
+/// Every kernel this CPU can run (always includes [`Kernel::Scalar`]).
+pub fn available_kernels() -> Vec<Kernel> {
+    let mut kernels = vec![Kernel::Scalar];
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if std::arch::is_x86_feature_detected!("sse2") {
+            kernels.push(Kernel::Sse2);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            kernels.push(Kernel::Avx2);
+        }
+    }
+    kernels
+}
+
+/// Unpacks one block with an explicit kernel. Panics if the kernel is not
+/// supported on this CPU (use [`available_kernels`] to enumerate).
+pub fn unpack_with(kernel: Kernel, packed: &[u8], bits: u8, out: &mut [u32; BLOCK_LEN]) {
+    match kernel {
+        Kernel::Scalar => unpack_scalar(packed, bits, out),
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        Kernel::Sse2 => {
+            assert!(
+                std::arch::is_x86_feature_detected!("sse2"),
+                "SSE2 not available on this CPU"
+            );
+            // SAFETY: feature checked just above.
+            unsafe { x86::unpack_sse2(packed, bits, out) }
+        }
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        Kernel::Avx2 => {
+            assert!(
+                std::arch::is_x86_feature_detected!("avx2"),
+                "AVX2 not available on this CPU"
+            );
+            // SAFETY: feature checked just above.
+            unsafe { x86::unpack_avx2(packed, bits, out) }
+        }
+        #[cfg(not(any(target_arch = "x86", target_arch = "x86_64")))]
+        _ => unpack_scalar(packed, bits, out),
+    }
+}
+
+/// Unpacks one block using the fastest kernel this CPU supports.
+///
+/// `packed.len()` must be exactly [`packed_len`]`(bits)` and `bits ≤ 32`;
+/// both are asserted, so corrupt on-disk widths must be validated by the
+/// caller *before* reaching this point.
+#[inline]
+pub fn unpack(packed: &[u8], bits: u8, out: &mut [u32; BLOCK_LEN]) {
+    unpack_with(detect_kernel(), packed, bits, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Splitmix64, for seed-deterministic random blocks.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    fn random_block(seed: u64, bits: u8) -> [u32; BLOCK_LEN] {
+        let mut rng = Rng(seed);
+        let mask = width_mask(bits);
+        std::array::from_fn(|_| rng.next() as u32 & mask)
+    }
+
+    #[test]
+    fn packed_len_is_sixteen_times_bits() {
+        for bits in 0..=32u8 {
+            assert_eq!(packed_len(bits), 16 * bits as usize);
+        }
+    }
+
+    #[test]
+    fn num_bits_matches_widest_value() {
+        assert_eq!(num_bits(&[0, 0, 0]), 0);
+        assert_eq!(num_bits(&[1]), 1);
+        assert_eq!(num_bits(&[255, 3]), 8);
+        assert_eq!(num_bits(&[256]), 9);
+        assert_eq!(num_bits(&[u32::MAX]), 32);
+    }
+
+    #[test]
+    fn scalar_roundtrip_every_width() {
+        for bits in 0..=32u8 {
+            let values = random_block(1000 + bits as u64, bits);
+            let mut packed = vec![0u8; packed_len(bits)];
+            pack(&values, bits, &mut packed);
+            let mut out = [0u32; BLOCK_LEN];
+            unpack_scalar(&packed, bits, &mut out);
+            assert_eq!(out, values, "width {bits}");
+        }
+    }
+
+    #[test]
+    fn all_kernels_agree_on_random_blocks_at_every_width() {
+        let kernels = available_kernels();
+        for bits in 0..=32u8 {
+            for seed in 0..8u64 {
+                let values = random_block(seed * 131 + bits as u64, bits);
+                let mut packed = vec![0u8; packed_len(bits)];
+                pack(&values, bits, &mut packed);
+                for &k in &kernels {
+                    let mut out = [0u32; BLOCK_LEN];
+                    unpack_with(k, &packed, bits, &mut out);
+                    assert_eq!(out, values, "kernel {k:?} width {bits} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_blocks_roundtrip() {
+        for bits in 1..=32u8 {
+            let mask = width_mask(bits);
+            for values in [[0u32; BLOCK_LEN], [mask; BLOCK_LEN]] {
+                let mut packed = vec![0u8; packed_len(bits)];
+                pack(&values, bits, &mut packed);
+                for &k in &available_kernels() {
+                    let mut out = [0u32; BLOCK_LEN];
+                    unpack_with(k, &packed, bits, &mut out);
+                    assert_eq!(out, values, "kernel {k:?} width {bits}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_unpack_matches_scalar() {
+        for bits in [0u8, 1, 5, 13, 17, 31, 32] {
+            let values = random_block(7 + bits as u64, bits);
+            let mut packed = vec![0u8; packed_len(bits)];
+            pack(&values, bits, &mut packed);
+            let mut via_dispatch = [0u32; BLOCK_LEN];
+            unpack(&packed, bits, &mut via_dispatch);
+            assert_eq!(via_dispatch, values);
+        }
+        // The detected kernel must be one the CPU actually supports.
+        assert!(available_kernels().contains(&active_kernel()));
+    }
+
+    #[test]
+    #[should_panic(expected = "packed input length mismatch")]
+    fn unpack_rejects_wrong_length() {
+        let mut out = [0u32; BLOCK_LEN];
+        unpack_scalar(&[0u8; 15], 1, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unpack_rejects_oversized_width() {
+        let mut out = [0u32; BLOCK_LEN];
+        unpack_scalar(&[0u8; 16], 33, &mut out);
+    }
+}
