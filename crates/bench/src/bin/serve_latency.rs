@@ -1,0 +1,379 @@
+//! Serving-latency experiment: a live loopback `ndss-serve` daemon driven
+//! by closed- and open-loop workloads, emitted as `BENCH_serve_latency.json`.
+//!
+//! ```text
+//! cargo run -p ndss-bench --release --bin serve_latency             # full sweep
+//! cargo run -p ndss-bench --release --bin serve_latency -- --stress # CI gate
+//! ```
+//!
+//! Two workload shapes, per Schroeder et al.'s open-vs-closed distinction:
+//!
+//! * **closed loop** — N clients, each issuing its next query the moment
+//!   the previous answer lands: measures saturation throughput and the
+//!   latency a well-behaved batch client sees;
+//! * **open loop** — queries arrive on a fixed schedule regardless of
+//!   completions (rising offered QPS): measures how admission control
+//!   degrades — the shed rate must rise monotonically with offered load,
+//!   and accepted queries must stay fast instead of queueing unboundedly.
+//!
+//! `--stress` runs one fixed-QPS open-loop stage (default 30 s) and gates
+//! `p99 < 10 × p50` plus zero protocol errors — the CI serving gate.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ndss::index::CacheConfig;
+use ndss::prelude::*;
+use ndss::serve::client::FrameClient;
+use ndss::serve::frame::{SearchRequest, STATUS_OVERLOADED};
+use ndss::serve::{ServeConfig, Server, ServerHandle};
+use ndss_bench::{owt_like, query_workload, shape_check};
+use ndss_json::{Json, ObjectBuilder};
+
+const THETA: f64 = 0.8;
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One stage's measurements.
+struct StageStats {
+    latencies_ms: Vec<f64>,
+    answered: u64,
+    shed: u64,
+    protocol_errors: u64,
+}
+
+impl StageStats {
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[rank]
+    }
+
+    fn shed_rate(&self) -> f64 {
+        let total = self.answered + self.shed;
+        if total == 0 {
+            0.0
+        } else {
+            self.shed as f64 / total as f64
+        }
+    }
+
+    fn to_json(&self) -> ObjectBuilder {
+        ObjectBuilder::new()
+            .field("answered", Json::UInt(self.answered))
+            .field("shed", Json::UInt(self.shed))
+            .field("protocol_errors", Json::UInt(self.protocol_errors))
+            .field("shed_rate", Json::Float(self.shed_rate()))
+            .field("p50_ms", Json::Float(self.percentile(0.50)))
+            .field("p99_ms", Json::Float(self.percentile(0.99)))
+    }
+}
+
+/// Runs `clients` closed-loop connections for `duration`.
+fn closed_loop(
+    addr: std::net::SocketAddr,
+    queries: &[Vec<TokenId>],
+    clients: usize,
+    duration: Duration,
+) -> StageStats {
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = stop.clone();
+            let queries = queries.to_vec();
+            std::thread::spawn(move || {
+                let mut client = FrameClient::connect(addr, CONNECT_TIMEOUT).unwrap();
+                let mut stats = StageStats {
+                    latencies_ms: Vec::new(),
+                    answered: 0,
+                    shed: 0,
+                    protocol_errors: 0,
+                };
+                let mut i = c;
+                while !stop.load(Ordering::Relaxed) {
+                    let query = &queries[i % queries.len()];
+                    i += 1;
+                    let started = Instant::now();
+                    match client.search(&SearchRequest {
+                        theta: THETA,
+                        deadline_ms: 0,
+                        top: 10,
+                        query: query.clone(),
+                    }) {
+                        Ok(Ok(_)) => {
+                            stats.answered += 1;
+                            stats
+                                .latencies_ms
+                                .push(started.elapsed().as_secs_f64() * 1e3);
+                        }
+                        Ok(Err((status, _))) if status == STATUS_OVERLOADED => stats.shed += 1,
+                        Ok(Err(_)) | Err(_) => stats.protocol_errors += 1,
+                    }
+                }
+                stats
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    merge(workers)
+}
+
+/// Runs an open-loop stage: requests dispatched on a fixed `qps` schedule
+/// from a worker pool, for `duration`. Latency is measured from the
+/// *scheduled* send time, so server-side queueing shows up in the tail.
+fn open_loop(
+    addr: std::net::SocketAddr,
+    queries: &[Vec<TokenId>],
+    qps: f64,
+    duration: Duration,
+    workers: usize,
+) -> StageStats {
+    let total = (qps * duration.as_secs_f64()) as usize;
+    let interval = Duration::from_secs_f64(1.0 / qps);
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now() + Duration::from_millis(20);
+    let threads: Vec<_> = (0..workers)
+        .map(|_| {
+            let next = next.clone();
+            let queries = queries.to_vec();
+            std::thread::spawn(move || {
+                let mut client = FrameClient::connect(addr, CONNECT_TIMEOUT).unwrap();
+                let mut stats = StageStats {
+                    latencies_ms: Vec::new(),
+                    answered: 0,
+                    shed: 0,
+                    protocol_errors: 0,
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let scheduled = start + interval.mul_f64(i as f64);
+                    let now = Instant::now();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    match client.search(&SearchRequest {
+                        theta: THETA,
+                        deadline_ms: 0,
+                        top: 10,
+                        query: queries[i % queries.len()].clone(),
+                    }) {
+                        Ok(Ok(_)) => {
+                            stats.answered += 1;
+                            stats
+                                .latencies_ms
+                                .push(scheduled.elapsed().as_secs_f64() * 1e3);
+                        }
+                        Ok(Err((status, _))) if status == STATUS_OVERLOADED => stats.shed += 1,
+                        Ok(Err(_)) | Err(_) => stats.protocol_errors += 1,
+                    }
+                }
+                stats
+            })
+        })
+        .collect();
+    merge(threads)
+}
+
+fn merge(workers: Vec<std::thread::JoinHandle<StageStats>>) -> StageStats {
+    let mut merged = StageStats {
+        latencies_ms: Vec::new(),
+        answered: 0,
+        shed: 0,
+        protocol_errors: 0,
+    };
+    for w in workers {
+        let s = w.join().unwrap();
+        merged.latencies_ms.extend(s.latencies_ms);
+        merged.answered += s.answered;
+        merged.shed += s.shed;
+        merged.protocol_errors += s.protocol_errors;
+    }
+    merged
+}
+
+fn start_server(
+    store: &std::path::Path,
+    admission_cap: usize,
+) -> (ServerHandle, ndss::serve::RunningServer) {
+    let serving = ServingIndex::open_with_cache(store, CacheConfig::default()).unwrap();
+    let server = Server::bind(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 64,
+            admission_cap,
+            ..ServeConfig::default()
+        },
+        serving,
+    )
+    .unwrap();
+    let running = server.spawn();
+    (running.handle(), running)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stress = argv.iter().any(|a| a == "--stress");
+    let stress_seconds: u64 = argv
+        .iter()
+        .position(|a| a == "--seconds")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+
+    println!("== serve_latency: closed + open loop against a live loopback daemon ==");
+    let dir = std::env::temp_dir().join("ndss_bench_serve_latency");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let (corpus, planted) = owt_like(1, 16_000, 7);
+    let params = SearchParams::new(16, 25, 1234);
+    CorpusIndex::build_on_disk(&corpus, params, &dir).unwrap();
+    let queries = query_workload(&corpus, &planted, 256, 60, 99);
+
+    if stress {
+        run_stress(&dir, &queries, stress_seconds);
+        return;
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let (_, server) = start_server(&dir, cores.max(2));
+    let addr = server.handle().addr();
+    println!("daemon on {addr} (admission cap {})", cores.max(2));
+
+    // Closed loop: concurrency sweep.
+    let mut closed_rows = Vec::new();
+    println!(
+        "\n{:>8} {:>9} {:>9} {:>9} {:>6}",
+        "clients", "qps", "p50 ms", "p99 ms", "shed"
+    );
+    for clients in [1usize, 2, 4, 8] {
+        let seconds = 1.5;
+        let stats = closed_loop(addr, &queries, clients, Duration::from_secs_f64(seconds));
+        let qps = stats.answered as f64 / seconds;
+        println!(
+            "{clients:>8} {qps:>9.0} {:>9.2} {:>9.2} {:>6}",
+            stats.percentile(0.50),
+            stats.percentile(0.99),
+            stats.shed
+        );
+        closed_rows.push(
+            stats
+                .to_json()
+                .field("clients", Json::UInt(clients as u64))
+                .field("achieved_qps", Json::Float(qps))
+                .build(),
+        );
+    }
+
+    // Open loop: rising offered QPS with a tight admission cap, so the
+    // shed curve is visible well before the machine saturates.
+    server.shutdown_and_join().unwrap();
+    let (_, server) = start_server(&dir, 2);
+    let addr = server.handle().addr();
+
+    let mut open_rows = Vec::new();
+    let mut shed_curve = Vec::new();
+    println!(
+        "\n{:>9} {:>9} {:>9} {:>9} {:>9}",
+        "offered", "answered", "p50 ms", "p99 ms", "shed%"
+    );
+    for qps in [25.0f64, 50.0, 100.0, 200.0, 400.0, 800.0] {
+        let stats = open_loop(addr, &queries, qps, Duration::from_secs_f64(1.5), 32);
+        println!(
+            "{qps:>9.0} {:>9} {:>9.2} {:>9.2} {:>9.1}",
+            stats.answered,
+            stats.percentile(0.50),
+            stats.percentile(0.99),
+            stats.shed_rate() * 100.0
+        );
+        shed_curve.push(stats.shed_rate());
+        open_rows.push(
+            stats
+                .to_json()
+                .field("offered_qps", Json::Float(qps))
+                .build(),
+        );
+    }
+    server.shutdown_and_join().unwrap();
+
+    // Shedding must be monotone in offered load (small jitter slack), and
+    // overload must shed rather than queue: the last stage sheds the most.
+    let slack = 0.05;
+    let monotone = shed_curve.windows(2).all(|w| w[1] + slack >= w[0]);
+    let rises = shed_curve.last().unwrap() > shed_curve.first().unwrap();
+    shape_check(
+        "open-loop shed rate is monotone in offered load",
+        monotone && rises,
+        &format!(
+            "{:?} (slack {slack})",
+            shed_curve
+                .iter()
+                .map(|r| (r * 1000.0).round() / 10.0)
+                .collect::<Vec<_>>()
+        ),
+    );
+
+    let report = ObjectBuilder::new()
+        .field(
+            "workload",
+            ObjectBuilder::new()
+                .field("texts", Json::UInt(corpus.num_texts() as u64))
+                .field("queries", Json::UInt(queries.len() as u64))
+                .field("theta", Json::Float(THETA))
+                .build(),
+        )
+        .field("closed_loop", Json::Array(closed_rows))
+        .field("open_loop", Json::Array(open_rows))
+        .build();
+    let out = "BENCH_serve_latency.json";
+    std::fs::write(out, report.to_string_pretty()).unwrap();
+    println!("\nwrote {out}");
+}
+
+/// The CI gate: one fixed-QPS open-loop stage; p99 must stay within 10× of
+/// p50 and every frame must round-trip cleanly.
+fn run_stress(dir: &std::path::Path, queries: &[Vec<TokenId>], seconds: u64) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let cap = cores.max(2);
+    let (_, server) = start_server(dir, cap);
+    let addr = server.handle().addr();
+
+    // Calibrate: a short closed-loop burst sets a sustainable fixed rate
+    // (half of one client's throughput scaled by the cap, floor 20 QPS).
+    let probe = closed_loop(addr, queries, 1, Duration::from_secs_f64(1.0));
+    let per_client_qps = probe.answered as f64;
+    let qps = (per_client_qps * cap as f64 * 0.5).max(20.0);
+    println!("stress: {seconds} s at fixed {qps:.0} QPS (cap {cap}, probe {per_client_qps:.0} QPS/client)");
+
+    let stats = open_loop(addr, queries, qps, Duration::from_secs(seconds), 32);
+    server.shutdown_and_join().unwrap();
+
+    let p50 = stats.percentile(0.50);
+    let p99 = stats.percentile(0.99);
+    println!(
+        "stress: {} answered, {} shed, {} protocol errors, p50 {p50:.2} ms, p99 {p99:.2} ms",
+        stats.answered, stats.shed, stats.protocol_errors
+    );
+    shape_check(
+        "stress p99 stays within 10x of p50 at fixed QPS",
+        stats.answered > 0 && p99 < 10.0 * p50.max(0.1),
+        &format!("p50 {p50:.2} ms, p99 {p99:.2} ms"),
+    );
+    shape_check(
+        "zero protocol errors across the stress run",
+        stats.protocol_errors == 0,
+        &format!("{} frames answered", stats.answered),
+    );
+}

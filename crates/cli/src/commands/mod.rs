@@ -6,6 +6,7 @@ pub mod merge;
 pub mod publish;
 pub mod rollback;
 pub mod search;
+pub mod serve;
 pub mod stats;
 pub mod synth;
 pub mod tokenize;

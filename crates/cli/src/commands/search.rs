@@ -266,7 +266,8 @@ fn run_batch(
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
     let mut matched = 0usize;
-    let (mut completed, mut partial, mut shed, mut failed) = (0usize, 0usize, 0usize, 0usize);
+    let (mut completed, mut partial, mut failed) = (0usize, 0usize, 0usize);
+    let (mut shed_cap, mut shed_deadline, mut cancelled) = (0usize, 0usize, 0usize);
     let mut stats: Vec<&ndss::query::QueryStats> = Vec::new();
     for (i, result) in results.iter().enumerate() {
         let (outcome, note) = match result {
@@ -280,9 +281,17 @@ fn run_batch(
                 partial += 1;
                 (&**outcome, "  [partial: budget exhausted]")
             }
-            Err(e @ (QueryError::Overloaded { .. } | QueryError::Cancelled)) => {
-                shed += 1;
+            Err(e @ QueryError::Overloaded { reason, .. }) => {
+                match reason {
+                    ShedReason::AdmissionCap { .. } => shed_cap += 1,
+                    ShedReason::BatchDeadline => shed_deadline += 1,
+                }
                 println!("query {i:>5}: shed ({e})");
+                continue;
+            }
+            Err(e @ QueryError::Cancelled) => {
+                cancelled += 1;
+                println!("query {i:>5}: cancelled ({e})");
                 continue;
             }
             Err(e) => {
@@ -313,10 +322,11 @@ fn run_batch(
         results.len(),
         elapsed.as_secs_f64(),
     );
-    if partial + shed + failed > 0 {
+    if partial + shed_cap + shed_deadline + cancelled + failed > 0 {
         println!(
             "governance: {completed} completed, {partial} partial (budget), \
-             {shed} shed, {failed} failed"
+             {shed_cap} shed (admission cap), {shed_deadline} shed (batch deadline), \
+             {cancelled} cancelled, {failed} failed"
         );
     }
     let lookups = cache_hits + cache_misses;

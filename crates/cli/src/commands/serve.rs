@@ -1,0 +1,61 @@
+//! `ndss serve`: run the network front door over an index or generation
+//! store.
+//!
+//! The daemon answers HTTP (`POST /search`, `GET /metrics`,
+//! `GET /healthz`, `POST /reload`, `POST /shutdown`) and the NDSB binary
+//! framing on one port. Pointing `--index` at a generation store makes
+//! `POST /reload` (or a publish followed by reload) hot-swap generations
+//! with zero downtime. SIGTERM and SIGINT drain gracefully: in-flight
+//! queries finish on their pinned snapshots before the process exits.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use ndss::index::CacheConfig;
+use ndss::prelude::*;
+use ndss::serve::{ServeConfig, Server, DEFAULT_ADDR};
+
+use crate::args::Args;
+
+pub fn run(args: &Args) -> Result<(), String> {
+    let index = args.required("index")?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        addr: args.get("addr").unwrap_or(DEFAULT_ADDR).to_string(),
+        workers: args.get_or("workers", defaults.workers)?,
+        admission_cap: args.get_or("admission-cap", defaults.admission_cap)?,
+        default_deadline: args
+            .get("deadline-ms")
+            .map(|raw| {
+                raw.parse::<u64>()
+                    .map(Duration::from_millis)
+                    .map_err(|_| format!("--deadline-ms: '{raw}' is not an integer"))
+            })
+            .transpose()?,
+        max_body_bytes: args.get_or("max-body-bytes", defaults.max_body_bytes)?,
+        metrics_out: args.get("metrics-out").map(PathBuf::from),
+        ..defaults
+    };
+
+    let serving = ServingIndex::open_with_cache(Path::new(index), CacheConfig::default())
+        .map_err(|e| e.to_string())?;
+    let generation = serving.generation();
+
+    Server::install_signal_hooks();
+    let server = Server::bind(config, serving).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    match generation {
+        Some(generation) => {
+            println!("serving {index} (generation {generation}) on http://{addr}")
+        }
+        None => println!("serving {index} on http://{addr}"),
+    }
+    println!("endpoints: POST /search  GET /metrics  GET /healthz  POST /reload  POST /shutdown");
+
+    let report = server.run().map_err(|e| e.to_string())?;
+    println!(
+        "drained: {} connections, {} http requests, {} binary frames, {} shed",
+        report.connections, report.http_requests, report.frame_requests, report.shed
+    );
+    Ok(())
+}

@@ -6,6 +6,7 @@
 //! ndss tokenize  --input docs.txt --out corpus.ndsc --tokenizer tok.json
 //! ndss index     --corpus corpus.ndsc --out index_dir --k 32 --t 25
 //! ndss search    --index index_dir --query-tokens 5,17,99,… --theta 0.8
+//! ndss serve     --index index_dir --addr 127.0.0.1:7700
 //! ndss stats     --corpus corpus.ndsc [--index index_dir]
 //! ndss memorize  --corpus corpus.ndsc --index index_dir --order 4
 //! ```
@@ -54,6 +55,7 @@ pub fn dispatch(command: &str, args: &args::Args) -> Result<(), String> {
         "tokenize" => commands::tokenize::run(args),
         "index" => commands::index::run(args),
         "search" => commands::search::run(args),
+        "serve" => commands::serve::run(args),
         "stats" => commands::stats::run(args),
         "memorize" => commands::memorize::run(args),
         "merge" => commands::merge::run(args),
@@ -108,6 +110,14 @@ COMMANDS:
                [--threads N=all cores] [--profile]
                [--failure-policy failfast|isolate (default failfast)]
                [--batch-deadline-ms N] [--admission-cap N]
+  serve      run the network daemon over an index or generation store
+               --index DIR [--addr HOST:PORT=127.0.0.1:7700]
+               [--workers N=2*cores] [--admission-cap N=cores]
+               [--deadline-ms N (per-request default deadline)]
+               [--max-body-bytes N=16MiB] [--metrics-out PATH]
+             one port, two protocols: HTTP/1.1 (POST /search JSON,
+             GET /metrics, GET /healthz, POST /reload, POST /shutdown)
+             and NDSB length-prefixed binary framing; SIGTERM drains
   stats      corpus and index statistics
                --corpus FILE [--index DIR] [--top N=10]
                [--metrics (render process metrics registry)]

@@ -25,6 +25,7 @@
 //! | [`windows`] (`ndss-windows`) | compact-window generation (Algorithm 2, Theorem 1) |
 //! | [`index`] (`ndss-index`) | inverted indexes, zone maps, external build (Algorithm 1) |
 //! | [`query`] (`ndss-query`) | interval scan, collision counting, prefix filtering (Algorithms 3–5) |
+//! | [`serve`] (`ndss-serve`) | network daemon: HTTP + binary framing over a hot-swappable index |
 //! | [`lm`] (`ndss-lm`) | n-gram LM substrate + memorization evaluation (§5) |
 //!
 //! ## Quickstart
@@ -60,6 +61,7 @@ pub use ndss_obs as obs;
 pub use ndss_parallel as parallel;
 pub use ndss_query as query;
 pub use ndss_rmq as rmq;
+pub use ndss_serve as serve;
 pub use ndss_tokenizer as tokenizer;
 pub use ndss_windows as windows;
 
@@ -87,7 +89,7 @@ pub mod prelude {
     pub use ndss_query::{
         BatchSearcher, CancelToken, DocumentMatch, DocumentScan, FailurePolicy, NearDupSearcher,
         PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource, SearchOutcome, ServingIndex,
-        ServingSearcher, TextMatch,
+        ServingSearcher, ShedReason, TextMatch,
     };
     pub use ndss_tokenizer::{BpeTokenizer, BpeTrainer};
 }

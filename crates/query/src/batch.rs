@@ -31,6 +31,33 @@ use crate::governor::{CancelToken, QueryBudget};
 use crate::search::{NearDupSearcher, PrefixFilter, SearchOutcome};
 use crate::QueryError;
 
+/// Why the batch engine shed a query before starting it, reported in
+/// [`QueryError::Overloaded`]. An admission-cap shed means the batch was
+/// over capacity (add workers, shrink batches); a deadline shed means the
+/// latency budget ran out first (raise the deadline, speed up queries) —
+/// conflating them used to misreport deadline sheds as cap sheds with a
+/// fabricated cap equal to the batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The query's position was at or beyond the batch's admission cap.
+    AdmissionCap {
+        /// The admission cap in force.
+        cap: usize,
+    },
+    /// The batch-wide deadline had already passed when the query came up
+    /// for execution.
+    BatchDeadline,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::AdmissionCap { cap } => write!(f, "admission cap {cap}"),
+            ShedReason::BatchDeadline => write!(f, "batch deadline"),
+        }
+    }
+}
+
 /// How a batch reacts to one query failing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FailurePolicy {
@@ -206,13 +233,16 @@ impl<'a, I: IndexAccess + ?Sized> BatchSearcher<'a, I> {
             // past the batch deadline, or the batch already failed fast.
             if i >= cap {
                 self.searcher.metrics().record_shed();
-                return Err(QueryError::Overloaded { position: i, cap });
+                return Err(QueryError::Overloaded {
+                    position: i,
+                    reason: ShedReason::AdmissionCap { cap },
+                });
             }
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 self.searcher.metrics().record_shed();
                 return Err(QueryError::Overloaded {
                     position: i,
-                    cap: queries.len(),
+                    reason: ShedReason::BatchDeadline,
                 });
             }
             if abort.is_cancelled() {
@@ -357,8 +387,8 @@ mod tests {
                 assert!(r.is_ok(), "admitted query {i} failed: {r:?}");
             } else {
                 assert!(
-                    matches!(r, Err(QueryError::Overloaded { position, cap: c })
-                        if *position == i && *c == cap),
+                    matches!(r, Err(QueryError::Overloaded { position, reason })
+                        if *position == i && *reason == (ShedReason::AdmissionCap { cap })),
                     "query {i} not shed: {r:?}"
                 );
             }
@@ -376,8 +406,12 @@ mod tests {
             .failure_policy(FailurePolicy::Isolate)
             .batch_deadline(Duration::ZERO);
         let results = batch.search_all_governed(&queries, 0.8);
-        assert!(results
-            .iter()
-            .all(|r| matches!(r, Err(QueryError::Overloaded { .. }))));
+        assert!(results.iter().all(|r| matches!(
+            r,
+            Err(QueryError::Overloaded {
+                reason: ShedReason::BatchDeadline,
+                ..
+            })
+        )));
     }
 }

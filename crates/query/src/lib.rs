@@ -59,7 +59,7 @@ pub mod planner;
 pub mod search;
 pub mod serving;
 
-pub use batch::{BatchSearcher, FailurePolicy};
+pub use batch::{BatchSearcher, FailurePolicy, ShedReason};
 pub use collision::{
     collision_count, collision_count_fn_into, collision_count_into, CollisionScratch, Rectangle,
 };
@@ -97,13 +97,15 @@ pub enum QueryError {
         /// Verified matches found so far, flagged incomplete.
         partial: Box<SearchOutcome>,
     },
-    /// The batch engine shed this query before starting it: the admission
-    /// cap was hit or the batch deadline had already passed.
+    /// The batch engine shed this query before starting it; `reason` says
+    /// whether the admission cap was hit or the batch deadline had already
+    /// passed — the two call for different operator responses (capacity vs
+    /// latency budget).
     Overloaded {
         /// The query's position in the batch.
         position: usize,
-        /// The admission cap in force (batch size for deadline sheds).
-        cap: usize,
+        /// Why the query was shed.
+        reason: ShedReason,
     },
     /// The query was abandoned at a governor checkpoint because its batch
     /// failed fast (see [`BatchSearcher::search_all`]).
@@ -131,9 +133,17 @@ impl std::fmt::Display for QueryError {
                 "query budget exceeded ({resource}); {} verified match(es) found before stopping",
                 partial.matches.len()
             ),
-            QueryError::Overloaded { position, cap } => {
-                write!(f, "query {position} shed by admission control (cap {cap})")
-            }
+            QueryError::Overloaded { position, reason } => match reason {
+                ShedReason::AdmissionCap { cap } => {
+                    write!(f, "query {position} shed by admission control (cap {cap})")
+                }
+                ShedReason::BatchDeadline => {
+                    write!(
+                        f,
+                        "query {position} shed: the batch deadline passed before it started"
+                    )
+                }
+            },
             QueryError::Cancelled => write!(f, "query cancelled by its batch"),
             QueryError::Index(e) => e.fmt(f),
             QueryError::Corpus(e) => e.fmt(f),

@@ -16,6 +16,12 @@
 //! Observability: the `index.generation` gauge tracks the serving
 //! generation number and the `index.reloads` counter every completed swap,
 //! so a fleet dashboard shows exactly which generation each process serves.
+//! The gauge is process-wide and **last-writer-wins**: when two
+//! [`ServingIndex`]es live in one process (e.g. tests, or a future
+//! multi-shard server), whichever opened or reloaded most recently owns the
+//! exported value — the registry has no label dimension, and registering a
+//! second gauge under the same name would corrupt the exposition instead.
+//! Generation numbers above `i64::MAX` are clamped rather than wrapped.
 
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
@@ -70,7 +76,7 @@ impl ServingIndex {
             "completed hot swaps to a new index generation",
         );
         let state = Self::load_state(path, cache)?;
-        generation_gauge.set(state.generation.unwrap_or(0) as i64);
+        generation_gauge.set(gauge_value(state.generation));
         Ok(Self {
             path: path.to_path_buf(),
             cache,
@@ -117,23 +123,70 @@ impl ServingIndex {
     /// generation is dropped when the last of them finishes. The new
     /// generation is fully opened (headers validated) *before* the swap, so
     /// a bad generation leaves serving untouched and returns the error.
+    ///
+    /// Racing reloads are safe in both directions: the swap is re-checked
+    /// under the write lock, so a reload that resolved `CURRENT` before a
+    /// concurrent reload published-and-swapped a *newer* generation
+    /// abandons its stale open instead of regressing serving to the older
+    /// generation.
     pub fn reload(&self) -> Result<bool, QueryError> {
-        let target = resolve_index_dir(&self.path);
-        {
-            let state = self.state.read().unwrap();
-            if state.dir == target {
+        self.reload_with_race_window(|| {})
+    }
+
+    /// [`Self::reload`] with a hook invoked between resolving/opening the
+    /// target generation and taking the write lock — the window in which a
+    /// concurrent reload can land. Exists so tests can exercise the race
+    /// deterministically; not part of the stable API.
+    #[doc(hidden)]
+    pub fn reload_with_race_window(&self, mut in_window: impl FnMut()) -> Result<bool, QueryError> {
+        // A stale open retries resolution from scratch; `CURRENT` moving
+        // takes an explicit publish/rollback, so in practice this loop runs
+        // once (twice under an actively racing reload).
+        for _ in 0..RELOAD_ATTEMPTS {
+            let target = resolve_index_dir(&self.path);
+            {
+                let state = self.state.read().unwrap();
+                if state.dir == target {
+                    return Ok(false);
+                }
+            }
+            let fresh = Self::load_state(&self.path, self.cache)?;
+            in_window();
+            let generation = fresh.generation;
+            let mut state = self.state.write().unwrap();
+            // Re-resolved under the write lock: between our open and this
+            // lock a concurrent reload may have swapped a *newer* generation
+            // in (and a concurrent publish may have moved `CURRENT` again).
+            // Swap only while `CURRENT` still names the generation we
+            // opened — a stale open must never overwrite a newer swap with
+            // an older generation. A deliberate rollback still reloads:
+            // there `CURRENT` genuinely names the older generation.
+            let current_now = resolve_index_dir(&self.path);
+            if state.dir == current_now {
                 return Ok(false);
             }
+            if fresh.dir != current_now {
+                // Our open is stale; re-resolve and try again.
+                continue;
+            }
+            *state = fresh;
+            self.generation_gauge.set(gauge_value(generation));
+            self.reload_counter.inc(1);
+            return Ok(true);
         }
-        let fresh = Self::load_state(&self.path, self.cache)?;
-        let generation = fresh.generation;
-        // Double-checked under the write lock: two concurrent reloads to
-        // the same target swap once each, harmlessly, to the same index.
-        *self.state.write().unwrap() = fresh;
-        self.generation_gauge.set(generation.unwrap_or(0) as i64);
-        self.reload_counter.inc(1);
-        Ok(true)
+        Ok(false)
     }
+}
+
+/// Bound on reload re-resolution retries; each retry requires a publish or
+/// rollback to land inside the previous attempt's open window.
+const RELOAD_ATTEMPTS: usize = 8;
+
+/// Gauge encoding of a generation number: `0` for a plain index directory,
+/// clamped at `i64::MAX` instead of wrapping for (pathological) generation
+/// numbers beyond it.
+fn gauge_value(generation: Option<u64>) -> i64 {
+    generation.unwrap_or(0).min(i64::MAX as u64) as i64
 }
 
 /// A long-lived searcher over a [`ServingIndex`]: the owning counterpart of
@@ -183,9 +236,34 @@ impl ServingSearcher {
 
     /// Runs one query at threshold `theta` against the current generation.
     pub fn search(&self, query: &[TokenId], theta: f64) -> Result<SearchOutcome, QueryError> {
+        self.search_governed(query, theta, &crate::QueryBudget::unlimited())
+    }
+
+    /// [`Self::search`] under a per-query [`crate::QueryBudget`] — the shape
+    /// a network front door needs: every request pins one generation and
+    /// carries its own deadline/IO/result caps.
+    pub fn search_governed(
+        &self,
+        query: &[TokenId],
+        theta: f64,
+        budget: &crate::QueryBudget,
+    ) -> Result<SearchOutcome, QueryError> {
         let snapshot = self.index.snapshot();
         let searcher = NearDupSearcher::with_prefix_filter(&*snapshot, self.filter)?;
-        searcher.search(query, theta)
+        searcher.search_governed(query, theta, budget)
+    }
+
+    /// Ranks an outcome's matches (merged spans, best collision counts),
+    /// delegating to [`NearDupSearcher::rank`] against the current
+    /// generation's configuration.
+    pub fn rank(
+        &self,
+        outcome: &SearchOutcome,
+        limit: usize,
+    ) -> Result<Vec<crate::RankedMatch>, QueryError> {
+        let snapshot = self.index.snapshot();
+        let searcher = NearDupSearcher::with_prefix_filter(&*snapshot, self.filter)?;
+        Ok(searcher.rank(outcome, limit))
     }
 
     /// Runs every query at threshold `theta`, all against the single

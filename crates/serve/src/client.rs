@@ -1,0 +1,186 @@
+//! Minimal blocking clients for both protocols — enough for the CLI, the
+//! integration tests, and the latency bench to drive a server without any
+//! external HTTP library.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::frame::{self, SearchRequest, SearchResponse};
+
+/// One HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code (`200`, `429`, …).
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Body as UTF-8 (lossy — server bodies are JSON or Prometheus text).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive HTTP/1.1 connection to a server.
+pub struct HttpClient {
+    stream: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects; `timeout` bounds each read and write.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient { stream })
+    }
+
+    /// Sends one request and reads the response. `body = b""` sends no
+    /// payload but still advertises `Content-Length: 0` on POST.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<HttpResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: ndss\r\ncontent-length: {}\r\ncontent-type: application/json\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        read_http_response(&mut self.stream)
+    }
+}
+
+/// Reads one `HTTP/1.1` response with a `Content-Length` body (all this
+/// server emits).
+fn read_http_response(stream: &mut impl Read) -> io::Result<HttpResponse> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside response head",
+                ))
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") {
+                    break;
+                }
+                if head.len() > 64 * 1024 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "response head too large",
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < body.len() {
+        match stream.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside response body",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(HttpResponse { status, body })
+}
+
+/// A connection speaking the NDSB binary framing.
+pub struct FrameClient {
+    stream: TcpStream,
+}
+
+impl FrameClient {
+    /// Connects; `timeout` bounds each read and write.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(FrameClient { stream })
+    }
+
+    /// Round-trips one search. The outer `io::Result` is transport
+    /// failure; the inner `Result` is the server's verdict (`Err` carries
+    /// the status byte and message, e.g. `STATUS_OVERLOADED`).
+    #[allow(clippy::result_large_err)]
+    pub fn search(
+        &mut self,
+        request: &SearchRequest,
+    ) -> io::Result<Result<SearchResponse, (u8, String)>> {
+        frame::write_frame(&mut self.stream, &frame::encode_search_request(request))?;
+        let payload = self.read_payload()?;
+        Ok(frame::decode_search_response(&payload))
+    }
+
+    /// Round-trips a ping; returns the status byte.
+    pub fn ping(&mut self) -> io::Result<u8> {
+        frame::write_frame(&mut self.stream, &[frame::OP_PING])?;
+        let payload = self.read_payload()?;
+        Ok(payload.first().copied().unwrap_or(frame::STATUS_INTERNAL))
+    }
+
+    fn read_payload(&mut self) -> io::Result<Vec<u8>> {
+        loop {
+            match frame::read_frame(&mut self.stream)? {
+                frame::FrameOutcome::Payload(p) => return Ok(p),
+                frame::FrameOutcome::Idle => continue,
+                frame::FrameOutcome::Closed => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                frame::FrameOutcome::Malformed(m) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, m))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The length-prefixed binary protocol for batch clients.
+//!
+//! Evaluation harnesses stream thousands of queries per connection; JSON
+//! encode/decode would dominate their wall time. The binary framing is a
+//! fixed 8-byte header (`NDSB` magic + little-endian payload length)
+//! followed by an opcode-tagged payload, so a client can pipeline requests
+//! and read responses in order. Both protocols share one port: the server
+//! peeks the first four bytes of a connection and dispatches on the magic.
+//!
+//! Wire layout (all integers little-endian):
+//!
+//! ```text
+//! frame     := "NDSB" len:u32 payload[len]
+//! request   := op:u8 …                       op 1 = search, 2 = ping
+//! search    := theta:f64 deadline_ms:u64 top:u32 ntokens:u32 token:u32 …
+//! response  := status:u8 …                   status 0 = ok
+//! ok        := complete:u8 generation:u64 beta:u32 total_seqs:u64
+//!              nmatches:u32 match …
+//! match     := text:u32 collisions:u32 nspans:u32 (start:u32 end:u32) …
+//! error     := message (UTF-8, rest of payload)   status 1 = overloaded,
+//!              2 = bad request, 3 = internal, 4 = shutting down
+//! pong      := status 0, empty payload tail
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// First bytes of every frame — also the protocol discriminator at accept.
+pub const MAGIC: [u8; 4] = *b"NDSB";
+
+/// Upper bound on a frame payload (queries are token-id lists; 64 MiB is
+/// ~16M tokens, far beyond any sane query).
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Request opcodes.
+pub const OP_SEARCH: u8 = 1;
+/// Liveness probe; answered with an empty OK frame.
+pub const OP_PING: u8 = 2;
+
+/// Response status codes.
+pub const STATUS_OK: u8 = 0;
+/// Shed by admission control; retry against a less-loaded replica.
+pub const STATUS_OVERLOADED: u8 = 1;
+/// The request itself was invalid (bad opcode, empty query, bad θ).
+pub const STATUS_BAD_REQUEST: u8 = 2;
+/// The query failed server-side (index error, IO).
+pub const STATUS_INTERNAL: u8 = 3;
+/// The server is draining; no further requests will be admitted.
+pub const STATUS_SHUTTING_DOWN: u8 = 4;
+
+/// A decoded binary search request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    pub theta: f64,
+    /// Per-request deadline in milliseconds; `0` means "server default".
+    pub deadline_ms: u64,
+    /// Matches to return, best-first; `0` means all.
+    pub top: u32,
+    pub query: Vec<u32>,
+}
+
+/// One match in a binary search response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireMatch {
+    pub text: u32,
+    pub collisions: u32,
+    /// Merged disjoint `[start, end]` token spans.
+    pub spans: Vec<(u32, u32)>,
+}
+
+/// A decoded binary search response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResponse {
+    pub complete: bool,
+    /// Generation serving the query (`0` for a plain index directory).
+    pub generation: u64,
+    pub beta: u32,
+    pub total_sequences: u64,
+    pub matches: Vec<WireMatch>,
+}
+
+/// What a frame read produced.
+#[derive(Debug)]
+pub enum FrameOutcome {
+    Payload(Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Closed,
+    /// Read timeout with no bytes consumed.
+    Idle,
+    /// Bad magic, oversized payload, or a mid-frame stall.
+    Malformed(String),
+}
+
+/// Reads one frame payload, honoring the stream's read timeout (same
+/// idle/stall semantics as [`crate::http::read_request`]).
+pub fn read_frame(stream: &mut impl Read) -> io::Result<FrameOutcome> {
+    let mut header = [0u8; 8];
+    let mut filled = 0;
+    while filled < header.len() {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    FrameOutcome::Closed
+                } else {
+                    FrameOutcome::Malformed("eof inside frame header".into())
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(if filled == 0 {
+                    FrameOutcome::Idle
+                } else {
+                    FrameOutcome::Malformed("peer stalled inside frame header".into())
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if header[..4] != MAGIC {
+        return Ok(FrameOutcome::Malformed(format!(
+            "bad frame magic {:02x?}",
+            &header[..4]
+        )));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Ok(FrameOutcome::Malformed(format!(
+            "frame payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return Ok(FrameOutcome::Malformed("eof inside frame payload".into())),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(FrameOutcome::Malformed(
+                    "peer stalled inside frame payload".into(),
+                ));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FrameOutcome::Payload(payload))
+}
+
+/// Writes one frame around `payload`.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    debug_assert!(payload.len() <= MAX_PAYLOAD);
+    let mut buf = Vec::with_capacity(8 + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    stream.write_all(&buf)?;
+    stream.flush()
+}
+
+/// A cursor with bounds-checked little-endian readers.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or("truncated payload")?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Encodes a search request payload (client side; the bench and tests use
+/// this too).
+pub fn encode_search_request(req: &SearchRequest) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 8 + 8 + 4 + 4 + 4 * req.query.len());
+    out.push(OP_SEARCH);
+    out.extend_from_slice(&req.theta.to_bits().to_le_bytes());
+    out.extend_from_slice(&req.deadline_ms.to_le_bytes());
+    out.extend_from_slice(&req.top.to_le_bytes());
+    out.extend_from_slice(&(req.query.len() as u32).to_le_bytes());
+    for &token in &req.query {
+        out.extend_from_slice(&token.to_le_bytes());
+    }
+    out
+}
+
+/// Decoded request payload: either a search or a ping.
+#[derive(Debug)]
+pub enum RequestPayload {
+    Search(SearchRequest),
+    Ping,
+}
+
+/// Decodes a request payload (server side).
+pub fn decode_request(payload: &[u8]) -> Result<RequestPayload, String> {
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    match r.u8()? {
+        OP_PING => Ok(RequestPayload::Ping),
+        OP_SEARCH => {
+            let theta = r.f64()?;
+            let deadline_ms = r.u64()?;
+            let top = r.u32()?;
+            let ntokens = r.u32()? as usize;
+            if ntokens > (payload.len() - r.pos) / 4 + 1 {
+                return Err(format!("token count {ntokens} exceeds payload"));
+            }
+            let mut query = Vec::with_capacity(ntokens);
+            for _ in 0..ntokens {
+                query.push(r.u32()?);
+            }
+            if r.pos != payload.len() {
+                return Err("trailing bytes after search request".into());
+            }
+            Ok(RequestPayload::Search(SearchRequest {
+                theta,
+                deadline_ms,
+                top,
+                query,
+            }))
+        }
+        other => Err(format!("unknown opcode {other}")),
+    }
+}
+
+/// Encodes an OK search response (server side).
+pub fn encode_search_response(resp: &SearchResponse) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + resp.matches.len() * 16);
+    out.push(STATUS_OK);
+    out.push(resp.complete as u8);
+    out.extend_from_slice(&resp.generation.to_le_bytes());
+    out.extend_from_slice(&resp.beta.to_le_bytes());
+    out.extend_from_slice(&resp.total_sequences.to_le_bytes());
+    out.extend_from_slice(&(resp.matches.len() as u32).to_le_bytes());
+    for m in &resp.matches {
+        out.extend_from_slice(&m.text.to_le_bytes());
+        out.extend_from_slice(&m.collisions.to_le_bytes());
+        out.extend_from_slice(&(m.spans.len() as u32).to_le_bytes());
+        for &(start, end) in &m.spans {
+            out.extend_from_slice(&start.to_le_bytes());
+            out.extend_from_slice(&end.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Encodes an error response with a short operator-facing message.
+pub fn encode_error(status: u8, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + message.len());
+    out.push(status);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// A decoded response payload: `Ok` for `STATUS_OK`, otherwise the status
+/// and message (client side).
+#[allow(clippy::result_large_err)]
+pub fn decode_search_response(payload: &[u8]) -> Result<SearchResponse, (u8, String)> {
+    let malformed = |m: String| (STATUS_INTERNAL, format!("undecodable response: {m}"));
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let status = r.u8().map_err(malformed)?;
+    if status != STATUS_OK {
+        let message = String::from_utf8_lossy(&payload[1..]).into_owned();
+        return Err((status, message));
+    }
+    let inner = |mut r: Reader<'_>| -> Result<SearchResponse, String> {
+        let complete = r.u8()? != 0;
+        let generation = r.u64()?;
+        let beta = r.u32()?;
+        let total_sequences = r.u64()?;
+        let nmatches = r.u32()? as usize;
+        let mut matches = Vec::with_capacity(nmatches.min(1 << 16));
+        for _ in 0..nmatches {
+            let text = r.u32()?;
+            let collisions = r.u32()?;
+            let nspans = r.u32()? as usize;
+            let mut spans = Vec::with_capacity(nspans.min(1 << 16));
+            for _ in 0..nspans {
+                spans.push((r.u32()?, r.u32()?));
+            }
+            matches.push(WireMatch {
+                text,
+                collisions,
+                spans,
+            });
+        }
+        Ok(SearchResponse {
+            complete,
+            generation,
+            beta,
+            total_sequences,
+            matches,
+        })
+    };
+    inner(r).map_err(malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_request_round_trips() {
+        let req = SearchRequest {
+            theta: 0.85,
+            deadline_ms: 250,
+            top: 10,
+            query: vec![1, 2, 3, u32::MAX],
+        };
+        let payload = encode_search_request(&req);
+        match decode_request(&payload).unwrap() {
+            RequestPayload::Search(got) => assert_eq!(got, req),
+            other => panic!("wrong payload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_response_round_trips() {
+        let resp = SearchResponse {
+            complete: true,
+            generation: 7,
+            beta: 13,
+            total_sequences: 99,
+            matches: vec![WireMatch {
+                text: 4,
+                collisions: 15,
+                spans: vec![(10, 90), (120, 200)],
+            }],
+        };
+        let got = decode_search_response(&encode_search_response(&resp)).unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_bad_magic() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        let mut cursor = std::io::Cursor::new(&wire[..]);
+        match read_frame(&mut cursor).unwrap() {
+            FrameOutcome::Payload(p) => assert_eq!(p, b"hello"),
+            other => panic!("wrong outcome: {other:?}"),
+        }
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap(),
+            FrameOutcome::Closed
+        ));
+
+        let mut bad = std::io::Cursor::new(&b"HTTP/1.1 nope"[..]);
+        assert!(matches!(
+            read_frame(&mut bad).unwrap(),
+            FrameOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn errors_carry_status_and_message() {
+        let payload = encode_error(STATUS_OVERLOADED, "shed");
+        let err = decode_search_response(&payload).unwrap_err();
+        assert_eq!(err.0, STATUS_OVERLOADED);
+        assert_eq!(err.1, "shed");
+    }
+}

@@ -1,0 +1,266 @@
+//! A vendored, minimal HTTP/1.1 server-side codec.
+//!
+//! The build environment is offline (no hyper, no async runtime), and the
+//! server only needs the subset a metrics scraper and a JSON search client
+//! exercise: request line + headers + `Content-Length` bodies, keep-alive
+//! by default, `Connection: close` honored, bounded header/body sizes.
+//! Chunked transfer encoding, trailers, upgrades, and HTTP/2 are out of
+//! scope and rejected explicitly.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path + optional query string).
+    pub path: String,
+    /// Header names lowercased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The path without any query string.
+    pub fn route(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+}
+
+/// Why a read did not produce a request.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The read timed out with no bytes consumed (idle keep-alive poll —
+    /// safe to retry or shut down).
+    Idle,
+    /// The peer sent something unparseable; the caller should answer 400
+    /// and close. The string is a short operator-facing reason.
+    Malformed(String),
+}
+
+/// Reads one request from `stream`, honoring its read timeout. A timeout
+/// that fires *mid-request* is malformed (the peer stalled); a timeout
+/// before the first byte is [`ReadOutcome::Idle`].
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> io::Result<ReadOutcome> {
+    // Accumulate the head byte-by-byte boundary scanning on \r\n\r\n.
+    // Head sizes are tiny; this reads in small chunks for simplicity and
+    // never over-reads into the body.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Ok(if head.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed("eof inside request head".into())
+                });
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.len() > MAX_HEAD_BYTES {
+                    return Ok(ReadOutcome::Malformed("request head too large".into()));
+                }
+                if head.ends_with(b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(if head.is_empty() {
+                    ReadOutcome::Idle
+                } else {
+                    ReadOutcome::Malformed("peer stalled inside request head".into())
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+
+    let head = match std::str::from_utf8(&head) {
+        Ok(s) => s,
+        Err(_) => return Ok(ReadOutcome::Malformed("request head is not UTF-8".into())),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Malformed(format!(
+            "bad request line: {request_line:?}"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(ReadOutcome::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Ok(ReadOutcome::Malformed(
+            "chunked transfer encoding unsupported".into(),
+        ));
+    }
+    if let Some(raw) = request.header("content-length") {
+        let Ok(len) = raw.parse::<usize>() else {
+            return Ok(ReadOutcome::Malformed(format!(
+                "bad content-length {raw:?}"
+            )));
+        };
+        if len > max_body {
+            return Ok(ReadOutcome::Malformed(format!(
+                "body of {len} bytes exceeds the {max_body}-byte limit"
+            )));
+        }
+        let mut body = vec![0u8; len];
+        if let Err(e) = read_exact_retrying(stream, &mut body) {
+            if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut {
+                return Ok(ReadOutcome::Malformed("peer stalled inside body".into()));
+            }
+            return Err(e);
+        }
+        request.body = body;
+    }
+    Ok(ReadOutcome::Request(request))
+}
+
+/// `read_exact` that retries `EINTR` (std's does) and partial reads across
+/// socket timeslices, but surfaces timeouts to the caller.
+fn read_exact_retrying(stream: &mut impl Read, buf: &mut [u8]) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside body",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one response. `close` adds `Connection: close`; otherwise the
+/// connection stays usable for the next request.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    if close {
+        head.push_str("connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body_and_keepalive_get() {
+        let raw = b"POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcdGET /healthz?v=1 HTTP/1.1\r\n\r\n";
+        let mut cursor = io::Cursor::new(&raw[..]);
+        let ReadOutcome::Request(first) = read_request(&mut cursor, 1024).unwrap() else {
+            panic!("expected a request");
+        };
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.route(), "/search");
+        assert_eq!(first.body, b"abcd");
+        assert!(!first.wants_close());
+        let ReadOutcome::Request(second) = read_request(&mut cursor, 1024).unwrap() else {
+            panic!("expected a second pipelined request");
+        };
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.route(), "/healthz");
+        assert!(matches!(
+            read_request(&mut cursor, 1024).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed() {
+        let mut cursor = io::Cursor::new(&b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\n"[..]);
+        assert!(matches!(
+            read_request(&mut cursor, 10).unwrap(),
+            ReadOutcome::Malformed(_)
+        ));
+        let mut cursor = io::Cursor::new(&b"NOT HTTP\r\n\r\n"[..]);
+        assert!(matches!(
+            read_request(&mut cursor, 10).unwrap(),
+            ReadOutcome::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", "text/plain", b"hi", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+}

@@ -1,0 +1,916 @@
+//! The daemon: accept loop, per-connection protocol dispatch, request
+//! execution against a [`ServingIndex`], admission control, and graceful
+//! drain.
+//!
+//! # Threading model
+//!
+//! One acceptor thread owns the (non-blocking) listener and polls it on a
+//! short interval, so it observes the drain flag promptly. Each accepted
+//! connection is served start-to-finish by one handler thread from a
+//! bounded pool: when `workers` connections are already active the
+//! acceptor *rejects* the newcomer with an overload response instead of
+//! queueing it — overload is an explicit, immediate signal, never an
+//! unbounded backlog. Handler sockets carry a short read timeout, so idle
+//! keep-alive connections poll the drain flag instead of blocking drain
+//! forever.
+//!
+//! # Admission and budgets
+//!
+//! Two layers, mirroring [`ndss_query::BatchSearcher`]'s governance:
+//!
+//! 1. **Connection admission** — at most `workers` concurrent connections;
+//!    beyond that the acceptor answers HTTP 503 / `STATUS_OVERLOADED` and
+//!    closes.
+//! 2. **Query admission** — at most `admission_cap` searches execute at
+//!    once; beyond that a request is shed with HTTP 429 /
+//!    `STATUS_OVERLOADED` (counted in `query.shed` alongside the batch
+//!    engine's sheds) without touching the index.
+//!
+//! Every admitted search runs under a [`QueryBudget`]: the server's
+//! `default_deadline` becomes an absolute deadline measured from request
+//! receipt (the per-connection deadline of the issue: a slow client cannot
+//! park work), request-supplied `deadline_ms`/IO/candidate caps tighten
+//! it, and a tripped budget returns the sound partial result marked
+//! `complete = false` — the same semantics the CLI batch path has.
+//!
+//! # Drain
+//!
+//! `shutdown()` (or SIGTERM/SIGINT via [`Server::install_signal_hooks`],
+//! or `POST /shutdown`) flips one flag: the acceptor stops accepting and
+//! closes the listener; handlers finish the request they are executing —
+//! pinned generation snapshots run to completion, nothing in flight is
+//! dropped — answer anything already buffered on their socket, then close.
+//! When the last handler exits, metrics are optionally flushed to
+//! `metrics_out` and [`Server::run`] returns.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ndss_index::CacheConfig;
+use ndss_json::{Json, ObjectBuilder};
+use ndss_query::{
+    NearDupSearcher, PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource, SearchOutcome,
+    ServingIndex,
+};
+
+use crate::frame::{self, FrameOutcome, RequestPayload};
+use crate::http::{self, ReadOutcome};
+use crate::{ServeError, DEFAULT_ADDR};
+
+/// Tuning for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, `host:port` (port `0` picks a free port).
+    pub addr: String,
+    /// Connection-handler pool size = max concurrent connections.
+    pub workers: usize,
+    /// Max searches executing at once; further searches are shed.
+    pub admission_cap: usize,
+    /// Per-request deadline applied from the moment the request is read,
+    /// unless the request asks for an earlier one. `None` = unbounded.
+    pub default_deadline: Option<Duration>,
+    /// Largest accepted HTTP body.
+    pub max_body_bytes: usize,
+    /// Socket read timeout — the granularity at which idle connections and
+    /// the acceptor observe the drain flag.
+    pub idle_poll: Duration,
+    /// Prefix-filter policy for every query.
+    pub filter: PrefixFilter,
+    /// Cache sizing for each opened generation.
+    pub cache: CacheConfig,
+    /// Where to flush a final metrics snapshot on drain (`.prom`/`.txt` ⇒
+    /// Prometheus text, anything else ⇒ JSON).
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServeConfig {
+            addr: DEFAULT_ADDR.to_string(),
+            workers: (cores * 2).max(4),
+            admission_cap: cores.max(2),
+            default_deadline: None,
+            max_body_bytes: 16 << 20,
+            idle_poll: Duration::from_millis(25),
+            filter: PrefixFilter::Adaptive,
+            cache: CacheConfig::default(),
+            metrics_out: None,
+        }
+    }
+}
+
+struct ServeMetrics {
+    connections: ndss_obs::Counter,
+    connections_rejected: ndss_obs::Counter,
+    active_connections: ndss_obs::Gauge,
+    http_requests: ndss_obs::Counter,
+    frame_requests: ndss_obs::Counter,
+    searches: ndss_obs::Counter,
+    shed: ndss_obs::Counter,
+    query_shed: ndss_obs::Counter,
+    bad_requests: ndss_obs::Counter,
+    internal_errors: ndss_obs::Counter,
+    request_seconds: ndss_obs::Histogram,
+    in_flight: ndss_obs::Gauge,
+}
+
+impl ServeMetrics {
+    fn register(reg: &ndss_obs::Registry) -> Self {
+        ServeMetrics {
+            connections: reg.counter("serve.connections", "Connections accepted"),
+            connections_rejected: reg.counter(
+                "serve.connections.rejected",
+                "Connections rejected because the handler pool was full",
+            ),
+            active_connections: reg.gauge(
+                "serve.connections.active",
+                "Connections currently being served",
+            ),
+            http_requests: reg.counter("serve.requests.http", "HTTP requests handled"),
+            frame_requests: reg.counter("serve.requests.frame", "Binary frames handled"),
+            searches: reg.counter("serve.searches", "Search requests admitted for execution"),
+            shed: reg.counter(
+                "serve.shed",
+                "Search requests shed by the server's admission cap",
+            ),
+            query_shed: reg.counter("query.shed", "Queries shed by admission control"),
+            bad_requests: reg.counter("serve.bad_requests", "Unparseable or invalid requests"),
+            internal_errors: reg.counter("serve.errors", "Requests failed server-side"),
+            request_seconds: reg.histogram(
+                "serve.request.seconds",
+                "Wall time from request decode to response write",
+                ndss_obs::Unit::Seconds,
+            ),
+            in_flight: reg.gauge("serve.in_flight", "Searches currently executing"),
+        }
+    }
+}
+
+struct Shared {
+    serving: ServingIndex,
+    config: ServeConfig,
+    draining: AtomicBool,
+    in_flight: AtomicUsize,
+    metrics: ServeMetrics,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Relaxed) || TERM_REQUESTED.load(Ordering::Relaxed)
+    }
+}
+
+/// Remote-control handle for a [`Server`]: trigger drain, read the bound
+/// address. Clonable and sendable across threads.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful drain: stop accepting, finish in-flight work,
+    /// then [`Server::run`] returns. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether drain has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining()
+    }
+}
+
+/// A server spawned onto a background thread (tests, benches, embedding).
+pub struct RunningServer {
+    handle: ServerHandle,
+    thread: std::thread::JoinHandle<Result<DrainReport, ServeError>>,
+}
+
+impl RunningServer {
+    /// The control handle (address + shutdown).
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Requests drain and waits for the acceptor and every handler to
+    /// finish.
+    pub fn shutdown_and_join(self) -> Result<DrainReport, ServeError> {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread panicked")
+    }
+}
+
+/// What a completed drain handed back.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainReport {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// HTTP requests answered.
+    pub http_requests: u64,
+    /// Binary frames answered.
+    pub frame_requests: u64,
+    /// Searches shed by admission control.
+    pub shed: u64,
+}
+
+/// Set by the SIGTERM/SIGINT hook; observed by every server in the
+/// process.
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+unsafe extern "C" fn on_terminate_signal(_signum: i32) {
+    // A relaxed store to a static atomic is async-signal-safe.
+    TERM_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// The network front door over a [`ServingIndex`].
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listen socket. The index is opened by the caller (so open
+    /// errors surface before forking off threads) and owned by the server.
+    pub fn bind(config: ServeConfig, serving: ServingIndex) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(ServeError::Io)?;
+        listener.set_nonblocking(true).map_err(ServeError::Io)?;
+        let addr = listener.local_addr().map_err(ServeError::Io)?;
+        let metrics = ServeMetrics::register(ndss_obs::Registry::global());
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                serving,
+                config,
+                draining: AtomicBool::new(false),
+                in_flight: AtomicUsize::new(0),
+                metrics,
+            }),
+        })
+    }
+
+    /// The bound address (resolves a requested port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A control handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Routes SIGTERM and SIGINT into graceful drain for every server in
+    /// this process. Installed by `ndss serve`; tests and embedded servers
+    /// use [`ServerHandle::shutdown`] instead.
+    #[cfg(unix)]
+    pub fn install_signal_hooks() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_terminate_signal as *const () as usize);
+            signal(SIGINT, on_terminate_signal as *const () as usize);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install_signal_hooks() {}
+
+    /// Spawns the accept loop onto a background thread.
+    pub fn spawn(self) -> RunningServer {
+        let handle = self.handle();
+        let thread = std::thread::Builder::new()
+            .name("ndss-serve-accept".into())
+            .spawn(move || self.run())
+            .expect("spawning the acceptor thread");
+        RunningServer { handle, thread }
+    }
+
+    /// Runs the accept loop on the calling thread until drain completes.
+    pub fn run(self) -> Result<DrainReport, ServeError> {
+        let shared = self.shared;
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let active = Arc::new(AtomicUsize::new(0));
+
+        while !shared.draining() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Reap finished handlers so the vec stays bounded by the
+                    // pool size, not the connection count.
+                    handlers.retain(|h| !h.is_finished());
+                    if active.load(Ordering::Relaxed) >= shared.config.workers {
+                        shared.metrics.connections_rejected.inc(1);
+                        reject_connection(stream, &shared);
+                        continue;
+                    }
+                    shared.metrics.connections.inc(1);
+                    let n = active.fetch_add(1, Ordering::Relaxed) + 1;
+                    shared.metrics.active_connections.set(n as i64);
+                    let shared = shared.clone();
+                    let active = active.clone();
+                    let handler = std::thread::Builder::new()
+                        .name("ndss-serve-conn".into())
+                        .spawn(move || {
+                            handle_connection(stream, &shared);
+                            let n = active.fetch_sub(1, Ordering::Relaxed) - 1;
+                            shared.metrics.active_connections.set(n as i64);
+                        })
+                        .expect("spawning a connection handler");
+                    handlers.push(handler);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(shared.config.idle_poll);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+
+        // Drain: the listener closes here (drop), handlers finish their
+        // in-flight requests and observe the flag at their next idle poll.
+        drop(self.listener);
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        if let Some(path) = &shared.config.metrics_out {
+            flush_metrics(path);
+        }
+        Ok(DrainReport {
+            connections: shared.metrics.connections.get(),
+            http_requests: shared.metrics.http_requests.get(),
+            frame_requests: shared.metrics.frame_requests.get(),
+            shed: shared.metrics.shed.get(),
+        })
+    }
+}
+
+/// Writes the final metrics snapshot; drain must not fail on a bad path,
+/// so errors go to stderr.
+fn flush_metrics(path: &std::path::Path) {
+    let reg = ndss_obs::Registry::global();
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let body = if matches!(ext, "prom" | "txt") {
+        reg.prometheus_text()
+    } else {
+        let mut json = reg.to_json().to_string_pretty();
+        json.push('\n');
+        json
+    };
+    if let Err(e) = std::fs::write(path, body) {
+        eprintln!("warning: flushing metrics to {}: {e}", path.display());
+    }
+}
+
+/// Tells an over-capacity client why it was turned away, on whichever
+/// protocol it speaks (best effort — the peek is bounded by one timeout).
+fn reject_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(shared.config.idle_poll.max(Duration::from_millis(10))));
+    let mut first = [0u8; 4];
+    let is_frame = matches!(stream.peek(&mut first), Ok(n) if n >= 4 && first == frame::MAGIC);
+    let mut stream = stream;
+    if is_frame {
+        let payload = frame::encode_error(frame::STATUS_OVERLOADED, "connection pool full");
+        let _ = frame::write_frame(&mut stream, &payload);
+    } else {
+        let body = ObjectBuilder::new()
+            .field("error", Json::Str("overloaded".into()))
+            .field("detail", Json::Str("connection pool full".into()))
+            .build()
+            .to_string_compact();
+        let _ = http::write_response(
+            &mut stream,
+            503,
+            "Service Unavailable",
+            "application/json",
+            body.as_bytes(),
+            true,
+        );
+    }
+}
+
+/// Serves one connection to completion: sniff the protocol, then loop
+/// request → response until close, error, or drain.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_read_timeout(Some(shared.config.idle_poll))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+
+    // Protocol sniff: wait for the first 4 bytes (bounded rounds so a
+    // 2-byte-then-stall client cannot pin the handler forever).
+    let mut first = [0u8; 4];
+    let mut rounds = 0u32;
+    let is_frame = loop {
+        match stream.peek(&mut first) {
+            Ok(0) => return,
+            Ok(n) if n >= 4 => break first == frame::MAGIC,
+            Ok(_) => std::thread::sleep(Duration::from_millis(1)),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+        rounds += 1;
+        if rounds > 2_000 || shared.draining() && rounds > 2 {
+            return;
+        }
+    };
+
+    let mut stream = stream;
+    if is_frame {
+        serve_frames(&mut stream, shared);
+    } else {
+        serve_http(&mut stream, shared);
+    }
+}
+
+/// The HTTP side of the front door.
+fn serve_http(stream: &mut TcpStream, shared: &Shared) {
+    loop {
+        let outcome = match http::read_request(stream, shared.config.max_body_bytes) {
+            Ok(outcome) => outcome,
+            Err(_) => return,
+        };
+        let request = match outcome {
+            ReadOutcome::Request(request) => request,
+            ReadOutcome::Closed => return,
+            ReadOutcome::Idle => {
+                if shared.draining() {
+                    return;
+                }
+                continue;
+            }
+            ReadOutcome::Malformed(reason) => {
+                shared.metrics.bad_requests.inc(1);
+                let body = error_body("bad-request", &reason);
+                let _ = http::write_response(
+                    stream,
+                    400,
+                    "Bad Request",
+                    "application/json",
+                    body.as_bytes(),
+                    true,
+                );
+                return;
+            }
+        };
+        shared.metrics.http_requests.inc(1);
+        let started = Instant::now();
+        // Serve the request we already read even if drain started while it
+        // was in the socket; close afterwards so drain converges.
+        let close = request.wants_close() || shared.draining();
+        let (status, reason, content_type, body) = route_http(&request, shared);
+        shared
+            .metrics
+            .request_seconds
+            .record_duration(started.elapsed());
+        if http::write_response(stream, status, reason, content_type, body.as_bytes(), close)
+            .is_err()
+            || close
+        {
+            return;
+        }
+    }
+}
+
+/// Dispatches one HTTP request to its endpoint.
+fn route_http(
+    request: &http::Request,
+    shared: &Shared,
+) -> (u16, &'static str, &'static str, String) {
+    const JSON: &str = "application/json";
+    match (request.method.as_str(), request.route()) {
+        ("GET", "/healthz") => {
+            if shared.draining() {
+                (
+                    503,
+                    "Service Unavailable",
+                    JSON,
+                    ObjectBuilder::new()
+                        .field("status", Json::Str("draining".into()))
+                        .build()
+                        .to_string_compact(),
+                )
+            } else {
+                let body = ObjectBuilder::new()
+                    .field("status", Json::Str("ok".into()))
+                    .field(
+                        "generation",
+                        Json::UInt(shared.serving.generation().unwrap_or(0)),
+                    )
+                    .build()
+                    .to_string_compact();
+                (200, "OK", JSON, body)
+            }
+        }
+        ("GET", "/metrics") => {
+            shared
+                .metrics
+                .in_flight
+                .set(shared.in_flight.load(Ordering::Relaxed) as i64);
+            (
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                ndss_obs::Registry::global().prometheus_text(),
+            )
+        }
+        ("POST", "/search") => match parse_search_body(&request.body) {
+            Ok(parsed) => match execute_search(shared, &parsed) {
+                Ok(reply) => (200, "OK", JSON, reply.to_json().to_string_compact()),
+                Err(fail) => fail.http(JSON),
+            },
+            Err(reason) => {
+                shared.metrics.bad_requests.inc(1);
+                (400, "Bad Request", JSON, error_body("bad-request", &reason))
+            }
+        },
+        ("POST", "/reload") => match shared.serving.reload() {
+            Ok(swapped) => {
+                let body = ObjectBuilder::new()
+                    .field("reloaded", Json::Bool(swapped))
+                    .field(
+                        "generation",
+                        Json::UInt(shared.serving.generation().unwrap_or(0)),
+                    )
+                    .build()
+                    .to_string_compact();
+                (200, "OK", JSON, body)
+            }
+            Err(e) => {
+                shared.metrics.internal_errors.inc(1);
+                (
+                    500,
+                    "Internal Server Error",
+                    JSON,
+                    error_body("reload-failed", &e.to_string()),
+                )
+            }
+        },
+        ("POST", "/shutdown") => {
+            shared.draining.store(true, Ordering::Relaxed);
+            (
+                200,
+                "OK",
+                JSON,
+                ObjectBuilder::new()
+                    .field("draining", Json::Bool(true))
+                    .build()
+                    .to_string_compact(),
+            )
+        }
+        (_, route) => (
+            404,
+            "Not Found",
+            JSON,
+            error_body("not-found", &format!("no such endpoint {route}")),
+        ),
+    }
+}
+
+/// The binary side of the front door.
+fn serve_frames(stream: &mut TcpStream, shared: &Shared) {
+    loop {
+        let payload = match frame::read_frame(stream) {
+            Ok(FrameOutcome::Payload(payload)) => payload,
+            Ok(FrameOutcome::Closed) => return,
+            Ok(FrameOutcome::Idle) => {
+                if shared.draining() {
+                    return;
+                }
+                continue;
+            }
+            Ok(FrameOutcome::Malformed(reason)) => {
+                shared.metrics.bad_requests.inc(1);
+                let _ = frame::write_frame(
+                    stream,
+                    &frame::encode_error(frame::STATUS_BAD_REQUEST, &reason),
+                );
+                return;
+            }
+            Err(_) => return,
+        };
+        shared.metrics.frame_requests.inc(1);
+        let started = Instant::now();
+        let close_after = shared.draining();
+        let response = match frame::decode_request(&payload) {
+            Ok(RequestPayload::Ping) => vec![frame::STATUS_OK],
+            Ok(RequestPayload::Search(req)) => {
+                let parsed = ParsedSearch {
+                    query: req.query,
+                    theta: req.theta,
+                    top: if req.top == 0 {
+                        usize::MAX
+                    } else {
+                        req.top as usize
+                    },
+                    deadline: (req.deadline_ms > 0).then(|| Duration::from_millis(req.deadline_ms)),
+                    max_io_bytes: None,
+                    max_candidates: None,
+                    max_matches: None,
+                };
+                match execute_search(shared, &parsed) {
+                    Ok(reply) => frame::encode_search_response(&reply.to_wire()),
+                    Err(fail) => fail.frame(),
+                }
+            }
+            Err(reason) => {
+                shared.metrics.bad_requests.inc(1);
+                frame::encode_error(frame::STATUS_BAD_REQUEST, &reason)
+            }
+        };
+        shared
+            .metrics
+            .request_seconds
+            .record_duration(started.elapsed());
+        if frame::write_frame(stream, &response).is_err() || close_after {
+            return;
+        }
+    }
+}
+
+/// A search request after protocol-specific decoding.
+struct ParsedSearch {
+    query: Vec<u32>,
+    theta: f64,
+    top: usize,
+    deadline: Option<Duration>,
+    max_io_bytes: Option<u64>,
+    max_candidates: Option<u64>,
+    max_matches: Option<usize>,
+}
+
+/// `POST /search` body:
+/// `{"query": [ids…], "theta": 0.8, "top": 10, "deadline_ms": 100,
+///   "max_io_bytes": …, "max_candidates": …, "max_matches": …}`.
+fn parse_search_body(body: &[u8]) -> Result<ParsedSearch, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let query = doc
+        .get("query")
+        .and_then(Json::as_array)
+        .ok_or("missing \"query\": [token ids]")?
+        .iter()
+        .map(|t| {
+            t.as_u64()
+                .filter(|&v| v <= u32::MAX as u64)
+                .map(|v| v as u32)
+                .ok_or_else(|| format!("bad token id {t:?}"))
+        })
+        .collect::<Result<Vec<u32>, String>>()?;
+    let theta = doc
+        .get("theta")
+        .map(|v| v.as_f64().ok_or("\"theta\" must be a number"))
+        .transpose()?
+        .unwrap_or(0.8);
+    let top = doc
+        .get("top")
+        .map(|v| v.as_usize().ok_or("\"top\" must be an integer"))
+        .transpose()?
+        .unwrap_or(usize::MAX);
+    let uint = |key: &'static str| -> Result<Option<u64>, String> {
+        doc.get(key)
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| format!("\"{key}\" must be an integer"))
+            })
+            .transpose()
+    };
+    Ok(ParsedSearch {
+        query,
+        theta,
+        top: if top == 0 { usize::MAX } else { top },
+        deadline: uint("deadline_ms")?.map(Duration::from_millis),
+        max_io_bytes: uint("max_io_bytes")?,
+        max_candidates: uint("max_candidates")?,
+        max_matches: uint("max_matches")?.map(|v| v as usize),
+    })
+}
+
+/// A completed search, protocol-agnostic; each protocol has its encoder.
+struct SearchReply {
+    complete: bool,
+    exhausted: Option<Resource>,
+    generation: u64,
+    beta: usize,
+    num_texts: usize,
+    total_sequences: u64,
+    matches: Vec<RankedMatch>,
+    io_bytes: u64,
+    postings_read: u64,
+    wall: Duration,
+}
+
+impl SearchReply {
+    fn to_json(&self) -> Json {
+        let matches = self
+            .matches
+            .iter()
+            .map(|m| {
+                let spans = m
+                    .spans
+                    .iter()
+                    .map(|s| {
+                        Json::Array(vec![Json::UInt(s.start as u64), Json::UInt(s.end as u64)])
+                    })
+                    .collect();
+                ObjectBuilder::new()
+                    .field("text", Json::UInt(m.text as u64))
+                    .field("collisions", Json::UInt(m.collisions as u64))
+                    .field("estimated_similarity", Json::Float(m.estimated_similarity))
+                    .field("spans", Json::Array(spans))
+                    .build()
+            })
+            .collect();
+        let mut builder = ObjectBuilder::new()
+            .field("complete", Json::Bool(self.complete))
+            .field("generation", Json::UInt(self.generation))
+            .field("beta", Json::UInt(self.beta as u64))
+            .field("num_texts", Json::UInt(self.num_texts as u64))
+            .field("total_sequences", Json::UInt(self.total_sequences))
+            .field("matches", Json::Array(matches));
+        if let Some(resource) = self.exhausted {
+            builder = builder.field("budget_exhausted", Json::Str(resource.to_string()));
+        }
+        builder
+            .field(
+                "stats",
+                ObjectBuilder::new()
+                    .field("wall_ms", Json::Float(self.wall.as_secs_f64() * 1e3))
+                    .field("io_bytes", Json::UInt(self.io_bytes))
+                    .field("postings_read", Json::UInt(self.postings_read))
+                    .build(),
+            )
+            .build()
+    }
+
+    fn to_wire(&self) -> frame::SearchResponse {
+        frame::SearchResponse {
+            complete: self.complete,
+            generation: self.generation,
+            beta: self.beta as u32,
+            total_sequences: self.total_sequences,
+            matches: self
+                .matches
+                .iter()
+                .map(|m| frame::WireMatch {
+                    text: m.text,
+                    collisions: m.collisions,
+                    spans: m.spans.iter().map(|s| (s.start, s.end)).collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Why a search produced no reply.
+enum SearchFail {
+    Overloaded { in_flight: usize, cap: usize },
+    BadRequest(String),
+    Internal(String),
+}
+
+impl SearchFail {
+    fn http(&self, json: &'static str) -> (u16, &'static str, &'static str, String) {
+        match self {
+            SearchFail::Overloaded { in_flight, cap } => (
+                429,
+                "Too Many Requests",
+                json,
+                ObjectBuilder::new()
+                    .field("error", Json::Str("overloaded".into()))
+                    .field("in_flight", Json::UInt(*in_flight as u64))
+                    .field("cap", Json::UInt(*cap as u64))
+                    .build()
+                    .to_string_compact(),
+            ),
+            SearchFail::BadRequest(reason) => {
+                (400, "Bad Request", json, error_body("bad-request", reason))
+            }
+            SearchFail::Internal(reason) => (
+                500,
+                "Internal Server Error",
+                json,
+                error_body("internal", reason),
+            ),
+        }
+    }
+
+    fn frame(&self) -> Vec<u8> {
+        match self {
+            SearchFail::Overloaded { cap, .. } => frame::encode_error(
+                frame::STATUS_OVERLOADED,
+                &format!("shed by admission control (cap {cap})"),
+            ),
+            SearchFail::BadRequest(reason) => {
+                frame::encode_error(frame::STATUS_BAD_REQUEST, reason)
+            }
+            SearchFail::Internal(reason) => frame::encode_error(frame::STATUS_INTERNAL, reason),
+        }
+    }
+}
+
+fn error_body(kind: &str, detail: &str) -> String {
+    ObjectBuilder::new()
+        .field("error", Json::Str(kind.into()))
+        .field("detail", Json::Str(detail.into()))
+        .build()
+        .to_string_compact()
+}
+
+/// Admission + budget + execution, shared by both protocols. The snapshot
+/// is pinned once: search, ranking, and the reported generation all come
+/// from the same generation even if a reload lands mid-request.
+fn execute_search(shared: &Shared, parsed: &ParsedSearch) -> Result<SearchReply, SearchFail> {
+    let cap = shared.config.admission_cap;
+    let admitted = shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    if admitted >= cap {
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        shared.metrics.shed.inc(1);
+        shared.metrics.query_shed.inc(1);
+        return Err(SearchFail::Overloaded {
+            in_flight: admitted,
+            cap,
+        });
+    }
+    let result = execute_admitted(shared, parsed);
+    shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    result
+}
+
+fn execute_admitted(shared: &Shared, parsed: &ParsedSearch) -> Result<SearchReply, SearchFail> {
+    shared.metrics.searches.inc(1);
+    let started = Instant::now();
+    let mut budget = QueryBudget::unlimited();
+    if let Some(d) = shared.config.default_deadline {
+        budget = budget.deadline_at(started + d);
+    }
+    if let Some(d) = parsed.deadline {
+        budget = budget.time_limit(d);
+    }
+    if let Some(b) = parsed.max_io_bytes {
+        budget = budget.max_io_bytes(b);
+    }
+    if let Some(c) = parsed.max_candidates {
+        budget = budget.max_candidates(c);
+    }
+    if let Some(m) = parsed.max_matches {
+        budget = budget.max_result_matches(m);
+    }
+
+    let generation = shared.serving.generation().unwrap_or(0);
+    let snapshot = shared.serving.snapshot();
+    let searcher = NearDupSearcher::with_prefix_filter(&*snapshot, shared.config.filter)
+        .map_err(|e| SearchFail::Internal(e.to_string()))?;
+    let (outcome, exhausted): (SearchOutcome, Option<Resource>) =
+        match searcher.search_governed(&parsed.query, parsed.theta, &budget) {
+            Ok(outcome) => (outcome, None),
+            Err(QueryError::BudgetExceeded { resource, partial }) => (*partial, Some(resource)),
+            Err(e @ (QueryError::EmptyQuery | QueryError::BadThreshold(_))) => {
+                shared.metrics.bad_requests.inc(1);
+                return Err(SearchFail::BadRequest(e.to_string()));
+            }
+            Err(e) => {
+                shared.metrics.internal_errors.inc(1);
+                return Err(SearchFail::Internal(e.to_string()));
+            }
+        };
+    let matches = searcher.rank(&outcome, parsed.top);
+    Ok(SearchReply {
+        complete: outcome.complete,
+        exhausted,
+        generation,
+        beta: outcome.beta,
+        num_texts: outcome.num_texts(),
+        total_sequences: outcome.total_sequences(),
+        matches,
+        io_bytes: outcome.stats.io_bytes,
+        postings_read: outcome.stats.postings_read,
+        wall: started.elapsed(),
+    })
+}

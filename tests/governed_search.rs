@@ -294,10 +294,12 @@ fn load_shedding_is_counted_and_admitted_queries_stay_exact() {
                 "admitted query {i} must stay exact"
             );
         } else {
+            // Pinned shape: an admission shed carries the real cap, never a
+            // fabricated one, and is attributed to the cap — not a deadline.
             assert!(
-                matches!(result, Err(QueryError::Overloaded { position, cap: c })
-                    if *position == i && *c == cap),
-                "query {i} past the cap must be shed"
+                matches!(result, Err(QueryError::Overloaded { position, reason })
+                    if *position == i && *reason == (ShedReason::AdmissionCap { cap })),
+                "query {i} past the cap must be shed with the admission-cap reason"
             );
         }
     }
@@ -313,11 +315,18 @@ fn load_shedding_is_counted_and_admitted_queries_stay_exact() {
         .failure_policy(FailurePolicy::Isolate)
         .batch_deadline(std::time::Duration::ZERO)
         .search_all_governed(&queries, 0.8);
+    // Pinned shape: a deadline shed is attributed to the batch deadline —
+    // it must NOT masquerade as an admission-cap shed (the old behavior
+    // fabricated `cap = queries.len()`).
     assert!(
-        results
-            .iter()
-            .all(|r| matches!(r, Err(QueryError::Overloaded { .. }))),
-        "an expired batch deadline must shed everything"
+        results.iter().all(|r| matches!(
+            r,
+            Err(QueryError::Overloaded {
+                reason: ShedReason::BatchDeadline,
+                ..
+            })
+        )),
+        "an expired batch deadline must shed everything with the deadline reason"
     );
 }
 

@@ -263,3 +263,95 @@ fn serving_index_on_plain_directory() {
     assert!(!outcome.matches.is_empty());
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Regression for the reload race: reload A resolves `CURRENT` (gen 1),
+/// then — before A takes the write lock — reload B publishes *and* swaps in
+/// a newer gen 2. A's open is now stale; completing its swap would regress
+/// serving from gen 2 back to gen 1. The fixed `reload()` re-resolves
+/// `CURRENT` under the write lock and abandons the stale open. (On the old
+/// code this test fails: A overwrites gen 2 with gen 1.)
+#[test]
+fn racing_reload_never_swaps_in_a_stale_older_generation() {
+    let root = temp_dir("race");
+    let store = GenerationStore::open(&root).unwrap();
+    let (a, queries) = corpus_a();
+    let b = corpus_b(&a, &queries);
+
+    let g0 = build_generation(&store, &a);
+    store.publish(&g0, 3).unwrap();
+    let serving = Arc::new(ServingIndex::open(&root).unwrap());
+    assert_eq!(serving.generation(), Some(0));
+
+    // Stage the next pointer move: CURRENT → gen 1 (same corpus as gen 0).
+    let g1 = build_generation(&store, &a);
+    store.publish(&g1, 3).unwrap();
+
+    // Reload A resolves and opens gen 1; inside its race window, reload B
+    // publishes gen 2 (corpus B, distinguishable by results) and swaps it in.
+    let serving_b = serving.clone();
+    let store_b = GenerationStore::open(&root).unwrap();
+    let swapped_a = serving
+        .reload_with_race_window(move || {
+            let g2 = {
+                let dir = store_b.allocate().unwrap();
+                build_and_write(&b, config(), &dir, true).unwrap();
+                dir.file_name().unwrap().to_string_lossy().into_owned()
+            };
+            store_b.publish(&g2, 3).unwrap();
+            assert!(serving_b.reload().unwrap(), "reload B must swap to gen 2");
+            assert_eq!(serving_b.generation(), Some(2));
+        })
+        .unwrap();
+
+    // Whatever A reports, serving must still be on gen 2 afterwards — the
+    // stale gen-1 open must never overwrite the newer generation.
+    assert_eq!(
+        serving.generation(),
+        Some(2),
+        "stale reload regressed serving to an older generation"
+    );
+    let ref_g2 = cold_results(&resolve_index_dir(&root), &queries);
+    let searcher = ServingSearcher::new(serving.clone());
+    let live: Vec<Vec<SeqRef>> = searcher
+        .search_all(&queries, 0.8)
+        .unwrap()
+        .into_iter()
+        .map(|o| o.enumerate_all())
+        .collect();
+    assert_eq!(live, ref_g2, "post-race queries must serve gen 2");
+    // A must not claim a swap it did not perform.
+    assert!(!swapped_a, "stale reload must not report a swap");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// A deliberate rollback is not a race: after `CURRENT` is re-pointed at an
+/// older generation, `reload()` must follow it backwards.
+#[test]
+fn reload_follows_a_deliberate_rollback_to_an_older_generation() {
+    let root = temp_dir("rollback_reload");
+    let store = GenerationStore::open(&root).unwrap();
+    let (a, queries) = corpus_a();
+    let b = corpus_b(&a, &queries);
+
+    let g0 = build_generation(&store, &a);
+    store.publish(&g0, 3).unwrap();
+    let ref_g0 = cold_results(&resolve_index_dir(&root), &queries);
+    let g1 = build_generation(&store, &b);
+    store.publish(&g1, 3).unwrap();
+
+    let serving = Arc::new(ServingIndex::open(&root).unwrap());
+    assert_eq!(serving.generation(), Some(1));
+
+    assert_eq!(store.rollback(Some(&g0)).unwrap(), g0);
+    assert!(serving.reload().unwrap(), "rollback must reload");
+    assert_eq!(serving.generation(), Some(0));
+    let searcher = ServingSearcher::new(serving);
+    let live: Vec<Vec<SeqRef>> = searcher
+        .search_all(&queries, 0.8)
+        .unwrap()
+        .into_iter()
+        .map(|o| o.enumerate_all())
+        .collect();
+    assert_eq!(live, ref_g0, "rolled-back serving must answer from gen 0");
+    std::fs::remove_dir_all(&root).ok();
+}
