@@ -370,6 +370,85 @@ fn main() {
         &format!("{warm_bytes} < {cold_bytes}"),
     );
 
+    // ---- Sharded scatter-gather: 4 shards vs 1. --------------------------
+    // Same corpus and workload through the ShardedSearcher: a 1-shard store
+    // (the single-index special case, scatter runs inline) vs a 4-shard
+    // store fanning each query out on the worker pool. Each shard holds a
+    // quarter of the postings, so with ≥ 4 cores the fan-out should beat
+    // the single index on wall time; on smaller hosts the gate is reported
+    // as a skip, not a failure. Results must stay bit-identical to the
+    // single-index baseline throughout — sharding is an execution detail,
+    // never a semantic one. Interleaved best-of-3 per variant, as above.
+    let dir_s1 = std::env::temp_dir().join("ndss_bench_query_throughput_s1");
+    let dir_s4 = std::env::temp_dir().join("ndss_bench_query_throughput_s4");
+    for d in [&dir_s1, &dir_s4] {
+        std::fs::remove_dir_all(d).ok();
+        std::fs::create_dir_all(d).unwrap();
+    }
+    let shard_config = IndexConfig::new(32, 25, 1234).zone_map(256, 1024);
+    let opts = ShardedBuildOptions::default();
+    build_sharded(&corpus, shard_config.clone(), &dir_s1, 1, &opts).unwrap();
+    build_sharded(&corpus, shard_config, &dir_s4, 4, &opts).unwrap();
+    let view_s1 = ShardedIndex::open_with_cache(&dir_s1, CacheConfig::disabled()).unwrap();
+    let view_s4 = ShardedIndex::open_with_cache(&dir_s4, CacheConfig::disabled()).unwrap();
+    let search_s1 = view_s1
+        .searcher_with_filter(PrefixFilter::FrequentFraction(0.05))
+        .unwrap()
+        .threads(4);
+    let search_s4 = view_s4
+        .searcher_with_filter(PrefixFilter::FrequentFraction(0.05))
+        .unwrap()
+        .threads(4);
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(
+            search_s1.search(q, theta).unwrap().enumerate_all(),
+            expected[i],
+            "1-shard store diverged at query {i}"
+        );
+        assert_eq!(
+            search_s4.search(q, theta).unwrap().enumerate_all(),
+            expected[i],
+            "4-shard store diverged at query {i}"
+        );
+    }
+    let mut secs_s1 = f64::INFINITY;
+    let mut secs_s4 = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for q in &queries {
+            std::hint::black_box(search_s1.search(q, theta).unwrap());
+        }
+        secs_s1 = secs_s1.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for q in &queries {
+            std::hint::black_box(search_s4.search(q, theta).unwrap());
+        }
+        secs_s4 = secs_s4.min(start.elapsed().as_secs_f64());
+    }
+    let s1_qps = qps(queries.len(), secs_s1);
+    let s4_qps = qps(queries.len(), secs_s4);
+    println!(
+        "sharded scatter-gather: 1 shard {s1_qps:.1} q/s, 4 shards {s4_qps:.1} q/s \
+         ({:.2}x) on {cores} core(s)",
+        s4_qps / s1_qps
+    );
+    if cores >= 4 {
+        shape_check(
+            "4-shard scatter-gather beats 1-shard wall time",
+            secs_s4 < secs_s1,
+            &format!("{:.2}x on {cores} cores", s4_qps / s1_qps),
+        );
+    } else {
+        println!(
+            "shape-check [SKIP] 4-shard beats 1-shard: only {cores} core(s) available, \
+             no scatter speedup is measurable on this host ({:.2}x observed)",
+            s4_qps / s1_qps
+        );
+    }
+    for d in [&dir_s1, &dir_s4] {
+        std::fs::remove_dir_all(d).ok();
+    }
+
     // ---- Emit the report. ------------------------------------------------
     let report = ObjectBuilder::new()
         .field(
@@ -439,6 +518,16 @@ fn main() {
                 .build(),
         )
         .field("batch", Json::Array(batch_rows))
+        .field(
+            "sharded",
+            ObjectBuilder::new()
+                .field("available_cores", Json::UInt(cores as u64))
+                .field("queries_per_sec_1_shard", Json::Float(s1_qps))
+                .field("queries_per_sec_4_shards", Json::Float(s4_qps))
+                .field("speedup_4_shards_vs_1", Json::Float(s4_qps / s1_qps))
+                .field("gate_applies", Json::Bool(cores >= 4))
+                .build(),
+        )
         .field(
             "hot_list_cache",
             ObjectBuilder::new()

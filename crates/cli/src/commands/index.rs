@@ -6,6 +6,13 @@
 //! re-pointed atomically) only after it completes. `--resume` continues an
 //! interrupted `--external` build from its journal — in store mode it picks
 //! the store's resumable generation automatically.
+//!
+//! `--shards N` (requires `--store`) partitions the corpus by text-id
+//! range into N shards, builds them in parallel (each shard its own
+//! generation store under `shard-NNNN/`), and publishes all of them with
+//! one atomic manifest bump. `--resume` works per shard: completed shards
+//! are reused as-is, journaled ones continue, so a killed sharded build
+//! resumes byte-identically.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -39,14 +46,36 @@ pub fn run(args: &Args) -> Result<(), String> {
     let store_mode = args.flag("store");
     let keep: usize = args.get_or("keep", 1)?;
     let memory_budget: usize = args.get_or("memory-budget", 256 << 20)?;
+    let shards: usize = args.get_or("shards", 0)?;
     if k == 0 || t == 0 {
         return Err("--k and --t must be positive".into());
     }
-    if resume && !external {
-        return Err("--resume requires --external (only journaled builds can resume)".into());
+    if shards == 0 {
+        if resume && !external {
+            return Err("--resume requires --external (only journaled builds can resume)".into());
+        }
+    } else if !store_mode {
+        return Err("--shards requires --store (shards are generational stores)".into());
     }
 
     let corpus = DiskCorpus::open(Path::new(corpus_path)).map_err(|e| e.to_string())?;
+
+    let config = IndexConfig::new(k, t, seed)
+        .compressed(compress)
+        .bit_packed(packed);
+    if shards > 0 {
+        return run_sharded(
+            args,
+            &corpus,
+            config,
+            out,
+            shards,
+            external,
+            resume,
+            keep,
+            memory_budget,
+        );
+    }
     eprintln!(
         "indexing {} texts / {} tokens (k = {k}, t = {t}, {})…",
         corpus.num_texts(),
@@ -88,9 +117,6 @@ pub fn run(args: &Args) -> Result<(), String> {
         }
     };
 
-    let config = IndexConfig::new(k, t, seed)
-        .compressed(compress)
-        .bit_packed(packed);
     eprintln!("on-disk format: {}", config.format_name());
     let start = Instant::now();
     let index = if external {
@@ -128,6 +154,56 @@ pub fn run(args: &Args) -> Result<(), String> {
             .to_string();
         store.publish(&name, keep).map_err(|e| e.to_string())?;
         println!("published {name} as CURRENT in {out} (keeping {keep} previous)");
+    }
+    crate::obs::maybe_write_metrics(args)
+}
+
+/// `--shards N`: partition, build shards in parallel, publish with one
+/// manifest bump.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    args: &Args,
+    corpus: &DiskCorpus,
+    config: IndexConfig,
+    out: &str,
+    shards: usize,
+    external: bool,
+    resume: bool,
+    keep: usize,
+    memory_budget: usize,
+) -> Result<(), String> {
+    eprintln!(
+        "indexing {} texts / {} tokens into {shards} shards (k = {}, t = {}, format {})…",
+        corpus.num_texts(),
+        corpus.total_tokens(),
+        config.k,
+        config.t,
+        config.format_name()
+    );
+    let opts = ShardedBuildOptions {
+        external,
+        memory_budget,
+        resume,
+        keep,
+        ..ShardedBuildOptions::default()
+    };
+    let start = Instant::now();
+    let store = ndss::index::build_sharded(corpus, config, Path::new(out), shards, &opts)
+        .map_err(|e| e.to_string())?;
+    let manifest = store.manifest();
+    println!(
+        "built and published {shards} shards in {:.2?}: manifest generation {} in {out}",
+        start.elapsed(),
+        manifest.generation
+    );
+    for spec in &manifest.shards {
+        println!(
+            "  {}: texts [{}, {}) serving {}",
+            spec.name,
+            spec.first_text,
+            spec.first_text as u64 + spec.num_texts,
+            spec.serving.as_deref().unwrap_or("-")
+        );
     }
     crate::obs::maybe_write_metrics(args)
 }

@@ -1,4 +1,8 @@
 //! `ndss search`: query an index for near-duplicate sequences.
+//!
+//! The `--index` argument accepts a plain index directory, a generation
+//! store, or a sharded store (built with `ndss index --shards N`) — sharded
+//! stores scatter-gather across shards with bit-identical results.
 
 use std::path::Path;
 
@@ -20,6 +24,22 @@ fn open_index(args: &Args, index_dir: &str) -> Result<CorpusIndex<ndss::index::D
     } else {
         CorpusIndex::open(Path::new(index_dir), PrefixFilter::Adaptive).map_err(|e| e.to_string())
     }
+}
+
+/// Opens a sharded store as a scatter-gather view, honoring `--mmap` for
+/// every shard.
+fn open_sharded_view(args: &Args, index_dir: &str) -> Result<ShardedIndex, String> {
+    let io = if args.flag("mmap") {
+        ndss::index::ReadOptions::with_mmap()
+    } else {
+        ndss::index::ReadOptions::default()
+    };
+    ShardedIndex::open_with(
+        Path::new(index_dir),
+        ndss::index::CacheConfig::default(),
+        io,
+    )
+    .map_err(|e| e.to_string())
 }
 
 pub fn run(args: &Args) -> Result<(), String> {
@@ -73,28 +93,38 @@ pub fn run(args: &Args) -> Result<(), String> {
         return Err("query is empty after tokenization".into());
     }
 
-    let index = open_index(args, index_dir)?;
-    let t = index.config().t;
-    if query.len() < t {
-        eprintln!(
-            "note: query has {} tokens but the index only contains sequences of ≥ {t} tokens",
-            query.len()
-        );
-    }
-    let searcher = index.searcher().map_err(|e| e.to_string())?;
     let budget = parse_budget(args)?;
-    let outcome = match searcher.search_governed(&query, theta, &budget) {
-        Ok(outcome) => outcome,
-        Err(QueryError::BudgetExceeded { resource, partial }) => {
+    // Sharded stores and single indexes run the same contract through
+    // different searchers; both produce the same outcome/rank types.
+    let (outcome, ranked, k) = if ShardedStore::is_sharded(Path::new(index_dir)) {
+        let view = open_sharded_view(args, index_dir)?;
+        let t = view.config().t;
+        if query.len() < t {
             eprintln!(
-                "warning: {resource} budget exhausted — showing the partial (incomplete) \
-                 result set found before stopping"
+                "note: query has {} tokens but the index only contains sequences of ≥ {t} tokens",
+                query.len()
             );
-            *partial
         }
-        Err(e) => return Err(e.to_string()),
+        let searcher = view
+            .searcher_with_filter(PrefixFilter::Adaptive)
+            .map_err(|e| e.to_string())?;
+        let outcome = run_governed(|| searcher.search_governed(&query, theta, &budget))?;
+        let ranked = searcher.rank(&outcome, top);
+        (outcome, ranked, view.config().k)
+    } else {
+        let index = open_index(args, index_dir)?;
+        let t = index.config().t;
+        if query.len() < t {
+            eprintln!(
+                "note: query has {} tokens but the index only contains sequences of ≥ {t} tokens",
+                query.len()
+            );
+        }
+        let searcher = index.searcher().map_err(|e| e.to_string())?;
+        let outcome = run_governed(|| searcher.search_governed(&query, theta, &budget))?;
+        let ranked = searcher.rank(&outcome, top);
+        (outcome, ranked, index.config().k)
     };
-    let ranked = searcher.rank(&outcome, top);
 
     if ranked.is_empty() {
         println!("no near-duplicate sequences at θ = {theta}");
@@ -104,10 +134,9 @@ pub fn run(args: &Args) -> Result<(), String> {
         return crate::obs::maybe_write_metrics(args);
     }
     println!(
-        "{} matched text(s) at θ = {theta} (k = {}, β = {}):",
+        "{} matched text(s) at θ = {theta} (k = {k}, β = {}):",
         ranked.len(),
-        index.config().k,
-        ndss::hash::minhash::collision_threshold(index.config().k, theta),
+        ndss::hash::minhash::collision_threshold(k, theta),
     );
 
     // Optional decode support.
@@ -126,7 +155,7 @@ pub fn run(args: &Args) -> Result<(), String> {
             m.text,
             m.estimated_similarity,
             m.collisions,
-            index.config().k,
+            k,
             m.spans.iter().map(|s| (s.start, s.end)).collect::<Vec<_>>()
         );
         if let (Some(corpus), Some(span)) = (&corpus, m.spans.first()) {
@@ -150,6 +179,24 @@ pub fn run(args: &Args) -> Result<(), String> {
         crate::obs::print_profile(&outcome.stats, 1);
     }
     crate::obs::maybe_write_metrics(args)
+}
+
+/// Runs one governed search, downgrading a tripped budget to the sound
+/// partial (with a warning) instead of an error.
+fn run_governed(
+    search: impl FnOnce() -> Result<SearchOutcome, QueryError>,
+) -> Result<SearchOutcome, String> {
+    match search() {
+        Ok(outcome) => Ok(outcome),
+        Err(QueryError::BudgetExceeded { resource, partial }) => {
+            eprintln!(
+                "warning: {resource} budget exhausted — showing the partial (incomplete) \
+                 result set found before stopping"
+            );
+            Ok(*partial)
+        }
+        Err(e) => Err(e.to_string()),
+    }
 }
 
 /// Assembles a per-query [`QueryBudget`] from `--deadline-ms`,
@@ -223,44 +270,66 @@ fn run_batch(
     }
 
     let threads: usize = args.get_or("threads", 0)?;
-    let policy = match args.get("failure-policy").unwrap_or("failfast") {
-        "failfast" => FailurePolicy::FailFast,
-        "isolate" => FailurePolicy::Isolate,
-        other => {
-            return Err(format!(
-                "invalid --failure-policy '{other}' (expected failfast or isolate)"
-            ))
-        }
-    };
-
-    let index = open_index(args, index_dir)?;
     let threads = if threads == 0 {
         ndss::parallel::default_threads()
     } else {
         threads
     };
-    let mut batch = index
-        .batch_searcher()
-        .map_err(|e| e.to_string())?
-        .threads(threads)
-        .failure_policy(policy)
-        .budget(parse_budget(args)?);
-    if let Some(raw) = args.get("batch-deadline-ms") {
-        let ms: u64 = raw
-            .parse()
-            .map_err(|e| format!("invalid --batch-deadline-ms: {e}"))?;
-        batch = batch.batch_deadline(std::time::Duration::from_millis(ms));
-    }
-    if let Some(raw) = args.get("admission-cap") {
-        let cap: usize = raw
-            .parse()
-            .map_err(|e| format!("invalid --admission-cap: {e}"))?;
-        batch = batch.admission_cap(cap);
-    }
 
-    let start = std::time::Instant::now();
-    let results = batch.search_all_governed(&queries, theta);
-    let elapsed = start.elapsed();
+    let (results, elapsed) = if ShardedStore::is_sharded(Path::new(index_dir)) {
+        // Sharded batch: the scatter-gather searcher applies the per-query
+        // budget; batch-level governance knobs belong to the single-index
+        // batch engine and are rejected rather than silently ignored.
+        for flag in ["failure-policy", "batch-deadline-ms", "admission-cap"] {
+            if args.get(flag).is_some() {
+                return Err(format!(
+                    "--{flag} is not supported over sharded stores (per-query \
+                     budget flags still apply)"
+                ));
+            }
+        }
+        let view = open_sharded_view(args, index_dir)?;
+        let searcher = view
+            .searcher_with_filter(PrefixFilter::Adaptive)
+            .map_err(|e| e.to_string())?
+            .threads(threads);
+        let budget = parse_budget(args)?;
+        let start = std::time::Instant::now();
+        let results = searcher.search_all_governed(&queries, theta, &budget);
+        (results, start.elapsed())
+    } else {
+        let policy = match args.get("failure-policy").unwrap_or("failfast") {
+            "failfast" => FailurePolicy::FailFast,
+            "isolate" => FailurePolicy::Isolate,
+            other => {
+                return Err(format!(
+                    "invalid --failure-policy '{other}' (expected failfast or isolate)"
+                ))
+            }
+        };
+        let index = open_index(args, index_dir)?;
+        let mut batch = index
+            .batch_searcher()
+            .map_err(|e| e.to_string())?
+            .threads(threads)
+            .failure_policy(policy)
+            .budget(parse_budget(args)?);
+        if let Some(raw) = args.get("batch-deadline-ms") {
+            let ms: u64 = raw
+                .parse()
+                .map_err(|e| format!("invalid --batch-deadline-ms: {e}"))?;
+            batch = batch.batch_deadline(std::time::Duration::from_millis(ms));
+        }
+        if let Some(raw) = args.get("admission-cap") {
+            let cap: usize = raw
+                .parse()
+                .map_err(|e| format!("invalid --admission-cap: {e}"))?;
+            batch = batch.admission_cap(cap);
+        }
+        let start = std::time::Instant::now();
+        let results = batch.search_all_governed(&queries, theta);
+        (results, start.elapsed())
+    };
 
     let mut io_bytes = 0u64;
     let mut cache_hits = 0u64;

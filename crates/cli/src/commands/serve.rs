@@ -40,11 +40,15 @@ pub fn run(args: &Args) -> Result<(), String> {
     let serving = ServingIndex::open_with_cache(Path::new(index), CacheConfig::default())
         .map_err(|e| e.to_string())?;
     let generation = serving.generation();
+    let shards = serving.snapshot().num_shards();
 
     Server::install_signal_hooks();
     let server = Server::bind(config, serving).map_err(|e| e.to_string())?;
     let addr = server.local_addr();
     match generation {
+        Some(generation) if shards > 1 => println!(
+            "serving {index} ({shards} shards, manifest generation {generation}) on http://{addr}"
+        ),
         Some(generation) => {
             println!("serving {index} (generation {generation}) on http://{addr}")
         }

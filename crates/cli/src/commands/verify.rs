@@ -11,6 +11,13 @@
 //! generation with `--all-generations`, one status line each). The exit
 //! code is nonzero whenever the CURRENT generation fails — that is the one
 //! queries are being served from.
+//!
+//! When `--store` points at a *sharded* store (a `MANIFEST` is present),
+//! the checksummed manifest is validated first, then every shard's serving
+//! generation is verified — one status line per shard, including the check
+//! that each shard's index covers exactly the text range the manifest
+//! claims. Any shard failure makes the exit code nonzero: a sharded store
+//! serves a query from all shards, so one bad shard poisons every answer.
 
 use std::path::Path;
 use std::time::Instant;
@@ -33,8 +40,56 @@ fn verify_generation(dir: &Path) -> Result<String, String> {
     ))
 }
 
+/// `--store` on a sharded store: manifest validation, then one status line
+/// per shard's serving generation. Any failure is an error — every shard
+/// participates in every answer.
+fn run_sharded_store(root: &str) -> Result<(), String> {
+    let store = ShardedStore::open(Path::new(root)).map_err(|e| e.to_string())?;
+    let manifest = store.manifest();
+    println!(
+        "store {root}: sharded, {} shards / {} texts, manifest generation {}",
+        store.num_shards(),
+        manifest.num_texts(),
+        manifest.generation
+    );
+    let mut failures = 0usize;
+    for (i, spec) in manifest.shards.iter().enumerate() {
+        let start = Instant::now();
+        match store.verify_shard(i) {
+            Ok(()) => println!(
+                "  {} [{}..{}): {} ok ({:.2}s)",
+                spec.name,
+                spec.first_text,
+                spec.first_text as u64 + spec.num_texts,
+                spec.serving.as_deref().unwrap_or("-"),
+                start.elapsed().as_secs_f64()
+            ),
+            Err(e) => {
+                println!(
+                    "  {} [{}..{}): {} FAILED: {e}",
+                    spec.name,
+                    spec.first_text,
+                    spec.first_text as u64 + spec.num_texts,
+                    spec.serving.as_deref().unwrap_or("-")
+                );
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!(
+            "{failures} of {} shards failed verification",
+            store.num_shards()
+        ));
+    }
+    Ok(())
+}
+
 /// `--store` mode: per-generation status, error iff CURRENT fails.
 fn run_store(root: &str, all: bool) -> Result<(), String> {
+    if ShardedStore::is_sharded(Path::new(root)) {
+        return run_sharded_store(root);
+    }
     let store = GenerationStore::open(Path::new(root)).map_err(|e| e.to_string())?;
     let generations = store.generations().map_err(|e| e.to_string())?;
     if generations.is_empty() {

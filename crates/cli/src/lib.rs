@@ -87,16 +87,23 @@ COMMANDS:
                [--store (treat --out as a generation store: build lands in
                 gen-NNNN/, verified, then published as CURRENT)]
                [--keep N=1 (previous generations retained on publish)]
+               [--shards N (with --store: partition the corpus by text-id
+                range into N independent shards, build them in parallel,
+                and publish all with one atomic manifest bump)]
   merge      merge shard indexes (built with identical parameters)
                --out DIR --inputs DIR,DIR,...
                [--resume (continue an interrupted merge)]
   publish    verify a generation and atomically point CURRENT at it
                --store DIR [--generation gen-NNNN (default: newest complete)]
-               [--keep N=1]
+               [--keep N=1] [--shard I (required for sharded stores: publish
+                within shard I and bump the store manifest atomically)]
   rollback   re-point CURRENT at an older (re-verified) generation
                --store DIR [--to gen-NNNN (default: newest older complete)]
+               [--shard I (required for sharded stores)]
   search     query an index for near-duplicate sequences
-               --index DIR --theta F [--query-tokens a,b,c |
+               --index DIR (plain index, generation store, or sharded store;
+                sharded stores scatter-gather with identical results)
+               --theta F [--query-tokens a,b,c |
                --query-span text:start:end --corpus FILE |
                --query TEXT --tokenizer FILE] [--top N=10]
                [--corpus FILE (decodes matches)]
@@ -124,7 +131,8 @@ COMMANDS:
   verify     stream stored checksums over an index, corpus, and/or store
                [--corpus FILE] [--index DIR]
                [--store DIR [--all-generations] (per-generation status;
-                exit is nonzero iff the CURRENT generation fails)]
+                exit is nonzero iff the CURRENT generation fails; sharded
+                stores get manifest validation plus one line per shard)]
   memorize   train an n-gram LM on the corpus and measure memorization
                --corpus FILE --index DIR [--order N=4] [--texts N=20]
                [--len N=256] [--window N=32] [--thetas F,F=1.0,0.9,0.8]

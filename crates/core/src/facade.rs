@@ -6,9 +6,12 @@ use ndss_corpus::{CorpusSource, SeqRef};
 use ndss_hash::TokenId;
 use ndss_index::{
     build_and_write, DiskIndex, ExternalIndexBuilder, IndexAccess, IndexConfig, MemoryIndex,
+    ShardedBuildOptions,
 };
 use ndss_query::search::{NearDupSearcher, SearchOutcome};
-use ndss_query::{BatchSearcher, PrefixFilter, QueryBudget, QueryStats};
+use ndss_query::{
+    BatchSearcher, PrefixFilter, QueryBudget, QueryStats, ShardedIndex, ShardedSearcher,
+};
 
 /// Unified error type of the facade.
 #[derive(Debug)]
@@ -324,6 +327,102 @@ impl<I: IndexAccess> CorpusIndex<I> {
     }
 }
 
+/// A sharded corpus index: the facade over [`ShardedIndex`] +
+/// [`ShardedSearcher`], mirroring [`CorpusIndex`] for stores whose corpus
+/// is partitioned by text-id range. Opening a plain index directory or an
+/// unsharded generation store works too — it is simply the single-shard
+/// special case.
+pub struct ShardedCorpusIndex {
+    index: ShardedIndex,
+    prefix_filter: PrefixFilter,
+}
+
+impl ShardedCorpusIndex {
+    /// Builds a sharded store at `root` with `shards` shards (in-memory
+    /// builds, shards in parallel) and opens the published view.
+    pub fn build_sharded<C: CorpusSource + ?Sized>(
+        corpus: &C,
+        params: SearchParams,
+        root: &Path,
+        shards: usize,
+    ) -> Result<Self, NdssError> {
+        Self::build_sharded_with(
+            corpus,
+            params,
+            root,
+            shards,
+            &ShardedBuildOptions::default(),
+        )
+    }
+
+    /// [`Self::build_sharded`] with explicit build options (external
+    /// builds, memory budget, resume, cross-shard workers).
+    pub fn build_sharded_with<C: CorpusSource + ?Sized>(
+        corpus: &C,
+        params: SearchParams,
+        root: &Path,
+        shards: usize,
+        opts: &ShardedBuildOptions,
+    ) -> Result<Self, NdssError> {
+        ndss_index::build_sharded(corpus, params.config, root, shards, opts)?;
+        Self::open_with_filter(root, params.prefix_filter)
+    }
+
+    /// Opens a sharded store, generation store, or plain index directory.
+    pub fn open(path: &Path) -> Result<Self, NdssError> {
+        Self::open_with_filter(path, PrefixFilter::Disabled)
+    }
+
+    /// [`Self::open`] with a prefix-filter policy.
+    pub fn open_with_filter(path: &Path, filter: PrefixFilter) -> Result<Self, NdssError> {
+        Ok(Self {
+            index: ShardedIndex::open(path)?,
+            prefix_filter: filter,
+        })
+    }
+
+    /// The underlying sharded view.
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    /// Number of shards in the view (1 for unsharded layouts).
+    pub fn num_shards(&self) -> usize {
+        self.index.num_shards()
+    }
+
+    /// A scatter-gather searcher over the view.
+    pub fn searcher(&self) -> Result<ShardedSearcher<'_>, NdssError> {
+        Ok(self.index.searcher_with_filter(self.prefix_filter)?)
+    }
+
+    /// One query at threshold `theta` across all shards.
+    pub fn search(&self, query: &[TokenId], theta: f64) -> Result<SearchOutcome, NdssError> {
+        Ok(self.searcher()?.search(query, theta)?)
+    }
+
+    /// [`Self::search`] under a budget (deadline shared across shards,
+    /// work caps apportioned).
+    pub fn search_governed(
+        &self,
+        query: &[TokenId],
+        theta: f64,
+        budget: &QueryBudget,
+    ) -> Result<SearchOutcome, NdssError> {
+        Ok(self.searcher()?.search_governed(query, theta, budget)?)
+    }
+
+    /// Runs every query; `results[i]` corresponds to `queries[i]` and is
+    /// bit-identical to a sequential [`Self::search`].
+    pub fn search_many(
+        &self,
+        queries: &[Vec<TokenId>],
+        theta: f64,
+    ) -> Result<Vec<SearchOutcome>, NdssError> {
+        Ok(self.searcher()?.search_all(queries, theta)?)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +516,28 @@ mod tests {
             let sequential = searcher.search(q, 0.8).unwrap();
             assert_eq!(outcome.enumerate_all(), sequential.enumerate_all());
         }
+    }
+
+    #[test]
+    fn sharded_facade_matches_single_index() {
+        let (corpus, planted) = SyntheticCorpusBuilder::new(91)
+            .num_texts(24)
+            .duplicates_per_text(1.0)
+            .mutation_rate(0.0)
+            .build();
+        let root = temp_dir("sharded_facade");
+        let params = SearchParams::new(4, 20, 5).prefix_filter(PrefixFilter::Disabled);
+        let sharded = ShardedCorpusIndex::build_sharded(&corpus, params.clone(), &root, 3).unwrap();
+        assert_eq!(sharded.num_shards(), 3);
+        let single = CorpusIndex::build_in_memory(&corpus, params).unwrap();
+        for p in planted.iter().take(4) {
+            let query = corpus.sequence_to_vec(p.dst).unwrap();
+            let a = sharded.search(&query, 0.8).unwrap();
+            let b = single.search(&query, 0.8).unwrap();
+            assert_eq!(a.matches, b.matches);
+            assert_eq!((a.beta, a.t, a.complete), (b.beta, b.t, b.complete));
+        }
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

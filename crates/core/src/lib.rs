@@ -67,29 +67,30 @@ pub use ndss_windows as windows;
 
 pub mod facade;
 
-pub use facade::{CorpusIndex, NdssError, SearchParams};
+pub use facade::{CorpusIndex, NdssError, SearchParams, ShardedCorpusIndex};
 
 /// The common imports for applications built on ndss.
 pub mod prelude {
-    pub use crate::facade::{CorpusIndex, NdssError, SearchParams};
+    pub use crate::facade::{CorpusIndex, NdssError, SearchParams, ShardedCorpusIndex};
     pub use ndss_baseline::{LshParams, LshWindowIndex};
     pub use ndss_corpus::{
-        CorpusSource, DiskCorpus, DiskCorpusWriter, InMemoryCorpus, PseudoWords, SeqRef, SeqSpan,
-        SyntheticCorpusBuilder, TextId,
+        CorpusSlice, CorpusSource, DiskCorpus, DiskCorpusWriter, InMemoryCorpus, PseudoWords,
+        SeqRef, SeqSpan, SyntheticCorpusBuilder, TextId,
     };
     pub use ndss_exact::ExactSubstringIndex;
     pub use ndss_hash::jaccard::{distinct_jaccard, multiset_jaccard};
     pub use ndss_hash::{MinHasher, Sketch, TokenId};
     pub use ndss_index::{
-        resolve_index_dir, DiskIndex, ExternalIndexBuilder, FaultConfig, GenerationInfo,
-        GenerationStore, IndexAccess, IndexConfig, MemoryIndex, MergeOptions, ReadOptions,
+        build_sharded, partition_texts, resolve_index_dir, DiskIndex, ExternalIndexBuilder,
+        FaultConfig, GenerationInfo, GenerationStore, IndexAccess, IndexConfig, MemoryIndex,
+        MergeOptions, ReadOptions, ShardManifest, ShardSpec, ShardedBuildOptions, ShardedStore,
     };
     pub use ndss_lm::{evaluate_memorization, GenerationStrategy, MemorizationConfig, NGramModel};
     pub use ndss_obs::{Registry, Unit};
     pub use ndss_query::{
         BatchSearcher, CancelToken, DocumentMatch, DocumentScan, FailurePolicy, NearDupSearcher,
         PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource, SearchOutcome, ServingIndex,
-        ServingSearcher, ShedReason, TextMatch,
+        ServingSearcher, ShardedIndex, ShardedSearcher, ShedReason, TextMatch,
     };
     pub use ndss_tokenizer::{BpeTokenizer, BpeTrainer};
 }

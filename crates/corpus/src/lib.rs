@@ -29,12 +29,14 @@
 
 pub mod disk;
 pub mod memory;
+pub mod slice;
 pub mod stats;
 pub mod synth;
 pub mod types;
 
 pub use disk::{DiskCorpus, DiskCorpusWriter};
 pub use memory::InMemoryCorpus;
+pub use slice::CorpusSlice;
 pub use stats::CorpusStats;
 pub use synth::{PlantedDuplicate, PseudoWords, SyntheticCorpusBuilder};
 pub use types::{CorpusError, CorpusSource, SeqRef, SeqSpan, TextId};

@@ -1,0 +1,92 @@
+//! A contiguous text-range view of a corpus, for sharded index builds.
+//!
+//! A shard indexes texts `[first, first + len)` of the full corpus but
+//! must see them as `0..len`: posting text ids are shard-local, and the
+//! query layer adds `first` back when merging shard results. This adapter
+//! is that renumbering — it implements [`CorpusSource`] over a borrowed
+//! corpus with nothing copied, so every builder (in-memory and external)
+//! works on a shard unchanged.
+
+use crate::types::{CorpusError, CorpusSource, TextId};
+use ndss_hash::TokenId;
+
+/// A [`CorpusSource`] exposing texts `[first, first + len)` of `inner` as
+/// texts `0..len`.
+pub struct CorpusSlice<'a, C: CorpusSource + ?Sized> {
+    inner: &'a C,
+    first: TextId,
+    len: usize,
+    total_tokens: u64,
+}
+
+impl<'a, C: CorpusSource + ?Sized> CorpusSlice<'a, C> {
+    /// A view of `len` texts starting at global text id `first`. Token
+    /// totals are computed here with one pass over the slice (each shard
+    /// slices only its own range, so building every shard of a partition
+    /// costs one pass over the corpus in total).
+    pub fn new(inner: &'a C, first: TextId, len: usize) -> Self {
+        assert!(
+            first as usize + len <= inner.num_texts(),
+            "slice [{first}, {}) exceeds corpus of {} texts",
+            first as usize + len,
+            inner.num_texts()
+        );
+        let mut buf = Vec::new();
+        let mut total_tokens = 0u64;
+        for id in first..first + len as TextId {
+            inner
+                .read_text(id, &mut buf)
+                .expect("slice construction reads only in-range texts");
+            total_tokens += buf.len() as u64;
+        }
+        Self {
+            inner,
+            first,
+            len,
+            total_tokens,
+        }
+    }
+
+    /// First global text id of the slice.
+    pub fn first_text(&self) -> TextId {
+        self.first
+    }
+}
+
+impl<C: CorpusSource + ?Sized> CorpusSource for CorpusSlice<'_, C> {
+    fn num_texts(&self) -> usize {
+        self.len
+    }
+
+    fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    fn read_text(&self, id: TextId, buf: &mut Vec<TokenId>) -> Result<(), CorpusError> {
+        if id as usize >= self.len {
+            return Err(CorpusError::Malformed(format!(
+                "text {id} out of range for slice of {} texts",
+                self.len
+            )));
+        }
+        self.inner.read_text(self.first + id, buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::InMemoryCorpus;
+
+    #[test]
+    fn slice_renumbers_and_counts_tokens() {
+        let corpus =
+            InMemoryCorpus::from_texts(vec![vec![1, 2, 3], vec![4, 5], vec![6, 7, 8, 9], vec![10]]);
+        let slice = CorpusSlice::new(&corpus, 1, 2);
+        assert_eq!(slice.num_texts(), 2);
+        assert_eq!(slice.total_tokens(), 6);
+        assert_eq!(slice.text_to_vec(0).unwrap(), vec![4, 5]);
+        assert_eq!(slice.text_to_vec(1).unwrap(), vec![6, 7, 8, 9]);
+        assert!(slice.text_to_vec(2).is_err());
+    }
+}

@@ -57,6 +57,7 @@ pub mod merge;
 mod metrics;
 pub mod packed;
 mod pread;
+pub mod shard;
 
 pub use build::{build_and_write, write_memory_index, ExternalIndexBuilder};
 pub use cache::CacheConfig;
@@ -66,6 +67,9 @@ pub use journal::{BuildJournal, JournalKind, KillPoints};
 pub use memory::MemoryIndex;
 pub use merge::{merge_indexes, merge_indexes_with, MergeOptions};
 pub use pread::{FaultConfig, FaultStats, ReadOptions, RetryPolicy};
+pub use shard::{
+    build_sharded, partition_texts, ShardManifest, ShardSpec, ShardedBuildOptions, ShardedStore,
+};
 
 use ndss_corpus::TextId;
 use ndss_hash::universal::HashFamily;

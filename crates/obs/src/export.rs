@@ -77,27 +77,56 @@ fn push_histogram(out: &mut String, name: &str, help: &str, h: &HistogramSnapsho
 /// cumulative `le` buckets, `_sum`, and `_count`.
 pub(crate) fn prometheus_text(snapshot: &[MetricSnapshot]) -> String {
     let mut out = String::new();
+    // Labeled siblings of one metric are adjacent in the (sorted) snapshot;
+    // HELP/TYPE must be emitted once per metric name, not once per series.
+    let mut declared: Option<String> = None;
     for m in snapshot {
         let name = prom_name(&m.name, &m.value);
+        let fresh = declared.as_deref() != Some(name.as_str());
+        let series = format!("{name}{}", prom_labels(&m.labels));
         match &m.value {
             MetricValue::Counter(v) => {
-                if !m.help.is_empty() {
-                    out.push_str(&format!("# HELP {name} {}\n", escape_help(&m.help)));
+                if fresh {
+                    if !m.help.is_empty() {
+                        out.push_str(&format!("# HELP {name} {}\n", escape_help(&m.help)));
+                    }
+                    out.push_str(&format!("# TYPE {name} counter\n"));
                 }
-                out.push_str(&format!("# TYPE {name} counter\n"));
-                out.push_str(&format!("{name} {v}\n"));
+                out.push_str(&format!("{series} {v}\n"));
             }
             MetricValue::Gauge(v) => {
-                if !m.help.is_empty() {
-                    out.push_str(&format!("# HELP {name} {}\n", escape_help(&m.help)));
+                if fresh {
+                    if !m.help.is_empty() {
+                        out.push_str(&format!("# HELP {name} {}\n", escape_help(&m.help)));
+                    }
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
                 }
-                out.push_str(&format!("# TYPE {name} gauge\n"));
-                out.push_str(&format!("{name} {v}\n"));
+                out.push_str(&format!("{series} {v}\n"));
             }
             MetricValue::Histogram(h) => push_histogram(&mut out, &name, &m.help, h),
         }
+        declared = Some(name);
     }
     out
+}
+
+/// Renders a label set as `{key="value",…}` (empty string for no labels).
+/// Label values are escaped per the exposition format.
+fn prom_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let rendered: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            let escaped = v
+                .replace('\\', "\\\\")
+                .replace('\n', "\\n")
+                .replace('"', "\\\"");
+            format!("{k}=\"{escaped}\"")
+        })
+        .collect();
+    format!("{{{}}}", rendered.join(","))
 }
 
 fn hist_json(h: &HistogramSnapshot) -> Json {
@@ -138,9 +167,19 @@ pub(crate) fn to_json(snapshot: &[MetricSnapshot]) -> Json {
     let metrics: Vec<Json> = snapshot
         .iter()
         .map(|m| {
-            let b = ObjectBuilder::new()
+            let mut b = ObjectBuilder::new()
                 .field("name", Json::Str(m.name.clone()))
                 .field("help", Json::Str(m.help.clone()));
+            if !m.labels.is_empty() {
+                let labels = m
+                    .labels
+                    .iter()
+                    .fold(ObjectBuilder::new(), |acc, (k, v)| {
+                        acc.field(k, Json::Str(v.clone()))
+                    })
+                    .build();
+                b = b.field("labels", labels);
+            }
             match &m.value {
                 MetricValue::Counter(v) => b
                     .field("kind", Json::Str("counter".to_string()))

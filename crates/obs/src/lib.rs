@@ -171,8 +171,17 @@ impl Instrument {
     }
 }
 
+/// Registry key: a metric name plus its (usually empty) label set. One
+/// name can carry many label sets — e.g. `index.shard.generation` with
+/// `shard="0"`, `shard="1"` — each its own instrument.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
 struct Inner {
-    metrics: Mutex<BTreeMap<String, Instrument>>,
+    metrics: Mutex<BTreeMap<MetricKey, Instrument>>,
     enabled: Arc<AtomicBool>,
 }
 
@@ -225,7 +234,10 @@ impl Registry {
     pub fn counter(&self, name: &str, help: &str) -> Counter {
         let mut metrics = self.inner.metrics.lock().unwrap();
         let inst = metrics
-            .entry(name.to_string())
+            .entry(MetricKey {
+                name: name.to_string(),
+                labels: Vec::new(),
+            })
             .or_insert_with(|| Instrument::Counter {
                 help: help.to_string(),
                 cell: Arc::new(AtomicU64::new(0)),
@@ -241,9 +253,27 @@ impl Registry {
 
     /// Returns the gauge `name`, registering it on first use.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with_labels(name, help, &[])
+    }
+
+    /// Returns the gauge `name` carrying `labels` (exported as
+    /// `name{key="value",…}`), registering it on first use. Labeled
+    /// siblings of one name are independent instruments — this is how
+    /// per-shard series (`index.shard.generation{shard="3"}`) coexist in
+    /// one exposition without last-writer-wins clobbering.
+    ///
+    /// # Panics
+    /// If the same name + label set is already a different instrument kind.
+    pub fn gauge_with_labels(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
         let mut metrics = self.inner.metrics.lock().unwrap();
         let inst = metrics
-            .entry(name.to_string())
+            .entry(MetricKey {
+                name: name.to_string(),
+                labels: labels
+                    .iter()
+                    .map(|&(k, v)| (k.to_string(), v.to_string()))
+                    .collect(),
+            })
             .or_insert_with(|| Instrument::Gauge {
                 help: help.to_string(),
                 cell: Arc::new(AtomicI64::new(0)),
@@ -261,7 +291,10 @@ impl Registry {
     pub fn histogram(&self, name: &str, help: &str, unit: Unit) -> Histogram {
         let mut metrics = self.inner.metrics.lock().unwrap();
         let inst = metrics
-            .entry(name.to_string())
+            .entry(MetricKey {
+                name: name.to_string(),
+                labels: Vec::new(),
+            })
             .or_insert_with(|| Instrument::Histogram {
                 help: help.to_string(),
                 unit,
@@ -293,8 +326,9 @@ impl Registry {
         let metrics = self.inner.metrics.lock().unwrap();
         metrics
             .iter()
-            .map(|(name, inst)| MetricSnapshot {
-                name: name.clone(),
+            .map(|(key, inst)| MetricSnapshot {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
                 help: match inst {
                     Instrument::Counter { help, .. }
                     | Instrument::Gauge { help, .. }
@@ -327,6 +361,8 @@ impl Registry {
 pub struct MetricSnapshot {
     /// Dotted internal name (`query.stage.sketch`).
     pub name: String,
+    /// Label set (usually empty); exported as `name{key="value",…}`.
+    pub labels: Vec<(String, String)>,
     /// Human-readable description.
     pub help: String,
     /// The observed value.
@@ -371,6 +407,37 @@ mod tests {
         g.set(5);
         g.add(-2);
         assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn labeled_gauges_are_independent_series_under_one_name() {
+        let reg = Registry::new();
+        let g0 = reg.gauge_with_labels("idx.shard.generation", "per-shard gen", &[("shard", "0")]);
+        let g1 = reg.gauge_with_labels("idx.shard.generation", "per-shard gen", &[("shard", "1")]);
+        g0.set(4);
+        g1.set(7);
+        assert_eq!(g0.get(), 4);
+        assert_eq!(g1.get(), 7);
+        // Same name + same labels shares the cell; the unlabeled series is
+        // yet another independent instrument.
+        assert_eq!(
+            reg.gauge_with_labels("idx.shard.generation", "", &[("shard", "0")])
+                .get(),
+            4
+        );
+        reg.gauge("idx.shard.generation", "base").set(9);
+        assert_eq!(g0.get(), 4);
+
+        let text = reg.prometheus_text();
+        crate::export::validate_prometheus_text(&text).unwrap();
+        assert!(text.contains("ndss_idx_shard_generation{shard=\"0\"} 4"));
+        assert!(text.contains("ndss_idx_shard_generation{shard=\"1\"} 7"));
+        // HELP/TYPE declared once for the whole family, not per series.
+        assert_eq!(
+            text.matches("# TYPE ndss_idx_shard_generation gauge")
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -120,6 +120,26 @@ impl QueryBudget {
         self
     }
 
+    /// Splits this budget for a fan-out across `shards` shards. Wall-clock
+    /// limits (`time_limit`, `deadline`) are **shared** — every shard races
+    /// the same clock, since they run concurrently — while the work caps
+    /// (IO bytes, candidates, result matches) are **apportioned** with
+    /// ceiling division, so the fan-out's total spend stays within one
+    /// rounding of the caller's cap instead of multiplying by the shard
+    /// count. Each apportioned cap stays at least 1 so every shard can
+    /// make progress.
+    pub fn split_across(&self, shards: usize) -> QueryBudget {
+        assert!(shards > 0, "cannot split a budget across zero shards");
+        let per = shards as u64;
+        QueryBudget {
+            time_limit: self.time_limit,
+            deadline: self.deadline,
+            max_io_bytes: self.max_io_bytes.map(|v| v.div_ceil(per).max(1)),
+            max_candidates: self.max_candidates.map(|v| v.div_ceil(per).max(1)),
+            max_result_matches: self.max_result_matches.map(|v| v.div_ceil(shards).max(1)),
+        }
+    }
+
     /// Whether every dimension is unbounded.
     pub fn is_unlimited(&self) -> bool {
         self.time_limit.is_none()

@@ -58,6 +58,7 @@ mod metrics;
 pub mod planner;
 pub mod search;
 pub mod serving;
+pub mod sharded;
 
 pub use batch::{BatchSearcher, FailurePolicy, ShedReason};
 pub use collision::{
@@ -71,6 +72,7 @@ pub use search::{
     NearDupSearcher, PrefixFilter, QueryStats, RankedMatch, SearchOutcome, TextMatch,
 };
 pub use serving::{ServingIndex, ServingSearcher};
+pub use sharded::{ShardedIndex, ShardedSearcher};
 
 /// Errors raised during query processing.
 #[derive(Debug)]

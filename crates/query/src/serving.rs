@@ -1,53 +1,65 @@
-//! Hot-swappable serving: queries against a generational index store with
-//! zero-downtime `reload()`.
+//! Hot-swappable serving: queries against a generational index store —
+//! sharded or not — with zero-downtime `reload()`.
 //!
 //! [`crate::BatchSearcher`] borrows its index for a lifetime, which is the
 //! right shape for one-shot evaluation runs but cannot swap the index out
 //! from under live traffic. [`ServingIndex`] closes that gap: it owns the
-//! current generation behind an `Arc` and re-resolves the store's `CURRENT`
-//! pointer on [`ServingIndex::reload`]. Queries *pin* a snapshot for their
-//! entire execution — a batch runs start to finish against one generation,
-//! so no query ever observes postings from two generations — while new
-//! queries arriving after a reload see the new generation immediately. The
-//! old generation's memory and file handles drop when its last in-flight
-//! query finishes (plain `Arc` reference counting; there is no explicit
-//! drain step to get wrong).
+//! current view behind an `Arc` and re-resolves the store on
+//! [`ServingIndex::reload`]. The view is a [`ShardedIndex`] — a plain
+//! directory or unsharded generation store is simply the single-shard
+//! special case — so the whole serving stack handles sharded stores
+//! through one path. Queries *pin* a snapshot for their entire execution —
+//! a batch runs start to finish against one view, so no query ever
+//! observes postings from two generations **or from two manifest
+//! generations of a sharded store** — while new queries arriving after a
+//! reload see the new view immediately. The old view's memory and file
+//! handles drop when its last in-flight query finishes (plain `Arc`
+//! reference counting; there is no explicit drain step to get wrong).
 //!
-//! Observability: the `index.generation` gauge tracks the serving
-//! generation number and the `index.reloads` counter every completed swap,
-//! so a fleet dashboard shows exactly which generation each process serves.
-//! The gauge is process-wide and **last-writer-wins**: when two
-//! [`ServingIndex`]es live in one process (e.g. tests, or a future
-//! multi-shard server), whichever opened or reloaded most recently owns the
-//! exported value — the registry has no label dimension, and registering a
-//! second gauge under the same name would corrupt the exposition instead.
-//! Generation numbers above `i64::MAX` are clamped rather than wrapped.
+//! For a sharded store the resolved identity is the whole `(manifest
+//! generation, per-shard serving directories)` tuple read from the single
+//! atomically-published `MANIFEST`, so a reload racing a per-shard publish
+//! can never assemble a torn cross-shard view: it either sees the old
+//! manifest (all old shard generations) or the new one (all new).
+//!
+//! Observability: the `index.generation` gauge tracks the serving view
+//! generation (manifest generation for sharded stores, generation number
+//! otherwise) and the `index.reloads` counter every completed swap. For
+//! sharded stores each shard additionally exports
+//! `index.shard.generation{shard="N"}` with its own serving generation
+//! number. The unlabeled gauge is process-wide and **last-writer-wins**:
+//! when two [`ServingIndex`]es live in one process (e.g. tests), whichever
+//! opened or reloaded most recently owns the exported value. Generation
+//! numbers above `i64::MAX` are clamped rather than wrapped.
 
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 use ndss_hash::TokenId;
 use ndss_index::generation::{parse_generation_name, resolve_index_dir};
-use ndss_index::{CacheConfig, DiskIndex};
+use ndss_index::{CacheConfig, ShardedStore};
 
-use crate::batch::BatchSearcher;
-use crate::search::{NearDupSearcher, PrefixFilter, SearchOutcome};
+use crate::search::{PrefixFilter, SearchOutcome};
+use crate::sharded::ShardedIndex;
 use crate::QueryError;
 
 struct ServingState {
-    index: Arc<DiskIndex>,
-    /// Directory the current index was opened from (identity for change
-    /// detection on reload).
-    dir: PathBuf,
-    /// Generation number when serving from a store, `None` for a plain
-    /// index directory.
+    view: Arc<ShardedIndex>,
+    /// Directories the current view was opened from, in shard order
+    /// (identity for change detection on reload).
+    dirs: Vec<PathBuf>,
+    /// View generation: the manifest generation when serving a sharded
+    /// store, the generation number when serving an unsharded store,
+    /// `None` for a plain index directory.
     generation: Option<u64>,
 }
 
-/// An index handle that can be atomically re-pointed at a new generation
-/// while queries are in flight.
+/// An index handle that can be atomically re-pointed at a new view (a new
+/// generation, or a new manifest generation of a sharded store) while
+/// queries are in flight.
 pub struct ServingIndex {
-    /// Store root (or plain index directory) reloads re-resolve.
+    /// Store root (sharded store, generation store, or plain index
+    /// directory) reloads re-resolve.
     path: PathBuf,
     cache: CacheConfig,
     state: RwLock<ServingState>,
@@ -56,20 +68,22 @@ pub struct ServingIndex {
 }
 
 impl ServingIndex {
-    /// Opens the index at `path` — either a generation store (its `CURRENT`
-    /// generation is served) or a plain index directory.
+    /// Opens the index at `path` — a sharded store (the manifest's view is
+    /// served), a generation store (its `CURRENT` generation), or a plain
+    /// index directory.
     pub fn open(path: &Path) -> Result<Self, QueryError> {
         Self::open_with_cache(path, CacheConfig::default())
     }
 
-    /// [`Self::open`] with explicit cache sizing. Each generation gets its
-    /// own caches (postings cached under one generation must not be served
-    /// under another).
+    /// [`Self::open`] with explicit cache sizing. Each generation (of each
+    /// shard) gets its own caches — postings cached under one generation
+    /// must not be served under another.
     pub fn open_with_cache(path: &Path, cache: CacheConfig) -> Result<Self, QueryError> {
         let reg = ndss_obs::Registry::global();
         let generation_gauge = reg.gauge(
             "index.generation",
-            "generation number currently being served (0 for a plain index directory)",
+            "view generation currently being served (manifest generation for sharded \
+             stores; 0 for a plain index directory)",
         );
         let reload_counter = reg.counter(
             "index.reloads",
@@ -77,6 +91,7 @@ impl ServingIndex {
         );
         let state = Self::load_state(path, cache)?;
         generation_gauge.set(gauge_value(state.generation));
+        publish_shard_gauges(&state);
         Ok(Self {
             path: path.to_path_buf(),
             cache,
@@ -86,89 +101,124 @@ impl ServingIndex {
         })
     }
 
+    /// Resolves the identity of the view `path` currently points at,
+    /// without opening any index: the ordered serving directories plus the
+    /// view generation. For a sharded store both come from the single
+    /// checksummed `MANIFEST`, so the tuple is always a consistent
+    /// cross-shard cut.
+    fn resolve_view(path: &Path) -> Result<(Vec<PathBuf>, Option<u64>), QueryError> {
+        if ShardedStore::is_sharded(path) {
+            let store = ShardedStore::open(path)?;
+            let mut dirs = Vec::with_capacity(store.num_shards());
+            for i in 0..store.num_shards() {
+                dirs.push(store.serving_dir(i)?);
+            }
+            Ok((dirs, Some(store.manifest().generation)))
+        } else {
+            let dir = resolve_index_dir(path);
+            let generation = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(parse_generation_name);
+            Ok((vec![dir], generation))
+        }
+    }
+
     fn load_state(path: &Path, cache: CacheConfig) -> Result<ServingState, QueryError> {
-        let dir = resolve_index_dir(path);
-        let generation = dir
-            .file_name()
-            .and_then(|n| n.to_str())
-            .and_then(parse_generation_name);
-        let index = Arc::new(DiskIndex::open_with_cache(&dir, cache)?);
+        let (dirs, generation) = Self::resolve_view(path)?;
+        let view = Arc::new(ShardedIndex::open_with_cache(path, cache)?);
         Ok(ServingState {
-            index,
-            dir,
+            view,
+            dirs,
             generation,
         })
     }
 
     /// The snapshot new queries would use right now. Callers hold the `Arc`
-    /// for the duration of a query (or batch), pinning that generation —
-    /// a concurrent reload never changes an execution in progress.
-    pub fn snapshot(&self) -> Arc<DiskIndex> {
-        self.state.read().unwrap().index.clone()
+    /// for the duration of a query (or batch), pinning that view — a
+    /// concurrent reload never changes an execution in progress.
+    pub fn snapshot(&self) -> Arc<ShardedIndex> {
+        self.state.read().unwrap().view.clone()
     }
 
-    /// The generation number being served (`None` for a plain directory).
+    /// The snapshot *and* its view generation, read under one lock
+    /// acquisition: the pair is guaranteed consistent even when a reload
+    /// lands between a caller's two method calls. Network responses that
+    /// report which generation served them must use this, not separate
+    /// `generation()` + `snapshot()` reads.
+    pub fn pinned(&self) -> (Arc<ShardedIndex>, Option<u64>) {
+        let state = self.state.read().unwrap();
+        (state.view.clone(), state.generation)
+    }
+
+    /// The view generation being served (`None` for a plain directory).
     pub fn generation(&self) -> Option<u64> {
         self.state.read().unwrap().generation
     }
 
-    /// The directory the serving snapshot was opened from.
+    /// The directory the serving snapshot was opened from (first shard's
+    /// for a sharded store; see [`Self::serving_dirs`]).
     pub fn serving_dir(&self) -> PathBuf {
-        self.state.read().unwrap().dir.clone()
+        self.state.read().unwrap().dirs[0].clone()
     }
 
-    /// Re-resolves the store's `CURRENT` pointer and, if it moved, opens
-    /// the new generation and swaps it in. Returns `true` when a swap
-    /// happened. In-flight queries keep their pinned snapshot; the old
-    /// generation is dropped when the last of them finishes. The new
-    /// generation is fully opened (headers validated) *before* the swap, so
-    /// a bad generation leaves serving untouched and returns the error.
+    /// Every directory of the serving view, in shard order.
+    pub fn serving_dirs(&self) -> Vec<PathBuf> {
+        self.state.read().unwrap().dirs.clone()
+    }
+
+    /// Re-resolves the store (manifest or `CURRENT` pointer) and, if the
+    /// view moved, opens the new one and swaps it in. Returns `true` when
+    /// a swap happened. In-flight queries keep their pinned snapshot; the
+    /// old view is dropped when the last of them finishes. The new view is
+    /// fully opened (every shard's headers validated) *before* the swap,
+    /// so a bad generation leaves serving untouched and returns the error.
     ///
     /// Racing reloads are safe in both directions: the swap is re-checked
-    /// under the write lock, so a reload that resolved `CURRENT` before a
-    /// concurrent reload published-and-swapped a *newer* generation
-    /// abandons its stale open instead of regressing serving to the older
-    /// generation.
+    /// under the write lock, so a reload that resolved the view before a
+    /// concurrent reload published-and-swapped a *newer* one abandons its
+    /// stale open instead of regressing serving to the older view.
     pub fn reload(&self) -> Result<bool, QueryError> {
         self.reload_with_race_window(|| {})
     }
 
     /// [`Self::reload`] with a hook invoked between resolving/opening the
-    /// target generation and taking the write lock — the window in which a
+    /// target view and taking the write lock — the window in which a
     /// concurrent reload can land. Exists so tests can exercise the race
     /// deterministically; not part of the stable API.
     #[doc(hidden)]
     pub fn reload_with_race_window(&self, mut in_window: impl FnMut()) -> Result<bool, QueryError> {
-        // A stale open retries resolution from scratch; `CURRENT` moving
+        // A stale open retries resolution from scratch; the view moving
         // takes an explicit publish/rollback, so in practice this loop runs
         // once (twice under an actively racing reload).
         for _ in 0..RELOAD_ATTEMPTS {
-            let target = resolve_index_dir(&self.path);
+            let target = Self::resolve_view(&self.path)?;
             {
                 let state = self.state.read().unwrap();
-                if state.dir == target {
+                if (state.dirs.as_slice(), state.generation) == (target.0.as_slice(), target.1) {
                     return Ok(false);
                 }
             }
             let fresh = Self::load_state(&self.path, self.cache)?;
             in_window();
-            let generation = fresh.generation;
             let mut state = self.state.write().unwrap();
             // Re-resolved under the write lock: between our open and this
-            // lock a concurrent reload may have swapped a *newer* generation
-            // in (and a concurrent publish may have moved `CURRENT` again).
-            // Swap only while `CURRENT` still names the generation we
-            // opened — a stale open must never overwrite a newer swap with
-            // an older generation. A deliberate rollback still reloads:
-            // there `CURRENT` genuinely names the older generation.
-            let current_now = resolve_index_dir(&self.path);
-            if state.dir == current_now {
+            // lock a concurrent reload may have swapped a *newer* view in
+            // (and a concurrent publish may have moved the manifest again).
+            // Swap only while the store still names the view we opened — a
+            // stale open must never overwrite a newer swap with an older
+            // view. A deliberate rollback still reloads: there the store
+            // genuinely names the older generation.
+            let now = Self::resolve_view(&self.path)?;
+            if (state.dirs.as_slice(), state.generation) == (now.0.as_slice(), now.1) {
                 return Ok(false);
             }
-            if fresh.dir != current_now {
+            if (fresh.dirs.as_slice(), fresh.generation) != (now.0.as_slice(), now.1) {
                 // Our open is stale; re-resolve and try again.
                 continue;
             }
+            let generation = fresh.generation;
+            publish_shard_gauges(&fresh);
             *state = fresh;
             self.generation_gauge.set(gauge_value(generation));
             self.reload_counter.inc(1);
@@ -189,11 +239,35 @@ fn gauge_value(generation: Option<u64>) -> i64 {
     generation.unwrap_or(0).min(i64::MAX as u64) as i64
 }
 
+/// Exports `index.shard.generation{shard="N"}` for every shard of a
+/// multi-shard view (single-shard views keep the exposition clean and use
+/// only the unlabeled `index.generation`). Each shard's value is its own
+/// serving `gen-NNNN` number, parsed from the directory the manifest named.
+fn publish_shard_gauges(state: &ServingState) {
+    if state.dirs.len() <= 1 {
+        return;
+    }
+    let reg = ndss_obs::Registry::global();
+    for (i, dir) in state.dirs.iter().enumerate() {
+        let generation = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .and_then(parse_generation_name);
+        let shard = i.to_string();
+        reg.gauge_with_labels(
+            "index.shard.generation",
+            "generation number each shard of the serving view is on",
+            &[("shard", &shard)],
+        )
+        .set(gauge_value(generation));
+    }
+}
+
 /// A long-lived searcher over a [`ServingIndex`]: the owning counterpart of
-/// [`BatchSearcher`], safe to keep across generation swaps.
+/// [`crate::BatchSearcher`], safe to keep across generation swaps.
 ///
 /// Every call pins one snapshot for its whole execution, so a batch's
-/// results are bit-identical to running it against whichever generation was
+/// results are bit-identical to running it against whichever view was
 /// current when the call started — reloads concurrent with the batch take
 /// effect for the *next* call.
 pub struct ServingSearcher {
@@ -217,7 +291,7 @@ impl ServingSearcher {
         }
     }
 
-    /// Pins the worker-thread count for batch calls.
+    /// Pins the worker-thread count for scatter and batch calls.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -228,20 +302,20 @@ impl ServingSearcher {
         &self.index
     }
 
-    /// Hot-swaps to the store's current generation; see
-    /// [`ServingIndex::reload`].
+    /// Hot-swaps to the store's current view; see [`ServingIndex::reload`].
     pub fn reload(&self) -> Result<bool, QueryError> {
         self.index.reload()
     }
 
-    /// Runs one query at threshold `theta` against the current generation.
+    /// Runs one query at threshold `theta` against the current view.
     pub fn search(&self, query: &[TokenId], theta: f64) -> Result<SearchOutcome, QueryError> {
         self.search_governed(query, theta, &crate::QueryBudget::unlimited())
     }
 
     /// [`Self::search`] under a per-query [`crate::QueryBudget`] — the shape
-    /// a network front door needs: every request pins one generation and
-    /// carries its own deadline/IO/result caps.
+    /// a network front door needs: every request pins one view and carries
+    /// its own deadline/IO/result caps, split across shards by the
+    /// scatter-gather layer.
     pub fn search_governed(
         &self,
         query: &[TokenId],
@@ -249,34 +323,36 @@ impl ServingSearcher {
         budget: &crate::QueryBudget,
     ) -> Result<SearchOutcome, QueryError> {
         let snapshot = self.index.snapshot();
-        let searcher = NearDupSearcher::with_prefix_filter(&*snapshot, self.filter)?;
+        let searcher = snapshot
+            .searcher_with_filter(self.filter)?
+            .threads(self.threads);
         searcher.search_governed(query, theta, budget)
     }
 
-    /// Ranks an outcome's matches (merged spans, best collision counts),
-    /// delegating to [`NearDupSearcher::rank`] against the current
-    /// generation's configuration.
+    /// Ranks an outcome's matches (merged spans, best collision counts)
+    /// against the current view's configuration.
     pub fn rank(
         &self,
         outcome: &SearchOutcome,
         limit: usize,
     ) -> Result<Vec<crate::RankedMatch>, QueryError> {
         let snapshot = self.index.snapshot();
-        let searcher = NearDupSearcher::with_prefix_filter(&*snapshot, self.filter)?;
+        let searcher = snapshot.searcher_with_filter(self.filter)?;
         Ok(searcher.rank(outcome, limit))
     }
 
-    /// Runs every query at threshold `theta`, all against the single
-    /// generation that was current when the call started; `results[i]`
-    /// corresponds to `queries[i]`.
+    /// Runs every query at threshold `theta`, all against the single view
+    /// that was current when the call started; `results[i]` corresponds to
+    /// `queries[i]`.
     pub fn search_all(
         &self,
         queries: &[Vec<TokenId>],
         theta: f64,
     ) -> Result<Vec<SearchOutcome>, QueryError> {
         let snapshot = self.index.snapshot();
-        let batch =
-            BatchSearcher::with_prefix_filter(&*snapshot, self.filter)?.threads(self.threads);
-        batch.search_all(queries, theta)
+        let searcher = snapshot
+            .searcher_with_filter(self.filter)?
+            .threads(self.threads);
+        searcher.search_all(queries, theta)
     }
 }

@@ -1,0 +1,319 @@
+//! Scatter-gather queries over a sharded store: "one index" as the
+//! single-shard special case.
+//!
+//! A [`ShardedIndex`] is the read-side view of an
+//! [`ndss_index::ShardedStore`] — one opened [`DiskIndex`] per shard plus
+//! each shard's `first_text` offset, pinned to one manifest view
+//! generation. Opening a plain index directory or an unsharded generation
+//! store yields the same type with a single shard at offset 0, so every
+//! caller (CLI, serving daemon, tests) handles both layouts through one
+//! path.
+//!
+//! [`ShardedSearcher`] fans a query out across the shards on the
+//! `ndss-parallel` pool. Each shard runs the ordinary
+//! [`NearDupSearcher`] over its own index under a **split budget**
+//! ([`QueryBudget::split_across`]): wall-clock limits are shared — every
+//! shard races the same absolute deadline — while IO/candidate/result
+//! caps are apportioned, so a fan-out cannot multiply the caller's
+//! spending limit by the shard count. Because shards partition the corpus
+//! by contiguous text-id range, merging is exact and trivial: offset each
+//! shard's match text ids by its `first_text` and concatenate in shard
+//! order, which *is* ascending global text order. The merged result is
+//! bit-identical to a single index over the whole corpus
+//! (`tests/sharded_exactness` pins this).
+//!
+//! When a shard trips its budget the composition stays **sound**: results
+//! from shards before it are complete, the tripped shard contributes its
+//! own sound partial (ascending text ids), and shards after it are
+//! discarded — yielding a prefix, in text order, of the full result, which
+//! is exactly the contract single-index governed search already makes.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ndss_corpus::TextId;
+use ndss_hash::TokenId;
+use ndss_index::generation::resolve_index_dir;
+use ndss_index::{CacheConfig, DiskIndex, IndexAccess, IndexConfig, ReadOptions, ShardedStore};
+
+use crate::governor::QueryBudget;
+use crate::search::{NearDupSearcher, PrefixFilter, QueryStats, RankedMatch, SearchOutcome};
+use crate::{QueryError, Resource};
+
+/// One shard of the read view: where its texts start globally, and its
+/// opened index.
+struct ShardSlot {
+    base: TextId,
+    index: Arc<DiskIndex>,
+}
+
+/// A read view over one or many shards, pinned to one manifest view
+/// generation. See the module docs.
+pub struct ShardedIndex {
+    shards: Vec<ShardSlot>,
+    /// Manifest view generation for a sharded store; `None` for plain
+    /// directories and unsharded generation stores.
+    manifest_generation: Option<u64>,
+}
+
+impl ShardedIndex {
+    /// Opens `path` as a sharded store (when it has a `MANIFEST`), a
+    /// generation store (its `CURRENT` generation becomes the only shard),
+    /// or a plain index directory (likewise).
+    pub fn open(path: &Path) -> Result<Self, QueryError> {
+        Self::open_with_cache(path, CacheConfig::default())
+    }
+
+    /// [`Self::open`] with explicit cache sizing (each shard gets its own
+    /// caches).
+    pub fn open_with_cache(path: &Path, cache: CacheConfig) -> Result<Self, QueryError> {
+        Self::open_with(path, cache, ReadOptions::default())
+    }
+
+    /// [`Self::open`] with explicit cache sizing and read options (e.g.
+    /// memory-mapped postings); both apply to every shard.
+    pub fn open_with(path: &Path, cache: CacheConfig, io: ReadOptions) -> Result<Self, QueryError> {
+        if ShardedStore::is_sharded(path) {
+            let store = ShardedStore::open(path)?;
+            let mut shards = Vec::with_capacity(store.num_shards());
+            for i in 0..store.num_shards() {
+                let dir = store.serving_dir(i)?;
+                shards.push(ShardSlot {
+                    base: store.manifest().shards[i].first_text,
+                    index: Arc::new(DiskIndex::open_with_io(&dir, cache, io.clone())?),
+                });
+            }
+            Ok(Self {
+                shards,
+                manifest_generation: Some(store.manifest().generation),
+            })
+        } else {
+            let dir = resolve_index_dir(path);
+            let index = Arc::new(DiskIndex::open_with_io(&dir, cache, io)?);
+            Ok(Self::from_single(index))
+        }
+    }
+
+    /// The single-shard special case: one already-opened index covering
+    /// the whole text-id space.
+    pub fn from_single(index: Arc<DiskIndex>) -> Self {
+        Self {
+            shards: vec![ShardSlot { base: 0, index }],
+            manifest_generation: None,
+        }
+    }
+
+    /// Number of shards in the view.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total texts across all shards.
+    pub fn num_texts(&self) -> usize {
+        self.shards.iter().map(|s| s.index.config().num_texts).sum()
+    }
+
+    /// The shared index configuration (`k`, `t`, seed, format — identical
+    /// across shards of one store; corpus dimensions are per-shard).
+    pub fn config(&self) -> &IndexConfig {
+        self.shards[0].index.config()
+    }
+
+    /// Manifest view generation when opened from a sharded store.
+    pub fn manifest_generation(&self) -> Option<u64> {
+        self.manifest_generation
+    }
+
+    /// Shard `i`'s opened index.
+    pub fn shard(&self, i: usize) -> &Arc<DiskIndex> {
+        &self.shards[i].index
+    }
+
+    /// Shard `i`'s first global text id.
+    pub fn shard_base(&self, i: usize) -> TextId {
+        self.shards[i].base
+    }
+
+    /// A scatter-gather searcher over this view with prefix filtering
+    /// disabled.
+    pub fn searcher(&self) -> Result<ShardedSearcher<'_>, QueryError> {
+        self.searcher_with_filter(PrefixFilter::Disabled)
+    }
+
+    /// A scatter-gather searcher with the given prefix-filter policy (each
+    /// shard derives its own cutoffs from its own list-length histogram —
+    /// a pure optimization, so exactness is unaffected).
+    pub fn searcher_with_filter(
+        &self,
+        filter: PrefixFilter,
+    ) -> Result<ShardedSearcher<'_>, QueryError> {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for slot in &self.shards {
+            shards.push((
+                slot.base,
+                NearDupSearcher::with_prefix_filter(&*slot.index, filter)?,
+            ));
+        }
+        Ok(ShardedSearcher {
+            shards,
+            threads: ndss_parallel::default_threads(),
+        })
+    }
+}
+
+/// Fans queries out across a [`ShardedIndex`]'s shards and merges exact
+/// results; see the module docs for the merge and budget semantics.
+pub struct ShardedSearcher<'a> {
+    shards: Vec<(TextId, NearDupSearcher<'a, DiskIndex>)>,
+    threads: usize,
+}
+
+impl ShardedSearcher<'_> {
+    /// Pins the worker-thread count: the scatter width for single queries,
+    /// and the query-level parallelism for batches.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Runs one query at threshold `theta` across all shards.
+    pub fn search(&self, query: &[TokenId], theta: f64) -> Result<SearchOutcome, QueryError> {
+        self.search_governed(query, theta, &QueryBudget::unlimited())
+    }
+
+    /// [`Self::search`] under a budget: the deadline is shared across
+    /// shards, work caps are apportioned per shard, and a tripped shard
+    /// yields a sound text-order prefix of the full result (carried in
+    /// [`QueryError::BudgetExceeded`], exactly like the single-index
+    /// searcher).
+    pub fn search_governed(
+        &self,
+        query: &[TokenId],
+        theta: f64,
+        budget: &QueryBudget,
+    ) -> Result<SearchOutcome, QueryError> {
+        self.scatter(query, theta, budget, self.threads)
+    }
+
+    /// Runs every query at threshold `theta`; `results[i]` corresponds to
+    /// `queries[i]`, each bit-identical to a sequential [`Self::search`].
+    /// Parallelism is at the query level (each query scatters serially),
+    /// so total workers stay at the configured thread count.
+    pub fn search_all(
+        &self,
+        queries: &[Vec<TokenId>],
+        theta: f64,
+    ) -> Result<Vec<SearchOutcome>, QueryError> {
+        ndss_parallel::try_map(queries, self.threads, |_, q| {
+            self.scatter(q, theta, &QueryBudget::unlimited(), 1)
+        })
+    }
+
+    /// Per-query governed batch: every slot gets its own outcome or error
+    /// (budget trips carry sound partials), never collateral failures.
+    pub fn search_all_governed(
+        &self,
+        queries: &[Vec<TokenId>],
+        theta: f64,
+        budget: &QueryBudget,
+    ) -> Vec<Result<SearchOutcome, QueryError>> {
+        ndss_parallel::map(queries, self.threads, |_, q| {
+            self.scatter(q, theta, budget, 1)
+        })
+    }
+
+    /// Ranks an outcome's matches by best collision count; ranking depends
+    /// only on the shared configuration, so any shard's searcher can rank
+    /// merged (global-id) outcomes.
+    pub fn rank(&self, outcome: &SearchOutcome, limit: usize) -> Vec<RankedMatch> {
+        self.shards[0].1.rank(outcome, limit)
+    }
+
+    fn scatter(
+        &self,
+        query: &[TokenId],
+        theta: f64,
+        budget: &QueryBudget,
+        threads: usize,
+    ) -> Result<SearchOutcome, QueryError> {
+        let started = Instant::now();
+        let per_shard = budget.split_across(self.shards.len());
+        let results: Vec<Result<SearchOutcome, QueryError>> =
+            ndss_parallel::map(&self.shards, threads, |_, (_, searcher)| {
+                searcher.search_governed(query, theta, &per_shard)
+            });
+        self.merge(results, started)
+    }
+
+    /// Merges per-shard results in shard order (ascending global text
+    /// order). Stops at the first budget-tripped shard so the composition
+    /// is a sound prefix; any other error propagates as-is.
+    fn merge(
+        &self,
+        results: Vec<Result<SearchOutcome, QueryError>>,
+        started: Instant,
+    ) -> Result<SearchOutcome, QueryError> {
+        let mut merged: Option<SearchOutcome> = None;
+        let mut tripped: Option<Resource> = None;
+        for (i, result) in results.into_iter().enumerate() {
+            let base = self.shards[i].0;
+            let (mut outcome, resource) = match result {
+                Ok(outcome) => (outcome, None),
+                Err(QueryError::BudgetExceeded { resource, partial }) => (*partial, Some(resource)),
+                Err(e) => return Err(e),
+            };
+            for m in &mut outcome.matches {
+                m.text += base;
+            }
+            merged = Some(match merged.take() {
+                None => outcome,
+                Some(mut acc) => {
+                    acc.matches.append(&mut outcome.matches);
+                    accumulate_stats(&mut acc.stats, &outcome.stats);
+                    acc
+                }
+            });
+            if resource.is_some() {
+                tripped = resource;
+                break;
+            }
+        }
+        let mut outcome = merged.expect("a sharded view has at least one shard");
+        outcome.stats.total = started.elapsed();
+        match tripped {
+            None => Ok(outcome),
+            Some(resource) => {
+                outcome.complete = false;
+                Err(QueryError::BudgetExceeded {
+                    resource,
+                    partial: Box::new(outcome),
+                })
+            }
+        }
+    }
+}
+
+/// Sums `other` into `acc`, field by field. `total` is excluded — the
+/// scatter-gather wall clock is set once by the merger, not summed across
+/// concurrent shards.
+fn accumulate_stats(acc: &mut QueryStats, other: &QueryStats) {
+    acc.io_time += other.io_time;
+    acc.io_bytes += other.io_bytes;
+    acc.cache_hits += other.cache_hits;
+    acc.cache_misses += other.cache_misses;
+    acc.cpu_time += other.cpu_time;
+    acc.zone_hits += other.zone_hits;
+    acc.zone_misses += other.zone_misses;
+    acc.stage_sketch += other.stage_sketch;
+    acc.stage_plan += other.stage_plan;
+    acc.stage_gather += other.stage_gather;
+    acc.stage_count += other.stage_count;
+    acc.stage_probe += other.stage_probe;
+    acc.lists_loaded += other.lists_loaded;
+    acc.lists_long += other.lists_long;
+    acc.long_probes += other.long_probes;
+    acc.postings_read += other.postings_read;
+    acc.candidate_texts += other.candidate_texts;
+    acc.matched_texts += other.matched_texts;
+}

@@ -52,8 +52,7 @@ use std::time::{Duration, Instant};
 use ndss_index::CacheConfig;
 use ndss_json::{Json, ObjectBuilder};
 use ndss_query::{
-    NearDupSearcher, PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource, SearchOutcome,
-    ServingIndex,
+    PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource, SearchOutcome, ServingIndex,
 };
 
 use crate::frame::{self, FrameOutcome, RequestPayload};
@@ -883,9 +882,13 @@ fn execute_admitted(shared: &Shared, parsed: &ParsedSearch) -> Result<SearchRepl
         budget = budget.max_result_matches(m);
     }
 
-    let generation = shared.serving.generation().unwrap_or(0);
-    let snapshot = shared.serving.snapshot();
-    let searcher = NearDupSearcher::with_prefix_filter(&*snapshot, shared.config.filter)
+    // One lock read yields both the view and its generation, so the reply
+    // always reports exactly the manifest generation its results came from
+    // — a reload racing this request can never produce a torn pairing.
+    let (snapshot, generation) = shared.serving.pinned();
+    let generation = generation.unwrap_or(0);
+    let searcher = snapshot
+        .searcher_with_filter(shared.config.filter)
         .map_err(|e| SearchFail::Internal(e.to_string()))?;
     let (outcome, exhausted): (SearchOutcome, Option<Resource>) =
         match searcher.search_governed(&parsed.query, parsed.theta, &budget) {

@@ -363,3 +363,134 @@ fn interrupted_build_is_reported_resumable_and_openable_after_resume() {
     opened.verify_integrity().unwrap();
     std::fs::remove_dir_all(&root).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Sharded builds under injected crash.
+// ---------------------------------------------------------------------------
+
+/// A killed `--shards N` build resumes byte-identically, shard by shard:
+/// shards that finished before the crash are reused unchanged, the shard
+/// whose journal survived continues from it, and untouched shards build
+/// fresh — the resumed store's bytes (every shard's generation files and
+/// the manifest itself) equal an uninterrupted build's.
+///
+/// Builds run fully serial (`serial: true`): crash site `n` must mean the
+/// same on-disk state on every run, which either cross-shard or intra-shard
+/// thread scheduling would break.
+#[test]
+fn sharded_build_resumes_byte_identical_per_shard() {
+    let (corpus, _) = SyntheticCorpusBuilder::new(92)
+        .num_texts(24)
+        .vocab_size(400)
+        .build();
+    let shards = 3usize;
+    let opts = |kill: Option<std::sync::Arc<KillPoints>>, resume: bool| ShardedBuildOptions {
+        external: true,
+        memory_budget: 1 << 12,
+        resume,
+        keep: 1,
+        serial: true,
+        kill,
+        ..ShardedBuildOptions::default()
+    };
+
+    // Uninterrupted reference build.
+    let clean_root = temp_dir("sharded_clean");
+    build_sharded(
+        &corpus,
+        config(false),
+        &clean_root,
+        shards,
+        &opts(None, false),
+    )
+    .unwrap();
+    let reference = dir_files(&clean_root);
+    assert!(reference.contains_key("MANIFEST"));
+    for name in reference.keys() {
+        assert!(
+            !name.ends_with("build.journal"),
+            "completed shards must remove their journals"
+        );
+    }
+
+    // Counting pass: how many crash sites does the whole sharded build
+    // expose? (The injector observes all three shards' builds in order.)
+    let count = KillPoints::count_only();
+    let count_root = temp_dir("sharded_count");
+    build_sharded(
+        &corpus,
+        config(false),
+        &count_root,
+        shards,
+        &opts(Some(count.clone()), false),
+    )
+    .unwrap();
+    let (checkpoints, io_points) = (count.checkpoints_seen(), count.io_seen());
+    assert!(
+        checkpoints >= 3 * 10,
+        "expected every shard to contribute checkpoints, saw {checkpoints}"
+    );
+    assert_same_files("sharded counting pass", &count_root, &reference);
+
+    let sweep = |kp: std::sync::Arc<KillPoints>, label: String| {
+        let root = temp_dir("sharded_sweep");
+        let err = build_sharded(
+            &corpus,
+            config(false),
+            &root,
+            shards,
+            &opts(Some(kp.clone()), false),
+        )
+        .expect_err(&format!("{label}: build must crash"));
+        assert!(kp.fired(), "{label}: injector did not fire");
+        assert!(
+            err.to_string().contains("injected crash"),
+            "{label}: unexpected error {err}"
+        );
+        // A crashed sharded build must never have published: no shard
+        // serves and the manifest generation is still 0.
+        let crashed = ShardedStore::open(&root).unwrap();
+        assert_eq!(crashed.manifest().generation, 0, "{label}: published early");
+        // Resume exactly as `ndss index --shards N --resume` would.
+        build_sharded(&corpus, config(false), &root, shards, &opts(None, true))
+            .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
+        assert_same_files(&label, &root, &reference);
+    };
+
+    // Crash at a seeded sample of checkpoints and IO points spread across
+    // the whole build — early sites hit shard 0 mid-build, late sites hit
+    // shard 2 with shards 0–1 already complete (exercising the
+    // complete-but-unpublished reuse path).
+    for n in spread(checkpoints, 9) {
+        sweep(
+            KillPoints::at_checkpoint(n),
+            format!("sharded checkpoint {n}"),
+        );
+    }
+    for n in spread(io_points, 6) {
+        sweep(KillPoints::at_io(n), format!("sharded io {n}"));
+    }
+
+    // Resuming with different build parameters must refuse, not guess.
+    let root = temp_dir("sharded_mismatch");
+    let kp = KillPoints::at_checkpoint(checkpoints / 2);
+    build_sharded(
+        &corpus,
+        config(false),
+        &root,
+        shards,
+        &opts(Some(kp), false),
+    )
+    .expect_err("build must crash");
+    build_sharded(&corpus, config(true), &root, shards, &opts(None, true))
+        .expect_err("resume with different parameters must be rejected");
+
+    for name in [
+        "sharded_clean",
+        "sharded_count",
+        "sharded_sweep",
+        "sharded_mismatch",
+    ] {
+        std::fs::remove_dir_all(std::env::temp_dir().join("ndss_it_crash").join(name)).ok();
+    }
+}

@@ -335,3 +335,152 @@ fn legacy_v1_corpus_never_panics() {
     });
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Sharded store: corruption of one shard or the manifest must reject
+// cleanly without poisoning its siblings.
+// ---------------------------------------------------------------------------
+
+/// Opens the sharded store, validates it end to end, and runs the query
+/// set through the scatter-gather path.
+fn run_sharded_queries(root: &Path, queries: &[Vec<TokenId>]) -> Result<Vec<SeqRef>, String> {
+    let store = ShardedStore::open(root).map_err(|e| e.to_string())?;
+    store.verify().map_err(|e| e.to_string())?;
+    let view = ShardedIndex::open(root).map_err(|e| e.to_string())?;
+    let searcher = view.searcher().map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for query in queries {
+        let outcome = searcher.search(query, 0.8).map_err(|e| e.to_string())?;
+        out.extend(outcome.enumerate_all());
+    }
+    Ok(out)
+}
+
+/// Seeded mutations of one shard's serving postings file: every effective
+/// mutation is rejected with a clean error (never a panic, never silently
+/// wrong results), per-shard verification pinpoints the broken shard while
+/// its siblings still verify, and restoring the pristine bytes heals the
+/// store.
+#[test]
+fn sharded_store_rejects_single_shard_corruption() {
+    let root = temp_dir("sharded_shard0001");
+    let (corpus, planted) = SyntheticCorpusBuilder::new(43).num_texts(30).build();
+    let config = IndexConfig::new(2, 25, 5).zone_map(8, 16);
+    let store = build_sharded(&corpus, config, &root, 3, &ShardedBuildOptions::default()).unwrap();
+    let queries: Vec<Vec<TokenId>> = planted
+        .iter()
+        .take(4)
+        .map(|p| corpus.sequence_to_vec(p.dst).unwrap())
+        .collect();
+    let baseline =
+        run_sharded_queries(&root, &queries).expect("pristine store must verify and search");
+    assert!(!baseline.is_empty(), "queries must hit planted duplicates");
+
+    let target = store.serving_dir(1).unwrap().join("inv_0.ndsi");
+    let pristine = std::fs::read(&target).unwrap();
+    let (mut applied, mut rejected) = (0u64, 0u64);
+    for seed in 0..160 {
+        let (mutated, mutation) = mutate(&pristine, seed);
+        if mutated == pristine {
+            continue;
+        }
+        applied += 1;
+        std::fs::write(&target, &mutated).unwrap();
+        match catch_unwind(AssertUnwindSafe(|| run_sharded_queries(&root, &queries))) {
+            Err(_) => panic!("sharded seed {seed}: {mutation:?} caused a panic"),
+            Ok(Err(_)) => rejected += 1,
+            Ok(Ok(results)) => assert_eq!(
+                results, baseline,
+                "sharded seed {seed}: {mutation:?} gave silently wrong results"
+            ),
+        }
+        // The fault stays confined: per-shard verification blames exactly
+        // the mutated shard, and the siblings keep verifying clean.
+        if seed % 20 == 0 {
+            let verdicts: Vec<bool> = (0..3).map(|i| store.verify_shard(i).is_ok()).collect();
+            assert!(
+                verdicts[0],
+                "sharded seed {seed}: corruption leaked into shard 0"
+            );
+            assert!(
+                verdicts[2],
+                "sharded seed {seed}: corruption leaked into shard 2"
+            );
+            assert!(
+                !verdicts[1],
+                "sharded seed {seed}: mutated shard verified clean"
+            );
+        }
+    }
+    assert_eq!(
+        rejected, applied,
+        "sharded: all {applied} effective mutations must be rejected"
+    );
+    std::fs::write(&target, &pristine).unwrap();
+    let restored =
+        run_sharded_queries(&root, &queries).expect("restoring pristine bytes must heal");
+    assert_eq!(restored, baseline);
+    assert_alloc_cap("sharded shard file");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Seeded mutations of the store manifest itself: the manifest is
+/// CRC-checksummed and structurally validated, so an effective mutation can
+/// only survive the open when it is *formatting-only* — the JSON parses to
+/// the exact pristine content (the CRC covers the canonical
+/// re-serialization, e.g. a bit flip turning `: 16` into `:016`). Every
+/// content-changing mutation must fail the open: the store can never come
+/// up on a torn or tampered shard map.
+#[test]
+fn sharded_store_rejects_manifest_corruption() {
+    let root = temp_dir("sharded_manifest");
+    let (corpus, planted) = SyntheticCorpusBuilder::new(44).num_texts(24).build();
+    let config = IndexConfig::new(2, 25, 5);
+    build_sharded(&corpus, config, &root, 3, &ShardedBuildOptions::default()).unwrap();
+    let queries: Vec<Vec<TokenId>> = planted
+        .iter()
+        .take(3)
+        .map(|p| corpus.sequence_to_vec(p.dst).unwrap())
+        .collect();
+    let baseline =
+        run_sharded_queries(&root, &queries).expect("pristine store must verify and search");
+
+    let target = root.join("MANIFEST");
+    let pristine = std::fs::read(&target).unwrap();
+    let reference = ShardedStore::open(&root).unwrap().manifest().clone();
+    let (mut applied, mut rejected) = (0u64, 0u64);
+    for seed in 0..160 {
+        let (mutated, mutation) = mutate(&pristine, seed);
+        if mutated == pristine {
+            continue;
+        }
+        applied += 1;
+        std::fs::write(&target, &mutated).unwrap();
+        match catch_unwind(AssertUnwindSafe(|| run_sharded_queries(&root, &queries))) {
+            Err(_) => panic!("manifest seed {seed}: {mutation:?} caused a panic"),
+            Ok(Err(_)) => rejected += 1,
+            Ok(Ok(results)) => {
+                assert_eq!(
+                    results, baseline,
+                    "manifest seed {seed}: {mutation:?} gave silently wrong results"
+                );
+                // A survivor must be formatting-only: the parsed manifest
+                // is the pristine one, field for field.
+                let reloaded = ShardedStore::open(&root).unwrap();
+                assert_eq!(
+                    *reloaded.manifest(),
+                    reference,
+                    "manifest seed {seed}: {mutation:?} survived with different content"
+                );
+            }
+        }
+    }
+    assert!(
+        rejected >= applied.saturating_sub(applied / 20),
+        "manifest: only {rejected} of {applied} effective mutations rejected —          more than formatting-only survivors"
+    );
+    std::fs::write(&target, &pristine).unwrap();
+    assert_eq!(run_sharded_queries(&root, &queries).unwrap(), baseline);
+    assert_alloc_cap("sharded manifest");
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -355,3 +355,183 @@ fn reload_follows_a_deliberate_rollback_to_an_older_generation() {
     assert_eq!(live, ref_g0, "rolled-back serving must answer from gen 0");
     std::fs::remove_dir_all(&root).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Sharded store: per-shard publish under live readers.
+// ---------------------------------------------------------------------------
+
+/// Corpus A with text 15 (second shard of two) replaced by query 0's
+/// tokens: shard 0's slice is untouched, shard 1's answers change.
+fn corpus_b_shard1(a: &InMemoryCorpus, queries: &[Vec<u32>]) -> InMemoryCorpus {
+    let mut texts: Vec<Vec<u32>> = (0..a.num_texts() as u32)
+        .map(|i| a.text(i).to_vec())
+        .collect();
+    texts[15] = queries[0].clone();
+    InMemoryCorpus::from_texts(texts)
+}
+
+/// Cold-open reference over a sharded store's *current* manifest view.
+fn sharded_cold_results(root: &Path, queries: &[Vec<u32>]) -> Vec<Vec<SeqRef>> {
+    let view = ShardedIndex::open(root).unwrap();
+    let searcher = view.searcher().unwrap().threads(2);
+    searcher
+        .search_all(queries, 0.8)
+        .unwrap()
+        .into_iter()
+        .map(|o| o.enumerate_all())
+        .collect()
+}
+
+/// Republishing one shard under live readers never yields a torn
+/// cross-shard view: every pinned (snapshot, generation) pair answers
+/// bit-identically to a cold open of exactly that manifest generation —
+/// old shard-1 results never mix with new ones, and the generation a
+/// reader reports always matches the results it got.
+#[test]
+fn per_shard_publish_is_atomic_under_concurrent_readers() {
+    let root = temp_dir("sharded_swap");
+    let (a, queries) = corpus_a();
+    let b = corpus_b_shard1(&a, &queries);
+
+    build_sharded(&a, config(), &root, 2, &ShardedBuildOptions::default()).unwrap();
+    let ref_v1 = sharded_cold_results(&root, &queries);
+
+    let serving = Arc::new(ServingIndex::open(&root).unwrap());
+    assert_eq!(serving.generation(), Some(1), "publish_all bumps once");
+
+    // Readers pin a (snapshot, generation) pair per batch and record both;
+    // the pair is taken under one lock, so it can never be torn.
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let serving = serving.clone();
+            let queries = queries.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut observed: Vec<(u64, Vec<Vec<SeqRef>>)> = Vec::new();
+                while !done.load(Ordering::Relaxed) {
+                    let (snapshot, generation) = serving.pinned();
+                    let searcher = snapshot.searcher().unwrap().threads(2);
+                    let results: Vec<Vec<SeqRef>> = searcher
+                        .search_all(&queries, 0.8)
+                        .unwrap()
+                        .into_iter()
+                        .map(|o| o.enumerate_all())
+                        .collect();
+                    observed.push((generation.expect("sharded stores always have one"), results));
+                }
+                observed
+            })
+        })
+        .collect();
+
+    // Rebuild shard 1 only (from corpus B's slice of its text range) and
+    // publish it — one manifest bump — then hot-reload under live traffic.
+    let store = ShardedStore::open(&root).unwrap();
+    let spec = store.manifest().shards[1].clone();
+    let shard_store = store.shard_store(1).unwrap();
+    let gen_dir = shard_store.allocate().unwrap();
+    let slice = CorpusSlice::new(&b, spec.first_text, spec.num_texts as usize);
+    build_and_write(&slice, config(), &gen_dir, true).unwrap();
+    let new_gen = gen_dir.file_name().unwrap().to_string_lossy().into_owned();
+    let mut store = store;
+    store.publish_shard(1, &new_gen, 2).unwrap();
+    assert_eq!(store.manifest().generation, 2);
+
+    assert!(
+        serving.reload().unwrap(),
+        "manifest moved, reload must swap"
+    );
+    assert_eq!(serving.generation(), Some(2));
+    let ref_v2 = sharded_cold_results(&root, &queries);
+    assert_ne!(ref_v1, ref_v2, "shard-1 rebuild must change some answer");
+
+    // Give the readers a chance to observe the new view, then stop them.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    done.store(true, Ordering::Relaxed);
+    let mut batches = 0usize;
+    for reader in readers {
+        for (generation, results) in reader.join().unwrap() {
+            match generation {
+                1 => assert_eq!(results, ref_v1, "gen-1 reader saw torn results"),
+                2 => assert_eq!(results, ref_v2, "gen-2 reader saw torn results"),
+                other => panic!("reader pinned unexpected manifest generation {other}"),
+            }
+            batches += 1;
+        }
+    }
+    assert!(batches > 0, "readers never completed a batch");
+
+    // Per-shard gauges track each shard's own serving generation.
+    let reg = ndss::obs::Registry::global();
+    assert_eq!(
+        reg.gauge_with_labels(
+            "index.shard.generation",
+            "generation number each shard of the serving view is on",
+            &[("shard", "0")],
+        )
+        .get(),
+        0,
+        "shard 0 still serves its original generation"
+    );
+    assert_eq!(
+        reg.gauge_with_labels(
+            "index.shard.generation",
+            "generation number each shard of the serving view is on",
+            &[("shard", "1")],
+        )
+        .get(),
+        1,
+        "shard 1 now serves its rebuilt generation"
+    );
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Rolling one shard back is the same atomic story in reverse: the
+/// manifest bump moves readers from the all-new view to the view with
+/// shard 1 rolled back, never through a mix.
+#[test]
+fn per_shard_rollback_restores_the_previous_view() {
+    let root = temp_dir("sharded_rollback");
+    let (a, queries) = corpus_a();
+    let b = corpus_b_shard1(&a, &queries);
+
+    build_sharded(&a, config(), &root, 2, &ShardedBuildOptions::default()).unwrap();
+    let ref_v1 = sharded_cold_results(&root, &queries);
+
+    let mut store = ShardedStore::open(&root).unwrap();
+    let spec = store.manifest().shards[1].clone();
+    let shard_store = store.shard_store(1).unwrap();
+    let gen_dir = shard_store.allocate().unwrap();
+    build_and_write(
+        &CorpusSlice::new(&b, spec.first_text, spec.num_texts as usize),
+        config(),
+        &gen_dir,
+        true,
+    )
+    .unwrap();
+    let new_gen = gen_dir.file_name().unwrap().to_string_lossy().into_owned();
+    store.publish_shard(1, &new_gen, 2).unwrap();
+    let ref_v2 = sharded_cold_results(&root, &queries);
+    assert_ne!(ref_v1, ref_v2);
+
+    let serving = ServingIndex::open(&root).unwrap();
+    assert_eq!(serving.generation(), Some(2));
+
+    let rolled = store.rollback_shard(1, None).unwrap();
+    assert_eq!(rolled, spec.serving.unwrap());
+    assert_eq!(store.manifest().generation, 3);
+    assert!(serving.reload().unwrap());
+    assert_eq!(serving.generation(), Some(3));
+
+    // The rolled-back view answers exactly like the original one.
+    let searcher = ServingSearcher::new(Arc::new(serving));
+    let live: Vec<Vec<SeqRef>> = searcher
+        .search_all(&queries, 0.8)
+        .unwrap()
+        .into_iter()
+        .map(|o| o.enumerate_all())
+        .collect();
+    assert_eq!(live, ref_v1, "rollback must restore the original answers");
+    std::fs::remove_dir_all(&root).ok();
+}

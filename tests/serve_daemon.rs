@@ -352,3 +352,142 @@ fn drain_answers_every_in_flight_query() {
     // free admin traffic (none here).
     assert!(report.http_requests >= answered);
 }
+
+// ---------------------------------------------------------------------------
+// Sharded store behind the daemon: concurrent per-shard reload.
+// ---------------------------------------------------------------------------
+
+/// Cold fingerprint over a sharded store's current manifest view, through
+/// the same searcher configuration the server uses.
+fn sharded_cold_fingerprint(root: &Path, query: &[u32]) -> Fingerprint {
+    let view = ShardedIndex::open(root).unwrap();
+    let searcher = view
+        .searcher_with_filter(PrefixFilter::Adaptive)
+        .unwrap()
+        .threads(2);
+    let outcome = searcher.search(query, THETA).unwrap();
+    searcher
+        .rank(&outcome, usize::MAX)
+        .into_iter()
+        .map(|m| {
+            (
+                m.text,
+                m.collisions,
+                m.spans.iter().map(|s| (s.start, s.end)).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Republishing one shard and hot-reloading under live clients never
+/// yields a torn cross-shard view: every `/search` response reports
+/// exactly one manifest generation, and its results are bit-identical to
+/// a cold open of that generation's view — even while `POST /reload`
+/// races the per-shard publish.
+#[test]
+fn sharded_reload_of_one_shard_is_atomic_to_clients() {
+    let root = temp_dir("sharded_reload");
+    let (corpus, queries) = corpus_a();
+    build_sharded(&corpus, config(), &root, 2, &ShardedBuildOptions::default()).unwrap();
+    let query = queries[0].clone();
+    let cold_v1 = sharded_cold_fingerprint(&root, &query);
+
+    // Shard 1's replacement slice: text 15 now repeats query 0.
+    let mut texts: Vec<Vec<u32>> = (0..corpus.num_texts() as u32)
+        .map(|i| corpus.text(i).to_vec())
+        .collect();
+    texts[15] = query.clone();
+    let updated = InMemoryCorpus::from_texts(texts);
+
+    let server = start_server(&root);
+    let addr = server.handle().addr();
+
+    let mut http = HttpClient::connect(addr, TIMEOUT).unwrap();
+    let health = http.request("GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(
+        health.text().contains("\"generation\":1"),
+        "publish_all bumps the manifest once: {}",
+        health.text()
+    );
+
+    // Clients hammer query 0 while the publish + reloads happen.
+    let stop = Arc::new(AtomicBool::new(false));
+    let saw_new = Arc::new(AtomicU64::new(0));
+    let body = search_body(&query);
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = stop.clone();
+            let saw_new = saw_new.clone();
+            let body = body.clone();
+            let cold_v1 = cold_v1.clone();
+            std::thread::spawn(move || {
+                let mut http = HttpClient::connect(addr, TIMEOUT).unwrap();
+                let mut checked = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let reply = http.request("POST", "/search", body.as_bytes()).unwrap();
+                    assert_eq!(reply.status, 200, "search: {}", reply.text());
+                    let (complete, generation, live) = json_fingerprint(&reply.text());
+                    assert!(complete);
+                    match generation {
+                        1 => assert_eq!(live, cold_v1, "gen-1 response differs from cold open"),
+                        2 => {
+                            saw_new.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("response from unexpected manifest generation {other}"),
+                    }
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    // Rebuild and publish shard 1 only (one manifest bump), then fire
+    // several concurrent reloads — only the manifest flip may be visible.
+    {
+        let mut store = ShardedStore::open(&root).unwrap();
+        let spec = store.manifest().shards[1].clone();
+        let shard_store = store.shard_store(1).unwrap();
+        let gen_dir = shard_store.allocate().unwrap();
+        let slice = CorpusSlice::new(&updated, spec.first_text, spec.num_texts as usize);
+        ndss::index::build_and_write(&slice, config(), &gen_dir, true).unwrap();
+        let new_gen = gen_dir.file_name().unwrap().to_string_lossy().into_owned();
+        store.publish_shard(1, &new_gen, 2).unwrap();
+        assert_eq!(store.manifest().generation, 2);
+    }
+    let reloaders: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut http = HttpClient::connect(addr, TIMEOUT).unwrap();
+                let reply = http.request("POST", "/reload", b"").unwrap();
+                assert_eq!(reply.status, 200, "reload: {}", reply.text());
+                reply.text().contains("\"reloaded\":true")
+            })
+        })
+        .collect();
+    let swaps = reloaders
+        .into_iter()
+        .map(|r| r.join().unwrap())
+        .filter(|&swapped| swapped)
+        .count();
+    assert!(swaps >= 1, "at least one racing reload must swap");
+
+    // Let the clients observe the new view, then stop them.
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    assert!(total > 0);
+
+    // Post-reload, the served answer matches a cold open of the new view
+    // and reports the new manifest generation.
+    let cold_v2 = sharded_cold_fingerprint(&root, &query);
+    assert_ne!(cold_v1, cold_v2, "shard-1 rebuild must change query 0");
+    let reply = http.request("POST", "/search", body.as_bytes()).unwrap();
+    let (complete, generation, live) = json_fingerprint(&reply.text());
+    assert!(complete);
+    assert_eq!(generation, 2);
+    assert_eq!(live, cold_v2, "post-reload response differs from cold open");
+
+    server.shutdown_and_join().unwrap();
+}
