@@ -17,7 +17,10 @@
 //!   and accepted queries must stay fast instead of queueing unboundedly.
 //!
 //! `--stress` runs one fixed-QPS open-loop stage (default 30 s) and gates
-//! `p99 < 10 × p50` plus zero protocol errors — the CI serving gate.
+//! `p99 < 10 × p50` plus zero protocol errors — the CI serving gate. It
+//! also gates the fault-isolation layer's healthy-path cost: per-shard
+//! breaker admission + success recording must stay under 2% of the
+//! measured p50 (see [`breaker_overhead_gate`]).
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -375,5 +378,52 @@ fn run_stress(dir: &std::path::Path, queries: &[Vec<TokenId>], seconds: u64) {
         "zero protocol errors across the stress run",
         stats.protocol_errors == 0,
         &format!("{} frames answered", stats.answered),
+    );
+    breaker_overhead_gate(p50);
+}
+
+/// The fault-isolation layer's cost on the healthy path, gated < 2% of
+/// the measured healthy p50.
+///
+/// Per query, a serving scatter over `S` shards does exactly `S` breaker
+/// admissions (one relaxed atomic load each while closed) and `S` success
+/// recordings. Rather than an A/B wall-clock run — whose noise on shared
+/// CI runners dwarfs a 2% budget and would flake — this measures that
+/// exact work directly over a 4-shard [`ShardHealth`] and compares it to
+/// the p50 the stress stage just observed. A regression that makes
+/// admission heavyweight (a lock, a syscall, a shared cache-line storm)
+/// shows up here as orders of magnitude, not noise.
+fn breaker_overhead_gate(p50_ms: f64) {
+    use ndss::query::{Admission, BreakerConfig, ShardHealth};
+
+    const SHARDS: usize = 4;
+    let health = ShardHealth::new(SHARDS, BreakerConfig::default());
+    let iters: u64 = 1_000_000;
+    let started = Instant::now();
+    let mut admitted = 0u64;
+    for _ in 0..iters {
+        for s in 0..SHARDS {
+            if matches!(
+                std::hint::black_box(health.admit(std::hint::black_box(s))),
+                Admission::Admit
+            ) {
+                admitted += 1;
+            }
+            health.record_success(s);
+        }
+    }
+    let per_query_ns = started.elapsed().as_nanos() as f64 / iters as f64;
+    assert_eq!(admitted, iters * SHARDS as u64, "healthy shards must admit");
+
+    let p50_ns = (p50_ms * 1e6).max(1.0);
+    let pct = 100.0 * per_query_ns / p50_ns;
+    println!(
+        "breaker healthy path: {per_query_ns:.0} ns per {SHARDS}-shard query \
+         ({pct:.4}% of the {p50_ms:.2} ms p50)"
+    );
+    shape_check(
+        "breaker overhead stays under 2% of the healthy-path p50",
+        pct < 2.0,
+        &format!("{per_query_ns:.0} ns/query vs p50 {p50_ms:.2} ms"),
     );
 }

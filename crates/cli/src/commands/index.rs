@@ -8,7 +8,8 @@
 //! the store's resumable generation automatically.
 //!
 //! `--shards N` (requires `--store`) partitions the corpus by text-id
-//! range into N shards, builds them in parallel (each shard its own
+//! range into N shards (`--shards auto` derives N from corpus size and
+//! core count; see [`auto_shards`]), builds them in parallel (each shard its own
 //! generation store under `shard-NNNN/`), and publishes all of them with
 //! one atomic manifest bump. `--resume` works per shard: completed shards
 //! are reused as-is, journaled ones continue, so a killed sharded build
@@ -46,10 +47,19 @@ pub fn run(args: &Args) -> Result<(), String> {
     let store_mode = args.flag("store");
     let keep: usize = args.get_or("keep", 1)?;
     let memory_budget: usize = args.get_or("memory-budget", 256 << 20)?;
-    let shards: usize = args.get_or("shards", 0)?;
     if k == 0 || t == 0 {
         return Err("--k and --t must be positive".into());
     }
+
+    let corpus = DiskCorpus::open(Path::new(corpus_path)).map_err(|e| e.to_string())?;
+
+    let shards: usize = match args.get("shards") {
+        None => 0,
+        Some("auto") => auto_shards(&corpus),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--shards: '{raw}' is not an integer (or 'auto')"))?,
+    };
     if shards == 0 {
         if resume && !external {
             return Err("--resume requires --external (only journaled builds can resume)".into());
@@ -57,8 +67,6 @@ pub fn run(args: &Args) -> Result<(), String> {
     } else if !store_mode {
         return Err("--shards requires --store (shards are generational stores)".into());
     }
-
-    let corpus = DiskCorpus::open(Path::new(corpus_path)).map_err(|e| e.to_string())?;
 
     let config = IndexConfig::new(k, t, seed)
         .compressed(compress)
@@ -156,6 +164,28 @@ pub fn run(args: &Args) -> Result<(), String> {
         println!("published {name} as CURRENT in {out} (keeping {keep} previous)");
     }
     crate::obs::maybe_write_metrics(args)
+}
+
+/// `--shards auto`: pick a shard count from the corpus and the machine.
+///
+/// The formula is `clamp(ceil(token_payload / 256 MiB), 1, cores)`, further
+/// capped at `num_texts`: one shard per ~256 MiB of token payload (4 bytes
+/// per token) keeps each shard's postings well inside a single machine's
+/// page cache working set, the core cap stops shard counts from exceeding
+/// the build/query parallelism actually available, and a shard must own at
+/// least one text.
+fn auto_shards(corpus: &DiskCorpus) -> usize {
+    const TARGET_SHARD_BYTES: u64 = 256 << 20;
+    let payload_bytes = corpus.total_tokens().saturating_mul(4);
+    let by_size = payload_bytes.div_ceil(TARGET_SHARD_BYTES).max(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let picked = (by_size.min(cores as u64) as usize).clamp(1, corpus.num_texts().max(1));
+    eprintln!(
+        "--shards auto: {picked} shard(s) (payload {:.1} MiB / 256 MiB target, {cores} cores, {} texts)",
+        payload_bytes as f64 / (1 << 20) as f64,
+        corpus.num_texts()
+    );
+    picked
 }
 
 /// `--shards N`: partition, build shards in parallel, publish with one

@@ -7,12 +7,18 @@
 //! `POST /reload` (or a publish followed by reload) hot-swap generations
 //! with zero downtime. SIGTERM and SIGINT drain gracefully: in-flight
 //! queries finish on their pinned snapshots before the process exits.
+//!
+//! Fault isolation knobs: `--quarantine-threshold` (consecutive transient
+//! failures before a shard's circuit breaker opens; 0 disables the
+//! breakers), `--quarantine-backoff-ms` / `--quarantine-max-backoff-ms`
+//! (initial and maximum quarantine durations), and `--probe-interval-ms`
+//! (health-prober cadence; 0 disables self-healing).
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use ndss::index::CacheConfig;
 use ndss::prelude::*;
+use ndss::query::{BreakerConfig, ServingOptions};
 use ndss::serve::{ServeConfig, Server, DEFAULT_ADDR};
 
 use crate::args::Args;
@@ -20,6 +26,13 @@ use crate::args::Args;
 pub fn run(args: &Args) -> Result<(), String> {
     let index = args.required("index")?;
     let defaults = ServeConfig::default();
+    let breaker_defaults = BreakerConfig::default();
+    let ms = |key: &'static str, default: Duration| -> Result<Duration, String> {
+        Ok(Duration::from_millis(
+            args.get_or(key, default.as_millis() as u64)?,
+        ))
+    };
+    let probe_interval_ms: u64 = args.get_or("probe-interval-ms", 1_000)?;
     let config = ServeConfig {
         addr: args.get("addr").unwrap_or(DEFAULT_ADDR).to_string(),
         workers: args.get_or("workers", defaults.workers)?,
@@ -34,11 +47,24 @@ pub fn run(args: &Args) -> Result<(), String> {
             .transpose()?,
         max_body_bytes: args.get_or("max-body-bytes", defaults.max_body_bytes)?,
         metrics_out: args.get("metrics-out").map(PathBuf::from),
+        probe_interval: (probe_interval_ms > 0).then(|| Duration::from_millis(probe_interval_ms)),
         ..defaults
     };
+    let breaker = BreakerConfig {
+        failure_threshold: args
+            .get_or("quarantine-threshold", breaker_defaults.failure_threshold)?,
+        backoff: ms("quarantine-backoff-ms", breaker_defaults.backoff)?,
+        max_backoff: ms("quarantine-max-backoff-ms", breaker_defaults.max_backoff)?,
+    };
 
-    let serving = ServingIndex::open_with_cache(Path::new(index), CacheConfig::default())
-        .map_err(|e| e.to_string())?;
+    let serving = ServingIndex::open_with_options(
+        Path::new(index),
+        ServingOptions {
+            breaker,
+            ..ServingOptions::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
     let generation = serving.generation();
     let shards = serving.snapshot().num_shards();
 

@@ -66,7 +66,7 @@ pub use generation::{resolve_index_dir, GenerationInfo, GenerationStore};
 pub use journal::{BuildJournal, JournalKind, KillPoints};
 pub use memory::MemoryIndex;
 pub use merge::{merge_indexes, merge_indexes_with, MergeOptions};
-pub use pread::{FaultConfig, FaultStats, ReadOptions, RetryPolicy};
+pub use pread::{ChaosMode, ChaosPlan, FaultConfig, FaultStats, ReadOptions, RetryPolicy};
 pub use shard::{
     build_sharded, partition_texts, ShardManifest, ShardSpec, ShardedBuildOptions, ShardedStore,
 };

@@ -154,6 +154,113 @@ impl FaultConfig {
     }
 }
 
+/// How a [`ChaosPlan`] makes matched reads fail, switchable at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ChaosMode {
+    /// Tap attached but dormant: reads pass through untouched.
+    Off = 0,
+    /// Every read fails `EINTR`, outlasting any retry budget — models a
+    /// device that stops answering (IO retries exhaust, then surface the
+    /// transient error).
+    TransientStorm = 1,
+    /// Reads succeed but every delivered byte is XOR-flipped — models bit
+    /// rot under a live reader; the decode/checksum layers above must turn
+    /// this into `Malformed`, never into silently wrong results.
+    Corrupt = 2,
+    /// Every read returns 0 bytes — models a file truncated to nothing
+    /// under the reader (`UnexpectedEof`).
+    Eof = 3,
+    /// Every read fails `EACCES` — models a permission flip or a yanked
+    /// mount (a permanent, non-retryable error).
+    Deny = 4,
+}
+
+impl ChaosMode {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => ChaosMode::TransientStorm,
+            2 => ChaosMode::Corrupt,
+            3 => ChaosMode::Eof,
+            4 => ChaosMode::Deny,
+            _ => ChaosMode::Off,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ChaosState {
+    mode: AtomicU64,
+    injected: AtomicU64,
+    attached: AtomicU64,
+}
+
+/// A runtime-armable fault tap for *live* readers: where [`FaultConfig`]
+/// decides at open time which reads fail, a `ChaosPlan` is attached at open
+/// but armed and re-armed **while queries are in flight**, so tests can
+/// make an already-serving shard start failing mid-query and then heal it
+/// again — the serve-path chaos harness's primitive.
+///
+/// The plan targets files whose path contains `matcher` (e.g.
+/// `"shard-0001"` taps every index file of that shard and nothing else).
+/// Clones share one state: arming any clone arms every attached reader.
+/// Attaching a tap forces the positioned-read path for matched files even
+/// when mmap was requested — zero-copy mapped decoding would bypass the
+/// tap (and the whole retry layer), exactly like [`FaultConfig`].
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    matcher: String,
+    state: Arc<ChaosState>,
+}
+
+impl ChaosPlan {
+    /// A dormant plan tapping files whose path contains `matcher`.
+    pub fn targeting(matcher: impl Into<String>) -> Self {
+        Self {
+            matcher: matcher.into(),
+            state: Arc::new(ChaosState::default()),
+        }
+    }
+
+    /// Whether this plan taps the file at `path`.
+    pub fn matches(&self, path: &Path) -> bool {
+        path.to_string_lossy().contains(&self.matcher)
+    }
+
+    /// Switches every attached tap to `mode`, effective on the next read.
+    pub fn arm(&self, mode: ChaosMode) {
+        self.state.mode.store(mode as u64, Relaxed);
+    }
+
+    /// Returns every attached tap to pass-through.
+    pub fn disarm(&self) {
+        self.arm(ChaosMode::Off);
+    }
+
+    /// The currently armed mode.
+    pub fn mode(&self) -> ChaosMode {
+        ChaosMode::from_u8(self.state.mode.load(Relaxed) as u8)
+    }
+
+    /// Faults injected across every attached reader since creation.
+    pub fn injected(&self) -> u64 {
+        self.state.injected.load(Relaxed)
+    }
+
+    /// Files this plan attached to at open time.
+    pub fn attached(&self) -> u64 {
+        self.state.attached.load(Relaxed)
+    }
+
+    fn note_attach(&self) {
+        self.state.attached.fetch_add(1, Relaxed);
+    }
+
+    fn note_injection(&self) {
+        self.state.injected.fetch_add(1, Relaxed);
+    }
+}
+
 /// How index files are opened: the retry policy, an optional fault
 /// injector, and the read mechanism. `ReadOptions::default()` is the
 /// production configuration — retries on, faults off, pread.
@@ -166,24 +273,34 @@ pub struct ReadOptions {
     /// Memory-map index files instead of pread (unix only; falls back to
     /// pread when mapping fails or a fault injector is attached).
     pub mmap: bool,
+    /// Runtime fault tap (tests only): attached at open to files the plan
+    /// matches, armed/disarmed while readers are live. Matched files use
+    /// positioned reads even when `mmap` is set.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl ReadOptions {
     /// Production defaults with a fault injector attached.
     pub fn with_faults(faults: FaultConfig) -> Self {
         Self {
-            retry: RetryPolicy::default(),
             faults: Some(faults),
-            mmap: false,
+            ..Self::default()
         }
     }
 
     /// Production defaults with memory-mapped reads requested.
     pub fn with_mmap() -> Self {
         Self {
-            retry: RetryPolicy::default(),
-            faults: None,
             mmap: true,
+            ..Self::default()
+        }
+    }
+
+    /// Production defaults with a runtime chaos tap attached.
+    pub fn with_chaos(chaos: ChaosPlan) -> Self {
+        Self {
+            chaos: Some(chaos),
+            ..Self::default()
         }
     }
 }
@@ -437,6 +554,9 @@ impl Source {
 pub struct RetryingFile {
     source: Source,
     policy: RetryPolicy,
+    /// Runtime fault tap, present only when the open path matched an
+    /// attached [`ChaosPlan`].
+    chaos: Option<ChaosPlan>,
     retries: ndss_obs::Counter,
     exhausted: ndss_obs::Counter,
 }
@@ -445,15 +565,20 @@ impl RetryingFile {
     /// Opens `path` for positioned reads under `options`.
     pub(crate) fn open(path: &Path, options: &ReadOptions) -> io::Result<Self> {
         let file = File::open(path)?;
-        Ok(Self::from_file(file, options))
+        let chaos = options.chaos.as_ref().filter(|c| c.matches(path)).cloned();
+        Ok(Self::build(file, options, chaos))
     }
 
-    pub(crate) fn from_file(file: File, options: &ReadOptions) -> Self {
+    fn build(file: File, options: &ReadOptions, chaos: Option<ChaosPlan>) -> Self {
+        if let Some(c) = &chaos {
+            c.note_attach();
+        }
         let source = match &options.faults {
             // Fault injection must flow through the read path, so it wins
-            // over mmap.
+            // over mmap. A chaos tap forces pread for the same reason:
+            // mapped decoding would read around the tap.
             Some(cfg) => Source::Flaky(Box::new(FlakyFile::new(file, cfg.clone()))),
-            None if options.mmap => match Mmap::map(&file) {
+            None if options.mmap && chaos.is_none() => match Mmap::map(&file) {
                 Ok(map) => Source::Mapped(map),
                 Err(_) => Source::Plain(file),
             },
@@ -463,6 +588,7 @@ impl RetryingFile {
         Self {
             source,
             policy: options.retry.clone(),
+            chaos,
             retries: reg.counter(
                 "io.retries",
                 "Transient index-read faults absorbed by retry (EINTR/EAGAIN/short reads)",
@@ -471,6 +597,43 @@ impl RetryingFile {
                 "io.retry_exhausted",
                 "Index reads that failed after exhausting the transient-retry budget",
             ),
+        }
+    }
+
+    /// One source read with the chaos tap applied when armed.
+    fn tapped_read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        let mode = match &self.chaos {
+            Some(c) => c.mode(),
+            None => ChaosMode::Off,
+        };
+        match mode {
+            ChaosMode::Off => self.source.read_at(buf, offset),
+            ChaosMode::TransientStorm => {
+                self.chaos.as_ref().unwrap().note_injection();
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "chaos: injected transient storm",
+                ))
+            }
+            ChaosMode::Eof => {
+                self.chaos.as_ref().unwrap().note_injection();
+                Ok(0)
+            }
+            ChaosMode::Deny => {
+                self.chaos.as_ref().unwrap().note_injection();
+                Err(io::Error::new(
+                    io::ErrorKind::PermissionDenied,
+                    "chaos: injected permission fault",
+                ))
+            }
+            ChaosMode::Corrupt => {
+                let n = self.source.read_at(buf, offset)?;
+                for b in &mut buf[..n] {
+                    *b ^= 0xA5;
+                }
+                self.chaos.as_ref().unwrap().note_injection();
+                Ok(n)
+            }
         }
     }
 
@@ -502,7 +665,7 @@ impl RetryingFile {
         let mut attempts = 0u32;
         let mut backoff = self.policy.initial_backoff;
         while !buf.is_empty() {
-            match self.source.read_at(buf, offset) {
+            match self.tapped_read_at(buf, offset) {
                 Ok(0) => {
                     // EOF mid-fill is permanent: the bytes are not there.
                     return Err(io::Error::new(
@@ -622,6 +785,7 @@ mod tests {
             retry: no_backoff(),
             faults: Some(faults),
             mmap: false,
+            chaos: None,
         };
         let f = RetryingFile::open(&path, &options).unwrap();
         let mut buf = vec![0u8; 100];
@@ -647,6 +811,7 @@ mod tests {
                 retry: no_backoff(),
                 faults: Some(faults),
                 mmap: false,
+                chaos: None,
             };
             let f = RetryingFile::open(&path, &options).unwrap();
             let mut buf = [0u8; 64];
@@ -671,6 +836,7 @@ mod tests {
             retry: no_backoff(),
             faults: Some(faults),
             mmap: false,
+            chaos: None,
         };
         let f = RetryingFile::open(&path, &options).unwrap();
         let mut buf = [0u8; 64];
@@ -724,6 +890,7 @@ mod tests {
             retry: no_backoff(),
             faults: Some(FaultConfig::new(9).fault_every(2)),
             mmap: true,
+            chaos: None,
         };
         let f = RetryingFile::open(&path, &options).unwrap();
         assert!(!f.is_mapped(), "faults must win over mmap");
@@ -740,6 +907,75 @@ mod tests {
         std::fs::remove_file(&empty).ok();
     }
 
+    /// A chaos tap armed mid-stream makes a live reader fail in the armed
+    /// mode, disarming heals it, and untargeted files never see the tap.
+    #[test]
+    fn chaos_tap_arms_and_disarms_on_a_live_reader() {
+        let data: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+        let hit = data_file("chaos_target.bin", &data);
+        let miss = data_file("other.bin", &data);
+        let chaos = ChaosPlan::targeting("chaos_target");
+        let options = ReadOptions {
+            retry: no_backoff(),
+            chaos: Some(chaos.clone()),
+            ..ReadOptions::default()
+        };
+        let tapped = RetryingFile::open(&hit, &options).unwrap();
+        let untapped = RetryingFile::open(&miss, &options).unwrap();
+        assert_eq!(chaos.attached(), 1, "only the matched file attaches");
+
+        let mut buf = [0u8; 32];
+        tapped.read_exact_at(&mut buf, 8).unwrap();
+        assert_eq!(&buf[..], &data[8..40], "dormant tap passes through");
+
+        chaos.arm(ChaosMode::TransientStorm);
+        let err = tapped.read_exact_at(&mut buf, 8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        untapped.read_exact_at(&mut buf, 8).unwrap();
+
+        chaos.arm(ChaosMode::Eof);
+        let err = tapped.read_exact_at(&mut buf, 8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        chaos.arm(ChaosMode::Deny);
+        let err = tapped.read_exact_at(&mut buf, 8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+
+        chaos.arm(ChaosMode::Corrupt);
+        tapped.read_exact_at(&mut buf, 8).unwrap();
+        let flipped: Vec<u8> = data[8..40].iter().map(|b| b ^ 0xA5).collect();
+        assert_eq!(&buf[..], &flipped[..], "corrupt mode flips every byte");
+
+        chaos.disarm();
+        tapped.read_exact_at(&mut buf, 8).unwrap();
+        assert_eq!(&buf[..], &data[8..40], "disarming heals the reader");
+        assert!(chaos.injected() >= 4);
+        std::fs::remove_file(&hit).ok();
+        std::fs::remove_file(&miss).ok();
+    }
+
+    /// A chaos tap forces the positioned-read path so mapped decoding
+    /// cannot bypass it; unmatched files still map.
+    #[test]
+    fn chaos_tap_forces_pread_over_mmap() {
+        let path = data_file("chaos_mmap.bin", &[3u8; 512]);
+        let chaos = ChaosPlan::targeting("chaos_mmap");
+        let options = ReadOptions {
+            mmap: true,
+            chaos: Some(chaos.clone()),
+            ..ReadOptions::default()
+        };
+        let f = RetryingFile::open(&path, &options).unwrap();
+        assert!(!f.is_mapped(), "tapped files must not map");
+        let other = data_file("plain_mmap.bin", &[4u8; 512]);
+        let f = RetryingFile::open(&other, &options).unwrap();
+        if cfg!(unix) {
+            assert!(f.is_mapped(), "untapped files still map");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&other).ok();
+    }
+
     /// Permanent errors are not retried: with a zero retry budget (any
     /// retry attempt would error as exhausted), EOF still surfaces as
     /// `UnexpectedEof` on the first attempt rather than as a transient.
@@ -754,6 +990,7 @@ mod tests {
             },
             faults: None,
             mmap: false,
+            chaos: None,
         };
         let f = RetryingFile::open(&path, &options).unwrap();
         let mut buf = [0u8; 16];

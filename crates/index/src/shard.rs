@@ -463,6 +463,27 @@ impl ShardedStore {
         }
         Ok(())
     }
+
+    /// Cheap health probe for shard `i`: re-opens the serving generation
+    /// (which validates every section header and the config CRC) and
+    /// cross-checks the manifest's text assignment, without walking the
+    /// full content checksums. A prober runs this first and escalates to
+    /// [`Self::verify_shard`] only when it passes.
+    pub fn spot_check_shard(&self, i: usize) -> Result<(), IndexError> {
+        let spec = &self.manifest.shards[i];
+        let dir = self.serving_dir(i)?;
+        let index = DiskIndex::open(&dir)
+            .map_err(|e| IndexError::Malformed(format!("shard {}: {e}", spec.name)))?;
+        let indexed = index.config().num_texts as u64;
+        if indexed != spec.num_texts {
+            return Err(IndexError::Malformed(format!(
+                "shard {}: serving generation indexes {indexed} texts but the manifest \
+                 assigns it {}",
+                spec.name, spec.num_texts
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Knobs for [`build_sharded`]; `Default` is an in-memory build, one

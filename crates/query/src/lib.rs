@@ -49,6 +49,7 @@
 //! ```
 
 pub mod batch;
+pub mod breaker;
 pub mod bruteforce;
 pub mod collision;
 pub mod document;
@@ -61,6 +62,10 @@ pub mod serving;
 pub mod sharded;
 
 pub use batch::{BatchSearcher, FailurePolicy, ShedReason};
+pub use breaker::{
+    classify, Admission, BreakerConfig, BreakerSnapshot, BreakerState, DegradedShard, FaultKind,
+    ShardHealth,
+};
 pub use collision::{
     collision_count, collision_count_fn_into, collision_count_into, CollisionScratch, Rectangle,
 };
@@ -71,8 +76,8 @@ pub use planner::{plan_query, QueryPlan};
 pub use search::{
     NearDupSearcher, PrefixFilter, QueryStats, RankedMatch, SearchOutcome, TextMatch,
 };
-pub use serving::{ServingIndex, ServingSearcher};
-pub use sharded::{ShardedIndex, ShardedSearcher};
+pub use serving::{ServingIndex, ServingOptions, ServingSearcher};
+pub use sharded::{FaultPolicy, ShardedIndex, ShardedSearcher};
 
 /// Errors raised during query processing.
 #[derive(Debug)]
@@ -112,6 +117,18 @@ pub enum QueryError {
     /// The query was abandoned at a governor checkpoint because its batch
     /// failed fast (see [`BatchSearcher::search_all`]).
     Cancelled,
+    /// Under [`FaultPolicy::Isolate`], every shard of the view is
+    /// quarantined (or faulted during this very query): there is no
+    /// healthy subset to build even a degraded answer from. Carries the
+    /// most recent classified fault as the representative cause.
+    AllShardsQuarantined {
+        /// Total shards in the view, all unavailable.
+        shards: usize,
+        /// Classification of the representative fault.
+        kind: FaultKind,
+        /// Human-readable cause of the representative fault.
+        reason: String,
+    },
     /// Error from the index layer.
     Index(ndss_index::IndexError),
     /// Error from the corpus layer (verification mode).
@@ -147,6 +164,15 @@ impl std::fmt::Display for QueryError {
                 }
             },
             QueryError::Cancelled => write!(f, "query cancelled by its batch"),
+            QueryError::AllShardsQuarantined {
+                shards,
+                kind,
+                reason,
+            } => write!(
+                f,
+                "all {shards} shard(s) quarantined ({}): {reason}",
+                kind.label()
+            ),
             QueryError::Index(e) => e.fmt(f),
             QueryError::Corpus(e) => e.fmt(f),
         }

@@ -208,6 +208,12 @@ pub struct SearchOutcome {
     /// [`QueryError::BudgetExceeded::partial`]: the matches are sound
     /// (each fully verified) but the corpus was not exhausted.
     pub complete: bool,
+    /// Shard ranges this outcome does **not** cover because their shards
+    /// are quarantined. Always empty for single-index searches and for
+    /// sharded searches under the default fail-fast policy; populated
+    /// (with `complete: false`) only by a sharded search running with
+    /// [`crate::sharded::FaultPolicy::Isolate`].
+    pub degraded: Vec<crate::breaker::DegradedShard>,
 }
 
 impl SearchOutcome {
@@ -586,6 +592,7 @@ impl<'a, I: IndexAccess + ?Sized> NearDupSearcher<'a, I> {
             beta,
             t,
             complete: stopped.is_none(),
+            degraded: Vec::new(),
         };
         match stopped {
             None => Ok(outcome),

@@ -37,11 +37,25 @@ use std::sync::{Arc, RwLock};
 
 use ndss_hash::TokenId;
 use ndss_index::generation::{parse_generation_name, resolve_index_dir};
-use ndss_index::{CacheConfig, ShardedStore};
+use ndss_index::{CacheConfig, ReadOptions, ShardedStore};
 
+use crate::breaker::BreakerConfig;
 use crate::search::{PrefixFilter, SearchOutcome};
 use crate::sharded::ShardedIndex;
 use crate::QueryError;
+
+/// Everything [`ServingIndex`] needs to (re)open a view: cache sizing,
+/// read options, and breaker tuning — all applied to every shard of every
+/// view the handle ever opens, including across reloads.
+#[derive(Clone, Default)]
+pub struct ServingOptions {
+    /// Per-generation cache sizing.
+    pub cache: CacheConfig,
+    /// Read options (mmap, retry policy, fault injection, chaos taps).
+    pub io: ReadOptions,
+    /// Per-shard circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
 
 struct ServingState {
     view: Arc<ShardedIndex>,
@@ -61,7 +75,7 @@ pub struct ServingIndex {
     /// Store root (sharded store, generation store, or plain index
     /// directory) reloads re-resolve.
     path: PathBuf,
-    cache: CacheConfig,
+    options: ServingOptions,
     state: RwLock<ServingState>,
     generation_gauge: ndss_obs::Gauge,
     reload_counter: ndss_obs::Counter,
@@ -79,6 +93,19 @@ impl ServingIndex {
     /// shard) gets its own caches — postings cached under one generation
     /// must not be served under another.
     pub fn open_with_cache(path: &Path, cache: CacheConfig) -> Result<Self, QueryError> {
+        Self::open_with_options(
+            path,
+            ServingOptions {
+                cache,
+                ..ServingOptions::default()
+            },
+        )
+    }
+
+    /// [`Self::open`] with full serving options (cache sizing, read
+    /// options, breaker tuning); all apply to every view this handle ever
+    /// opens, including across reloads.
+    pub fn open_with_options(path: &Path, options: ServingOptions) -> Result<Self, QueryError> {
         let reg = ndss_obs::Registry::global();
         let generation_gauge = reg.gauge(
             "index.generation",
@@ -89,12 +116,12 @@ impl ServingIndex {
             "index.reloads",
             "completed hot swaps to a new index generation",
         );
-        let state = Self::load_state(path, cache)?;
+        let state = Self::load_state(path, &options)?;
         generation_gauge.set(gauge_value(state.generation));
         publish_shard_gauges(&state);
         Ok(Self {
             path: path.to_path_buf(),
-            cache,
+            options,
             state: RwLock::new(state),
             generation_gauge,
             reload_counter,
@@ -124,9 +151,14 @@ impl ServingIndex {
         }
     }
 
-    fn load_state(path: &Path, cache: CacheConfig) -> Result<ServingState, QueryError> {
+    fn load_state(path: &Path, options: &ServingOptions) -> Result<ServingState, QueryError> {
         let (dirs, generation) = Self::resolve_view(path)?;
-        let view = Arc::new(ShardedIndex::open_with_cache(path, cache)?);
+        let view = Arc::new(ShardedIndex::open_full(
+            path,
+            options.cache,
+            options.io.clone(),
+            options.breaker.clone(),
+        )?);
         Ok(ServingState {
             view,
             dirs,
@@ -154,6 +186,12 @@ impl ServingIndex {
     /// The view generation being served (`None` for a plain directory).
     pub fn generation(&self) -> Option<u64> {
         self.state.read().unwrap().generation
+    }
+
+    /// The store root this handle re-resolves on every reload (health
+    /// probers re-verify quarantined shards against it).
+    pub fn store_path(&self) -> &Path {
+        &self.path
     }
 
     /// The directory the serving snapshot was opened from (first shard's
@@ -199,7 +237,7 @@ impl ServingIndex {
                     return Ok(false);
                 }
             }
-            let fresh = Self::load_state(&self.path, self.cache)?;
+            let fresh = Self::load_state(&self.path, &self.options)?;
             in_window();
             let mut state = self.state.write().unwrap();
             // Re-resolved under the write lock: between our open and this
@@ -225,6 +263,26 @@ impl ServingIndex {
             return Ok(true);
         }
         Ok(false)
+    }
+
+    /// Re-opens the current view **even when its identity is unchanged**
+    /// and swaps the fresh open in. [`Self::reload`] no-ops when the store
+    /// still names the same directories, which is right for generation
+    /// swaps but wrong for *in-place repair*: a shard restored to health
+    /// under the same path needs its files re-opened (poisoned fds and
+    /// breaker state live in the old view) without requiring a publish.
+    /// The health prober calls this after a quarantined shard passes
+    /// re-verification; in-flight queries keep their pinned snapshot as
+    /// with any reload. Fails without touching serving if any shard fails
+    /// to open.
+    pub fn force_reload(&self) -> Result<(), QueryError> {
+        let fresh = Self::load_state(&self.path, &self.options)?;
+        let generation = fresh.generation;
+        publish_shard_gauges(&fresh);
+        *self.state.write().unwrap() = fresh;
+        self.generation_gauge.set(gauge_value(generation));
+        self.reload_counter.inc(1);
+        Ok(())
     }
 }
 

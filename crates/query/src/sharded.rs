@@ -37,9 +37,26 @@ use ndss_hash::TokenId;
 use ndss_index::generation::resolve_index_dir;
 use ndss_index::{CacheConfig, DiskIndex, IndexAccess, IndexConfig, ReadOptions, ShardedStore};
 
+use crate::breaker::{classify, Admission, BreakerConfig, DegradedShard, ShardHealth};
 use crate::governor::QueryBudget;
 use crate::search::{NearDupSearcher, PrefixFilter, QueryStats, RankedMatch, SearchOutcome};
 use crate::{QueryError, Resource};
+
+/// What a scatter-gather does when one shard fails at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Propagate the first shard error as the query's error (the PR 8
+    /// behavior, and still the right one for one-shot evaluation runs
+    /// where a wrong-looking corpus should stop the job). Breakers are
+    /// neither consulted nor updated.
+    #[default]
+    FailFast,
+    /// Contain the failure to its shard: classify it, feed the shard's
+    /// circuit breaker, skip quarantined shards, and return a degraded
+    /// outcome (`complete: false` + [`DegradedShard`] ranges) built from
+    /// the healthy shards. The serving daemon runs this policy.
+    Isolate,
+}
 
 /// One shard of the read view: where its texts start globally, and its
 /// opened index.
@@ -55,6 +72,12 @@ pub struct ShardedIndex {
     /// Manifest view generation for a sharded store; `None` for plain
     /// directories and unsharded generation stores.
     manifest_generation: Option<u64>,
+    /// Per-shard circuit breakers. Living inside the view means breaker
+    /// state persists for as long as the view is pinned (the serving
+    /// daemon holds one `Arc` across requests) and resets naturally when
+    /// a reload opens a fresh view — which is exactly the re-admission
+    /// path after a shard is repaired.
+    health: Arc<ShardHealth>,
 }
 
 impl ShardedIndex {
@@ -74,6 +97,17 @@ impl ShardedIndex {
     /// [`Self::open`] with explicit cache sizing and read options (e.g.
     /// memory-mapped postings); both apply to every shard.
     pub fn open_with(path: &Path, cache: CacheConfig, io: ReadOptions) -> Result<Self, QueryError> {
+        Self::open_full(path, cache, io, BreakerConfig::default())
+    }
+
+    /// [`Self::open_with`] with explicit breaker tuning for the per-shard
+    /// circuit breakers (only consulted under [`FaultPolicy::Isolate`]).
+    pub fn open_full(
+        path: &Path,
+        cache: CacheConfig,
+        io: ReadOptions,
+        breaker: BreakerConfig,
+    ) -> Result<Self, QueryError> {
         if ShardedStore::is_sharded(path) {
             let store = ShardedStore::open(path)?;
             let mut shards = Vec::with_capacity(store.num_shards());
@@ -84,14 +118,19 @@ impl ShardedIndex {
                     index: Arc::new(DiskIndex::open_with_io(&dir, cache, io.clone())?),
                 });
             }
+            let health = Arc::new(ShardHealth::new(shards.len(), breaker));
             Ok(Self {
                 shards,
                 manifest_generation: Some(store.manifest().generation),
+                health,
             })
         } else {
             let dir = resolve_index_dir(path);
             let index = Arc::new(DiskIndex::open_with_io(&dir, cache, io)?);
-            Ok(Self::from_single(index))
+            Ok(Self {
+                health: Arc::new(ShardHealth::new(1, breaker)),
+                ..Self::from_single(index)
+            })
         }
     }
 
@@ -101,6 +140,7 @@ impl ShardedIndex {
         Self {
             shards: vec![ShardSlot { base: 0, index }],
             manifest_generation: None,
+            health: Arc::new(ShardHealth::new(1, BreakerConfig::default())),
         }
     }
 
@@ -135,6 +175,13 @@ impl ShardedIndex {
         self.shards[i].base
     }
 
+    /// The per-shard circuit-breaker set for this view. Metrics exporters
+    /// and health probers read it; [`FaultPolicy::Isolate`] searches feed
+    /// it.
+    pub fn health(&self) -> &Arc<ShardHealth> {
+        &self.health
+    }
+
     /// A scatter-gather searcher over this view with prefix filtering
     /// disabled.
     pub fn searcher(&self) -> Result<ShardedSearcher<'_>, QueryError> {
@@ -150,23 +197,45 @@ impl ShardedIndex {
     ) -> Result<ShardedSearcher<'_>, QueryError> {
         let mut shards = Vec::with_capacity(self.shards.len());
         for slot in &self.shards {
-            shards.push((
-                slot.base,
-                NearDupSearcher::with_prefix_filter(&*slot.index, filter)?,
-            ));
+            shards.push(ShardLane {
+                base: slot.base,
+                num_texts: slot.index.config().num_texts as u64,
+                searcher: NearDupSearcher::with_prefix_filter(&*slot.index, filter)?,
+            });
         }
         Ok(ShardedSearcher {
             shards,
             threads: ndss_parallel::default_threads(),
+            policy: FaultPolicy::FailFast,
+            health: Arc::clone(&self.health),
         })
     }
+}
+
+/// One shard's slice of a [`ShardedSearcher`].
+struct ShardLane<'a> {
+    base: TextId,
+    num_texts: u64,
+    searcher: NearDupSearcher<'a, DiskIndex>,
+}
+
+/// What one shard contributed to a scatter: a searched result, or a
+/// skip/containment record for a degraded shard.
+// One short-lived value per shard per query; boxing the hot Searched
+// variant would cost an allocation on every healthy lane.
+#[allow(clippy::large_enum_variant)]
+enum LaneOutcome {
+    Searched(Result<SearchOutcome, QueryError>),
+    Degraded(DegradedShard),
 }
 
 /// Fans queries out across a [`ShardedIndex`]'s shards and merges exact
 /// results; see the module docs for the merge and budget semantics.
 pub struct ShardedSearcher<'a> {
-    shards: Vec<(TextId, NearDupSearcher<'a, DiskIndex>)>,
+    shards: Vec<ShardLane<'a>>,
     threads: usize,
+    policy: FaultPolicy,
+    health: Arc<ShardHealth>,
 }
 
 impl ShardedSearcher<'_> {
@@ -174,6 +243,12 @@ impl ShardedSearcher<'_> {
     /// and the query-level parallelism for batches.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the per-shard fault policy (default [`FaultPolicy::FailFast`]).
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -227,7 +302,7 @@ impl ShardedSearcher<'_> {
     /// only on the shared configuration, so any shard's searcher can rank
     /// merged (global-id) outcomes.
     pub fn rank(&self, outcome: &SearchOutcome, limit: usize) -> Vec<RankedMatch> {
-        self.shards[0].1.rank(outcome, limit)
+        self.shards[0].searcher.rank(outcome, limit)
     }
 
     fn scatter(
@@ -238,30 +313,118 @@ impl ShardedSearcher<'_> {
         threads: usize,
     ) -> Result<SearchOutcome, QueryError> {
         let started = Instant::now();
-        let per_shard = budget.split_across(self.shards.len());
-        let results: Vec<Result<SearchOutcome, QueryError>> =
-            ndss_parallel::map(&self.shards, threads, |_, (_, searcher)| {
-                searcher.search_governed(query, theta, &per_shard)
+        // Admission runs before the split so quarantined shards neither do
+        // work nor consume budget: caps are apportioned across the shards
+        // that will actually search.
+        let admissions: Vec<Admission> = match self.policy {
+            FaultPolicy::FailFast => vec![Admission::Admit; self.shards.len()],
+            FaultPolicy::Isolate => (0..self.shards.len())
+                .map(|i| self.health.admit(i))
+                .collect(),
+        };
+        let searching = admissions
+            .iter()
+            .filter(|a| **a != Admission::Quarantined)
+            .count();
+        if searching == 0 {
+            // Every shard is quarantined: there is no healthy subset to
+            // answer from, so surface the (classified) fault instead of an
+            // empty "result".
+            let (kind, reason) = self.health.last_fault(0);
+            return Err(QueryError::AllShardsQuarantined {
+                shards: self.shards.len(),
+                kind,
+                reason,
             });
-        self.merge(results, started)
+        }
+        let per_shard = budget.split_across(searching);
+        let results: Vec<Option<Result<SearchOutcome, QueryError>>> =
+            ndss_parallel::map(&self.shards, threads, |i, lane| match admissions[i] {
+                Admission::Quarantined => None,
+                Admission::Admit | Admission::Probe => {
+                    Some(lane.searcher.search_governed(query, theta, &per_shard))
+                }
+            });
+        let lanes: Vec<LaneOutcome> = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, result)| self.classify_lane(i, result))
+            .collect();
+        self.merge(lanes, started)
+    }
+
+    /// Applies the fault policy to one shard's raw result: feeds the
+    /// breaker and converts contained faults into [`LaneOutcome::Degraded`]
+    /// records labeling the shard's text range.
+    fn classify_lane(
+        &self,
+        i: usize,
+        result: Option<Result<SearchOutcome, QueryError>>,
+    ) -> LaneOutcome {
+        let degraded = |kind, reason| {
+            LaneOutcome::Degraded(DegradedShard {
+                shard: i,
+                first_text: self.shards[i].base,
+                num_texts: self.shards[i].num_texts,
+                kind,
+                reason,
+            })
+        };
+        let Some(result) = result else {
+            // Skipped at admission: label with the breaker's last fault.
+            let (kind, reason) = self.health.last_fault(i);
+            return degraded(kind, reason);
+        };
+        if self.policy == FaultPolicy::FailFast {
+            return LaneOutcome::Searched(result);
+        }
+        match result {
+            Ok(outcome) => {
+                self.health.record_success(i);
+                LaneOutcome::Searched(Ok(outcome))
+            }
+            // A budget trip is the caller's limit, not a shard fault: the
+            // shard's IO worked, so it counts as breaker success.
+            Err(e @ QueryError::BudgetExceeded { .. }) => {
+                self.health.record_success(i);
+                LaneOutcome::Searched(Err(e))
+            }
+            Err(e) => match classify(&e) {
+                Some(kind) => {
+                    let reason = e.to_string();
+                    self.health.record_failure(i, kind, &reason);
+                    degraded(kind, reason)
+                }
+                None => LaneOutcome::Searched(Err(e)),
+            },
+        }
     }
 
     /// Merges per-shard results in shard order (ascending global text
-    /// order). Stops at the first budget-tripped shard so the composition
-    /// is a sound prefix; any other error propagates as-is.
+    /// order). Stops at the first budget-tripped shard so the healthy-shard
+    /// composition is a sound prefix; any other error propagates as-is.
+    /// Degraded lanes contribute no matches — their text ranges are
+    /// recorded on the outcome and flip `complete` off.
     fn merge(
         &self,
-        results: Vec<Result<SearchOutcome, QueryError>>,
+        lanes: Vec<LaneOutcome>,
         started: Instant,
     ) -> Result<SearchOutcome, QueryError> {
         let mut merged: Option<SearchOutcome> = None;
         let mut tripped: Option<Resource> = None;
-        for (i, result) in results.into_iter().enumerate() {
-            let base = self.shards[i].0;
-            let (mut outcome, resource) = match result {
-                Ok(outcome) => (outcome, None),
-                Err(QueryError::BudgetExceeded { resource, partial }) => (*partial, Some(resource)),
-                Err(e) => return Err(e),
+        let mut degraded: Vec<DegradedShard> = Vec::new();
+        for (i, lane) in lanes.into_iter().enumerate() {
+            let base = self.shards[i].base;
+            let (mut outcome, resource) = match lane {
+                LaneOutcome::Degraded(d) => {
+                    degraded.push(d);
+                    continue;
+                }
+                LaneOutcome::Searched(Ok(outcome)) => (outcome, None),
+                LaneOutcome::Searched(Err(QueryError::BudgetExceeded { resource, partial })) => {
+                    (*partial, Some(resource))
+                }
+                LaneOutcome::Searched(Err(e)) => return Err(e),
             };
             for m in &mut outcome.matches {
                 m.text += base;
@@ -279,8 +442,23 @@ impl ShardedSearcher<'_> {
                 break;
             }
         }
-        let mut outcome = merged.expect("a sharded view has at least one shard");
+        let Some(mut outcome) = merged else {
+            // Every admitted shard faulted in this very scatter: like the
+            // all-quarantined admission case, there is no healthy subset.
+            let d = degraded
+                .first()
+                .expect("a sharded view has at least one shard");
+            return Err(QueryError::AllShardsQuarantined {
+                shards: self.shards.len(),
+                kind: d.kind,
+                reason: d.reason.clone(),
+            });
+        };
         outcome.stats.total = started.elapsed();
+        if !degraded.is_empty() {
+            outcome.complete = false;
+            outcome.degraded = degraded;
+        }
         match tripped {
             None => Ok(outcome),
             Some(resource) => {

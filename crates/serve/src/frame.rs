@@ -19,6 +19,11 @@
 //! match     := text:u32 collisions:u32 nspans:u32 (start:u32 end:u32) …
 //! error     := message (UTF-8, rest of payload)   status 1 = overloaded,
 //!              2 = bad request, 3 = internal, 4 = shutting down
+//! degraded  := ok-body ndegraded:u32 dshard …     status 5: a *valid*
+//!              partial search response whose listed shard ranges went
+//!              unsearched (quarantined shards)
+//! dshard    := shard:u32 first_text:u32 num_texts:u64 kind:u8
+//!              reason_len:u32 reason (UTF-8)
 //! pong      := status 0, empty payload tail
 //! ```
 
@@ -46,6 +51,12 @@ pub const STATUS_BAD_REQUEST: u8 = 2;
 pub const STATUS_INTERNAL: u8 = 3;
 /// The server is draining; no further requests will be admitted.
 pub const STATUS_SHUTTING_DOWN: u8 = 4;
+/// A **successful but partial** search response: one or more shards are
+/// quarantined and their text ranges went unsearched. The payload is a
+/// full search-response body (`complete = 0`) followed by the degraded
+/// shard ranges — unlike statuses 1–4 this is a decodable result, not an
+/// error.
+pub const STATUS_DEGRADED: u8 = 5;
 
 /// A decoded binary search request.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +78,21 @@ pub struct WireMatch {
     pub spans: Vec<(u32, u32)>,
 }
 
+/// One quarantined shard range in a degraded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDegraded {
+    /// Shard ordinal in the manifest.
+    pub shard: u32,
+    /// First global text id the shard owns.
+    pub first_text: u32,
+    /// Number of texts the shard owns (all unsearched).
+    pub num_texts: u64,
+    /// Fault taxonomy: 0 transient, 1 corruption, 2 permanent.
+    pub kind: u8,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
 /// A decoded binary search response.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchResponse {
@@ -76,6 +102,9 @@ pub struct SearchResponse {
     pub beta: u32,
     pub total_sequences: u64,
     pub matches: Vec<WireMatch>,
+    /// Quarantined shard ranges this response does not cover; non-empty
+    /// exactly when the frame carried [`STATUS_DEGRADED`].
+    pub degraded: Vec<WireDegraded>,
 }
 
 /// What a frame read produced.
@@ -248,10 +277,16 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestPayload, String> {
     }
 }
 
-/// Encodes an OK search response (server side).
+/// Encodes a search response (server side): [`STATUS_OK`] when every
+/// shard answered, [`STATUS_DEGRADED`] (with the quarantined ranges
+/// appended) when some did not.
 pub fn encode_search_response(resp: &SearchResponse) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + resp.matches.len() * 16);
-    out.push(STATUS_OK);
+    out.push(if resp.degraded.is_empty() {
+        STATUS_OK
+    } else {
+        STATUS_DEGRADED
+    });
     out.push(resp.complete as u8);
     out.extend_from_slice(&resp.generation.to_le_bytes());
     out.extend_from_slice(&resp.beta.to_le_bytes());
@@ -266,6 +301,17 @@ pub fn encode_search_response(resp: &SearchResponse) -> Vec<u8> {
             out.extend_from_slice(&end.to_le_bytes());
         }
     }
+    if !resp.degraded.is_empty() {
+        out.extend_from_slice(&(resp.degraded.len() as u32).to_le_bytes());
+        for d in &resp.degraded {
+            out.extend_from_slice(&d.shard.to_le_bytes());
+            out.extend_from_slice(&d.first_text.to_le_bytes());
+            out.extend_from_slice(&d.num_texts.to_le_bytes());
+            out.push(d.kind);
+            out.extend_from_slice(&(d.reason.len() as u32).to_le_bytes());
+            out.extend_from_slice(d.reason.as_bytes());
+        }
+    }
     out
 }
 
@@ -277,8 +323,10 @@ pub fn encode_error(status: u8, message: &str) -> Vec<u8> {
     out
 }
 
-/// A decoded response payload: `Ok` for `STATUS_OK`, otherwise the status
-/// and message (client side).
+/// A decoded response payload: `Ok` for [`STATUS_OK`] **and**
+/// [`STATUS_DEGRADED`] (the latter carries its quarantined ranges in
+/// [`SearchResponse::degraded`]); otherwise the status and message
+/// (client side).
 #[allow(clippy::result_large_err)]
 pub fn decode_search_response(payload: &[u8]) -> Result<SearchResponse, (u8, String)> {
     let malformed = |m: String| (STATUS_INTERNAL, format!("undecodable response: {m}"));
@@ -287,7 +335,7 @@ pub fn decode_search_response(payload: &[u8]) -> Result<SearchResponse, (u8, Str
         pos: 0,
     };
     let status = r.u8().map_err(malformed)?;
-    if status != STATUS_OK {
+    if status != STATUS_OK && status != STATUS_DEGRADED {
         let message = String::from_utf8_lossy(&payload[1..]).into_owned();
         return Err((status, message));
     }
@@ -312,12 +360,32 @@ pub fn decode_search_response(payload: &[u8]) -> Result<SearchResponse, (u8, Str
                 spans,
             });
         }
+        let mut degraded = Vec::new();
+        if status == STATUS_DEGRADED {
+            let ndegraded = r.u32()? as usize;
+            for _ in 0..ndegraded {
+                let shard = r.u32()?;
+                let first_text = r.u32()?;
+                let num_texts = r.u64()?;
+                let kind = r.u8()?;
+                let reason_len = r.u32()? as usize;
+                let reason = String::from_utf8_lossy(r.take(reason_len)?).into_owned();
+                degraded.push(WireDegraded {
+                    shard,
+                    first_text,
+                    num_texts,
+                    kind,
+                    reason,
+                });
+            }
+        }
         Ok(SearchResponse {
             complete,
             generation,
             beta,
             total_sequences,
             matches,
+            degraded,
         })
     };
     inner(r).map_err(malformed)
@@ -354,8 +422,40 @@ mod tests {
                 collisions: 15,
                 spans: vec![(10, 90), (120, 200)],
             }],
+            degraded: Vec::new(),
         };
-        let got = decode_search_response(&encode_search_response(&resp)).unwrap();
+        let encoded = encode_search_response(&resp);
+        assert_eq!(encoded[0], STATUS_OK);
+        let got = decode_search_response(&encoded).unwrap();
+        assert_eq!(got, resp);
+    }
+
+    /// A response with quarantined ranges rides STATUS_DEGRADED and
+    /// round-trips the ranges; clients decode it as a result, not an
+    /// error.
+    #[test]
+    fn degraded_response_round_trips() {
+        let resp = SearchResponse {
+            complete: false,
+            generation: 3,
+            beta: 9,
+            total_sequences: 12,
+            matches: vec![WireMatch {
+                text: 2,
+                collisions: 9,
+                spans: vec![(0, 40)],
+            }],
+            degraded: vec![WireDegraded {
+                shard: 1,
+                first_text: 500,
+                num_texts: 500,
+                kind: 1,
+                reason: "malformed index: checksum mismatch".into(),
+            }],
+        };
+        let encoded = encode_search_response(&resp);
+        assert_eq!(encoded[0], STATUS_DEGRADED);
+        let got = decode_search_response(&encoded).unwrap();
         assert_eq!(got, resp);
     }
 

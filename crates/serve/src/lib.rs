@@ -24,6 +24,7 @@
 pub mod client;
 pub mod frame;
 pub mod http;
+mod prober;
 mod server;
 
 pub use server::{DrainReport, RunningServer, ServeConfig, Server, ServerHandle};

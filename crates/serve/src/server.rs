@@ -52,11 +52,13 @@ use std::time::{Duration, Instant};
 use ndss_index::CacheConfig;
 use ndss_json::{Json, ObjectBuilder};
 use ndss_query::{
-    PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource, SearchOutcome, ServingIndex,
+    DegradedShard, FaultPolicy, PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource,
+    SearchOutcome, ServingIndex,
 };
 
 use crate::frame::{self, FrameOutcome, RequestPayload};
 use crate::http::{self, ReadOutcome};
+use crate::prober;
 use crate::{ServeError, DEFAULT_ADDR};
 
 /// Tuning for one [`Server`].
@@ -83,6 +85,11 @@ pub struct ServeConfig {
     /// Where to flush a final metrics snapshot on drain (`.prom`/`.txt` ⇒
     /// Prometheus text, anything else ⇒ JSON).
     pub metrics_out: Option<PathBuf>,
+    /// How often the background health prober re-checks quarantined
+    /// shards (spot-check, then full verification, then re-admission via
+    /// forced reload). `None` disables self-healing — quarantined shards
+    /// then only return through the breaker's own half-open probes.
+    pub probe_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -100,11 +107,12 @@ impl Default for ServeConfig {
             filter: PrefixFilter::Adaptive,
             cache: CacheConfig::default(),
             metrics_out: None,
+            probe_interval: Some(Duration::from_secs(1)),
         }
     }
 }
 
-struct ServeMetrics {
+pub(crate) struct ServeMetrics {
     connections: ndss_obs::Counter,
     connections_rejected: ndss_obs::Counter,
     active_connections: ndss_obs::Gauge,
@@ -117,6 +125,16 @@ struct ServeMetrics {
     internal_errors: ndss_obs::Counter,
     request_seconds: ndss_obs::Histogram,
     in_flight: ndss_obs::Gauge,
+    degraded: ndss_obs::Counter,
+    unavailable: ndss_obs::Counter,
+    conn_accepted: ndss_obs::Counter,
+    conn_reused: ndss_obs::Counter,
+    conn_closed: ndss_obs::Counter,
+    reuse_ratio: ndss_obs::Gauge,
+    quarantined: ndss_obs::Gauge,
+    pub(crate) probe_attempts: ndss_obs::Counter,
+    pub(crate) probe_recovered: ndss_obs::Counter,
+    pub(crate) probe_failed: ndss_obs::Counter,
 }
 
 impl ServeMetrics {
@@ -147,21 +165,87 @@ impl ServeMetrics {
                 ndss_obs::Unit::Seconds,
             ),
             in_flight: reg.gauge("serve.in_flight", "Searches currently executing"),
+            degraded: reg.counter(
+                "serve.degraded",
+                "Search responses answered from a partial (degraded) shard set",
+            ),
+            unavailable: reg.counter(
+                "serve.unavailable",
+                "Search requests failed because every shard was quarantined",
+            ),
+            conn_accepted: reg.counter("serve.conn.accepted", "Connections accepted (keep-alive)"),
+            conn_reused: reg.counter(
+                "serve.conn.reused",
+                "Requests served on an already-open connection (beyond each \
+                 connection's first request)",
+            ),
+            conn_closed: reg.counter("serve.conn.closed", "Connections closed"),
+            reuse_ratio: reg.gauge(
+                "serve.conn.reuse_ratio_percent",
+                "Share of requests that reused an existing connection, in percent",
+            ),
+            quarantined: reg.gauge(
+                "index.shards.quarantined",
+                "Shards currently quarantined by their circuit breaker",
+            ),
+            probe_attempts: reg.counter(
+                "serve.probe.attempts",
+                "Health-prober re-verification attempts on quarantined shards",
+            ),
+            probe_recovered: reg.counter(
+                "serve.probe.recovered",
+                "Quarantined shards re-admitted after passing re-verification",
+            ),
+            probe_failed: reg.counter(
+                "serve.probe.failed",
+                "Health-prober re-verification attempts that failed",
+            ),
         }
     }
 }
 
-struct Shared {
-    serving: ServingIndex,
-    config: ServeConfig,
+pub(crate) struct Shared {
+    pub(crate) serving: ServingIndex,
+    pub(crate) config: ServeConfig,
     draining: AtomicBool,
     in_flight: AtomicUsize,
-    metrics: ServeMetrics,
+    pub(crate) metrics: ServeMetrics,
 }
 
 impl Shared {
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.draining.load(Ordering::Relaxed) || TERM_REQUESTED.load(Ordering::Relaxed)
+    }
+
+    /// Refreshes the gauges derived from breaker state: per-shard breaker
+    /// position/trip counts and the quarantine count. Called when
+    /// `/metrics` renders and by the health prober, so scrapes and probes
+    /// both see current values.
+    pub(crate) fn publish_breaker_metrics(&self) -> usize {
+        let snapshot = self.serving.snapshot();
+        let health = snapshot.health();
+        let reg = ndss_obs::Registry::global();
+        let mut quarantined = 0usize;
+        for snap in health.snapshot() {
+            if snap.state != ndss_query::BreakerState::Closed {
+                quarantined += 1;
+            }
+            let shard = snap.shard.to_string();
+            reg.gauge_with_labels(
+                "index.shard.breaker",
+                "Per-shard circuit-breaker state: 0 closed, 1 open, 2 half-open",
+                &[("shard", &shard)],
+            )
+            .set(snap.state.as_gauge());
+            reg.gauge_with_labels(
+                "index.shard.breaker_trips",
+                "Cumulative closed-to-open transitions per shard (current view)",
+                &[("shard", &shard)],
+            )
+            .set(snap.trips.min(i64::MAX as u64) as i64);
+        }
+        self.metrics.quarantined.set(quarantined as i64);
+        quarantined
     }
 }
 
@@ -309,6 +393,13 @@ impl Server {
         let shared = self.shared;
         let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let active = Arc::new(AtomicUsize::new(0));
+        let prober = shared.config.probe_interval.map(|interval| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("ndss-serve-prober".into())
+                .spawn(move || prober::run(&shared, interval))
+                .expect("spawning the health prober")
+        });
 
         while !shared.draining() {
             match self.listener.accept() {
@@ -322,6 +413,7 @@ impl Server {
                         continue;
                     }
                     shared.metrics.connections.inc(1);
+                    shared.metrics.conn_accepted.inc(1);
                     let n = active.fetch_add(1, Ordering::Relaxed) + 1;
                     shared.metrics.active_connections.set(n as i64);
                     let shared = shared.clone();
@@ -346,9 +438,14 @@ impl Server {
 
         // Drain: the listener closes here (drop), handlers finish their
         // in-flight requests and observe the flag at their next idle poll.
+        // The prober sleeps in short slices and re-checks the drain flag,
+        // so joining it never blocks drain on a full probe interval.
         drop(self.listener);
         for handler in handlers {
             let _ = handler.join();
+        }
+        if let Some(prober) = prober {
+            let _ = prober.join();
         }
         if let Some(path) = &shared.config.metrics_out {
             flush_metrics(path);
@@ -446,10 +543,12 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     } else {
         serve_http(&mut stream, shared);
     }
+    shared.metrics.conn_closed.inc(1);
 }
 
 /// The HTTP side of the front door.
 fn serve_http(stream: &mut TcpStream, shared: &Shared) {
+    let mut requests_on_conn = 0u64;
     loop {
         let outcome = match http::read_request(stream, shared.config.max_body_bytes) {
             Ok(outcome) => outcome,
@@ -479,6 +578,10 @@ fn serve_http(stream: &mut TcpStream, shared: &Shared) {
             }
         };
         shared.metrics.http_requests.inc(1);
+        requests_on_conn += 1;
+        if requests_on_conn > 1 {
+            shared.metrics.conn_reused.inc(1);
+        }
         let started = Instant::now();
         // Serve the request we already read even if drain started while it
         // was in the socket; close afterwards so drain converges.
@@ -532,6 +635,13 @@ fn route_http(
                 .metrics
                 .in_flight
                 .set(shared.in_flight.load(Ordering::Relaxed) as i64);
+            let requests = shared.metrics.http_requests.get() + shared.metrics.frame_requests.get();
+            let reused = shared.metrics.conn_reused.get();
+            shared
+                .metrics
+                .reuse_ratio
+                .set((100 * reused / requests.max(1)) as i64);
+            shared.publish_breaker_metrics();
             (
                 200,
                 "OK",
@@ -594,6 +704,7 @@ fn route_http(
 
 /// The binary side of the front door.
 fn serve_frames(stream: &mut TcpStream, shared: &Shared) {
+    let mut requests_on_conn = 0u64;
     loop {
         let payload = match frame::read_frame(stream) {
             Ok(FrameOutcome::Payload(payload)) => payload,
@@ -615,6 +726,10 @@ fn serve_frames(stream: &mut TcpStream, shared: &Shared) {
             Err(_) => return,
         };
         shared.metrics.frame_requests.inc(1);
+        requests_on_conn += 1;
+        if requests_on_conn > 1 {
+            shared.metrics.conn_reused.inc(1);
+        }
         let started = Instant::now();
         let close_after = shared.draining();
         let response = match frame::decode_request(&payload) {
@@ -723,6 +838,9 @@ struct SearchReply {
     io_bytes: u64,
     postings_read: u64,
     wall: Duration,
+    /// Quarantined shard ranges the answer does not cover (degraded
+    /// responses only).
+    degraded: Vec<DegradedShard>,
 }
 
 impl SearchReply {
@@ -756,6 +874,22 @@ impl SearchReply {
         if let Some(resource) = self.exhausted {
             builder = builder.field("budget_exhausted", Json::Str(resource.to_string()));
         }
+        if !self.degraded.is_empty() {
+            let shards = self
+                .degraded
+                .iter()
+                .map(|d| {
+                    ObjectBuilder::new()
+                        .field("shard", Json::UInt(d.shard as u64))
+                        .field("first_text", Json::UInt(d.first_text as u64))
+                        .field("num_texts", Json::UInt(d.num_texts))
+                        .field("kind", Json::Str(d.kind.label().into()))
+                        .field("reason", Json::Str(d.reason.clone()))
+                        .build()
+                })
+                .collect();
+            builder = builder.field("degraded_shards", Json::Array(shards));
+        }
         builder
             .field(
                 "stats",
@@ -783,15 +917,32 @@ impl SearchReply {
                     spans: m.spans.iter().map(|s| (s.start, s.end)).collect(),
                 })
                 .collect(),
+            degraded: self
+                .degraded
+                .iter()
+                .map(|d| frame::WireDegraded {
+                    shard: d.shard as u32,
+                    first_text: d.first_text,
+                    num_texts: d.num_texts,
+                    kind: d.kind.as_wire(),
+                    reason: d.reason.clone(),
+                })
+                .collect(),
         }
     }
 }
 
 /// Why a search produced no reply.
 enum SearchFail {
-    Overloaded { in_flight: usize, cap: usize },
+    Overloaded {
+        in_flight: usize,
+        cap: usize,
+    },
     BadRequest(String),
     Internal(String),
+    /// Every shard of the view is quarantined: nothing can answer, not
+    /// even partially.
+    Unavailable(String),
 }
 
 impl SearchFail {
@@ -817,6 +968,12 @@ impl SearchFail {
                 json,
                 error_body("internal", reason),
             ),
+            SearchFail::Unavailable(reason) => (
+                503,
+                "Service Unavailable",
+                json,
+                error_body("unavailable", reason),
+            ),
         }
     }
 
@@ -830,6 +987,7 @@ impl SearchFail {
                 frame::encode_error(frame::STATUS_BAD_REQUEST, reason)
             }
             SearchFail::Internal(reason) => frame::encode_error(frame::STATUS_INTERNAL, reason),
+            SearchFail::Unavailable(reason) => frame::encode_error(frame::STATUS_INTERNAL, reason),
         }
     }
 }
@@ -887,9 +1045,13 @@ fn execute_admitted(shared: &Shared, parsed: &ParsedSearch) -> Result<SearchRepl
     // — a reload racing this request can never produce a torn pairing.
     let (snapshot, generation) = shared.serving.pinned();
     let generation = generation.unwrap_or(0);
+    // Serving runs under the isolating fault policy: a sick shard is
+    // contained by its circuit breaker and reported as a degraded range
+    // instead of failing the whole request.
     let searcher = snapshot
         .searcher_with_filter(shared.config.filter)
-        .map_err(|e| SearchFail::Internal(e.to_string()))?;
+        .map_err(|e| SearchFail::Internal(e.to_string()))?
+        .fault_policy(FaultPolicy::Isolate);
     let (outcome, exhausted): (SearchOutcome, Option<Resource>) =
         match searcher.search_governed(&parsed.query, parsed.theta, &budget) {
             Ok(outcome) => (outcome, None),
@@ -898,11 +1060,18 @@ fn execute_admitted(shared: &Shared, parsed: &ParsedSearch) -> Result<SearchRepl
                 shared.metrics.bad_requests.inc(1);
                 return Err(SearchFail::BadRequest(e.to_string()));
             }
+            Err(e @ QueryError::AllShardsQuarantined { .. }) => {
+                shared.metrics.unavailable.inc(1);
+                return Err(SearchFail::Unavailable(e.to_string()));
+            }
             Err(e) => {
                 shared.metrics.internal_errors.inc(1);
                 return Err(SearchFail::Internal(e.to_string()));
             }
         };
+    if !outcome.degraded.is_empty() {
+        shared.metrics.degraded.inc(1);
+    }
     let matches = searcher.rank(&outcome, parsed.top);
     Ok(SearchReply {
         complete: outcome.complete,
@@ -915,5 +1084,6 @@ fn execute_admitted(shared: &Shared, parsed: &ParsedSearch) -> Result<SearchRepl
         io_bytes: outcome.stats.io_bytes,
         postings_read: outcome.stats.postings_read,
         wall: started.elapsed(),
+        degraded: outcome.degraded,
     })
 }

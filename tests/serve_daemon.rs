@@ -491,3 +491,92 @@ fn sharded_reload_of_one_shard_is_atomic_to_clients() {
 
     server.shutdown_and_join().unwrap();
 }
+
+// ---------------------------------------------------------------------------
+// Drain interaction with the fault-isolation layer.
+// ---------------------------------------------------------------------------
+
+/// Graceful drain stays prompt while a shard is quarantined and the
+/// health prober is active. The prober sleeps in short slices and
+/// re-checks the drain flag between them, so shutdown must never wait
+/// anywhere near a full probe interval — this test gives the prober a
+/// deliberately huge interval (60 s) and requires the whole drain to
+/// finish in a small fraction of it.
+///
+/// Drain is requested through [`ServerHandle::shutdown`], the same flag
+/// the SIGTERM hook sets; a raw `kill(SIGTERM)` is off-limits in-process
+/// because the signal latch is process-global and would poison every
+/// other test in this binary.
+#[test]
+fn drain_is_prompt_while_a_shard_is_quarantined() {
+    use ndss::index::{ChaosMode, ChaosPlan};
+    use ndss::query::{BreakerConfig, FaultKind, ServingOptions};
+
+    let root = temp_dir("drain_quarantined");
+    let (corpus, queries) = corpus_a();
+    build_sharded(&corpus, config(), &root, 2, &ShardedBuildOptions::default()).unwrap();
+
+    let plan = ChaosPlan::targeting("shard-0001");
+    let serving = ServingIndex::open_with_options(
+        &root,
+        ServingOptions {
+            cache: CacheConfig::disabled(),
+            io: ndss::index::ReadOptions {
+                chaos: Some(plan.clone()),
+                ..Default::default()
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 1,
+                backoff: Duration::from_secs(60),
+                max_backoff: Duration::from_secs(60),
+            },
+        },
+    )
+    .unwrap();
+    let server = Server::bind(
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            admission_cap: 8,
+            probe_interval: Some(Duration::from_secs(60)),
+            ..ServeConfig::default()
+        },
+        serving,
+    )
+    .unwrap()
+    .spawn();
+    let addr = server.handle().addr();
+    let handle = server.handle();
+
+    // Trip shard 1's breaker: one denied read quarantines it (threshold
+    // 1), and the 60 s backoff keeps it quarantined through the drain.
+    // The query is a prefix of a text shard 1 owns (texts 10–19), so the
+    // scatter must read that shard's postings and hit the armed tap; the
+    // denial classifies as a permanent fault and trips immediately.
+    plan.arm(ChaosMode::Deny);
+    let mut http = HttpClient::connect(addr, TIMEOUT).unwrap();
+    let shard1_query: Vec<u32> = corpus.text(15)[..40].to_vec();
+    let body = search_body(&shard1_query);
+    let reply = http.request("POST", "/search", body.as_bytes()).unwrap();
+    assert_eq!(reply.status, 200, "degraded search: {}", reply.text());
+    assert!(
+        reply.text().contains("degraded_shards"),
+        "expected a degraded response: {}",
+        reply.text()
+    );
+    assert!(reply.text().contains(FaultKind::Permanent.label()));
+    let _ = &queries; // healthy-path queries are exercised elsewhere
+
+    // Drain with the shard still quarantined and the prober mid-sleep of
+    // its 60 s interval. The whole shutdown must take a small fraction of
+    // that interval.
+    let started = std::time::Instant::now();
+    handle.shutdown();
+    let report = server.shutdown_and_join().unwrap();
+    let took = started.elapsed();
+    assert!(report.http_requests >= 1);
+    assert!(
+        took < Duration::from_secs(5),
+        "drain blocked on the prober: took {took:?} against a 60 s probe interval"
+    );
+}
