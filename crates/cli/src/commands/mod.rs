@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 pub mod index;
+pub mod ingest;
 pub mod memorize;
 pub mod merge;
 pub mod publish;

@@ -13,15 +13,54 @@
 //! breakers), `--quarantine-backoff-ms` / `--quarantine-max-backoff-ms`
 //! (initial and maximum quarantine durations), and `--probe-interval-ms`
 //! (health-prober cadence; 0 disables self-healing).
+//!
+//! `--ingest` (requires `--index` to be an unsharded generation store)
+//! additionally accepts `POST /ingest`: appended texts are WAL-durable
+//! before the ack and visible to queries immediately through the overlay,
+//! while a background compactor folds frozen segments into published
+//! generations every `--ingest-compact-ms`.
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use ndss::prelude::*;
 use ndss::query::{BreakerConfig, ServingOptions};
-use ndss::serve::{ServeConfig, Server, DEFAULT_ADDR};
+use ndss::serve::{IngestServeConfig, ServeConfig, Server, DEFAULT_ADDR};
 
 use crate::args::Args;
+
+/// `--ingest` on a store that has never published a generation: publish an
+/// empty one (shaped by the memtable's configuration) so the serving layer
+/// has a disk view to overlay the memtable on. The memtable must already
+/// exist — a truly fresh store needs one `ndss ingest` run to establish the
+/// index configuration.
+fn bootstrap_ingest_store(root: &Path, opts: &IngestOptions) -> Result<(), String> {
+    let ingest = IngestIndex::open(root, None, opts.clone()).map_err(|e| {
+        format!(
+            "--ingest: {e} (run 'ndss ingest --store {} --k … --t …' once to shape a fresh store)",
+            root.display()
+        )
+    })?;
+    let store = ingest.store();
+    if store.current_dir().map_err(|e| e.to_string())?.is_some() {
+        return Ok(());
+    }
+    let empty = InMemoryCorpus::from_texts(Vec::new());
+    let mem = MemoryIndex::build(&empty, ingest.config().clone()).map_err(|e| e.to_string())?;
+    let gen_dir = store.allocate().map_err(|e| e.to_string())?;
+    ndss::index::write_memory_index(&mem, &gen_dir).map_err(|e| e.to_string())?;
+    let name = gen_dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or("generation directory has no name")?
+        .to_string();
+    store.publish(&name, 1).map_err(|e| e.to_string())?;
+    eprintln!(
+        "bootstrapped empty generation {name} in {} for ingest",
+        root.display()
+    );
+    Ok(())
+}
 
 pub fn run(args: &Args) -> Result<(), String> {
     let index = args.required("index")?;
@@ -33,6 +72,18 @@ pub fn run(args: &Args) -> Result<(), String> {
         ))
     };
     let probe_interval_ms: u64 = args.get_or("probe-interval-ms", 1_000)?;
+    let ingest = if args.flag("ingest") {
+        let defaults = IngestServeConfig::default();
+        let compact_ms: u64 = args.get_or("ingest-compact-ms", 500)?;
+        Some(IngestServeConfig {
+            store: PathBuf::from(index),
+            flush_bytes: args.get_or("ingest-flush-bytes", defaults.flush_bytes)?,
+            fsync_every: args.get_or("ingest-fsync-every", defaults.fsync_every)?,
+            compact_interval: (compact_ms > 0).then(|| Duration::from_millis(compact_ms)),
+        })
+    } else {
+        None
+    };
     let config = ServeConfig {
         addr: args.get("addr").unwrap_or(DEFAULT_ADDR).to_string(),
         workers: args.get_or("workers", defaults.workers)?,
@@ -48,6 +99,7 @@ pub fn run(args: &Args) -> Result<(), String> {
         max_body_bytes: args.get_or("max-body-bytes", defaults.max_body_bytes)?,
         metrics_out: args.get("metrics-out").map(PathBuf::from),
         probe_interval: (probe_interval_ms > 0).then(|| Duration::from_millis(probe_interval_ms)),
+        ingest,
         ..defaults
     };
     let breaker = BreakerConfig {
@@ -56,6 +108,15 @@ pub fn run(args: &Args) -> Result<(), String> {
         backoff: ms("quarantine-backoff-ms", breaker_defaults.backoff)?,
         max_backoff: ms("quarantine-max-backoff-ms", breaker_defaults.max_backoff)?,
     };
+
+    if let Some(ingest_cfg) = &config.ingest {
+        let opts = IngestOptions {
+            flush_bytes: ingest_cfg.flush_bytes,
+            fsync_every: ingest_cfg.fsync_every,
+            ..IngestOptions::default()
+        };
+        bootstrap_ingest_store(&ingest_cfg.store, &opts)?;
+    }
 
     let serving = ServingIndex::open_with_options(
         Path::new(index),
@@ -69,6 +130,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let shards = serving.snapshot().num_shards();
 
     Server::install_signal_hooks();
+    let has_ingest = config.ingest.is_some();
     let server = Server::bind(config, serving).map_err(|e| e.to_string())?;
     let addr = server.local_addr();
     match generation {
@@ -80,7 +142,15 @@ pub fn run(args: &Args) -> Result<(), String> {
         }
         None => println!("serving {index} on http://{addr}"),
     }
-    println!("endpoints: POST /search  GET /metrics  GET /healthz  POST /reload  POST /shutdown");
+    if has_ingest {
+        println!(
+            "endpoints: POST /search  POST /ingest  GET /metrics  GET /healthz  POST /reload  POST /shutdown"
+        );
+    } else {
+        println!(
+            "endpoints: POST /search  GET /metrics  GET /healthz  POST /reload  POST /shutdown"
+        );
+    }
 
     let report = server.run().map_err(|e| e.to_string())?;
     println!(

@@ -10,7 +10,11 @@
 //! `--store` verifies a generation store's `CURRENT` generation (or every
 //! generation with `--all-generations`, one status line each). The exit
 //! code is nonzero whenever the CURRENT generation fails — that is the one
-//! queries are being served from.
+//! queries are being served from. Stores with a live memtable (`ndss
+//! ingest`) additionally get the memtable walked: manifest checksum, WAL
+//! frame CRCs, text-id continuity, and the trim watermark against the
+//! published generation — a failure there means acked texts are at risk,
+//! so it too is fatal.
 //!
 //! When `--store` points at a *sharded* store (a `MANIFEST` is present),
 //! the checksummed manifest is validated first, then every shard's serving
@@ -85,6 +89,36 @@ fn run_sharded_store(root: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The memtable walk for `--store`: manifest checksum, WAL frame CRCs,
+/// text-id continuity, and the trim watermark against the published
+/// generation. Absent memtables are fine; a broken one is an error — its
+/// acked texts are part of what the store promises to serve.
+fn run_memtable(root: &str) -> Result<(), String> {
+    let start = Instant::now();
+    match verify_memtable(Path::new(root)) {
+        Ok(None) => Ok(()),
+        Ok(Some(report)) => {
+            let torn = if report.torn_tails > 0 {
+                format!(", {} torn tail(s) pending truncation", report.torn_tails)
+            } else {
+                String::new()
+            };
+            println!(
+                "memtable: ok ({} WAL file(s), {} frames, {} pending texts{torn}, {:.2}s)",
+                report.wal_files,
+                report.frames,
+                report.pending_texts,
+                start.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
+        Err(e) => {
+            println!("memtable: FAILED: {e}");
+            Err(format!("memtable failed verification: {e}"))
+        }
+    }
+}
+
 /// `--store` mode: per-generation status, error iff CURRENT fails.
 fn run_store(root: &str, all: bool) -> Result<(), String> {
     if ShardedStore::is_sharded(Path::new(root)) {
@@ -93,6 +127,9 @@ fn run_store(root: &str, all: bool) -> Result<(), String> {
     let store = GenerationStore::open(Path::new(root)).map_err(|e| e.to_string())?;
     let generations = store.generations().map_err(|e| e.to_string())?;
     if generations.is_empty() {
+        if IngestIndex::is_present(Path::new(root)) {
+            return run_memtable(root);
+        }
         return Err(format!("store {root} has no generations"));
     }
     let mut current_failure: Option<String> = None;
@@ -122,6 +159,7 @@ fn run_store(root: &str, all: bool) -> Result<(), String> {
             }
         }
     }
+    run_memtable(root)?;
     if let Some(e) = current_failure {
         return Err(format!("CURRENT generation failed verification: {e}"));
     }

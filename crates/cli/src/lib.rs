@@ -54,6 +54,7 @@ pub fn dispatch(command: &str, args: &args::Args) -> Result<(), String> {
         "synth" => commands::synth::run(args),
         "tokenize" => commands::tokenize::run(args),
         "index" => commands::index::run(args),
+        "ingest" => commands::ingest::run(args),
         "search" => commands::search::run(args),
         "serve" => commands::serve::run(args),
         "stats" => commands::stats::run(args),
@@ -90,6 +91,16 @@ COMMANDS:
                [--shards N (with --store: partition the corpus by text-id
                 range into N independent shards, build them in parallel,
                 and publish all with one atomic manifest bump)]
+  ingest     stream texts into a generation store's crash-safe memtable
+               --store DIR [--input FILE (default: stdin; one text per line,
+                token ids separated by commas and/or whitespace)]
+               [--flush-bytes N=64MiB (rotate the active WAL past this)]
+               [--fsync-every N=8 (group-fsync cadence; 1 = every append)]
+               [--keep N=1] [--seal (rotate + compact everything: memtable
+                ends empty)] [--no-compact (leave frozen segments pending)]
+               fresh stores also take [--k N=32] [--t N=25] [--seed N=7]
+               [--format v3|v4|v5=v5]; texts are WAL-durable when acked and
+               served live by 'ndss serve --ingest' before compaction
   merge      merge shard indexes (built with identical parameters)
                --out DIR --inputs DIR,DIR,...
                [--resume (continue an interrupted merge)]
@@ -122,9 +133,16 @@ COMMANDS:
                [--workers N=2*cores] [--admission-cap N=cores]
                [--deadline-ms N (per-request default deadline)]
                [--max-body-bytes N=16MiB] [--metrics-out PATH]
+               [--ingest (accept POST /ingest; --index must be a generation
+                store: appended texts are WAL-durable before the ack and
+                served by overlay queries until the background compactor
+                publishes them)] [--ingest-flush-bytes N=64MiB]
+               [--ingest-fsync-every N=8] [--ingest-compact-ms N=500
+                (0 disables background compaction)]
              one port, two protocols: HTTP/1.1 (POST /search JSON,
-             GET /metrics, GET /healthz, POST /reload, POST /shutdown)
-             and NDSB length-prefixed binary framing; SIGTERM drains
+             POST /ingest, GET /metrics, GET /healthz, POST /reload,
+             POST /shutdown) and NDSB length-prefixed binary framing;
+             SIGTERM drains (ingest WAL fsynced before the drain report)
   stats      corpus and index statistics
                --corpus FILE [--index DIR] [--top N=10]
                [--metrics (render process metrics registry)]
@@ -132,7 +150,9 @@ COMMANDS:
                [--corpus FILE] [--index DIR]
                [--store DIR [--all-generations] (per-generation status;
                 exit is nonzero iff the CURRENT generation fails; sharded
-                stores get manifest validation plus one line per shard)]
+                stores get manifest validation plus one line per shard;
+                a memtable, when present, gets its manifest checksum, WAL
+                frame CRCs, id continuity, and trim watermark walked)]
   memorize   train an n-gram LM on the corpus and measure memorization
                --corpus FILE --index DIR [--order N=4] [--texts N=20]
                [--len N=256] [--window N=32] [--thetas F,F=1.0,0.9,0.8]

@@ -81,16 +81,18 @@ pub mod prelude {
     pub use ndss_hash::jaccard::{distinct_jaccard, multiset_jaccard};
     pub use ndss_hash::{MinHasher, Sketch, TokenId};
     pub use ndss_index::{
-        build_sharded, partition_texts, resolve_index_dir, DiskIndex, ExternalIndexBuilder,
-        FaultConfig, GenerationInfo, GenerationStore, IndexAccess, IndexConfig, MemoryIndex,
+        build_sharded, partition_texts, resolve_index_dir, verify_memtable, DiskIndex,
+        ExternalIndexBuilder, FaultConfig, GenerationInfo, GenerationStore, IndexAccess,
+        IndexConfig, IngestIndex, IngestOptions, MemSegment, MemoryIndex, MemtableReport,
         MergeOptions, ReadOptions, ShardManifest, ShardSpec, ShardedBuildOptions, ShardedStore,
     };
     pub use ndss_lm::{evaluate_memorization, GenerationStrategy, MemorizationConfig, NGramModel};
     pub use ndss_obs::{Registry, Unit};
     pub use ndss_query::{
         BatchSearcher, CancelToken, DocumentMatch, DocumentScan, FailurePolicy, NearDupSearcher,
-        PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource, SearchOutcome, ServingIndex,
-        ServingSearcher, ShardedIndex, ShardedSearcher, ShedReason, TextMatch,
+        OverlaySearcher, PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource,
+        SearchOutcome, ServingIndex, ServingSearcher, ShardedIndex, ShardedSearcher, ShedReason,
+        TextMatch,
     };
     pub use ndss_tokenizer::{BpeTokenizer, BpeTrainer};
 }

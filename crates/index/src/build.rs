@@ -99,14 +99,26 @@ impl ListWriter {
 /// Writes a built [`MemoryIndex`] to `dir` (created if needed) and returns
 /// the opened [`DiskIndex`].
 pub fn write_memory_index(index: &MemoryIndex, dir: &Path) -> Result<DiskIndex, IndexError> {
+    write_lists(index.config(), |func| index.sorted_lists(func), dir)
+}
+
+/// Writes any in-memory posting-list source to `dir`: `lists(func)` must
+/// yield `(hash, postings)` in ascending hash order with each list in
+/// canonical `(text, window)` order — the contract of
+/// [`MemoryIndex::sorted_lists`]. The ingest path seals memtable segments
+/// through this without first copying them into a [`MemoryIndex`].
+pub(crate) fn write_lists<'a>(
+    config: &IndexConfig,
+    lists: impl Fn(usize) -> Vec<(ndss_hash::HashValue, &'a [crate::Posting])>,
+    dir: &Path,
+) -> Result<DiskIndex, IndexError> {
     let _span = ndss_obs::span("index.write");
     let postings_written = build_postings_counter();
     let fsyncs_before = ndss_durable::fsync_count();
     std::fs::create_dir_all(dir)?;
-    let config = index.config();
     for func in 0..config.k {
         let mut writer = ListWriter::create(&inv_file_path(dir, func), func as u32, config)?;
-        for (hash, postings) in index.sorted_lists(func) {
+        for (hash, postings) in lists(func) {
             writer.write_list(hash, postings)?;
             postings_written.inc(postings.len() as u64);
         }

@@ -103,6 +103,80 @@ pub(crate) fn sweep_build_residue(dir: &Path) -> u64 {
     removed
 }
 
+/// Removes a directory tree, returning how many regular files it held.
+/// IO errors are reported as warnings (the garbage is inert).
+pub(crate) fn remove_dir_counting(path: &Path) -> u64 {
+    let files = count_files(path);
+    match std::fs::remove_dir_all(path) {
+        Ok(()) => files,
+        Err(e) => {
+            eprintln!("warning: gc could not remove {}: {e}", path.display());
+            0
+        }
+    }
+}
+
+/// Store-root sweep for memtable residue. The rule mirrors the journal
+/// rule: a `MEMTABLE` manifest — even a corrupt one — protects everything
+/// under `memtable/`, because its WALs may hold acked-but-unpublished
+/// texts that only [`crate::ingest::IngestIndex`] recovery can interpret.
+/// What *is* garbage:
+///
+/// * a `memtable/` directory with no manifest at all (the manifest is
+///   written before the first WAL, so this is a crashed creation or a
+///   hand-deleted manifest — the WALs are unownable), and
+/// * with a valid manifest, WAL files and seal directories whose sequence
+///   is below `trimmed_below`: sealed away into a published generation,
+///   orphaned only because the crash landed mid-trim.
+///
+/// Returns files removed (the caller counts them into `index.gc_files`).
+pub(crate) fn sweep_memtable(root: &Path) -> u64 {
+    let memtable = root.join(crate::ingest::MEMTABLE_DIR);
+    if !memtable.is_dir() {
+        return 0;
+    }
+    if !memtable.join(crate::ingest::MEMTABLE_FILE).exists() {
+        return remove_dir_counting(&memtable);
+    }
+    let manifest = match crate::ingest::MemtableManifest::load(root) {
+        Ok(Some(m)) => m,
+        // Corrupt manifests protect their WALs, like corrupt journals
+        // protect their spill files: never collect what recovery (or a
+        // human) may still need to inspect.
+        _ => return 0,
+    };
+    let mut removed = 0;
+    let wal_dir = memtable.join(crate::ingest::WAL_DIR);
+    if let Ok(entries) = std::fs::read_dir(&wal_dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq) = crate::wal::parse_wal_file_name(name) else {
+                continue;
+            };
+            if seq < manifest.trimmed_below && std::fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+    }
+    if let Ok(entries) = std::fs::read_dir(&memtable) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq) = name
+                .strip_prefix("seal-")
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if seq < manifest.trimmed_below && entry.path().is_dir() {
+                removed += remove_dir_counting(&entry.path());
+            }
+        }
+    }
+    removed
+}
+
 /// Open-path sweep for an index directory: always clears interrupted
 /// atomic-write temps; clears spill + journal residue only when no journal
 /// is present at all (a journal — even a corrupt one — marks state a
@@ -149,6 +223,64 @@ mod tests {
         assert!(!dir.join(SPILL_DIR).exists());
         assert!(dir.join("meta.json").exists());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memtable_without_manifest_is_collected() {
+        let root = temp_dir("mt_orphan");
+        let wal_dir = root.join("memtable").join("wal");
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        std::fs::write(wal_dir.join("wal-000001.log"), b"orphan").unwrap();
+        assert_eq!(sweep_memtable(&root), 1);
+        assert!(!root.join("memtable").exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_protects_its_wal() {
+        let root = temp_dir("mt_corrupt");
+        let memtable = root.join("memtable");
+        let wal_dir = memtable.join("wal");
+        std::fs::create_dir_all(&wal_dir).unwrap();
+        std::fs::write(memtable.join("MEMTABLE"), b"not json at all").unwrap();
+        std::fs::write(wal_dir.join("wal-000001.log"), b"live").unwrap();
+        assert_eq!(sweep_memtable(&root), 0);
+        assert!(wal_dir.join("wal-000001.log").exists());
+        assert!(memtable.join("MEMTABLE").exists());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn live_manifest_trims_only_sealed_away_wals() {
+        use crate::ingest::{IngestIndex, IngestOptions};
+        use crate::IndexConfig;
+
+        let root = temp_dir("mt_trim");
+        // A real memtable with one live WAL...
+        {
+            let mut ingest = IngestIndex::open(
+                &root,
+                Some(IndexConfig::new(2, 10, 3)),
+                IngestOptions::default(),
+            )
+            .unwrap();
+            ingest
+                .append(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12])
+                .unwrap();
+            ingest.sync().unwrap();
+        }
+        // ...plus a stray WAL below the trim watermark (sequence 0 is below
+        // the initial watermark of 1) and a matching stale seal dir.
+        let memtable = root.join("memtable");
+        std::fs::write(memtable.join("wal").join("wal-000000.log"), b"stale").unwrap();
+        std::fs::create_dir_all(memtable.join("seal-000000")).unwrap();
+        std::fs::write(memtable.join("seal-000000").join("meta.json"), b"x").unwrap();
+        assert_eq!(sweep_memtable(&root), 2);
+        assert!(!memtable.join("wal").join("wal-000000.log").exists());
+        assert!(!memtable.join("seal-000000").exists());
+        // The live WAL survives.
+        assert!(memtable.join("wal").join("wal-000001.log").exists());
+        std::fs::remove_dir_all(&root).ok();
     }
 
     #[test]

@@ -253,6 +253,7 @@ impl GenerationStore {
     /// `index.gc_files`.
     fn gc(&self) -> Result<(), IndexError> {
         let mut removed = gc::sweep_atomic_temps(&self.root);
+        removed += gc::sweep_memtable(&self.root);
         for info in self.generations()? {
             if info.complete || info.resumable || info.current {
                 continue;

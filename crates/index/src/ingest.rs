@@ -1,0 +1,1180 @@
+//! Crash-safe incremental ingest: a WAL-backed in-memory segment over a
+//! generation store, with resumable seal/merge compaction.
+//!
+//! The immutable build pipeline (ROADMAP item 3's starting point) forces a
+//! full rebuild for any corpus change. This module adds the mutable path:
+//!
+//! * [`MemSegment`] — an in-memory inverted index that absorbs one text at
+//!   a time (windows generated online, postings appended to sorted lists —
+//!   ids only ever grow, so lists stay ordered without re-sorting). It
+//!   implements [`IndexAccess`], so the query layer searches it unchanged.
+//! * [`crate::wal`] — every accepted text is WAL-framed before it is
+//!   acked; recovery replays the longest valid prefix.
+//! * [`IngestIndex`] — the orchestrator: append → WAL + segment, rotate
+//!   full segments behind new WAL files, and **compact** frozen segments
+//!   into the generation store via the journaled merge machinery. Every
+//!   step is resumable from any kill point, publish is atomic, and a WAL
+//!   is only trimmed after the covering generation has been verified and
+//!   published — so a text is durable from the moment its append is acked,
+//!   and never duplicated.
+//!
+//! ## Lifecycle and crash windows
+//!
+//! ```text
+//! append:   WAL frame → mem postings → (group) fsync → acked
+//! rotate:   sync WAL S → freeze segment → manifest active_wal = S+1
+//!           → create WAL S+1
+//! compact:  seal segment S to memtable/seal-S/ (deterministic rebuild)
+//!           → manifest compact_gen = gen-N → merge(CURRENT, seal) → gen-N
+//!           → publish gen-N (verify_integrity + atomic CURRENT)
+//!           → manifest trimmed_below = S+1 → delete WAL S + seal-S
+//! ```
+//!
+//! Recovery derives everything from `CURRENT` + the manifest + the WALs:
+//! replay skips records whose id is already covered by the published
+//! generation (the crash landed between publish and trim), seals are
+//! rewritten deterministically, and an interrupted merge resumes from its
+//! own journal. The open-path GC ([`crate::gc`]) never touches a WAL
+//! referenced by a live manifest — even a corrupt manifest protects its
+//! WALs, exactly like a corrupt build journal protects its spill files.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use ndss_corpus::TextId;
+use ndss_hash::{HashValue, MinHasher, TokenId};
+use ndss_json::{Json, ObjectBuilder};
+use ndss_windows::{HashedWindow, WindowGenerator};
+
+use crate::disk::DiskIndex;
+use crate::generation::GenerationStore;
+use crate::journal::{self, KillPoints};
+use crate::merge::{merge_indexes_with, MergeOptions};
+use crate::wal::{self, WalWriter};
+use crate::{build, IndexAccess, IndexConfig, IndexError, IoSnapshot, Posting};
+
+/// Directory inside a store root that holds the mutable state.
+pub const MEMTABLE_DIR: &str = "memtable";
+/// The memtable manifest file (self-checksummed JSON).
+pub const MEMTABLE_FILE: &str = "MEMTABLE";
+/// WAL directory inside the memtable.
+pub const WAL_DIR: &str = "wal";
+
+fn texts_counter() -> ndss_obs::Counter {
+    ndss_obs::Registry::global().counter("ingest.texts", "Texts accepted by the ingest path")
+}
+
+fn wal_bytes_counter() -> ndss_obs::Counter {
+    ndss_obs::Registry::global().counter("ingest.wal_bytes", "Bytes appended to ingest WALs")
+}
+
+fn replays_counter() -> ndss_obs::Counter {
+    ndss_obs::Registry::global().counter(
+        "ingest.replays",
+        "WAL records replayed into memory during recovery",
+    )
+}
+
+fn seals_counter() -> ndss_obs::Counter {
+    ndss_obs::Registry::global().counter("ingest.seals", "RAM segments sealed to disk")
+}
+
+fn compactions_counter() -> ndss_obs::Counter {
+    ndss_obs::Registry::global().counter(
+        "ingest.compactions",
+        "Memtable compactions published as new generations",
+    )
+}
+
+fn pending_gauge() -> ndss_obs::Gauge {
+    ndss_obs::Registry::global().gauge(
+        "ingest.pending_texts",
+        "Ingested texts not yet published to a generation",
+    )
+}
+
+/// Normalizes a configuration to its ingest template: corpus counts zeroed,
+/// so fingerprints compare the *shape* (k, t, seed, family, zones, format)
+/// rather than any particular corpus size.
+fn template(config: &IndexConfig) -> IndexConfig {
+    let mut c = config.clone();
+    c.num_texts = 0;
+    c.total_tokens = 0;
+    c
+}
+
+/// Fingerprint binding a memtable to its store's configuration shape.
+fn config_fingerprint(config: &IndexConfig) -> u64 {
+    journal::fingerprint(&["memtable", &template(config).to_json_pretty()])
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// The memtable manifest: which WAL is active, how far trimming has
+/// progressed, and (during a compaction) which generation the merge is
+/// landing in. Atomically rewritten at every state transition; its mere
+/// existence marks the `wal/` directory as live for GC purposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct MemtableManifest {
+    /// Shape fingerprint of the store configuration (see
+    /// [`config_fingerprint`]).
+    pub fingerprint: u64,
+    /// Serialized template configuration, so a memtable can exist before
+    /// the store's first generation does.
+    pub config_json: String,
+    /// Sequence number of the WAL currently accepting appends.
+    pub active_wal: u64,
+    /// All WALs with `seq < trimmed_below` are covered by published
+    /// generations and may be deleted.
+    pub trimmed_below: u64,
+    /// Name of the generation an in-flight compaction is merging into
+    /// (empty when no compaction is mid-flight). Lets recovery resume the
+    /// same merge instead of hijacking an unrelated resumable build.
+    pub compact_gen: String,
+}
+
+impl MemtableManifest {
+    pub(crate) fn path(root: &Path) -> PathBuf {
+        root.join(MEMTABLE_DIR).join(MEMTABLE_FILE)
+    }
+
+    fn to_json_sans_crc(&self) -> Json {
+        ObjectBuilder::new()
+            .field("version", Json::UInt(1))
+            .field("fingerprint", Json::UInt(self.fingerprint))
+            .field("config", Json::Str(self.config_json.clone()))
+            .field("active_wal", Json::UInt(self.active_wal))
+            .field("trimmed_below", Json::UInt(self.trimmed_below))
+            .field("compact_gen", Json::Str(self.compact_gen.clone()))
+            .build()
+    }
+
+    /// Atomically publishes the manifest (temp, fsync, rename, dir sync).
+    pub(crate) fn save(&self, root: &Path) -> Result<(), IndexError> {
+        let payload = self.to_json_sans_crc();
+        let crc = crc32c::crc32c(payload.to_string_pretty().as_bytes());
+        let Json::Object(mut fields) = payload else {
+            unreachable!("manifest serializes to an object");
+        };
+        fields.push(("crc".to_string(), Json::UInt(crc as u64)));
+        let text = Json::Object(fields).to_string_pretty();
+        ndss_durable::write_atomic(&Self::path(root), text.as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads the manifest. `Ok(None)` when absent; present-but-corrupt is
+    /// an error — the WALs it protects must not be reinterpreted by
+    /// guesswork.
+    pub(crate) fn load(root: &Path) -> Result<Option<Self>, IndexError> {
+        let path = Self::path(root);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let malformed = |what: &str| IndexError::Malformed(format!("{}: {what}", path.display()));
+        let doc = Json::parse(&text).map_err(|e| malformed(&e.to_string()))?;
+        let stored_crc = doc
+            .get("crc")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| malformed("missing crc"))?;
+        let Json::Object(fields) = &doc else {
+            return Err(malformed("not an object"));
+        };
+        let sans_crc = Json::Object(fields.iter().filter(|(k, _)| k != "crc").cloned().collect());
+        let computed = crc32c::crc32c(sans_crc.to_string_pretty().as_bytes());
+        if computed as u64 != stored_crc {
+            return Err(malformed(&format!(
+                "crc mismatch (stored {stored_crc:#x}, computed {computed:#x})"
+            )));
+        }
+        let uint = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| malformed(&format!("missing {key}")))
+        };
+        let str_field = |key: &str| {
+            doc.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| malformed(&format!("missing {key}")))
+        };
+        let manifest = MemtableManifest {
+            fingerprint: uint("fingerprint")?,
+            config_json: str_field("config")?,
+            active_wal: uint("active_wal")?,
+            trimmed_below: uint("trimmed_below")?,
+            compact_gen: str_field("compact_gen")?,
+        };
+        if manifest.active_wal == 0 || manifest.trimmed_below > manifest.active_wal + 1 {
+            return Err(malformed("inconsistent WAL watermarks"));
+        }
+        Ok(Some(manifest))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemSegment
+// ---------------------------------------------------------------------------
+
+/// A mutable in-memory index segment: the texts of one WAL, their postings
+/// grouped by min-hash value. Postings use **segment-local** text ids; the
+/// overlay layer re-bases matches by [`MemSegment::base`]. Because texts
+/// are appended in increasing id order and each text's windows are sorted
+/// before insertion, every list stays ordered by `(text, l, c, r)` — the
+/// same invariant the disk formats hold — without ever re-sorting.
+#[derive(Debug)]
+pub struct MemSegment {
+    config: IndexConfig,
+    /// WAL sequence this segment mirrors.
+    wal_seq: u64,
+    /// Global id of the segment's first text.
+    base: u64,
+    texts: Vec<Vec<TokenId>>,
+    maps: Vec<HashMap<HashValue, Vec<Posting>>>,
+    total_tokens: u64,
+}
+
+impl MemSegment {
+    fn new(config: &IndexConfig, wal_seq: u64, base: u64) -> Self {
+        let k = config.k;
+        MemSegment {
+            config: template(config),
+            wal_seq,
+            base,
+            texts: Vec::new(),
+            maps: (0..k).map(|_| HashMap::new()).collect(),
+            total_tokens: 0,
+        }
+    }
+
+    /// Inserts the next text; returns its segment-local id. `windows` is a
+    /// caller-owned scratch buffer.
+    fn insert(
+        &mut self,
+        hasher: &MinHasher,
+        generator: &mut WindowGenerator,
+        windows: &mut Vec<HashedWindow>,
+        tokens: &[TokenId],
+    ) -> TextId {
+        let local = self.texts.len() as TextId;
+        for (func, map) in self.maps.iter_mut().enumerate() {
+            windows.clear();
+            generator.generate(hasher, func, tokens, self.config.t, windows);
+            // Appending in (hash, window) order keeps each list's tail
+            // sorted: ids grow monotonically across inserts, windows within
+            // one (text, hash) group here.
+            windows.sort_unstable_by_key(|hw| (hw.hash, hw.window));
+            for hw in windows.iter() {
+                map.entry(hw.hash).or_default().push(Posting {
+                    text: local,
+                    window: hw.window,
+                });
+            }
+        }
+        self.texts.push(tokens.to_vec());
+        self.total_tokens += tokens.len() as u64;
+        self.config.num_texts = self.texts.len();
+        self.config.total_tokens = self.total_tokens;
+        local
+    }
+
+    /// WAL sequence this segment mirrors.
+    pub fn wal_seq(&self) -> u64 {
+        self.wal_seq
+    }
+
+    /// Global id of the first text.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of texts held.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether the segment holds no texts.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Total tokens held.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// The texts, in segment-local id order.
+    pub fn texts(&self) -> &[Vec<TokenId>] {
+        &self.texts
+    }
+
+    /// Iterates `(hash, postings)` for one function in ascending hash
+    /// order, borrowing the segment's lists. The postings are already
+    /// grouped and canonically ordered (see the struct invariant), so the
+    /// seal writer consumes this directly — no window regeneration, no
+    /// copy into a [`MemoryIndex`].
+    fn sorted_lists(&self, func: usize) -> Vec<(HashValue, &[Posting])> {
+        let mut lists: Vec<(HashValue, &[Posting])> = self.maps[func]
+            .iter()
+            .map(|(&h, v)| (h, v.as_slice()))
+            .collect();
+        lists.sort_unstable_by_key(|&(h, _)| h);
+        lists
+    }
+
+    fn check_func(&self, func: usize) -> Result<(), IndexError> {
+        if func >= self.config.k {
+            Err(IndexError::FunctionOutOfRange(func, self.config.k))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl IndexAccess for MemSegment {
+    fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    fn list_len(&self, func: usize, hash: HashValue) -> Result<u64, IndexError> {
+        self.check_func(func)?;
+        Ok(self.maps[func].get(&hash).map_or(0, |v| v.len() as u64))
+    }
+
+    fn read_list(&self, func: usize, hash: HashValue) -> Result<Vec<Posting>, IndexError> {
+        self.check_func(func)?;
+        Ok(self.maps[func].get(&hash).cloned().unwrap_or_default())
+    }
+
+    fn read_postings_for_text(
+        &self,
+        func: usize,
+        hash: HashValue,
+        text: TextId,
+    ) -> Result<Vec<Posting>, IndexError> {
+        self.check_func(func)?;
+        let Some(list) = self.maps[func].get(&hash) else {
+            return Ok(Vec::new());
+        };
+        let lo = list.partition_point(|p| p.text < text);
+        let hi = list.partition_point(|p| p.text <= text);
+        Ok(list[lo..hi].to_vec())
+    }
+
+    fn io_snapshot(&self) -> IoSnapshot {
+        IoSnapshot::default()
+    }
+
+    fn list_length_histogram(&self, func: usize) -> Result<Vec<(u64, u64)>, IndexError> {
+        self.check_func(func)?;
+        let mut hist: HashMap<u64, u64> = HashMap::new();
+        for v in self.maps[func].values() {
+            *hist.entry(v.len() as u64).or_insert(0) += 1;
+        }
+        let mut out: Vec<(u64, u64)> = hist.into_iter().collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IngestIndex
+// ---------------------------------------------------------------------------
+
+/// Tunables for the ingest path.
+#[derive(Clone)]
+pub struct IngestOptions {
+    /// Rotate (freeze the active segment behind a new WAL) once the active
+    /// WAL exceeds this many bytes. Frozen segments wait for compaction.
+    pub flush_bytes: u64,
+    /// Group-fsync cadence: sync the WAL every N appends (1 = every
+    /// append). [`IngestIndex::sync`] always forces one.
+    pub fsync_every: u64,
+    /// Generations retained besides `CURRENT` on publish.
+    pub keep: usize,
+    /// Deterministic crash injector (test harnesses only).
+    pub kill: Option<Arc<KillPoints>>,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            flush_bytes: 64 << 20,
+            fsync_every: 8,
+            keep: 1,
+            kill: None,
+        }
+    }
+}
+
+/// The mutable front of a generation store: WAL-backed in-memory segments
+/// absorbing appends, with resumable compaction into published generations.
+pub struct IngestIndex {
+    root: PathBuf,
+    store: GenerationStore,
+    /// Template configuration (corpus counts zeroed).
+    config: IndexConfig,
+    /// Texts covered by the `CURRENT` generation; every in-memory text has
+    /// a global id `>= covered`.
+    covered: u64,
+    manifest: MemtableManifest,
+    writer: WalWriter,
+    active: MemSegment,
+    frozen: Vec<MemSegment>,
+    next_text: u64,
+    appends_since_sync: u64,
+    opts: IngestOptions,
+    hasher: MinHasher,
+    generator: WindowGenerator,
+    windows_buf: Vec<HashedWindow>,
+}
+
+impl IngestIndex {
+    /// Opens (creating or recovering) the memtable of the store at `root`.
+    ///
+    /// The configuration shape comes from the `CURRENT` generation when one
+    /// exists, else from an existing manifest, else from `config_if_new`
+    /// (required only for a store that has never seen an index or an
+    /// ingest). Recovery replays the WALs, skipping records already covered
+    /// by the published generation, and truncates torn tails.
+    pub fn open(
+        root: &Path,
+        config_if_new: Option<IndexConfig>,
+        opts: IngestOptions,
+    ) -> Result<Self, IndexError> {
+        let store = GenerationStore::open(root)?;
+        let disk_config = match store.current_dir()? {
+            Some(dir) => Some(DiskIndex::open(&dir)?.config().clone()),
+            None => None,
+        };
+        let covered = disk_config.as_ref().map_or(0, |c| c.num_texts as u64);
+
+        let manifest = MemtableManifest::load(root)?;
+        let config = match (&disk_config, &manifest) {
+            (Some(c), _) => template(c),
+            (None, Some(m)) => template(&IndexConfig::from_json(&m.config_json)?),
+            (None, None) => template(&config_if_new.ok_or_else(|| {
+                IndexError::Malformed(format!(
+                    "{}: empty store and no memtable; ingest needs an index configuration",
+                    root.display()
+                ))
+            })?),
+        };
+        let manifest = match manifest {
+            Some(m) => {
+                if m.fingerprint != config_fingerprint(&config) {
+                    return Err(IndexError::Malformed(format!(
+                        "{}: memtable was written under a different index configuration",
+                        root.display()
+                    )));
+                }
+                m
+            }
+            None => {
+                let m = MemtableManifest {
+                    fingerprint: config_fingerprint(&config),
+                    config_json: config.to_json_pretty(),
+                    active_wal: 1,
+                    trimmed_below: 1,
+                    compact_gen: String::new(),
+                };
+                std::fs::create_dir_all(root.join(MEMTABLE_DIR).join(WAL_DIR))?;
+                m.save(root)?;
+                m
+            }
+        };
+        Self::recover(root, store, config, covered, manifest, opts)
+    }
+
+    /// Whether `root` holds a live memtable (manifest present).
+    pub fn is_present(root: &Path) -> bool {
+        MemtableManifest::path(root).is_file()
+    }
+
+    fn wal_path(root: &Path, seq: u64) -> PathBuf {
+        root.join(MEMTABLE_DIR)
+            .join(WAL_DIR)
+            .join(wal::wal_file_name(seq))
+    }
+
+    fn seal_dir(root: &Path, seq: u64) -> PathBuf {
+        root.join(MEMTABLE_DIR).join(format!("seal-{seq:06}"))
+    }
+
+    fn recover(
+        root: &Path,
+        store: GenerationStore,
+        config: IndexConfig,
+        covered: u64,
+        mut manifest: MemtableManifest,
+        opts: IngestOptions,
+    ) -> Result<Self, IndexError> {
+        std::fs::create_dir_all(root.join(MEMTABLE_DIR).join(WAL_DIR))?;
+        // A compaction that reached publish before the crash: its target is
+        // CURRENT now (or was pruned later); the pointer is stale either
+        // way once trimming below is complete.
+        let hasher = config.hasher();
+        let mut generator = WindowGenerator::new();
+        let mut windows_buf = Vec::new();
+
+        let mut frozen: Vec<MemSegment> = Vec::new();
+        let mut expect = covered;
+        let mut replayed: u64 = 0;
+        let mut trimmed = manifest.trimmed_below;
+        for seq in manifest.trimmed_below..manifest.active_wal {
+            let path = Self::wal_path(root, seq);
+            if !path.is_file() {
+                return Err(IndexError::Malformed(format!(
+                    "{}: WAL {seq} is missing but not trimmed; acked texts may be lost",
+                    root.display()
+                )));
+            }
+            let replay = wal::replay_wal(&path)?;
+            let live: Vec<wal::WalRecord> = replay
+                .records
+                .into_iter()
+                .filter(|r| r.text_id >= covered)
+                .collect();
+            if live.is_empty() {
+                // Fully covered by a published generation: the crash landed
+                // between publish and trim. Finish the trim now.
+                trimmed = seq + 1;
+                continue;
+            }
+            if live[0].text_id != expect {
+                return Err(IndexError::Malformed(format!(
+                    "{}: WAL {seq} starts at text {} but {expect} was expected; \
+                     acked texts were lost to corruption",
+                    root.display(),
+                    live[0].text_id
+                )));
+            }
+            let mut seg = MemSegment::new(&config, seq, live[0].text_id);
+            for record in &live {
+                seg.insert(&hasher, &mut generator, &mut windows_buf, &record.tokens);
+                expect = record.text_id + 1;
+                replayed += 1;
+            }
+            frozen.push(seg);
+        }
+
+        // The active WAL: may not exist yet (crash between the rotation
+        // manifest write and the file creation).
+        let active_path = Self::wal_path(root, manifest.active_wal);
+        let (writer, records) = if active_path.is_file() {
+            wal::WalWriter::open(&active_path, manifest.active_wal, expect)?
+        } else {
+            (
+                wal::WalWriter::create(&active_path, manifest.active_wal, expect)?,
+                Vec::new(),
+            )
+        };
+        let base = writer.header().base.max(covered);
+        if base != expect {
+            return Err(IndexError::Malformed(format!(
+                "{}: active WAL starts at text {base} but {expect} was expected",
+                root.display()
+            )));
+        }
+        let mut active = MemSegment::new(&config, manifest.active_wal, expect);
+        for record in &records {
+            if record.text_id < covered {
+                continue;
+            }
+            if record.text_id != expect {
+                return Err(IndexError::Malformed(format!(
+                    "{}: active WAL record {} out of order (expected {expect})",
+                    root.display(),
+                    record.text_id
+                )));
+            }
+            active.insert(&hasher, &mut generator, &mut windows_buf, &record.tokens);
+            expect = record.text_id + 1;
+            replayed += 1;
+        }
+        if replayed > 0 {
+            replays_counter().inc(replayed);
+        }
+
+        // Trim bookkeeping that the crash interrupted: advance the
+        // watermark past fully-covered WALs, then delete them and any seal
+        // directory for a no-longer-frozen sequence.
+        if trimmed != manifest.trimmed_below || !manifest.compact_gen.is_empty() {
+            // The pointer is stale once no frozen segment precedes the
+            // generation it was allocated for.
+            let stale_compact = manifest.compact_gen.is_empty()
+                || frozen.is_empty()
+                || trimmed != manifest.trimmed_below;
+            manifest.trimmed_below = trimmed;
+            if stale_compact && frozen.is_empty() {
+                manifest.compact_gen.clear();
+            }
+            manifest.save(root)?;
+        }
+        let mut removed = 0u64;
+        for seq in 0..manifest.trimmed_below {
+            let path = Self::wal_path(root, seq);
+            if path.is_file() && std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+            }
+            let seal = Self::seal_dir(root, seq);
+            if seal.is_dir() {
+                removed += crate::gc::remove_dir_counting(&seal);
+            }
+        }
+        if removed > 0 {
+            crate::gc::gc_counter().inc(removed);
+        }
+
+        let ingest = IngestIndex {
+            root: root.to_path_buf(),
+            store,
+            config,
+            covered,
+            manifest,
+            writer,
+            active,
+            frozen,
+            next_text: expect,
+            appends_since_sync: 0,
+            opts,
+            hasher,
+            generator,
+            windows_buf,
+        };
+        ingest.publish_pending_gauge();
+        Ok(ingest)
+    }
+
+    fn publish_pending_gauge(&self) {
+        pending_gauge().set((self.next_text - self.covered).min(i64::MAX as u64) as i64);
+    }
+
+    /// The store root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The underlying generation store.
+    pub fn store(&self) -> &GenerationStore {
+        &self.store
+    }
+
+    /// The template configuration (corpus counts zeroed).
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Texts covered by the published `CURRENT` generation.
+    pub fn covered(&self) -> u64 {
+        self.covered
+    }
+
+    /// Global id the next appended text will receive.
+    pub fn next_text_id(&self) -> u64 {
+        self.next_text
+    }
+
+    /// Texts held in memory (frozen + active), i.e. acked but not yet
+    /// published.
+    pub fn pending_texts(&self) -> u64 {
+        self.next_text - self.covered
+    }
+
+    /// Segments awaiting compaction.
+    pub fn frozen_segments(&self) -> usize {
+        self.frozen.len()
+    }
+
+    /// All live segments in ascending text order (frozen, then active),
+    /// empty segments skipped. The overlay searcher iterates these.
+    pub fn segments(&self) -> impl Iterator<Item = &MemSegment> {
+        self.frozen
+            .iter()
+            .chain(std::iter::once(&self.active))
+            .filter(|s| !s.is_empty())
+    }
+
+    /// Appends one text: WAL frame first, then the in-memory postings.
+    /// Returns the text's global id. The append is *acked* (durable) once
+    /// a [`Self::sync`] covering it returns — which happens automatically
+    /// every [`IngestOptions::fsync_every`] appends and at rotation.
+    pub fn append(&mut self, tokens: &[TokenId]) -> Result<u64, IndexError> {
+        if self.next_text >= u32::MAX as u64 {
+            return Err(IndexError::Malformed(
+                "text ids are exhausted (the corpus bound is u32)".to_string(),
+            ));
+        }
+        let id = self.next_text;
+        journal::tick_io(&self.opts.kill)?;
+        let frame = self.writer.append_text(id, tokens)?;
+        wal_bytes_counter().inc(frame);
+        self.active.insert(
+            &self.hasher,
+            &mut self.generator,
+            &mut self.windows_buf,
+            tokens,
+        );
+        self.next_text += 1;
+        texts_counter().inc(1);
+        self.appends_since_sync += 1;
+        if self.appends_since_sync >= self.opts.fsync_every.max(1) {
+            self.sync()?;
+        }
+        if self.writer.len() >= self.opts.flush_bytes {
+            self.rotate()?;
+        }
+        self.publish_pending_gauge();
+        Ok(id)
+    }
+
+    /// Forces the WAL durable: every append so far is acked once this
+    /// returns.
+    pub fn sync(&mut self) -> Result<(), IndexError> {
+        self.writer.sync()?;
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// Freezes the active segment behind a new WAL. The frozen segment
+    /// becomes eligible for [`Self::compact_once`]. No-op on an empty
+    /// active segment.
+    pub fn rotate(&mut self) -> Result<(), IndexError> {
+        if self.active.is_empty() {
+            return Ok(());
+        }
+        self.sync()?;
+        journal::tick_checkpoint(&self.opts.kill)?;
+        let next_seq = self.manifest.active_wal + 1;
+        self.manifest.active_wal = next_seq;
+        self.manifest.save(&self.root)?;
+        journal::tick_checkpoint(&self.opts.kill)?;
+        let writer = wal::WalWriter::create(
+            &Self::wal_path(&self.root, next_seq),
+            next_seq,
+            self.next_text,
+        )?;
+        let old = std::mem::replace(
+            &mut self.active,
+            MemSegment::new(&self.config, next_seq, self.next_text),
+        );
+        self.writer = writer;
+        self.frozen.push(old);
+        Ok(())
+    }
+
+    /// Compacts the oldest frozen segment into the generation store: seal
+    /// it to disk, merge with `CURRENT` (journaled + resumable), publish
+    /// atomically, then trim the covering WAL. Returns `false` when no
+    /// frozen segment is pending. Resumable from any kill point — rerunning
+    /// after a crash continues (or deterministically redoes) the
+    /// interrupted step.
+    pub fn compact_once(&mut self) -> Result<bool, IndexError> {
+        let Some(seg) = self.frozen.first() else {
+            return Ok(false);
+        };
+        let _span = ndss_obs::span("ingest.compact");
+        let seq = seg.wal_seq();
+        let kill = self.opts.kill.clone();
+
+        // Step 1: seal — deterministically materialize the segment as an
+        // index directory, straight from the postings it accumulated on
+        // append (no window regeneration). A crashed seal is simply
+        // rewritten (same bytes).
+        let current = self.store.current_dir()?;
+        let seal = Self::seal_dir(&self.root, seq);
+        let merging = current.is_some();
+        journal::tick_checkpoint(&kill)?;
+        if merging {
+            build::write_lists(&seg.config, |func| seg.sorted_lists(func), &seal)?;
+        }
+        seals_counter().inc(1);
+        journal::tick_checkpoint(&kill)?;
+
+        // Step 2: pick the target generation. A manifest-recorded pointer
+        // from an interrupted run is reused so the merge journal resumes;
+        // otherwise allocate a fresh generation and record it first.
+        let gen_dir = match &self.manifest.compact_gen {
+            name if !name.is_empty() && self.root.join(name).is_dir() => self.root.join(name),
+            _ => {
+                let dir = self.store.allocate()?;
+                self.manifest.compact_gen = dir
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or_default()
+                    .to_string();
+                self.manifest.save(&self.root)?;
+                dir
+            }
+        };
+        let gen_name = self.manifest.compact_gen.clone();
+        journal::tick_checkpoint(&kill)?;
+
+        // Step 3: merge (or, for the store's first generation, a direct
+        // write — nothing to merge with).
+        if let Some(current_dir) = &current {
+            let mut options = MergeOptions::new().journal(true).resume(true);
+            if let Some(kp) = &kill {
+                options = options.kill_points(kp.clone());
+            }
+            match merge_indexes_with(&[current_dir, &seal], &gen_dir, &options) {
+                Ok(_) => {}
+                Err(IndexError::Malformed(_)) => {
+                    // A stale journal from an unrelated interrupted build in
+                    // this directory: clear it and merge fresh.
+                    std::fs::remove_dir_all(&gen_dir)?;
+                    std::fs::create_dir_all(&gen_dir)?;
+                    let mut fresh = MergeOptions::new().journal(true);
+                    if let Some(kp) = &kill {
+                        fresh = fresh.kill_points(kp.clone());
+                    }
+                    merge_indexes_with(&[current_dir, &seal], &gen_dir, &fresh)?;
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            build::write_lists(&seg.config, |func| seg.sorted_lists(func), &gen_dir)?;
+        }
+        journal::tick_checkpoint(&kill)?;
+
+        // Step 4: verify + atomic publish. After this, the segment's texts
+        // are served from disk; until the trim lands, recovery would skip
+        // their WAL records as already covered.
+        self.store.publish(&gen_name, self.opts.keep)?;
+        compactions_counter().inc(1);
+        journal::tick_checkpoint(&kill)?;
+
+        // Step 5: trim — watermark first (so a crash mid-delete is
+        // finishable), then delete the WAL and the seal.
+        let seg = self.frozen.remove(0);
+        self.covered += seg.len() as u64;
+        self.manifest.compact_gen.clear();
+        self.manifest.trimmed_below = seq + 1;
+        self.manifest.save(&self.root)?;
+        journal::tick_checkpoint(&kill)?;
+        std::fs::remove_file(Self::wal_path(&self.root, seq)).ok();
+        if seal.is_dir() {
+            std::fs::remove_dir_all(&seal).ok();
+        }
+        journal::tick_checkpoint(&kill)?;
+        self.publish_pending_gauge();
+        Ok(true)
+    }
+
+    /// Runs [`Self::compact_once`] until no frozen segment remains.
+    pub fn compact_all(&mut self) -> Result<usize, IndexError> {
+        let mut n = 0;
+        while self.compact_once()? {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Rotates the active segment (if non-empty) and compacts everything:
+    /// afterwards all acked texts are served from published generations and
+    /// the memtable is empty.
+    pub fn seal_all(&mut self) -> Result<usize, IndexError> {
+        self.rotate()?;
+        self.compact_all()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Offline verification
+// ---------------------------------------------------------------------------
+
+/// What `ndss verify --store` learned about a memtable.
+#[derive(Debug)]
+pub struct MemtableReport {
+    /// WAL files walked.
+    pub wal_files: usize,
+    /// Valid frames across them.
+    pub frames: u64,
+    /// Texts not yet covered by a published generation.
+    pub pending_texts: u64,
+    /// Whether any WAL carried a torn/corrupt tail (recoverable: the valid
+    /// prefix stands).
+    pub torn_tails: usize,
+}
+
+/// Walks the memtable of the store at `root`: manifest checksum, WAL frame
+/// checksums, text-id monotonicity, and the trim watermark against the
+/// published generation. `Ok(None)` when the store has no memtable.
+/// Violations of the durability contract (lost acked texts, watermark
+/// beyond the active WAL, ids out of order) are errors; a torn tail is not
+/// — it is exactly what recovery truncates.
+pub fn verify_memtable(root: &Path) -> Result<Option<MemtableReport>, IndexError> {
+    let Some(manifest) = MemtableManifest::load(root)? else {
+        return Ok(None);
+    };
+    let config = template(&IndexConfig::from_json(&manifest.config_json)?);
+    if manifest.fingerprint != config_fingerprint(&config) {
+        return Err(IndexError::Malformed(format!(
+            "{}: manifest fingerprint does not match its embedded configuration",
+            MemtableManifest::path(root).display()
+        )));
+    }
+    let store = GenerationStore::open(root)?;
+    let covered = match store.current_dir()? {
+        Some(dir) => {
+            let disk = DiskIndex::open(&dir)?;
+            if config_fingerprint(disk.config()) != manifest.fingerprint {
+                return Err(IndexError::Malformed(format!(
+                    "{}: memtable configuration does not match the CURRENT generation",
+                    root.display()
+                )));
+            }
+            disk.config().num_texts as u64
+        }
+        None => 0,
+    };
+
+    let mut report = MemtableReport {
+        wal_files: 0,
+        frames: 0,
+        pending_texts: 0,
+        torn_tails: 0,
+    };
+    let mut expect: Option<u64> = None;
+    for seq in manifest.trimmed_below..=manifest.active_wal {
+        let path = IngestIndex::wal_path(root, seq);
+        if !path.is_file() {
+            if seq == manifest.active_wal {
+                continue; // not yet created: rotation crashed mid-way
+            }
+            return Err(IndexError::Malformed(format!(
+                "WAL {seq} is missing but the trim watermark is {}",
+                manifest.trimmed_below
+            )));
+        }
+        report.wal_files += 1;
+        let replay = wal::replay_wal(&path)?;
+        let Some(header) = replay.header else {
+            return Err(IndexError::Malformed(format!(
+                "{}: unreadable WAL header",
+                path.display()
+            )));
+        };
+        if header.seq != seq {
+            return Err(IndexError::Malformed(format!(
+                "{}: header seq {} does not match its name",
+                path.display(),
+                header.seq
+            )));
+        }
+        if replay.torn {
+            report.torn_tails += 1;
+        }
+        for record in &replay.records {
+            report.frames += 1;
+            if let Some(e) = expect {
+                if record.text_id != e {
+                    return Err(IndexError::Malformed(format!(
+                        "{}: text id {} out of order (expected {e})",
+                        path.display(),
+                        record.text_id
+                    )));
+                }
+            } else if record.text_id > covered {
+                return Err(IndexError::Malformed(format!(
+                    "{}: first WAL text {} leaves a gap after the {covered} published texts",
+                    path.display(),
+                    record.text_id
+                )));
+            }
+            expect = Some(record.text_id + 1);
+            if record.text_id >= covered {
+                report.pending_texts += 1;
+            }
+        }
+    }
+    // WALs below the watermark must be gone (the GC finishes interrupted
+    // trims, so any straggler here means the watermark ran ahead of the
+    // published generations).
+    if let Some(last) = expect {
+        if last < covered && manifest.trimmed_below > manifest.active_wal {
+            return Err(IndexError::Malformed(
+                "trim watermark is beyond the published generations".to_string(),
+            ));
+        }
+    }
+    Ok(Some(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryIndex;
+    use ndss_corpus::{CorpusSource, InMemoryCorpus, SyntheticCorpusBuilder};
+
+    fn temp_root(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("ndss_ingest_tests").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn texts(seed: u64, n: usize) -> Vec<Vec<TokenId>> {
+        let (corpus, _) = SyntheticCorpusBuilder::new(seed)
+            .num_texts(n)
+            .text_len(40, 90)
+            .vocab_size(300)
+            .build();
+        (0..corpus.num_texts() as TextId)
+            .map(|i| corpus.text_to_vec(i).unwrap())
+            .collect()
+    }
+
+    fn opts() -> IngestOptions {
+        IngestOptions {
+            fsync_every: 1,
+            ..IngestOptions::default()
+        }
+    }
+
+    #[test]
+    fn mem_segment_matches_memory_index() {
+        let texts = texts(5, 12);
+        let config = IndexConfig::new(3, 10, 7);
+        let hasher = config.hasher();
+        let mut generator = WindowGenerator::new();
+        let mut buf = Vec::new();
+        let mut seg = MemSegment::new(&config, 1, 0);
+        for t in &texts {
+            seg.insert(&hasher, &mut generator, &mut buf, t);
+        }
+        let reference =
+            MemoryIndex::build(&InMemoryCorpus::from_texts(texts), config.clone()).unwrap();
+        for func in 0..config.k {
+            let want = reference.sorted_lists(func);
+            assert_eq!(seg.maps[func].len(), want.len());
+            for (hash, postings) in want {
+                assert_eq!(
+                    seg.read_list(func, hash).unwrap().as_slice(),
+                    postings,
+                    "func {func} hash {hash:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn append_recover_roundtrip() {
+        let root = temp_root("recover");
+        let config = IndexConfig::new(2, 10, 3);
+        let all = texts(6, 8);
+        {
+            let mut ingest = IngestIndex::open(&root, Some(config.clone()), opts()).unwrap();
+            for t in &all {
+                ingest.append(t).unwrap();
+            }
+            assert_eq!(ingest.pending_texts(), 8);
+        }
+        // Reopen: everything replays.
+        let ingest = IngestIndex::open(&root, None, opts()).unwrap();
+        assert_eq!(ingest.pending_texts(), 8);
+        assert_eq!(ingest.next_text_id(), 8);
+        let seg = ingest.segments().next().unwrap();
+        assert_eq!(seg.texts(), all.as_slice());
+    }
+
+    #[test]
+    fn compaction_publishes_and_trims() {
+        let root = temp_root("compact");
+        let config = IndexConfig::new(2, 10, 3);
+        let all = texts(7, 10);
+        let mut ingest = IngestIndex::open(&root, Some(config.clone()), opts()).unwrap();
+        for t in &all[..6] {
+            ingest.append(t).unwrap();
+        }
+        assert_eq!(ingest.seal_all().unwrap(), 1);
+        assert_eq!(ingest.covered(), 6);
+        assert_eq!(ingest.pending_texts(), 0);
+        // Published generation equals a batch build of the same texts.
+        let store = GenerationStore::open(&root).unwrap();
+        let current = store.current_dir().unwrap().unwrap();
+        let built = DiskIndex::open(&current).unwrap();
+        assert_eq!(built.config().num_texts, 6);
+        built.verify_integrity().unwrap();
+        // Second round merges on top.
+        for t in &all[6..] {
+            ingest.append(t).unwrap();
+        }
+        ingest.seal_all().unwrap();
+        assert_eq!(ingest.covered(), 10);
+        let current = store.current_dir().unwrap().unwrap();
+        assert_eq!(DiskIndex::open(&current).unwrap().config().num_texts, 10);
+        // No WAL below the watermark survives.
+        for seq in 0..ingest.manifest.trimmed_below {
+            assert!(!IngestIndex::wal_path(&root, seq).exists());
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn compacted_store_equals_batch_build() {
+        let root = temp_root("equals_batch");
+        let config = IndexConfig::new(3, 10, 11).bit_packed(true);
+        let all = texts(8, 14);
+        let mut ingest = IngestIndex::open(&root, Some(config.clone()), opts()).unwrap();
+        for t in &all[..7] {
+            ingest.append(t).unwrap();
+        }
+        ingest.seal_all().unwrap();
+        for t in &all[7..] {
+            ingest.append(t).unwrap();
+        }
+        ingest.seal_all().unwrap();
+
+        let batch_dir = temp_root("equals_batch_ref");
+        let corpus = InMemoryCorpus::from_texts(all);
+        let mem = MemoryIndex::build(&corpus, config).unwrap();
+        build::write_memory_index(&mem, &batch_dir).unwrap();
+
+        let store = GenerationStore::open(&root).unwrap();
+        let current = store.current_dir().unwrap().unwrap();
+        for func in 0..3 {
+            assert_eq!(
+                std::fs::read(crate::disk::inv_file_path(&current, func)).unwrap(),
+                std::fs::read(crate::disk::inv_file_path(&batch_dir, func)).unwrap(),
+                "inv_{func} differs from batch build"
+            );
+        }
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::remove_dir_all(&batch_dir).ok();
+    }
+
+    #[test]
+    fn mismatched_config_is_rejected() {
+        let root = temp_root("mismatch");
+        {
+            let mut ingest =
+                IngestIndex::open(&root, Some(IndexConfig::new(2, 10, 3)), opts()).unwrap();
+            ingest.append(&[1, 2, 3, 4, 5]).unwrap();
+        }
+        // A store with a memtable remembers its configuration even with no
+        // generation yet; the parameter is ignored on reopen.
+        let ingest = IngestIndex::open(&root, Some(IndexConfig::new(4, 8, 9)), opts()).unwrap();
+        assert_eq!(ingest.config().k, 2);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn verify_walks_a_healthy_memtable() {
+        let root = temp_root("verify");
+        let mut ingest =
+            IngestIndex::open(&root, Some(IndexConfig::new(2, 10, 3)), opts()).unwrap();
+        for t in texts(9, 5) {
+            ingest.append(&t).unwrap();
+        }
+        let report = verify_memtable(&root).unwrap().unwrap();
+        assert_eq!(report.pending_texts, 5);
+        assert_eq!(report.frames, 5);
+        assert_eq!(report.torn_tails, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

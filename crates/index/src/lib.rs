@@ -50,6 +50,7 @@ pub mod disk;
 pub mod format;
 mod gc;
 pub mod generation;
+pub mod ingest;
 mod integrity;
 pub mod journal;
 pub mod memory;
@@ -58,11 +59,13 @@ mod metrics;
 pub mod packed;
 mod pread;
 pub mod shard;
+pub mod wal;
 
 pub use build::{build_and_write, write_memory_index, ExternalIndexBuilder};
 pub use cache::CacheConfig;
 pub use disk::{inv_file_path, DiskIndex};
 pub use generation::{resolve_index_dir, GenerationInfo, GenerationStore};
+pub use ingest::{verify_memtable, IngestIndex, IngestOptions, MemSegment, MemtableReport};
 pub use journal::{BuildJournal, JournalKind, KillPoints};
 pub use memory::MemoryIndex;
 pub use merge::{merge_indexes, merge_indexes_with, MergeOptions};

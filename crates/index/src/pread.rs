@@ -702,7 +702,11 @@ impl RetryingFile {
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }
-                    backoff = (backoff * 2).min(self.policy.max_backoff);
+                    // `Duration * 2` panics on overflow; saturate instead.
+                    backoff = backoff
+                        .checked_mul(2)
+                        .unwrap_or(Duration::MAX)
+                        .min(self.policy.max_backoff);
                 }
                 // Permanent (NotFound, PermissionDenied, UnexpectedEof,
                 // corrupt-data errors raised above this layer, …): never

@@ -250,14 +250,23 @@ impl ShardBreaker {
     }
 
     fn trip(&self, now_us: u64, config: &BreakerConfig) {
-        let base = config.backoff.as_millis().max(1) as u64;
-        let cap = config.max_backoff.as_millis().max(1) as u64;
+        // `as_millis` is u128: a pathological `Duration` must saturate, not
+        // truncate (a truncated cap can wrap the doubling loop back to tiny
+        // backoffs on long uptimes). The base is clamped at the cap too, so
+        // the very first trip already honours `max_backoff`.
+        let base = u64::try_from(config.backoff.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let cap = u64::try_from(config.max_backoff.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
         let prev = self.backoff_ms.load(Relaxed);
         let next = if prev == 0 {
             base
         } else {
-            prev.saturating_mul(2).min(cap)
-        };
+            prev.saturating_mul(2)
+        }
+        .min(cap);
         self.backoff_ms.store(next, Relaxed);
         self.open_until_us
             .store(now_us.saturating_add(next.saturating_mul(1000)), Relaxed);
@@ -466,6 +475,51 @@ mod tests {
         }
         let snap = &h.snapshot()[0];
         assert!(snap.backoff_ms <= 80, "cap is 8× base: {}", snap.backoff_ms);
+    }
+
+    /// The doubling loop at the overflow boundary: a pathologically large
+    /// `max_backoff` must saturate (u128 → u64) instead of truncating —
+    /// a truncated cap can wrap the doubled backoff back to a tiny value
+    /// on long uptimes — and repeated trips at `u64::MAX` ms must stay
+    /// pinned there rather than wrapping around zero.
+    #[test]
+    fn backoff_doubling_saturates_at_the_overflow_boundary() {
+        let h = ShardHealth::new(
+            1,
+            BreakerConfig {
+                failure_threshold: 1,
+                backoff: Duration::from_millis(u64::MAX),
+                max_backoff: Duration::MAX, // as_millis() > u64::MAX
+            },
+        );
+        for trip in 1..=3 {
+            h.record_failure(0, FaultKind::Corruption, "rot");
+            let snap = &h.snapshot()[0];
+            assert_eq!(
+                snap.backoff_ms,
+                u64::MAX,
+                "trip {trip} wrapped instead of saturating"
+            );
+            assert_eq!(snap.state, BreakerState::Open);
+            // A saturated deadline must still quarantine (no wrap past now).
+            assert_eq!(h.admit(0), Admission::Quarantined);
+        }
+    }
+
+    /// A base backoff above the ceiling is clamped from the very first
+    /// trip, not only once doubling begins.
+    #[test]
+    fn first_trip_honours_max_backoff() {
+        let h = ShardHealth::new(
+            1,
+            BreakerConfig {
+                failure_threshold: 1,
+                backoff: Duration::from_millis(100),
+                max_backoff: Duration::from_millis(30),
+            },
+        );
+        h.record_failure(0, FaultKind::Corruption, "rot");
+        assert_eq!(h.snapshot()[0].backoff_ms, 30);
     }
 
     /// `failure_threshold == 0` disables the breaker: even a tripped

@@ -56,6 +56,7 @@ pub mod document;
 pub mod governor;
 pub mod interval;
 mod metrics;
+pub mod overlay;
 pub mod planner;
 pub mod search;
 pub mod serving;
@@ -72,6 +73,7 @@ pub use collision::{
 pub use document::{DocumentMatch, DocumentScan};
 pub use governor::{CancelToken, QueryBudget, Resource};
 pub use interval::{interval_scan, Interval, ScanHit};
+pub use overlay::OverlaySearcher;
 pub use planner::{plan_query, QueryPlan};
 pub use search::{
     NearDupSearcher, PrefixFilter, QueryStats, RankedMatch, SearchOutcome, TextMatch,

@@ -475,7 +475,7 @@ impl ShardedSearcher<'_> {
 /// Sums `other` into `acc`, field by field. `total` is excluded — the
 /// scatter-gather wall clock is set once by the merger, not summed across
 /// concurrent shards.
-fn accumulate_stats(acc: &mut QueryStats, other: &QueryStats) {
+pub(crate) fn accumulate_stats(acc: &mut QueryStats, other: &QueryStats) {
     acc.io_time += other.io_time;
     acc.io_bytes += other.io_bytes;
     acc.cache_hits += other.cache_hits;

@@ -27,7 +27,9 @@ pub mod http;
 mod prober;
 mod server;
 
-pub use server::{DrainReport, RunningServer, ServeConfig, Server, ServerHandle};
+pub use server::{
+    DrainReport, IngestServeConfig, RunningServer, ServeConfig, Server, ServerHandle,
+};
 
 /// Default listen address for `ndss serve`.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7700";

@@ -46,14 +46,14 @@
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ndss_index::CacheConfig;
+use ndss_index::{CacheConfig, IngestIndex, IngestOptions};
 use ndss_json::{Json, ObjectBuilder};
 use ndss_query::{
-    DegradedShard, FaultPolicy, PrefixFilter, QueryBudget, QueryError, RankedMatch, Resource,
-    SearchOutcome, ServingIndex,
+    DegradedShard, FaultPolicy, OverlaySearcher, PrefixFilter, QueryBudget, QueryError,
+    RankedMatch, Resource, SearchOutcome, ServingIndex,
 };
 
 use crate::frame::{self, FrameOutcome, RequestPayload};
@@ -90,6 +90,39 @@ pub struct ServeConfig {
     /// forced reload). `None` disables self-healing — quarantined shards
     /// then only return through the breaker's own half-open probes.
     pub probe_interval: Option<Duration>,
+    /// Streaming-ingest settings. `None` (the default) serves read-only;
+    /// `Some` enables `POST /ingest`, overlays the memtable on every
+    /// search, and spawns the background compactor.
+    pub ingest: Option<IngestServeConfig>,
+}
+
+/// Ingest settings for a serving daemon.
+#[derive(Debug, Clone)]
+pub struct IngestServeConfig {
+    /// The generation store the memtable lives in — must be the same store
+    /// the [`ServingIndex`] serves, or overlay ids will not line up.
+    pub store: PathBuf,
+    /// WAL rotation threshold (bytes).
+    pub flush_bytes: u64,
+    /// Group-fsync cadence (appends per fsync); each `POST /ingest` also
+    /// forces one before acking.
+    pub fsync_every: u64,
+    /// How often the background compactor checks for frozen segments to
+    /// seal into generations. `None` disables background compaction (the
+    /// memtable then only shrinks via an external `ndss ingest --seal`).
+    pub compact_interval: Option<Duration>,
+}
+
+impl Default for IngestServeConfig {
+    fn default() -> Self {
+        let defaults = IngestOptions::default();
+        IngestServeConfig {
+            store: PathBuf::new(),
+            flush_bytes: defaults.flush_bytes,
+            fsync_every: defaults.fsync_every,
+            compact_interval: Some(Duration::from_millis(500)),
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -108,6 +141,7 @@ impl Default for ServeConfig {
             cache: CacheConfig::default(),
             metrics_out: None,
             probe_interval: Some(Duration::from_secs(1)),
+            ingest: None,
         }
     }
 }
@@ -210,6 +244,10 @@ pub(crate) struct Shared {
     draining: AtomicBool,
     in_flight: AtomicUsize,
     pub(crate) metrics: ServeMetrics,
+    /// The mutable front of the store (when ingest is enabled). Appends,
+    /// overlay reads, and compaction all serialize on this lock; the disk
+    /// lane of a search runs outside it.
+    pub(crate) ingest: Option<Mutex<IngestIndex>>,
 }
 
 impl Shared {
@@ -333,6 +371,21 @@ impl Server {
         listener.set_nonblocking(true).map_err(ServeError::Io)?;
         let addr = listener.local_addr().map_err(ServeError::Io)?;
         let metrics = ServeMetrics::register(ndss_obs::Registry::global());
+        let ingest = match &config.ingest {
+            Some(cfg) => {
+                let opts = IngestOptions {
+                    flush_bytes: cfg.flush_bytes,
+                    fsync_every: cfg.fsync_every,
+                    ..IngestOptions::default()
+                };
+                // The serving index is already open, so the store has a
+                // configuration to inherit — no `config_if_new` needed.
+                let index = IngestIndex::open(&cfg.store, None, opts)
+                    .map_err(|e| ServeError::Query(QueryError::Index(e)))?;
+                Some(Mutex::new(index))
+            }
+            None => None,
+        };
         Ok(Server {
             listener,
             addr,
@@ -342,6 +395,7 @@ impl Server {
                 draining: AtomicBool::new(false),
                 in_flight: AtomicUsize::new(0),
                 metrics,
+                ingest,
             }),
         })
     }
@@ -400,6 +454,19 @@ impl Server {
                 .spawn(move || prober::run(&shared, interval))
                 .expect("spawning the health prober")
         });
+        let compactor = shared
+            .config
+            .ingest
+            .as_ref()
+            .and_then(|cfg| cfg.compact_interval)
+            .filter(|_| shared.ingest.is_some())
+            .map(|interval| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name("ndss-serve-compact".into())
+                    .spawn(move || run_compactor(&shared, interval))
+                    .expect("spawning the ingest compactor")
+            });
 
         while !shared.draining() {
             match self.listener.accept() {
@@ -447,6 +514,17 @@ impl Server {
         if let Some(prober) = prober {
             let _ = prober.join();
         }
+        if let Some(compactor) = compactor {
+            let _ = compactor.join();
+        }
+        // Every acked append must be durable before the drain report goes
+        // out: flush + fsync the WAL while no handler can append anymore.
+        if let Some(ingest) = &shared.ingest {
+            let mut ingest = ingest.lock().unwrap();
+            if let Err(e) = ingest.sync() {
+                eprintln!("warning: draining WAL sync failed: {e}");
+            }
+        }
         if let Some(path) = &shared.config.metrics_out {
             flush_metrics(path);
         }
@@ -456,6 +534,46 @@ impl Server {
             frame_requests: shared.metrics.frame_requests.get(),
             shed: shared.metrics.shed.get(),
         })
+    }
+}
+
+/// The background compactor: seals frozen memtable segments into
+/// generations and hot-swaps the serving view onto each new publication.
+/// Sleeps in short slices so drain is never blocked on a full interval
+/// (compactions in progress run to completion — they are resumable anyway,
+/// but finishing cleanly avoids pointless recovery work on restart).
+fn run_compactor(shared: &Shared, interval: Duration) {
+    let Some(ingest) = &shared.ingest else { return };
+    let slice = Duration::from_millis(20);
+    let mut elapsed = Duration::ZERO;
+    while !shared.draining() {
+        std::thread::sleep(slice.min(interval));
+        elapsed += slice;
+        if elapsed < interval {
+            continue;
+        }
+        elapsed = Duration::ZERO;
+        let compacted = {
+            let mut guard = ingest.lock().unwrap();
+            if guard.frozen_segments() == 0 {
+                continue;
+            }
+            guard.compact_once()
+        };
+        match compacted {
+            Ok(true) => {
+                // The new generation is published; swap the serving view so
+                // the disk lane covers it. If this reload fails (or a query
+                // pins the old view before it lands), the query path notices
+                // the view lagging the store's coverage and reloads under
+                // the memtable lock itself — no texts go invisible.
+                if let Err(e) = shared.serving.reload() {
+                    eprintln!("warning: reload after compaction failed: {e}");
+                }
+            }
+            Ok(false) => {}
+            Err(e) => eprintln!("warning: background compaction failed: {e}"),
+        }
     }
 }
 
@@ -658,6 +776,10 @@ fn route_http(
                 shared.metrics.bad_requests.inc(1);
                 (400, "Bad Request", JSON, error_body("bad-request", &reason))
             }
+        },
+        ("POST", "/ingest") => match execute_ingest(shared, &request.body) {
+            Ok(body) => (200, "OK", JSON, body),
+            Err(fail) => fail.http(JSON),
         },
         ("POST", "/reload") => match shared.serving.reload() {
             Ok(swapped) => {
@@ -1020,6 +1142,121 @@ fn execute_search(shared: &Shared, parsed: &ParsedSearch) -> Result<SearchReply,
     result
 }
 
+/// `POST /ingest` body: `{"tokens": [ids…]}` for one text, or
+/// `{"texts": [[ids…], …]}` for a batch. Admission-capped alongside
+/// searches; the response is written only after the WAL fsync, so an
+/// acked text survives any crash.
+fn execute_ingest(shared: &Shared, body: &[u8]) -> Result<String, SearchFail> {
+    let Some(ingest) = &shared.ingest else {
+        return Err(SearchFail::BadRequest(
+            "ingest is not enabled on this server (start with --ingest)".to_string(),
+        ));
+    };
+    let cap = shared.config.admission_cap;
+    let admitted = shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    if admitted >= cap {
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        shared.metrics.shed.inc(1);
+        shared.metrics.query_shed.inc(1);
+        return Err(SearchFail::Overloaded {
+            in_flight: admitted,
+            cap,
+        });
+    }
+    let result = execute_ingest_admitted(shared, ingest, body);
+    shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+    result
+}
+
+fn execute_ingest_admitted(
+    shared: &Shared,
+    ingest: &Mutex<IngestIndex>,
+    body: &[u8],
+) -> Result<String, SearchFail> {
+    let texts = parse_ingest_body(body).map_err(|reason| {
+        shared.metrics.bad_requests.inc(1);
+        SearchFail::BadRequest(reason)
+    })?;
+    let mut guard = ingest.lock().unwrap();
+    let first = guard.next_text_id();
+    let mut ids = Vec::with_capacity(texts.len());
+    for tokens in &texts {
+        match guard.append(tokens) {
+            Ok(id) => ids.push(id),
+            Err(e) => {
+                shared.metrics.internal_errors.inc(1);
+                return Err(SearchFail::Internal(e.to_string()));
+            }
+        }
+    }
+    // Ack = durable: force the group fsync before answering.
+    if let Err(e) = guard.sync() {
+        shared.metrics.internal_errors.inc(1);
+        return Err(SearchFail::Internal(e.to_string()));
+    }
+    let body = ObjectBuilder::new()
+        .field("accepted", Json::UInt(ids.len() as u64))
+        .field("first_text", Json::UInt(first))
+        .field("next_text", Json::UInt(guard.next_text_id()))
+        .field("pending", Json::UInt(guard.pending_texts()))
+        .build()
+        .to_string_compact();
+    Ok(body)
+}
+
+/// Decodes an ingest body into token sequences.
+fn parse_ingest_body(body: &[u8]) -> Result<Vec<Vec<u32>>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let tokens_of = |v: &Json| -> Result<Vec<u32>, String> {
+        v.as_array()
+            .ok_or("a text must be an array of token ids")?
+            .iter()
+            .map(|t| {
+                t.as_u64()
+                    .filter(|&v| v <= u32::MAX as u64)
+                    .map(|v| v as u32)
+                    .ok_or_else(|| format!("bad token id {t:?}"))
+            })
+            .collect()
+    };
+    if let Some(tokens) = doc.get("tokens") {
+        return Ok(vec![tokens_of(tokens)?]);
+    }
+    let texts = doc
+        .get("texts")
+        .and_then(Json::as_array)
+        .ok_or("missing \"tokens\": [ids] or \"texts\": [[ids], …]")?;
+    if texts.is_empty() {
+        return Err("\"texts\" is empty".to_string());
+    }
+    texts.iter().map(tokens_of).collect()
+}
+
+/// Maps a lane-search result into the protocol-agnostic reply parts,
+/// classifying failures exactly as the pre-overlay single path did.
+fn map_search_result(
+    shared: &Shared,
+    result: Result<SearchOutcome, QueryError>,
+) -> Result<(SearchOutcome, Option<Resource>), SearchFail> {
+    match result {
+        Ok(outcome) => Ok((outcome, None)),
+        Err(QueryError::BudgetExceeded { resource, partial }) => Ok((*partial, Some(resource))),
+        Err(e @ (QueryError::EmptyQuery | QueryError::BadThreshold(_))) => {
+            shared.metrics.bad_requests.inc(1);
+            Err(SearchFail::BadRequest(e.to_string()))
+        }
+        Err(e @ QueryError::AllShardsQuarantined { .. }) => {
+            shared.metrics.unavailable.inc(1);
+            Err(SearchFail::Unavailable(e.to_string()))
+        }
+        Err(e) => {
+            shared.metrics.internal_errors.inc(1);
+            Err(SearchFail::Internal(e.to_string()))
+        }
+    }
+}
+
 fn execute_admitted(shared: &Shared, parsed: &ParsedSearch) -> Result<SearchReply, SearchFail> {
     shared.metrics.searches.inc(1);
     let started = Instant::now();
@@ -1043,36 +1280,65 @@ fn execute_admitted(shared: &Shared, parsed: &ParsedSearch) -> Result<SearchRepl
     // One lock read yields both the view and its generation, so the reply
     // always reports exactly the manifest generation its results came from
     // — a reload racing this request can never produce a torn pairing.
-    let (snapshot, generation) = shared.serving.pinned();
-    let generation = generation.unwrap_or(0);
-    // Serving runs under the isolating fault policy: a sick shard is
-    // contained by its circuit breaker and reported as a degraded range
-    // instead of failing the whole request.
-    let searcher = snapshot
-        .searcher_with_filter(shared.config.filter)
-        .map_err(|e| SearchFail::Internal(e.to_string()))?
-        .fault_policy(FaultPolicy::Isolate);
-    let (outcome, exhausted): (SearchOutcome, Option<Resource>) =
-        match searcher.search_governed(&parsed.query, parsed.theta, &budget) {
-            Ok(outcome) => (outcome, None),
-            Err(QueryError::BudgetExceeded { resource, partial }) => (*partial, Some(resource)),
-            Err(e @ (QueryError::EmptyQuery | QueryError::BadThreshold(_))) => {
-                shared.metrics.bad_requests.inc(1);
-                return Err(SearchFail::BadRequest(e.to_string()));
-            }
-            Err(e @ QueryError::AllShardsQuarantined { .. }) => {
-                shared.metrics.unavailable.inc(1);
-                return Err(SearchFail::Unavailable(e.to_string()));
-            }
-            Err(e) => {
-                shared.metrics.internal_errors.inc(1);
-                return Err(SearchFail::Internal(e.to_string()));
-            }
+    //
+    // With ingest enabled, the pin happens *under* the memtable lock, and
+    // a view that lags the store's published coverage is reloaded first.
+    // Both halves matter: a compaction between a bare pin and the lock
+    // would drop a segment the stale view doesn't serve yet, silently
+    // losing its texts; pinning under the lock makes snapshot + segments
+    // mutually consistent, and the reload-on-lag heals the window where a
+    // compaction published but its hot-swap failed or hasn't landed. The
+    // per-segment exactness rule (overlay a segment iff its base is ≥ the
+    // snapshot's text count) lives in `OverlaySearcher::push_segment`.
+    let (outcome, exhausted, matches, generation) = if let Some(ingest) = &shared.ingest {
+        let guard = ingest.lock().unwrap();
+        let (mut snapshot, mut generation) = shared.serving.pinned();
+        if (snapshot.num_texts() as u64) < guard.covered() {
+            shared
+                .serving
+                .reload()
+                .map_err(|e| SearchFail::Internal(e.to_string()))?;
+            (snapshot, generation) = shared.serving.pinned();
+        }
+        let searcher = snapshot
+            .searcher_with_filter(shared.config.filter)
+            .map_err(|e| SearchFail::Internal(e.to_string()))?
+            .fault_policy(FaultPolicy::Isolate);
+        let (k, t) = {
+            let cfg = snapshot.config();
+            (cfg.k, cfg.t as u32)
         };
+        let mut overlay = OverlaySearcher::new(Some(searcher), snapshot.num_texts() as u64, k, t);
+        for segment in guard.segments() {
+            overlay
+                .push_segment(segment)
+                .map_err(|e| SearchFail::Internal(e.to_string()))?;
+        }
+        let (outcome, exhausted) = map_search_result(
+            shared,
+            overlay.search_governed(&parsed.query, parsed.theta, &budget),
+        )?;
+        let matches = overlay.rank(&outcome, parsed.top);
+        (outcome, exhausted, matches, generation.unwrap_or(0))
+    } else {
+        // Serving runs under the isolating fault policy: a sick shard is
+        // contained by its circuit breaker and reported as a degraded
+        // range instead of failing the whole request.
+        let (snapshot, generation) = shared.serving.pinned();
+        let searcher = snapshot
+            .searcher_with_filter(shared.config.filter)
+            .map_err(|e| SearchFail::Internal(e.to_string()))?
+            .fault_policy(FaultPolicy::Isolate);
+        let (outcome, exhausted) = map_search_result(
+            shared,
+            searcher.search_governed(&parsed.query, parsed.theta, &budget),
+        )?;
+        let matches = searcher.rank(&outcome, parsed.top);
+        (outcome, exhausted, matches, generation.unwrap_or(0))
+    };
     if !outcome.degraded.is_empty() {
         shared.metrics.degraded.inc(1);
     }
-    let matches = searcher.rank(&outcome, parsed.top);
     Ok(SearchReply {
         complete: outcome.complete,
         exhausted,

@@ -494,3 +494,220 @@ fn sharded_build_resumes_byte_identical_per_shard() {
         std::fs::remove_dir_all(std::env::temp_dir().join("ndss_it_crash").join(name)).ok();
     }
 }
+
+// ---------------------------------------------------------------------------
+// Ingest pipeline under injected crash.
+// ---------------------------------------------------------------------------
+
+use ndss::index::{inv_file_path, verify_memtable, IndexError, IngestIndex, IngestOptions};
+use std::sync::Arc;
+
+fn ingest_texts() -> Vec<Vec<u32>> {
+    let (corpus, _) = SyntheticCorpusBuilder::new(93)
+        .num_texts(18)
+        .text_len(40, 90)
+        .vocab_size(400)
+        .build();
+    (0..corpus.num_texts() as u32)
+        .map(|i| corpus.text_to_vec(i).unwrap())
+        .collect()
+}
+
+fn ingest_config() -> IndexConfig {
+    IndexConfig::new(3, 20, 11).bit_packed(true)
+}
+
+/// Tiny rotation threshold so the scenario spans several WALs, and
+/// per-append fsync so *every* acked text is durable — the sweep's
+/// exactness assertion depends on that.
+fn ingest_opts(kill: Option<Arc<KillPoints>>) -> IngestOptions {
+    IngestOptions {
+        flush_bytes: 2_000,
+        fsync_every: 1,
+        keep: 1,
+        kill,
+    }
+}
+
+/// Drives the full ingest scenario from wherever the store left off:
+/// append every not-yet-acked text, then seal + compact everything.
+/// `acked` tracks the texts durably acknowledged so far — exactly the set
+/// a client would believe is safe.
+fn drive_ingest(
+    root: &Path,
+    texts: &[Vec<u32>],
+    kill: Option<Arc<KillPoints>>,
+    acked: &mut u64,
+) -> Result<(), IndexError> {
+    let mut ingest = IngestIndex::open(root, Some(ingest_config()), ingest_opts(kill))?;
+    *acked = ingest.next_text_id();
+    while (*acked as usize) < texts.len() {
+        ingest.append(&texts[*acked as usize])?;
+        *acked += 1;
+    }
+    ingest.seal_all()?;
+    Ok(())
+}
+
+/// The store's CURRENT generation must hold byte-for-byte the same inverted
+/// files as the batch-built reference — compaction may not perturb a single
+/// posting no matter where it crashed.
+fn assert_current_matches(context: &str, root: &Path, reference: &Path) {
+    let store = GenerationStore::open(root).unwrap();
+    let current = store.current_dir().unwrap().expect("store must publish");
+    let index = DiskIndex::open(&current).unwrap();
+    index.verify_integrity().unwrap();
+    for func in 0..ingest_config().k {
+        assert_eq!(
+            std::fs::read(inv_file_path(&current, func)).unwrap(),
+            std::fs::read(inv_file_path(reference, func)).unwrap(),
+            "{context}: inv_{func} differs from the batch build"
+        );
+    }
+}
+
+/// Crash the append → rotate → seal → merge → publish → trim pipeline at
+/// every checkpoint and a spread of IO points. After each crash the store
+/// must recover *exactly* the acked text set (nothing lost, nothing
+/// resurrected), pass offline memtable verification, and — once resumed to
+/// completion — serve a CURRENT generation byte-identical to a batch build
+/// of all the texts.
+#[test]
+fn ingest_recovers_the_acked_set_at_every_kill_point() {
+    let texts = ingest_texts();
+    let ref_dir = temp_dir("ingest_ref");
+    let mem =
+        MemoryIndex::build(&InMemoryCorpus::from_texts(texts.clone()), ingest_config()).unwrap();
+    ndss::index::write_memory_index(&mem, &ref_dir).unwrap();
+
+    // Counting pass: learn the crash-site count, and check the injector
+    // itself doesn't perturb the converged store.
+    let count = KillPoints::count_only();
+    let count_root = temp_dir("ingest_count");
+    let mut acked = 0u64;
+    drive_ingest(&count_root, &texts, Some(count.clone()), &mut acked).unwrap();
+    assert_eq!(acked, texts.len() as u64);
+    assert_current_matches("ingest counting pass", &count_root, &ref_dir);
+    let (checkpoints, io_points) = (count.checkpoints_seen(), count.io_seen());
+    assert!(
+        checkpoints >= 10,
+        "expected rotations and multi-step compactions, saw {checkpoints} checkpoints"
+    );
+    assert!(
+        io_points >= texts.len() as u64,
+        "every append is an IO crash site (saw {io_points})"
+    );
+
+    let sweep = |kp: Arc<KillPoints>, label: String| {
+        let root = temp_dir("ingest_sweep");
+        let mut acked = 0u64;
+        let err = drive_ingest(&root, &texts, Some(kp.clone()), &mut acked)
+            .expect_err(&format!("{label}: ingest must crash"));
+        assert!(kp.fired(), "{label}: injector did not fire");
+        assert!(
+            err.to_string().contains("injected crash"),
+            "{label}: unexpected error {err}"
+        );
+
+        // The dead process's durable state: every acked text, in order.
+        // One append may be in flight when the crash lands (its WAL frame
+        // written but its `Ok` never returned — e.g. a crash inside the
+        // rotation the append triggered), so recovery may legitimately
+        // hold `acked` or `acked + 1` texts; anything else is lost acked
+        // data or resurrected garbage.
+        {
+            let recovered = IngestIndex::open(&root, None, ingest_opts(None))
+                .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"));
+            let next = recovered.next_text_id();
+            assert!(
+                next == acked || next == acked + 1,
+                "{label}: recovered {next} texts, acked {acked} — \
+                 acked texts lost or unacked texts resurrected"
+            );
+            let in_memory: Vec<Vec<u32>> = recovered
+                .segments()
+                .flat_map(|s| s.texts().iter().cloned())
+                .collect();
+            assert_eq!(
+                in_memory.as_slice(),
+                &texts[recovered.covered() as usize..next as usize],
+                "{label}: recovered texts differ from the appended prefix"
+            );
+        }
+        // Offline verification holds in the crashed state too.
+        verify_memtable(&root).unwrap_or_else(|e| panic!("{label}: verify failed: {e}"));
+
+        // Resume to completion: the converged store equals the batch build.
+        let mut resumed = 0u64;
+        drive_ingest(&root, &texts, None, &mut resumed)
+            .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
+        assert_eq!(resumed, texts.len() as u64);
+        assert_current_matches(&label, &root, &ref_dir);
+        let report = verify_memtable(&root)
+            .unwrap()
+            .expect("memtable manifest persists");
+        assert_eq!(report.pending_texts, 0, "{label}: trim left pending texts");
+    };
+
+    for n in 0..checkpoints {
+        sweep(
+            KillPoints::at_checkpoint(n),
+            format!("ingest checkpoint {n}"),
+        );
+    }
+    for n in spread(io_points, 8) {
+        sweep(KillPoints::at_io(n), format!("ingest io {n}"));
+    }
+    for name in ["ingest_ref", "ingest_count", "ingest_sweep"] {
+        std::fs::remove_dir_all(std::env::temp_dir().join("ndss_it_crash").join(name)).ok();
+    }
+}
+
+/// A crash *during the recovery run* (the second process dies too) must
+/// leave the store just as recoverable: acked texts survive both crashes
+/// and the third run converges byte-identically.
+#[test]
+fn ingest_survives_a_crash_during_recovery() {
+    let texts = ingest_texts();
+    let ref_dir = temp_dir("ingest2_ref");
+    let mem =
+        MemoryIndex::build(&InMemoryCorpus::from_texts(texts.clone()), ingest_config()).unwrap();
+    ndss::index::write_memory_index(&mem, &ref_dir).unwrap();
+
+    let count = KillPoints::count_only();
+    let count_root = temp_dir("ingest2_count");
+    let mut acked = 0u64;
+    drive_ingest(&count_root, &texts, Some(count.clone()), &mut acked).unwrap();
+    let checkpoints = count.checkpoints_seen();
+
+    for second in 0..3u64 {
+        let root = temp_dir("ingest2_sweep");
+        let mut first_acked = 0u64;
+        drive_ingest(
+            &root,
+            &texts,
+            Some(KillPoints::at_checkpoint(checkpoints / 2)),
+            &mut first_acked,
+        )
+        .expect_err("first run must crash");
+        // The recovery run crashes at its own early checkpoint…
+        let kp = KillPoints::at_checkpoint(second);
+        let mut second_acked = 0u64;
+        drive_ingest(&root, &texts, Some(kp.clone()), &mut second_acked)
+            .expect_err("recovery run must crash too");
+        assert!(kp.fired(), "second {second}: injector did not fire");
+        assert!(
+            second_acked >= first_acked,
+            "second {second}: recovery lost acked texts"
+        );
+        // …and the third run still converges.
+        let mut final_acked = 0u64;
+        drive_ingest(&root, &texts, None, &mut final_acked)
+            .unwrap_or_else(|e| panic!("second {second}: final resume failed: {e}"));
+        assert_eq!(final_acked, texts.len() as u64);
+        assert_current_matches(&format!("double crash at {second}"), &root, &ref_dir);
+    }
+    for name in ["ingest2_ref", "ingest2_count", "ingest2_sweep"] {
+        std::fs::remove_dir_all(std::env::temp_dir().join("ndss_it_crash").join(name)).ok();
+    }
+}

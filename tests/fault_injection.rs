@@ -484,3 +484,159 @@ fn sharded_store_rejects_manifest_corruption() {
     assert_alloc_cap("sharded manifest");
     std::fs::remove_dir_all(&root).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Ingest WAL: prefix-or-reject under mutation.
+// ---------------------------------------------------------------------------
+
+use ndss::index::{IngestIndex, IngestOptions};
+
+/// Opens (recovering) the memtable and returns every in-memory text, in
+/// global id order. Recovery truncates torn tails, so this both parses and
+/// *repairs* — each seed rewrites the file first.
+fn wal_recovered_texts(root: &Path) -> Result<Vec<Vec<TokenId>>, String> {
+    let opts = IngestOptions {
+        fsync_every: 1,
+        ..IngestOptions::default()
+    };
+    let ingest = IngestIndex::open(root, None, opts).map_err(|e| e.to_string())?;
+    Ok(ingest
+        .segments()
+        .flat_map(|s| s.texts().iter().cloned())
+        .collect())
+}
+
+/// The WAL's contract under arbitrary corruption differs from the sealed
+/// formats: a damaged *tail* is expected (that is what a torn write looks
+/// like) and recovery must truncate to the longest valid prefix — but it
+/// must never invent, reorder, or resurrect records, and never accept a
+/// record after a bad frame. So every mutation seed must yield either a
+/// clean typed error or a strict *prefix* of the pristine text sequence;
+/// wrong content anywhere is a sweep failure, as is a panic or an
+/// OOM-sized allocation from an adversarial length field.
+#[test]
+fn ingest_wal_survives_mutation_sweep() {
+    let root = temp_dir("ingest_wal");
+    let (corpus, _) = SyntheticCorpusBuilder::new(45)
+        .num_texts(10)
+        .text_len(40, 80)
+        .vocab_size(300)
+        .build();
+    let texts: Vec<Vec<TokenId>> = (0..corpus.num_texts() as TextId)
+        .map(|i| corpus.text_to_vec(i).unwrap())
+        .collect();
+    {
+        let opts = IngestOptions {
+            fsync_every: 1,
+            ..IngestOptions::default()
+        };
+        let mut ingest = IngestIndex::open(&root, Some(IndexConfig::new(2, 10, 3)), opts).unwrap();
+        for t in &texts {
+            ingest.append(t).unwrap();
+        }
+    }
+    let baseline = wal_recovered_texts(&root).expect("pristine WAL must replay");
+    assert_eq!(baseline, texts);
+
+    let target = root.join("memtable").join("wal").join("wal-000001.log");
+    let pristine = std::fs::read(&target).unwrap();
+    let (mut applied, mut rejected, mut truncated, mut intact) = (0u64, 0u64, 0u64, 0u64);
+    for seed in 0..260 {
+        let (mutated, mutation) = mutate(&pristine, seed);
+        if mutated == pristine {
+            continue;
+        }
+        applied += 1;
+        std::fs::write(&target, &mutated).unwrap();
+        match catch_unwind(AssertUnwindSafe(|| wal_recovered_texts(&root))) {
+            Err(_) => panic!("wal seed {seed}: {mutation:?} caused a panic"),
+            Ok(Err(_)) => rejected += 1,
+            Ok(Ok(recovered)) => {
+                assert!(
+                    recovered.len() <= baseline.len()
+                        && recovered.as_slice() == &baseline[..recovered.len()],
+                    "wal seed {seed}: {mutation:?} recovered non-prefix content"
+                );
+                if recovered.len() < baseline.len() {
+                    truncated += 1;
+                } else {
+                    intact += 1; // e.g. trailing garbage beyond the valid frames
+                }
+            }
+        }
+    }
+    assert_eq!(rejected + truncated + intact, applied);
+    assert!(
+        truncated > 0,
+        "sweep never exercised torn-tail truncation ({applied} applied)"
+    );
+    assert!(applied > 130, "wal mutation sweep mostly no-ops");
+
+    std::fs::write(&target, &pristine).unwrap();
+    assert_eq!(
+        wal_recovered_texts(&root).unwrap(),
+        baseline,
+        "restoring pristine bytes must heal"
+    );
+    assert_alloc_cap("ingest wal");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// The memtable manifest is CRC-checksummed with the same idiom as the
+/// store manifests: corruption must never bring up a memtable with
+/// different settings — every content-changing mutation fails the open,
+/// and (per the GC contract) even a corrupt manifest keeps protecting its
+/// WAL files from collection.
+#[test]
+fn memtable_manifest_rejects_corruption() {
+    let root = temp_dir("ingest_manifest");
+    let opts = IngestOptions {
+        fsync_every: 1,
+        ..IngestOptions::default()
+    };
+    {
+        let mut ingest =
+            IngestIndex::open(&root, Some(IndexConfig::new(2, 10, 3)), opts.clone()).unwrap();
+        for t in [vec![1u32; 30], vec![2u32; 30]] {
+            ingest.append(&t).unwrap();
+        }
+    }
+    let target = root.join("memtable").join("MEMTABLE");
+    let pristine = std::fs::read(&target).unwrap();
+    let (mut applied, mut rejected) = (0u64, 0u64);
+    for seed in 0..160 {
+        let (mutated, mutation) = mutate(&pristine, seed);
+        if mutated == pristine {
+            continue;
+        }
+        applied += 1;
+        std::fs::write(&target, &mutated).unwrap();
+        match catch_unwind(AssertUnwindSafe(|| wal_recovered_texts(&root))) {
+            Err(_) => panic!("memtable manifest seed {seed}: {mutation:?} caused a panic"),
+            Ok(Err(_)) => rejected += 1,
+            Ok(Ok(recovered)) => assert_eq!(
+                recovered.len(),
+                2,
+                "memtable manifest seed {seed}: {mutation:?} changed the recovered set"
+            ),
+        }
+        // Whatever the mutation did, the WAL file itself must survive a GC
+        // pass — a corrupt manifest *protects* its WAL (satellite rule).
+        GenerationStore::open(&root).unwrap();
+        assert!(
+            root.join("memtable")
+                .join("wal")
+                .join("wal-000001.log")
+                .is_file(),
+            "memtable manifest seed {seed}: {mutation:?} let GC collect a live WAL"
+        );
+    }
+    assert!(
+        rejected >= applied.saturating_sub(applied / 20),
+        "memtable manifest: only {rejected} of {applied} effective mutations rejected"
+    );
+    std::fs::write(&target, &pristine).unwrap();
+    assert_eq!(wal_recovered_texts(&root).unwrap().len(), 2);
+    assert_alloc_cap("memtable manifest");
+    std::fs::remove_dir_all(&root).ok();
+}
