@@ -1,0 +1,90 @@
+// Probe: does a crash between publish and trim leave compact_gen pointing
+// at the CURRENT generation, causing a subsequent in-place self-merge?
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use ndss::corpus::{CorpusSource, SyntheticCorpusBuilder};
+use ndss::index::{IngestIndex, IngestOptions, KillPoints, GenerationStore, IndexError};
+use ndss::IndexConfig;
+
+fn texts() -> Vec<Vec<u32>> {
+    let (corpus, _) = SyntheticCorpusBuilder::new(93)
+        .num_texts(18)
+        .text_len(40, 90)
+        .vocab_size(400)
+        .build();
+    (0..corpus.num_texts() as u32)
+        .map(|i| corpus.text_to_vec(i).unwrap())
+        .collect()
+}
+
+fn config() -> IndexConfig { IndexConfig::new(3, 20, 11).bit_packed(true) }
+
+fn opts(kill: Option<Arc<KillPoints>>) -> IngestOptions {
+    IngestOptions { flush_bytes: 2_000, fsync_every: 1, keep: 1, kill }
+}
+
+fn drive(root: &Path, kill: Option<Arc<KillPoints>>) -> Result<(), IndexError> {
+    let texts = texts();
+    let mut ing = IngestIndex::open(root, Some(config()), opts(kill))?;
+    let mut next = ing.next_text_id();
+    while (next as usize) < texts.len() {
+        ing.append(&texts[next as usize])?;
+        next += 1;
+    }
+    ing.seal_all()?;
+    Ok(())
+}
+
+fn read_manifest(root: &Path) -> String {
+    std::fs::read_to_string(root.join("memtable").join("MEMTABLE")).unwrap_or_default()
+}
+
+fn current(root: &Path) -> String {
+    std::fs::read_to_string(root.join("CURRENT")).unwrap_or_default().trim().to_string()
+}
+
+#[test]
+fn probe() {
+    let count = KillPoints::count_only();
+    let base = std::env::temp_dir().join("ndss_probe");
+    std::fs::remove_dir_all(&base).ok();
+    let croot = base.join("count");
+    std::fs::create_dir_all(&croot).unwrap();
+    drive(&croot, Some(count.clone())).unwrap();
+    let checkpoints = count.checkpoints_seen();
+    eprintln!("checkpoints = {checkpoints}");
+
+    for n in 0..checkpoints {
+        let root = base.join(format!("sweep"));
+        std::fs::remove_dir_all(&root).ok();
+        std::fs::create_dir_all(&root).unwrap();
+        let r = drive(&root, Some(KillPoints::at_checkpoint(n)));
+        assert!(r.is_err());
+        let cur_before = current(&root);
+        // recover
+        let frozen = {
+            let ing = IngestIndex::open(&root, None, opts(None)).unwrap();
+            ing.frozen_segments()
+        };
+        let man = read_manifest(&root);
+        let cur = current(&root);
+        // extract compact_gen from manifest json crudely
+        let cg = man.split("\"compact_gen\"").nth(1)
+            .and_then(|s| s.split('"').nth(1)).unwrap_or("").to_string();
+        if !cg.is_empty() && cg == cur && frozen > 0 {
+            eprintln!("checkpoint {n}: STALE compact_gen={cg} == CURRENT={cur}, frozen={frozen} (was CURRENT before recovery: {cur_before})");
+            // inode of an inv file in CURRENT before resume
+            let inv = root.join(&cur).join("inv_0.ndsi");
+            use std::os::unix::fs::MetadataExt;
+            let ino_before = std::fs::metadata(&inv).map(|m| m.ino()).unwrap_or(0);
+            let meta_before = std::fs::read_to_string(root.join(&cur).join("meta.json")).unwrap_or_default();
+            drive(&root, None).unwrap();
+            let cur_after = current(&root);
+            let ino_after = std::fs::metadata(root.join(&cur).join("inv_0.ndsi")).map(|m| m.ino()).unwrap_or(0);
+            let meta_after = std::fs::read_to_string(root.join(&cur).join("meta.json")).unwrap_or_default();
+            eprintln!("  resume: CURRENT now {cur_after}; gen {cg} inv_0 inode {ino_before} -> {ino_after}; meta changed: {}",
+                meta_before != meta_after);
+        }
+    }
+}
